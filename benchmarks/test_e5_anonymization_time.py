@@ -1,0 +1,81 @@
+"""E5 — Anonymization time vs k: RGE vs RPLE vs the one-way baseline.
+
+The demo paper's stated trade-off (Section III): "RGE has larger
+anonymization runtime to build collision-free links on the fly ... while
+RPLE has smaller anonymization runtime". This sweep regenerates that series
+— cloaking time as k grows — for both reversible algorithms and the
+non-reversible random-expansion baseline (the price of reversibility).
+"""
+
+import pytest
+
+from repro.baselines import RandomExpansionCloaking
+from repro.bench import ResultTable
+from repro.metrics import measure
+
+from conftest import profile_for_k
+
+
+K_SWEEP = (5, 10, 20, 40)
+REPEATS = 5
+
+
+def _mean_cloak_ms(engine, snapshot, profile, chain, user_segments):
+    def run_all():
+        for user_segment in user_segments:
+            engine.anonymize(user_segment, snapshot, profile, chain)
+
+    summary = measure(run_all, repeats=REPEATS)
+    return summary.mean_s * 1000.0 / len(user_segments)
+
+
+def test_e5_anonymization_time_vs_k(
+    network, snapshot, user_segments, rge_engine, rple_engine, chain3, benchmark
+):
+    table = ResultTable(
+        "E5",
+        f"Anonymization time vs k ({network.name}, "
+        f"{snapshot.user_count} cars, mean ms per request)",
+        ["k", "rge_ms", "rple_ms", "baseline_ms", "rge_over_rple"],
+    )
+    rge_series, rple_series = [], []
+    for k in K_SWEEP:
+        profile = profile_for_k(k)
+        rge_ms = _mean_cloak_ms(
+            rge_engine, snapshot, profile, chain3, user_segments
+        )
+        rple_ms = _mean_cloak_ms(
+            rple_engine, snapshot, profile, chain3, user_segments
+        )
+        baseline = RandomExpansionCloaking(network, seed=3)
+        baseline_summary = measure(
+            lambda: [
+                baseline.anonymize(user_segment, snapshot, profile)
+                for user_segment in user_segments
+            ],
+            repeats=REPEATS,
+        )
+        baseline_ms = baseline_summary.mean_s * 1000.0 / len(user_segments)
+        rge_series.append(rge_ms)
+        rple_series.append(rple_ms)
+        table.add_row(
+            k=k,
+            rge_ms=round(rge_ms, 3),
+            rple_ms=round(rple_ms, 3),
+            baseline_ms=round(baseline_ms, 3),
+            rge_over_rple=round(rge_ms / rple_ms, 2),
+        )
+    table.print_and_save()
+
+    # pytest-benchmark series for the representative middle of the sweep
+    profile = profile_for_k(20)
+    benchmark(
+        lambda: rge_engine.anonymize(user_segments[0], snapshot, profile, chain3)
+    )
+
+    # Paper shape: RPLE anonymizes faster than RGE, increasingly so at
+    # larger k (bigger regions -> bigger per-step tables for RGE).
+    assert rple_series[-1] < rge_series[-1]
+    # Time grows with k for both algorithms.
+    assert rge_series[-1] > rge_series[0]
+    assert rple_series[-1] > rple_series[0]

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Attack resilience: what an adversary learns without keys.
+
+Probes the paper's security claim — "without the secret key, the cloaked
+region preserves strong privacy properties, allowing no additional
+information to be inferred even when the adversary has complete knowledge
+about the location perturbation algorithm" — with two adversaries:
+
+* a *structural* adversary that enumerates every reversal consistent with
+  the public envelope metadata (algorithm, region, step counts), obtaining
+  its exact posterior over the user's segment, and
+* a *key-probing* adversary that tries random keys against the envelope.
+
+Run:  python examples/attack_resilience_demo.py
+"""
+
+from repro import (
+    KeyChain,
+    PrivacyProfile,
+    ReverseCloakEngine,
+    TrafficSimulator,
+    grid_network,
+)
+from repro.attacks import (
+    KeyProbeAdversary,
+    StructuralAdversary,
+    segment_entropy,
+    user_entropy,
+)
+
+
+def main() -> None:
+    network = grid_network(12, 12)
+    simulator = TrafficSimulator(network, n_cars=700, seed=13)
+    simulator.run(4)
+    snapshot = simulator.snapshot()
+
+    user_segment = snapshot.occupied_segments()[20]
+    profile = PrivacyProfile.uniform(
+        levels=3, base_k=6, k_step=6, base_l=3, l_step=2, max_segments=60
+    )
+    chain = KeyChain.generate(profile.level_count)
+    engine = ReverseCloakEngine(network)
+    envelope = engine.anonymize(user_segment, snapshot, profile, chain)
+    truth = engine.deanonymize(envelope, chain, target_level=0)
+
+    print(f"cloak: {len(envelope.region)} segments over 3 levels "
+          f"(user really on segment {user_segment})")
+
+    # What each key level leaves uncertain (entropy in bits).
+    print("\nposterior uncertainty by keys held:")
+    for level in range(3, -1, -1):
+        region = set(truth.regions[level])
+        held = "none" if level == 3 else f"Key{level + 1}..Key3"
+        print(f"  keys {held:<12} -> L{level}: "
+              f"{segment_entropy(region):5.2f} bits over segments, "
+              f"{user_entropy(region, snapshot):5.2f} bits over users")
+
+    # Structural adversary: full algorithm knowledge, no keys.
+    adversary = StructuralAdversary(network, max_sequences=100_000)
+    posterior = adversary.attack_envelope(envelope, target_level=0)
+    print(f"\nstructural adversary (no keys, exhaustive enumeration):")
+    print(f"  consistent L0 candidates : {posterior.candidate_count}")
+    print(f"  posterior entropy        : {posterior.entropy():.2f} bits")
+    print(f"  P(true segment)          : "
+          f"{posterior.probability_of({user_segment}):.3f}")
+    weights = adversary.user_segment_posterior(envelope)
+    top = sorted(weights.items(), key=lambda item: -item[1])[:5]
+    print("  top-5 guesses            : "
+          + ", ".join(f"s{sid} ({p:.2f})" for sid, p in top))
+
+    # Key probing: every random chain is rejected.
+    probe = KeyProbeAdversary(network, seed=99).probe(envelope, trials=10)
+    print(f"\nkey-probing adversary: {probe['rejected']} rejected, "
+          f"{probe['accepted']} accepted out of 10 random key chains")
+    assert probe["accepted"] == 0
+
+    print("\nreading: the adversary's best guess stays far from certainty,")
+    print("while any granted key collapses the entropy to the next level —")
+    print("exactly the multi-level control the paper claims (exp. E10).")
+
+
+if __name__ == "__main__":
+    main()

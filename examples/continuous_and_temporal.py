@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Time matters: temporal deferral and the intersection attack.
+
+Two time-dimension phenomena around ReverseCloak, in one script:
+
+1. **Temporal deferral** (Algorithm 1's ``sigma_t``): requests that cannot
+   reach k-anonymity within a *tight* spatial tolerance succeed a few
+   simulated seconds later, once traffic has drifted in.
+2. **The intersection attack**: re-cloaking a moving user independently per
+   tick is vulnerable — an adversary who links the stream intersects the
+   per-tick candidate sets and erodes anonymity far below k.
+
+Run:  python examples/continuous_and_temporal.py
+"""
+
+from repro import (
+    KeyChain,
+    PrivacyProfile,
+    ReverseCloakEngine,
+    TrafficSimulator,
+    grid_network,
+)
+from repro.attacks import IntersectionAttack
+from repro.errors import CloakingError
+from repro.lbs import ContinuousCloaker, DeferredCloaking, TemporalTolerance
+
+
+def temporal_deferral_demo() -> None:
+    print("=" * 64)
+    print("1. temporal deferral: waiting instead of failing")
+    print("=" * 64)
+    network = grid_network(12, 12)
+    simulator = TrafficSimulator(network, n_cars=450, seed=14)
+    simulator.run(2)
+    engine = ReverseCloakEngine(network)
+
+    # A demanding profile: 8 users inside at most 5 segments.
+    tight = PrivacyProfile.uniform(
+        levels=1, base_k=8, k_step=0, base_l=2, l_step=0, max_segments=5
+    )
+    chain = KeyChain.generate(1)
+    snapshot = simulator.snapshot()
+    users = snapshot.users()[:25]
+    failed_now = []
+    for user_id in users:
+        try:
+            engine.anonymize(snapshot.segment_of(user_id), snapshot, tight, chain)
+        except CloakingError:
+            failed_now.append(user_id)
+    print(f"immediately: {len(users) - len(failed_now)}/{len(users)} "
+          f"requests succeed; {len(failed_now)} hit the spatial tolerance")
+
+    deferred = DeferredCloaking(engine, simulator)
+    rescued = 0
+    for user_id in failed_now:
+        try:
+            result = deferred.cloak_user(
+                user_id, tight, chain, TemporalTolerance(60.0, 2.0)
+            )
+        except CloakingError:
+            continue
+        rescued += 1
+        print(f"  user {user_id}: rescued after "
+              f"{result.deferred_seconds:.0f}s of simulated waiting")
+    print(f"with a 60s temporal budget: {rescued}/{len(failed_now)} "
+          f"failures rescued\n")
+
+
+def intersection_attack_demo() -> None:
+    print("=" * 64)
+    print("2. intersection attack on continuous cloaking")
+    print("=" * 64)
+    network = grid_network(12, 12)
+    simulator = TrafficSimulator(network, n_cars=600, seed=15)
+    simulator.run(2)
+    engine = ReverseCloakEngine(network)
+    profile = PrivacyProfile.uniform(
+        levels=1, base_k=10, k_step=0, base_l=3, l_step=0, max_segments=80
+    )
+
+    victim = simulator.snapshot().users()[4]
+    cloaker = ContinuousCloaker(engine, simulator, profile)
+    timeline = cloaker.run(victim, ticks=8, interval_seconds=6.0)
+    trace = IntersectionAttack().user_candidates(timeline)
+
+    print(f"victim {victim} cloaked 8 times (k=10 each time)")
+    print("adversary's candidate set after each observation:")
+    for tick, (count, bits) in enumerate(
+        zip(trace.candidate_counts, trace.entropy_series()), start=1
+    ):
+        bar = "#" * count
+        print(f"  tick {tick}: {count:>3} candidates ({bits:4.1f} bits)  {bar}")
+    if trace.identified:
+        print(f"-> victim uniquely identified after "
+              f"{trace.ticks_to_identify + 1} observations, despite k=10 "
+              f"per cloak")
+    else:
+        print(f"-> {len(trace.final_candidates)} candidates survive")
+    assert victim in trace.final_candidates
+    print("\nreading: per-snapshot k-anonymity does not compose over time —")
+    print("continuous queries need temporal defences (exp. E15 quantifies).")
+
+
+if __name__ == "__main__":
+    temporal_deferral_demo()
+    intersection_attack_demo()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""LBS query workload: the privacy/performance trade-off, quantified.
+
+The paper bounds the cloaking region because its size drives "the
+performance of the anonymous query processing technique". This example runs
+a realistic workload — a fleet of cars, a stream of cloaking requests, and
+range queries served against cloaks at different privilege levels — and
+prints the candidate-set sizes a requester pays at each level.
+
+Run:  python examples/lbs_query_workload.py
+"""
+
+import statistics
+
+from repro import (
+    KeyChain,
+    PrivacyProfile,
+    ReverseCloakEngine,
+    ReversiblePreassignmentExpansion,
+    TrafficSimulator,
+    grid_network,
+)
+from repro.lbs import CloakRequest, LBSProvider, PoiDirectory, TrustedAnonymizer
+from repro.metrics import Timer
+
+
+N_USERS = 12
+RADIUS = 250.0
+
+
+def main() -> None:
+    network = grid_network(16, 16)
+    simulator = TrafficSimulator(network, n_cars=1500, seed=3)
+    simulator.run(5)
+    snapshot = simulator.snapshot()
+
+    # RPLE this time: pre-assign once, then serve the request stream fast.
+    with Timer() as preassign_timer:
+        algorithm = ReversiblePreassignmentExpansion.for_network(network)
+    print(f"RPLE pre-assignment over {network.segment_count} segments: "
+          f"{preassign_timer.elapsed * 1000:.0f} ms "
+          f"({algorithm.preassignment.memory_bytes() / 1024:.0f} KiB of tables)")
+
+    anonymizer = TrustedAnonymizer(network, algorithm)
+    anonymizer.update_snapshot(snapshot)
+    provider = LBSProvider(PoiDirectory(network, count=800, seed=5))
+    engine = ReverseCloakEngine(network, algorithm)
+
+    profile = PrivacyProfile.uniform(
+        levels=3, base_k=8, k_step=8, base_l=3, l_step=2, max_segments=100
+    )
+
+    # Serve a stream of cloaking requests.
+    chains = {}
+    with Timer() as cloak_timer:
+        for index, user_id in enumerate(snapshot.users()[:N_USERS]):
+            chain = KeyChain.generate(profile.level_count)
+            chains[user_id] = chain
+            envelope = anonymizer.cloak(
+                CloakRequest(user_id=user_id, profile=profile, chain=chain)
+            )
+            provider.upload(f"user-{user_id}", envelope)
+    print(f"cloaked {N_USERS} users in {cloak_timer.elapsed * 1000:.1f} ms "
+          f"({cloak_timer.elapsed * 1000 / N_USERS:.2f} ms each)")
+
+    # Query cost per privilege level.
+    per_level = {level: [] for level in range(4)}
+    precision = {level: [] for level in range(4)}
+    for user_id, chain in chains.items():
+        stored = provider.envelope_of(f"user-{user_id}")
+        truth = engine.deanonymize(stored, chain, target_level=0)
+        true_segment = snapshot.segment_of(user_id)
+        for level in range(4):
+            result = provider.serve_range_query(
+                f"user-{user_id}",
+                radius=RADIUS,
+                region_override=truth.regions[level],
+            )
+            per_level[level].append(result.candidate_count)
+            precision[level].append(result.precision_for(true_segment))
+
+    print(f"\nrange-query cost by exposed level (radius {RADIUS:.0f} m, "
+          f"mean over {N_USERS} users):")
+    print(f"  {'level':<8}{'candidates':>12}{'precision':>12}")
+    for level in range(4):
+        print(f"  L{level:<7}{statistics.mean(per_level[level]):>12.1f}"
+              f"{statistics.mean(precision[level]):>12.3f}")
+    print("\nreading: unlocking finer levels buys smaller candidate sets —")
+    print("the quantitative payoff of selective de-anonymization (exp. E12).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets `pip install -e .` work without the wheel package
+(the offline environment has setuptools but no wheel/bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

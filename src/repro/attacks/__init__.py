@@ -1,0 +1,26 @@
+"""Adversary models and entropy metrics for the security experiments."""
+
+from .adversary import KeyProbeAdversary, StructuralAdversary, StructuralPosterior
+from .entropy import (
+    level_entropy_profile,
+    segment_entropy,
+    shannon_entropy,
+    uniform_entropy,
+    user_entropy,
+    weighted_segment_entropy,
+)
+from .intersection import IntersectionAttack, IntersectionTrace
+
+__all__ = [
+    "StructuralAdversary",
+    "StructuralPosterior",
+    "KeyProbeAdversary",
+    "IntersectionAttack",
+    "IntersectionTrace",
+    "shannon_entropy",
+    "uniform_entropy",
+    "segment_entropy",
+    "user_entropy",
+    "weighted_segment_entropy",
+    "level_entropy_profile",
+]

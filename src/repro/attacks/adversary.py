@@ -1,0 +1,186 @@
+"""Adversary models probing ReverseCloak's security claims.
+
+Two attacks (experiment E10):
+
+* :class:`StructuralAdversary` — knows the algorithm, the map, and the
+  envelope's public metadata (region, per-level step counts) but no keys.
+  It enumerates every *structurally* consistent reversal — connectivity-
+  preserving removal sequences — obtaining its exact posterior over inner
+  regions and the user's segment. The paper's claim corresponds to this
+  posterior staying (near-)uniform over many candidates.
+* :class:`KeyProbeAdversary` — additionally tries candidate keys against the
+  envelope's reversal procedure (certified search). Success requires
+  guessing a 256-bit key; the class exists to verify that wrong keys are
+  *rejected* rather than silently yielding plausible-looking regions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.engine import ReverseCloakEngine
+from ..core.envelope import CloakEnvelope
+from ..errors import DeanonymizationError, KeyMismatchError, ReverseCloakError
+from ..keys.keys import AccessKey
+from ..roadnet.graph import RoadNetwork
+from .entropy import shannon_entropy
+
+__all__ = [
+    "StructuralPosterior",
+    "StructuralAdversary",
+    "KeyProbeAdversary",
+]
+
+
+@dataclass(frozen=True)
+class StructuralPosterior:
+    """The keyless adversary's posterior after structural enumeration.
+
+    Attributes:
+        level: The level the adversary attempted to peel down to.
+        candidate_regions: Every structurally consistent inner region.
+        sequence_counts: Number of consistent removal sequences leading to
+            each candidate region (the adversary's unnormalised weights —
+            each sequence is equally likely under a uniform key prior).
+    """
+
+    level: int
+    candidate_regions: Tuple[FrozenSet[int], ...]
+    sequence_counts: Dict[FrozenSet[int], int]
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self.candidate_regions)
+
+    def probability_of(self, region: AbstractSet[int]) -> float:
+        """Posterior probability the true inner region is ``region``."""
+        total = sum(self.sequence_counts.values())
+        if total == 0:
+            return 0.0
+        return self.sequence_counts.get(frozenset(region), 0) / total
+
+    def entropy(self) -> float:
+        """Posterior entropy (bits) over candidate inner regions."""
+        total = sum(self.sequence_counts.values())
+        if total == 0:
+            return 0.0
+        return shannon_entropy(
+            count / total for count in self.sequence_counts.values()
+        )
+
+
+class StructuralAdversary:
+    """Keyless enumeration of consistent reversals.
+
+    Args:
+        network: The public road map.
+        max_sequences: Cap on enumerated removal sequences per level; the
+            search is exhaustive below the cap (small regions), sampled
+            truth-preserving above it.
+    """
+
+    def __init__(self, network: RoadNetwork, max_sequences: int = 200_000) -> None:
+        self._network = network
+        self._max_sequences = max_sequences
+
+    def enumerate_level(
+        self, region: AbstractSet[int], steps: int
+    ) -> StructuralPosterior:
+        """All inner regions reachable by removing ``steps`` segments while
+        keeping every intermediate region connected (and removable — i.e. a
+        segment the forward pass *could* have added last)."""
+        sequences = 0
+        counts: Counter = Counter()
+        stack: List[Tuple[FrozenSet[int], int]] = [(frozenset(region), 0)]
+        # Depth-first over removal prefixes; a prefix of depth `steps` is one
+        # consistent full sequence.
+        while stack:
+            current, depth = stack.pop()
+            if depth == steps:
+                counts[current] += 1
+                sequences += 1
+                if sequences >= self._max_sequences:
+                    break
+                continue
+            for segment_id in self._network.articulation_free_removals(current):
+                remaining = current - {segment_id}
+                if remaining and any(
+                    neighbor in remaining
+                    for neighbor in self._network.neighbors(segment_id)
+                ):
+                    stack.append((remaining, depth + 1))
+        regions = tuple(sorted(counts, key=lambda r: sorted(r)))
+        return StructuralPosterior(
+            level=steps, candidate_regions=regions, sequence_counts=dict(counts)
+        )
+
+    def attack_envelope(
+        self, envelope: CloakEnvelope, target_level: int
+    ) -> StructuralPosterior:
+        """Enumerate consistent reversals of ``envelope`` down to
+        ``target_level`` using only public metadata."""
+        total_steps = sum(
+            envelope.level_record(level).steps
+            for level in range(target_level + 1, envelope.top_level + 1)
+        )
+        return self.enumerate_level(set(envelope.region), total_steps)
+
+    def user_segment_posterior(
+        self, envelope: CloakEnvelope
+    ) -> Dict[int, float]:
+        """Posterior over the user's segment after full structural reversal.
+
+        Aggregates the level-0 candidates (single segments) of
+        :meth:`attack_envelope`; the paper's claim is that this stays spread
+        over many segments.
+        """
+        posterior = self.attack_envelope(envelope, target_level=0)
+        weights: Dict[int, float] = {}
+        total = sum(posterior.sequence_counts.values())
+        for region, count in posterior.sequence_counts.items():
+            if len(region) == 1:
+                (segment_id,) = tuple(region)
+                weights[segment_id] = weights.get(segment_id, 0.0) + count / total
+        return weights
+
+
+class KeyProbeAdversary:
+    """Tries candidate keys against an envelope's keyed reversal.
+
+    The point is negative: with overwhelming probability every probe is
+    *rejected* (MAC mismatch / no certified reversal), demonstrating that
+    algorithm knowledge plus compute does not substitute for the key.
+    """
+
+    def __init__(self, network: RoadNetwork, seed: int = 0) -> None:
+        self._network = network
+        self._rng = np.random.default_rng(seed)
+
+    def probe(
+        self, envelope: CloakEnvelope, trials: int
+    ) -> Dict[str, int]:
+        """Attempt ``trials`` random full key chains.
+
+        Returns ``{"rejected": ..., "accepted": ...}``; ``accepted`` counts
+        probes that produced *any* certified reversal (expected 0).
+        """
+        engine = ReverseCloakEngine.for_envelope(self._network, envelope)
+        outcomes = {"rejected": 0, "accepted": 0}
+        for __ in range(trials):
+            fake_keys = {
+                level: AccessKey(level, bytes(self._rng.bytes(32)))
+                for level in range(1, envelope.top_level + 1)
+            }
+            try:
+                engine.deanonymize(
+                    envelope, fake_keys, target_level=0, mode="search"
+                )
+            except ReverseCloakError:
+                outcomes["rejected"] += 1
+            else:  # pragma: no cover - astronomically unlikely
+                outcomes["accepted"] += 1
+        return outcomes

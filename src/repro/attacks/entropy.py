@@ -1,0 +1,115 @@
+"""Entropy measures for cloaking privacy (experiment E10).
+
+The paper's security claim: without the key the cloaked region "preserves
+strong privacy properties, allowing no additional information to be inferred
+even when the adversary has complete knowledge about the location
+perturbation algorithm". We quantify what each principal can infer as
+Shannon entropy of their posterior over the user's true location:
+
+* segment view (l-diversity): posterior over the region's segments,
+* user view (k-anonymity): posterior over the users inside the region,
+* with keys for levels ``j+1..top``: the posterior shrinks to level ``j``'s
+  region — the quantitative meaning of "multi-level".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Dict, Iterable, Mapping, Sequence
+
+from ..errors import QueryError
+from ..mobility.snapshot import PopulationSnapshot
+
+__all__ = [
+    "shannon_entropy",
+    "uniform_entropy",
+    "segment_entropy",
+    "user_entropy",
+    "weighted_segment_entropy",
+    "level_entropy_profile",
+]
+
+
+def shannon_entropy(probabilities: Iterable[float]) -> float:
+    """Shannon entropy (bits) of a distribution.
+
+    Zero-probability outcomes are skipped; probabilities must be
+    non-negative and sum to ~1.
+    """
+    probs = [p for p in probabilities if p > 0.0]
+    if not probs:
+        return 0.0
+    total = sum(probs)
+    if not math.isclose(total, 1.0, rel_tol=1e-6, abs_tol=1e-9):
+        raise ValueError(f"probabilities sum to {total}, expected 1")
+    return -sum(p * math.log2(p) for p in probs)
+
+
+def uniform_entropy(n_outcomes: int) -> float:
+    """Entropy of the uniform distribution over ``n_outcomes`` (bits)."""
+    if n_outcomes < 1:
+        raise ValueError(f"need at least one outcome, got {n_outcomes}")
+    return math.log2(n_outcomes)
+
+
+def segment_entropy(region: AbstractSet[int]) -> float:
+    """Keyless adversary entropy over segments, assuming the uniform prior
+    the algorithm's pseudo-random selection justifies."""
+    if not region:
+        raise ValueError("region must be non-empty")
+    return uniform_entropy(len(region))
+
+
+def user_entropy(region: AbstractSet[int], snapshot: PopulationSnapshot) -> float:
+    """Keyless adversary entropy over user identities inside the region."""
+    count = snapshot.count_in_region(region)
+    if count < 1:
+        raise ValueError("region holds no users")
+    return uniform_entropy(count)
+
+
+def weighted_segment_entropy(
+    region: AbstractSet[int], snapshot: PopulationSnapshot
+) -> float:
+    """Adversary entropy over segments when weighting by observed occupancy.
+
+    An adversary who knows per-segment population densities can sharpen the
+    uniform prior to ``P(segment) ∝ users_on(segment)``; this entropy is the
+    corresponding (lower) uncertainty. Segments with no users keep a small
+    floor weight so they are not excluded outright (the user *is* on some
+    segment regardless of co-travellers).
+    """
+    if not region:
+        raise ValueError("region must be non-empty")
+    floor = 0.25
+    weights: Dict[int, float] = {
+        segment_id: snapshot.count_on(segment_id) + floor for segment_id in region
+    }
+    total = sum(weights.values())
+    return shannon_entropy(w / total for w in weights.values())
+
+
+def level_entropy_profile(
+    regions_by_level: Mapping[int, Sequence[int]],
+    snapshot: PopulationSnapshot,
+) -> Dict[int, Dict[str, float]]:
+    """Entropy per privacy level for a peeled cloak.
+
+    Args:
+        regions_by_level: ``{level: region}`` as produced by
+            :class:`~repro.core.engine.DeanonymizationResult`.
+        snapshot: The population at cloaking time.
+
+    Returns:
+        ``{level: {"segments": bits, "users": bits}}``. Level 0 has zero
+        segment entropy by definition.
+    """
+    profile: Dict[int, Dict[str, float]] = {}
+    for level in sorted(regions_by_level):
+        region = set(regions_by_level[level])
+        users = snapshot.count_in_region(region)
+        profile[level] = {
+            "segments": segment_entropy(region),
+            "users": uniform_entropy(users) if users >= 1 else 0.0,
+        }
+    return profile

@@ -1,0 +1,11 @@
+"""Baselines: the non-reversible and trivially-reversible comparators."""
+
+from .mapping_store import MappingStoreCloaking, StoredCloak
+from .random_expansion import RandomExpansionCloaking, RandomExpansionResult
+
+__all__ = [
+    "RandomExpansionCloaking",
+    "RandomExpansionResult",
+    "MappingStoreCloaking",
+    "StoredCloak",
+]

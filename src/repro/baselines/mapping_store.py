@@ -1,0 +1,107 @@
+"""The mapping-store baseline: reversibility by remembering everything.
+
+The obvious alternative to ReverseCloak's keyed reversal is to make the
+trusted anonymizer *store* the per-level segment lists of every request and
+answer de-anonymization queries by lookup. This works, but:
+
+* the store grows linearly with the number of cloaking requests (ReverseCloak
+  stores nothing per request — keys alone suffice),
+* every de-anonymization requires an online round trip to the trusted store
+  (ReverseCloak reverses offline), and
+* the store is a single point of compromise holding *all* users' exact
+  locations (ReverseCloak's anonymizer can forget the raw locations as soon
+  as the envelope is built).
+
+The class exists to quantify those costs in experiments E5/E7; its interface
+mirrors the reversible engine closely enough for side-by-side benchmarks.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import CloakingError, DeanonymizationError
+from ..mobility.snapshot import PopulationSnapshot
+from ..roadnet.graph import RoadNetwork
+from ..core.profile import PrivacyProfile
+from .random_expansion import RandomExpansionCloaking, RandomExpansionResult
+
+__all__ = ["StoredCloak", "MappingStoreCloaking"]
+
+
+@dataclass(frozen=True)
+class StoredCloak:
+    """The public part of a mapping-store cloak: an opaque receipt plus the
+    outermost region (what the LBS provider sees)."""
+
+    receipt: str
+    region: Tuple[int, ...]
+    top_level: int
+
+
+class MappingStoreCloaking:
+    """Reversible cloaking via server-side mapping storage.
+
+    Cloaking delegates to :class:`RandomExpansionCloaking` (the expansion
+    itself needs no structure when the mapping is stored); reversal is a
+    dictionary lookup against the retained per-request state.
+    """
+
+    name = "mapping-store"
+
+    def __init__(self, network: RoadNetwork, seed: int = 0) -> None:
+        self._network = network
+        self._cloaker = RandomExpansionCloaking(network, seed=seed)
+        self._store: Dict[str, RandomExpansionResult] = {}
+
+    def anonymize(
+        self,
+        user_segment: int,
+        snapshot: PopulationSnapshot,
+        profile: PrivacyProfile,
+    ) -> StoredCloak:
+        """Cloak and retain the full level mapping server-side."""
+        result = self._cloaker.anonymize(user_segment, snapshot, profile)
+        receipt = secrets.token_hex(16)
+        self._store[receipt] = result
+        return StoredCloak(
+            receipt=receipt,
+            region=result.region_at(result.top_level),
+            top_level=result.top_level,
+        )
+
+    def deanonymize(self, receipt: str, target_level: int) -> Tuple[int, ...]:
+        """Look up the region of ``target_level`` for a stored cloak."""
+        try:
+            result = self._store[receipt]
+        except KeyError:
+            raise DeanonymizationError(f"unknown receipt: {receipt}") from None
+        return result.region_at(target_level)
+
+    # ------------------------------------------------------------------
+    # cost accounting (experiment E7)
+    # ------------------------------------------------------------------
+    @property
+    def stored_requests(self) -> int:
+        return len(self._store)
+
+    def storage_entries(self) -> int:
+        """Total segment ids retained across all stored requests."""
+        return sum(
+            len(result.regions[result.top_level]) + sum(
+                len(added) for added in result.added.values()
+            )
+            for result in self._store.values()
+        )
+
+    def storage_bytes(self) -> int:
+        """Approximate retained bytes (8 per stored segment id)."""
+        return 8 * self.storage_entries()
+
+    def forget(self, receipt: str) -> None:
+        """Drop one stored mapping (e.g. data-retention policy)."""
+        self._store.pop(receipt, None)

@@ -1,0 +1,118 @@
+"""Non-reversible random expansion cloaking (the conventional baseline).
+
+The paper positions ReverseCloak against "conventional techniques [1], [2],
+[4], [7] that focus on single-level unidirectional location anonymization".
+This module implements that class of algorithm in its road-network form
+(Wang et al. [9]-style segment cloaking): grow the region by uniformly random
+frontier segments until ``(delta_k, delta_l)`` holds.
+
+The expansion is driven by a plain seeded RNG — there is no key, no
+transition structure, and therefore *no way to reverse* the region: a
+requester either sees the full cloak or (with out-of-band trust) the raw
+location. The baseline supports multi-level *output* (nested regions, one per
+level) but reversal requires shipping every inner region explicitly, which
+is exactly the multi-level access-control gap ReverseCloak fills.
+
+Used by experiments E5 (runtime), E9 (region quality) and E10 (no selective
+de-anonymization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import CloakingError, FrontierExhaustedError, ToleranceExceededError
+from ..mobility.snapshot import PopulationSnapshot
+from ..roadnet.graph import RoadNetwork
+from ..core.profile import PrivacyProfile
+
+__all__ = ["RandomExpansionResult", "RandomExpansionCloaking"]
+
+
+@dataclass(frozen=True)
+class RandomExpansionResult:
+    """The baseline's multi-level output.
+
+    Attributes:
+        regions: Region per level, ``{level: sorted segment ids}``; level 0
+            is the user's segment.
+        added: Segments each level added, in addition order.
+    """
+
+    regions: Dict[int, Tuple[int, ...]]
+    added: Dict[int, Tuple[int, ...]]
+
+    @property
+    def top_level(self) -> int:
+        return max(self.regions)
+
+    def region_at(self, level: int) -> Tuple[int, ...]:
+        try:
+            return self.regions[level]
+        except KeyError:
+            raise CloakingError(f"no region for level {level}") from None
+
+
+class RandomExpansionCloaking:
+    """Single-direction random segment-expansion cloaking.
+
+    Args:
+        network: The road map.
+        seed: RNG seed (results are reproducible but *not* reversible — the
+            seed is thrown away after cloaking in a real deployment, and
+            publishing it would reveal the expansion order to everyone
+            rather than level-by-level).
+    """
+
+    name = "random-expansion"
+
+    def __init__(self, network: RoadNetwork, seed: int = 0) -> None:
+        self._network = network
+        self._rng = np.random.default_rng(seed)
+
+    def anonymize(
+        self,
+        user_segment: int,
+        snapshot: PopulationSnapshot,
+        profile: PrivacyProfile,
+    ) -> RandomExpansionResult:
+        """Cloak ``user_segment`` under every profile level.
+
+        Raises the same exhaustion errors as the reversible engine so
+        success-rate experiments can compare like for like.
+        """
+        self._network.segment(user_segment)
+        region: Set[int] = {user_segment}
+        regions: Dict[int, Tuple[int, ...]] = {0: (user_segment,)}
+        added: Dict[int, Tuple[int, ...]] = {}
+        step_cap = self._network.segment_count + 1
+        for level in range(1, profile.level_count + 1):
+            requirement = profile.requirement(level)
+            level_added: List[int] = []
+            while not requirement.satisfied_by(self._network, region, snapshot):
+                if len(level_added) >= step_cap:
+                    raise CloakingError(
+                        f"level {level} exceeded {step_cap} transitions"
+                    )
+                eligible = [
+                    candidate
+                    for candidate in self._network.frontier(region)
+                    if requirement.tolerance.fits(
+                        self._network, region | {candidate}
+                    )
+                ]
+                if not eligible:
+                    if self._network.frontier(region):
+                        raise ToleranceExceededError(
+                            level, "no frontier segment fits the tolerance"
+                        )
+                    raise FrontierExhaustedError(level)
+                choice = eligible[int(self._rng.integers(0, len(eligible)))]
+                region.add(choice)
+                level_added.append(choice)
+            regions[level] = tuple(sorted(region))
+            added[level] = tuple(level_added)
+        return RandomExpansionResult(regions=regions, added=added)

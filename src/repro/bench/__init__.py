@@ -1,0 +1,22 @@
+"""Experiment harness: shared workloads and result tables."""
+
+from .harness import ResultTable, results_dir
+from .workloads import (
+    Workload,
+    pick_user_segments,
+    standard_network,
+    standard_snapshot,
+    standard_workload,
+    sweep_profile,
+)
+
+__all__ = [
+    "ResultTable",
+    "results_dir",
+    "Workload",
+    "standard_network",
+    "standard_snapshot",
+    "standard_workload",
+    "pick_user_segments",
+    "sweep_profile",
+]

@@ -1,0 +1,129 @@
+"""Shared experiment workloads (maps, fleets, user samples, profiles).
+
+Every benchmark in ``benchmarks/`` draws its inputs from here so the
+experiments stay comparable: same seeded maps, same seeded fleets, same
+user-segment samples. Construction is memoised per process because the
+Atlanta-scale map and a 10,000-car fleet take seconds to build and many
+benchmarks share them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.profile import PrivacyProfile
+from ..mobility.simulator import TrafficSimulator
+from ..mobility.snapshot import PopulationSnapshot
+from ..roadnet.generators import atlanta_like, grid_network, radial_network
+from ..roadnet.graph import RoadNetwork
+
+__all__ = [
+    "Workload",
+    "standard_network",
+    "standard_snapshot",
+    "standard_workload",
+    "pick_user_segments",
+    "sweep_profile",
+]
+
+
+@lru_cache(maxsize=None)
+def standard_network(kind: str, size: int = 12, seed: int = 2017) -> RoadNetwork:
+    """A memoised experiment map.
+
+    Args:
+        kind: ``"grid"`` (``size`` x ``size``), ``"radial"``
+            (``size`` rings x ``2*size`` spokes) or ``"atlanta"``
+            (``size`` interpreted as percent of the paper-scale map,
+            e.g. 25 -> scale 0.25).
+        size: Shape parameter, see above.
+        seed: Seed for the random map kinds.
+    """
+    if kind == "grid":
+        return grid_network(size, size)
+    if kind == "radial":
+        return radial_network(size, 2 * size)
+    if kind == "atlanta":
+        return atlanta_like(seed=seed, scale=size / 100.0)
+    raise ValueError(f"unknown map kind: {kind!r}")
+
+
+@lru_cache(maxsize=None)
+def standard_snapshot(
+    kind: str, size: int, n_cars: int, seed: int = 2017, warmup: int = 3
+) -> PopulationSnapshot:
+    """A memoised population snapshot on :func:`standard_network`."""
+    network = standard_network(kind, size, seed)
+    simulator = TrafficSimulator(network, n_cars=n_cars, seed=seed)
+    simulator.run(warmup)
+    return simulator.snapshot()
+
+
+def pick_user_segments(
+    snapshot: PopulationSnapshot, count: int, seed: int = 5
+) -> Tuple[int, ...]:
+    """A deterministic sample of occupied segments to cloak from."""
+    occupied = snapshot.occupied_segments()
+    if not occupied:
+        raise ValueError("snapshot has no occupied segments")
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(len(occupied), size=min(count, len(occupied)), replace=False)
+    return tuple(occupied[int(index)] for index in sorted(indices))
+
+
+def sweep_profile(
+    levels: int,
+    k: int,
+    l: int = 3,
+    max_segments: Optional[int] = None,
+) -> PrivacyProfile:
+    """The profile family used by the parameter sweeps: level 1 gets the
+    requested ``(k, l)``, higher levels step both linearly as in the demo
+    GUI's default settings."""
+    return PrivacyProfile.uniform(
+        levels=levels,
+        base_k=k,
+        k_step=max(1, k // 2),
+        base_l=l,
+        l_step=1,
+        max_segments=max_segments,
+    )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One fully-specified experiment input.
+
+    Attributes:
+        network: The map.
+        snapshot: The fleet snapshot.
+        user_segments: Segments to cloak (sampled from occupied ones).
+        name: Workload label used in result tables.
+    """
+
+    network: RoadNetwork
+    snapshot: PopulationSnapshot
+    user_segments: Tuple[int, ...]
+    name: str
+
+
+def standard_workload(
+    kind: str = "grid",
+    size: int = 12,
+    n_cars: int = 800,
+    users: int = 10,
+    seed: int = 2017,
+) -> Workload:
+    """The default experiment workload (memoised pieces, fresh sample)."""
+    network = standard_network(kind, size, seed)
+    snapshot = standard_snapshot(kind, size, n_cars, seed)
+    return Workload(
+        network=network,
+        snapshot=snapshot,
+        user_segments=pick_user_segments(snapshot, users, seed),
+        name=f"{kind}-{size}-{n_cars}cars",
+    )

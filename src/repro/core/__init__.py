@@ -1,0 +1,53 @@
+"""ReverseCloak core: profiles, transition tables, RGE, RPLE, the engine."""
+
+from .algorithm import CloakingAlgorithm, eligible_candidates, keyed_draw
+from .engine import (
+    DeanonymizationResult,
+    ReverseCloakEngine,
+    algorithm_for_envelope,
+)
+from .envelope import (
+    CloakEnvelope,
+    LevelRecord,
+    network_digest,
+    region_digest,
+    seal_anchor,
+    unseal_anchor,
+)
+from .profile import LevelRequirement, PrivacyProfile, ToleranceSpec
+from .reversal import PeelOutcome, enumerate_bootstraps, peel_level, replay_level
+from .rge import ReversibleGlobalExpansion
+from .rple import (
+    DEFAULT_LIST_LENGTH,
+    Preassignment,
+    ReversiblePreassignmentExpansion,
+)
+from .transition_table import TransitionTable, length_order
+
+__all__ = [
+    "CloakingAlgorithm",
+    "keyed_draw",
+    "eligible_candidates",
+    "TransitionTable",
+    "length_order",
+    "ReversibleGlobalExpansion",
+    "ReversiblePreassignmentExpansion",
+    "Preassignment",
+    "DEFAULT_LIST_LENGTH",
+    "PrivacyProfile",
+    "LevelRequirement",
+    "ToleranceSpec",
+    "CloakEnvelope",
+    "LevelRecord",
+    "region_digest",
+    "network_digest",
+    "seal_anchor",
+    "unseal_anchor",
+    "PeelOutcome",
+    "peel_level",
+    "replay_level",
+    "enumerate_bootstraps",
+    "ReverseCloakEngine",
+    "DeanonymizationResult",
+    "algorithm_for_envelope",
+]

@@ -1,0 +1,181 @@
+"""Shared machinery of the reversible cloaking algorithms.
+
+Both RGE and RPLE fit one contract (:class:`CloakingAlgorithm`):
+
+* ``forward_step`` — given the current region and the last-added *anchor*
+  segment, deterministically select the next segment with the level key,
+* ``backward_anchors`` — given the region *before* a step and the segment
+  that step added, return every anchor hypothesis consistent with the key
+  (exactly one in the collision-free case).
+
+The engine (:mod:`repro.core.engine`) owns the multi-level loop and the
+reversal search; algorithms only answer single-step questions, which keeps
+the reversibility argument local: a forward step and its backward lookup use
+the same keyed draw and the same deterministically ordered views of the
+region, so the backward result provably contains the forward anchor.
+
+Keyed draws use a per-step, per-attempt PRF index (reconstruction decision
+D3): ``R(step, attempt) = PRF(key, level-domain, step << 24 | attempt)``.
+Indexing by step — instead of one running counter — lets the backward pass
+replay any step's draws without knowing how many draws earlier steps
+consumed (RPLE redraws make that count variable).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import AbstractSet, Optional, Set, Tuple
+
+from ..errors import CloakingError, FrontierExhaustedError, ToleranceExceededError
+from ..keys.keys import AccessKey
+from ..keys.prf import prf_value
+from ..roadnet.graph import RoadNetwork
+from .profile import ToleranceSpec
+
+__all__ = ["CloakingAlgorithm", "keyed_draw", "eligible_candidates"]
+
+_ATTEMPT_BITS = 24
+MAX_ATTEMPT = 1 << _ATTEMPT_BITS
+
+
+def keyed_draw(key: AccessKey, step: int, attempt: int = 0) -> int:
+    """The keyed pseudo-random number ``R`` of ``(step, attempt)``.
+
+    ``step`` is 1-based (the paper's ``R_i`` drives the i-th transition);
+    ``attempt`` counts redraws within a step (RPLE only; RGE always uses
+    attempt 0).
+    """
+    if step < 1:
+        raise CloakingError(f"step must be >= 1, got {step}")
+    if not 0 <= attempt < MAX_ATTEMPT:
+        raise CloakingError(f"attempt must be in 0..{MAX_ATTEMPT - 1}, got {attempt}")
+    domain = f"reversecloak|level={key.level}|transitions".encode()
+    return prf_value(key.material, domain, (step << _ATTEMPT_BITS) | attempt)
+
+
+def eligible_candidates(
+    network: RoadNetwork,
+    region: AbstractSet[int],
+    tolerance: ToleranceSpec,
+) -> Tuple[int, ...]:
+    """The tolerance-filtered candidate frontier ``CanA`` of ``region``.
+
+    A frontier segment is eligible when adding it keeps the region within
+    the level's spatial tolerance. Both expansion and reversal must apply
+    exactly this filter, otherwise their candidate orderings diverge; it is
+    therefore the single shared implementation.
+    """
+    region_set = set(region)
+    return tuple(
+        candidate
+        for candidate in network.frontier(region_set)
+        if tolerance.fits(network, region_set | {candidate})
+    )
+
+
+class CloakingAlgorithm(ABC):
+    """Contract shared by the reversible expansion algorithms."""
+
+    #: Short machine-readable name recorded in envelopes ("rge" / "rple").
+    name: str = ""
+
+    @abstractmethod
+    def forward_step(
+        self,
+        network: RoadNetwork,
+        region: AbstractSet[int],
+        anchor: int,
+        key: AccessKey,
+        step: int,
+        tolerance: ToleranceSpec,
+    ) -> int:
+        """Select the next segment to add.
+
+        Args:
+            network: The shared road map.
+            region: The current cloaking region (anchor included).
+            anchor: The last-added segment (the user segment at level start).
+            key: The level key driving the keyed draws.
+            step: 1-based transition index within this level.
+            tolerance: The level's spatial tolerance.
+
+        Returns:
+            The id of the selected frontier segment.
+
+        Raises:
+            ToleranceExceededError: No frontier segment fits the tolerance.
+            FrontierExhaustedError: The frontier itself is empty.
+            CloakingError: The algorithm cannot continue from this anchor.
+        """
+
+    @abstractmethod
+    def backward_anchors(
+        self,
+        network: RoadNetwork,
+        inner_region: AbstractSet[int],
+        removed: int,
+        key: AccessKey,
+        step: int,
+        tolerance: ToleranceSpec,
+    ) -> Tuple[int, ...]:
+        """Anchor hypotheses for the step that added ``removed``.
+
+        Args:
+            network: The shared road map.
+            inner_region: The region *before* the step (``removed`` excluded).
+            removed: The segment the forward step added.
+            key: The level key.
+            step: 1-based transition index within this level.
+            tolerance: The level's spatial tolerance.
+
+        Returns:
+            Candidate anchors, best-first. Empty when ``removed`` could not
+            have been added at this step with this key (the caller prunes the
+            hypothesis).
+        """
+
+    def backward_hypotheses(
+        self,
+        network: RoadNetwork,
+        inner_region: AbstractSet[int],
+        removed: int,
+        key: AccessKey,
+        step: int,
+        tolerance: ToleranceSpec,
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Anchor hypotheses with a search *penalty* each.
+
+        The reversal search runs iterative deepening over the summed
+        penalty of a chain: hypotheses ranked first (the overwhelmingly
+        likely ones) are free, later-ranked alternatives cost their rank.
+        True chains deviate from first choices rarely, so they surface in a
+        low-budget pass before the combinatorial false-hypothesis space is
+        entered. RPLE overrides this to additionally charge its
+        global-fallback interpretation (decision D12).
+        """
+        return tuple(
+            (anchor, index)
+            for index, anchor in enumerate(
+                self.backward_anchors(
+                    network, inner_region, removed, key, step, tolerance
+                )
+            )
+        )
+
+    def params(self) -> dict:
+        """Algorithm parameters to embed in envelopes (overridden by RPLE)."""
+        return {}
+
+    def _raise_no_candidates(
+        self,
+        network: RoadNetwork,
+        region: AbstractSet[int],
+        step: int,
+        level: int,
+    ) -> None:
+        """Raise the precise exhaustion error for an empty eligible set."""
+        if network.frontier(set(region)):
+            raise ToleranceExceededError(
+                level, f"no frontier segment fits the tolerance at step {step}"
+            )
+        raise FrontierExhaustedError(level)

@@ -1,0 +1,275 @@
+"""User-defined privacy profiles: ``(delta_k, delta_l, sigma_s)`` per level.
+
+Paper, Section II: each anonymization request carries a personalized profile.
+In the multi-level model the profile holds one entry per privacy level
+``L^i`` (``1 <= i <= N-1``); level ``L^0`` is the user's own segment and needs
+no entry. Every level specifies:
+
+* ``delta_k`` — location k-anonymity: minimum users inside the region,
+* ``delta_l`` — segment l-diversity: minimum segments in the region
+  (ReverseCloak "guarantees not only the location k-anonymization but also
+  the segment l-diversity privacy protection", Section III),
+* ``sigma_s`` — the maximum spatial resolution bounding region growth.
+
+Higher levels must be at least as private as lower ones (monotonically
+non-decreasing ``delta_k``/``delta_l``, non-tightening tolerance), matching
+the access-controlled semantics where lower privileges see higher anonymity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ProfileError
+from ..mobility.snapshot import PopulationSnapshot
+from ..roadnet.graph import RoadNetwork
+
+__all__ = ["ToleranceSpec", "LevelRequirement", "PrivacyProfile"]
+
+
+@dataclass(frozen=True)
+class ToleranceSpec:
+    """The maximum spatial resolution ``sigma_s`` of one privacy level.
+
+    A region *fits* the tolerance when every enabled bound holds. At least
+    one bound must be set — an unbounded cloaking region would let the
+    anonymizer walk the whole map, which the paper explicitly prevents
+    ("to bound the size of the cloaking region that has a direct influence on
+    the performance of the anonymous query processing technique").
+
+    Attributes:
+        max_segments: Cap on the number of segments in the region.
+        max_total_length: Cap on summed road length, metres.
+        max_diagonal: Cap on the region bounding-box diagonal, metres.
+    """
+
+    max_segments: Optional[int] = None
+    max_total_length: Optional[float] = None
+    max_diagonal: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.max_segments is None
+            and self.max_total_length is None
+            and self.max_diagonal is None
+        ):
+            raise ProfileError("tolerance must set at least one bound")
+        if self.max_segments is not None and self.max_segments < 1:
+            raise ProfileError(f"max_segments must be >= 1, got {self.max_segments}")
+        if self.max_total_length is not None and self.max_total_length <= 0:
+            raise ProfileError(
+                f"max_total_length must be positive, got {self.max_total_length}"
+            )
+        if self.max_diagonal is not None and self.max_diagonal <= 0:
+            raise ProfileError(f"max_diagonal must be positive, got {self.max_diagonal}")
+
+    def fits(self, network: RoadNetwork, region: AbstractSet[int]) -> bool:
+        """Whether ``region`` respects every enabled bound."""
+        if not region:
+            return True
+        if self.max_segments is not None and len(region) > self.max_segments:
+            return False
+        if (
+            self.max_total_length is not None
+            and network.total_length(region) > self.max_total_length
+        ):
+            return False
+        if (
+            self.max_diagonal is not None
+            and network.bounding_box(region).diagonal > self.max_diagonal
+        ):
+            return False
+        return True
+
+    def at_least_as_loose_as(self, other: "ToleranceSpec") -> bool:
+        """Whether any region fitting ``self``'s bounds ... is a superset
+        condition: every bound of ``self`` is absent or >= ``other``'s."""
+
+        def loose(mine, theirs) -> bool:
+            if mine is None:
+                return True
+            if theirs is None:
+                return False
+            return mine >= theirs
+
+        return (
+            loose(self.max_segments, other.max_segments)
+            and loose(self.max_total_length, other.max_total_length)
+            and loose(self.max_diagonal, other.max_diagonal)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "max_segments": self.max_segments,
+            "max_total_length": self.max_total_length,
+            "max_diagonal": self.max_diagonal,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "ToleranceSpec":
+        return cls(
+            max_segments=document.get("max_segments"),
+            max_total_length=document.get("max_total_length"),
+            max_diagonal=document.get("max_diagonal"),
+        )
+
+
+@dataclass(frozen=True)
+class LevelRequirement:
+    """The privacy requirement ``(delta_k, delta_l, sigma_s)`` of one level."""
+
+    k: int
+    l: int
+    tolerance: ToleranceSpec
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ProfileError(f"delta_k must be >= 1, got {self.k}")
+        if self.l < 1:
+            raise ProfileError(f"delta_l must be >= 1, got {self.l}")
+        if (
+            self.tolerance.max_segments is not None
+            and self.tolerance.max_segments < self.l
+        ):
+            raise ProfileError(
+                f"tolerance max_segments={self.tolerance.max_segments} cannot "
+                f"satisfy delta_l={self.l}"
+            )
+
+    def satisfied_by(
+        self,
+        network: RoadNetwork,
+        region: AbstractSet[int],
+        snapshot: PopulationSnapshot,
+    ) -> bool:
+        """Whether ``region`` meets this requirement for ``snapshot``."""
+        if len(region) < self.l:
+            return False
+        if snapshot.count_in_region(region) < self.k:
+            return False
+        return self.tolerance.fits(network, region)
+
+    def to_dict(self) -> dict:
+        return {"k": self.k, "l": self.l, "tolerance": self.tolerance.to_dict()}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "LevelRequirement":
+        return cls(
+            k=int(document["k"]),
+            l=int(document["l"]),
+            tolerance=ToleranceSpec.from_dict(document["tolerance"]),
+        )
+
+
+class PrivacyProfile:
+    """The user-defined multi-level privacy profile ``(delta_k^i, sigma_s^i)``.
+
+    ``requirements[0]`` belongs to privacy level 1, and so on; the number of
+    privacy levels ``N`` equals ``len(requirements) + 1`` (level 0 is the raw
+    segment). Levels must be monotone: a higher level never demands *less*
+    anonymity nor a *tighter* tolerance than a lower one.
+
+    Example:
+        >>> profile = PrivacyProfile.uniform(levels=3, base_k=5, k_step=5,
+        ...                                  base_l=4, l_step=2,
+        ...                                  max_segments=60)
+        >>> profile.level_count
+        3
+        >>> profile.requirement(2).k
+        10
+    """
+
+    def __init__(self, requirements: Sequence[LevelRequirement]) -> None:
+        if not requirements:
+            raise ProfileError("a profile needs at least one level")
+        self._requirements: Tuple[LevelRequirement, ...] = tuple(requirements)
+        for lower, higher in zip(self._requirements, self._requirements[1:]):
+            if higher.k < lower.k:
+                raise ProfileError(
+                    f"delta_k must be non-decreasing across levels "
+                    f"({higher.k} after {lower.k})"
+                )
+            if higher.l < lower.l:
+                raise ProfileError(
+                    f"delta_l must be non-decreasing across levels "
+                    f"({higher.l} after {lower.l})"
+                )
+            if not higher.tolerance.at_least_as_loose_as(lower.tolerance):
+                raise ProfileError(
+                    "tolerance must not tighten at higher levels"
+                )
+
+    @classmethod
+    def uniform(
+        cls,
+        levels: int,
+        base_k: int,
+        k_step: int,
+        base_l: int = 2,
+        l_step: int = 1,
+        max_segments: Optional[int] = None,
+        max_total_length: Optional[float] = None,
+        max_diagonal: Optional[float] = None,
+    ) -> "PrivacyProfile":
+        """A profile whose ``k``/``l`` grow linearly per level with one shared
+        tolerance — the demo GUI's "Default setting" shape."""
+        if levels < 1:
+            raise ProfileError(f"need at least one level, got {levels}")
+        if max_segments is None and max_total_length is None and max_diagonal is None:
+            max_segments = base_l + l_step * (levels - 1) + 8 * levels + base_k
+        tolerance = ToleranceSpec(
+            max_segments=max_segments,
+            max_total_length=max_total_length,
+            max_diagonal=max_diagonal,
+        )
+        return cls(
+            [
+                LevelRequirement(
+                    k=base_k + k_step * index,
+                    l=base_l + l_step * index,
+                    tolerance=tolerance,
+                )
+                for index in range(levels)
+            ]
+        )
+
+    @property
+    def level_count(self) -> int:
+        """Number of keyed privacy levels (``N - 1`` in the paper's notation)."""
+        return len(self._requirements)
+
+    @property
+    def total_levels(self) -> int:
+        """``N``: keyed levels plus the raw level ``L^0``."""
+        return len(self._requirements) + 1
+
+    def requirement(self, level: int) -> LevelRequirement:
+        """The requirement of privacy level ``level`` (1-based)."""
+        if not 1 <= level <= self.level_count:
+            raise ProfileError(
+                f"level must be in 1..{self.level_count}, got {level}"
+            )
+        return self._requirements[level - 1]
+
+    def requirements(self) -> Tuple[LevelRequirement, ...]:
+        return self._requirements
+
+    def to_dict(self) -> dict:
+        return {"levels": [req.to_dict() for req in self._requirements]}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "PrivacyProfile":
+        return cls([LevelRequirement.from_dict(item) for item in document["levels"]])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrivacyProfile):
+            return NotImplemented
+        return self._requirements == other._requirements
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"L{index}(k={req.k},l={req.l})"
+            for index, req in enumerate(self._requirements, start=1)
+        )
+        return f"PrivacyProfile({parts})"

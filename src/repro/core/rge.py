@@ -1,0 +1,77 @@
+"""Reversible Global Expansion (RGE), paper Section III-A.
+
+Every expansion step rebuilds a fresh :class:`~repro.core.transition_table.
+TransitionTable` from the *global* state — the whole current region as rows
+and the whole eligible frontier as columns ("the links of previously selected
+segments are rebuilt on the fly"). One keyed draw selects the transition:
+
+* forward: the row of the last-added segment plus the pick value determine
+  the unique column (the next segment);
+* backward: the column of the removed segment plus the pick value determine
+  the row (the previous anchor) — uniquely when ``|CloakA| <= |CanA|``,
+  otherwise every ``|CanA|``-spaced row is a hypothesis for the engine's
+  search to prune (decision D11).
+
+RGE trades time for memory: table construction is :math:`O((|CloakA| +
+|CanA|) \\log)` per step with no persistent state, the opposite end of the
+design space from RPLE's precomputed lists (experiments E5/E7).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Tuple
+
+from ..errors import CloakingError
+from ..keys.keys import AccessKey
+from ..roadnet.graph import RoadNetwork
+from .algorithm import CloakingAlgorithm, eligible_candidates, keyed_draw
+from .profile import ToleranceSpec
+from .transition_table import TransitionTable
+
+__all__ = ["ReversibleGlobalExpansion"]
+
+
+class ReversibleGlobalExpansion(CloakingAlgorithm):
+    """The RGE algorithm. Stateless: safe to share across engines/threads."""
+
+    name = "rge"
+
+    def forward_step(
+        self,
+        network: RoadNetwork,
+        region: AbstractSet[int],
+        anchor: int,
+        key: AccessKey,
+        step: int,
+        tolerance: ToleranceSpec,
+    ) -> int:
+        if anchor not in region:
+            raise CloakingError(
+                f"anchor {anchor} is not inside the region at step {step}"
+            )
+        candidates = eligible_candidates(network, region, tolerance)
+        if not candidates:
+            self._raise_no_candidates(network, region, step, key.level)
+        table = TransitionTable(network, set(region), set(candidates))
+        return table.forward(anchor, keyed_draw(key, step))
+
+    def backward_anchors(
+        self,
+        network: RoadNetwork,
+        inner_region: AbstractSet[int],
+        removed: int,
+        key: AccessKey,
+        step: int,
+        tolerance: ToleranceSpec,
+    ) -> Tuple[int, ...]:
+        if removed in inner_region:
+            raise CloakingError(
+                f"removed segment {removed} still inside the inner region"
+            )
+        candidates = eligible_candidates(network, inner_region, tolerance)
+        if removed not in candidates:
+            # The forward step could never have selected this segment here:
+            # it was not an eligible candidate of the inner region.
+            return ()
+        table = TransitionTable(network, set(inner_region), set(candidates))
+        return table.backward(removed, keyed_draw(key, step))

@@ -1,0 +1,420 @@
+"""Reversible Pre-assignment-based Local Expansion (RPLE), Section III-B.
+
+RPLE splits the work into two phases:
+
+1. **Pre-assignment** (paper Algorithm 1, :class:`Preassignment`): for every
+   segment ``s`` build a forward transition list ``FT[s]`` and a backward
+   list ``BT[sp]`` of length ``T``, greedily pairing each segment with nearby
+   segments in proximity order such that::
+
+       FT[s][q] = sp  <=>  BT[sp][q] = s
+
+   Both lists share the slot index ``q``, so the pair assignment is
+   *collision-free by construction*: given the added segment ``sp`` and the
+   slot ``q``, the predecessor is uniquely ``BT[sp][q]``. The lists are a
+   pure function of ``(network, T)`` — anonymizer and de-anonymizer compute
+   identical copies with no shared state.
+
+2. **Cloaking**: from anchor ``s``, draw ``R``; the slot is ``R mod T`` and
+   the next segment is ``FT[s][R mod T]`` (the paper's Figure 3 example,
+   ``index of s14 = R_i mod 6``). When a slot is empty, already inside the
+   region, or breaks the tolerance, the step redraws with the next attempt
+   (decision D5); the backward pass replays the identical attempt sequence
+   and accepts an anchor hypothesis only if the forward prefix from that
+   anchor would have failed every earlier attempt — making false hypotheses
+   detectable and rare (experiment E11 measures the residue).
+
+   A purely local expansion can *dead-end*: every target in the anchor's
+   list may already be inside the region (the rate grows with region size).
+   Rather than failing the request, a dead-anchor step falls back to one
+   *global* RGE-style transition-table step (decision D12) — "the links
+   ... are rebuilt on the fly" exactly as the paper describes for RGE. The
+   mode of a step is a pure function of the anchor's *deadness* against the
+   pre-fallback region, which both protocol sides compute identically: the
+   backward pass tries the local interpretation (``BT`` lookup, anchor must
+   be alive) and the global one (table row lookup, anchor must be dead),
+   and forward replay certifies the survivors. Fan-out stays bounded by a
+   couple of hypotheses per step.
+
+RPLE trades memory for time: expansion touches only ``T``-slot lists
+(fast, local), at the cost of ``O(E * T)`` persistent entries (experiment
+E7 reproduces the stated trade-off against RGE).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import CloakingError, PreassignmentError
+from ..keys.keys import AccessKey
+from ..roadnet.graph import RoadNetwork
+from ..roadnet.paths import segment_hop_distances
+from .algorithm import CloakingAlgorithm, eligible_candidates, keyed_draw
+from .profile import ToleranceSpec
+from .transition_table import TransitionTable
+
+__all__ = ["Preassignment", "ReversiblePreassignmentExpansion", "DEFAULT_LIST_LENGTH"]
+
+#: Default transition-list length ``T``. Figure 3 shows ``T = 6``; 8 covers
+#: the degree distribution of grid and Delaunay maps with headroom.
+DEFAULT_LIST_LENGTH = 8
+
+
+class Preassignment:
+    """The pre-assigned forward/backward transition lists (Algorithm 1).
+
+    Args:
+        network: The road map.
+        list_length: ``T``, the number of slots per segment.
+        max_hops: Bound on the proximity search radius (segment hops) when
+            collecting each segment's neighbouring list. ``None`` expands
+            until the list is full or the component is exhausted. The paper's
+            Algorithm 1 nominally scans all ``E`` segments; bounding the scan
+            changes nothing for realistic ``T`` (nearby segments fill the
+            slots first) and keeps pre-assignment near-linear.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        list_length: int = DEFAULT_LIST_LENGTH,
+        max_hops: Optional[int] = 4,
+    ) -> None:
+        if list_length < 1:
+            raise PreassignmentError(f"list_length must be >= 1, got {list_length}")
+        if max_hops is not None and max_hops < 1:
+            raise PreassignmentError(f"max_hops must be >= 1 or None, got {max_hops}")
+        self._network = network
+        self._list_length = list_length
+        self._max_hops = max_hops
+        self._forward: Dict[int, List[Optional[int]]] = {}
+        self._backward: Dict[int, List[Optional[int]]] = {}
+        self._assign()
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def _neighboring_list(self, segment_id: int) -> List[int]:
+        """The segment's neighbouring list ``NL`` in proximity order
+        (hop distance, then midpoint distance, then id — decision D4)."""
+        hops = segment_hop_distances(self._network, segment_id, self._max_hops)
+        origin_mid = self._network.segment_midpoint(segment_id)
+        others = [sid for sid in hops if sid != segment_id]
+        others.sort(
+            key=lambda sid: (
+                hops[sid],
+                origin_mid.distance_to(self._network.segment_midpoint(sid)),
+                sid,
+            )
+        )
+        return others
+
+    def _assign(self) -> None:
+        length = self._list_length
+        for segment_id in self._network.segment_ids():
+            self._forward[segment_id] = [None] * length
+            self._backward[segment_id] = [None] * length
+        for segment_id in self._network.segment_ids():
+            forward = self._forward[segment_id]
+            for potential in self._neighboring_list(segment_id):
+                if all(slot is not None for slot in forward):
+                    break
+                backward = self._backward[potential]
+                shared_empty = next(
+                    (
+                        slot
+                        for slot in range(length)
+                        if forward[slot] is None and backward[slot] is None
+                    ),
+                    None,
+                )
+                if shared_empty is not None:
+                    forward[shared_empty] = potential
+                    backward[shared_empty] = segment_id
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def list_length(self) -> int:
+        """``T`` — the slot count of every transition list."""
+        return self._list_length
+
+    @property
+    def max_hops(self) -> Optional[int]:
+        return self._max_hops
+
+    def forward_list(self, segment_id: int) -> Tuple[Optional[int], ...]:
+        """``FT[segment_id]`` (``None`` marks an empty slot)."""
+        try:
+            return tuple(self._forward[segment_id])
+        except KeyError:
+            raise PreassignmentError(f"segment {segment_id} not pre-assigned") from None
+
+    def backward_list(self, segment_id: int) -> Tuple[Optional[int], ...]:
+        """``BT[segment_id]``."""
+        try:
+            return tuple(self._backward[segment_id])
+        except KeyError:
+            raise PreassignmentError(f"segment {segment_id} not pre-assigned") from None
+
+    def assigned_entries(self) -> int:
+        """Total non-empty slots across both tables (memory proxy, E7)."""
+        forward = sum(
+            1 for slots in self._forward.values() for slot in slots if slot is not None
+        )
+        backward = sum(
+            1 for slots in self._backward.values() for slot in slots if slot is not None
+        )
+        return forward + backward
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the tables: 8 bytes per slot
+        (segment id or empty marker), both directions."""
+        return 8 * 2 * self._list_length * self._network.segment_count
+
+    def verify_symmetry(self) -> bool:
+        """Check the collision-freedom invariant
+        ``FT[s][q] = sp <=> BT[sp][q] = s`` over the whole map."""
+        for segment_id, slots in self._forward.items():
+            for slot, target in enumerate(slots):
+                if target is not None and self._backward[target][slot] != segment_id:
+                    return False
+        for segment_id, slots in self._backward.items():
+            for slot, source in enumerate(slots):
+                if source is not None and self._forward[source][slot] != segment_id:
+                    return False
+        return True
+
+
+class ReversiblePreassignmentExpansion(CloakingAlgorithm):
+    """The RPLE algorithm bound to one pre-assignment.
+
+    Construct with :meth:`for_network` on both sides of the protocol; the
+    pre-assignment is deterministic so both constructions agree.
+    """
+
+    name = "rple"
+
+    def __init__(self, preassignment: Preassignment) -> None:
+        self._pre = preassignment
+        # Redraw budget per step: enough for the keyed slot sequence to
+        # visit every slot with overwhelming probability (coupon collector
+        # on T slots needs ~T ln T draws; 16T gives ample slack).
+        self._max_attempts = 16 * preassignment.list_length
+
+    @classmethod
+    def for_network(
+        cls,
+        network: RoadNetwork,
+        list_length: int = DEFAULT_LIST_LENGTH,
+        max_hops: Optional[int] = 4,
+    ) -> "ReversiblePreassignmentExpansion":
+        """Run pre-assignment on ``network`` and wrap it."""
+        return cls(Preassignment(network, list_length, max_hops))
+
+    @property
+    def preassignment(self) -> Preassignment:
+        return self._pre
+
+    def params(self) -> dict:
+        return {
+            "list_length": self._pre.list_length,
+            "max_hops": self._pre.max_hops,
+        }
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    def _slot_valid(
+        self,
+        network: RoadNetwork,
+        region: AbstractSet[int],
+        target: Optional[int],
+        tolerance: ToleranceSpec,
+    ) -> bool:
+        """Whether a forward slot target is usable from the current region.
+
+        A target must be a *frontier* segment — outside the region but
+        sharing a junction with it — so RPLE regions stay connected like
+        RGE's (pre-assigned lists may pair segments up to ``max_hops`` apart;
+        distant pairs only become usable once the region reaches them). The
+        identical predicate runs in the backward replay guard, which is what
+        makes redraws reversible.
+        """
+        if target is None or target in region:
+            return False
+        if not any(neighbor in region for neighbor in network.neighbors(target)):
+            return False
+        return tolerance.fits(network, set(region) | {target})
+
+    def _anchor_alive(
+        self,
+        network: RoadNetwork,
+        region: AbstractSet[int],
+        anchor: int,
+        tolerance: ToleranceSpec,
+    ) -> bool:
+        """Whether any slot of ``anchor``'s forward list can extend the
+        region. A pure function of (anchor, region, tolerance) — both
+        protocol sides evaluate it identically."""
+        return any(
+            self._slot_valid(network, region, target, tolerance)
+            for target in self._pre.forward_list(anchor)
+        )
+
+    def _global_fallback_forward(
+        self,
+        network: RoadNetwork,
+        region: AbstractSet[int],
+        anchor: int,
+        key: AccessKey,
+        step: int,
+        tolerance: ToleranceSpec,
+    ) -> int:
+        """One RGE-style table step for a dead local anchor (decision D12)."""
+        candidates = eligible_candidates(network, region, tolerance)
+        if not candidates:
+            self._raise_no_candidates(network, region, step, key.level)
+        table = TransitionTable(network, set(region), set(candidates))
+        return table.forward(anchor, keyed_draw(key, step))
+
+    def forward_step(
+        self,
+        network: RoadNetwork,
+        region: AbstractSet[int],
+        anchor: int,
+        key: AccessKey,
+        step: int,
+        tolerance: ToleranceSpec,
+    ) -> int:
+        if anchor not in region:
+            raise CloakingError(
+                f"anchor {anchor} is not inside the region at step {step}"
+            )
+        if not self._anchor_alive(network, region, anchor, tolerance):
+            return self._global_fallback_forward(
+                network, region, anchor, key, step, tolerance
+            )
+        forward = self._pre.forward_list(anchor)
+        length = self._pre.list_length
+        for attempt in range(self._max_attempts):
+            slot = keyed_draw(key, step, attempt) % length
+            target = forward[slot]
+            if self._slot_valid(network, region, target, tolerance):
+                assert target is not None
+                return target
+        raise CloakingError(
+            f"RPLE exhausted {self._max_attempts} redraws from anchor "
+            f"{anchor} at step {step} (level {key.level})"
+        )
+
+    # ------------------------------------------------------------------
+    # backward
+    # ------------------------------------------------------------------
+    def backward_hypotheses(
+        self,
+        network: RoadNetwork,
+        inner_region: AbstractSet[int],
+        removed: int,
+        key: AccessKey,
+        step: int,
+        tolerance: ToleranceSpec,
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Anchor hypotheses, rank-penalised for the deepening search.
+
+        Local interpretations cost their rank in attempt order (first one
+        free); global-fallback interpretations (decision D12) cost one more
+        than their rank — forward takes the fallback only on the occasional
+        dead anchor, so charging it keeps low-budget passes local-first.
+        """
+        if removed in inner_region:
+            raise CloakingError(
+                f"removed segment {removed} still inside the inner region"
+            )
+        if not any(
+            neighbor in inner_region for neighbor in network.neighbors(removed)
+        ):
+            # The forward pass only ever adds frontier segments.
+            return ()
+        if not tolerance.fits(network, set(inner_region) | {removed}):
+            return ()
+        hypotheses: List[Tuple[int, int]] = []
+        # Local interpretation: the forward step drew slots from a live
+        # anchor's list until one was valid.
+        backward = self._pre.backward_list(removed)
+        length = self._pre.list_length
+        # One PRF draw per attempt, shared by every prefix check below.
+        slots = [
+            keyed_draw(key, step, attempt) % length
+            for attempt in range(self._max_attempts)
+        ]
+        for attempt, slot in enumerate(slots):
+            candidate = backward[slot]
+            if candidate is None or candidate not in inner_region:
+                continue
+            if not self._anchor_alive(network, inner_region, candidate, tolerance):
+                # A dead anchor would have taken the global fallback, so the
+                # local interpretation cannot hold for this candidate.
+                continue
+            if self._forward_prefix_fails(
+                network, inner_region, candidate, slots[:attempt], tolerance
+            ):
+                hypotheses.append((candidate, len(hypotheses)))
+        # Global interpretation (decision D12): the forward anchor was dead
+        # and this step was one RGE-style table transition.
+        candidates = eligible_candidates(network, inner_region, tolerance)
+        if removed in candidates:
+            table = TransitionTable(network, set(inner_region), set(candidates))
+            global_rank = 0
+            for candidate in table.backward(removed, keyed_draw(key, step)):
+                if not self._anchor_alive(
+                    network, inner_region, candidate, tolerance
+                ):
+                    hypotheses.append((candidate, 1 + global_rank))
+                    global_rank += 1
+        seen = set()
+        unique = []
+        for anchor, penalty in hypotheses:
+            if anchor not in seen:
+                seen.add(anchor)
+                unique.append((anchor, penalty))
+        return tuple(unique)
+
+    def backward_anchors(
+        self,
+        network: RoadNetwork,
+        inner_region: AbstractSet[int],
+        removed: int,
+        key: AccessKey,
+        step: int,
+        tolerance: ToleranceSpec,
+    ) -> Tuple[int, ...]:
+        return tuple(
+            anchor
+            for anchor, __ in self.backward_hypotheses(
+                network, inner_region, removed, key, step, tolerance
+            )
+        )
+
+    def _forward_prefix_fails(
+        self,
+        network: RoadNetwork,
+        inner_region: AbstractSet[int],
+        anchor: int,
+        earlier_slots: Sequence[int],
+        tolerance: ToleranceSpec,
+    ) -> bool:
+        """Replay guard: would a forward step from ``anchor`` have failed
+        every earlier attempt (whose slot indices are ``earlier_slots``)?
+
+        If some earlier attempt succeeds, the forward pass (had it started
+        from this anchor) would have selected a different segment earlier, so
+        the hypothesis "``anchor`` produced the removal at this attempt" is
+        inconsistent and must be discarded.
+        """
+        forward = self._pre.forward_list(anchor)
+        for slot in earlier_slots:
+            if self._slot_valid(network, inner_region, forward[slot], tolerance):
+                return False
+        return True

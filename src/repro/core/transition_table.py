@@ -1,0 +1,175 @@
+"""The RGE transition table (paper Figure 2).
+
+For one expansion step, the table is built from the current cloaking region
+``CloakA`` (rows) and its candidate frontier ``CanA`` (columns). Rows and
+columns are ordered by segment length, shortest first ("the shortest segments
+are mapped to the 1st row and 1st column"); length ties break by segment id
+so both sides of the protocol order identically.
+
+The transition value of cell ``(i, j)`` (1-based in the paper) is::
+
+    ((i - 1) + (j - 1)) mod |CanA|
+
+so each value appears at most once per row and per column whenever
+``|CloakA| <= |CanA|`` — the property that makes one keyed *pick value*
+``p = R mod |CanA|`` select a unique forward transition (row of the last
+added segment -> some column) and a unique backward transition (column of the
+removed segment -> some row). When ``|CloakA| > |CanA|`` a column contains
+repeated values and the backward lookup returns every matching row; the
+caller disambiguates by hypothesis search with forward-replay validation
+(reconstruction decision D11, measured by experiment E11).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import CloakingError
+from ..roadnet.graph import RoadNetwork
+
+__all__ = ["length_order", "TransitionTable"]
+
+
+def length_order(network: RoadNetwork, segment_ids: Iterable[int]) -> Tuple[int, ...]:
+    """Segment ids sorted by (length, id), shortest first.
+
+    This is the canonical ordering for transition-table rows and columns; it
+    is a pure function of the road network, so anonymizer and de-anonymizer
+    always agree on it.
+    """
+    return tuple(
+        sorted(segment_ids, key=lambda sid: (network.segment_length(sid), sid))
+    )
+
+
+class TransitionTable:
+    """One expansion step's transition table.
+
+    Args:
+        network: The road network (provides segment lengths for ordering).
+        cloak: The current cloaking region ``CloakA`` (row segments).
+        candidates: The candidate frontier ``CanA`` (column segments); must be
+            non-empty and disjoint from ``cloak``.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        cloak: AbstractSet[int],
+        candidates: AbstractSet[int],
+    ) -> None:
+        if not cloak:
+            raise CloakingError("transition table needs a non-empty cloak set")
+        if not candidates:
+            raise CloakingError("transition table needs a non-empty candidate set")
+        overlap = set(cloak) & set(candidates)
+        if overlap:
+            raise CloakingError(
+                f"cloak and candidate sets overlap: {sorted(overlap)}"
+            )
+        self._rows = length_order(network, cloak)
+        self._columns = length_order(network, candidates)
+        self._row_index: Dict[int, int] = {
+            segment_id: index for index, segment_id in enumerate(self._rows)
+        }
+        self._column_index: Dict[int, int] = {
+            segment_id: index for index, segment_id in enumerate(self._columns)
+        }
+
+    @property
+    def rows(self) -> Tuple[int, ...]:
+        """Row segments, shortest first (``CloakA``)."""
+        return self._rows
+
+    @property
+    def columns(self) -> Tuple[int, ...]:
+        """Column segments, shortest first (``CanA``)."""
+        return self._columns
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    @property
+    def column_count(self) -> int:
+        return len(self._columns)
+
+    @property
+    def collision_free(self) -> bool:
+        """Whether backward lookups are guaranteed unique
+        (``|CloakA| <= |CanA|``)."""
+        return self.row_count <= self.column_count
+
+    def value(self, row: int, column: int) -> int:
+        """The transition value of 0-based cell ``(row, column)``."""
+        if not 0 <= row < self.row_count:
+            raise CloakingError(f"row {row} outside 0..{self.row_count - 1}")
+        if not 0 <= column < self.column_count:
+            raise CloakingError(
+                f"column {column} outside 0..{self.column_count - 1}"
+            )
+        return (row + column) % self.column_count
+
+    def pick_value(self, random_value: int) -> int:
+        """``p = R mod |CanA|`` for a keyed pseudo-random number ``R``."""
+        if random_value < 0:
+            raise CloakingError(f"random value must be non-negative: {random_value}")
+        return random_value % self.column_count
+
+    def forward(self, last_added: int, random_value: int) -> int:
+        """The forward transition: the candidate selected from the row of
+        ``last_added`` by the pick value of ``random_value``.
+
+        This is the unique column ``j`` with
+        ``value(row(last_added), j) == p``.
+        """
+        try:
+            row = self._row_index[last_added]
+        except KeyError:
+            raise CloakingError(
+                f"last added segment {last_added} is not in the cloak set"
+            ) from None
+        pick = self.pick_value(random_value)
+        column = (pick - row) % self.column_count
+        return self._columns[column]
+
+    def backward(self, removed: int, random_value: int) -> Tuple[int, ...]:
+        """The backward transition: candidate previous segments for the
+        removal of ``removed`` under ``random_value``.
+
+        Returns every row segment whose cell in ``removed``'s column carries
+        the pick value. The result has exactly one element when the table is
+        :attr:`collision_free`; otherwise ``ceil(rows/columns)`` candidates at
+        most.
+        """
+        try:
+            column = self._column_index[removed]
+        except KeyError:
+            raise CloakingError(
+                f"removed segment {removed} is not in the candidate set"
+            ) from None
+        pick = self.pick_value(random_value)
+        first_row = (pick - column) % self.column_count
+        return tuple(
+            self._rows[row]
+            for row in range(first_row, self.row_count, self.column_count)
+        )
+
+    def grid(self) -> List[List[int]]:
+        """The full value grid (row-major), for display and figure E2."""
+        return [
+            [self.value(row, column) for column in range(self.column_count)]
+            for row in range(self.row_count)
+        ]
+
+    def render(self, network: Optional[RoadNetwork] = None) -> str:
+        """An ASCII rendering of the table in the style of Figure 2."""
+        header = "        " + "  ".join(f"s{c:<4}" for c in self._columns)
+        lines = [header]
+        for row_index, row_segment in enumerate(self._rows):
+            cells = "  ".join(
+                f"{self.value(row_index, column):<5}"
+                for column in range(self.column_count)
+            )
+            lines.append(f"s{row_segment:<6} {cells}")
+        return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Exception hierarchy for the ReverseCloak reproduction.
+
+All library-specific errors derive from :class:`ReverseCloakError` so callers
+can catch the whole family with a single ``except`` clause while still being
+able to distinguish the individual failure modes that the paper's algorithms
+exhibit (tolerance exhaustion, reversal collisions, key mismatches, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReverseCloakError",
+    "RoadNetworkError",
+    "UnknownSegmentError",
+    "UnknownJunctionError",
+    "DisconnectedRegionError",
+    "ProfileError",
+    "CloakingError",
+    "ToleranceExceededError",
+    "FrontierExhaustedError",
+    "DeanonymizationError",
+    "CollisionError",
+    "KeyMismatchError",
+    "EnvelopeError",
+    "PreassignmentError",
+    "MobilityError",
+    "QueryError",
+]
+
+
+class ReverseCloakError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class RoadNetworkError(ReverseCloakError):
+    """Problems with road-network construction or lookups."""
+
+
+class UnknownSegmentError(RoadNetworkError, KeyError):
+    """A segment id was not found in the road network."""
+
+    def __init__(self, segment_id: int) -> None:
+        super().__init__(f"unknown segment id: {segment_id}")
+        self.segment_id = segment_id
+
+
+class UnknownJunctionError(RoadNetworkError, KeyError):
+    """A junction id was not found in the road network."""
+
+    def __init__(self, junction_id: int) -> None:
+        super().__init__(f"unknown junction id: {junction_id}")
+        self.junction_id = junction_id
+
+
+class DisconnectedRegionError(RoadNetworkError):
+    """A cloaking region was expected to be connected but is not."""
+
+
+class ProfileError(ReverseCloakError):
+    """An invalid user-defined privacy profile was supplied."""
+
+
+class CloakingError(ReverseCloakError):
+    """Base class for failures during the anonymization (expansion) phase."""
+
+
+class ToleranceExceededError(CloakingError):
+    """The spatial tolerance ``sigma_s`` was reached before the privacy
+    requirements (``delta_k``, ``delta_l``) could be satisfied.
+
+    The paper counts these events as cloaking failures; the success-rate
+    experiment (E8) measures how often they occur as the tolerance tightens.
+    """
+
+    def __init__(self, level: int, detail: str) -> None:
+        super().__init__(f"level {level}: spatial tolerance exceeded ({detail})")
+        self.level = level
+        self.detail = detail
+
+
+class FrontierExhaustedError(CloakingError):
+    """The candidate frontier became empty before the privacy requirements
+    were met (the region filled a connected component of the map)."""
+
+    def __init__(self, level: int) -> None:
+        super().__init__(f"level {level}: candidate frontier exhausted")
+        self.level = level
+
+
+class DeanonymizationError(ReverseCloakError):
+    """Base class for failures during reversal (de-anonymization)."""
+
+
+class CollisionError(DeanonymizationError):
+    """Reversal found zero or multiple consistent hypotheses.
+
+    The paper calls the multiple-hypothesis case the *collision issue*; RGE
+    avoids it by rebuilding transition tables on the fly and RPLE by
+    collision-free pre-assignment. Search-mode reversal raises this error
+    whenever ambiguity survives forward-replay validation (experiment E11
+    measures the rate).
+    """
+
+    def __init__(self, level: int, hypotheses: int) -> None:
+        super().__init__(
+            f"level {level}: reversal collision ({hypotheses} consistent hypotheses)"
+        )
+        self.level = level
+        self.hypotheses = hypotheses
+
+
+class KeyMismatchError(DeanonymizationError):
+    """A reversal attempted with a key that fails validation against the
+    envelope (wrong key, wrong level, or tampered region)."""
+
+
+class EnvelopeError(ReverseCloakError):
+    """A cloaked-region envelope is malformed or internally inconsistent."""
+
+
+class PreassignmentError(ReverseCloakError):
+    """RPLE pre-assignment could not build usable transition lists."""
+
+
+class MobilityError(ReverseCloakError):
+    """Problems in the mobility substrate (trip generation, snapshots)."""
+
+
+class QueryError(ReverseCloakError):
+    """Problems during anonymous query processing in the LBS substrate."""

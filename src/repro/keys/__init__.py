@@ -1,0 +1,16 @@
+"""Key management: PRF streams, level keys, chains, access-control profiles."""
+
+from .access_control import AccessControlProfile, KeyGrant, Requester
+from .keys import AccessKey, KeyChain
+from .prf import PrfStream, derive_pad, prf_value
+
+__all__ = [
+    "PrfStream",
+    "prf_value",
+    "derive_pad",
+    "AccessKey",
+    "KeyChain",
+    "Requester",
+    "AccessControlProfile",
+    "KeyGrant",
+]

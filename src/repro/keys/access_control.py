@@ -1,0 +1,146 @@
+"""Personal access-control profiles for key distribution.
+
+Paper, Section IV: *"The 'Anonymizer' maintains a personal access control
+profile, which decides the assignment of access keys based on trust degree
+and privileges of the location data requesters."*
+
+This module models that profile: the data owner registers requesters with a
+trust degree, maps trust degrees to privilege levels, and the profile answers
+key-fetch requests with exactly the suffix of the key chain the requester is
+entitled to. Holding keys ``Key^j..Key^{N-1}`` allows peeling down to level
+``j-1``; an unknown or untrusted requester receives no keys and sees only the
+outermost cloaking region, like the LBS provider itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ProfileError
+from .keys import AccessKey, KeyChain
+
+__all__ = ["Requester", "AccessControlProfile", "KeyGrant"]
+
+
+@dataclass(frozen=True)
+class Requester:
+    """A location data requester known to the data owner.
+
+    Attributes:
+        requester_id: Stable identifier (e.g. an account name).
+        trust_degree: Non-negative trust score assigned by the owner; higher
+            means more trusted.
+    """
+
+    requester_id: str
+    trust_degree: int
+
+    def __post_init__(self) -> None:
+        if not self.requester_id:
+            raise ProfileError("requester_id must be non-empty")
+        if self.trust_degree < 0:
+            raise ProfileError(f"trust_degree must be >= 0, got {self.trust_degree}")
+
+
+@dataclass(frozen=True)
+class KeyGrant:
+    """The outcome of a key-fetch request.
+
+    Attributes:
+        requester_id: Who asked.
+        access_level: The lowest privacy level the grant can expose
+            (``N-1`` = outermost only, ``0`` = exact user segment).
+        keys: The granted keys, outermost level last.
+    """
+
+    requester_id: str
+    access_level: int
+    keys: Tuple[AccessKey, ...]
+
+    @property
+    def key_levels(self) -> Tuple[int, ...]:
+        return tuple(key.level for key in self.keys)
+
+
+class AccessControlProfile:
+    """Maps requester trust degrees to privilege levels and key grants.
+
+    The owner configures *trust thresholds*: ``thresholds[i]`` is the minimum
+    trust degree required to access privacy level ``i`` (i.e. to receive keys
+    ``Key^{i+1}..Key^{top}``). Thresholds must be non-increasing in exposed
+    privacy — reaching a finer level requires at least as much trust as any
+    coarser one.
+
+    Example:
+        >>> chain = KeyChain.from_passphrases(["a", "b", "c"])
+        >>> profile = AccessControlProfile(chain, {2: 10, 1: 50, 0: 90})
+        >>> profile.register(Requester("friend", trust_degree=60))
+        >>> profile.fetch_keys("friend").access_level
+        1
+    """
+
+    def __init__(self, chain: KeyChain, thresholds: Dict[int, int]) -> None:
+        self._chain = chain
+        top = chain.levels
+        for level in thresholds:
+            if not 0 <= level < top:
+                raise ProfileError(
+                    f"threshold level {level} outside 0..{top - 1} "
+                    f"(level {top} is public)"
+                )
+        ordered = sorted(thresholds.items())  # by exposed level, finest first
+        for (fine_level, fine_trust), (coarse_level, coarse_trust) in zip(
+            ordered, ordered[1:]
+        ):
+            if fine_trust < coarse_trust:
+                raise ProfileError(
+                    f"finer level {fine_level} requires less trust "
+                    f"({fine_trust}) than coarser level {coarse_level} "
+                    f"({coarse_trust})"
+                )
+        self._thresholds = dict(thresholds)
+        self._requesters: Dict[str, Requester] = {}
+
+    @property
+    def chain(self) -> KeyChain:
+        return self._chain
+
+    def register(self, requester: Requester) -> None:
+        """Add or update a requester in the profile."""
+        self._requesters[requester.requester_id] = requester
+
+    def remove(self, requester_id: str) -> None:
+        """Forget a requester (subsequent fetches get no keys)."""
+        self._requesters.pop(requester_id, None)
+
+    def known_requesters(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._requesters))
+
+    def access_level_for(self, requester_id: str) -> int:
+        """The lowest privacy level ``requester_id`` may expose.
+
+        Unknown requesters get the outermost level (``chain.levels``), i.e.
+        no de-anonymization capability at all.
+        """
+        requester = self._requesters.get(requester_id)
+        if requester is None:
+            return self._chain.levels
+        best = self._chain.levels
+        for level, needed in sorted(self._thresholds.items()):
+            if requester.trust_degree >= needed:
+                best = min(best, level)
+                break
+        return best
+
+    def fetch_keys(self, requester_id: str) -> KeyGrant:
+        """Answer a key-fetch request per the profile.
+
+        Returns the keys for levels ``access_level+1 .. top`` (possibly none).
+        """
+        access_level = self.access_level_for(requester_id)
+        if access_level >= self._chain.levels:
+            keys: Tuple[AccessKey, ...] = ()
+        else:
+            keys = self._chain.suffix(access_level + 1)
+        return KeyGrant(requester_id=requester_id, access_level=access_level, keys=keys)

@@ -1,0 +1,111 @@
+"""Keyed pseudo-random functions driving reversible cloaking.
+
+The paper (Section III): *"the secret key is used to generate a sequence of
+pseudo-random numbers and each pseudo-random number controls the selection of
+one transition. The i-th pseudo-random number R_i is responsible for both the
+i-th forward transition and the (n-i)-th backward transition."*
+
+We realise the sequence as an HMAC-SHA256 PRF (decision D3 in DESIGN.md):
+
+    R_i = int.from_bytes(HMAC(key, domain || uint64(i)))
+
+which gives both sides of the protocol an identical, cryptographically strong
+stream that is infeasible to predict without the key — exactly the property
+the paper's security argument relies on ("without the secret key, the cloaked
+region preserves strong privacy properties ... even when the adversary has
+complete knowledge about the location perturbation algorithm").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterator
+
+__all__ = ["PrfStream", "prf_value", "derive_pad"]
+
+_DIGEST_BYTES = hashlib.sha256().digest_size
+
+
+def prf_value(key: bytes, domain: bytes, index: int) -> int:
+    """The ``index``-th PRF output for ``key`` in the given ``domain``.
+
+    Values are 256-bit non-negative integers. ``domain`` separates independent
+    streams derived from the same key (e.g. transition selection vs. hint
+    sealing) so reuse of one stream leaks nothing about another.
+    """
+    if index < 0:
+        raise ValueError(f"PRF index must be non-negative, got {index}")
+    message = domain + index.to_bytes(8, "big")
+    digest = hmac.new(key, message, hashlib.sha256).digest()
+    return int.from_bytes(digest, "big")
+
+
+def derive_pad(key: bytes, domain: bytes, width_bytes: int = 8) -> bytes:
+    """A key-derived pad of ``width_bytes`` bytes for XOR-sealing small values.
+
+    Used by the sealed-hint envelope mode (decision D1): the last-added
+    segment id of a level is XOR-masked with this pad, recoverable only with
+    the level key.
+    """
+    if width_bytes <= 0 or width_bytes > _DIGEST_BYTES:
+        raise ValueError(f"width_bytes must be in 1..{_DIGEST_BYTES}")
+    digest = hmac.new(key, domain + b"|pad", hashlib.sha256).digest()
+    return digest[:width_bytes]
+
+
+class PrfStream:
+    """A sequential view over the PRF stream of one (key, domain) pair.
+
+    Both anonymization (forward) and de-anonymization (backward) construct a
+    stream with the same key and domain; the backward side may also jump to an
+    absolute index via :meth:`value_at` since the i-th number drives both the
+    i-th forward and the corresponding backward transition.
+
+    Example:
+        >>> stream = PrfStream(b"secret", domain=b"level-1")
+        >>> first = stream.next_value()
+        >>> stream.value_at(0) == first
+        True
+    """
+
+    def __init__(self, key: bytes, domain: bytes = b"reversecloak") -> None:
+        if not key:
+            raise ValueError("PRF key must be non-empty")
+        self._key = bytes(key)
+        self._domain = bytes(domain)
+        self._cursor = 0
+
+    @property
+    def cursor(self) -> int:
+        """Index of the next value :meth:`next_value` will return."""
+        return self._cursor
+
+    @property
+    def domain(self) -> bytes:
+        return self._domain
+
+    def next_value(self) -> int:
+        """Consume and return the next stream value."""
+        value = prf_value(self._key, self._domain, self._cursor)
+        self._cursor += 1
+        return value
+
+    def value_at(self, index: int) -> int:
+        """Random access to the ``index``-th value (cursor unchanged)."""
+        return prf_value(self._key, self._domain, index)
+
+    def values(self, count: int, start: int = 0) -> Iterator[int]:
+        """Iterate ``count`` values starting at absolute index ``start``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        for index in range(start, start + count):
+            yield prf_value(self._key, self._domain, index)
+
+    def reset(self) -> None:
+        """Rewind the cursor to the beginning of the stream."""
+        self._cursor = 0
+
+    def fork(self, subdomain: bytes) -> "PrfStream":
+        """An independent stream in a derived domain, sharing the key."""
+        return PrfStream(self._key, self._domain + b"/" + subdomain)

@@ -1,0 +1,24 @@
+"""LBS substrate: trusted anonymizer, provider, anonymous query processing,
+temporal deferral and continuous cloaking."""
+
+from .continuous import CloakTimeline, ContinuousCloaker, TimelineEntry
+from .deferral import DeferredCloaking, DeferredResult, TemporalTolerance
+from .provider import LBSProvider
+from .query import CandidateResult, PoiDirectory, PointOfInterest, range_query
+from .server import CloakRequest, TrustedAnonymizer
+
+__all__ = [
+    "TrustedAnonymizer",
+    "CloakRequest",
+    "LBSProvider",
+    "PoiDirectory",
+    "PointOfInterest",
+    "CandidateResult",
+    "range_query",
+    "TemporalTolerance",
+    "DeferredCloaking",
+    "DeferredResult",
+    "ContinuousCloaker",
+    "CloakTimeline",
+    "TimelineEntry",
+]

@@ -1,0 +1,150 @@
+"""Temporal cloaking: deferring requests until anonymity is reachable.
+
+The paper's Algorithm 1 signature carries a *temporal key* ``Kt`` and a
+temporal tolerance ``sigma_t`` alongside the spatial ones — the classic
+spatio-temporal cloaking knob of Gruteser & Grunwald [3]: when a request
+cannot reach ``delta_k`` within its spatial tolerance *right now*, the
+trusted anonymizer may *wait* (up to ``sigma_t`` seconds) for traffic to
+move until enough users are nearby, instead of failing the request.
+
+:class:`DeferredCloaking` implements that policy on top of the engine and a
+live :class:`~repro.mobility.simulator.TrafficSimulator`: it retries the
+expansion against fresh snapshots at a fixed cadence until success or the
+temporal budget runs out. Experiment E14 measures how much success rate a
+temporal budget buys back under tight spatial tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.engine import ReverseCloakEngine
+from ..core.envelope import CloakEnvelope
+from ..core.profile import PrivacyProfile
+from ..errors import CloakingError, ProfileError, ToleranceExceededError
+from ..keys.keys import KeyChain
+from ..mobility.simulator import TrafficSimulator
+
+__all__ = ["TemporalTolerance", "DeferredResult", "DeferredCloaking"]
+
+
+@dataclass(frozen=True)
+class TemporalTolerance:
+    """The temporal tolerance ``sigma_t``.
+
+    Attributes:
+        max_defer_seconds: Total simulated time a request may wait.
+        retry_interval_seconds: Cadence at which the anonymizer re-checks
+            (each retry advances the shared simulation and takes a fresh
+            snapshot).
+    """
+
+    max_defer_seconds: float
+    retry_interval_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_defer_seconds < 0:
+            raise ProfileError(
+                f"max_defer_seconds must be >= 0, got {self.max_defer_seconds}"
+            )
+        if self.retry_interval_seconds <= 0:
+            raise ProfileError(
+                f"retry_interval_seconds must be positive, got "
+                f"{self.retry_interval_seconds}"
+            )
+
+    @property
+    def max_retries(self) -> int:
+        """How many deferral rounds fit in the budget."""
+        return int(self.max_defer_seconds / self.retry_interval_seconds)
+
+
+@dataclass(frozen=True)
+class DeferredResult:
+    """A deferred-cloaking outcome.
+
+    Attributes:
+        envelope: The successful cloak.
+        deferred_seconds: Simulated time the request waited (0.0 when it
+            succeeded immediately).
+        retries: Snapshot refreshes consumed.
+    """
+
+    envelope: CloakEnvelope
+    deferred_seconds: float
+    retries: int
+
+
+class DeferredCloaking:
+    """Spatio-temporal cloaking: trade waiting time for spatial tightness.
+
+    Args:
+        engine: The cloaking engine (RGE or RPLE).
+        simulator: The live traffic simulation the anonymizer observes.
+            Deferral *advances this simulator* — it owns simulated time, so
+            callers co-ordinating several components should share one
+            instance.
+
+    Example:
+        >>> # A request failing "now" may succeed two simulated seconds
+        >>> # later once more cars have driven into the neighbourhood.
+    """
+
+    def __init__(
+        self, engine: ReverseCloakEngine, simulator: TrafficSimulator
+    ) -> None:
+        if engine.network is not simulator.network:
+            raise ProfileError(
+                "engine and simulator must share the same road network"
+            )
+        self._engine = engine
+        self._simulator = simulator
+
+    @property
+    def simulator(self) -> TrafficSimulator:
+        return self._simulator
+
+    def cloak_user(
+        self,
+        user_id: int,
+        profile: PrivacyProfile,
+        chain: KeyChain,
+        temporal: TemporalTolerance,
+        include_hints: bool = True,
+    ) -> DeferredResult:
+        """Cloak ``user_id``'s current segment, deferring when necessary.
+
+        The user's segment is re-read from each fresh snapshot — a deferred
+        user keeps moving, which is exactly what makes deferral effective
+        (both the user and the surrounding traffic drift toward each other).
+
+        Raises:
+            CloakingError: The temporal budget ran out before the spatial
+                requirements became reachable (the final attempt's error is
+                re-raised, typically :class:`ToleranceExceededError`).
+        """
+        last_error: Optional[CloakingError] = None
+        for retries in range(temporal.max_retries + 1):
+            snapshot = self._simulator.snapshot()
+            if not snapshot.has_user(user_id):
+                raise CloakingError(f"user {user_id} not in the simulation")
+            user_segment = snapshot.segment_of(user_id)
+            try:
+                envelope = self._engine.anonymize(
+                    user_segment, snapshot, profile, chain,
+                    include_hints=include_hints,
+                )
+            except CloakingError as error:
+                last_error = error
+                if retries == temporal.max_retries:
+                    break
+                self._simulator.step(temporal.retry_interval_seconds)
+                continue
+            return DeferredResult(
+                envelope=envelope,
+                deferred_seconds=retries * temporal.retry_interval_seconds,
+                retries=retries,
+            )
+        assert last_error is not None
+        raise last_error

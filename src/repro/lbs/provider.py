@@ -1,0 +1,89 @@
+"""The LBS provider: serves cloaked users, never sees raw locations.
+
+Paper, Section IV: the owner "can 'upload' the cloaking region to the LBS
+provider so that the LBS provider can serve the location data owner based on
+the privacy privileges and access rights. ... At the beginning, [requesters]
+can only see the largest cloaking region as the LBS provider."
+
+:class:`LBSProvider` stores uploaded envelopes under pseudonyms, answers
+anonymous range queries against the outermost region, and exposes the
+envelope to requesters — who then fetch keys from the owner's
+access-control profile and de-anonymize locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.envelope import CloakEnvelope
+from ..errors import QueryError
+from ..roadnet.graph import RoadNetwork
+from .query import CandidateResult, PoiDirectory, range_query
+
+__all__ = ["LBSProvider"]
+
+
+class LBSProvider:
+    """A location-based service operating on cloaked uploads.
+
+    Args:
+        directory: The provider's POI database.
+    """
+
+    def __init__(self, directory: PoiDirectory) -> None:
+        self._directory = directory
+        self._envelopes: Dict[str, CloakEnvelope] = {}
+
+    @property
+    def directory(self) -> PoiDirectory:
+        return self._directory
+
+    def upload(self, pseudonym: str, envelope: CloakEnvelope) -> None:
+        """Store a cloaked location under ``pseudonym`` (overwrites)."""
+        if not pseudonym:
+            raise QueryError("pseudonym must be non-empty")
+        self._envelopes[pseudonym] = envelope
+
+    def envelope_of(self, pseudonym: str) -> CloakEnvelope:
+        """The stored envelope (this is all the provider ever knows)."""
+        try:
+            return self._envelopes[pseudonym]
+        except KeyError:
+            raise QueryError(f"unknown pseudonym: {pseudonym}") from None
+
+    def known_pseudonyms(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._envelopes))
+
+    def visible_region(self, pseudonym: str) -> Tuple[int, ...]:
+        """The outermost cloaking region — the provider's (and any keyless
+        requester's) entire knowledge of the user's position."""
+        return self.envelope_of(pseudonym).region
+
+    def serve_range_query(
+        self,
+        pseudonym: str,
+        radius: float,
+        category: Optional[str] = None,
+        region_override: Optional[Tuple[int, ...]] = None,
+    ) -> CandidateResult:
+        """Answer a range query for a cloaked user.
+
+        ``region_override`` lets a *key-holding* requester query with a
+        de-anonymized (smaller) region to receive a tighter candidate set —
+        the cost/privacy trade-off of experiment E12. It must be a subset of
+        the uploaded region; the provider enforces that to prevent a
+        malicious requester from steering queries elsewhere.
+        """
+        envelope = self.envelope_of(pseudonym)
+        region = set(envelope.region)
+        if region_override is not None:
+            override = set(region_override)
+            if not override <= region:
+                raise QueryError(
+                    "region override must be a subset of the uploaded region"
+                )
+            if not override:
+                raise QueryError("region override must be non-empty")
+            region = override
+        return range_query(self._directory, region, radius, category)

@@ -1,0 +1,14 @@
+"""Quality and performance metrics for the evaluation harness."""
+
+from .anonymity import RegionQuality, nesting_ratios, region_quality
+from .performance import Timer, TimingSummary, deep_sizeof, measure
+
+__all__ = [
+    "RegionQuality",
+    "region_quality",
+    "nesting_ratios",
+    "Timer",
+    "TimingSummary",
+    "measure",
+    "deep_sizeof",
+]

@@ -1,0 +1,87 @@
+"""Anonymity and region-quality metrics (experiment E9).
+
+The full paper evaluates cloaks by how much anonymity they achieve relative
+to what was requested and by how large the exposed region is. This module
+computes those figures from a region, a snapshot and (optionally) the
+requesting profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, Mapping, Optional, Sequence
+
+from ..core.profile import LevelRequirement
+from ..mobility.snapshot import PopulationSnapshot
+from ..roadnet.graph import RoadNetwork
+
+__all__ = ["RegionQuality", "region_quality", "nesting_ratios"]
+
+
+@dataclass(frozen=True)
+class RegionQuality:
+    """Quality figures of one cloaking region.
+
+    Attributes:
+        segments: Number of segments (the achieved ``l``).
+        users: Number of users inside (the achieved ``k``).
+        total_length: Summed road length, metres.
+        diagonal: Bounding-box diagonal, metres (spatial exposure).
+        relative_k: ``achieved_k / requested_k`` (>= 1 for a successful
+            cloak); ``None`` when no requirement was supplied.
+        relative_l: ``achieved_l / requested_l``; ``None`` likewise.
+    """
+
+    segments: int
+    users: int
+    total_length: float
+    diagonal: float
+    relative_k: Optional[float]
+    relative_l: Optional[float]
+
+    def meets(self, requirement: LevelRequirement) -> bool:
+        """Whether the region satisfies ``requirement``'s ``k`` and ``l``."""
+        return self.users >= requirement.k and self.segments >= requirement.l
+
+
+def region_quality(
+    network: RoadNetwork,
+    region: AbstractSet[int],
+    snapshot: PopulationSnapshot,
+    requirement: Optional[LevelRequirement] = None,
+) -> RegionQuality:
+    """Compute :class:`RegionQuality` for ``region``."""
+    if not region:
+        raise ValueError("region must be non-empty")
+    users = snapshot.count_in_region(region)
+    segments = len(region)
+    return RegionQuality(
+        segments=segments,
+        users=users,
+        total_length=network.total_length(region),
+        diagonal=network.bounding_box(region).diagonal,
+        relative_k=(users / requirement.k) if requirement else None,
+        relative_l=(segments / requirement.l) if requirement else None,
+    )
+
+
+def nesting_ratios(
+    regions_by_level: Mapping[int, Sequence[int]]
+) -> Dict[int, float]:
+    """Per-level size reduction of a peeled cloak.
+
+    ``ratios[level] = |region(level)| / |region(level+1)|`` — how much a
+    requester gains by unlocking one more level. Levels must nest
+    (each region a subset of the next); raises otherwise.
+    """
+    levels = sorted(regions_by_level)
+    ratios: Dict[int, float] = {}
+    for lower, upper in zip(levels, levels[1:]):
+        inner = set(regions_by_level[lower])
+        outer = set(regions_by_level[upper])
+        if not inner <= outer:
+            raise ValueError(
+                f"region of level {lower} is not nested inside level {upper}"
+            )
+        ratios[lower] = len(inner) / len(outer) if outer else 0.0
+    return ratios

@@ -1,0 +1,103 @@
+"""Timing and memory accounting used by the performance experiments.
+
+pytest-benchmark handles the statistically careful timing inside
+``benchmarks/``; this module provides the lighter-weight instruments the
+harness and examples use: a wall-clock timer context, repeated-measurement
+summaries, and deep object sizing for the RGE/RPLE memory trade-off (E7).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from statistics import mean, median, stdev
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["Timer", "TimingSummary", "measure", "deep_sizeof"]
+
+
+class Timer:
+    """A context-manager wall-clock timer.
+
+    Example:
+        >>> with Timer() as timer:
+        ...     __ = sum(range(1000))
+        >>> timer.elapsed > 0
+        True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Summary of repeated measurements (seconds)."""
+
+    repeats: int
+    mean_s: float
+    median_s: float
+    stdev_s: float
+    min_s: float
+    max_s: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean_s * 1e3:.3f} ms mean over {self.repeats} runs "
+            f"(median {self.median_s * 1e3:.3f}, min {self.min_s * 1e3:.3f}, "
+            f"max {self.max_s * 1e3:.3f})"
+        )
+
+
+def measure(fn: Callable[[], Any], repeats: int = 5) -> TimingSummary:
+    """Time ``fn()`` ``repeats`` times (no warmup discard; callers that need
+    one should invoke ``fn`` once beforehand)."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    samples: List[float] = []
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return TimingSummary(
+        repeats=repeats,
+        mean_s=mean(samples),
+        median_s=median(samples),
+        stdev_s=stdev(samples) if len(samples) > 1 else 0.0,
+        min_s=min(samples),
+        max_s=max(samples),
+    )
+
+
+def deep_sizeof(obj: Any, _seen: Optional[Set[int]] = None) -> int:
+    """Recursive ``sys.getsizeof`` over containers and object ``__dict__``s.
+
+    An approximation (shared interned objects are counted once via the seen
+    set), adequate for comparing the *relative* footprints of RGE state,
+    RPLE pre-assignment tables and the mapping store.
+    """
+    seen = _seen if _seen is not None else set()
+    if id(obj) in seen:
+        return 0
+    seen.add(id(obj))
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        size += sum(
+            deep_sizeof(key, seen) + deep_sizeof(value, seen)
+            for key, value in obj.items()
+        )
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        size += sum(deep_sizeof(item, seen) for item in obj)
+    elif hasattr(obj, "__dict__"):
+        size += deep_sizeof(vars(obj), seen)
+    return size

@@ -1,0 +1,18 @@
+"""Mobility substrate: GTMobiSim-style vehicle generation and traces."""
+
+from .distributions import GaussianPlacement, PlacementDistribution, UniformPlacement
+from .simulator import Car, TrafficSimulator
+from .snapshot import PopulationSnapshot
+from .trace import MobilityTrace, TraceRecord, record_trace
+
+__all__ = [
+    "PlacementDistribution",
+    "GaussianPlacement",
+    "UniformPlacement",
+    "Car",
+    "TrafficSimulator",
+    "PopulationSnapshot",
+    "MobilityTrace",
+    "TraceRecord",
+    "record_trace",
+]

@@ -1,0 +1,114 @@
+"""Per-segment population snapshots consumed by the anonymizer.
+
+The trusted anonymizer needs to know, at cloaking time, how many users
+occupy each road segment: location k-anonymity counts users inside the
+cloaking region. A :class:`PopulationSnapshot` is the immutable answer to
+"who is where, right now" and is the only interface between the mobility
+substrate and the cloaking core — experiments can also build synthetic
+snapshots directly without running a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, Iterable, Mapping, Optional, Tuple
+
+from ..errors import MobilityError
+
+__all__ = ["PopulationSnapshot"]
+
+
+class PopulationSnapshot:
+    """An immutable assignment of users to road segments at one instant.
+
+    Args:
+        segment_of: Mapping from user id to the segment the user occupies.
+        time: Simulation time of the snapshot, in seconds.
+    """
+
+    def __init__(self, segment_of: Mapping[int, int], time: float = 0.0) -> None:
+        self._segment_of: Dict[int, int] = dict(segment_of)
+        self._time = float(time)
+        users_on: Dict[int, list] = {}
+        for user_id, segment_id in self._segment_of.items():
+            users_on.setdefault(segment_id, []).append(user_id)
+        self._users_on: Dict[int, Tuple[int, ...]] = {
+            segment_id: tuple(sorted(users))
+            for segment_id, users in users_on.items()
+        }
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[int, int], time: float = 0.0) -> "PopulationSnapshot":
+        """Build a snapshot from per-segment anonymous counts.
+
+        Synthesizes consecutive user ids; convenient for experiments that only
+        care about counts, not identities.
+        """
+        segment_of: Dict[int, int] = {}
+        next_user = 0
+        for segment_id in sorted(counts):
+            count = counts[segment_id]
+            if count < 0:
+                raise MobilityError(
+                    f"segment {segment_id} has negative user count {count}"
+                )
+            for __ in range(count):
+                segment_of[next_user] = segment_id
+                next_user += 1
+        return cls(segment_of, time=time)
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    @property
+    def user_count(self) -> int:
+        return len(self._segment_of)
+
+    def users(self) -> Tuple[int, ...]:
+        """All user ids, ascending."""
+        return tuple(sorted(self._segment_of))
+
+    def segment_of(self, user_id: int) -> int:
+        """The segment occupied by ``user_id`` (raises if unknown)."""
+        try:
+            return self._segment_of[user_id]
+        except KeyError:
+            raise MobilityError(f"unknown user id: {user_id}") from None
+
+    def has_user(self, user_id: int) -> bool:
+        return user_id in self._segment_of
+
+    def users_on(self, segment_id: int) -> Tuple[int, ...]:
+        """User ids currently on ``segment_id`` (empty tuple when vacant)."""
+        return self._users_on.get(segment_id, ())
+
+    def count_on(self, segment_id: int) -> int:
+        """Number of users on ``segment_id``."""
+        return len(self._users_on.get(segment_id, ()))
+
+    def count_in_region(self, region: AbstractSet[int]) -> int:
+        """Total users on any segment of ``region`` — the quantity compared
+        against ``delta_k`` during cloaking."""
+        return sum(self.count_on(segment_id) for segment_id in region)
+
+    def users_in_region(self, region: AbstractSet[int]) -> Tuple[int, ...]:
+        """All user ids inside ``region``, ascending."""
+        found = []
+        for segment_id in region:
+            found.extend(self._users_on.get(segment_id, ()))
+        return tuple(sorted(found))
+
+    def occupied_segments(self) -> Tuple[int, ...]:
+        """Segments with at least one user, ascending."""
+        return tuple(sorted(self._users_on))
+
+    def counts(self) -> Dict[int, int]:
+        """Per-segment user counts (a fresh dict; safe to mutate)."""
+        return {segment_id: len(users) for segment_id, users in self._users_on.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PopulationSnapshot(users={self.user_count}, "
+            f"occupied_segments={len(self._users_on)}, time={self._time})"
+        )

@@ -1,0 +1,123 @@
+"""Mobility trace capture and (de)serialization.
+
+GTMobiSim is fundamentally a *trace generator*: it emits timestamped vehicle
+positions that downstream tools replay. This module captures the same
+artifact from our simulator — a sequence of per-tick observations — and
+persists it as CSV so experiments can decouple expensive simulation from
+cloaking runs (generate once, replay many times).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from ..errors import MobilityError
+from .simulator import TrafficSimulator
+from .snapshot import PopulationSnapshot
+
+__all__ = ["TraceRecord", "MobilityTrace", "record_trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observation: a car on a segment at a time instant."""
+
+    time: float
+    car_id: int
+    segment_id: int
+
+
+class MobilityTrace:
+    """An ordered collection of :class:`TraceRecord` with snapshot replay.
+
+    Records are kept sorted by ``(time, car_id)``; :meth:`snapshot_at`
+    reconstructs the population at any recorded tick.
+    """
+
+    def __init__(self, records: Iterable[TraceRecord] = ()) -> None:
+        self._records: List[TraceRecord] = sorted(
+            records, key=lambda r: (r.time, r.car_id)
+        )
+
+    def append(self, record: TraceRecord) -> None:
+        """Add a record (must not go backwards in time)."""
+        if self._records and record.time < self._records[-1].time:
+            raise MobilityError(
+                f"trace times must be non-decreasing: {record.time} after "
+                f"{self._records[-1].time}"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> Tuple[TraceRecord, ...]:
+        return tuple(self._records)
+
+    def times(self) -> Tuple[float, ...]:
+        """Distinct observation times, ascending."""
+        return tuple(sorted({record.time for record in self._records}))
+
+    def snapshot_at(self, time: float) -> PopulationSnapshot:
+        """The population snapshot recorded at exactly ``time``."""
+        segment_of: Dict[int, int] = {}
+        for record in self._records:
+            if record.time == time:
+                segment_of[record.car_id] = record.segment_id
+        if not segment_of:
+            raise MobilityError(f"no trace records at time {time}")
+        return PopulationSnapshot(segment_of, time=time)
+
+    def save_csv(self, path: Union[str, Path]) -> None:
+        """Write the trace as ``time,car_id,segment_id`` rows."""
+        with open(Path(path), "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["time", "car_id", "segment_id"])
+            for record in self._records:
+                writer.writerow([repr(record.time), record.car_id, record.segment_id])
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path]) -> "MobilityTrace":
+        """Load a trace written by :meth:`save_csv`."""
+        records = []
+        with open(Path(path), newline="") as handle:
+            for row in csv.DictReader(handle):
+                records.append(
+                    TraceRecord(
+                        time=float(row["time"]),
+                        car_id=int(row["car_id"]),
+                        segment_id=int(row["segment_id"]),
+                    )
+                )
+        return cls(records)
+
+
+def record_trace(
+    simulator: TrafficSimulator, steps: int, dt: float = 1.0
+) -> MobilityTrace:
+    """Run ``simulator`` for ``steps`` ticks, recording every car each tick.
+
+    The initial state (before any step) is recorded too, so the trace holds
+    ``steps + 1`` observations per car.
+    """
+    trace = MobilityTrace()
+
+    def capture() -> None:
+        snapshot = simulator.snapshot()
+        for user_id in snapshot.users():
+            trace.append(
+                TraceRecord(
+                    time=simulator.time,
+                    car_id=user_id,
+                    segment_id=snapshot.segment_of(user_id),
+                )
+            )
+
+    capture()
+    for __ in range(steps):
+        simulator.step(dt)
+        capture()
+    return trace

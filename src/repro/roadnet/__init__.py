@@ -1,0 +1,83 @@
+"""Road-network substrate: geometry, graphs, generators, routing, indexing.
+
+This package models the paper's substrate — road maps as junction/segment
+graphs — and provides everything the cloaking algorithms and the mobility
+simulator need: adjacency ("linked segments"), candidate frontiers,
+connectivity checks, shortest-path routing, spatial indexing, synthetic map
+generation and serialization.
+"""
+
+from .geometry import (
+    BoundingBox,
+    Point,
+    distance,
+    midpoint,
+    point_along,
+    point_segment_distance,
+    polyline_length,
+)
+from .generators import (
+    ATLANTA_JUNCTIONS,
+    ATLANTA_SEGMENTS,
+    atlanta_like,
+    fig1_network,
+    fig2_network,
+    fig3_network,
+    grid_network,
+    path_network,
+    radial_network,
+    random_delaunay_network,
+)
+from .graph import Junction, RoadNetwork, RoadNetworkBuilder, Segment
+from .io import (
+    load_network_csv,
+    load_network_json,
+    network_from_dict,
+    network_to_dict,
+    save_network_csv,
+    save_network_json,
+)
+from .paths import Route, segment_hop_distances, shortest_junction_path, shortest_route
+from .spatial_index import SegmentIndex
+from .subgraph import clip_network, neighborhood_of
+from .stats import NetworkStats, degree_histogram, network_stats
+
+__all__ = [
+    "Point",
+    "BoundingBox",
+    "distance",
+    "midpoint",
+    "point_along",
+    "point_segment_distance",
+    "polyline_length",
+    "Junction",
+    "Segment",
+    "RoadNetwork",
+    "RoadNetworkBuilder",
+    "grid_network",
+    "path_network",
+    "radial_network",
+    "random_delaunay_network",
+    "atlanta_like",
+    "fig1_network",
+    "fig2_network",
+    "fig3_network",
+    "ATLANTA_JUNCTIONS",
+    "ATLANTA_SEGMENTS",
+    "Route",
+    "shortest_route",
+    "shortest_junction_path",
+    "segment_hop_distances",
+    "SegmentIndex",
+    "clip_network",
+    "neighborhood_of",
+    "NetworkStats",
+    "network_stats",
+    "degree_histogram",
+    "network_to_dict",
+    "network_from_dict",
+    "save_network_json",
+    "load_network_json",
+    "save_network_csv",
+    "load_network_csv",
+]

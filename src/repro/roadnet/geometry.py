@@ -1,0 +1,174 @@
+"""Plain-float 2-D geometry used by the road-network substrate.
+
+The paper's maps are small enough (thousands of segments) that a dependency
+on ``shapely`` is unnecessary; everything here is exact, dependency-free
+Euclidean geometry on immutable value types. Coordinates are in metres in an
+arbitrary local projection, matching how GTMobiSim treats the USGS Atlanta
+map.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+__all__ = [
+    "Point",
+    "BoundingBox",
+    "distance",
+    "midpoint",
+    "polyline_length",
+    "point_along",
+    "point_segment_distance",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable 2-D point (metres, local projection)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Midpoint of the straight line between ``a`` and ``b``."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def polyline_length(points: Sequence[Point]) -> float:
+    """Total length of the polyline through ``points`` (0.0 for < 2 points)."""
+    return sum(points[i].distance_to(points[i + 1]) for i in range(len(points) - 1))
+
+
+def point_along(a: Point, b: Point, fraction: float) -> Point:
+    """The point located ``fraction`` of the way from ``a`` to ``b``.
+
+    ``fraction`` is clamped to ``[0, 1]`` so callers that accumulate floating
+    point offsets never step off the segment.
+    """
+    f = min(1.0, max(0.0, fraction))
+    return Point(a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f)
+
+
+def point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Shortest distance from point ``p`` to the line segment ``a``–``b``."""
+    ax, ay = a.x, a.y
+    bx, by = b.x, b.y
+    dx, dy = bx - ax, by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        return p.distance_to(a)
+    t = ((p.x - ax) * dx + (p.y - ay) * dy) / seg_len_sq
+    t = min(1.0, max(0.0, t))
+    return p.distance_to(Point(ax + t * dx, ay + t * dy))
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned bounding box."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"degenerate bounding box: ({self.min_x}, {self.min_y}) "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @classmethod
+    def around(cls, points: Iterable[Point]) -> "BoundingBox":
+        """The tightest box containing ``points`` (raises on empty input)."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot bound an empty point set")
+        return cls(
+            min(p.x for p in pts),
+            min(p.y for p in pts),
+            max(p.x for p in pts),
+            max(p.y for p in pts),
+        )
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the box diagonal — the paper-style measure of how much
+        spatial extent a cloaking region exposes."""
+        return math.hypot(self.width, self.height)
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, p: Point) -> bool:
+        """Whether ``p`` lies inside the box (boundary inclusive)."""
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """A box grown by ``margin`` on every side."""
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """The smallest box containing both boxes."""
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Whether the two boxes overlap (boundary touch counts)."""
+        return not (
+            self.max_x < other.min_x
+            or other.max_x < self.min_x
+            or self.max_y < other.min_y
+            or other.max_y < self.min_y
+        )
+
+    def corners(self) -> Tuple[Point, Point, Point, Point]:
+        """The four corners, counter-clockwise from ``(min_x, min_y)``."""
+        return (
+            Point(self.min_x, self.min_y),
+            Point(self.max_x, self.min_y),
+            Point(self.max_x, self.max_y),
+            Point(self.min_x, self.max_y),
+        )

@@ -1,0 +1,398 @@
+"""Road-network model: junctions, segments, and the segment-adjacency graph.
+
+The paper models the map exactly this way (Section II): *"It consists of a
+set of segments as the connections of adjacent junctions and a set of
+junctions as the intersections of segments."* Cloaking regions are sets of
+segment ids; two segments are adjacent ("linked", in the paper's wording)
+when they share a junction.
+
+:class:`RoadNetwork` is immutable after construction — ReverseCloak's
+reversibility guarantees depend on both sides of the protocol seeing the
+exact same graph, so accidental mutation is a correctness hazard. Build
+networks with :class:`RoadNetworkBuilder` or the generators in
+:mod:`repro.roadnet.generators`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import (
+    DisconnectedRegionError,
+    RoadNetworkError,
+    UnknownJunctionError,
+    UnknownSegmentError,
+)
+from .geometry import BoundingBox, Point, midpoint
+
+__all__ = ["Junction", "Segment", "RoadNetwork", "RoadNetworkBuilder"]
+
+
+@dataclass(frozen=True)
+class Junction:
+    """A road intersection.
+
+    Attributes:
+        junction_id: Stable integer id, unique within a network.
+        location: Position in the local metric projection.
+    """
+
+    junction_id: int
+    location: Point
+
+
+@dataclass(frozen=True)
+class Segment:
+    """An undirected road segment between two junctions.
+
+    Attributes:
+        segment_id: Stable integer id, unique within a network.
+        junction_a: Id of one endpoint junction (always the smaller id).
+        junction_b: Id of the other endpoint junction.
+        length: Road length in metres. Defaults to the Euclidean distance
+            between the endpoints when built through the builder; a longer
+            explicit value models curved roads.
+    """
+
+    segment_id: int
+    junction_a: int
+    junction_b: int
+    length: float
+
+    def endpoints(self) -> Tuple[int, int]:
+        """The endpoint junction ids as an ordered pair."""
+        return (self.junction_a, self.junction_b)
+
+    def other_end(self, junction_id: int) -> int:
+        """The endpoint opposite to ``junction_id``."""
+        if junction_id == self.junction_a:
+            return self.junction_b
+        if junction_id == self.junction_b:
+            return self.junction_a
+        raise RoadNetworkError(
+            f"junction {junction_id} is not an endpoint of segment {self.segment_id}"
+        )
+
+
+class RoadNetwork:
+    """An immutable road network with fast segment-adjacency lookups.
+
+    The class exposes exactly the operations ReverseCloak needs:
+
+    * neighbour ("linked") segments of a segment,
+    * the candidate frontier of a region (used as ``CanA`` by RGE),
+    * region connectivity and spatial measures (used by tolerance checks),
+    * deterministic global orderings (used by transition tables).
+    """
+
+    def __init__(
+        self,
+        junctions: Mapping[int, Junction],
+        segments: Mapping[int, Segment],
+        name: str = "road-network",
+    ) -> None:
+        self._name = name
+        self._junctions: Dict[int, Junction] = dict(junctions)
+        self._segments: Dict[int, Segment] = dict(segments)
+        self._validate()
+        self._segments_at_junction: Dict[int, Tuple[int, ...]] = self._index_junctions()
+        self._neighbors: Dict[int, Tuple[int, ...]] = self._index_neighbors()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for junction_id, junction in self._junctions.items():
+            if junction.junction_id != junction_id:
+                raise RoadNetworkError(
+                    f"junction key {junction_id} does not match id "
+                    f"{junction.junction_id}"
+                )
+        seen_pairs: Dict[Tuple[int, int], int] = {}
+        for segment_id, segment in self._segments.items():
+            if segment.segment_id != segment_id:
+                raise RoadNetworkError(
+                    f"segment key {segment_id} does not match id {segment.segment_id}"
+                )
+            for endpoint in segment.endpoints():
+                if endpoint not in self._junctions:
+                    raise UnknownJunctionError(endpoint)
+            if segment.junction_a == segment.junction_b:
+                raise RoadNetworkError(
+                    f"segment {segment_id} is a self-loop at junction "
+                    f"{segment.junction_a}"
+                )
+            if segment.length <= 0.0:
+                raise RoadNetworkError(
+                    f"segment {segment_id} has non-positive length {segment.length}"
+                )
+            pair = (
+                min(segment.junction_a, segment.junction_b),
+                max(segment.junction_a, segment.junction_b),
+            )
+            if pair in seen_pairs:
+                raise RoadNetworkError(
+                    f"segments {seen_pairs[pair]} and {segment_id} duplicate the "
+                    f"junction pair {pair}"
+                )
+            seen_pairs[pair] = segment_id
+
+    def _index_junctions(self) -> Dict[int, Tuple[int, ...]]:
+        at: Dict[int, List[int]] = {jid: [] for jid in self._junctions}
+        for segment in self._segments.values():
+            at[segment.junction_a].append(segment.segment_id)
+            at[segment.junction_b].append(segment.segment_id)
+        return {jid: tuple(sorted(sids)) for jid, sids in at.items()}
+
+    def _index_neighbors(self) -> Dict[int, Tuple[int, ...]]:
+        neighbors: Dict[int, Tuple[int, ...]] = {}
+        for segment in self._segments.values():
+            linked = set()
+            for junction_id in segment.endpoints():
+                linked.update(self._segments_at_junction[junction_id])
+            linked.discard(segment.segment_id)
+            neighbors[segment.segment_id] = tuple(sorted(linked))
+        return neighbors
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def junction_count(self) -> int:
+        return len(self._junctions)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def junction(self, junction_id: int) -> Junction:
+        """The junction with ``junction_id`` (raises :class:`UnknownJunctionError`)."""
+        try:
+            return self._junctions[junction_id]
+        except KeyError:
+            raise UnknownJunctionError(junction_id) from None
+
+    def segment(self, segment_id: int) -> Segment:
+        """The segment with ``segment_id`` (raises :class:`UnknownSegmentError`)."""
+        try:
+            return self._segments[segment_id]
+        except KeyError:
+            raise UnknownSegmentError(segment_id) from None
+
+    def has_segment(self, segment_id: int) -> bool:
+        return segment_id in self._segments
+
+    def junction_ids(self) -> Tuple[int, ...]:
+        """All junction ids in ascending order."""
+        return tuple(sorted(self._junctions))
+
+    def segment_ids(self) -> Tuple[int, ...]:
+        """All segment ids in ascending order."""
+        return tuple(sorted(self._segments))
+
+    def segments_at_junction(self, junction_id: int) -> Tuple[int, ...]:
+        """Ids of segments incident to ``junction_id``, ascending."""
+        try:
+            return self._segments_at_junction[junction_id]
+        except KeyError:
+            raise UnknownJunctionError(junction_id) from None
+
+    def neighbors(self, segment_id: int) -> Tuple[int, ...]:
+        """Ids of segments sharing a junction with ``segment_id``, ascending.
+
+        This is the paper's "linked segments" relation driving both expansion
+        and reversal.
+        """
+        try:
+            return self._neighbors[segment_id]
+        except KeyError:
+            raise UnknownSegmentError(segment_id) from None
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def segment_endpoints(self, segment_id: int) -> Tuple[Point, Point]:
+        """The endpoint coordinates of a segment."""
+        segment = self.segment(segment_id)
+        return (
+            self.junction(segment.junction_a).location,
+            self.junction(segment.junction_b).location,
+        )
+
+    def segment_midpoint(self, segment_id: int) -> Point:
+        """Midpoint of the straight line between the segment's endpoints."""
+        a, b = self.segment_endpoints(segment_id)
+        return midpoint(a, b)
+
+    def segment_length(self, segment_id: int) -> float:
+        """Road length of a segment in metres."""
+        return self.segment(segment_id).length
+
+    def bounding_box(self, segment_ids: Optional[Iterable[int]] = None) -> BoundingBox:
+        """Tightest box around the given segments (whole network by default)."""
+        if segment_ids is None:
+            points = [j.location for j in self._junctions.values()]
+        else:
+            points = []
+            for segment_id in segment_ids:
+                points.extend(self.segment_endpoints(segment_id))
+        return BoundingBox.around(points)
+
+    def total_length(self, segment_ids: Iterable[int]) -> float:
+        """Sum of segment lengths in metres."""
+        return sum(self.segment_length(sid) for sid in segment_ids)
+
+    # ------------------------------------------------------------------
+    # region operations (the primitives ReverseCloak builds on)
+    # ------------------------------------------------------------------
+    def frontier(self, region: AbstractSet[int]) -> Tuple[int, ...]:
+        """The candidate frontier of ``region``: segments adjacent to the
+        region but not inside it, in ascending id order.
+
+        RGE calls this set ``CanA``. An empty region has an empty frontier.
+        """
+        candidates = set()
+        for segment_id in region:
+            for neighbor in self.neighbors(segment_id):
+                if neighbor not in region:
+                    candidates.add(neighbor)
+        return tuple(sorted(candidates))
+
+    def is_connected_region(self, region: AbstractSet[int]) -> bool:
+        """Whether ``region`` induces a connected segment-adjacency subgraph.
+
+        Empty regions count as connected; unknown segment ids raise.
+        """
+        if not region:
+            return True
+        for segment_id in region:
+            self.segment(segment_id)
+        start = next(iter(region))
+        seen = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for neighbor in self.neighbors(current):
+                if neighbor in region and neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return len(seen) == len(region)
+
+    def require_connected_region(self, region: AbstractSet[int]) -> None:
+        """Raise :class:`DisconnectedRegionError` unless ``region`` is connected."""
+        if not self.is_connected_region(region):
+            raise DisconnectedRegionError(
+                f"region of {len(region)} segments is not connected"
+            )
+
+    def articulation_free_removals(self, region: AbstractSet[int]) -> Tuple[int, ...]:
+        """Segments whose removal keeps ``region`` connected, ascending order.
+
+        Reversal only ever removes such segments — every intermediate region
+        of a forward expansion is connected, so the true last-added segment is
+        always in this set. Search-mode reversal uses it to enumerate
+        hypotheses.
+        """
+        removable = []
+        region_set = set(region)
+        for segment_id in sorted(region_set):
+            remaining = region_set - {segment_id}
+            if self.is_connected_region(remaining):
+                removable.append(segment_id)
+        return tuple(removable)
+
+    def connected_components(self) -> Tuple[FrozenSet[int], ...]:
+        """Connected components of the segment-adjacency graph, largest first."""
+        unseen = set(self._segments)
+        components: List[FrozenSet[int]] = []
+        while unseen:
+            start = min(unseen)
+            seen = {start}
+            stack = [start]
+            while stack:
+                current = stack.pop()
+                for neighbor in self.neighbors(current):
+                    if neighbor in unseen and neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            unseen -= seen
+            components.append(frozenset(seen))
+        components.sort(key=lambda c: (-len(c), min(c)))
+        return tuple(components)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoadNetwork(name={self._name!r}, junctions={self.junction_count}, "
+            f"segments={self.segment_count})"
+        )
+
+
+@dataclass
+class RoadNetworkBuilder:
+    """Incremental builder producing an immutable :class:`RoadNetwork`.
+
+    Example:
+        >>> builder = RoadNetworkBuilder(name="tiny")
+        >>> builder.add_junction(0, 0.0, 0.0)
+        0
+        >>> builder.add_junction(1, 100.0, 0.0)
+        1
+        >>> builder.add_segment(0, 0, 1)
+        0
+        >>> network = builder.build()
+        >>> network.segment_count
+        1
+    """
+
+    name: str = "road-network"
+    _junctions: Dict[int, Junction] = field(default_factory=dict)
+    _segments: Dict[int, Segment] = field(default_factory=dict)
+
+    def add_junction(self, junction_id: int, x: float, y: float) -> int:
+        """Register a junction; returns its id. Duplicate ids raise."""
+        if junction_id in self._junctions:
+            raise RoadNetworkError(f"duplicate junction id: {junction_id}")
+        self._junctions[junction_id] = Junction(junction_id, Point(x, y))
+        return junction_id
+
+    def add_segment(
+        self,
+        segment_id: int,
+        junction_a: int,
+        junction_b: int,
+        length: Optional[float] = None,
+    ) -> int:
+        """Register a segment; returns its id.
+
+        ``length`` defaults to the Euclidean distance between the endpoints.
+        Both junctions must already exist.
+        """
+        if segment_id in self._segments:
+            raise RoadNetworkError(f"duplicate segment id: {segment_id}")
+        for junction_id in (junction_a, junction_b):
+            if junction_id not in self._junctions:
+                raise UnknownJunctionError(junction_id)
+        if length is None:
+            length = self._junctions[junction_a].location.distance_to(
+                self._junctions[junction_b].location
+            )
+        low, high = min(junction_a, junction_b), max(junction_a, junction_b)
+        self._segments[segment_id] = Segment(segment_id, low, high, length)
+        return segment_id
+
+    def next_junction_id(self) -> int:
+        """The smallest unused junction id."""
+        return max(self._junctions, default=-1) + 1
+
+    def next_segment_id(self) -> int:
+        """The smallest unused segment id."""
+        return max(self._segments, default=-1) + 1
+
+    def build(self) -> RoadNetwork:
+        """Produce the immutable network (validates the whole graph)."""
+        return RoadNetwork(self._junctions, self._segments, name=self.name)

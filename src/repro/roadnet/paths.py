@@ -1,0 +1,131 @@
+"""Shortest-path routing over road networks.
+
+Two distance notions are needed by the reproduction:
+
+* **Junction-level shortest paths** (Dijkstra over segment lengths) drive the
+  mobility substrate: GTMobiSim routes every car along the shortest path to
+  its random destination (paper Section IV).
+* **Segment-hop distances** (BFS over the segment-adjacency graph) order
+  neighbour lists for RPLE pre-assignment (decision D4 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import RoadNetworkError
+from .graph import RoadNetwork
+
+__all__ = ["Route", "shortest_route", "shortest_junction_path", "segment_hop_distances"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """A shortest path between two junctions.
+
+    Attributes:
+        junctions: Junction ids visited, source first.
+        segments: Segment ids traversed, in travel order (one fewer than
+            ``junctions``).
+        length: Total road length in metres.
+    """
+
+    junctions: Tuple[int, ...]
+    segments: Tuple[int, ...]
+    length: float
+
+    @property
+    def hops(self) -> int:
+        return len(self.segments)
+
+
+def _dijkstra(
+    network: RoadNetwork, source: int, target: Optional[int] = None
+) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
+    """Dijkstra from ``source``; optionally stops early at ``target``.
+
+    Returns ``(distances, parents)`` where ``parents[j] = (prev_junction,
+    via_segment)``.
+    """
+    network.junction(source)
+    distances: Dict[int, float] = {source: 0.0}
+    parents: Dict[int, Tuple[int, int]] = {}
+    visited = set()
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        dist, junction_id = heapq.heappop(heap)
+        if junction_id in visited:
+            continue
+        visited.add(junction_id)
+        if junction_id == target:
+            break
+        for segment_id in network.segments_at_junction(junction_id):
+            segment = network.segment(segment_id)
+            neighbor = segment.other_end(junction_id)
+            candidate = dist + segment.length
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                parents[neighbor] = (junction_id, segment_id)
+                heapq.heappush(heap, (candidate, neighbor))
+    return distances, parents
+
+
+def shortest_junction_path(network: RoadNetwork, source: int, target: int) -> Route:
+    """The shortest route between two junctions.
+
+    Raises :class:`RoadNetworkError` when no path exists (different connected
+    components).
+    """
+    network.junction(target)
+    if source == target:
+        return Route((source,), (), 0.0)
+    distances, parents = _dijkstra(network, source, target)
+    if target not in distances:
+        raise RoadNetworkError(f"no path from junction {source} to {target}")
+    junctions: List[int] = [target]
+    segments: List[int] = []
+    current = target
+    while current != source:
+        previous, via = parents[current]
+        junctions.append(previous)
+        segments.append(via)
+        current = previous
+    junctions.reverse()
+    segments.reverse()
+    return Route(tuple(junctions), tuple(segments), distances[target])
+
+
+def shortest_route(network: RoadNetwork, source: int, target: int) -> Route:
+    """Alias of :func:`shortest_junction_path` (public API name)."""
+    return shortest_junction_path(network, source, target)
+
+
+def segment_hop_distances(
+    network: RoadNetwork, origin_segment: int, max_hops: Optional[int] = None
+) -> Dict[int, int]:
+    """Hop distances from ``origin_segment`` in the segment-adjacency graph.
+
+    The origin itself maps to 0, its linked segments to 1, and so on. When
+    ``max_hops`` is given, segments farther away are omitted.
+
+    RPLE pre-assignment uses these distances to order each segment's
+    neighbouring list "by proximity" (Algorithm 1, line 5).
+    """
+    network.segment(origin_segment)
+    distances = {origin_segment: 0}
+    frontier: Sequence[int] = (origin_segment,)
+    hops = 0
+    while frontier:
+        if max_hops is not None and hops >= max_hops:
+            break
+        hops += 1
+        next_frontier: List[int] = []
+        for segment_id in frontier:
+            for neighbor in network.neighbors(segment_id):
+                if neighbor not in distances:
+                    distances[neighbor] = hops
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return distances

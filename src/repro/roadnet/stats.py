@@ -1,0 +1,89 @@
+"""Descriptive statistics for road networks.
+
+Used by tests to check that synthetic generators land in the same regime as
+the paper's USGS Atlanta map, and by the experiment harness to annotate
+result tables with the workload's map characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import Dict
+
+from .graph import RoadNetwork
+
+__all__ = ["NetworkStats", "network_stats", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Summary statistics of a road network.
+
+    Attributes:
+        name: Network name.
+        junctions: Junction count.
+        segments: Segment count.
+        segments_per_junction: Edge/vertex ratio (USGS Atlanta: ~1.32).
+        mean_degree: Mean junction degree.
+        mean_segment_length: Mean segment length in metres.
+        median_segment_length: Median segment length in metres.
+        components: Number of connected components (1 for usable maps).
+        mean_linked_segments: Mean size of a segment's "linked" set — the
+            branching factor seen by ReverseCloak expansion.
+    """
+
+    name: str
+    junctions: int
+    segments: int
+    segments_per_junction: float
+    mean_degree: float
+    mean_segment_length: float
+    median_segment_length: float
+    components: int
+    mean_linked_segments: float
+
+    def describe(self) -> str:
+        """A one-paragraph human-readable summary."""
+        return (
+            f"{self.name}: {self.junctions} junctions, {self.segments} segments "
+            f"({self.segments_per_junction:.2f} per junction), mean degree "
+            f"{self.mean_degree:.2f}, mean segment {self.mean_segment_length:.0f} m "
+            f"(median {self.median_segment_length:.0f} m), "
+            f"{self.components} component(s), mean linked set "
+            f"{self.mean_linked_segments:.2f}"
+        )
+
+
+def degree_histogram(network: RoadNetwork) -> Dict[int, int]:
+    """Junction-degree histogram ``{degree: count}``."""
+    histogram: Dict[int, int] = {}
+    for junction_id in network.junction_ids():
+        degree = len(network.segments_at_junction(junction_id))
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def network_stats(network: RoadNetwork) -> NetworkStats:
+    """Compute :class:`NetworkStats` for ``network``."""
+    segment_ids = network.segment_ids()
+    lengths = [network.segment_length(sid) for sid in segment_ids]
+    degrees = [
+        len(network.segments_at_junction(jid)) for jid in network.junction_ids()
+    ]
+    linked = [len(network.neighbors(sid)) for sid in segment_ids]
+    return NetworkStats(
+        name=network.name,
+        junctions=network.junction_count,
+        segments=network.segment_count,
+        segments_per_junction=(
+            network.segment_count / network.junction_count
+            if network.junction_count
+            else 0.0
+        ),
+        mean_degree=mean(degrees) if degrees else 0.0,
+        mean_segment_length=mean(lengths) if lengths else 0.0,
+        median_segment_length=median(lengths) if lengths else 0.0,
+        components=len(network.connected_components()),
+        mean_linked_segments=mean(linked) if linked else 0.0,
+    )

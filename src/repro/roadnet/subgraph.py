@@ -1,0 +1,72 @@
+"""Sub-network extraction (clipping).
+
+Cloaking regions occupy a tiny neighbourhood of a city-scale map; analyses
+and visualisations often want just that neighbourhood. :func:`clip_network`
+cuts a road network to a bounding box while *preserving ids*, so segment
+sets (regions, envelopes' id lists) remain valid against the clipped map —
+the toolkit uses this for zoomed-in renderings of a cloak.
+
+Note: a clipped map is a *different* network (different digest); envelopes
+must always be reversed against the full map they were produced on.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Optional
+
+from ..errors import RoadNetworkError
+from .geometry import BoundingBox
+from .graph import RoadNetwork, RoadNetworkBuilder
+
+__all__ = ["clip_network", "neighborhood_of"]
+
+
+def clip_network(
+    network: RoadNetwork, box: BoundingBox, name: Optional[str] = None
+) -> RoadNetwork:
+    """The sub-network of segments with at least one endpoint inside ``box``.
+
+    Junction and segment ids are preserved. Raises when nothing intersects
+    the box.
+    """
+    builder = RoadNetworkBuilder(name=name or f"{network.name}-clip")
+    kept_junctions = set()
+    kept_segments = []
+    for segment_id in network.segment_ids():
+        a, b = network.segment_endpoints(segment_id)
+        if box.contains(a) or box.contains(b):
+            segment = network.segment(segment_id)
+            kept_segments.append(segment)
+            kept_junctions.update(segment.endpoints())
+    if not kept_segments:
+        raise RoadNetworkError("nothing to clip: box misses the network")
+    for junction_id in sorted(kept_junctions):
+        location = network.junction(junction_id).location
+        builder.add_junction(junction_id, location.x, location.y)
+    for segment in kept_segments:
+        builder.add_segment(
+            segment.segment_id,
+            segment.junction_a,
+            segment.junction_b,
+            segment.length,
+        )
+    return builder.build()
+
+
+def neighborhood_of(
+    network: RoadNetwork,
+    region: AbstractSet[int],
+    margin: float = 200.0,
+    name: Optional[str] = None,
+) -> RoadNetwork:
+    """The sub-network around ``region``, grown by ``margin`` metres.
+
+    Convenience for zoomed cloak renderings:
+    ``SvgMapRenderer(neighborhood_of(map, envelope.region))``.
+    """
+    if not region:
+        raise RoadNetworkError("cannot take the neighbourhood of an empty region")
+    if margin < 0:
+        raise RoadNetworkError(f"margin must be >= 0, got {margin}")
+    box = network.bounding_box(region).expanded(margin)
+    return clip_network(network, box, name=name or f"{network.name}-zoom")

@@ -1,0 +1,8 @@
+"""The demonstration toolkit: headless Anonymizer / De-anonymizer apps and
+map renderers (the paper's Section IV, without a display)."""
+
+from .ascii_map import render_ascii_map
+from .maps import resolve_map
+from .svg import LEVEL_PALETTE, SvgMapRenderer
+
+__all__ = ["SvgMapRenderer", "LEVEL_PALETTE", "render_ascii_map", "resolve_map"]

@@ -1,0 +1,61 @@
+"""Terminal rendering of cloaking regions (a no-display fallback of Fig. 4).
+
+Rasterises the map onto a character grid: plain roads as ``.``, cloaking
+levels as digits (``0`` marks the user's segment, ``1``–``9`` the levels),
+keeping the *finest* level visible wherever levels overlap. Useful in CI
+logs and the CLI apps' ``--ascii`` mode.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Iterable, List, Mapping, Optional
+
+from ..roadnet.geometry import Point, point_along
+from ..roadnet.graph import RoadNetwork
+
+__all__ = ["render_ascii_map"]
+
+
+def render_ascii_map(
+    network: RoadNetwork,
+    regions_by_level: Optional[Mapping[int, Iterable[int]]] = None,
+    width: int = 72,
+    height: int = 28,
+) -> str:
+    """An ASCII raster of the map with level overlays.
+
+    Args:
+        network: The map.
+        regions_by_level: ``{level: segment ids}``; lower levels win cells.
+        width: Character columns.
+        height: Character rows.
+    """
+    if width < 8 or height < 4:
+        raise ValueError(f"raster too small: {width}x{height}")
+    bounds = network.bounding_box()
+    map_width = max(bounds.width, 1e-9)
+    map_height = max(bounds.height, 1e-9)
+    grid: List[List[str]] = [[" "] * width for __ in range(height)]
+
+    def plot(point: Point, glyph: str, priority: bool = False) -> None:
+        col = int((point.x - bounds.min_x) / map_width * (width - 1))
+        row = int((point.y - bounds.min_y) / map_height * (height - 1))
+        row = height - 1 - row  # north up
+        current = grid[row][col]
+        if priority or current in (" ", "."):
+            grid[row][col] = glyph
+
+    def draw_segment(segment_id: int, glyph: str, priority: bool) -> None:
+        a, b = network.segment_endpoints(segment_id)
+        samples = max(2, int(a.distance_to(b) / map_width * width) + 1)
+        for index in range(samples + 1):
+            plot(point_along(a, b, index / samples), glyph, priority)
+
+    for segment_id in network.segment_ids():
+        draw_segment(segment_id, ".", priority=False)
+    if regions_by_level:
+        for level in sorted(regions_by_level, reverse=True):
+            glyph = str(min(level, 9))
+            for segment_id in sorted(set(regions_by_level[level])):
+                draw_segment(segment_id, glyph, priority=True)
+    return "\n".join("".join(row).rstrip() for row in grid)

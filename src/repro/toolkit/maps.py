@@ -1,0 +1,72 @@
+"""Map specification strings shared by the toolkit CLI apps.
+
+Both the Anonymizer and the De-anonymizer must operate on the *identical*
+road network (the reversal protocol depends on it), so the apps accept a
+compact map spec that deterministically reconstructs the same graph:
+
+* ``grid:ROWSxCOLS[:SPACING]`` — e.g. ``grid:12x12`` or ``grid:8x10:150``
+* ``radial:RINGSxSPOKES`` — e.g. ``radial:6x10``
+* ``atlanta[:SCALE[:SEED]]`` — the paper-scale synthetic map, e.g.
+  ``atlanta:0.25``
+* ``fig1`` / ``fig2`` / ``fig3`` — the figure fixtures
+* any other value — a path to a JSON map file written by
+  :func:`repro.roadnet.save_network_json`
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..errors import RoadNetworkError
+from ..roadnet.generators import (
+    atlanta_like,
+    fig1_network,
+    fig2_network,
+    fig3_network,
+    grid_network,
+    radial_network,
+)
+from ..roadnet.graph import RoadNetwork
+from ..roadnet.io import load_network_json
+
+__all__ = ["resolve_map"]
+
+
+def resolve_map(spec: str) -> RoadNetwork:
+    """Build or load the road network described by ``spec``."""
+    if not spec:
+        raise RoadNetworkError("empty map spec")
+    head, __, rest = spec.partition(":")
+    if head == "grid":
+        dims, __, spacing = rest.partition(":")
+        rows, __, cols = dims.partition("x")
+        try:
+            return grid_network(
+                int(rows), int(cols), float(spacing) if spacing else 100.0
+            )
+        except ValueError as exc:
+            raise RoadNetworkError(f"bad grid spec {spec!r}: {exc}") from exc
+    if head == "radial":
+        rings, __, spokes = rest.partition("x")
+        try:
+            return radial_network(int(rings), int(spokes))
+        except ValueError as exc:
+            raise RoadNetworkError(f"bad radial spec {spec!r}: {exc}") from exc
+    if head == "atlanta":
+        scale_text, __, seed_text = rest.partition(":")
+        try:
+            scale = float(scale_text) if scale_text else 1.0
+            seed = int(seed_text) if seed_text else 2017
+        except ValueError as exc:
+            raise RoadNetworkError(f"bad atlanta spec {spec!r}: {exc}") from exc
+        return atlanta_like(seed=seed, scale=scale)
+    if head == "fig1" and not rest:
+        return fig1_network()
+    if head == "fig2" and not rest:
+        return fig2_network()
+    if head == "fig3" and not rest:
+        return fig3_network()
+    path = Path(spec)
+    if path.exists():
+        return load_network_json(path)
+    raise RoadNetworkError(f"unrecognised map spec and no such file: {spec!r}")

@@ -1,0 +1,162 @@
+"""Headless SVG rendering of maps, fleets and multi-level cloaking regions.
+
+The demo paper's Figure 4 shows the Anonymizer GUI visualising "the results
+as several colored regions on the map". This module reproduces that output
+as standalone SVG files (decision D10: the toolkit is headless) — the
+outermost level is drawn first in the palest colour, each finer level
+over-painted in a stronger one, and the L0 segment in the accent colour.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import AbstractSet, Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from ..roadnet.geometry import Point
+from ..roadnet.graph import RoadNetwork
+
+__all__ = ["SvgMapRenderer", "LEVEL_PALETTE"]
+
+#: Colour per privacy level: index 0 is L0 (the user), rising indices are
+#: coarser levels. Palettes longer than the level count simply truncate.
+LEVEL_PALETTE = (
+    "#d62728",  # L0 - red (the actual user's segment)
+    "#ff7f0e",  # L1 - orange
+    "#2ca02c",  # L2 - green
+    "#1f77b4",  # L3 - blue
+    "#9467bd",  # L4 - purple
+    "#8c564b",  # L5 - brown
+    "#e377c2",  # L6 - pink
+    "#17becf",  # L7 - cyan
+)
+_BACKGROUND = "#ffffff"
+_ROAD_COLOR = "#c8c8c8"
+_CAR_COLOR = "#555555"
+
+
+class SvgMapRenderer:
+    """Renders a road network and overlays into an SVG document.
+
+    Args:
+        network: The map to render.
+        width: Output width in pixels; height follows the map aspect ratio.
+        margin: Blank border in pixels.
+    """
+
+    def __init__(
+        self, network: RoadNetwork, width: int = 900, margin: int = 20
+    ) -> None:
+        if width < 100:
+            raise ValueError(f"width must be >= 100 px, got {width}")
+        self._network = network
+        self._bounds = network.bounding_box()
+        self._margin = margin
+        self._width = width
+        usable = width - 2 * margin
+        map_width = max(self._bounds.width, 1e-9)
+        map_height = max(self._bounds.height, 1e-9)
+        self._scale = usable / map_width
+        self._height = int(map_height * self._scale) + 2 * margin
+
+    # ------------------------------------------------------------------
+    # coordinate mapping
+    # ------------------------------------------------------------------
+    def _px(self, point: Point) -> str:
+        x = self._margin + (point.x - self._bounds.min_x) * self._scale
+        # SVG y grows downward; flip so north stays up.
+        y = (
+            self._height
+            - self._margin
+            - (point.y - self._bounds.min_y) * self._scale
+        )
+        return f"{x:.1f},{y:.1f}"
+
+    def _segment_line(
+        self, segment_id: int, color: str, stroke_width: float, opacity: float = 1.0
+    ) -> str:
+        a, b = self._network.segment_endpoints(segment_id)
+        ax, ay = self._px(a).split(",")
+        bx, by = self._px(b).split(",")
+        return (
+            f'<line x1="{ax}" y1="{ay}" x2="{bx}" y2="{by}" '
+            f'stroke="{color}" stroke-width="{stroke_width:.1f}" '
+            f'stroke-opacity="{opacity:.2f}" stroke-linecap="round"/>'
+        )
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(
+        self,
+        regions_by_level: Optional[Mapping[int, Iterable[int]]] = None,
+        car_positions: Optional[Iterable[Point]] = None,
+        title: str = "",
+    ) -> str:
+        """The SVG document as a string.
+
+        Args:
+            regions_by_level: ``{level: segment ids}``; levels are painted
+                coarsest-first so finer levels stay visible on top.
+            car_positions: Optional fleet positions rendered as dots.
+            title: Caption placed at the top-left corner.
+        """
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self._width}" '
+            f'height="{self._height}" viewBox="0 0 {self._width} '
+            f'{self._height}">',
+            f'<rect width="100%" height="100%" fill="{_BACKGROUND}"/>',
+        ]
+        for segment_id in self._network.segment_ids():
+            parts.append(self._segment_line(segment_id, _ROAD_COLOR, 1.2))
+        if car_positions is not None:
+            for position in car_positions:
+                xy = self._px(position).split(",")
+                parts.append(
+                    f'<circle cx="{xy[0]}" cy="{xy[1]}" r="1.6" '
+                    f'fill="{_CAR_COLOR}" fill-opacity="0.5"/>'
+                )
+        if regions_by_level:
+            for level in sorted(regions_by_level, reverse=True):
+                color = LEVEL_PALETTE[min(level, len(LEVEL_PALETTE) - 1)]
+                width = 3.0 + 1.4 * (len(LEVEL_PALETTE) - min(level, 7))
+                for segment_id in sorted(set(regions_by_level[level])):
+                    parts.append(
+                        self._segment_line(segment_id, color, width, opacity=0.9)
+                    )
+        if title:
+            parts.append(
+                f'<text x="{self._margin}" y="{self._margin - 4}" '
+                f'font-family="sans-serif" font-size="13" fill="#333">'
+                f"{title}</text>"
+            )
+        if regions_by_level:
+            parts.append(self._legend(sorted(regions_by_level)))
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def _legend(self, levels: Sequence[int]) -> str:
+        """A small colour legend in the top-right corner."""
+        entries = []
+        x = self._width - 110
+        for index, level in enumerate(levels):
+            y = self._margin + 14 * index
+            color = LEVEL_PALETTE[min(level, len(LEVEL_PALETTE) - 1)]
+            label = "actual user" if level == 0 else f"level L{level}"
+            entries.append(
+                f'<rect x="{x}" y="{y}" width="10" height="10" fill="{color}"/>'
+                f'<text x="{x + 14}" y="{y + 9}" font-family="sans-serif" '
+                f'font-size="10" fill="#333">{label}</text>'
+            )
+        return "".join(entries)
+
+    def render_to_file(
+        self,
+        path: Union[str, Path],
+        regions_by_level: Optional[Mapping[int, Iterable[int]]] = None,
+        car_positions: Optional[Iterable[Point]] = None,
+        title: str = "",
+    ) -> Path:
+        """Render and write the SVG; returns the written path."""
+        output = Path(path)
+        output.write_text(self.render(regions_by_level, car_positions, title))
+        return output

@@ -1,0 +1,71 @@
+"""Tests for the adversary models (paper security claims, experiment E10)."""
+
+import pytest
+
+from repro import KeyChain, PrivacyProfile, ReverseCloakEngine
+from repro.attacks import KeyProbeAdversary, StructuralAdversary
+
+
+@pytest.fixture(scope="module")
+def envelope_and_truth(grid10, dense_snapshot):
+    profile = PrivacyProfile.uniform(
+        levels=2, base_k=3, k_step=3, base_l=2, l_step=1, max_segments=60
+    )
+    chain = KeyChain.from_passphrases(["atk1", "atk2"])
+    engine = ReverseCloakEngine(grid10)
+    envelope = engine.anonymize(90, dense_snapshot, profile, chain)
+    return envelope, 90, chain, engine
+
+
+class TestStructuralAdversary:
+    def test_true_inner_region_among_candidates(
+        self, grid10, envelope_and_truth
+    ):
+        envelope, user_segment, chain, engine = envelope_and_truth
+        adversary = StructuralAdversary(grid10)
+        posterior = adversary.attack_envelope(envelope, target_level=0)
+        assert frozenset({user_segment}) in set(posterior.candidate_regions)
+
+    def test_posterior_is_spread_not_pinpointed(self, grid10, envelope_and_truth):
+        """The paper's claim: without the key the adversary cannot single
+        out the user — many candidates remain plausible."""
+        envelope, user_segment, __, __ = envelope_and_truth
+        adversary = StructuralAdversary(grid10)
+        posterior = adversary.attack_envelope(envelope, target_level=0)
+        assert posterior.candidate_count >= 3
+        assert posterior.probability_of({user_segment}) < 0.6
+        assert posterior.entropy() > 1.0
+
+    def test_user_segment_posterior_sums_to_one(self, grid10, envelope_and_truth):
+        envelope, user_segment, __, __ = envelope_and_truth
+        adversary = StructuralAdversary(grid10)
+        weights = adversary.user_segment_posterior(envelope)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert user_segment in weights
+
+    def test_partial_peel_enumeration(self, grid10, envelope_and_truth):
+        envelope, __, chain, engine = envelope_and_truth
+        truth = engine.deanonymize(envelope, chain, target_level=1)
+        adversary = StructuralAdversary(grid10)
+        posterior = adversary.attack_envelope(envelope, target_level=1)
+        assert frozenset(truth.regions[1]) in set(posterior.candidate_regions)
+
+    def test_zero_steps_unique_candidate(self, grid10):
+        adversary = StructuralAdversary(grid10)
+        posterior = adversary.enumerate_level({0, 1, 2}, steps=0)
+        assert posterior.candidate_regions == (frozenset({0, 1, 2}),)
+        assert posterior.entropy() == 0.0
+
+    def test_sequence_cap_respected(self, grid10, envelope_and_truth):
+        envelope, __, __, __ = envelope_and_truth
+        tiny = StructuralAdversary(grid10, max_sequences=10)
+        posterior = tiny.attack_envelope(envelope, target_level=0)
+        assert sum(posterior.sequence_counts.values()) <= 10
+
+
+class TestKeyProbeAdversary:
+    def test_random_keys_always_rejected(self, grid10, envelope_and_truth):
+        envelope, __, __, __ = envelope_and_truth
+        adversary = KeyProbeAdversary(grid10, seed=1)
+        outcome = adversary.probe(envelope, trials=8)
+        assert outcome == {"rejected": 8, "accepted": 0}

@@ -1,0 +1,90 @@
+"""Tests for the entropy metrics."""
+
+import math
+
+import pytest
+
+from repro.attacks import (
+    level_entropy_profile,
+    segment_entropy,
+    shannon_entropy,
+    uniform_entropy,
+    user_entropy,
+    weighted_segment_entropy,
+)
+from repro.mobility import PopulationSnapshot
+
+
+class TestShannonEntropy:
+    def test_uniform_two(self):
+        assert shannon_entropy([0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_deterministic_zero(self):
+        assert shannon_entropy([1.0]) == pytest.approx(0.0)
+
+    def test_skips_zero_probabilities(self):
+        assert shannon_entropy([0.5, 0.5, 0.0]) == pytest.approx(1.0)
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ValueError):
+            shannon_entropy([0.5, 0.2])
+
+    def test_skewed_less_than_uniform(self):
+        assert shannon_entropy([0.9, 0.1]) < 1.0
+
+
+class TestUniformEntropy:
+    def test_log2(self):
+        assert uniform_entropy(8) == pytest.approx(3.0)
+
+    def test_single_outcome(self):
+        assert uniform_entropy(1) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_entropy(0)
+
+
+class TestRegionEntropies:
+    def test_segment_entropy(self):
+        assert segment_entropy({1, 2, 3, 4}) == pytest.approx(2.0)
+
+    def test_segment_entropy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            segment_entropy(set())
+
+    def test_user_entropy(self):
+        snapshot = PopulationSnapshot.from_counts({1: 2, 2: 2})
+        assert user_entropy({1, 2}, snapshot) == pytest.approx(2.0)
+
+    def test_user_entropy_no_users_rejected(self):
+        snapshot = PopulationSnapshot.from_counts({9: 1})
+        with pytest.raises(ValueError):
+            user_entropy({1, 2}, snapshot)
+
+    def test_weighted_entropy_below_uniform_when_skewed(self):
+        snapshot = PopulationSnapshot.from_counts({1: 20, 2: 0, 3: 0, 4: 0})
+        weighted = weighted_segment_entropy({1, 2, 3, 4}, snapshot)
+        assert weighted < segment_entropy({1, 2, 3, 4})
+
+    def test_weighted_entropy_equals_uniform_when_even(self):
+        snapshot = PopulationSnapshot.from_counts({1: 3, 2: 3, 3: 3, 4: 3})
+        assert weighted_segment_entropy({1, 2, 3, 4}, snapshot) == pytest.approx(
+            2.0
+        )
+
+
+class TestLevelProfile:
+    def test_entropy_decreases_with_level(self):
+        snapshot = PopulationSnapshot.from_counts(
+            {segment_id: 2 for segment_id in range(16)}
+        )
+        regions = {0: [5], 1: [4, 5, 6], 2: list(range(10))}
+        profile = level_entropy_profile(regions, snapshot)
+        assert profile[0]["segments"] == 0.0
+        assert (
+            profile[0]["segments"]
+            < profile[1]["segments"]
+            < profile[2]["segments"]
+        )
+        assert profile[1]["users"] == pytest.approx(math.log2(6))

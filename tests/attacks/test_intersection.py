@@ -1,0 +1,74 @@
+"""Tests for the intersection attack on continuous cloaking."""
+
+import pytest
+
+from repro import (
+    PrivacyProfile,
+    ReverseCloakEngine,
+    TrafficSimulator,
+    grid_network,
+)
+from repro.attacks import IntersectionAttack
+from repro.lbs import ContinuousCloaker
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    network = grid_network(10, 10)
+    simulator = TrafficSimulator(network, n_cars=400, seed=55)
+    simulator.run(2)
+    engine = ReverseCloakEngine(network)
+    profile = PrivacyProfile.uniform(
+        levels=2, base_k=6, k_step=4, base_l=3, l_step=1, max_segments=50
+    )
+    cloaker = ContinuousCloaker(engine, simulator, profile)
+    return cloaker.run(user_id=11, ticks=8, interval_seconds=6.0)
+
+
+class TestUserIntersection:
+    def test_true_user_always_survives(self, timeline):
+        trace = IntersectionAttack().user_candidates(timeline)
+        assert 11 in trace.final_candidates
+
+    def test_candidates_monotonically_shrink(self, timeline):
+        trace = IntersectionAttack().user_candidates(timeline)
+        counts = trace.candidate_counts
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+    def test_first_tick_meets_k(self, timeline):
+        trace = IntersectionAttack().user_candidates(timeline)
+        # the first cloak alone hides >= k users (k of the top level = 10)
+        assert trace.candidate_counts[0] >= 10
+
+    def test_linking_erodes_anonymity(self, timeline):
+        """The attack's point: the intersection is strictly smaller than any
+        single cloak's candidate set after several observations."""
+        trace = IntersectionAttack().user_candidates(timeline)
+        assert trace.candidate_counts[-1] < trace.candidate_counts[0]
+
+    def test_entropy_series_tracks_counts(self, timeline):
+        trace = IntersectionAttack().user_candidates(timeline)
+        entropies = trace.entropy_series()
+        assert len(entropies) == len(trace.candidate_counts)
+        assert all(b <= a + 1e-9 for a, b in zip(entropies, entropies[1:]))
+
+    def test_identification_flags_consistent(self, timeline):
+        trace = IntersectionAttack().user_candidates(timeline)
+        if trace.identified:
+            assert trace.final_candidates == frozenset({11})
+            assert trace.ticks_to_identify is not None
+            assert (
+                trace.candidate_counts[trace.ticks_to_identify] == 1
+            )
+        else:
+            assert len(trace.final_candidates) > 1
+            assert trace.ticks_to_identify is None
+
+
+class TestSegmentIntersection:
+    def test_moving_user_often_empties_segments(self, timeline):
+        """Region-only linking against a moving user collapses toward the
+        (possibly empty) set of segments the user kept revisiting."""
+        common = IntersectionAttack().segment_candidates(timeline)
+        first = set(timeline.entry(0).envelope.region)
+        assert set(common) <= first

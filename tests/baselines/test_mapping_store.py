@@ -1,0 +1,87 @@
+"""Tests for the mapping-store reversible baseline."""
+
+import pytest
+
+from repro.baselines import MappingStoreCloaking
+from repro.core import PrivacyProfile
+from repro.errors import DeanonymizationError
+from repro.mobility import PopulationSnapshot
+from repro.roadnet import grid_network
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(8, 8)
+
+
+@pytest.fixture(scope="module")
+def snapshot(grid):
+    return PopulationSnapshot.from_counts(
+        {segment_id: 2 for segment_id in grid.segment_ids()}
+    )
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return PrivacyProfile.uniform(
+        levels=3, base_k=4, k_step=4, base_l=3, l_step=2, max_segments=60
+    )
+
+
+class TestStore:
+    def test_round_trip_via_receipt(self, grid, snapshot, profile):
+        store = MappingStoreCloaking(grid, seed=1)
+        cloak = store.anonymize(30, snapshot, profile)
+        assert store.deanonymize(cloak.receipt, 0) == (30,)
+        assert set(store.deanonymize(cloak.receipt, 1)) <= set(
+            store.deanonymize(cloak.receipt, 2)
+        )
+
+    def test_public_view_is_outer_region(self, grid, snapshot, profile):
+        store = MappingStoreCloaking(grid, seed=2)
+        cloak = store.anonymize(30, snapshot, profile)
+        assert cloak.region == store.deanonymize(cloak.receipt, cloak.top_level)
+
+    def test_unknown_receipt(self, grid, snapshot, profile):
+        store = MappingStoreCloaking(grid, seed=3)
+        store.anonymize(30, snapshot, profile)
+        with pytest.raises(DeanonymizationError):
+            store.deanonymize("bogus", 0)
+
+    def test_receipts_unique(self, grid, snapshot, profile):
+        store = MappingStoreCloaking(grid, seed=4)
+        receipts = {
+            store.anonymize(30, snapshot, profile).receipt for __ in range(5)
+        }
+        assert len(receipts) == 5
+
+
+class TestStorageCosts:
+    """The baseline's defining weakness: per-request server-side state."""
+
+    def test_storage_grows_linearly_with_requests(self, grid, snapshot, profile):
+        store = MappingStoreCloaking(grid, seed=5)
+        sizes = []
+        for count in range(1, 6):
+            store.anonymize(30, snapshot, profile)
+            sizes.append(store.storage_entries())
+        assert store.stored_requests == 5
+        deltas = [b - a for a, b in zip(sizes, sizes[1:])]
+        assert all(delta > 0 for delta in deltas)
+
+    def test_storage_bytes_positive(self, grid, snapshot, profile):
+        store = MappingStoreCloaking(grid, seed=6)
+        store.anonymize(30, snapshot, profile)
+        assert store.storage_bytes() == 8 * store.storage_entries()
+
+    def test_forget_releases_state(self, grid, snapshot, profile):
+        store = MappingStoreCloaking(grid, seed=7)
+        cloak = store.anonymize(30, snapshot, profile)
+        store.forget(cloak.receipt)
+        assert store.stored_requests == 0
+        with pytest.raises(DeanonymizationError):
+            store.deanonymize(cloak.receipt, 0)
+
+    def test_forget_unknown_is_noop(self, grid, snapshot, profile):
+        store = MappingStoreCloaking(grid, seed=8)
+        store.forget("missing")  # must not raise

@@ -1,0 +1,101 @@
+"""Tests for the non-reversible random-expansion baseline."""
+
+import pytest
+
+from repro.baselines import RandomExpansionCloaking
+from repro.core import LevelRequirement, PrivacyProfile, ToleranceSpec
+from repro.errors import (
+    CloakingError,
+    FrontierExhaustedError,
+    ToleranceExceededError,
+)
+from repro.mobility import PopulationSnapshot
+from repro.roadnet import grid_network, path_network
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(8, 8)
+
+
+@pytest.fixture(scope="module")
+def snapshot(grid):
+    return PopulationSnapshot.from_counts(
+        {segment_id: 2 for segment_id in grid.segment_ids()}
+    )
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return PrivacyProfile.uniform(
+        levels=3, base_k=4, k_step=4, base_l=3, l_step=2, max_segments=60
+    )
+
+
+class TestAnonymize:
+    def test_requirements_met_per_level(self, grid, snapshot, profile):
+        result = RandomExpansionCloaking(grid, seed=1).anonymize(30, snapshot, profile)
+        for level in range(1, 4):
+            requirement = profile.requirement(level)
+            region = set(result.region_at(level))
+            assert len(region) >= requirement.l
+            assert snapshot.count_in_region(region) >= requirement.k
+
+    def test_regions_nest_and_stay_connected(self, grid, snapshot, profile):
+        result = RandomExpansionCloaking(grid, seed=2).anonymize(30, snapshot, profile)
+        for level in range(0, 3):
+            inner = set(result.region_at(level))
+            outer = set(result.region_at(level + 1))
+            assert inner <= outer
+            assert grid.is_connected_region(outer)
+
+    def test_level_zero_is_user(self, grid, snapshot, profile):
+        result = RandomExpansionCloaking(grid, seed=3).anonymize(30, snapshot, profile)
+        assert result.region_at(0) == (30,)
+
+    def test_added_matches_regions(self, grid, snapshot, profile):
+        result = RandomExpansionCloaking(grid, seed=4).anonymize(30, snapshot, profile)
+        rebuilt = {30}
+        for level in range(1, 4):
+            rebuilt |= set(result.added[level])
+            assert rebuilt == set(result.region_at(level))
+
+    def test_seed_determinism(self, grid, snapshot, profile):
+        a = RandomExpansionCloaking(grid, seed=7).anonymize(30, snapshot, profile)
+        b = RandomExpansionCloaking(grid, seed=7).anonymize(30, snapshot, profile)
+        assert a.regions == b.regions
+
+    def test_seeds_differ(self, grid, snapshot, profile):
+        a = RandomExpansionCloaking(grid, seed=1).anonymize(30, snapshot, profile)
+        b = RandomExpansionCloaking(grid, seed=2).anonymize(30, snapshot, profile)
+        assert a.regions != b.regions
+
+    def test_unknown_level(self, grid, snapshot, profile):
+        result = RandomExpansionCloaking(grid, seed=1).anonymize(30, snapshot, profile)
+        with pytest.raises(CloakingError):
+            result.region_at(9)
+
+    def test_top_level_property(self, grid, snapshot, profile):
+        result = RandomExpansionCloaking(grid, seed=1).anonymize(30, snapshot, profile)
+        assert result.top_level == 3
+
+
+class TestFailures:
+    def test_tolerance_exceeded(self, grid):
+        snapshot = PopulationSnapshot.from_counts(
+            {segment_id: 1 for segment_id in grid.segment_ids()}
+        )
+        profile = PrivacyProfile(
+            [LevelRequirement(k=50, l=2, tolerance=ToleranceSpec(max_segments=5))]
+        )
+        with pytest.raises(ToleranceExceededError):
+            RandomExpansionCloaking(grid, seed=1).anonymize(30, snapshot, profile)
+
+    def test_frontier_exhausted(self):
+        network = path_network(3)
+        snapshot = PopulationSnapshot.from_counts({0: 1, 1: 1, 2: 1})
+        profile = PrivacyProfile(
+            [LevelRequirement(k=10, l=2, tolerance=ToleranceSpec(max_segments=50))]
+        )
+        with pytest.raises(FrontierExhaustedError):
+            RandomExpansionCloaking(network, seed=1).anonymize(0, snapshot, profile)

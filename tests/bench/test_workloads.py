@@ -1,0 +1,81 @@
+"""Tests for the shared experiment workloads."""
+
+import pytest
+
+from repro.bench import (
+    pick_user_segments,
+    standard_network,
+    standard_snapshot,
+    standard_workload,
+    sweep_profile,
+)
+
+
+class TestStandardNetwork:
+    def test_grid(self):
+        network = standard_network("grid", 8)
+        assert network.junction_count == 64
+
+    def test_memoised(self):
+        assert standard_network("grid", 8) is standard_network("grid", 8)
+
+    def test_radial(self):
+        network = standard_network("radial", 4)
+        assert network.junction_count == 4 * 8 + 1
+
+    def test_atlanta_percent(self):
+        network = standard_network("atlanta", 5)
+        assert 300 < network.junction_count < 400
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            standard_network("mars", 5)
+
+
+class TestStandardSnapshot:
+    def test_population_size(self):
+        snapshot = standard_snapshot("grid", 8, n_cars=100)
+        assert snapshot.user_count == 100
+
+    def test_memoised(self):
+        assert standard_snapshot("grid", 8, 100) is standard_snapshot(
+            "grid", 8, 100
+        )
+
+
+class TestUserSampling:
+    def test_sample_size_and_occupancy(self):
+        snapshot = standard_snapshot("grid", 8, n_cars=100)
+        users = pick_user_segments(snapshot, 5)
+        assert len(users) == 5
+        assert all(snapshot.count_on(segment) > 0 for segment in users)
+
+    def test_deterministic(self):
+        snapshot = standard_snapshot("grid", 8, n_cars=100)
+        assert pick_user_segments(snapshot, 5) == pick_user_segments(snapshot, 5)
+
+    def test_capped_by_occupied(self):
+        snapshot = standard_snapshot("grid", 8, n_cars=3)
+        users = pick_user_segments(snapshot, 50)
+        assert len(users) <= 3
+
+
+class TestSweepProfile:
+    def test_level1_gets_requested_k(self):
+        profile = sweep_profile(levels=3, k=10, l=4)
+        assert profile.requirement(1).k == 10
+        assert profile.requirement(1).l == 4
+        assert profile.requirement(2).k == 15  # +k//2
+
+    def test_single_level(self):
+        profile = sweep_profile(levels=1, k=5)
+        assert profile.level_count == 1
+
+
+class TestStandardWorkload:
+    def test_consistent_bundle(self):
+        workload = standard_workload(kind="grid", size=8, n_cars=100, users=4)
+        assert workload.network.junction_count == 64
+        assert workload.snapshot.user_count == 100
+        assert len(workload.user_segments) == 4
+        assert workload.name == "grid-8-100cars"

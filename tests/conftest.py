@@ -1,0 +1,79 @@
+"""Shared fixtures for the ReverseCloak reproduction test suite.
+
+Expensive artifacts (maps, pre-assignments, fleets) are session-scoped —
+they are deterministic and immutable, so sharing them across tests is safe
+and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    KeyChain,
+    PopulationSnapshot,
+    PrivacyProfile,
+    ReverseCloakEngine,
+    ReversiblePreassignmentExpansion,
+    TrafficSimulator,
+    grid_network,
+)
+
+
+@pytest.fixture(scope="session")
+def grid10():
+    """A 10x10 junction grid (180 segments)."""
+    return grid_network(10, 10)
+
+
+@pytest.fixture(scope="session")
+def grid6():
+    """A 6x6 junction grid (60 segments) for cheaper exhaustive tests."""
+    return grid_network(6, 6)
+
+
+@pytest.fixture(scope="session")
+def dense_snapshot(grid10):
+    """Two users on every segment of ``grid10`` — k-anonymity is then purely
+    a function of region size, which makes step counts predictable."""
+    return PopulationSnapshot.from_counts(
+        {segment_id: 2 for segment_id in grid10.segment_ids()}
+    )
+
+
+@pytest.fixture(scope="session")
+def traffic_snapshot(grid10):
+    """A realistic (uneven) snapshot from the mobility simulator."""
+    simulator = TrafficSimulator(grid10, n_cars=400, seed=11)
+    simulator.run(3)
+    return simulator.snapshot()
+
+
+@pytest.fixture(scope="session")
+def profile3():
+    """A three-level profile with growing k and l."""
+    return PrivacyProfile.uniform(
+        levels=3, base_k=4, k_step=4, base_l=3, l_step=2, max_segments=60
+    )
+
+
+@pytest.fixture(scope="session")
+def chain3():
+    """A deterministic three-key chain (tests must be reproducible)."""
+    return KeyChain.from_passphrases(["alpha", "beta", "gamma"])
+
+
+@pytest.fixture(scope="session")
+def rge_engine(grid10):
+    return ReverseCloakEngine(grid10)
+
+
+@pytest.fixture(scope="session")
+def rple_algorithm(grid10):
+    """One shared RPLE pre-assignment over ``grid10``."""
+    return ReversiblePreassignmentExpansion.for_network(grid10)
+
+
+@pytest.fixture(scope="session")
+def rple_engine(grid10, rple_algorithm):
+    return ReverseCloakEngine(grid10, rple_algorithm)

@@ -1,0 +1,218 @@
+"""End-to-end tests of the multi-level engine (RGE and RPLE)."""
+
+import pytest
+
+from repro import (
+    CloakEnvelope,
+    KeyChain,
+    PopulationSnapshot,
+    PrivacyProfile,
+    ReverseCloakEngine,
+    algorithm_for_envelope,
+)
+from repro.core import region_digest
+
+
+@pytest.fixture(params=["rge", "rple"])
+def engine(request, rge_engine, rple_engine):
+    """Parametrizes every test over both algorithms."""
+    return rge_engine if request.param == "rge" else rple_engine
+
+
+class TestAnonymize:
+    def test_envelope_shape(self, engine, dense_snapshot, profile3, chain3):
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        assert envelope.top_level == 3
+        assert envelope.algorithm == engine.algorithm.name
+        assert 90 in envelope.region
+        assert envelope.region == tuple(sorted(envelope.region))
+
+    def test_requirements_satisfied_per_level(
+        self, engine, dense_snapshot, profile3, chain3
+    ):
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        result = engine.deanonymize(envelope, chain3, target_level=0)
+        for level in range(1, 4):
+            requirement = profile3.requirement(level)
+            region = set(result.regions[level])
+            assert len(region) >= requirement.l
+            assert dense_snapshot.count_in_region(region) >= requirement.k
+            assert requirement.tolerance.fits(engine.network, region)
+
+    def test_regions_nest(self, engine, dense_snapshot, profile3, chain3):
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        result = engine.deanonymize(envelope, chain3, target_level=0)
+        for level in range(0, 3):
+            assert set(result.regions[level]) <= set(result.regions[level + 1])
+
+    def test_regions_connected(self, engine, dense_snapshot, profile3, chain3):
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        result = engine.deanonymize(envelope, chain3, target_level=0)
+        for region in result.regions.values():
+            assert engine.network.is_connected_region(set(region))
+
+    def test_deterministic_envelope(self, engine, dense_snapshot, profile3, chain3):
+        a = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        b = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        assert a.to_json() == b.to_json()
+
+    def test_different_keys_different_region(
+        self, engine, dense_snapshot, profile3
+    ):
+        chain_a = KeyChain.from_passphrases(["1a", "2a", "3a"])
+        chain_b = KeyChain.from_passphrases(["1b", "2b", "3b"])
+        env_a = engine.anonymize(90, dense_snapshot, profile3, chain_a)
+        env_b = engine.anonymize(90, dense_snapshot, profile3, chain_b)
+        assert env_a.region != env_b.region
+
+    def test_zero_step_level(self, engine, grid10, chain3):
+        """A level already satisfied by the inner region adds nothing."""
+        snapshot = PopulationSnapshot.from_counts(
+            {sid: 5 for sid in grid10.segment_ids()}
+        )
+        profile = PrivacyProfile.uniform(
+            levels=3, base_k=5, k_step=0, base_l=2, l_step=0, max_segments=60
+        )
+        envelope = engine.anonymize(90, snapshot, profile, chain3)
+        assert envelope.level_record(2).steps == 0
+        assert envelope.level_record(3).steps == 0
+        result = engine.deanonymize(envelope, chain3, target_level=0)
+        assert result.region_at(0) == (90,)
+
+    def test_chain_profile_mismatch(self, engine, dense_snapshot, profile3):
+        from repro.errors import ProfileError
+
+        with pytest.raises(ProfileError):
+            engine.anonymize(
+                90, dense_snapshot, profile3, KeyChain.from_passphrases(["only-one"])
+            )
+
+    def test_level_digests_follow_regions(
+        self, engine, dense_snapshot, profile3, chain3
+    ):
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        result = engine.deanonymize(envelope, chain3, target_level=0)
+        for level in range(1, 4):
+            assert envelope.level_record(level).digest == region_digest(
+                set(result.regions[level])
+            )
+
+
+class TestDeanonymize:
+    def test_full_round_trip(self, engine, dense_snapshot, profile3, chain3):
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        result = engine.deanonymize(envelope, chain3, target_level=0)
+        assert result.region_at(0) == (90,)
+
+    def test_partial_grant_reaches_partial_level(
+        self, engine, dense_snapshot, profile3, chain3
+    ):
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        partial = {key.level: key for key in chain3.suffix(3)}  # only Key3
+        result = engine.deanonymize(envelope, partial, target_level=2)
+        assert set(result.regions[2]) < set(envelope.region)
+        assert 2 in result.regions and 3 in result.regions
+        assert 0 not in result.regions
+
+    def test_each_intermediate_level_available(
+        self, engine, dense_snapshot, profile3, chain3
+    ):
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        result = engine.deanonymize(envelope, chain3, target_level=0)
+        assert sorted(result.regions) == [0, 1, 2, 3]
+        assert sorted(result.removed) == [1, 2, 3]
+
+    def test_removed_segments_partition_region(
+        self, engine, dense_snapshot, profile3, chain3
+    ):
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        result = engine.deanonymize(envelope, chain3, target_level=0)
+        reassembled = {90}
+        for level in (1, 2, 3):
+            reassembled |= set(result.removed[level])
+        assert reassembled == set(envelope.region)
+
+    def test_search_mode_without_hints(
+        self, engine, dense_snapshot, profile3, chain3
+    ):
+        envelope = engine.anonymize(
+            90, dense_snapshot, profile3, chain3, include_hints=False
+        )
+        from repro.errors import CollisionError
+
+        try:
+            result = engine.deanonymize(envelope, chain3, target_level=0, mode="search")
+        except CollisionError:
+            pytest.skip("genuine search ambiguity for this keyset (detected)")
+        assert result.region_at(0) == (90,)
+
+    def test_hint_mode_requires_hints(self, engine, dense_snapshot, profile3, chain3):
+        from repro.errors import DeanonymizationError
+
+        envelope = engine.anonymize(
+            90, dense_snapshot, profile3, chain3, include_hints=False
+        )
+        with pytest.raises(DeanonymizationError):
+            engine.deanonymize(envelope, chain3, target_level=0, mode="hint")
+
+    def test_level_regions_match_anonymizer_view(
+        self, engine, dense_snapshot, profile3, chain3
+    ):
+        """Search and hint modes agree on every recovered region."""
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        hint_result = engine.deanonymize(envelope, chain3, target_level=0, mode="hint")
+        auto_result = engine.deanonymize(envelope, chain3, target_level=0, mode="auto")
+        assert hint_result.regions == auto_result.regions
+
+    def test_result_region_at_unknown_level(self, engine, dense_snapshot, profile3, chain3):
+        from repro.errors import DeanonymizationError
+
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        result = engine.deanonymize(envelope, chain3, target_level=2)
+        with pytest.raises(DeanonymizationError):
+            result.region_at(0)
+
+    def test_envelope_serialization_round_trip_reversal(
+        self, engine, dense_snapshot, profile3, chain3
+    ):
+        """A JSON-round-tripped envelope reverses identically."""
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        restored = CloakEnvelope.from_json(envelope.to_json())
+        result = engine.deanonymize(restored, chain3, target_level=0)
+        assert result.region_at(0) == (90,)
+
+    def test_algorithm_for_envelope_reconstructs(self, engine, dense_snapshot, profile3, chain3):
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        algorithm = algorithm_for_envelope(engine.network, envelope)
+        assert algorithm.name == engine.algorithm.name
+        requester_engine = ReverseCloakEngine(engine.network, algorithm)
+        result = requester_engine.deanonymize(envelope, chain3, target_level=0)
+        assert result.region_at(0) == (90,)
+
+    def test_for_envelope_classmethod(self, engine, dense_snapshot, profile3, chain3):
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        requester_engine = ReverseCloakEngine.for_envelope(engine.network, envelope)
+        result = requester_engine.deanonymize(envelope, chain3, target_level=1)
+        assert set(result.regions[1]) <= set(envelope.region)
+
+
+class TestTrafficSnapshots:
+    """Round trips on realistic (uneven) populations."""
+
+    def test_round_trip_on_traffic(self, engine, traffic_snapshot, chain3):
+        profile = PrivacyProfile.uniform(
+            levels=3, base_k=3, k_step=3, base_l=3, l_step=2, max_segments=80
+        )
+        user_segment = traffic_snapshot.occupied_segments()[5]
+        envelope = engine.anonymize(user_segment, traffic_snapshot, profile, chain3)
+        result = engine.deanonymize(envelope, chain3, target_level=0)
+        assert result.region_at(0) == (user_segment,)
+
+    def test_k_counts_on_traffic(self, engine, traffic_snapshot, chain3):
+        profile = PrivacyProfile.uniform(
+            levels=2, base_k=6, k_step=6, base_l=2, l_step=1, max_segments=80
+        )
+        user_segment = traffic_snapshot.occupied_segments()[0]
+        chain = KeyChain.from_passphrases(["t1", "t2"])
+        envelope = engine.anonymize(user_segment, traffic_snapshot, profile, chain)
+        assert traffic_snapshot.count_in_region(set(envelope.region)) >= 12

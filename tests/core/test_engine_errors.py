@@ -1,0 +1,175 @@
+"""Failure-injection tests: wrong keys, tampering, exhaustion, map mismatch."""
+
+import pytest
+
+from repro import (
+    CloakEnvelope,
+    KeyChain,
+    PopulationSnapshot,
+    PrivacyProfile,
+    ReverseCloakEngine,
+    grid_network,
+    path_network,
+)
+from repro.core import ToleranceSpec, LevelRequirement
+from repro.errors import (
+    CloakingError,
+    DeanonymizationError,
+    EnvelopeError,
+    FrontierExhaustedError,
+    KeyMismatchError,
+    ToleranceExceededError,
+)
+
+
+@pytest.fixture()
+def envelope3(rge_engine, dense_snapshot, profile3, chain3):
+    return rge_engine.anonymize(90, dense_snapshot, profile3, chain3)
+
+
+class TestWrongKeys:
+    def test_wrong_key_rejected_by_mac(self, rge_engine, envelope3, chain3):
+        bad_chain = KeyChain.from_passphrases(["alpha", "beta", "WRONG"])
+        with pytest.raises(KeyMismatchError):
+            rge_engine.deanonymize(envelope3, bad_chain, target_level=0)
+
+    def test_wrong_key_never_silently_succeeds(
+        self, rge_engine, dense_snapshot, profile3, chain3
+    ):
+        envelope = rge_engine.anonymize(90, dense_snapshot, profile3, chain3)
+        for trial in range(10):
+            bad_chain = KeyChain.from_passphrases(
+                ["alpha", "beta", f"guess-{trial}"]
+            )
+            with pytest.raises(KeyMismatchError):
+                rge_engine.deanonymize(envelope, bad_chain, target_level=2)
+
+    def test_missing_level_key_rejected(self, rge_engine, envelope3, chain3):
+        only_top = {3: chain3.key_for(3)}
+        with pytest.raises(KeyMismatchError):
+            rge_engine.deanonymize(envelope3, only_top, target_level=0)
+
+    def test_keys_registered_under_wrong_level(self, rge_engine, envelope3, chain3):
+        from repro.errors import ProfileError
+
+        mislabeled = {1: chain3.key_for(2)}
+        with pytest.raises(ProfileError):
+            rge_engine.deanonymize(envelope3, mislabeled, target_level=2)
+
+    def test_extra_keys_are_harmless(self, rge_engine, envelope3, chain3):
+        result = rge_engine.deanonymize(envelope3, chain3, target_level=2)
+        assert 2 in result.regions
+
+
+class TestTampering:
+    def test_tampered_region_rejected_at_construction(self, envelope3):
+        # Growing the region without forging the digest fails immediately.
+        document = envelope3.to_dict()
+        document["region"] = sorted(document["region"] + [150])
+        with pytest.raises(EnvelopeError):
+            CloakEnvelope.from_dict(document)
+
+    def test_tampered_region_with_forged_digest_detected(
+        self, rge_engine, envelope3, chain3
+    ):
+        # Forging the digest to match the grown region defeats the
+        # constructor check but not the keyed MAC.
+        from repro.core import region_digest
+
+        document = envelope3.to_dict()
+        document["region"] = sorted(document["region"] + [150])
+        document["levels"][2]["digest"] = region_digest(set(document["region"]))
+        tampered = CloakEnvelope.from_dict(document)
+        with pytest.raises(KeyMismatchError):
+            rge_engine.deanonymize(tampered, chain3, target_level=0)
+
+    def test_tampered_steps_alone_rejected_at_construction(self, envelope3):
+        # Changing the step count desynchronises it from the witness list.
+        document = envelope3.to_dict()
+        document["levels"][2]["steps"] += 1
+        with pytest.raises(EnvelopeError):
+            CloakEnvelope.from_dict(document)
+
+    def test_tampered_steps_with_forged_witnesses_detected(
+        self, rge_engine, envelope3, chain3
+    ):
+        # Padding the witness list to match defeats the construction check
+        # but not the keyed MAC.
+        document = envelope3.to_dict()
+        document["levels"][2]["steps"] += 1
+        document["levels"][2]["witnesses"].append(0)
+        tampered = CloakEnvelope.from_dict(document)
+        with pytest.raises(KeyMismatchError):
+            rge_engine.deanonymize(tampered, chain3, target_level=0)
+
+    def test_tampered_hint_detected(self, rge_engine, envelope3, chain3):
+        document = envelope3.to_dict()
+        document["levels"][2]["sealed_anchor"] ^= 0xFF
+        tampered = CloakEnvelope.from_dict(document)
+        with pytest.raises(KeyMismatchError):
+            rge_engine.deanonymize(tampered, chain3, target_level=0)
+
+    def test_swapped_algorithm_detected(self, rge_engine, envelope3, chain3):
+        document = envelope3.to_dict()
+        document["algorithm"] = "rple"
+        tampered = CloakEnvelope.from_dict(document)
+        with pytest.raises(EnvelopeError):
+            rge_engine.deanonymize(tampered, chain3, target_level=0)
+
+
+class TestMapMismatch:
+    def test_envelope_from_other_map_rejected(self, envelope3, chain3):
+        other_engine = ReverseCloakEngine(grid_network(10, 11))
+        with pytest.raises(EnvelopeError):
+            other_engine.deanonymize(envelope3, chain3, target_level=0)
+
+
+class TestTargetLevelValidation:
+    def test_target_out_of_range(self, rge_engine, envelope3, chain3):
+        with pytest.raises(DeanonymizationError):
+            rge_engine.deanonymize(envelope3, chain3, target_level=3)
+        with pytest.raises(DeanonymizationError):
+            rge_engine.deanonymize(envelope3, chain3, target_level=-1)
+
+    def test_unknown_mode(self, rge_engine, envelope3, chain3):
+        with pytest.raises(DeanonymizationError):
+            rge_engine.deanonymize(envelope3, chain3, target_level=0, mode="psychic")
+
+
+class TestCloakingFailures:
+    def test_tolerance_exceeded(self, grid10, dense_snapshot):
+        # k = 500 users needs 250 segments; tolerance allows 10
+        profile = PrivacyProfile(
+            [
+                LevelRequirement(
+                    k=500, l=2, tolerance=ToleranceSpec(max_segments=10)
+                )
+            ]
+        )
+        engine = ReverseCloakEngine(grid10)
+        with pytest.raises(ToleranceExceededError):
+            engine.anonymize(
+                90, dense_snapshot, profile, KeyChain.from_passphrases(["x"])
+            )
+
+    def test_frontier_exhausted_on_small_component(self):
+        network = path_network(4)
+        snapshot = PopulationSnapshot.from_counts({0: 1, 1: 1, 2: 1, 3: 1})
+        profile = PrivacyProfile(
+            [
+                LevelRequirement(
+                    k=50, l=2, tolerance=ToleranceSpec(max_segments=100)
+                )
+            ]
+        )
+        engine = ReverseCloakEngine(network)
+        with pytest.raises(FrontierExhaustedError):
+            engine.anonymize(
+                0, snapshot, profile, KeyChain.from_passphrases(["x"])
+            )
+
+    def test_unknown_user_segment(self, rge_engine, dense_snapshot, profile3, chain3):
+        from repro.errors import RoadNetworkError
+
+        with pytest.raises(RoadNetworkError):
+            rge_engine.anonymize(99999, dense_snapshot, profile3, chain3)

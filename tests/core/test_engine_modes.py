@@ -1,0 +1,124 @@
+"""Tests for engine configuration modes (validation off, branch limits,
+mixed-density populations)."""
+
+import pytest
+
+from repro import (
+    KeyChain,
+    PopulationSnapshot,
+    PrivacyProfile,
+    ReverseCloakEngine,
+    ReversiblePreassignmentExpansion,
+    grid_network,
+)
+from repro.errors import CollisionError
+
+
+class TestValidationOffFastPath:
+    def test_fast_engine_still_exact(self, grid10, dense_snapshot, profile3, chain3):
+        fast = ReverseCloakEngine(grid10, validate_reversals=False)
+        envelope = fast.anonymize(90, dense_snapshot, profile3, chain3)
+        result = fast.deanonymize(envelope, chain3, target_level=0)
+        assert result.region_at(0) == (90,)
+
+    def test_fast_engine_agrees_with_validating(self, grid10, dense_snapshot, profile3, chain3):
+        slow = ReverseCloakEngine(grid10, validate_reversals=True)
+        fast = ReverseCloakEngine(grid10, validate_reversals=False)
+        envelope = slow.anonymize(90, dense_snapshot, profile3, chain3)
+        assert (
+            slow.deanonymize(envelope, chain3, target_level=0).regions
+            == fast.deanonymize(envelope, chain3, target_level=0).regions
+        )
+
+    def test_fast_rple_engine(self, grid10, rple_algorithm, dense_snapshot, profile3, chain3):
+        fast = ReverseCloakEngine(
+            grid10, rple_algorithm, validate_reversals=False
+        )
+        envelope = fast.anonymize(90, dense_snapshot, profile3, chain3)
+        result = fast.deanonymize(envelope, chain3, target_level=0)
+        assert result.region_at(0) == (90,)
+
+
+class TestBranchLimit:
+    def test_tiny_branch_limit_raises_collision_in_search(
+        self, grid10, dense_snapshot, chain3
+    ):
+        profile = PrivacyProfile.uniform(
+            levels=3, base_k=8, k_step=4, base_l=4, l_step=1, max_segments=60
+        )
+        engine = ReverseCloakEngine(grid10, branch_limit=3)
+        envelope = engine.anonymize(
+            90, dense_snapshot, profile, chain3, include_hints=False
+        )
+        with pytest.raises(CollisionError):
+            engine.deanonymize(envelope, chain3, target_level=0, mode="search")
+
+    def test_hint_mode_survives_small_limits(self, grid10, dense_snapshot, profile3, chain3):
+        # Hint mode with witnesses explores ~steps states; a modest limit
+        # suffices where search mode would blow through it.
+        engine = ReverseCloakEngine(grid10, branch_limit=200)
+        envelope = engine.anonymize(90, dense_snapshot, profile3, chain3)
+        result = engine.deanonymize(envelope, chain3, target_level=0)
+        assert result.region_at(0) == (90,)
+
+
+class TestUnevenPopulations:
+    def test_population_hotspot(self, grid10, chain3):
+        """A hotspot snapshot: most users on few segments — regions stay
+        small near the hotspot, grow elsewhere."""
+        counts = {segment_id: 0 for segment_id in grid10.segment_ids()}
+        for segment_id in list(grid10.segment_ids())[:6]:
+            counts[segment_id] = 20
+        for segment_id in list(grid10.segment_ids())[6:]:
+            counts[segment_id] = 1
+        snapshot = PopulationSnapshot.from_counts(counts)
+        profile = PrivacyProfile.uniform(
+            levels=2, base_k=10, k_step=5, base_l=2, l_step=1, max_segments=80
+        )
+        engine = ReverseCloakEngine(grid10)
+        hot_chain = KeyChain.from_passphrases(["h1", "h2"])
+        hot = engine.anonymize(0, snapshot, profile, hot_chain)
+        cold_chain = KeyChain.from_passphrases(["c1", "c2"])
+        cold = engine.anonymize(150, snapshot, profile, cold_chain)
+        assert len(hot.region) < len(cold.region)
+        # both reverse exactly
+        assert engine.deanonymize(
+            cold, cold_chain, target_level=0
+        ).region_at(0) == (150,)
+
+    def test_empty_segments_are_usable(self, grid10, chain3):
+        """Segments with zero users may join regions (they add l-diversity
+        but no k); reversal is unaffected."""
+        counts = {segment_id: 0 for segment_id in grid10.segment_ids()}
+        counts[90] = 1
+        counts[91] = 5
+        counts[102] = 5
+        snapshot = PopulationSnapshot.from_counts(counts)
+        profile = PrivacyProfile.uniform(
+            levels=2, base_k=3, k_step=2, base_l=3, l_step=1, max_segments=60
+        )
+        chain = KeyChain.from_passphrases(["e1", "e2"])
+        engine = ReverseCloakEngine(grid10)
+        envelope = engine.anonymize(90, snapshot, profile, chain)
+        result = engine.deanonymize(envelope, chain, target_level=0)
+        assert result.region_at(0) == (90,)
+
+
+class TestZeroStepEdgeCases:
+    def test_all_levels_zero_steps(self, grid10, chain3):
+        """A profile already satisfied by the user's own segment: every
+        level adds nothing, reversal is trivial but well-formed."""
+        snapshot = PopulationSnapshot.from_counts(
+            {segment_id: 50 for segment_id in grid10.segment_ids()}
+        )
+        profile = PrivacyProfile.uniform(
+            levels=3, base_k=2, k_step=0, base_l=1, l_step=0, max_segments=10
+        )
+        engine = ReverseCloakEngine(grid10)
+        envelope = engine.anonymize(90, snapshot, profile, chain3)
+        assert [record.steps for record in envelope.levels] == [0, 0, 0]
+        assert envelope.region == (90,)
+        result = engine.deanonymize(envelope, chain3, target_level=0)
+        assert result.region_at(0) == (90,)
+        for level in (0, 1, 2, 3):
+            assert result.regions[level] == (90,)

@@ -1,0 +1,166 @@
+"""Tests for privacy profiles and tolerance specs."""
+
+import pytest
+
+from repro.core import LevelRequirement, PrivacyProfile, ToleranceSpec
+from repro.errors import ProfileError
+from repro.mobility import PopulationSnapshot
+from repro.roadnet import grid_network
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(6, 6, spacing=100.0)
+
+
+class TestToleranceSpec:
+    def test_requires_some_bound(self):
+        with pytest.raises(ProfileError):
+            ToleranceSpec()
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ProfileError):
+            ToleranceSpec(max_segments=0)
+        with pytest.raises(ProfileError):
+            ToleranceSpec(max_total_length=0.0)
+        with pytest.raises(ProfileError):
+            ToleranceSpec(max_diagonal=-1.0)
+
+    def test_max_segments(self, grid):
+        spec = ToleranceSpec(max_segments=3)
+        assert spec.fits(grid, {0, 1, 2})
+        assert not spec.fits(grid, {0, 1, 2, 3})
+
+    def test_max_total_length(self, grid):
+        spec = ToleranceSpec(max_total_length=250.0)
+        assert spec.fits(grid, {0, 1})  # 200 m
+        assert not spec.fits(grid, {0, 1, 2})  # 300 m
+
+    def test_max_diagonal(self, grid):
+        spec = ToleranceSpec(max_diagonal=250.0)
+        assert spec.fits(grid, {0, 1})  # 200 m wide strip
+        assert not spec.fits(grid, {0, 1, 2})  # 300 m wide
+
+    def test_empty_region_always_fits(self, grid):
+        assert ToleranceSpec(max_segments=1).fits(grid, set())
+
+    def test_combined_bounds_all_must_hold(self, grid):
+        spec = ToleranceSpec(max_segments=10, max_total_length=250.0)
+        assert not spec.fits(grid, {0, 1, 2})  # segments ok, length not
+
+    def test_looseness_ordering(self):
+        tight = ToleranceSpec(max_segments=10)
+        loose = ToleranceSpec(max_segments=20)
+        unbounded = ToleranceSpec(max_segments=None, max_total_length=1e9)
+        assert loose.at_least_as_loose_as(tight)
+        assert not tight.at_least_as_loose_as(loose)
+        assert unbounded.at_least_as_loose_as(ToleranceSpec(max_total_length=5.0))
+
+    def test_dict_round_trip(self):
+        spec = ToleranceSpec(max_segments=5, max_diagonal=120.0)
+        assert ToleranceSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestLevelRequirement:
+    def test_invalid_k_l(self):
+        tolerance = ToleranceSpec(max_segments=50)
+        with pytest.raises(ProfileError):
+            LevelRequirement(k=0, l=2, tolerance=tolerance)
+        with pytest.raises(ProfileError):
+            LevelRequirement(k=2, l=0, tolerance=tolerance)
+
+    def test_tolerance_must_allow_l(self):
+        with pytest.raises(ProfileError):
+            LevelRequirement(k=2, l=10, tolerance=ToleranceSpec(max_segments=5))
+
+    def test_satisfied_by(self, grid):
+        requirement = LevelRequirement(
+            k=4, l=2, tolerance=ToleranceSpec(max_segments=10)
+        )
+        snapshot = PopulationSnapshot.from_counts({0: 3, 1: 3})
+        assert requirement.satisfied_by(grid, {0, 1}, snapshot)
+        assert not requirement.satisfied_by(grid, {0}, snapshot)  # l unmet
+        sparse = PopulationSnapshot.from_counts({0: 1, 1: 1})
+        assert not requirement.satisfied_by(grid, {0, 1}, sparse)  # k unmet
+
+    def test_satisfied_respects_tolerance(self, grid):
+        requirement = LevelRequirement(
+            k=1, l=1, tolerance=ToleranceSpec(max_segments=2)
+        )
+        snapshot = PopulationSnapshot.from_counts({0: 5, 1: 5, 2: 5})
+        assert not requirement.satisfied_by(grid, {0, 1, 2}, snapshot)
+
+    def test_dict_round_trip(self):
+        requirement = LevelRequirement(
+            k=7, l=3, tolerance=ToleranceSpec(max_segments=40)
+        )
+        assert LevelRequirement.from_dict(requirement.to_dict()) == requirement
+
+
+class TestPrivacyProfile:
+    def test_uniform_shape(self):
+        profile = PrivacyProfile.uniform(
+            levels=3, base_k=5, k_step=5, base_l=2, l_step=2, max_segments=60
+        )
+        assert profile.level_count == 3
+        assert profile.total_levels == 4
+        assert [profile.requirement(i).k for i in (1, 2, 3)] == [5, 10, 15]
+        assert [profile.requirement(i).l for i in (1, 2, 3)] == [2, 4, 6]
+
+    def test_uniform_auto_tolerance(self):
+        profile = PrivacyProfile.uniform(levels=2, base_k=5, k_step=5)
+        assert profile.requirement(1).tolerance.max_segments is not None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfileError):
+            PrivacyProfile([])
+
+    def test_decreasing_k_rejected(self):
+        tolerance = ToleranceSpec(max_segments=60)
+        with pytest.raises(ProfileError):
+            PrivacyProfile(
+                [
+                    LevelRequirement(k=10, l=2, tolerance=tolerance),
+                    LevelRequirement(k=5, l=2, tolerance=tolerance),
+                ]
+            )
+
+    def test_decreasing_l_rejected(self):
+        tolerance = ToleranceSpec(max_segments=60)
+        with pytest.raises(ProfileError):
+            PrivacyProfile(
+                [
+                    LevelRequirement(k=5, l=4, tolerance=tolerance),
+                    LevelRequirement(k=10, l=2, tolerance=tolerance),
+                ]
+            )
+
+    def test_tightening_tolerance_rejected(self):
+        with pytest.raises(ProfileError):
+            PrivacyProfile(
+                [
+                    LevelRequirement(
+                        k=5, l=2, tolerance=ToleranceSpec(max_segments=40)
+                    ),
+                    LevelRequirement(
+                        k=10, l=2, tolerance=ToleranceSpec(max_segments=20)
+                    ),
+                ]
+            )
+
+    def test_level_bounds(self):
+        profile = PrivacyProfile.uniform(levels=2, base_k=5, k_step=5)
+        with pytest.raises(ProfileError):
+            profile.requirement(0)
+        with pytest.raises(ProfileError):
+            profile.requirement(3)
+
+    def test_dict_round_trip(self):
+        profile = PrivacyProfile.uniform(
+            levels=3, base_k=4, k_step=3, base_l=2, l_step=1, max_segments=50
+        )
+        assert PrivacyProfile.from_dict(profile.to_dict()) == profile
+
+    def test_invalid_levels(self):
+        with pytest.raises(ProfileError):
+            PrivacyProfile.uniform(levels=0, base_k=5, k_step=5)

@@ -1,0 +1,148 @@
+"""Tests for level peeling and forward replay."""
+
+import pytest
+
+from repro.core import (
+    ReversibleGlobalExpansion,
+    ToleranceSpec,
+    enumerate_bootstraps,
+    peel_level,
+    replay_level,
+)
+from repro.errors import CollisionError, DeanonymizationError
+from repro.keys import AccessKey
+from repro.roadnet import grid_network
+
+
+WIDE = ToleranceSpec(max_segments=100)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(8, 8)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return AccessKey.from_passphrase(1, "peel-test")
+
+
+@pytest.fixture(scope="module")
+def rge():
+    return ReversibleGlobalExpansion()
+
+
+def expand(network, algorithm, key, start, steps):
+    """Run a forward expansion, returning (region, additions, final anchor)."""
+    region = {start}
+    anchor = start
+    additions = []
+    for step in range(1, steps + 1):
+        segment = algorithm.forward_step(network, region, anchor, key, step, WIDE)
+        region.add(segment)
+        additions.append(segment)
+        anchor = segment
+    return region, additions, anchor
+
+
+class TestReplay:
+    def test_replay_reproduces_expansion(self, grid, rge, key):
+        region, additions, anchor = expand(grid, rge, key, 27, 6)
+        replayed = replay_level(grid, rge, key, {27}, 27, 6, WIDE)
+        assert replayed == tuple(additions)
+
+    def test_replay_fails_from_wrong_anchor(self, grid, rge, key):
+        region, additions, anchor = expand(grid, rge, key, 27, 6)
+        wrong_anchor_replay = replay_level(
+            grid, rge, key, {27}, 27, 5, WIDE
+        )  # shorter but fine
+        assert wrong_anchor_replay == tuple(additions[:5])
+
+    def test_replay_none_on_failure(self, grid, rge, key):
+        # replay that cannot expand (tolerance 1 segment) returns None
+        tight = ToleranceSpec(max_segments=1)
+        assert replay_level(grid, rge, key, {27}, 27, 2, tight) is None
+
+
+class TestEnumerateBootstraps:
+    def test_contains_true_last_added(self, grid, rge, key):
+        region, additions, anchor = expand(grid, rge, key, 27, 5)
+        assert anchor in enumerate_bootstraps(grid, region)
+
+    def test_all_keep_connectivity(self, grid, rge, key):
+        region, __, __ = expand(grid, rge, key, 27, 5)
+        for bootstrap in enumerate_bootstraps(grid, region):
+            assert grid.is_connected_region(region - {bootstrap})
+
+
+class TestPeelLevel:
+    def test_peel_with_true_bootstrap(self, grid, rge, key):
+        region, additions, anchor = expand(grid, rge, key, 27, 6)
+        outcomes = peel_level(grid, rge, key, region, 6, WIDE, (anchor,))
+        assert outcomes
+        exact = [o for o in outcomes if o.inner_region == frozenset({27})]
+        assert len(exact) == 1
+        assert exact[0].removed == tuple(reversed(additions))
+        assert exact[0].start_anchor == 27
+
+    def test_peel_zero_steps(self, grid, rge, key):
+        outcomes = peel_level(grid, rge, key, {1, 2, 3}, 0, WIDE, (2,))
+        assert len(outcomes) == 1
+        assert outcomes[0].inner_region == frozenset({1, 2, 3})
+        assert outcomes[0].removed == ()
+        assert outcomes[0].start_anchor == 2
+
+    def test_peel_zero_steps_bootstrap_must_be_inside(self, grid, rge, key):
+        assert peel_level(grid, rge, key, {1, 2, 3}, 0, WIDE, (99,)) == []
+
+    def test_steps_exceeding_region_rejected(self, grid, rge, key):
+        with pytest.raises(DeanonymizationError):
+            peel_level(grid, rge, key, {1, 2, 3}, 3, WIDE, (1,))
+
+    def test_wrong_bootstrap_is_pruned_or_distinct(self, grid, rge, key):
+        region, additions, anchor = expand(grid, rge, key, 27, 6)
+        wrong = [b for b in enumerate_bootstraps(grid, region) if b != anchor]
+        outcomes = peel_level(grid, rge, key, region, 6, WIDE, tuple(wrong))
+        # a wrong bootstrap can never certify back to the true inner region
+        # with the true sequence
+        for outcome in outcomes:
+            assert outcome.removed[0] != anchor
+
+    def test_validation_filters_inconsistent(self, grid, rge, key):
+        region, additions, anchor = expand(grid, rge, key, 27, 6)
+        all_bootstraps = enumerate_bootstraps(grid, region)
+        certified = peel_level(
+            grid, rge, key, region, 6, WIDE, all_bootstraps, validate=True
+        )
+        uncertified = peel_level(
+            grid, rge, key, region, 6, WIDE, all_bootstraps, validate=False
+        )
+        assert len(certified) <= len(uncertified)
+        assert any(o.inner_region == frozenset({27}) for o in certified)
+
+    def test_branch_limit_raises_collision(self, grid, rge, key):
+        region, __, anchor = expand(grid, rge, key, 27, 10)
+        with pytest.raises(CollisionError):
+            peel_level(
+                grid,
+                rge,
+                key,
+                region,
+                10,
+                WIDE,
+                enumerate_bootstraps(grid, region),
+                branch_limit=2,
+            )
+
+    def test_first_only_stops_early(self, grid, rge, key):
+        region, additions, anchor = expand(grid, rge, key, 27, 6)
+        outcomes = peel_level(
+            grid, rge, key, region, 6, WIDE, (anchor,), first_only=True
+        )
+        assert len(outcomes) == 1
+
+    def test_added_sequence_property(self, grid, rge, key):
+        region, additions, anchor = expand(grid, rge, key, 27, 4)
+        outcomes = peel_level(grid, rge, key, region, 4, WIDE, (anchor,))
+        truth = [o for o in outcomes if o.inner_region == frozenset({27})]
+        assert truth[0].added_sequence == tuple(additions)

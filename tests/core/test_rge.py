@@ -1,0 +1,165 @@
+"""Tests for Reversible Global Expansion single steps."""
+
+import pytest
+
+from repro.core import ReversibleGlobalExpansion, ToleranceSpec
+from repro.core.algorithm import eligible_candidates, keyed_draw
+from repro.errors import (
+    CloakingError,
+    FrontierExhaustedError,
+    ToleranceExceededError,
+)
+from repro.keys import AccessKey
+from repro.roadnet import grid_network, path_network
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(6, 6)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return AccessKey.from_passphrase(1, "rge-test")
+
+
+@pytest.fixture()
+def rge():
+    return ReversibleGlobalExpansion()
+
+
+WIDE = ToleranceSpec(max_segments=100)
+
+
+class TestKeyedDraw:
+    def test_deterministic(self, key):
+        assert keyed_draw(key, 3) == keyed_draw(key, 3)
+
+    def test_step_sensitivity(self, key):
+        assert keyed_draw(key, 1) != keyed_draw(key, 2)
+
+    def test_attempt_sensitivity(self, key):
+        assert keyed_draw(key, 1, 0) != keyed_draw(key, 1, 1)
+
+    def test_level_sensitivity(self):
+        key1 = AccessKey(1, b"0" * 32)
+        key2 = AccessKey(2, b"0" * 32)
+        assert keyed_draw(key1, 1) != keyed_draw(key2, 1)
+
+    def test_bounds(self, key):
+        with pytest.raises(CloakingError):
+            keyed_draw(key, 0)
+        with pytest.raises(CloakingError):
+            keyed_draw(key, 1, -1)
+
+
+class TestEligibleCandidates:
+    def test_matches_frontier_when_tolerance_loose(self, grid):
+        region = {0, 1}
+        assert eligible_candidates(grid, region, WIDE) == grid.frontier(region)
+
+    def test_tolerance_filters_everything(self, grid):
+        region = {0, 1, 2}
+        tight = ToleranceSpec(max_segments=3)
+        assert eligible_candidates(grid, region, tight) == ()
+
+    def test_length_tolerance_filters_partially(self):
+        # A path with mixed lengths: a tight length budget admits only the
+        # shorter frontier segment.
+        from repro.roadnet import RoadNetworkBuilder
+
+        builder = RoadNetworkBuilder()
+        builder.add_junction(0, 0, 0)
+        builder.add_junction(1, 100, 0)
+        builder.add_junction(2, 150, 0)  # short segment 1: 50 m
+        builder.add_junction(3, -300, 0)  # long segment 2: 300 m
+        builder.add_segment(0, 0, 1)
+        builder.add_segment(1, 1, 2)
+        builder.add_segment(2, 0, 3)
+        network = builder.build()
+        spec = ToleranceSpec(max_total_length=200.0)
+        assert eligible_candidates(network, {0}, spec) == (1,)
+
+
+class TestForwardStep:
+    def test_selects_a_frontier_segment(self, grid, rge, key):
+        region = {0}
+        selected = rge.forward_step(grid, region, 0, key, 1, WIDE)
+        assert selected in grid.frontier(region)
+
+    def test_deterministic(self, grid, rge, key):
+        a = rge.forward_step(grid, {0, 1}, 1, key, 2, WIDE)
+        b = rge.forward_step(grid, {0, 1}, 1, key, 2, WIDE)
+        assert a == b
+
+    def test_depends_on_key(self, grid, rge):
+        region = {0, 1, 6, 7}
+        picks = {
+            rge.forward_step(
+                grid, region, 1, AccessKey.from_passphrase(1, f"k{i}"), 1, WIDE
+            )
+            for i in range(12)
+        }
+        assert len(picks) > 1  # different keys pick different segments
+
+    def test_depends_on_anchor(self, grid, rge, key):
+        region = {0, 1, 6, 7}
+        picks = {
+            rge.forward_step(grid, region, anchor, key, 1, WIDE)
+            for anchor in region
+        }
+        assert len(picks) > 1
+
+    def test_anchor_must_be_inside(self, grid, rge, key):
+        with pytest.raises(CloakingError):
+            rge.forward_step(grid, {0}, 5, key, 1, WIDE)
+
+    def test_frontier_exhausted(self, rge, key):
+        network = path_network(3)
+        with pytest.raises(FrontierExhaustedError):
+            rge.forward_step(network, {0, 1, 2}, 2, key, 1, WIDE)
+
+    def test_tolerance_exceeded(self, grid, rge, key):
+        with pytest.raises(ToleranceExceededError):
+            rge.forward_step(grid, {0, 1}, 1, key, 1, ToleranceSpec(max_segments=2))
+
+
+class TestBackwardAnchors:
+    def test_inverts_forward(self, grid, rge, key):
+        region = {0, 1, 6}
+        anchor = 1
+        selected = rge.forward_step(grid, region, anchor, key, 4, WIDE)
+        anchors = rge.backward_anchors(grid, region, selected, key, 4, WIDE)
+        assert anchor in anchors
+
+    def test_unique_when_frontier_large(self, grid, rge, key):
+        region = {0, 1}  # 2 rows, frontier >= 4 columns -> collision-free
+        selected = rge.forward_step(grid, region, 0, key, 1, WIDE)
+        anchors = rge.backward_anchors(grid, region, selected, key, 1, WIDE)
+        assert anchors == (0,)
+
+    def test_non_candidate_removal_rejected(self, grid, rge, key):
+        # segment 29 (far corner) is nowhere near region {0,1}: it could
+        # never have been the segment this step added
+        anchors = rge.backward_anchors(grid, {0, 1}, 29, key, 1, WIDE)
+        assert anchors == ()
+
+    def test_removed_must_be_outside(self, grid, rge, key):
+        with pytest.raises(CloakingError):
+            rge.backward_anchors(grid, {0, 1}, 1, key, 1, WIDE)
+
+    def test_wrong_key_usually_differs(self, grid, rge, key):
+        region = {0, 1, 6}
+        selected = rge.forward_step(grid, region, 1, key, 2, WIDE)
+        other = AccessKey.from_passphrase(1, "different")
+        mismatches = 0
+        anchors = rge.backward_anchors(grid, region, selected, other, 2, WIDE)
+        if anchors != (1,):
+            mismatches += 1
+        # single trial may coincide; check several steps
+        for step in range(3, 10):
+            chosen = rge.forward_step(grid, region, 1, key, step, WIDE)
+            back = rge.backward_anchors(grid, region, chosen, other, step, WIDE)
+            if back != (1,):
+                mismatches += 1
+        assert mismatches > 0

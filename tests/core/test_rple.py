@@ -1,0 +1,190 @@
+"""Tests for RPLE pre-assignment (Algorithm 1) and local expansion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Preassignment,
+    ReversiblePreassignmentExpansion,
+    ToleranceSpec,
+)
+from repro.errors import CloakingError, PreassignmentError
+from repro.keys import AccessKey
+from repro.roadnet import fig3_network, grid_network, path_network
+
+
+WIDE = ToleranceSpec(max_segments=200)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(6, 6)
+
+
+@pytest.fixture(scope="module")
+def pre(grid):
+    return Preassignment(grid, list_length=8)
+
+
+@pytest.fixture(scope="module")
+def rple(pre):
+    return ReversiblePreassignmentExpansion(pre)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return AccessKey.from_passphrase(1, "rple-test")
+
+
+class TestPreassignment:
+    def test_symmetry_invariant(self, pre):
+        """Algorithm 1's collision-freedom: FT[s][q] = sp <=> BT[sp][q] = s."""
+        assert pre.verify_symmetry()
+
+    def test_lists_have_requested_length(self, pre, grid):
+        for segment_id in grid.segment_ids():
+            assert len(pre.forward_list(segment_id)) == 8
+            assert len(pre.backward_list(segment_id)) == 8
+
+    def test_forward_entries_are_nearby_segments(self, pre, grid):
+        from repro.roadnet import segment_hop_distances
+
+        for segment_id in list(grid.segment_ids())[:10]:
+            hops = segment_hop_distances(grid, segment_id, max_hops=4)
+            for target in pre.forward_list(segment_id):
+                if target is not None:
+                    assert target in hops
+
+    def test_no_self_assignment(self, pre, grid):
+        for segment_id in grid.segment_ids():
+            assert segment_id not in pre.forward_list(segment_id)
+            assert segment_id not in pre.backward_list(segment_id)
+
+    def test_deterministic(self, grid):
+        a = Preassignment(grid, list_length=6)
+        b = Preassignment(grid, list_length=6)
+        for segment_id in grid.segment_ids():
+            assert a.forward_list(segment_id) == b.forward_list(segment_id)
+
+    def test_adjacent_segments_assigned_first(self, grid):
+        pre = Preassignment(grid, list_length=4)
+        # With only 4 slots and >= 4 adjacent segments, every filled slot of
+        # an interior segment should be hop-1 (proximity order).
+        interior = 20
+        neighbors = set(grid.neighbors(interior))
+        filled = [t for t in pre.forward_list(interior) if t is not None]
+        assert filled
+        assert all(t in neighbors for t in filled)
+
+    def test_memory_accounting(self, pre, grid):
+        assert pre.assigned_entries() > 0
+        assert pre.memory_bytes() == 8 * 2 * 8 * grid.segment_count
+
+    def test_unknown_segment_raises(self, pre):
+        with pytest.raises(PreassignmentError):
+            pre.forward_list(9999)
+
+    def test_invalid_parameters(self, grid):
+        with pytest.raises(PreassignmentError):
+            Preassignment(grid, list_length=0)
+        with pytest.raises(PreassignmentError):
+            Preassignment(grid, list_length=4, max_hops=0)
+
+    def test_figure3_star_fills_six_slots(self):
+        """Figure 3: s8 with six neighbours and T=6 gets a full list."""
+        network = fig3_network()
+        pre = Preassignment(network, list_length=6)
+        forward = pre.forward_list(8)
+        assert sorted(t for t in forward if t is not None) == [
+            10, 11, 12, 13, 14, 15,
+        ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(list_length=st.integers(min_value=1, max_value=12))
+    def test_symmetry_for_any_list_length(self, list_length):
+        network = grid_network(4, 4)
+        assert Preassignment(network, list_length=list_length).verify_symmetry()
+
+
+class TestForwardStep:
+    def test_selects_linked_segment(self, grid, rple, key):
+        region = {14}
+        selected = rple.forward_step(grid, region, 14, key, 1, WIDE)
+        assert selected in grid.frontier(region)
+        assert selected in [
+            t for t in rple.preassignment.forward_list(14) if t is not None
+        ]
+
+    def test_deterministic(self, grid, rple, key):
+        a = rple.forward_step(grid, {14, 15}, 15, key, 2, WIDE)
+        b = rple.forward_step(grid, {14, 15}, 15, key, 2, WIDE)
+        assert a == b
+
+    def test_figure3_index_rule(self, key):
+        """The paper's Figure 3: the slot index is R_i mod 6 for T=6."""
+        network = fig3_network()
+        rple = ReversiblePreassignmentExpansion.for_network(network, list_length=6)
+        from repro.core.algorithm import keyed_draw
+
+        slot = keyed_draw(key, 1, 0) % 6
+        expected = rple.preassignment.forward_list(8)[slot]
+        selected = rple.forward_step(network, {8}, 8, key, 1, WIDE)
+        assert selected == expected
+
+    def test_redraw_skips_in_region_targets(self, grid, rple, key):
+        # Fill the region with the anchor's whole first-choice set except one
+        forward = [t for t in rple.preassignment.forward_list(14) if t is not None]
+        region = {14, *forward[:-1]}
+        selected = rple.forward_step(grid, region, 14, key, 1, WIDE)
+        assert selected not in region
+
+    def test_anchor_must_be_inside(self, grid, rple, key):
+        with pytest.raises(CloakingError):
+            rple.forward_step(grid, {0}, 5, key, 1, WIDE)
+
+    def test_dead_anchor_raises(self, rple, key):
+        # On a path, the middle anchor of a fully-covered neighbourhood dies.
+        network = path_network(3)
+        algo = ReversiblePreassignmentExpansion.for_network(network, list_length=4)
+        with pytest.raises(CloakingError):
+            algo.forward_step(network, {0, 1, 2}, 1, key, 1, WIDE)
+
+
+class TestBackwardAnchors:
+    def test_inverts_forward(self, grid, rple, key):
+        region = {14, 15, 20}
+        for anchor in region:
+            try:
+                selected = rple.forward_step(grid, region, anchor, key, 3, WIDE)
+            except CloakingError:
+                continue
+            anchors = rple.backward_anchors(grid, region, selected, key, 3, WIDE)
+            assert anchor in anchors
+
+    def test_figure3_backward_rule(self, key):
+        """Figure 3: moving back to s14, the key re-selects s8 from the
+        backward list of s14."""
+        network = fig3_network()
+        rple = ReversiblePreassignmentExpansion.for_network(network, list_length=6)
+        selected = rple.forward_step(network, {8}, 8, key, 1, WIDE)
+        anchors = rple.backward_anchors(network, {8}, selected, key, 1, WIDE)
+        assert anchors == (8,)
+
+    def test_non_adjacent_removal_rejected(self, grid, rple, key):
+        # segment 29 (far corner) shares no junction with the region
+        anchors = rple.backward_anchors(grid, {0, 1}, 29, key, 1, WIDE)
+        assert anchors == ()
+
+    def test_removed_inside_region_raises(self, grid, rple, key):
+        with pytest.raises(CloakingError):
+            rple.backward_anchors(grid, {0, 1}, 1, key, 1, WIDE)
+
+    def test_tolerance_respected(self, grid, rple, key):
+        region = {14, 15}
+        selected = rple.forward_step(grid, region, 15, key, 1, WIDE)
+        tight = ToleranceSpec(max_segments=2)  # the addition violated this
+        assert rple.backward_anchors(grid, region, selected, key, 1, tight) == ()
+
+    def test_params_round_trip(self, rple):
+        assert rple.params() == {"list_length": 8, "max_hops": 4}

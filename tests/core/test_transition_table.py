@@ -1,0 +1,158 @@
+"""Tests for the RGE transition table, including the paper's Figure 2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TransitionTable, length_order
+from repro.errors import CloakingError
+from repro.roadnet import fig2_network, grid_network
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return fig2_network()
+
+
+@pytest.fixture(scope="module")
+def fig2_table(fig2):
+    return TransitionTable(fig2, {8, 9, 11}, {6, 10, 14})
+
+
+class TestFigure2:
+    """The exact worked example of the paper's Section III-A."""
+
+    def test_row_order_by_length(self, fig2_table):
+        assert fig2_table.rows == (9, 8, 11)
+
+    def test_column_order_by_length(self, fig2_table):
+        assert fig2_table.columns == (6, 14, 10)
+
+    def test_value_grid(self, fig2_table):
+        # ((i-1)+(j-1)) mod 3 over a 3x3 table
+        assert fig2_table.grid() == [[0, 1, 2], [1, 2, 0], [2, 0, 1]]
+
+    def test_pick_value_for_r_equals_5(self, fig2_table):
+        # "if R_i is 5, p_i will be 2"
+        assert fig2_table.pick_value(5) == 2
+
+    def test_forward_transition_s8_to_s14(self, fig2_table):
+        # "since the last added segment is s8, we find the transition value 2
+        #  in the 2nd row is located in the cell (2,2), which indicates the
+        #  forward transition from s8 to s14"
+        assert fig2_table.forward(last_added=8, random_value=5) == 14
+
+    def test_backward_transition_s14_to_s8(self, fig2_table):
+        # "known the last removed segment s14, the transition value 2 in the
+        #  cell (2,2) here indicates the backward transition from s14 to s8"
+        assert fig2_table.backward(removed=14, random_value=5) == (8,)
+
+    def test_cell_22_value_is_2(self, fig2_table):
+        assert fig2_table.value(1, 1) == 2  # 0-based cell (2,2)
+
+    def test_render_contains_segments(self, fig2_table):
+        text = fig2_table.render()
+        assert "s8" in text and "s14" in text
+
+
+class TestTableProperties:
+    def test_cloak_and_candidates_must_not_overlap(self, fig2):
+        with pytest.raises(CloakingError):
+            TransitionTable(fig2, {8, 9}, {9, 10})
+
+    def test_empty_sets_rejected(self, fig2):
+        with pytest.raises(CloakingError):
+            TransitionTable(fig2, set(), {6})
+        with pytest.raises(CloakingError):
+            TransitionTable(fig2, {8}, set())
+
+    def test_unknown_anchor_rejected(self, fig2_table):
+        with pytest.raises(CloakingError):
+            fig2_table.forward(last_added=99, random_value=0)
+
+    def test_unknown_removed_rejected(self, fig2_table):
+        with pytest.raises(CloakingError):
+            fig2_table.backward(removed=99, random_value=0)
+
+    def test_negative_random_rejected(self, fig2_table):
+        with pytest.raises(CloakingError):
+            fig2_table.pick_value(-1)
+
+    def test_value_bounds_checked(self, fig2_table):
+        with pytest.raises(CloakingError):
+            fig2_table.value(3, 0)
+        with pytest.raises(CloakingError):
+            fig2_table.value(0, 3)
+
+    def test_collision_free_flag(self, fig2):
+        assert TransitionTable(fig2, {8, 9}, {6, 10, 14}).collision_free
+        assert not TransitionTable(fig2, {8, 9, 11}, {6, 10}).collision_free
+
+
+class TestUniquenessInvariant:
+    """Paper: 'there is no repeated transition value in each row and column
+    if CloakA <= CanA, thus no collisions.'"""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_rows=st.integers(min_value=1, max_value=12),
+        extra_cols=st.integers(min_value=0, max_value=8),
+    )
+    def test_rows_and_columns_distinct_when_collision_free(
+        self, n_rows, extra_cols
+    ):
+        network = grid_network(8, 8)
+        segment_ids = network.segment_ids()
+        n_cols = n_rows + extra_cols
+        cloak = set(segment_ids[:n_rows])
+        candidates = set(segment_ids[n_rows : n_rows + n_cols])
+        table = TransitionTable(network, cloak, candidates)
+        grid = table.grid()
+        for row in grid:
+            assert len(set(row)) == len(row)
+        for column_index in range(table.column_count):
+            column = [row[column_index] for row in grid]
+            assert len(set(column)) == len(column)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_rows=st.integers(min_value=1, max_value=10),
+        extra_cols=st.integers(min_value=0, max_value=6),
+        random_value=st.integers(min_value=0, max_value=10**9),
+    )
+    def test_forward_backward_inverse(self, n_rows, extra_cols, random_value):
+        """backward(forward(anchor)) recovers the anchor for every anchor."""
+        network = grid_network(8, 8)
+        segment_ids = network.segment_ids()
+        cloak = set(segment_ids[:n_rows])
+        candidates = set(segment_ids[n_rows : n_rows + n_rows + extra_cols])
+        table = TransitionTable(network, cloak, candidates)
+        for anchor in cloak:
+            selected = table.forward(anchor, random_value)
+            back = table.backward(selected, random_value)
+            assert anchor in back
+            if table.collision_free:
+                assert back == (anchor,)
+
+    def test_backward_candidates_spaced_by_column_count(self):
+        network = grid_network(8, 8)
+        segment_ids = network.segment_ids()
+        cloak = set(segment_ids[:7])
+        candidates = set(segment_ids[7:10])  # 7 rows x 3 columns
+        table = TransitionTable(network, cloak, candidates)
+        pick = table.pick_value(4)
+        column = table.columns.index(table.columns[0])
+        first_row = (pick - column) % table.column_count
+        expected = len(range(first_row, table.row_count, table.column_count))
+        back = table.backward(table.columns[0], random_value=4)
+        assert len(back) == expected
+        assert 2 <= len(back) <= 3  # ceil/floor of 7/3 depending on offset
+
+
+class TestLengthOrder:
+    def test_sorts_by_length_then_id(self, fig2):
+        assert length_order(fig2, {8, 9, 11, 6, 10, 14}) == (6, 9, 14, 8, 10, 11)
+
+    def test_ties_break_by_id(self):
+        network = grid_network(3, 3)  # all segments 100 m
+        assert length_order(network, {5, 1, 3}) == (1, 3, 5)

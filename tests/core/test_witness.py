@@ -1,0 +1,132 @@
+"""Tests for the per-step witness mechanism (decision D13)."""
+
+import pytest
+
+from repro import KeyChain, PopulationSnapshot, PrivacyProfile, ReverseCloakEngine
+from repro.core.envelope import witness_byte
+from repro.keys import AccessKey
+
+
+@pytest.fixture(scope="module")
+def key():
+    return AccessKey.from_passphrase(1, "witness-test")
+
+
+class TestWitnessByte:
+    def test_deterministic(self, key):
+        assert witness_byte(key, 3, 42) == witness_byte(key, 3, 42)
+
+    def test_byte_range(self, key):
+        for step in range(1, 20):
+            assert 0 <= witness_byte(key, step, 7) <= 255
+
+    def test_step_sensitivity(self, key):
+        values = {witness_byte(key, step, 42) for step in range(1, 40)}
+        assert len(values) > 1
+
+    def test_anchor_sensitivity(self, key):
+        values = {witness_byte(key, 1, anchor) for anchor in range(40)}
+        assert len(values) > 1
+
+    def test_key_sensitivity(self, key):
+        other = AccessKey.from_passphrase(1, "other")
+        differing = sum(
+            1
+            for anchor in range(64)
+            if witness_byte(key, 1, anchor) != witness_byte(other, 1, anchor)
+        )
+        assert differing > 48  # ~255/256 expected to differ
+
+    def test_roughly_uniform(self, key):
+        """Witness bytes behave like PRF output (no obvious bias)."""
+        values = [witness_byte(key, step, 5) for step in range(1, 513)]
+        low = sum(1 for value in values if value < 128)
+        assert 180 < low < 332  # ~256 +- generous slack
+
+
+class TestWitnessesInEnvelopes:
+    def test_hinted_envelope_carries_witnesses(
+        self, rge_engine, dense_snapshot, profile3, chain3
+    ):
+        envelope = rge_engine.anonymize(90, dense_snapshot, profile3, chain3)
+        for record in envelope.levels:
+            assert len(record.witnesses) == record.steps
+            assert all(0 <= byte <= 255 for byte in record.witnesses)
+
+    def test_search_envelope_has_none(
+        self, rge_engine, dense_snapshot, profile3, chain3
+    ):
+        envelope = rge_engine.anonymize(
+            90, dense_snapshot, profile3, chain3, include_hints=False
+        )
+        for record in envelope.levels:
+            assert record.witnesses == ()
+
+    def test_witnesses_match_true_anchors(
+        self, rge_engine, dense_snapshot, profile3, chain3
+    ):
+        """Every recorded witness verifies against the true per-step anchor
+        (recovered via full reversal)."""
+        envelope = rge_engine.anonymize(90, dense_snapshot, profile3, chain3)
+        result = rge_engine.deanonymize(envelope, chain3, target_level=0)
+        for level in range(1, envelope.top_level + 1):
+            record = envelope.level_record(level)
+            key = chain3.key_for(level)
+            # added order = reversed removal order; the step-j anchor is the
+            # previous addition (or the level's start for step 1)
+            added = list(reversed(result.removed[level]))
+            inner = list(result.regions[level - 1])
+            previous_levels_last = None
+            # reconstruct anchors: start anchor, then each addition
+            start_anchor = (
+                result.regions[0][0]
+                if level == 1
+                else list(reversed(result.removed[level - 1] or ()))[-1]
+                if result.removed.get(level - 1)
+                else None
+            )
+            anchors = []
+            anchor = start_anchor
+            for segment in added:
+                anchors.append(anchor)
+                anchor = segment
+            for step, step_anchor in enumerate(anchors, start=1):
+                if step_anchor is None:
+                    continue
+                assert witness_byte(key, step, step_anchor) == record.witnesses[
+                    step - 1
+                ]
+
+    def test_tampered_witness_detected(
+        self, rge_engine, dense_snapshot, profile3, chain3
+    ):
+        from repro import CloakEnvelope
+        from repro.errors import KeyMismatchError
+
+        envelope = rge_engine.anonymize(90, dense_snapshot, profile3, chain3)
+        document = envelope.to_dict()
+        level_with_steps = next(
+            item for item in document["levels"] if item["steps"] > 0
+        )
+        level_with_steps["witnesses"][0] ^= 0xFF
+        tampered = CloakEnvelope.from_dict(document)
+        with pytest.raises(KeyMismatchError):
+            rge_engine.deanonymize(tampered, chain3, target_level=0)
+
+    def test_witness_mismatched_count_rejected(self):
+        from repro.core import LevelRecord, ToleranceSpec
+        from repro.errors import EnvelopeError
+
+        with pytest.raises(EnvelopeError):
+            LevelRecord(
+                level=1,
+                steps=3,
+                k=5,
+                l=2,
+                tolerance=ToleranceSpec(max_segments=10),
+                sealed_anchor=None,
+                sealed_start=None,
+                witnesses=(1, 2),  # two witnesses for three steps
+                mac="x",
+                digest="y",
+            )

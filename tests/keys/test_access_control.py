@@ -1,0 +1,91 @@
+"""Tests for the personal access-control profile."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.keys import AccessControlProfile, KeyChain, Requester
+
+
+@pytest.fixture()
+def chain():
+    return KeyChain.from_passphrases(["a", "b", "c"])
+
+
+@pytest.fixture()
+def profile(chain):
+    # level 2 visible at trust 10, level 1 at 50, exact location at 90
+    return AccessControlProfile(chain, {2: 10, 1: 50, 0: 90})
+
+
+class TestRequester:
+    def test_empty_id_rejected(self):
+        with pytest.raises(ProfileError):
+            Requester("", 5)
+
+    def test_negative_trust_rejected(self):
+        with pytest.raises(ProfileError):
+            Requester("bob", -1)
+
+
+class TestProfileConstruction:
+    def test_threshold_level_out_of_range(self, chain):
+        with pytest.raises(ProfileError):
+            AccessControlProfile(chain, {3: 10})  # level 3 is public
+
+    def test_inverted_thresholds_rejected(self, chain):
+        # finer level requiring LESS trust than a coarser one is inconsistent
+        with pytest.raises(ProfileError):
+            AccessControlProfile(chain, {0: 10, 1: 50})
+
+
+class TestGrants:
+    def test_unknown_requester_gets_nothing(self, profile):
+        grant = profile.fetch_keys("stranger")
+        assert grant.access_level == 3
+        assert grant.keys == ()
+
+    def test_low_trust_gets_outer_key_only(self, profile):
+        profile.register(Requester("acquaintance", trust_degree=15))
+        grant = profile.fetch_keys("acquaintance")
+        assert grant.access_level == 2
+        assert grant.key_levels == (3,)
+
+    def test_mid_trust(self, profile):
+        profile.register(Requester("friend", trust_degree=60))
+        grant = profile.fetch_keys("friend")
+        assert grant.access_level == 1
+        assert grant.key_levels == (2, 3)
+
+    def test_full_trust_gets_all_keys(self, profile):
+        profile.register(Requester("family", trust_degree=95))
+        grant = profile.fetch_keys("family")
+        assert grant.access_level == 0
+        assert grant.key_levels == (1, 2, 3)
+
+    def test_trust_below_all_thresholds(self, profile):
+        profile.register(Requester("lurker", trust_degree=3))
+        grant = profile.fetch_keys("lurker")
+        assert grant.access_level == 3
+        assert grant.keys == ()
+
+    def test_update_requester_changes_grant(self, profile):
+        profile.register(Requester("bob", trust_degree=5))
+        assert profile.fetch_keys("bob").access_level == 3
+        profile.register(Requester("bob", trust_degree=55))
+        assert profile.fetch_keys("bob").access_level == 1
+
+    def test_remove_requester(self, profile):
+        profile.register(Requester("bob", trust_degree=95))
+        profile.remove("bob")
+        assert profile.fetch_keys("bob").access_level == 3
+
+    def test_known_requesters_sorted(self, profile):
+        profile.register(Requester("zoe", 1))
+        profile.register(Requester("amy", 1))
+        assert profile.known_requesters() == ("amy", "zoe")
+
+    def test_granted_keys_match_chain(self, profile, chain):
+        profile.register(Requester("friend", trust_degree=60))
+        grant = profile.fetch_keys("friend")
+        for key in grant.keys:
+            assert key.material == chain.key_for(key.level).material

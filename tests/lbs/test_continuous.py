@@ -1,0 +1,96 @@
+"""Tests for continuous cloaking timelines."""
+
+import pytest
+
+from repro import (
+    PrivacyProfile,
+    ReverseCloakEngine,
+    TrafficSimulator,
+    grid_network,
+)
+from repro.errors import MobilityError
+from repro.lbs import CloakTimeline, ContinuousCloaker
+
+
+@pytest.fixture()
+def setup():
+    network = grid_network(10, 10)
+    simulator = TrafficSimulator(network, n_cars=400, seed=33)
+    simulator.run(2)
+    engine = ReverseCloakEngine(network)
+    profile = PrivacyProfile.uniform(
+        levels=2, base_k=5, k_step=3, base_l=3, l_step=1, max_segments=50
+    )
+    return network, simulator, engine, profile
+
+
+class TestContinuousCloaker:
+    def test_produces_requested_ticks(self, setup):
+        network, simulator, engine, profile = setup
+        cloaker = ContinuousCloaker(engine, simulator, profile)
+        timeline = cloaker.run(user_id=3, ticks=5, interval_seconds=4.0)
+        assert len(timeline) == 5
+        assert timeline.user_id == 3
+
+    def test_time_advances_between_ticks(self, setup):
+        network, simulator, engine, profile = setup
+        cloaker = ContinuousCloaker(engine, simulator, profile)
+        timeline = cloaker.run(user_id=3, ticks=4, interval_seconds=3.0)
+        times = [entry.time for entry in timeline]
+        assert times == sorted(times)
+        assert times[-1] - times[0] == pytest.approx(9.0)
+
+    def test_user_always_inside_own_cloak(self, setup):
+        network, simulator, engine, profile = setup
+        cloaker = ContinuousCloaker(engine, simulator, profile)
+        timeline = cloaker.run(user_id=7, ticks=5, interval_seconds=4.0)
+        for entry in timeline.successful_entries():
+            assert entry.snapshot.segment_of(7) in entry.envelope.region
+
+    def test_fresh_keys_rotate(self, setup):
+        network, simulator, engine, profile = setup
+        cloaker = ContinuousCloaker(engine, simulator, profile, fresh_keys=True)
+        timeline = cloaker.run(user_id=3, ticks=3, interval_seconds=4.0)
+        fingerprints = {
+            entry.chain.key_for(1).fingerprint() for entry in timeline
+        }
+        assert len(fingerprints) == 3
+
+    def test_fixed_chain_reused(self, setup):
+        network, simulator, engine, profile = setup
+        cloaker = ContinuousCloaker(engine, simulator, profile, fresh_keys=False)
+        timeline = cloaker.run(user_id=3, ticks=3, interval_seconds=4.0)
+        fingerprints = {
+            entry.chain.key_for(1).fingerprint() for entry in timeline
+        }
+        assert len(fingerprints) == 1
+
+    def test_every_tick_reversible_with_its_chain(self, setup):
+        network, simulator, engine, profile = setup
+        cloaker = ContinuousCloaker(engine, simulator, profile)
+        timeline = cloaker.run(user_id=9, ticks=4, interval_seconds=5.0)
+        for entry in timeline.successful_entries():
+            result = engine.deanonymize(entry.envelope, entry.chain, target_level=0)
+            assert result.region_at(0) == (entry.snapshot.segment_of(9),)
+
+    def test_success_rate(self, setup):
+        network, simulator, engine, profile = setup
+        cloaker = ContinuousCloaker(engine, simulator, profile)
+        timeline = cloaker.run(user_id=3, ticks=4, interval_seconds=4.0)
+        assert 0.0 <= timeline.success_rate() <= 1.0
+
+    def test_validation(self, setup):
+        network, simulator, engine, profile = setup
+        cloaker = ContinuousCloaker(engine, simulator, profile)
+        with pytest.raises(MobilityError):
+            cloaker.run(user_id=3, ticks=0)
+        with pytest.raises(MobilityError):
+            cloaker.run(user_id=3, ticks=2, interval_seconds=0.0)
+        with pytest.raises(MobilityError):
+            cloaker.run(user_id=99_999, ticks=2)
+
+    def test_mismatched_network_rejected(self, setup):
+        network, simulator, engine, profile = setup
+        other_engine = ReverseCloakEngine(grid_network(10, 10))
+        with pytest.raises(MobilityError):
+            ContinuousCloaker(other_engine, simulator, profile)

@@ -1,0 +1,70 @@
+"""Tests for the LBS provider serving cloaked users."""
+
+import pytest
+
+from repro import KeyChain, PrivacyProfile, ReverseCloakEngine
+from repro.errors import QueryError
+from repro.lbs import LBSProvider, PoiDirectory
+
+
+@pytest.fixture(scope="module")
+def setup(grid10, dense_snapshot):
+    """(provider, envelope, chain, engine) with one uploaded cloak."""
+    profile = PrivacyProfile.uniform(
+        levels=3, base_k=4, k_step=4, base_l=3, l_step=2, max_segments=60
+    )
+    chain = KeyChain.from_passphrases(["p1", "p2", "p3"])
+    engine = ReverseCloakEngine(grid10)
+    envelope = engine.anonymize(90, dense_snapshot, profile, chain)
+    provider = LBSProvider(PoiDirectory(grid10, count=120, seed=5))
+    provider.upload("alice", envelope)
+    return provider, envelope, chain, engine
+
+
+class TestUploads:
+    def test_visible_region_is_outermost(self, setup):
+        provider, envelope, __, __ = setup
+        assert provider.visible_region("alice") == envelope.region
+
+    def test_unknown_pseudonym(self, setup):
+        provider = setup[0]
+        with pytest.raises(QueryError):
+            provider.envelope_of("bob")
+
+    def test_empty_pseudonym_rejected(self, setup):
+        provider, envelope, __, __ = setup
+        with pytest.raises(QueryError):
+            provider.upload("", envelope)
+
+    def test_known_pseudonyms(self, setup):
+        provider = setup[0]
+        assert "alice" in provider.known_pseudonyms()
+
+
+class TestQueries:
+    def test_serves_on_full_region(self, setup):
+        provider, envelope, __, __ = setup
+        result = provider.serve_range_query("alice", radius=150.0)
+        assert result.region_size == len(envelope.region)
+
+    def test_keyholder_gets_tighter_results(self, setup):
+        provider, envelope, chain, engine = setup
+        reduced = engine.deanonymize(envelope, chain, target_level=1).regions[1]
+        full = provider.serve_range_query("alice", radius=150.0)
+        tight = provider.serve_range_query(
+            "alice", radius=150.0, region_override=reduced
+        )
+        assert tight.candidate_count <= full.candidate_count
+        assert tight.region_size < full.region_size
+
+    def test_override_must_be_subset(self, setup):
+        provider = setup[0]
+        with pytest.raises(QueryError):
+            provider.serve_range_query(
+                "alice", radius=100.0, region_override=(99999,)
+            )
+
+    def test_override_must_be_non_empty(self, setup):
+        provider = setup[0]
+        with pytest.raises(QueryError):
+            provider.serve_range_query("alice", radius=100.0, region_override=())

@@ -1,0 +1,105 @@
+"""Tests for POI directories and anonymous range queries."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.lbs import PoiDirectory, range_query
+from repro.roadnet import Point, grid_network
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(6, 6, spacing=100.0)
+
+
+@pytest.fixture(scope="module")
+def directory(grid):
+    return PoiDirectory(grid, count=80, seed=3)
+
+
+class TestPoiDirectory:
+    def test_count(self, directory):
+        assert len(directory) == 80
+
+    def test_pois_sit_on_their_segment(self, grid, directory):
+        from repro.roadnet import point_segment_distance
+
+        for poi in directory.all_pois():
+            a, b = grid.segment_endpoints(poi.segment_id)
+            assert point_segment_distance(poi.location, a, b) < 1e-6
+
+    def test_categories_cycled(self, directory):
+        categories = {poi.category for poi in directory.all_pois()}
+        assert categories == {"fuel", "food", "atm", "pharmacy"}
+
+    def test_pois_on_lookup(self, directory):
+        poi = directory.all_pois()[0]
+        assert poi in directory.pois_on(poi.segment_id)
+
+    def test_deterministic(self, grid):
+        a = PoiDirectory(grid, count=20, seed=9)
+        b = PoiDirectory(grid, count=20, seed=9)
+        assert [p.segment_id for p in a.all_pois()] == [
+            p.segment_id for p in b.all_pois()
+        ]
+
+    def test_invalid_construction(self, grid):
+        with pytest.raises(QueryError):
+            PoiDirectory(grid, count=-1)
+        with pytest.raises(QueryError):
+            PoiDirectory(grid, count=5, categories=())
+
+    def test_pois_near_point(self, directory):
+        center = Point(250.0, 250.0)
+        hits = directory.pois_near_point(center, radius=150.0)
+        assert all(poi.location.distance_to(center) <= 150.0 for poi in hits)
+
+    def test_pois_near_point_category_filter(self, directory):
+        hits = directory.pois_near_point(Point(250, 250), 400.0, category="fuel")
+        assert all(poi.category == "fuel" for poi in hits)
+
+    def test_negative_radius(self, directory):
+        with pytest.raises(QueryError):
+            directory.pois_near_point(Point(0, 0), -1.0)
+
+
+class TestRangeQuery:
+    def test_candidates_are_superset_of_every_exact(self, directory):
+        region = {0, 1, 2, 30, 31}
+        result = range_query(directory, region, radius=120.0)
+        candidate_ids = {poi.poi_id for poi in result.candidates}
+        for segment_id in region:
+            exact_ids = {poi.poi_id for poi in result.exact_for_segment[segment_id]}
+            assert exact_ids <= candidate_ids
+
+    def test_bigger_region_never_fewer_candidates(self, directory):
+        small = range_query(directory, {0, 1}, radius=120.0)
+        large = range_query(directory, {0, 1, 2, 3, 30, 31, 32}, radius=120.0)
+        assert large.candidate_count >= small.candidate_count
+
+    def test_region_size_recorded(self, directory):
+        result = range_query(directory, {0, 1, 2}, radius=100.0)
+        assert result.region_size == 3
+
+    def test_precision_bounds(self, directory):
+        result = range_query(directory, {0, 1, 2, 30}, radius=150.0)
+        precision = result.precision_for(0)
+        assert 0.0 <= precision <= 1.0
+
+    def test_precision_empty_candidates_is_one(self, directory):
+        # a region far from any POI within a tiny radius
+        result = range_query(directory, {0}, radius=0.0)
+        if result.candidate_count == 0:
+            assert result.precision_for(0) == 1.0
+
+    def test_category_filter(self, directory):
+        result = range_query(directory, {0, 1, 2}, radius=200.0, category="atm")
+        assert all(poi.category == "atm" for poi in result.candidates)
+
+    def test_empty_region_rejected(self, directory):
+        with pytest.raises(QueryError):
+            range_query(directory, set(), radius=10.0)
+
+    def test_negative_radius_rejected(self, directory):
+        with pytest.raises(QueryError):
+            range_query(directory, {0}, radius=-5.0)

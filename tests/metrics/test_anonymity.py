@@ -1,0 +1,67 @@
+"""Tests for anonymity/region-quality metrics."""
+
+import pytest
+
+from repro.core import LevelRequirement, ToleranceSpec
+from repro.metrics import nesting_ratios, region_quality
+from repro.mobility import PopulationSnapshot
+from repro.roadnet import grid_network
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(6, 6, spacing=100.0)
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return PopulationSnapshot.from_counts({0: 3, 1: 2, 2: 1, 30: 4})
+
+
+class TestRegionQuality:
+    def test_counts(self, grid, snapshot):
+        quality = region_quality(grid, {0, 1, 2}, snapshot)
+        assert quality.segments == 3
+        assert quality.users == 6
+        assert quality.total_length == pytest.approx(300.0)
+        assert quality.diagonal == pytest.approx(300.0)
+
+    def test_relative_figures(self, grid, snapshot):
+        requirement = LevelRequirement(
+            k=3, l=2, tolerance=ToleranceSpec(max_segments=10)
+        )
+        quality = region_quality(grid, {0, 1, 2}, snapshot, requirement)
+        assert quality.relative_k == pytest.approx(2.0)
+        assert quality.relative_l == pytest.approx(1.5)
+        assert quality.meets(requirement)
+
+    def test_no_requirement_means_no_relatives(self, grid, snapshot):
+        quality = region_quality(grid, {0, 1}, snapshot)
+        assert quality.relative_k is None
+        assert quality.relative_l is None
+
+    def test_meets_false_when_under(self, grid, snapshot):
+        requirement = LevelRequirement(
+            k=100, l=2, tolerance=ToleranceSpec(max_segments=10)
+        )
+        quality = region_quality(grid, {0, 1, 2}, snapshot, requirement)
+        assert not quality.meets(requirement)
+
+    def test_empty_region_rejected(self, grid, snapshot):
+        with pytest.raises(ValueError):
+            region_quality(grid, set(), snapshot)
+
+
+class TestNestingRatios:
+    def test_ratios(self):
+        regions = {0: [5], 1: [4, 5], 2: [3, 4, 5, 6]}
+        ratios = nesting_ratios(regions)
+        assert ratios[0] == pytest.approx(0.5)
+        assert ratios[1] == pytest.approx(0.5)
+
+    def test_non_nested_rejected(self):
+        with pytest.raises(ValueError):
+            nesting_ratios({0: [1], 1: [2, 3]})
+
+    def test_single_level_no_ratios(self):
+        assert nesting_ratios({2: [1, 2, 3]}) == {}

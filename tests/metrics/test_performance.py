@@ -1,0 +1,67 @@
+"""Tests for timing and memory instruments."""
+
+import time
+
+import pytest
+
+from repro.metrics import Timer, deep_sizeof, measure
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.005)
+        assert timer.elapsed >= first
+
+
+class TestMeasure:
+    def test_summary_fields(self):
+        summary = measure(lambda: sum(range(1000)), repeats=5)
+        assert summary.repeats == 5
+        assert summary.min_s <= summary.median_s <= summary.max_s
+        assert summary.mean_s > 0
+
+    def test_single_repeat_has_zero_stdev(self):
+        summary = measure(lambda: None, repeats=1)
+        assert summary.stdev_s == 0.0
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+
+    def test_str_mentions_mean(self):
+        summary = measure(lambda: None, repeats=2)
+        assert "ms mean" in str(summary)
+
+
+class TestDeepSizeof:
+    def test_container_bigger_than_scalar(self):
+        assert deep_sizeof([1, 2, 3]) > deep_sizeof(1)
+
+    def test_nested_counts_children(self):
+        flat = deep_sizeof([0] * 10)
+        nested = deep_sizeof([[0] * 10, [1] * 10])
+        assert nested > flat
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(100))
+        assert deep_sizeof([shared, shared]) < 2 * deep_sizeof(shared)
+
+    def test_objects_with_dict(self):
+        class Holder:
+            def __init__(self):
+                self.payload = list(range(50))
+
+        assert deep_sizeof(Holder()) > deep_sizeof(list(range(50)))
+
+    def test_dict_counts_keys_and_values(self):
+        assert deep_sizeof({"a" * 50: "b" * 50}) > deep_sizeof({})

@@ -1,0 +1,72 @@
+"""Tests for the placement distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MobilityError
+from repro.mobility import GaussianPlacement, UniformPlacement
+from repro.roadnet import BoundingBox
+
+
+BOUNDS = BoundingBox(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestGaussianPlacement:
+    def test_points_inside_bounds(self):
+        placement = GaussianPlacement()
+        points = placement.sample(500, BOUNDS, np.random.default_rng(1))
+        assert len(points) == 500
+        assert all(BOUNDS.contains(p) for p in points)
+
+    def test_clusters_near_hotspot(self):
+        placement = GaussianPlacement(hotspots=((0.5, 0.5),), sigma_fraction=0.05)
+        points = placement.sample(400, BOUNDS, np.random.default_rng(2))
+        center_hits = sum(
+            1 for p in points if 300 <= p.x <= 700 and 300 <= p.y <= 700
+        )
+        # with sigma = 5% of the diagonal almost everything lands centrally
+        assert center_hits / len(points) > 0.95
+
+    def test_multiple_hotspots_round_robin(self):
+        placement = GaussianPlacement(
+            hotspots=((0.1, 0.1), (0.9, 0.9)), sigma_fraction=0.03
+        )
+        points = placement.sample(200, BOUNDS, np.random.default_rng(3))
+        near_low = sum(1 for p in points if p.x < 500 and p.y < 500)
+        near_high = sum(1 for p in points if p.x >= 500 and p.y >= 500)
+        assert near_low == pytest.approx(100, abs=15)
+        assert near_high == pytest.approx(100, abs=15)
+
+    def test_deterministic_given_rng_seed(self):
+        placement = GaussianPlacement()
+        a = placement.sample(50, BOUNDS, np.random.default_rng(7))
+        b = placement.sample(50, BOUNDS, np.random.default_rng(7))
+        assert a == b
+
+    def test_invalid_configs(self):
+        with pytest.raises(MobilityError):
+            GaussianPlacement(hotspots=())
+        with pytest.raises(MobilityError):
+            GaussianPlacement(sigma_fraction=0.0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MobilityError):
+            GaussianPlacement().sample(-1, BOUNDS, np.random.default_rng(0))
+
+
+class TestUniformPlacement:
+    def test_points_inside_bounds(self):
+        points = UniformPlacement().sample(300, BOUNDS, np.random.default_rng(4))
+        assert len(points) == 300
+        assert all(BOUNDS.contains(p) for p in points)
+
+    def test_spreads_over_quadrants(self):
+        points = UniformPlacement().sample(400, BOUNDS, np.random.default_rng(5))
+        quadrants = [0, 0, 0, 0]
+        for p in points:
+            quadrants[(p.x >= 500) * 2 + (p.y >= 500)] += 1
+        assert min(quadrants) > 50  # roughly even
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MobilityError):
+            UniformPlacement().sample(-5, BOUNDS, np.random.default_rng(0))

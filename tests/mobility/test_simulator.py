@@ -1,0 +1,108 @@
+"""Tests for the GTMobiSim-style traffic simulator."""
+
+import pytest
+
+from repro.errors import MobilityError
+from repro.mobility import TrafficSimulator, UniformPlacement
+from repro.roadnet import grid_network
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(8, 8, spacing=100.0)
+
+
+class TestConstruction:
+    def test_fleet_size(self, grid):
+        simulator = TrafficSimulator(grid, n_cars=50, seed=1)
+        assert len(simulator.cars) == 50
+        assert simulator.snapshot().user_count == 50
+
+    def test_zero_cars(self, grid):
+        simulator = TrafficSimulator(grid, n_cars=0, seed=1)
+        assert simulator.snapshot().user_count == 0
+
+    def test_negative_cars_rejected(self, grid):
+        with pytest.raises(MobilityError):
+            TrafficSimulator(grid, n_cars=-1)
+
+    def test_invalid_speed_range(self, grid):
+        with pytest.raises(MobilityError):
+            TrafficSimulator(grid, n_cars=1, speed_range=(0.0, 10.0))
+        with pytest.raises(MobilityError):
+            TrafficSimulator(grid, n_cars=1, speed_range=(10.0, 5.0))
+
+    def test_cars_start_on_valid_segments(self, grid):
+        simulator = TrafficSimulator(grid, n_cars=30, seed=2)
+        for car in simulator.cars:
+            assert grid.has_segment(car.segment_id)
+            assert 0.0 <= car.offset <= grid.segment_length(car.segment_id)
+
+    def test_deterministic_in_seed(self, grid):
+        a = TrafficSimulator(grid, n_cars=20, seed=9)
+        b = TrafficSimulator(grid, n_cars=20, seed=9)
+        a.run(5)
+        b.run(5)
+        assert a.snapshot().counts() == b.snapshot().counts()
+
+    def test_different_seeds_differ(self, grid):
+        a = TrafficSimulator(grid, n_cars=40, seed=1)
+        b = TrafficSimulator(grid, n_cars=40, seed=2)
+        assert a.snapshot().counts() != b.snapshot().counts()
+
+
+class TestMovement:
+    def test_time_advances(self, grid):
+        simulator = TrafficSimulator(grid, n_cars=5, seed=3)
+        simulator.step(2.0)
+        assert simulator.time == 2.0
+        simulator.run(3, dt=0.5)
+        assert simulator.time == pytest.approx(3.5)
+
+    def test_bad_dt_rejected(self, grid):
+        simulator = TrafficSimulator(grid, n_cars=1, seed=3)
+        with pytest.raises(MobilityError):
+            simulator.step(0.0)
+
+    def test_cars_actually_move(self, grid):
+        simulator = TrafficSimulator(grid, n_cars=30, seed=4)
+        before = simulator.positions()
+        simulator.run(10)
+        after = simulator.positions()
+        moved = sum(
+            1 for car_id in before if before[car_id].distance_to(after[car_id]) > 1.0
+        )
+        assert moved > 25  # nearly everyone moved over 10 s
+
+    def test_positions_stay_on_map(self, grid):
+        simulator = TrafficSimulator(grid, n_cars=30, seed=5)
+        simulator.run(20)
+        bounds = grid.bounding_box()
+        for position in simulator.positions().values():
+            assert bounds.expanded(1.0).contains(position)
+
+    def test_snapshot_reflects_movement(self, grid):
+        simulator = TrafficSimulator(grid, n_cars=50, seed=6)
+        first = simulator.snapshot()
+        simulator.run(15)
+        second = simulator.snapshot()
+        assert first.counts() != second.counts()
+        assert second.time == pytest.approx(15.0)
+
+    def test_car_lookup(self, grid):
+        simulator = TrafficSimulator(grid, n_cars=3, seed=7)
+        assert simulator.car(2).car_id == 2
+        with pytest.raises(MobilityError):
+            simulator.car(99)
+
+    def test_uniform_placement_supported(self, grid):
+        simulator = TrafficSimulator(
+            grid, n_cars=20, seed=8, placement=UniformPlacement()
+        )
+        assert simulator.snapshot().user_count == 20
+
+    def test_long_run_is_stable(self, grid):
+        # cars re-trip indefinitely without crashing or draining
+        simulator = TrafficSimulator(grid, n_cars=10, seed=9, speed_range=(15.0, 25.0))
+        simulator.run(200)
+        assert simulator.snapshot().user_count == 10

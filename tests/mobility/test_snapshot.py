@@ -1,0 +1,76 @@
+"""Tests for population snapshots."""
+
+import pytest
+
+from repro.errors import MobilityError
+from repro.mobility import PopulationSnapshot
+
+
+@pytest.fixture()
+def snapshot():
+    return PopulationSnapshot({0: 10, 1: 10, 2: 11, 3: 12}, time=5.0)
+
+
+class TestBasics:
+    def test_counts(self, snapshot):
+        assert snapshot.user_count == 4
+        assert snapshot.count_on(10) == 2
+        assert snapshot.count_on(11) == 1
+        assert snapshot.count_on(99) == 0
+
+    def test_users_on_sorted(self, snapshot):
+        assert snapshot.users_on(10) == (0, 1)
+        assert snapshot.users_on(99) == ()
+
+    def test_segment_of(self, snapshot):
+        assert snapshot.segment_of(2) == 11
+        with pytest.raises(MobilityError):
+            snapshot.segment_of(42)
+
+    def test_has_user(self, snapshot):
+        assert snapshot.has_user(0)
+        assert not snapshot.has_user(42)
+
+    def test_time(self, snapshot):
+        assert snapshot.time == 5.0
+
+    def test_users_sorted(self, snapshot):
+        assert snapshot.users() == (0, 1, 2, 3)
+
+
+class TestRegions:
+    def test_count_in_region(self, snapshot):
+        assert snapshot.count_in_region({10, 11}) == 3
+        assert snapshot.count_in_region(set()) == 0
+
+    def test_users_in_region(self, snapshot):
+        assert snapshot.users_in_region({11, 12}) == (2, 3)
+
+    def test_occupied_segments(self, snapshot):
+        assert snapshot.occupied_segments() == (10, 11, 12)
+
+    def test_counts_dict_is_copy(self, snapshot):
+        counts = snapshot.counts()
+        counts[10] = 999
+        assert snapshot.count_on(10) == 2
+
+
+class TestFromCounts:
+    def test_builds_expected_population(self):
+        snapshot = PopulationSnapshot.from_counts({5: 3, 7: 1})
+        assert snapshot.user_count == 4
+        assert snapshot.count_on(5) == 3
+        assert snapshot.count_on(7) == 1
+
+    def test_user_ids_consecutive(self):
+        snapshot = PopulationSnapshot.from_counts({5: 2, 7: 2})
+        assert snapshot.users() == (0, 1, 2, 3)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MobilityError):
+            PopulationSnapshot.from_counts({5: -1})
+
+    def test_zero_count_segment_vacant(self):
+        snapshot = PopulationSnapshot.from_counts({5: 0, 6: 1})
+        assert snapshot.count_on(5) == 0
+        assert snapshot.occupied_segments() == (6,)

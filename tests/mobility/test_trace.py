@@ -1,0 +1,69 @@
+"""Tests for mobility trace capture and persistence."""
+
+import pytest
+
+from repro.errors import MobilityError
+from repro.mobility import MobilityTrace, TraceRecord, TrafficSimulator, record_trace
+from repro.roadnet import grid_network
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    simulator = TrafficSimulator(grid_network(6, 6), n_cars=12, seed=3)
+    return record_trace(simulator, steps=4)
+
+
+class TestRecordTrace:
+    def test_record_count(self, small_trace):
+        # (steps + 1) observations x 12 cars
+        assert len(small_trace) == 5 * 12
+
+    def test_times(self, small_trace):
+        assert small_trace.times() == (0.0, 1.0, 2.0, 3.0, 4.0)
+
+    def test_snapshot_at_initial(self, small_trace):
+        snapshot = small_trace.snapshot_at(0.0)
+        assert snapshot.user_count == 12
+        assert snapshot.time == 0.0
+
+    def test_snapshot_at_missing_time(self, small_trace):
+        with pytest.raises(MobilityError):
+            small_trace.snapshot_at(99.0)
+
+
+class TestTraceMutation:
+    def test_append_ordered(self):
+        trace = MobilityTrace()
+        trace.append(TraceRecord(0.0, 1, 5))
+        trace.append(TraceRecord(1.0, 1, 6))
+        assert len(trace) == 2
+
+    def test_append_backwards_rejected(self):
+        trace = MobilityTrace()
+        trace.append(TraceRecord(5.0, 1, 5))
+        with pytest.raises(MobilityError):
+            trace.append(TraceRecord(1.0, 1, 6))
+
+    def test_constructor_sorts(self):
+        trace = MobilityTrace(
+            [TraceRecord(1.0, 0, 5), TraceRecord(0.0, 0, 4), TraceRecord(0.0, 1, 9)]
+        )
+        records = trace.records()
+        assert records[0] == TraceRecord(0.0, 0, 4)
+        assert records[1] == TraceRecord(0.0, 1, 9)
+
+
+class TestPersistence:
+    def test_csv_round_trip(self, small_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        small_trace.save_csv(path)
+        restored = MobilityTrace.load_csv(path)
+        assert restored.records() == small_trace.records()
+
+    def test_round_trip_preserves_snapshots(self, small_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        small_trace.save_csv(path)
+        restored = MobilityTrace.load_csv(path)
+        original = small_trace.snapshot_at(2.0)
+        loaded = restored.snapshot_at(2.0)
+        assert original.counts() == loaded.counts()

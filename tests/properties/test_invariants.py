@@ -1,0 +1,140 @@
+"""Property-based tests of structural invariants (DESIGN.md section 6)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import KeyChain, PopulationSnapshot, PrivacyProfile, ReverseCloakEngine
+from repro.core import Preassignment, TransitionTable
+from repro.core.envelope import seal_anchor, unseal_anchor
+from repro.keys import AccessKey
+from repro.roadnet import grid_network, random_delaunay_network
+
+GRID = grid_network(8, 8)
+
+
+class TestTransitionTableInvariants:
+    """Invariant 2: table soundness on arbitrary cloak/candidate splits."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        split=st.integers(min_value=1, max_value=30),
+        width=st.integers(min_value=1, max_value=30),
+        random_value=st.integers(min_value=0, max_value=2**64),
+    )
+    def test_forward_result_in_candidates_and_invertible(
+        self, split, width, random_value
+    ):
+        segment_ids = GRID.segment_ids()
+        cloak = set(segment_ids[:split])
+        candidates = set(segment_ids[split : split + width])
+        table = TransitionTable(GRID, cloak, candidates)
+        for anchor in sorted(cloak)[:5]:
+            selected = table.forward(anchor, random_value)
+            assert selected in candidates
+            assert anchor in table.backward(selected, random_value)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        split=st.integers(min_value=1, max_value=20),
+        extra=st.integers(min_value=0, max_value=20),
+        random_value=st.integers(min_value=0, max_value=2**64),
+    )
+    def test_collision_free_tables_have_unique_backward(
+        self, split, extra, random_value
+    ):
+        segment_ids = GRID.segment_ids()
+        cloak = set(segment_ids[:split])
+        candidates = set(segment_ids[split : split + split + extra])
+        table = TransitionTable(GRID, cloak, candidates)
+        assert table.collision_free
+        for candidate in sorted(candidates)[:5]:
+            assert len(table.backward(candidate, random_value)) <= 1
+
+
+class TestPreassignmentInvariants:
+    """Invariant 3: RPLE pre-assignment symmetry on random maps."""
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        list_length=st.integers(min_value=2, max_value=10),
+    )
+    def test_symmetry_on_random_maps(self, seed, list_length):
+        network = random_delaunay_network(40, 55, seed=seed, extent=2000.0)
+        pre = Preassignment(network, list_length=list_length)
+        assert pre.verify_symmetry()
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_no_slot_double_assignment(self, seed):
+        network = random_delaunay_network(40, 55, seed=seed, extent=2000.0)
+        pre = Preassignment(network, list_length=6)
+        # A (target, slot) pair maps back to exactly one source.
+        seen = {}
+        for segment_id in network.segment_ids():
+            for slot, target in enumerate(pre.forward_list(segment_id)):
+                if target is not None:
+                    assert (target, slot) not in seen
+                    seen[(target, slot)] = segment_id
+
+
+class TestSealingInvariants:
+    """Invariant 5/6 support: sealing is a keyed bijection."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        anchor=st.integers(min_value=0, max_value=2**63),
+        passphrase=st.text(min_size=1, max_size=16),
+        level=st.integers(min_value=1, max_value=9),
+    )
+    def test_seal_unseal_identity(self, anchor, passphrase, level):
+        key = AccessKey.from_passphrase(level, passphrase)
+        assert unseal_anchor(key, seal_anchor(key, anchor)) == anchor
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        anchor=st.integers(min_value=0, max_value=2**32),
+        passphrase=st.text(min_size=1, max_size=16),
+    )
+    def test_wrong_key_unseal_differs(self, anchor, passphrase):
+        key = AccessKey.from_passphrase(1, passphrase)
+        other = AccessKey.from_passphrase(1, passphrase + "-x")
+        assert unseal_anchor(other, seal_anchor(key, anchor)) != anchor
+
+
+class TestDeterminismInvariant:
+    """Invariant 6: byte-identical envelopes across runs and dict orders."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        user_index=st.integers(min_value=0, max_value=100),
+        passphrase=st.text(min_size=1, max_size=8),
+    )
+    def test_envelope_bytes_stable(self, user_index, passphrase):
+        snapshot = PopulationSnapshot.from_counts(
+            {segment_id: 2 for segment_id in GRID.segment_ids()}
+        )
+        profile = PrivacyProfile.uniform(
+            levels=2, base_k=3, k_step=2, base_l=2, l_step=1, max_segments=50
+        )
+        chain = KeyChain.from_passphrases([passphrase, passphrase + "2"])
+        user_segment = GRID.segment_ids()[user_index]
+        payloads = set()
+        for __ in range(3):
+            engine = ReverseCloakEngine(GRID)  # fresh engine each time
+            envelope = engine.anonymize(user_segment, snapshot, profile, chain)
+            payloads.add(envelope.to_json())
+        assert len(payloads) == 1

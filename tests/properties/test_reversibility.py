@@ -1,0 +1,168 @@
+"""Property-based tests of the headline invariant: reversibility.
+
+For ANY map, population, profile, key material and algorithm,
+``deanonymize(anonymize(x))`` must restore the exact region of every lower
+level and the user's segment (DESIGN.md invariant 1). Hypothesis explores
+the space; failures shrink to minimal counterexamples.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    KeyChain,
+    PopulationSnapshot,
+    PrivacyProfile,
+    ReverseCloakEngine,
+    ReversibleGlobalExpansion,
+    ReversiblePreassignmentExpansion,
+    grid_network,
+)
+from repro.core import LevelRequirement, ToleranceSpec
+
+# Maps are cached at module scope; hypothesis draws everything else.
+GRID = grid_network(9, 9)
+RPLE_ALGO = ReversiblePreassignmentExpansion.for_network(GRID)
+RGE_ALGO = ReversibleGlobalExpansion()
+
+
+def snapshot_strategy():
+    """Populations: every segment holds 0-4 users, drawn per segment."""
+    return st.builds(
+        PopulationSnapshot.from_counts,
+        st.fixed_dictionaries(
+            {},
+            optional={
+                segment_id: st.integers(min_value=0, max_value=4)
+                for segment_id in GRID.segment_ids()[:60]
+            },
+        ),
+    )
+
+
+profile_strategy = st.builds(
+    PrivacyProfile.uniform,
+    levels=st.integers(min_value=1, max_value=4),
+    base_k=st.integers(min_value=1, max_value=8),
+    k_step=st.integers(min_value=0, max_value=6),
+    base_l=st.integers(min_value=1, max_value=5),
+    l_step=st.integers(min_value=0, max_value=3),
+    max_segments=st.integers(min_value=40, max_value=90),
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    user_index=st.integers(min_value=0, max_value=143),
+    profile=profile_strategy,
+    passphrase=st.text(min_size=1, max_size=12),
+    algorithm_name=st.sampled_from(["rge", "rple"]),
+    base_count=st.integers(min_value=1, max_value=3),
+)
+def test_full_round_trip_restores_every_level(
+    user_index, profile, passphrase, algorithm_name, base_count
+):
+    """anonymize -> deanonymize restores every level exactly (hint mode)."""
+    snapshot = PopulationSnapshot.from_counts(
+        {segment_id: base_count for segment_id in GRID.segment_ids()}
+    )
+    user_segment = GRID.segment_ids()[user_index]
+    chain = KeyChain.from_passphrases(
+        [f"{passphrase}-{level}" for level in range(profile.level_count)]
+    )
+    algorithm = RGE_ALGO if algorithm_name == "rge" else RPLE_ALGO
+    engine = ReverseCloakEngine(GRID, algorithm)
+    envelope = engine.anonymize(user_segment, snapshot, profile, chain)
+    result = engine.deanonymize(envelope, chain, target_level=0)
+
+    # L0 is the exact user segment.
+    assert result.region_at(0) == (user_segment,)
+    # Every level satisfies its requirement and nests in the next.
+    for level in range(1, profile.level_count + 1):
+        requirement = profile.requirement(level)
+        region = set(result.regions[level])
+        assert len(region) >= requirement.l
+        assert snapshot.count_in_region(region) >= requirement.k
+        assert requirement.tolerance.fits(GRID, region)
+        assert GRID.is_connected_region(region)
+        if level < profile.level_count:
+            assert region <= set(result.regions[level + 1])
+    # The outermost recovered region is the published one.
+    assert result.regions[profile.level_count] == envelope.region
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    user_index=st.integers(min_value=0, max_value=143),
+    passphrase=st.text(min_size=1, max_size=10),
+    algorithm_name=st.sampled_from(["rge", "rple"]),
+    target=st.integers(min_value=0, max_value=2),
+)
+def test_partial_grants_reach_exactly_their_level(
+    user_index, passphrase, algorithm_name, target
+):
+    """Holding keys j+1..top recovers levels j..top and nothing deeper."""
+    snapshot = PopulationSnapshot.from_counts(
+        {segment_id: 2 for segment_id in GRID.segment_ids()}
+    )
+    profile = PrivacyProfile.uniform(
+        levels=3, base_k=3, k_step=3, base_l=2, l_step=1, max_segments=70
+    )
+    user_segment = GRID.segment_ids()[user_index]
+    chain = KeyChain.from_passphrases([f"{passphrase}{i}" for i in range(3)])
+    algorithm = RGE_ALGO if algorithm_name == "rge" else RPLE_ALGO
+    engine = ReverseCloakEngine(GRID, algorithm)
+    envelope = engine.anonymize(user_segment, snapshot, profile, chain)
+
+    granted = {key.level: key for key in chain.suffix(target + 1)}
+    result = engine.deanonymize(envelope, granted, target_level=target)
+    assert min(result.regions) == target
+    if target == 0:
+        assert result.region_at(0) == (user_segment,)
+
+    # Full-chain reference: the partial result agrees level-by-level.
+    reference = engine.deanonymize(envelope, chain, target_level=0)
+    for level in result.regions:
+        assert result.regions[level] == reference.regions[level]
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    user_index=st.integers(min_value=0, max_value=143),
+    passphrase=st.text(min_size=1, max_size=8),
+    algorithm_name=st.sampled_from(["rge", "rple"]),
+)
+def test_search_mode_never_returns_a_wrong_region(
+    user_index, passphrase, algorithm_name
+):
+    """Search-mode reversal either recovers the truth or raises
+    CollisionError — it never silently returns a wrong region."""
+    from repro.errors import CollisionError
+
+    snapshot = PopulationSnapshot.from_counts(
+        {segment_id: 2 for segment_id in GRID.segment_ids()}
+    )
+    profile = PrivacyProfile.uniform(
+        levels=2, base_k=3, k_step=3, base_l=2, l_step=1, max_segments=60
+    )
+    user_segment = GRID.segment_ids()[user_index]
+    chain = KeyChain.from_passphrases([f"{passphrase}{i}" for i in range(2)])
+    algorithm = RGE_ALGO if algorithm_name == "rge" else RPLE_ALGO
+    engine = ReverseCloakEngine(GRID, algorithm)
+    envelope = engine.anonymize(
+        user_segment, snapshot, profile, chain, include_hints=False
+    )
+    try:
+        result = engine.deanonymize(envelope, chain, target_level=0, mode="search")
+    except CollisionError:
+        return  # ambiguity detected and reported: acceptable
+    assert result.region_at(0) == (user_segment,)

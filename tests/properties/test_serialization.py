@@ -1,0 +1,94 @@
+"""Property-based serialization round trips.
+
+Every artifact that crosses a process boundary — maps, envelopes, traces,
+key files — must survive serialization exactly: the reversal protocol
+depends on bit-identical state on both sides.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CloakEnvelope,
+    KeyChain,
+    PopulationSnapshot,
+    PrivacyProfile,
+    ReverseCloakEngine,
+    grid_network,
+    random_delaunay_network,
+)
+from repro.core.envelope import network_digest
+from repro.roadnet import network_from_dict, network_to_dict
+
+GRID = grid_network(8, 8)
+SNAPSHOT = PopulationSnapshot.from_counts(
+    {segment_id: 2 for segment_id in GRID.segment_ids()}
+)
+ENGINE = ReverseCloakEngine(GRID)
+
+
+class TestNetworkRoundTrips:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        extra=st.integers(min_value=0, max_value=30),
+    )
+    def test_random_networks_round_trip_exactly(self, seed, extra):
+        network = random_delaunay_network(30, 29 + extra, seed=seed, extent=1500.0)
+        restored = network_from_dict(network_to_dict(network))
+        assert network_digest(network) == network_digest(restored)
+        # adjacency structure identical, not just digests
+        for segment_id in network.segment_ids():
+            assert network.neighbors(segment_id) == restored.neighbors(segment_id)
+
+
+class TestEnvelopeRoundTrips:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        user_index=st.integers(min_value=0, max_value=111),
+        passphrase=st.text(min_size=1, max_size=10),
+        levels=st.integers(min_value=1, max_value=3),
+        hints=st.booleans(),
+    )
+    def test_envelope_json_round_trip_preserves_reversal(
+        self, user_index, passphrase, levels, hints
+    ):
+        profile = PrivacyProfile.uniform(
+            levels=levels, base_k=3, k_step=2, base_l=2, l_step=1, max_segments=40
+        )
+        chain = KeyChain.from_passphrases(
+            [f"{passphrase}-{index}" for index in range(levels)]
+        )
+        user_segment = GRID.segment_ids()[user_index]
+        envelope = ENGINE.anonymize(
+            user_segment, SNAPSHOT, profile, chain, include_hints=hints
+        )
+        restored = CloakEnvelope.from_json(envelope.to_json())
+        assert restored == envelope
+        assert restored.to_json() == envelope.to_json()
+        if hints:
+            result = ENGINE.deanonymize(restored, chain, target_level=0)
+            assert result.region_at(0) == (user_segment,)
+
+
+class TestKeyChainRoundTrips:
+    @settings(max_examples=30, deadline=None)
+    @given(levels=st.integers(min_value=1, max_value=8))
+    def test_hex_round_trip(self, levels):
+        chain = KeyChain.generate(levels)
+        restored = KeyChain.from_hex_list(chain.to_hex_list())
+        for level in range(1, levels + 1):
+            assert restored.key_for(level).material == chain.key_for(level).material
+            assert (
+                restored.key_for(level).fingerprint()
+                == chain.key_for(level).fingerprint()
+            )

@@ -1,0 +1,114 @@
+"""Property-based tamper detection: no mutation of an envelope may yield a
+silently wrong reversal (DESIGN.md invariant 5, strengthened).
+
+Hypothesis mutates random fields of a valid envelope; the de-anonymizer
+must either raise a :class:`~repro.errors.ReverseCloakError` or — when the
+mutation happens to be semantically inert (e.g. rewriting a field to its
+current value) — return exactly the true regions.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CloakEnvelope,
+    KeyChain,
+    PopulationSnapshot,
+    PrivacyProfile,
+    ReverseCloakEngine,
+    grid_network,
+)
+from repro.errors import ReverseCloakError
+
+NETWORK = grid_network(9, 9)
+SNAPSHOT = PopulationSnapshot.from_counts(
+    {segment_id: 2 for segment_id in NETWORK.segment_ids()}
+)
+PROFILE = PrivacyProfile.uniform(
+    levels=2, base_k=4, k_step=3, base_l=3, l_step=1, max_segments=50
+)
+CHAIN = KeyChain.from_passphrases(["tamper-a", "tamper-b"])
+ENGINE = ReverseCloakEngine(NETWORK)
+ENVELOPE = ENGINE.anonymize(60, SNAPSHOT, PROFILE, CHAIN)
+TRUTH = ENGINE.deanonymize(ENVELOPE, CHAIN, target_level=0).regions
+
+
+def _mutate(document: dict, path: str, value) -> dict:
+    """Apply one mutation to a (deep-copied) envelope document."""
+    import copy
+
+    mutated = copy.deepcopy(document)
+    level_index = int(path.split(":")[1]) % len(mutated["levels"])
+    field = path.split(":")[0]
+    record = mutated["levels"][level_index]
+    if field == "steps":
+        record["steps"] = max(0, record["steps"] + value)
+        # keep witness arity consistent so construction succeeds and the
+        # MAC (not the arity check) must do the detection
+        while len(record["witnesses"]) < record["steps"]:
+            record["witnesses"].append(abs(value) % 256)
+        record["witnesses"] = record["witnesses"][: record["steps"]]
+    elif field == "sealed_anchor":
+        record["sealed_anchor"] = (record["sealed_anchor"] or 0) ^ (value or 1)
+    elif field == "sealed_start":
+        record["sealed_start"] = (record["sealed_start"] or 0) ^ (value or 1)
+    elif field == "witness":
+        if record["witnesses"]:
+            index = abs(value) % len(record["witnesses"])
+            record["witnesses"][index] ^= 0xA5
+    elif field == "digest":
+        record["digest"] = record["digest"][::-1]
+    elif field == "mac":
+        record["mac"] = record["mac"][::-1]
+    elif field == "region_add":
+        extra = abs(value) % NETWORK.segment_count
+        if extra not in mutated["region"]:
+            mutated["region"] = sorted(mutated["region"] + [extra])
+    elif field == "region_drop":
+        if len(mutated["region"]) > 1:
+            index = abs(value) % len(mutated["region"])
+            mutated["region"] = (
+                mutated["region"][:index] + mutated["region"][index + 1 :]
+            )
+    return mutated
+
+
+FIELDS = (
+    "steps",
+    "sealed_anchor",
+    "sealed_start",
+    "witness",
+    "digest",
+    "mac",
+    "region_add",
+    "region_drop",
+)
+
+
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    field=st.sampled_from(FIELDS),
+    level_index=st.integers(min_value=0, max_value=1),
+    value=st.integers(min_value=-3, max_value=1 << 20),
+)
+def test_any_tampering_is_detected_or_inert(field, level_index, value):
+    document = ENVELOPE.to_dict()
+    mutated = _mutate(document, f"{field}:{level_index}", value)
+    if mutated == document:
+        return  # the mutation was an identity; nothing to assert
+    try:
+        tampered = CloakEnvelope.from_dict(mutated)
+    except ReverseCloakError:
+        return  # rejected at construction: detected
+    try:
+        result = ENGINE.deanonymize(tampered, CHAIN, target_level=0)
+    except ReverseCloakError:
+        return  # rejected during reversal: detected
+    # Reversal succeeded: it must have produced exactly the truth (the
+    # mutation was semantically inert, e.g. XOR with 0).
+    assert result.regions == TRUTH

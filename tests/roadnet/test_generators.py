@@ -1,0 +1,150 @@
+"""Tests for the synthetic map generators."""
+
+import pytest
+
+from repro.errors import RoadNetworkError
+from repro.roadnet import (
+    ATLANTA_JUNCTIONS,
+    ATLANTA_SEGMENTS,
+    atlanta_like,
+    fig1_network,
+    fig2_network,
+    fig3_network,
+    grid_network,
+    network_stats,
+    path_network,
+    radial_network,
+    random_delaunay_network,
+)
+
+
+class TestGrid:
+    def test_counts(self):
+        network = grid_network(4, 5)
+        assert network.junction_count == 20
+        assert network.segment_count == 4 * 4 + 3 * 5  # horizontals + verticals
+
+    def test_single_junction(self):
+        network = grid_network(1, 1)
+        assert network.junction_count == 1
+        assert network.segment_count == 0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(RoadNetworkError):
+            grid_network(0, 5)
+
+    def test_spacing_sets_lengths(self):
+        network = grid_network(2, 2, spacing=250.0)
+        assert all(
+            network.segment_length(sid) == pytest.approx(250.0)
+            for sid in network.segment_ids()
+        )
+
+    def test_connected(self):
+        assert len(grid_network(7, 3).connected_components()) == 1
+
+
+class TestPath:
+    def test_counts(self):
+        network = path_network(6)
+        assert network.segment_count == 6
+        assert network.junction_count == 7
+
+    def test_invalid(self):
+        with pytest.raises(RoadNetworkError):
+            path_network(0)
+
+
+class TestRadial:
+    def test_counts(self):
+        network = radial_network(3, 6)
+        assert network.junction_count == 3 * 6 + 1
+        assert network.segment_count == 2 * 3 * 6
+
+    def test_invalid(self):
+        with pytest.raises(RoadNetworkError):
+            radial_network(2, 2)
+
+    def test_connected(self):
+        assert len(radial_network(4, 8).connected_components()) == 1
+
+
+class TestDelaunay:
+    def test_exact_target_counts(self):
+        network = random_delaunay_network(200, 290, seed=1)
+        assert network.junction_count == 200
+        assert network.segment_count == 290
+
+    def test_connected_by_construction(self):
+        network = random_delaunay_network(150, 160, seed=3)
+        assert len(network.connected_components()) == 1
+
+    def test_deterministic_in_seed(self):
+        a = random_delaunay_network(80, 100, seed=42)
+        b = random_delaunay_network(80, 100, seed=42)
+        assert a.segment_ids() == b.segment_ids()
+        assert all(
+            a.segment(sid).endpoints() == b.segment(sid).endpoints()
+            for sid in a.segment_ids()
+        )
+
+    def test_different_seeds_differ(self):
+        a = random_delaunay_network(80, 100, seed=1)
+        b = random_delaunay_network(80, 100, seed=2)
+        endpoints_a = [a.segment(s).endpoints() for s in a.segment_ids()]
+        endpoints_b = [b.segment(s).endpoints() for s in b.segment_ids()]
+        assert endpoints_a != endpoints_b
+
+    def test_too_few_targets_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            random_delaunay_network(100, 50, seed=1)
+
+    def test_too_many_targets_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            random_delaunay_network(10, 1000, seed=1)
+
+
+class TestAtlantaLike:
+    def test_paper_scale_counts(self):
+        # Full scale matches the published map size exactly.
+        network = atlanta_like(scale=0.1)
+        assert network.junction_count == round(ATLANTA_JUNCTIONS * 0.1)
+        assert network.segment_count == round(ATLANTA_SEGMENTS * 0.1)
+
+    def test_edge_ratio_matches_paper(self):
+        network = atlanta_like(scale=0.15)
+        stats = network_stats(network)
+        paper_ratio = ATLANTA_SEGMENTS / ATLANTA_JUNCTIONS  # ~1.316
+        assert stats.segments_per_junction == pytest.approx(paper_ratio, rel=0.02)
+
+    def test_invalid_scale(self):
+        with pytest.raises(RoadNetworkError):
+            atlanta_like(scale=0.0)
+        with pytest.raises(RoadNetworkError):
+            atlanta_like(scale=1.5)
+
+
+class TestFigureFixtures:
+    def test_fig1_has_segment_18_interior(self):
+        network = fig1_network()
+        assert network.segment_count == 24
+        assert network.has_segment(18)
+        # interior segment: several linked segments, as in the figure
+        assert len(network.neighbors(18)) >= 4
+
+    def test_fig2_region_and_frontier_match_paper(self):
+        network = fig2_network()
+        assert network.frontier({8, 9, 11}) == (6, 10, 14)
+        assert network.is_connected_region({8, 9, 11})
+
+    def test_fig2_length_order_matches_paper(self):
+        network = fig2_network()
+        # rows: s9 shortest, s8 second (the figure's row 2), s11 longest
+        rows = sorted({8, 9, 11}, key=lambda s: network.segment_length(s))
+        assert rows == [9, 8, 11]
+        cols = sorted({6, 10, 14}, key=lambda s: network.segment_length(s))
+        assert cols == [6, 14, 10]
+
+    def test_fig3_s8_has_six_neighbors(self):
+        network = fig3_network()
+        assert len(network.neighbors(8)) == 6

@@ -1,0 +1,140 @@
+"""Unit and property tests for :mod:`repro.roadnet.geometry`."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.roadnet.geometry import (
+    BoundingBox,
+    Point,
+    distance,
+    midpoint,
+    point_along,
+    point_segment_distance,
+    polyline_length,
+)
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_to_self_is_zero(self):
+        assert Point(2.5, -1.0).distance_to(Point(2.5, -1.0)) == 0.0
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -2) == Point(4, 0)
+
+    def test_unpacking(self):
+        x, y = Point(7.0, 8.0)
+        assert (x, y) == (7.0, 8.0)
+
+    @given(points, points)
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+class TestHelpers:
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(10, 4)) == Point(5, 2)
+
+    def test_distance_function_matches_method(self):
+        assert distance(Point(0, 0), Point(1, 1)) == Point(0, 0).distance_to(
+            Point(1, 1)
+        )
+
+    def test_polyline_length_empty_and_single(self):
+        assert polyline_length([]) == 0.0
+        assert polyline_length([Point(1, 1)]) == 0.0
+
+    def test_polyline_length_chain(self):
+        pts = [Point(0, 0), Point(3, 4), Point(3, 10)]
+        assert polyline_length(pts) == pytest.approx(11.0)
+
+    def test_point_along_midway(self):
+        assert point_along(Point(0, 0), Point(10, 0), 0.5) == Point(5, 0)
+
+    def test_point_along_clamps(self):
+        assert point_along(Point(0, 0), Point(10, 0), -0.5) == Point(0, 0)
+        assert point_along(Point(0, 0), Point(10, 0), 1.5) == Point(10, 0)
+
+    def test_point_segment_distance_perpendicular(self):
+        assert point_segment_distance(
+            Point(5, 3), Point(0, 0), Point(10, 0)
+        ) == pytest.approx(3.0)
+
+    def test_point_segment_distance_beyond_endpoint(self):
+        assert point_segment_distance(
+            Point(13, 4), Point(0, 0), Point(10, 0)
+        ) == pytest.approx(5.0)
+
+    def test_point_segment_distance_degenerate_segment(self):
+        assert point_segment_distance(
+            Point(3, 4), Point(0, 0), Point(0, 0)
+        ) == pytest.approx(5.0)
+
+    @given(points, points, points)
+    def test_point_segment_distance_bounded_by_endpoints(self, p, a, b):
+        d = point_segment_distance(p, a, b)
+        assert d <= p.distance_to(a) + 1e-6
+        assert d <= p.distance_to(b) + 1e-6
+
+
+class TestBoundingBox:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1, 0, 0, 1)
+
+    def test_around(self):
+        box = BoundingBox.around([Point(1, 5), Point(-2, 0), Point(4, 3)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-2, 0, 4, 5)
+
+    def test_around_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.around([])
+
+    def test_measures(self):
+        box = BoundingBox(0, 0, 3, 4)
+        assert box.width == 3
+        assert box.height == 4
+        assert box.area == 12
+        assert box.diagonal == 5.0
+        assert box.center == Point(1.5, 2.0)
+
+    def test_contains_boundary_inclusive(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(2, 2))
+        assert not box.contains(Point(2.01, 1))
+
+    def test_expanded(self):
+        box = BoundingBox(0, 0, 1, 1).expanded(2)
+        assert (box.min_x, box.max_y) == (-2, 3)
+
+    def test_union(self):
+        u = BoundingBox(0, 0, 1, 1).union(BoundingBox(5, -1, 6, 0.5))
+        assert (u.min_x, u.min_y, u.max_x, u.max_y) == (0, -1, 6, 1)
+
+    def test_intersects_touching_counts(self):
+        assert BoundingBox(0, 0, 1, 1).intersects(BoundingBox(1, 1, 2, 2))
+        assert not BoundingBox(0, 0, 1, 1).intersects(BoundingBox(1.1, 0, 2, 1))
+
+    def test_corners_ccw(self):
+        corners = BoundingBox(0, 0, 1, 2).corners()
+        assert corners == (Point(0, 0), Point(1, 0), Point(1, 2), Point(0, 2))
+
+    @given(st.lists(points, min_size=1, max_size=20))
+    def test_around_contains_all(self, pts):
+        box = BoundingBox.around(pts)
+        assert all(box.contains(p) for p in pts)

@@ -1,0 +1,87 @@
+"""Round-trip tests for road-network serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import RoadNetworkError
+from repro.roadnet import (
+    grid_network,
+    load_network_csv,
+    load_network_json,
+    network_from_dict,
+    network_to_dict,
+    random_delaunay_network,
+    save_network_csv,
+    save_network_json,
+)
+from repro.core.envelope import network_digest
+
+
+def assert_networks_equal(a, b):
+    assert a.name == b.name
+    assert a.junction_ids() == b.junction_ids()
+    assert a.segment_ids() == b.segment_ids()
+    for junction_id in a.junction_ids():
+        assert a.junction(junction_id).location == b.junction(junction_id).location
+    for segment_id in a.segment_ids():
+        sa, sb = a.segment(segment_id), b.segment(segment_id)
+        assert (sa.junction_a, sa.junction_b, sa.length) == (
+            sb.junction_a,
+            sb.junction_b,
+            sb.length,
+        )
+
+
+class TestDictRoundTrip:
+    def test_grid(self):
+        network = grid_network(4, 4)
+        assert_networks_equal(network, network_from_dict(network_to_dict(network)))
+
+    def test_irregular_lengths_survive_exactly(self):
+        network = random_delaunay_network(40, 50, seed=2)
+        restored = network_from_dict(network_to_dict(network))
+        assert network_digest(network) == network_digest(restored)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            network_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        document = network_to_dict(grid_network(2, 2))
+        document["version"] = 999
+        with pytest.raises(RoadNetworkError):
+            network_from_dict(document)
+
+
+class TestJsonFiles:
+    def test_round_trip(self, tmp_path):
+        network = grid_network(3, 5)
+        path = tmp_path / "map.json"
+        save_network_json(network, path)
+        assert_networks_equal(network, load_network_json(path))
+
+    def test_json_is_valid(self, tmp_path):
+        path = tmp_path / "map.json"
+        save_network_json(grid_network(2, 2), path)
+        document = json.loads(path.read_text())
+        assert document["format"] == "repro.roadnet"
+
+
+class TestCsvFiles:
+    def test_round_trip(self, tmp_path):
+        network = random_delaunay_network(30, 40, seed=5)
+        save_network_csv(network, tmp_path / "mapdir")
+        restored = load_network_csv(tmp_path / "mapdir")
+        assert_networks_equal(network, restored)
+        assert network_digest(network) == network_digest(restored)
+
+    def test_missing_files_rejected(self, tmp_path):
+        with pytest.raises(RoadNetworkError):
+            load_network_csv(tmp_path)
+
+    def test_files_created(self, tmp_path):
+        save_network_csv(grid_network(2, 3), tmp_path / "out")
+        assert (tmp_path / "out" / "junctions.csv").exists()
+        assert (tmp_path / "out" / "segments.csv").exists()
+        assert (tmp_path / "out" / "network.meta.json").exists()

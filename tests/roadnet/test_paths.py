@@ -1,0 +1,95 @@
+"""Tests for shortest-path routing and segment hop distances."""
+
+import pytest
+
+from repro.errors import RoadNetworkError
+from repro.roadnet import (
+    RoadNetworkBuilder,
+    grid_network,
+    path_network,
+    segment_hop_distances,
+    shortest_junction_path,
+    shortest_route,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(5, 5, spacing=100.0)
+
+
+class TestShortestPath:
+    def test_trivial_same_junction(self, grid):
+        route = shortest_junction_path(grid, 7, 7)
+        assert route.junctions == (7,)
+        assert route.segments == ()
+        assert route.length == 0.0
+
+    def test_adjacent(self, grid):
+        route = shortest_junction_path(grid, 0, 1)
+        assert route.length == pytest.approx(100.0)
+        assert route.hops == 1
+
+    def test_manhattan_distance_on_grid(self, grid):
+        # (0,0) -> (4,4): 8 hops of 100 m
+        route = shortest_junction_path(grid, 0, 24)
+        assert route.length == pytest.approx(800.0)
+        assert route.hops == 8
+
+    def test_route_is_contiguous(self, grid):
+        route = shortest_junction_path(grid, 3, 21)
+        for junction, segment_id in zip(route.junctions, route.segments):
+            segment = grid.segment(segment_id)
+            assert junction in segment.endpoints()
+        assert route.junctions[0] == 3
+        assert route.junctions[-1] == 21
+
+    def test_prefers_shorter_road(self):
+        builder = RoadNetworkBuilder()
+        builder.add_junction(0, 0, 0)
+        builder.add_junction(1, 100, 0)
+        builder.add_junction(2, 50, 80)
+        builder.add_segment(0, 0, 1, length=500.0)  # slow direct road
+        builder.add_segment(1, 0, 2)
+        builder.add_segment(2, 2, 1)
+        network = builder.build()
+        route = shortest_junction_path(network, 0, 1)
+        assert route.segments == (1, 2)
+
+    def test_no_path_raises(self):
+        builder = RoadNetworkBuilder()
+        for junction_id, (x, y) in enumerate([(0, 0), (1, 0), (9, 9), (10, 9)]):
+            builder.add_junction(junction_id, x, y)
+        builder.add_segment(0, 0, 1)
+        builder.add_segment(1, 2, 3)
+        with pytest.raises(RoadNetworkError):
+            shortest_junction_path(builder.build(), 0, 3)
+
+    def test_alias(self, grid):
+        assert shortest_route(grid, 0, 5).length == shortest_junction_path(
+            grid, 0, 5
+        ).length
+
+
+class TestHopDistances:
+    def test_origin_is_zero(self, grid):
+        assert segment_hop_distances(grid, 0)[0] == 0
+
+    def test_neighbors_are_one(self, grid):
+        hops = segment_hop_distances(grid, 0)
+        for neighbor in grid.neighbors(0):
+            assert hops[neighbor] == 1
+
+    def test_path_network_distances(self):
+        network = path_network(6)
+        hops = segment_hop_distances(network, 0)
+        assert [hops[i] for i in range(7) if i in hops] == [0, 1, 2, 3, 4, 5]
+
+    def test_max_hops_truncates(self):
+        network = path_network(6)
+        hops = segment_hop_distances(network, 0, max_hops=2)
+        assert set(hops) == {0, 1, 2}
+
+    def test_covers_component(self, grid):
+        hops = segment_hop_distances(grid, 0)
+        assert len(hops) == grid.segment_count

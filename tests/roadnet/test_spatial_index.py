@@ -1,0 +1,120 @@
+"""Tests for the uniform-grid spatial index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoadNetworkError
+from repro.roadnet import (
+    BoundingBox,
+    Point,
+    SegmentIndex,
+    grid_network,
+    point_segment_distance,
+    random_delaunay_network,
+)
+from repro.roadnet.graph import RoadNetworkBuilder
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(6, 6, spacing=100.0)
+
+
+@pytest.fixture(scope="module")
+def index(grid):
+    return SegmentIndex(grid)
+
+
+def brute_force_nearest(network, point):
+    best, best_d = None, float("inf")
+    for segment_id in network.segment_ids():
+        a, b = network.segment_endpoints(segment_id)
+        d = point_segment_distance(point, a, b)
+        if d < best_d or (d == best_d and segment_id < best):
+            best, best_d = segment_id, d
+    return best, best_d
+
+
+class TestConstruction:
+    def test_empty_network_rejected(self):
+        builder = RoadNetworkBuilder()
+        builder.add_junction(0, 0, 0)
+        with pytest.raises(RoadNetworkError):
+            SegmentIndex(builder.build())
+
+    def test_bad_cell_size_rejected(self, grid):
+        with pytest.raises(RoadNetworkError):
+            SegmentIndex(grid, cell_size=0)
+
+    def test_default_cell_size_positive(self, index):
+        assert index.cell_size > 0
+        assert index.cell_count > 0
+
+
+class TestNearest:
+    def test_on_segment_point(self, grid, index):
+        mid = grid.segment_midpoint(0)
+        nearest = index.nearest_segment(mid)
+        __, d = brute_force_nearest(grid, mid)
+        a, b = grid.segment_endpoints(nearest)
+        assert point_segment_distance(mid, a, b) == pytest.approx(d)
+
+    def test_far_outside_map(self, grid, index):
+        nearest = index.nearest_segment(Point(-5000.0, -5000.0))
+        __, d = brute_force_nearest(grid, Point(-5000.0, -5000.0))
+        a, b = grid.segment_endpoints(nearest)
+        assert point_segment_distance(Point(-5000.0, -5000.0), a, b) == pytest.approx(d)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=-100, max_value=600),
+        st.floats(min_value=-100, max_value=600),
+    )
+    def test_matches_brute_force_distance(self, x, y):
+        network = grid_network(6, 6, spacing=100.0)
+        idx = SegmentIndex(network)
+        point = Point(x, y)
+        nearest = idx.nearest_segment(point)
+        __, best_d = brute_force_nearest(network, point)
+        a, b = network.segment_endpoints(nearest)
+        assert point_segment_distance(point, a, b) == pytest.approx(best_d, abs=1e-9)
+
+    def test_irregular_network(self):
+        network = random_delaunay_network(60, 80, seed=9, extent=1000.0)
+        idx = SegmentIndex(network)
+        point = Point(431.0, 212.0)
+        nearest = idx.nearest_segment(point)
+        __, best_d = brute_force_nearest(network, point)
+        a, b = network.segment_endpoints(nearest)
+        assert point_segment_distance(point, a, b) == pytest.approx(best_d, abs=1e-9)
+
+
+class TestRangeQueries:
+    def test_segments_in_box_covers_region(self, grid, index):
+        box = BoundingBox(0, 0, 150, 150)
+        hits = index.segments_in_box(box)
+        assert len(hits) > 0
+        for segment_id in hits:
+            a, b = grid.segment_endpoints(segment_id)
+            assert box.intersects(BoundingBox.around((a, b)))
+
+    def test_segments_in_box_misses_far(self, grid, index):
+        box = BoundingBox(10_000, 10_000, 10_100, 10_100)
+        assert index.segments_in_box(box) == ()
+
+    def test_segments_near_radius_filter(self, grid, index):
+        center = Point(250.0, 250.0)
+        hits = index.segments_near(center, radius=60.0)
+        for segment_id in hits:
+            a, b = grid.segment_endpoints(segment_id)
+            assert point_segment_distance(center, a, b) <= 60.0
+        # completeness against brute force
+        for segment_id in grid.segment_ids():
+            a, b = grid.segment_endpoints(segment_id)
+            if point_segment_distance(center, a, b) <= 60.0:
+                assert segment_id in hits
+
+    def test_negative_radius_rejected(self, index):
+        with pytest.raises(RoadNetworkError):
+            index.segments_near(Point(0, 0), radius=-1.0)

@@ -1,0 +1,51 @@
+"""Tests for network statistics."""
+
+import pytest
+
+from repro.roadnet import (
+    degree_histogram,
+    grid_network,
+    network_stats,
+    path_network,
+    radial_network,
+)
+
+
+class TestDegreeHistogram:
+    def test_grid_degrees(self):
+        histogram = degree_histogram(grid_network(4, 4))
+        # corners: 4 of degree 2; edges: 8 of degree 3; interior: 4 of degree 4
+        assert histogram == {2: 4, 3: 8, 4: 4}
+
+    def test_path_degrees(self):
+        histogram = degree_histogram(path_network(3))
+        assert histogram == {1: 2, 2: 2}
+
+
+class TestNetworkStats:
+    def test_grid_stats(self):
+        stats = network_stats(grid_network(5, 5, spacing=100.0))
+        assert stats.junctions == 25
+        assert stats.segments == 40
+        assert stats.segments_per_junction == pytest.approx(40 / 25)
+        assert stats.mean_segment_length == pytest.approx(100.0)
+        assert stats.median_segment_length == pytest.approx(100.0)
+        assert stats.components == 1
+
+    def test_mean_degree_is_twice_edge_ratio(self):
+        stats = network_stats(radial_network(3, 8))
+        assert stats.mean_degree == pytest.approx(
+            2 * stats.segments_per_junction
+        )
+
+    def test_mean_linked_segments_path(self):
+        stats = network_stats(path_network(5))
+        # interior segments have 2 linked, ends have 1: (1+2+2+2+1)/5
+        assert stats.mean_linked_segments == pytest.approx(8 / 5)
+
+    def test_describe_mentions_name_and_counts(self):
+        stats = network_stats(grid_network(3, 3))
+        text = stats.describe()
+        assert "grid-3x3" in text
+        assert "9 junctions" in text
+        assert "12 segments" in text

@@ -1,0 +1,83 @@
+"""Tests for network clipping / neighbourhood extraction."""
+
+import pytest
+
+from repro.errors import RoadNetworkError
+from repro.roadnet import (
+    BoundingBox,
+    clip_network,
+    grid_network,
+    neighborhood_of,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(8, 8, spacing=100.0)
+
+
+class TestClipNetwork:
+    def test_ids_preserved(self, grid):
+        clipped = clip_network(grid, BoundingBox(0, 0, 250, 250))
+        for segment_id in clipped.segment_ids():
+            original = grid.segment(segment_id)
+            copy = clipped.segment(segment_id)
+            assert original.endpoints() == copy.endpoints()
+            assert original.length == copy.length
+
+    def test_keeps_only_touching_segments(self, grid):
+        clipped = clip_network(grid, BoundingBox(0, 0, 150, 150))
+        for segment_id in clipped.segment_ids():
+            a, b = grid.segment_endpoints(segment_id)
+            box = BoundingBox(0, 0, 150, 150)
+            assert box.contains(a) or box.contains(b)
+
+    def test_smaller_than_original(self, grid):
+        clipped = clip_network(grid, BoundingBox(0, 0, 250, 250))
+        assert 0 < clipped.segment_count < grid.segment_count
+
+    def test_whole_map_box_keeps_everything(self, grid):
+        clipped = clip_network(grid, grid.bounding_box())
+        assert clipped.segment_count == grid.segment_count
+
+    def test_missing_box_raises(self, grid):
+        with pytest.raises(RoadNetworkError):
+            clip_network(grid, BoundingBox(10_000, 10_000, 10_100, 10_100))
+
+    def test_custom_name(self, grid):
+        clipped = clip_network(grid, BoundingBox(0, 0, 300, 300), name="zoomed")
+        assert clipped.name == "zoomed"
+
+
+class TestNeighborhoodOf:
+    def test_contains_the_region(self, grid):
+        region = {0, 1, 2}
+        zoom = neighborhood_of(grid, region, margin=50.0)
+        for segment_id in region:
+            assert zoom.has_segment(segment_id)
+
+    def test_margin_grows_result(self, grid):
+        tight = neighborhood_of(grid, {27}, margin=1.0)
+        wide = neighborhood_of(grid, {27}, margin=300.0)
+        assert wide.segment_count > tight.segment_count
+
+    def test_region_stays_connected_in_zoom(self, grid):
+        region = {0, 1, 2}  # three consecutive segments of row 0
+        zoom = neighborhood_of(grid, region, margin=150.0)
+        assert zoom.is_connected_region(region & set(zoom.segment_ids()))
+
+    def test_validation(self, grid):
+        with pytest.raises(RoadNetworkError):
+            neighborhood_of(grid, set())
+        with pytest.raises(RoadNetworkError):
+            neighborhood_of(grid, {0}, margin=-1.0)
+
+    def test_renderable(self, grid):
+        """The zoomed network feeds straight into the SVG renderer with the
+        original region ids."""
+        from repro.toolkit import SvgMapRenderer
+
+        region = {0, 1, 2}
+        zoom = neighborhood_of(grid, region, margin=120.0)
+        svg = SvgMapRenderer(zoom).render({1: sorted(region)})
+        assert svg.count("<line") == zoom.segment_count + len(region)

@@ -1,0 +1,81 @@
+"""The public API surface: everything advertised in ``repro.__all__`` works.
+
+Downstream users import from ``repro`` directly; this module pins the
+re-export surface and exercises the README quickstart verbatim.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing public name: {name}"
+
+    def test_version_is_semver_ish(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.roadnet",
+            "repro.keys",
+            "repro.mobility",
+            "repro.core",
+            "repro.baselines",
+            "repro.lbs",
+            "repro.attacks",
+            "repro.metrics",
+            "repro.toolkit",
+            "repro.bench",
+        ):
+            importlib.import_module(module)
+
+    def test_errors_form_one_hierarchy(self):
+        from repro import errors
+
+        leaf_errors = [
+            errors.RoadNetworkError,
+            errors.ProfileError,
+            errors.CloakingError,
+            errors.ToleranceExceededError,
+            errors.DeanonymizationError,
+            errors.CollisionError,
+            errors.KeyMismatchError,
+            errors.EnvelopeError,
+            errors.MobilityError,
+            errors.QueryError,
+        ]
+        for error in leaf_errors:
+            assert issubclass(error, errors.ReverseCloakError)
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_runs_verbatim(self):
+        from repro import (
+            KeyChain,
+            PrivacyProfile,
+            ReverseCloakEngine,
+            TrafficSimulator,
+            grid_network,
+        )
+
+        network = grid_network(12, 12)
+        simulator = TrafficSimulator(network, n_cars=500, seed=7)
+        snapshot = simulator.snapshot()
+        profile = PrivacyProfile.uniform(
+            levels=3, base_k=5, k_step=5, base_l=3, l_step=2, max_segments=60
+        )
+        chain = KeyChain.generate(profile.level_count)
+
+        engine = ReverseCloakEngine(network)
+        envelope = engine.anonymize(
+            user_segment=100, snapshot=snapshot, profile=profile, chain=chain
+        )
+        result = engine.deanonymize(envelope, chain, target_level=0)
+        assert result.region_at(0) == (100,)

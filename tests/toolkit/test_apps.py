@@ -1,0 +1,180 @@
+"""End-to-end tests of the Anonymizer / De-anonymizer CLI apps."""
+
+import json
+
+import pytest
+
+from repro.core import CloakEnvelope
+from repro.toolkit import anonymizer_app, deanonymizer_app
+
+
+MAP_SPEC = "grid:8x8"
+
+
+@pytest.fixture()
+def cloaked(tmp_path):
+    """Run the anonymizer once; returns (envelope path, keys path)."""
+    envelope_path = tmp_path / "envelope.json"
+    keys_path = tmp_path / "keys.json"
+    code = anonymizer_app.main(
+        [
+            "--map", MAP_SPEC,
+            "--cars", "200",
+            "--seed", "5",
+            "--levels", "3",
+            "--base-k", "3",
+            "--k-step", "3",
+            "--out", str(envelope_path),
+            "--keys-out", str(keys_path),
+        ]
+    )
+    assert code == 0
+    return envelope_path, keys_path
+
+
+class TestAnonymizerApp:
+    def test_writes_envelope_and_keys(self, cloaked):
+        envelope_path, keys_path = cloaked
+        envelope = CloakEnvelope.from_json(envelope_path.read_text())
+        assert envelope.top_level == 3
+        keys = json.loads(keys_path.read_text())
+        assert len(keys["levels"]) == 3
+
+    def test_svg_and_ascii_outputs(self, tmp_path, capsys):
+        svg_path = tmp_path / "cloak.svg"
+        code = anonymizer_app.main(
+            [
+                "--map", MAP_SPEC,
+                "--cars", "150",
+                "--levels", "2",
+                "--base-k", "3",
+                "--out", str(tmp_path / "e.json"),
+                "--keys-out", str(tmp_path / "k.json"),
+                "--svg", str(svg_path),
+                "--ascii",
+            ]
+        )
+        assert code == 0
+        assert svg_path.read_text().startswith("<svg")
+        output = capsys.readouterr().out
+        assert "cloaked:" in output
+
+    def test_rple_algorithm(self, tmp_path):
+        code = anonymizer_app.main(
+            [
+                "--map", MAP_SPEC,
+                "--cars", "150",
+                "--levels", "2",
+                "--base-k", "3",
+                "--algorithm", "rple",
+                "--out", str(tmp_path / "e.json"),
+                "--keys-out", str(tmp_path / "k.json"),
+            ]
+        )
+        assert code == 0
+        envelope = CloakEnvelope.from_json((tmp_path / "e.json").read_text())
+        assert envelope.algorithm == "rple"
+
+    def test_explicit_user_segment(self, tmp_path):
+        code = anonymizer_app.main(
+            [
+                "--map", MAP_SPEC,
+                "--cars", "150",
+                "--levels", "2",
+                "--base-k", "3",
+                "--user-segment", "40",
+                "--out", str(tmp_path / "e.json"),
+                "--keys-out", str(tmp_path / "k.json"),
+            ]
+        )
+        assert code == 0
+        envelope = CloakEnvelope.from_json((tmp_path / "e.json").read_text())
+        assert 40 in envelope.region
+
+    def test_error_reported_as_exit_code(self, tmp_path, capsys):
+        code = anonymizer_app.main(
+            [
+                "--map", "grid:2x2",
+                "--cars", "2",
+                "--levels", "1",
+                "--base-k", "500",  # impossible demand
+                "--max-segments", "3",
+                "--out", str(tmp_path / "e.json"),
+                "--keys-out", str(tmp_path / "k.json"),
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDeanonymizerApp:
+    def test_full_grant_recovers_level_zero(self, cloaked, capsys):
+        envelope_path, keys_path = cloaked
+        code = deanonymizer_app.main(
+            [
+                "--map", MAP_SPEC,
+                "--envelope", str(envelope_path),
+                "--keys", str(keys_path),
+                "--target-level", "0",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "L0: 1 segments" in output
+
+    def test_partial_grant_stops_at_level(self, cloaked, capsys):
+        envelope_path, keys_path = cloaked
+        code = deanonymizer_app.main(
+            [
+                "--map", MAP_SPEC,
+                "--envelope", str(envelope_path),
+                "--keys", str(keys_path),
+                "--grant-from-level", "3",
+                "--target-level", "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "L2:" in output
+        assert "L0:" not in output
+
+    def test_unreachable_target_refused(self, cloaked, capsys):
+        envelope_path, keys_path = cloaked
+        code = deanonymizer_app.main(
+            [
+                "--map", MAP_SPEC,
+                "--envelope", str(envelope_path),
+                "--keys", str(keys_path),
+                "--grant-from-level", "3",
+                "--target-level", "0",
+            ]
+        )
+        assert code == 2
+
+    def test_wrong_map_rejected(self, cloaked, capsys):
+        envelope_path, keys_path = cloaked
+        code = deanonymizer_app.main(
+            [
+                "--map", "grid:9x9",
+                "--envelope", str(envelope_path),
+                "--keys", str(keys_path),
+                "--target-level", "0",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_svg_output(self, cloaked, tmp_path):
+        envelope_path, keys_path = cloaked
+        svg_path = tmp_path / "reduced.svg"
+        code = deanonymizer_app.main(
+            [
+                "--map", MAP_SPEC,
+                "--envelope", str(envelope_path),
+                "--keys", str(keys_path),
+                "--target-level", "1",
+                "--svg", str(svg_path),
+            ]
+        )
+        assert code == 0
+        assert svg_path.read_text().startswith("<svg")

@@ -1,0 +1,43 @@
+"""Tests for the ASCII map renderer."""
+
+import pytest
+
+from repro.roadnet import grid_network
+from repro.toolkit import render_ascii_map
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(4, 4)
+
+
+class TestAsciiMap:
+    def test_dimensions(self, grid):
+        text = render_ascii_map(grid, width=40, height=12)
+        lines = text.split("\n")
+        assert len(lines) == 12
+        assert all(len(line) <= 40 for line in lines)
+
+    def test_roads_drawn_as_dots(self, grid):
+        text = render_ascii_map(grid, width=40, height=12)
+        assert "." in text
+
+    def test_levels_drawn_as_digits(self, grid):
+        text = render_ascii_map(grid, {0: [5], 2: [5, 6, 9]}, width=40, height=12)
+        assert "0" in text
+        assert "2" in text
+
+    def test_finer_level_wins_overlap(self, grid):
+        # level 0 and level 2 both cover segment 5; the cell must show 0
+        with_both = render_ascii_map(grid, {0: [5], 2: [5]}, width=40, height=12)
+        only_two = render_ascii_map(grid, {2: [5]}, width=40, height=12)
+        assert "0" in with_both
+        assert "0" not in only_two
+
+    def test_level_above_nine_clamped(self, grid):
+        text = render_ascii_map(grid, {11: [5]}, width=40, height=12)
+        assert "9" in text
+
+    def test_too_small_raster_rejected(self, grid):
+        with pytest.raises(ValueError):
+            render_ascii_map(grid, width=4, height=2)

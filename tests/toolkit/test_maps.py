@@ -1,0 +1,45 @@
+"""Tests for the shared map-spec resolver."""
+
+import pytest
+
+from repro.errors import RoadNetworkError
+from repro.roadnet import grid_network, save_network_json
+from repro.toolkit import resolve_map
+
+
+class TestResolveMap:
+    def test_grid_spec(self):
+        network = resolve_map("grid:5x7")
+        assert network.junction_count == 35
+
+    def test_grid_spec_with_spacing(self):
+        network = resolve_map("grid:3x3:250")
+        assert network.segment_length(0) == pytest.approx(250.0)
+
+    def test_radial_spec(self):
+        network = resolve_map("radial:3x6")
+        assert network.junction_count == 19
+
+    def test_atlanta_spec_scaled(self):
+        network = resolve_map("atlanta:0.05")
+        assert 300 < network.junction_count < 400
+
+    def test_atlanta_spec_with_seed(self):
+        a = resolve_map("atlanta:0.05:7")
+        b = resolve_map("atlanta:0.05:7")
+        assert a.segment_ids() == b.segment_ids()
+
+    def test_figure_fixtures(self):
+        assert resolve_map("fig1").segment_count == 24
+        assert resolve_map("fig2").has_segment(14)
+        assert resolve_map("fig3").has_segment(8)
+
+    def test_json_file_path(self, tmp_path):
+        path = tmp_path / "m.json"
+        save_network_json(grid_network(3, 3), path)
+        assert resolve_map(str(path)).junction_count == 9
+
+    def test_bad_specs_rejected(self):
+        for spec in ("", "grid:axb", "radial:2", "atlanta:x", "no-such-file.json"):
+            with pytest.raises(RoadNetworkError):
+                resolve_map(spec)

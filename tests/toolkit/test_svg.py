@@ -1,0 +1,57 @@
+"""Tests for the SVG renderer."""
+
+import pytest
+
+from repro.roadnet import Point, grid_network
+from repro.toolkit import LEVEL_PALETTE, SvgMapRenderer
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(5, 5)
+
+
+class TestRenderer:
+    def test_document_structure(self, grid):
+        svg = SvgMapRenderer(grid).render()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<line") == grid.segment_count
+
+    def test_regions_add_colored_lines(self, grid):
+        base = SvgMapRenderer(grid).render()
+        overlaid = SvgMapRenderer(grid).render({0: [12], 1: [12, 13]})
+        assert overlaid.count("<line") == base.count("<line") + 3
+        assert LEVEL_PALETTE[0] in overlaid
+        assert LEVEL_PALETTE[1] in overlaid
+
+    def test_levels_painted_coarse_to_fine(self, grid):
+        svg = SvgMapRenderer(grid).render({0: [12], 2: [12, 13, 14]})
+        # level 0 (the user) must be painted after (on top of) level 2
+        assert svg.rfind(LEVEL_PALETTE[0]) > svg.find(LEVEL_PALETTE[2])
+
+    def test_cars_rendered_as_circles(self, grid):
+        svg = SvgMapRenderer(grid).render(
+            car_positions=[Point(10, 10), Point(50, 50)]
+        )
+        assert svg.count("<circle") == 2
+
+    def test_title_and_legend(self, grid):
+        svg = SvgMapRenderer(grid).render({0: [12]}, title="hello-title")
+        assert "hello-title" in svg
+        assert "actual user" in svg
+
+    def test_render_to_file(self, grid, tmp_path):
+        path = SvgMapRenderer(grid).render_to_file(tmp_path / "map.svg", {1: [3]})
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_width_validated(self, grid):
+        with pytest.raises(ValueError):
+            SvgMapRenderer(grid, width=10)
+
+    def test_aspect_ratio_square_grid(self, grid):
+        renderer = SvgMapRenderer(grid, width=500, margin=10)
+        svg = renderer.render()
+        assert 'width="500"' in svg
+        assert 'height="500"' in svg  # square map -> square canvas
