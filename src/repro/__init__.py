@@ -38,6 +38,7 @@ from .core import (
     LevelRequirement,
     Preassignment,
     PrivacyProfile,
+    RegionState,
     ReverseCloakEngine,
     ReversibleGlobalExpansion,
     ReversiblePreassignmentExpansion,
@@ -103,6 +104,7 @@ __all__ = [
     "PrivacyProfile",
     "LevelRequirement",
     "ToleranceSpec",
+    "RegionState",
     "algorithm_for_envelope",
     # keys
     "AccessKey",

@@ -15,6 +15,7 @@ from .envelope import (
     unseal_anchor,
 )
 from .profile import LevelRequirement, PrivacyProfile, ToleranceSpec
+from .region_state import RegionState
 from .reversal import PeelOutcome, enumerate_bootstraps, peel_level, replay_level
 from .rge import ReversibleGlobalExpansion
 from .rple import (
@@ -37,6 +38,7 @@ __all__ = [
     "PrivacyProfile",
     "LevelRequirement",
     "ToleranceSpec",
+    "RegionState",
     "CloakEnvelope",
     "LevelRecord",
     "region_digest",

@@ -19,6 +19,16 @@ D3): ``R(step, attempt) = PRF(key, level-domain, step << 24 | attempt)``.
 Indexing by step — instead of one running counter — lets the backward pass
 replay any step's draws without knowing how many draws earlier steps
 consumed (RPLE redraws make that count variable).
+
+Complexity: every step-level primitive here accepts an optional maintained
+:class:`~repro.core.region_state.RegionState`. Without it, the frontier and
+each candidate's tolerance check are recomputed from the raw region —
+O(|R| * deg + |CanA| * |R|) per step, O(R^2 * deg) per level. With it, the
+frontier is read from the maintained multiset and tolerance uses O(1)
+deltas (:meth:`ToleranceSpec.fits_after_add`), making a level of R
+additions O(R * (deg + |CanA|)) — near-linear in the region size. Both
+paths are deterministic and produce byte-identical candidate orderings, so
+envelopes and reversals are unaffected by which one ran.
 """
 
 from __future__ import annotations
@@ -31,11 +41,24 @@ from ..keys.keys import AccessKey
 from ..keys.prf import prf_value
 from ..roadnet.graph import RoadNetwork
 from .profile import ToleranceSpec
+from .region_state import RegionState
 
 __all__ = ["CloakingAlgorithm", "keyed_draw", "eligible_candidates"]
 
 _ATTEMPT_BITS = 24
 MAX_ATTEMPT = 1 << _ATTEMPT_BITS
+
+#: Per-level transition-domain bytes (pure function of the level number;
+#: rebuilt-per-draw f-string encoding showed up in expansion profiles).
+_TRANSITION_DOMAINS: dict = {}
+
+
+def _transition_domain(level: int) -> bytes:
+    domain = _TRANSITION_DOMAINS.get(level)
+    if domain is None:
+        domain = f"reversecloak|level={level}|transitions".encode()
+        _TRANSITION_DOMAINS[level] = domain
+    return domain
 
 
 def keyed_draw(key: AccessKey, step: int, attempt: int = 0) -> int:
@@ -49,14 +72,16 @@ def keyed_draw(key: AccessKey, step: int, attempt: int = 0) -> int:
         raise CloakingError(f"step must be >= 1, got {step}")
     if not 0 <= attempt < MAX_ATTEMPT:
         raise CloakingError(f"attempt must be in 0..{MAX_ATTEMPT - 1}, got {attempt}")
-    domain = f"reversecloak|level={key.level}|transitions".encode()
-    return prf_value(key.material, domain, (step << _ATTEMPT_BITS) | attempt)
+    return prf_value(
+        key.material, _transition_domain(key.level), (step << _ATTEMPT_BITS) | attempt
+    )
 
 
 def eligible_candidates(
     network: RoadNetwork,
     region: AbstractSet[int],
     tolerance: ToleranceSpec,
+    state: Optional[RegionState] = None,
 ) -> Tuple[int, ...]:
     """The tolerance-filtered candidate frontier ``CanA`` of ``region``.
 
@@ -64,7 +89,18 @@ def eligible_candidates(
     the level's spatial tolerance. Both expansion and reversal must apply
     exactly this filter, otherwise their candidate orderings diverge; it is
     therefore the single shared implementation.
+
+    With a maintained ``state`` (whose members equal ``region``) the
+    frontier comes from the incremental multiset and each candidate is
+    checked with an O(1) tolerance delta instead of an O(|region|) set copy
+    and recompute; the result — content *and* order — is identical.
     """
+    if state is not None:
+        return tuple(
+            candidate
+            for candidate in state.frontier()
+            if tolerance.fits_after_add(state, candidate)
+        )
     region_set = set(region)
     return tuple(
         candidate
@@ -88,6 +124,7 @@ class CloakingAlgorithm(ABC):
         key: AccessKey,
         step: int,
         tolerance: ToleranceSpec,
+        state: Optional[RegionState] = None,
     ) -> int:
         """Select the next segment to add.
 
@@ -98,6 +135,8 @@ class CloakingAlgorithm(ABC):
             key: The level key driving the keyed draws.
             step: 1-based transition index within this level.
             tolerance: The level's spatial tolerance.
+            state: Optional maintained state of ``region`` for O(1) frontier
+                and tolerance reads; never changes the selected segment.
 
         Returns:
             The id of the selected frontier segment.
@@ -117,6 +156,7 @@ class CloakingAlgorithm(ABC):
         key: AccessKey,
         step: int,
         tolerance: ToleranceSpec,
+        state: Optional[RegionState] = None,
     ) -> Tuple[int, ...]:
         """Anchor hypotheses for the step that added ``removed``.
 
@@ -127,6 +167,8 @@ class CloakingAlgorithm(ABC):
             key: The level key.
             step: 1-based transition index within this level.
             tolerance: The level's spatial tolerance.
+            state: Optional maintained state of ``inner_region``; never
+                changes the returned hypotheses.
 
         Returns:
             Candidate anchors, best-first. Empty when ``removed`` could not
@@ -142,6 +184,7 @@ class CloakingAlgorithm(ABC):
         key: AccessKey,
         step: int,
         tolerance: ToleranceSpec,
+        state: Optional[RegionState] = None,
     ) -> Tuple[Tuple[int, int], ...]:
         """Anchor hypotheses with a search *penalty* each.
 
@@ -157,7 +200,8 @@ class CloakingAlgorithm(ABC):
             (anchor, index)
             for index, anchor in enumerate(
                 self.backward_anchors(
-                    network, inner_region, removed, key, step, tolerance
+                    network, inner_region, removed, key, step, tolerance,
+                    state=state,
                 )
             )
         )
@@ -172,9 +216,13 @@ class CloakingAlgorithm(ABC):
         region: AbstractSet[int],
         step: int,
         level: int,
+        state: Optional[RegionState] = None,
     ) -> None:
         """Raise the precise exhaustion error for an empty eligible set."""
-        if network.frontier(set(region)):
+        frontier = state.frontier() if state is not None else network.frontier(
+            set(region)
+        )
+        if frontier:
             raise ToleranceExceededError(
                 level, f"no frontier segment fits the tolerance at step {step}"
             )

@@ -48,6 +48,7 @@ from .envelope import (
     witness_byte,
 )
 from .profile import PrivacyProfile
+from .region_state import RegionState
 from .reversal import (
     DEFAULT_BRANCH_LIMIT,
     PeelOutcome,
@@ -132,6 +133,12 @@ class ReverseCloakEngine:
         validate_reversals: Certify every peel by forward replay (default
             on; turning it off makes hint-mode reversal fastest but trades
             away tamper detection).
+        incremental: Maintain one :class:`RegionState` across the whole
+            multi-level expansion (and per-region bookkeeping during
+            reversal) so each step costs O(deg) instead of O(|region|).
+            Off forces the original from-scratch recomputes — byte-identical
+            envelopes and reversals, asymptotically slower; the flag exists
+            for equivalence testing and benchmarking.
 
     Example:
         >>> from repro.roadnet import grid_network
@@ -158,11 +165,13 @@ class ReverseCloakEngine:
         algorithm: Optional[CloakingAlgorithm] = None,
         branch_limit: int = DEFAULT_BRANCH_LIMIT,
         validate_reversals: bool = True,
+        incremental: bool = True,
     ) -> None:
         self._network = network
         self._algorithm = algorithm or ReversibleGlobalExpansion()
         self._branch_limit = branch_limit
         self._validate = validate_reversals
+        self._incremental = incremental
         self._net_digest = network_digest(network)
 
     @classmethod
@@ -172,6 +181,7 @@ class ReverseCloakEngine:
         envelope: CloakEnvelope,
         branch_limit: int = DEFAULT_BRANCH_LIMIT,
         validate_reversals: bool = True,
+        incremental: bool = True,
     ) -> "ReverseCloakEngine":
         """An engine configured to reverse ``envelope`` (requester side)."""
         return cls(
@@ -179,6 +189,7 @@ class ReverseCloakEngine:
             algorithm_for_envelope(network, envelope),
             branch_limit=branch_limit,
             validate_reversals=validate_reversals,
+            incremental=incremental,
         )
 
     @property
@@ -222,7 +233,16 @@ class ReverseCloakEngine:
                 f"profile has {profile.level_count} levels but the chain has "
                 f"{chain.levels} keys"
             )
-        region = {user_segment}
+        # One incrementally maintained state carries the region across every
+        # level: frontier, running length/bbox/population and the sorted
+        # member order survive level boundaries, so no level re-derives
+        # anything about the region it inherited.
+        state: Optional[RegionState] = (
+            RegionState(self._network, (user_segment,), snapshot=snapshot)
+            if self._incremental
+            else None
+        )
+        region = state.members if state is not None else {user_segment}
         anchor = user_segment
         records: List[LevelRecord] = []
         step_cap = self._network.segment_count + 1
@@ -232,7 +252,9 @@ class ReverseCloakEngine:
             start_anchor = anchor
             steps = 0
             step_anchors: List[int] = []
-            while not requirement.satisfied_by(self._network, region, snapshot):
+            while not requirement.satisfied_by(
+                self._network, region, snapshot, state=state
+            ):
                 if steps >= step_cap:
                     raise CloakingError(
                         f"level {level} exceeded {step_cap} transitions"
@@ -240,9 +262,12 @@ class ReverseCloakEngine:
                 step_anchors.append(anchor)
                 segment = self._algorithm.forward_step(
                     self._network, region, anchor, key, steps + 1,
-                    requirement.tolerance,
+                    requirement.tolerance, state=state,
                 )
-                region.add(segment)
+                if state is not None:
+                    state.add(segment)
+                else:
+                    region.add(segment)
                 anchor = segment
                 steps += 1
             sealed = seal_anchor(key, anchor, "hint") if include_hints else None
@@ -388,6 +413,7 @@ class ReverseCloakEngine:
                 first_only=not (self._validate or mode == "search"),
                 accept=accept,
                 witness_filter=witness_filter,
+                use_states=self._incremental,
             )
             if accept is not None:
                 if not outcomes:
@@ -468,6 +494,7 @@ class ReverseCloakEngine:
             start,
             record.steps,
             record.tolerance,
+            use_state=self._incremental,
         )
         if additions is None or frozenset({start}) | set(additions) != region:
             raise KeyMismatchError(

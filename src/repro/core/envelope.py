@@ -26,12 +26,13 @@ from __future__ import annotations
 import hashlib
 import hmac as hmac_module
 import json
+import weakref
 from dataclasses import dataclass
 from typing import AbstractSet, Dict, Iterable, Optional, Tuple
 
 from ..errors import EnvelopeError, KeyMismatchError
 from ..keys.keys import AccessKey
-from ..keys.prf import derive_pad
+from ..keys.prf import derive_pad, keyed_digest
 from ..roadnet.graph import RoadNetwork
 from .profile import LevelRequirement, ToleranceSpec
 
@@ -56,8 +57,19 @@ def region_digest(region: AbstractSet[int]) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
+#: Per-instance digest memo — RoadNetwork is immutable, and every engine
+#: construction and pre-assignment lookup needs the digest, so the O(E)
+#: hash runs once per network object instead of once per call.
+_NETWORK_DIGEST_CACHE: "weakref.WeakKeyDictionary[RoadNetwork, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def network_digest(network: RoadNetwork) -> str:
     """A stable digest of the full road network topology and lengths."""
+    cached = _NETWORK_DIGEST_CACHE.get(network)
+    if cached is not None:
+        return cached
     hasher = hashlib.sha256()
     for segment_id in network.segment_ids():
         segment = network.segment(segment_id)
@@ -65,7 +77,9 @@ def network_digest(network: RoadNetwork) -> str:
             f"{segment_id}:{segment.junction_a}:{segment.junction_b}:"
             f"{segment.length!r};".encode()
         )
-    return hasher.hexdigest()[:16]
+    digest = hasher.hexdigest()[:16]
+    _NETWORK_DIGEST_CACHE[network] = digest
+    return digest
 
 
 def seal_anchor(key: AccessKey, anchor: int, purpose: str = "hint") -> int:
@@ -101,8 +115,7 @@ def witness_byte(key: AccessKey, step: int, anchor: int) -> int:
     is at its worst.
     """
     message = f"witness|{step}|{anchor}".encode()
-    digest = hmac_module.new(key.material, message, hashlib.sha256).digest()
-    return digest[0]
+    return keyed_digest(key.material, message)[0]
 
 
 def level_mac(

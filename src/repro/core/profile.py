@@ -18,12 +18,26 @@ the access-controlled semantics where lower privileges see higher anonymity.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    AbstractSet,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import ProfileError
 from ..mobility.snapshot import PopulationSnapshot
 from ..roadnet.graph import RoadNetwork
+from .region_state import exact_fraction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .region_state import RegionState
 
 __all__ = ["ToleranceSpec", "LevelRequirement", "PrivacyProfile"]
 
@@ -64,20 +78,96 @@ class ToleranceSpec:
         if self.max_diagonal is not None and self.max_diagonal <= 0:
             raise ProfileError(f"max_diagonal must be positive, got {self.max_diagonal}")
 
+    @staticmethod
+    def _length_exceeds(rounded_total: float, exact_lengths, bound: float) -> bool:
+        """Whether the exact total length exceeds ``bound``.
+
+        ``rounded_total`` must be the *correctly rounded* float of the true
+        sum (``math.fsum`` of the lengths, or a maintained exact
+        accumulator). A correctly-rounded total that differs from the bound
+        already decides the comparison; only an exact tie falls back to
+        rational arithmetic (``exact_lengths`` is a callable producing the
+        exact :class:`~fractions.Fraction` total, evaluated lazily). This
+        makes the decision independent of summation order — essential,
+        because anonymizer and de-anonymizer sum the same region along
+        different paths and must agree on every candidate.
+        """
+        if rounded_total != bound:
+            return rounded_total > bound
+        return exact_lengths() > exact_fraction(bound)
+
     def fits(self, network: RoadNetwork, region: AbstractSet[int]) -> bool:
         """Whether ``region`` respects every enabled bound."""
         if not region:
             return True
         if self.max_segments is not None and len(region) > self.max_segments:
             return False
-        if (
-            self.max_total_length is not None
-            and network.total_length(region) > self.max_total_length
-        ):
-            return False
+        if self.max_total_length is not None:
+            lengths = [network.segment_length(sid) for sid in region]
+            if self._length_exceeds(
+                math.fsum(lengths),
+                lambda: sum(map(exact_fraction, lengths)),
+                self.max_total_length,
+            ):
+                return False
         if (
             self.max_diagonal is not None
             and network.bounding_box(region).diagonal > self.max_diagonal
+        ):
+            return False
+        return True
+
+    def fits_state(self, state: "RegionState") -> bool:
+        """:meth:`fits` evaluated against a maintained region state — O(1).
+
+        Semantically identical to ``fits(state.network, state.members)``;
+        the running measures replace the from-scratch recomputes.
+        """
+        if not len(state):
+            return True
+        if self.max_segments is not None and len(state) > self.max_segments:
+            return False
+        if self.max_total_length is not None and self._length_exceeds(
+            state.total_length,
+            lambda: state.exact_total_length,
+            self.max_total_length,
+        ):
+            return False
+        if self.max_diagonal is not None and state.diagonal() > self.max_diagonal:
+            return False
+        return True
+
+    def fits_after_add(self, state: "RegionState", candidate: int) -> bool:
+        """Whether ``state``'s region would still fit after adding
+        ``candidate`` — the O(1) delta form of
+        ``fits(network, region | {candidate})``.
+
+        ``candidate`` must be outside the region (frontier segments always
+        are); segment count and bounding box extend exactly, and the total
+        length comparison is resolved exactly at the bound, so the answer
+        equals ``fits`` on the extended region for every summation order.
+        """
+        if self.max_segments is not None and len(state) + 1 > self.max_segments:
+            return False
+        if self.max_total_length is not None:
+            bound = self.max_total_length
+            extra = state.network.segment_length(candidate)
+            # One float add on the correctly-rounded base: off by at most a
+            # couple of ulps from the exact extended total. Decide in float
+            # when clearly away from the bound; within the (generous)
+            # margin, fall back to the exact rational comparison so the
+            # decision matches fits()/fits_state() bit for bit.
+            approx = state.total_length + extra
+            margin = 1e-12 * (abs(approx) + abs(bound) + 1.0)
+            if approx > bound + margin:
+                return False
+            if approx >= bound - margin:
+                exact = state.exact_total_length + exact_fraction(extra)
+                if exact > exact_fraction(bound):
+                    return False
+        if (
+            self.max_diagonal is not None
+            and state.diagonal_after_add(candidate) > self.max_diagonal
         ):
             return False
         return True
@@ -142,8 +232,20 @@ class LevelRequirement:
         network: RoadNetwork,
         region: AbstractSet[int],
         snapshot: PopulationSnapshot,
+        state: Optional["RegionState"] = None,
     ) -> bool:
-        """Whether ``region`` meets this requirement for ``snapshot``."""
+        """Whether ``region`` meets this requirement for ``snapshot``.
+
+        With a maintained ``state`` (built against the same snapshot) the
+        check is O(1): running member/population counts and running
+        tolerance measures replace the per-call recomputes.
+        """
+        if state is not None:
+            if len(state) < self.l:
+                return False
+            if state.population < self.k:
+                return False
+            return self.tolerance.fits_state(state)
         if len(region) < self.l:
             return False
         if snapshot.count_in_region(region) < self.k:

@@ -1,0 +1,366 @@
+"""Incrementally maintained cloaking-region state.
+
+Every question the expansion and reversal hot paths ask about the current
+region — *what is the frontier? how long is it? how big is its bounding box?
+how many users are inside? which members can be removed without
+disconnecting it?* — was originally answered by a from-scratch recompute
+over the whole region, making each expansion step O(|R| * deg) and a level
+of R additions O(R^2 * deg). :class:`RegionState` maintains all of those
+answers under :meth:`add` / :meth:`remove` mutations instead:
+
+* **frontier multiset** — per-candidate count of in-region neighbours, so
+  the frontier updates in O(deg) per mutation and membership tests are O(1);
+* **running total length** — O(1) per mutation (floating-point note below);
+* **running bounding box** — O(1) growth on add; a removal that touches the
+  boundary marks the box dirty and the next query rebuilds it lazily;
+* **population count** — O(1) per mutation against the construction-time
+  :class:`~repro.mobility.snapshot.PopulationSnapshot`;
+* **length-ordered members** — the transition-table row ordering
+  (``length_order``), maintained by binary insertion so RGE never re-sorts
+  the whole region per step;
+* **removal bookkeeping** — the articulation-free member set, recomputed
+  lazily with one Tarjan pass (O(|R| * deg)) and cached until the next
+  mutation, which is what reversal's hypothesis enumeration consumes.
+
+Floating-point note: naive float summation is order-dependent, and a
+tolerance comparison that flips between the anonymizer's and the
+de-anonymizer's summation order would break reversibility. The state
+therefore maintains the total length *exactly* (every float length is a
+dyadic rational, so a :class:`~fractions.Fraction` accumulator is lossless
+under any add/remove order) and exposes its correctly-rounded float.
+:class:`~repro.core.profile.ToleranceSpec` resolves comparisons that land
+within rounding distance of the bound against the exact value, so every
+path — incremental, from-scratch, clone-derived — makes identical
+decisions.
+
+The state is deliberately *not* thread-safe and not tied to any algorithm:
+the engine owns one state for the whole multi-level expansion, replay owns
+one per certification, and the peel search builds one per hypothesised
+inner region (cached per region).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from fractions import Fraction
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..errors import CloakingError
+from ..mobility.snapshot import PopulationSnapshot
+from ..roadnet.geometry import BoundingBox
+from ..roadnet.graph import RoadNetwork, removable_segments
+
+__all__ = ["RegionState", "exact_fraction"]
+
+#: Exact-rational memo for float lengths/bounds. Segment lengths repeat
+#: constantly (grids share one spacing), and ``Fraction(float)`` is the
+#: costly part of exact accumulation.
+_FRACTION_CACHE: Dict[float, Fraction] = {}
+_FRACTION_CACHE_CAP = 65536
+
+
+def exact_fraction(value: float) -> Fraction:
+    """The exact rational value of a float (memoised)."""
+    fraction = _FRACTION_CACHE.get(value)
+    if fraction is None:
+        if len(_FRACTION_CACHE) >= _FRACTION_CACHE_CAP:
+            _FRACTION_CACHE.clear()
+        fraction = Fraction(value)
+        _FRACTION_CACHE[value] = fraction
+    return fraction
+
+
+class RegionState:
+    """Mutable region over an immutable network with O(deg) updates.
+
+    Args:
+        network: The shared road map.
+        members: Initial region members (added one by one).
+        snapshot: Optional population snapshot; when given,
+            :attr:`population` tracks the user count inside the region.
+
+    The :attr:`members` set is exposed directly for zero-copy reads by the
+    algorithms — callers must treat it as read-only and mutate only through
+    :meth:`add` / :meth:`remove`.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        members: Iterable[int] = (),
+        snapshot: Optional[PopulationSnapshot] = None,
+    ) -> None:
+        self._network = network
+        self._snapshot = snapshot
+        self._members: set = set()
+        self._frontier_counts: Dict[int, int] = {}
+        self._exact_length = Fraction(0)
+        self._total_length = 0.0
+        self._population = 0
+        self._by_length: List[Tuple[float, int]] = []
+        self._min_x = self._min_y = float("inf")
+        self._max_x = self._max_y = float("-inf")
+        self._bbox_dirty = False
+        self._removable: Optional[FrozenSet[int]] = None
+        for segment_id in members:
+            self.add(segment_id)
+
+    @classmethod
+    def from_region(
+        cls,
+        network: RoadNetwork,
+        region: AbstractSet[int],
+        snapshot: Optional[PopulationSnapshot] = None,
+    ) -> "RegionState":
+        """A state initialised to an existing region (O(|region| * deg))."""
+        return cls(network, region, snapshot=snapshot)
+
+    def clone(self) -> "RegionState":
+        """An independent copy — O(|region| + |frontier|) container copies,
+        cheaper than a from-scratch rebuild (no neighbour scans, no
+        re-sorting). The peel search derives each hypothesis's inner-region
+        state from its parent this way."""
+        other = RegionState.__new__(RegionState)
+        other._network = self._network
+        other._snapshot = self._snapshot
+        other._members = set(self._members)
+        other._frontier_counts = dict(self._frontier_counts)
+        other._exact_length = self._exact_length
+        other._total_length = self._total_length
+        other._population = self._population
+        other._by_length = list(self._by_length)
+        other._min_x = self._min_x
+        other._min_y = self._min_y
+        other._max_x = self._max_x
+        other._max_y = self._max_y
+        other._bbox_dirty = self._bbox_dirty
+        other._removable = self._removable
+        return other
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, segment_id: int) -> None:
+        """Add one segment to the region (raises if already inside)."""
+        if segment_id in self._members:
+            raise CloakingError(f"segment {segment_id} is already in the region")
+        length = self._network.segment_length(segment_id)
+        self._members.add(segment_id)
+        self._frontier_counts.pop(segment_id, None)
+        for neighbor in self._network.neighbors(segment_id):
+            if neighbor not in self._members:
+                self._frontier_counts[neighbor] = (
+                    self._frontier_counts.get(neighbor, 0) + 1
+                )
+        self._exact_length += exact_fraction(length)
+        self._total_length = float(self._exact_length)
+        if self._snapshot is not None:
+            self._population += self._snapshot.count_on(segment_id)
+        insort(self._by_length, (length, segment_id))
+        if not self._bbox_dirty:
+            a, b = self._network.segment_endpoints(segment_id)
+            for point in (a, b):
+                if point.x < self._min_x:
+                    self._min_x = point.x
+                if point.x > self._max_x:
+                    self._max_x = point.x
+                if point.y < self._min_y:
+                    self._min_y = point.y
+                if point.y > self._max_y:
+                    self._max_y = point.y
+        self._removable = None
+
+    def remove(self, segment_id: int) -> None:
+        """Remove one segment from the region (raises if not inside)."""
+        if segment_id not in self._members:
+            raise CloakingError(f"segment {segment_id} is not in the region")
+        length = self._network.segment_length(segment_id)
+        self._members.discard(segment_id)
+        in_region_neighbors = 0
+        for neighbor in self._network.neighbors(segment_id):
+            if neighbor in self._members:
+                in_region_neighbors += 1
+            else:
+                count = self._frontier_counts.get(neighbor)
+                if count is not None:
+                    if count <= 1:
+                        del self._frontier_counts[neighbor]
+                    else:
+                        self._frontier_counts[neighbor] = count - 1
+        if in_region_neighbors:
+            self._frontier_counts[segment_id] = in_region_neighbors
+        self._exact_length -= exact_fraction(length)
+        self._total_length = float(self._exact_length)
+        if self._snapshot is not None:
+            self._population -= self._snapshot.count_on(segment_id)
+        index = bisect_left(self._by_length, (length, segment_id))
+        del self._by_length[index]
+        if not self._bbox_dirty:
+            a, b = self._network.segment_endpoints(segment_id)
+            for point in (a, b):
+                if (
+                    point.x <= self._min_x
+                    or point.x >= self._max_x
+                    or point.y <= self._min_y
+                    or point.y >= self._max_y
+                ):
+                    self._bbox_dirty = True
+                    break
+        self._removable = None
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    @property
+    def snapshot(self) -> Optional[PopulationSnapshot]:
+        return self._snapshot
+
+    @property
+    def members(self) -> set:
+        """The live member set — read-only by contract (no copy)."""
+        return self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, segment_id: int) -> bool:
+        return segment_id in self._members
+
+    @property
+    def total_length(self) -> float:
+        """Summed road length of the region, metres — the *correctly
+        rounded* float of the exact sum, so it is independent of the
+        add/remove order that produced this state."""
+        return self._total_length
+
+    @property
+    def exact_total_length(self) -> Fraction:
+        """The exact rational total length (tolerance tie-breaks)."""
+        return self._exact_length
+
+    @property
+    def population(self) -> int:
+        """Users inside the region per the construction-time snapshot
+        (0 when no snapshot was given)."""
+        return self._population
+
+    def is_frontier(self, segment_id: int) -> bool:
+        """Whether ``segment_id`` is outside the region but adjacent to it."""
+        return segment_id in self._frontier_counts
+
+    def frontier(self) -> Tuple[int, ...]:
+        """The candidate frontier, ascending ids (matches
+        :meth:`RoadNetwork.frontier` exactly)."""
+        return tuple(sorted(self._frontier_counts))
+
+    def frontier_counts(self) -> Dict[int, int]:
+        """Per-candidate in-region neighbour counts (a fresh dict)."""
+        return dict(self._frontier_counts)
+
+    def segments_by_length(self) -> Tuple[int, ...]:
+        """Members ordered by (length, id) — the canonical transition-table
+        row order (:func:`repro.core.transition_table.length_order`)."""
+        return tuple(segment_id for _, segment_id in self._by_length)
+
+    def length_rank(self, segment_id: int) -> int:
+        """The member's 0-based position in the (length, id) ordering."""
+        if segment_id not in self._members:
+            raise CloakingError(f"segment {segment_id} is not in the region")
+        return bisect_left(
+            self._by_length,
+            (self._network.segment_length(segment_id), segment_id),
+        )
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def _rebuild_bbox(self) -> None:
+        self._min_x = self._min_y = float("inf")
+        self._max_x = self._max_y = float("-inf")
+        for segment_id in self._members:
+            a, b = self._network.segment_endpoints(segment_id)
+            for point in (a, b):
+                if point.x < self._min_x:
+                    self._min_x = point.x
+                if point.x > self._max_x:
+                    self._max_x = point.x
+                if point.y < self._min_y:
+                    self._min_y = point.y
+                if point.y > self._max_y:
+                    self._max_y = point.y
+        self._bbox_dirty = False
+
+    def bounding_box(self) -> BoundingBox:
+        """Tightest box around the region (raises on an empty region,
+        matching :meth:`RoadNetwork.bounding_box`)."""
+        if not self._members:
+            raise ValueError("cannot bound an empty region")
+        if self._bbox_dirty:
+            self._rebuild_bbox()
+        return BoundingBox(self._min_x, self._min_y, self._max_x, self._max_y)
+
+    def diagonal(self) -> float:
+        """The region bounding-box diagonal, metres."""
+        box = self.bounding_box()
+        return box.diagonal
+
+    def diagonal_after_add(self, segment_id: int) -> float:
+        """The bounding-box diagonal the region would have after adding
+        ``segment_id`` — O(1), without mutating the state.
+
+        min/max are exact, so this equals the from-scratch diagonal of
+        ``region | {segment_id}`` bit for bit.
+        """
+        a, b = self._network.segment_endpoints(segment_id)
+        if not self._members:
+            box = BoundingBox.around((a, b))
+            return box.diagonal
+        if self._bbox_dirty:
+            self._rebuild_bbox()
+        min_x, min_y = self._min_x, self._min_y
+        max_x, max_y = self._max_x, self._max_y
+        for point in (a, b):
+            if point.x < min_x:
+                min_x = point.x
+            if point.x > max_x:
+                max_x = point.x
+            if point.y < min_y:
+                min_y = point.y
+            if point.y > max_y:
+                max_y = point.y
+        return BoundingBox(min_x, min_y, max_x, max_y).diagonal
+
+    # ------------------------------------------------------------------
+    # connectivity
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Whether the region induces a connected subgraph."""
+        return self._network.is_connected_region(self._members)
+
+    def removable_members(self) -> FrozenSet[int]:
+        """Members whose removal keeps the region connected.
+
+        One Tarjan articulation pass, cached until the next mutation —
+        reversal's hypothesis enumeration asks this for many candidates of
+        the same region, so the amortised cost per query is O(1).
+        """
+        if self._removable is None:
+            self._removable = frozenset(
+                removable_segments(self._network.neighbors, self._members)
+            )
+        return self._removable
+
+    def is_removable(self, segment_id: int) -> bool:
+        """Whether removing ``segment_id`` keeps the region connected."""
+        return segment_id in self.removable_members()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RegionState(members={len(self._members)}, "
+            f"frontier={len(self._frontier_counts)}, "
+            f"length={self._total_length:.1f})"
+        )

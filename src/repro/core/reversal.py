@@ -22,18 +22,32 @@ With a sealed hint and a collision-free table the search degenerates to a
 straight-line walk — the common, fast path. The search breadth is capped;
 exceeding the cap raises :class:`~repro.errors.CollisionError` rather than
 silently exploring an exponential space.
+
+Complexity: peeling maintains incremental region bookkeeping
+(:class:`~repro.core.region_state.RegionState`) per visited region — the
+"can this removal keep the region connected?" test reads a cached
+articulation-free set (one Tarjan pass per distinct region, O(|R| * deg))
+and each backward lookup's candidate filtering uses O(1) tolerance deltas.
+That turns a level peel from O(R^3) (per-hypothesis connectivity recompute
+times per-candidate tolerance recompute) into O(R^2 * deg) worst case, and
+hinted straight-line peels into O(R * deg). Replay certification likewise
+maintains one state for its whole forward run. Pass ``use_states=False``
+to force the original from-scratch recomputes (the two paths are
+behaviourally identical; the flag exists for equivalence testing and
+benchmarking).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import AbstractSet, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import CloakingError, CollisionError, DeanonymizationError
 from ..keys.keys import AccessKey
 from ..roadnet.graph import RoadNetwork
 from .algorithm import CloakingAlgorithm
 from .profile import ToleranceSpec
+from .region_state import RegionState
 
 __all__ = ["PeelOutcome", "peel_level", "replay_level", "enumerate_bootstraps"]
 
@@ -41,6 +55,16 @@ __all__ = ["PeelOutcome", "peel_level", "replay_level", "enumerate_bootstraps"]
 #: relocation (decision D12) can fan out several quickly-pruned hypotheses
 #: per step, so the cap is generous; genuine run-aways still terminate.
 DEFAULT_BRANCH_LIMIT = 20_000
+
+#: Region-size crossover for the incremental bookkeeping. Below it, a
+#: *hinted* (witness/accept-pinned, straight-line) peel is cheaper with the
+#: original from-scratch recomputes than with per-region RegionState
+#: derivation — the constant costs (container clones, exact-length
+#: accumulation) dominate tiny regions. Search-mode peels keep the states
+#: at every size: they revisit regions across many hypotheses, so the
+#: caches amortise even when small. Both paths are behaviourally
+#: identical, so crossing over is purely a constant-factor choice.
+INCREMENTAL_SIZE_THRESHOLD = 32
 
 
 @dataclass(frozen=True)
@@ -73,23 +97,35 @@ def replay_level(
     start_anchor: int,
     steps: int,
     tolerance: ToleranceSpec,
+    use_state: bool = True,
 ) -> Optional[Tuple[int, ...]]:
     """Re-run ``steps`` forward transitions from a hypothesised inner state.
 
     Returns the addition sequence, or ``None`` when the expansion fails
-    (which certifies the hypothesis as inconsistent).
+    (which certifies the hypothesis as inconsistent). One incremental
+    :class:`RegionState` is maintained across the whole replay (O(deg) per
+    step after the O(|region| * deg) initialisation) unless ``use_state``
+    is off or the final region is below the incremental crossover size.
     """
-    region = set(start_region)
+    if len(start_region) + steps <= INCREMENTAL_SIZE_THRESHOLD:
+        use_state = False
+    state: Optional[RegionState] = (
+        RegionState.from_region(network, start_region) if use_state else None
+    )
+    region = state.members if state is not None else set(start_region)
     anchor = start_anchor
     additions: List[int] = []
     for step in range(1, steps + 1):
         try:
             segment = algorithm.forward_step(
-                network, region, anchor, key, step, tolerance
+                network, region, anchor, key, step, tolerance, state=state
             )
         except CloakingError:
             return None
-        region.add(segment)
+        if state is not None:
+            state.add(segment)
+        else:
+            region.add(segment)
         additions.append(segment)
         anchor = segment
     return tuple(additions)
@@ -119,6 +155,7 @@ def peel_level(
     first_only: bool = False,
     accept: Optional[Callable[[PeelOutcome], bool]] = None,
     witness_filter: Optional[Callable[[int, int], bool]] = None,
+    use_states: bool = True,
 ) -> List[PeelOutcome]:
     """Peel one level, returning every replay-certified outcome.
 
@@ -148,6 +185,10 @@ def peel_level(
             ``(step, anchor) -> bool`` from the envelope's keyed witnesses
             (decision D13); discards false hypotheses with probability
             255/256 per step, keeping hinted peels near-linear.
+        use_states: Maintain incremental region bookkeeping (cached
+            articulation-free sets, per-region :class:`RegionState`) across
+            the search. Off forces the original from-scratch recomputes —
+            identical outcomes, asymptotically slower.
 
     Returns:
         Certified outcomes. Empty when no hypothesis is consistent.
@@ -188,6 +229,52 @@ def peel_level(
     seen_outcomes = set()
     budgets = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
 
+    # Hinted peels walk one straight chain of small regions; below the
+    # crossover the from-scratch recomputes win on constants.
+    if (
+        use_states
+        and (witness_filter is not None or accept is not None)
+        and len(outer) <= INCREMENTAL_SIZE_THRESHOLD
+    ):
+        use_states = False
+
+    # Incremental bookkeeping shared across the whole peel (all budgets):
+    # one RegionState per distinct region, serving both the connectivity
+    # test (its cached Tarjan removable set — one pass instead of one
+    # connectivity recompute per hypothesis) and O(1) frontier/tolerance
+    # reads for the backward lookups. Regions recur heavily — across
+    # sibling hypotheses, across deepening budgets — so the cache
+    # amortises to O(1) per search node. Capped; past the cap new states
+    # are derived but not stored (never evicted wholesale — the early, hot
+    # entries such as the outer region and the true chain's prefixes stay
+    # cached).
+    state_cache: Dict[frozenset, RegionState] = {}
+    _PEEL_CACHE_CAP = 4096
+
+    def _state_of(
+        region: frozenset,
+        parent: Optional[frozenset] = None,
+        removed: Optional[int] = None,
+    ) -> RegionState:
+        region_state = state_cache.get(region)
+        if region_state is None:
+            parent_state = (
+                state_cache.get(parent) if parent is not None else None
+            )
+            if parent_state is not None and removed is not None:
+                # Deriving by clone + single removal is O(|R|) container
+                # copies; a from-scratch build costs a full neighbour scan.
+                region_state = parent_state.clone()
+                region_state.remove(removed)
+            else:
+                region_state = RegionState.from_region(network, region)
+            if len(state_cache) < _PEEL_CACHE_CAP:
+                state_cache[region] = region_state
+        return region_state
+
+    if use_states:
+        state_cache[outer] = RegionState.from_region(network, outer)
+
     for budget in budgets:
         memo: dict = {}
 
@@ -204,9 +291,19 @@ def peel_level(
             completions: List[Tuple[frozenset, Tuple[int, ...], int]] = []
             if removing in region:
                 inner = region - {removing}
-                if inner and network.is_connected_region(inner):
+                connected = (
+                    _state_of(region).is_removable(removing)
+                    if use_states
+                    else network.is_connected_region(inner)
+                )
+                if inner and connected:
                     hypotheses = algorithm.backward_hypotheses(
-                        network, inner, removing, key, step, tolerance
+                        network, inner, removing, key, step, tolerance,
+                        state=(
+                            _state_of(inner, region, removing)
+                            if use_states
+                            else None
+                        ),
                     )
                     if witness_filter is not None:
                         # The hypothesis is the anchor of forward step
@@ -253,7 +350,7 @@ def peel_level(
                 if accept is not None and not accept(outcome):
                     continue
                 if validate and not _certify(
-                    network, algorithm, key, outcome, tolerance
+                    network, algorithm, key, outcome, tolerance, use_states
                 ):
                     continue
                 seen_outcomes.add(signature)
@@ -269,6 +366,7 @@ def _certify(
     key: AccessKey,
     outcome: PeelOutcome,
     tolerance: ToleranceSpec,
+    use_state: bool = True,
 ) -> bool:
     """Forward-replay certification of a completed peel hypothesis."""
     replayed = replay_level(
@@ -279,5 +377,6 @@ def _certify(
         outcome.start_anchor,
         len(outcome.removed),
         tolerance,
+        use_state=use_state,
     )
     return replayed == outcome.added_sequence

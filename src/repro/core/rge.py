@@ -19,20 +19,28 @@ design space from RPLE's precomputed lists (experiments E5/E7).
 
 from __future__ import annotations
 
-from typing import AbstractSet, Tuple
+from typing import AbstractSet, Optional, Tuple
 
 from ..errors import CloakingError
 from ..keys.keys import AccessKey
 from ..roadnet.graph import RoadNetwork
 from .algorithm import CloakingAlgorithm, eligible_candidates, keyed_draw
 from .profile import ToleranceSpec
-from .transition_table import TransitionTable
+from .region_state import RegionState
+from .transition_table import TransitionTable, state_forward, state_table
 
 __all__ = ["ReversibleGlobalExpansion"]
 
 
 class ReversibleGlobalExpansion(CloakingAlgorithm):
-    """The RGE algorithm. Stateless: safe to share across engines/threads."""
+    """The RGE algorithm. Stateless: safe to share across engines/threads.
+
+    With a maintained :class:`RegionState`, the per-step table rows come
+    from the state's incrementally sorted member list instead of a full
+    re-sort, so a step costs O(deg + |CanA| log |CanA|) instead of
+    O(|CloakA| log |CloakA| + |CanA| * |CloakA|). The table contents are
+    identical either way.
+    """
 
     name = "rge"
 
@@ -44,15 +52,20 @@ class ReversibleGlobalExpansion(CloakingAlgorithm):
         key: AccessKey,
         step: int,
         tolerance: ToleranceSpec,
+        state: Optional[RegionState] = None,
     ) -> int:
         if anchor not in region:
             raise CloakingError(
                 f"anchor {anchor} is not inside the region at step {step}"
             )
-        candidates = eligible_candidates(network, region, tolerance)
+        candidates = eligible_candidates(network, region, tolerance, state=state)
         if not candidates:
-            self._raise_no_candidates(network, region, step, key.level)
-        table = TransitionTable(network, set(region), set(candidates))
+            self._raise_no_candidates(network, region, step, key.level, state=state)
+        if state is not None:
+            return state_forward(
+                network, state, candidates, anchor, keyed_draw(key, step)
+            )
+        table = self._table(network, region, candidates, state)
         return table.forward(anchor, keyed_draw(key, step))
 
     def backward_anchors(
@@ -63,15 +76,31 @@ class ReversibleGlobalExpansion(CloakingAlgorithm):
         key: AccessKey,
         step: int,
         tolerance: ToleranceSpec,
+        state: Optional[RegionState] = None,
     ) -> Tuple[int, ...]:
         if removed in inner_region:
             raise CloakingError(
                 f"removed segment {removed} still inside the inner region"
             )
-        candidates = eligible_candidates(network, inner_region, tolerance)
+        candidates = eligible_candidates(
+            network, inner_region, tolerance, state=state
+        )
         if removed not in candidates:
             # The forward step could never have selected this segment here:
             # it was not an eligible candidate of the inner region.
             return ()
-        table = TransitionTable(network, set(inner_region), set(candidates))
+        table = self._table(network, inner_region, candidates, state)
         return table.backward(removed, keyed_draw(key, step))
+
+    @staticmethod
+    def _table(
+        network: RoadNetwork,
+        region: AbstractSet[int],
+        candidates: Tuple[int, ...],
+        state: Optional[RegionState],
+    ) -> TransitionTable:
+        """The step's transition table, reusing the state's maintained
+        length ordering when one is available."""
+        if state is not None:
+            return state_table(network, state, candidates)
+        return TransitionTable(network, set(region), set(candidates))

@@ -43,6 +43,8 @@ E7 reproduces the stated trade-off against RGE).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import AbstractSet, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import CloakingError, PreassignmentError
@@ -50,14 +52,27 @@ from ..keys.keys import AccessKey
 from ..roadnet.graph import RoadNetwork
 from ..roadnet.paths import segment_hop_distances
 from .algorithm import CloakingAlgorithm, eligible_candidates, keyed_draw
+from .envelope import network_digest
 from .profile import ToleranceSpec
-from .transition_table import TransitionTable
+from .region_state import RegionState
+from .transition_table import TransitionTable, state_forward, state_table
 
 __all__ = ["Preassignment", "ReversiblePreassignmentExpansion", "DEFAULT_LIST_LENGTH"]
 
 #: Default transition-list length ``T``. Figure 3 shows ``T = 6``; 8 covers
 #: the degree distribution of grid and Delaunay maps with headroom.
 DEFAULT_LIST_LENGTH = 8
+
+#: Pre-assignment memo keyed by ``(network digest, T, max_hops)``. The
+#: tables are a pure function of that key, so every de-anonymization request
+#: (``algorithm_for_envelope``) reuses them instead of rebuilding the
+#: O(E * T) structure per call. Small LRU: each entry pins its network.
+#: Guarded by a lock — concurrent server threads share it.
+_PREASSIGNMENT_CACHE: "OrderedDict[Tuple[str, int, Optional[int]], Preassignment]" = (
+    OrderedDict()
+)
+_PREASSIGNMENT_CACHE_SIZE = 8
+_PREASSIGNMENT_CACHE_LOCK = threading.Lock()
 
 
 class Preassignment:
@@ -209,9 +224,38 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         network: RoadNetwork,
         list_length: int = DEFAULT_LIST_LENGTH,
         max_hops: Optional[int] = 4,
+        cache: bool = True,
     ) -> "ReversiblePreassignmentExpansion":
-        """Run pre-assignment on ``network`` and wrap it."""
-        return cls(Preassignment(network, list_length, max_hops))
+        """Run pre-assignment on ``network`` and wrap it.
+
+        Pre-assignment is a pure function of ``(network, list_length,
+        max_hops)``, so the tables are memoized per network digest by
+        default — repeated engine constructions (one per de-anonymization
+        request in a server) stop paying the O(E * T) build. Pass
+        ``cache=False`` to force a fresh build.
+        """
+        if not cache:
+            return cls(Preassignment(network, list_length, max_hops))
+        key = (network_digest(network), list_length, max_hops)
+        with _PREASSIGNMENT_CACHE_LOCK:
+            pre = _PREASSIGNMENT_CACHE.get(key)
+            if pre is not None:
+                _PREASSIGNMENT_CACHE.move_to_end(key)
+        if pre is None:
+            # Build outside the lock (seconds on large maps); a concurrent
+            # duplicate build is wasted work, never wrong — the tables are
+            # a pure function of the key.
+            pre = Preassignment(network, list_length, max_hops)
+            with _PREASSIGNMENT_CACHE_LOCK:
+                existing = _PREASSIGNMENT_CACHE.get(key)
+                if existing is not None:
+                    pre = existing
+                    _PREASSIGNMENT_CACHE.move_to_end(key)
+                else:
+                    _PREASSIGNMENT_CACHE[key] = pre
+                    while len(_PREASSIGNMENT_CACHE) > _PREASSIGNMENT_CACHE_SIZE:
+                        _PREASSIGNMENT_CACHE.popitem(last=False)
+        return cls(pre)
 
     @property
     def preassignment(self) -> Preassignment:
@@ -232,6 +276,7 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         region: AbstractSet[int],
         target: Optional[int],
         tolerance: ToleranceSpec,
+        state: Optional[RegionState] = None,
     ) -> bool:
         """Whether a forward slot target is usable from the current region.
 
@@ -241,8 +286,17 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         distant pairs only become usable once the region reaches them). The
         identical predicate runs in the backward replay guard, which is what
         makes redraws reversible.
+
+        With a maintained ``state`` the frontier test and the tolerance
+        check are O(1) instead of O(|region|).
         """
-        if target is None or target in region:
+        if target is None:
+            return False
+        if state is not None:
+            if not state.is_frontier(target):
+                return False
+            return tolerance.fits_after_add(state, target)
+        if target in region:
             return False
         if not any(neighbor in region for neighbor in network.neighbors(target)):
             return False
@@ -254,12 +308,13 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         region: AbstractSet[int],
         anchor: int,
         tolerance: ToleranceSpec,
+        state: Optional[RegionState] = None,
     ) -> bool:
         """Whether any slot of ``anchor``'s forward list can extend the
         region. A pure function of (anchor, region, tolerance) — both
         protocol sides evaluate it identically."""
         return any(
-            self._slot_valid(network, region, target, tolerance)
+            self._slot_valid(network, region, target, tolerance, state=state)
             for target in self._pre.forward_list(anchor)
         )
 
@@ -271,11 +326,16 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         key: AccessKey,
         step: int,
         tolerance: ToleranceSpec,
+        state: Optional[RegionState] = None,
     ) -> int:
         """One RGE-style table step for a dead local anchor (decision D12)."""
-        candidates = eligible_candidates(network, region, tolerance)
+        candidates = eligible_candidates(network, region, tolerance, state=state)
         if not candidates:
-            self._raise_no_candidates(network, region, step, key.level)
+            self._raise_no_candidates(network, region, step, key.level, state=state)
+        if state is not None:
+            return state_forward(
+                network, state, candidates, anchor, keyed_draw(key, step)
+            )
         table = TransitionTable(network, set(region), set(candidates))
         return table.forward(anchor, keyed_draw(key, step))
 
@@ -287,21 +347,22 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         key: AccessKey,
         step: int,
         tolerance: ToleranceSpec,
+        state: Optional[RegionState] = None,
     ) -> int:
         if anchor not in region:
             raise CloakingError(
                 f"anchor {anchor} is not inside the region at step {step}"
             )
-        if not self._anchor_alive(network, region, anchor, tolerance):
+        if not self._anchor_alive(network, region, anchor, tolerance, state=state):
             return self._global_fallback_forward(
-                network, region, anchor, key, step, tolerance
+                network, region, anchor, key, step, tolerance, state=state
             )
         forward = self._pre.forward_list(anchor)
         length = self._pre.list_length
         for attempt in range(self._max_attempts):
             slot = keyed_draw(key, step, attempt) % length
             target = forward[slot]
-            if self._slot_valid(network, region, target, tolerance):
+            if self._slot_valid(network, region, target, tolerance, state=state):
                 assert target is not None
                 return target
         raise CloakingError(
@@ -320,6 +381,7 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         key: AccessKey,
         step: int,
         tolerance: ToleranceSpec,
+        state: Optional[RegionState] = None,
     ) -> Tuple[Tuple[int, int], ...]:
         """Anchor hypotheses, rank-penalised for the deepening search.
 
@@ -332,44 +394,73 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
             raise CloakingError(
                 f"removed segment {removed} still inside the inner region"
             )
-        if not any(
-            neighbor in inner_region for neighbor in network.neighbors(removed)
-        ):
-            # The forward pass only ever adds frontier segments.
-            return ()
-        if not tolerance.fits(network, set(inner_region) | {removed}):
-            return ()
+        if state is not None:
+            if not state.is_frontier(removed):
+                # The forward pass only ever adds frontier segments.
+                return ()
+            if not tolerance.fits_after_add(state, removed):
+                return ()
+        else:
+            if not any(
+                neighbor in inner_region for neighbor in network.neighbors(removed)
+            ):
+                # The forward pass only ever adds frontier segments.
+                return ()
+            if not tolerance.fits(network, set(inner_region) | {removed}):
+                return ()
         hypotheses: List[Tuple[int, int]] = []
         # Local interpretation: the forward step drew slots from a live
         # anchor's list until one was valid.
         backward = self._pre.backward_list(removed)
         length = self._pre.list_length
-        # One PRF draw per attempt, shared by every prefix check below.
-        slots = [
-            keyed_draw(key, step, attempt) % length
-            for attempt in range(self._max_attempts)
-        ]
+        # One PRF draw per attempt, shared by every prefix check below. The
+        # enumeration stops once every distinct slot has appeared: a later
+        # duplicate of slot ``s`` can never yield a hypothesis, because its
+        # prefix contains the first occurrence of ``s`` — whose forward
+        # target from the candidate is exactly ``removed`` (list symmetry),
+        # which is valid here — so the prefix check always discards it.
+        # This keeps the expected PRF cost per backward step at ~T ln T
+        # draws instead of the full 16T redraw budget.
+        slots: List[int] = []
+        distinct = 0
+        seen_slot = [False] * length
+        for attempt in range(self._max_attempts):
+            slot = keyed_draw(key, step, attempt) % length
+            slots.append(slot)
+            if not seen_slot[slot]:
+                seen_slot[slot] = True
+                distinct += 1
+                if distinct == length:
+                    break
         for attempt, slot in enumerate(slots):
             candidate = backward[slot]
             if candidate is None or candidate not in inner_region:
                 continue
-            if not self._anchor_alive(network, inner_region, candidate, tolerance):
+            if not self._anchor_alive(
+                network, inner_region, candidate, tolerance, state=state
+            ):
                 # A dead anchor would have taken the global fallback, so the
                 # local interpretation cannot hold for this candidate.
                 continue
             if self._forward_prefix_fails(
-                network, inner_region, candidate, slots[:attempt], tolerance
+                network, inner_region, candidate, slots[:attempt], tolerance,
+                state=state,
             ):
                 hypotheses.append((candidate, len(hypotheses)))
         # Global interpretation (decision D12): the forward anchor was dead
         # and this step was one RGE-style table transition.
-        candidates = eligible_candidates(network, inner_region, tolerance)
+        candidates = eligible_candidates(
+            network, inner_region, tolerance, state=state
+        )
         if removed in candidates:
-            table = TransitionTable(network, set(inner_region), set(candidates))
+            if state is not None:
+                table = state_table(network, state, candidates)
+            else:
+                table = TransitionTable(network, set(inner_region), set(candidates))
             global_rank = 0
             for candidate in table.backward(removed, keyed_draw(key, step)):
                 if not self._anchor_alive(
-                    network, inner_region, candidate, tolerance
+                    network, inner_region, candidate, tolerance, state=state
                 ):
                     hypotheses.append((candidate, 1 + global_rank))
                     global_rank += 1
@@ -389,11 +480,12 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         key: AccessKey,
         step: int,
         tolerance: ToleranceSpec,
+        state: Optional[RegionState] = None,
     ) -> Tuple[int, ...]:
         return tuple(
             anchor
             for anchor, __ in self.backward_hypotheses(
-                network, inner_region, removed, key, step, tolerance
+                network, inner_region, removed, key, step, tolerance, state=state
             )
         )
 
@@ -404,6 +496,7 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         anchor: int,
         earlier_slots: Sequence[int],
         tolerance: ToleranceSpec,
+        state: Optional[RegionState] = None,
     ) -> bool:
         """Replay guard: would a forward step from ``anchor`` have failed
         every earlier attempt (whose slot indices are ``earlier_slots``)?
@@ -415,6 +508,8 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         """
         forward = self._pre.forward_list(anchor)
         for slot in earlier_slots:
-            if self._slot_valid(network, inner_region, forward[slot], tolerance):
+            if self._slot_valid(
+                network, inner_region, forward[slot], tolerance, state=state
+            ):
                 return False
         return True

@@ -22,12 +22,15 @@ caller disambiguates by hypothesis search with forward-replay validation
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, AbstractSet, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import CloakingError
 from ..roadnet.graph import RoadNetwork
 
-__all__ = ["length_order", "TransitionTable"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .region_state import RegionState
+
+__all__ = ["length_order", "TransitionTable", "state_forward", "state_table"]
 
 
 def length_order(network: RoadNetwork, segment_ids: Iterable[int]) -> Tuple[int, ...]:
@@ -50,6 +53,12 @@ class TransitionTable:
         cloak: The current cloaking region ``CloakA`` (row segments).
         candidates: The candidate frontier ``CanA`` (column segments); must be
             non-empty and disjoint from ``cloak``.
+        row_order: Optional precomputed ``length_order`` of ``cloak`` (e.g.
+            maintained incrementally by a
+            :class:`~repro.core.region_state.RegionState`). Trusted verbatim:
+            the per-step re-sort and the cloak/candidate overlap check are
+            skipped, which keeps table construction O(|CanA| log |CanA|)
+            instead of O((|CloakA| + |CanA|) log).
     """
 
     def __init__(
@@ -57,17 +66,21 @@ class TransitionTable:
         network: RoadNetwork,
         cloak: AbstractSet[int],
         candidates: AbstractSet[int],
+        row_order: Optional[Sequence[int]] = None,
     ) -> None:
         if not cloak:
             raise CloakingError("transition table needs a non-empty cloak set")
         if not candidates:
             raise CloakingError("transition table needs a non-empty candidate set")
-        overlap = set(cloak) & set(candidates)
-        if overlap:
-            raise CloakingError(
-                f"cloak and candidate sets overlap: {sorted(overlap)}"
-            )
-        self._rows = length_order(network, cloak)
+        if row_order is None:
+            overlap = set(cloak) & set(candidates)
+            if overlap:
+                raise CloakingError(
+                    f"cloak and candidate sets overlap: {sorted(overlap)}"
+                )
+            self._rows = length_order(network, cloak)
+        else:
+            self._rows = tuple(row_order)
         self._columns = length_order(network, candidates)
         self._row_index: Dict[int, int] = {
             segment_id: index for index, segment_id in enumerate(self._rows)
@@ -116,6 +129,25 @@ class TransitionTable:
             raise CloakingError(f"random value must be non-negative: {random_value}")
         return random_value % self.column_count
 
+    @staticmethod
+    def forward_select(
+        row_index: int, columns: Sequence[int], random_value: int
+    ) -> int:
+        """The forward transition formula, free of table construction.
+
+        Given the anchor's 0-based position in the length-ordered cloak and
+        the length-ordered candidate columns, the selected candidate is the
+        unique column ``j`` with ``((row + j) mod |CanA|) == (R mod
+        |CanA|)``. :meth:`forward` delegates here, and callers holding a
+        maintained region ordering (anchor rank by binary search) can invoke
+        it directly without materialising the rows at all — O(1) instead of
+        O(|CloakA|) per step.
+        """
+        if random_value < 0:
+            raise CloakingError(f"random value must be non-negative: {random_value}")
+        pick = random_value % len(columns)
+        return columns[(pick - row_index) % len(columns)]
+
     def forward(self, last_added: int, random_value: int) -> int:
         """The forward transition: the candidate selected from the row of
         ``last_added`` by the pick value of ``random_value``.
@@ -129,9 +161,7 @@ class TransitionTable:
             raise CloakingError(
                 f"last added segment {last_added} is not in the cloak set"
             ) from None
-        pick = self.pick_value(random_value)
-        column = (pick - row) % self.column_count
-        return self._columns[column]
+        return self.forward_select(row, self._columns, random_value)
 
     def backward(self, removed: int, random_value: int) -> Tuple[int, ...]:
         """The backward transition: candidate previous segments for the
@@ -173,3 +203,41 @@ class TransitionTable:
             )
             lines.append(f"s{row_segment:<6} {cells}")
         return "\n".join(lines)
+
+
+def state_forward(
+    network: RoadNetwork,
+    state: "RegionState",
+    candidates: Sequence[int],
+    anchor: int,
+    random_value: int,
+) -> int:
+    """The forward transition from a maintained region state.
+
+    Selection ordering is protocol-critical and must stay byte-identical
+    between RGE steps and RPLE's global fallback, so both call this single
+    helper: the anchor's rank comes from the state's maintained length
+    ordering (binary search), the columns are ``length_order`` of the
+    eligible candidates — no O(|region|) row materialisation.
+    """
+    return TransitionTable.forward_select(
+        state.length_rank(anchor),
+        length_order(network, candidates),
+        random_value,
+    )
+
+
+def state_table(
+    network: RoadNetwork,
+    state: "RegionState",
+    candidates: AbstractSet[int],
+) -> TransitionTable:
+    """A full transition table over a maintained region state (backward
+    lookups need the rows); reuses the state's maintained length ordering
+    instead of re-sorting the region."""
+    return TransitionTable(
+        network,
+        state.members,
+        set(candidates),
+        row_order=state.segments_by_length(),
+    )

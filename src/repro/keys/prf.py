@@ -20,11 +20,61 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from typing import Iterator
+import threading
+from typing import Dict, Iterator
 
-__all__ = ["PrfStream", "prf_value", "derive_pad"]
+__all__ = [
+    "PrfStream",
+    "prf_value",
+    "keyed_digest",
+    "derive_pad",
+    "purge_keyed_hmac_cache",
+]
 
 _DIGEST_BYTES = hashlib.sha256().digest_size
+
+#: Keyed-HMAC template memo. ``hmac.new(key, ...)`` pays two SHA-256
+#: compressions just to absorb the padded key; caching the absorbed state
+#: per key and ``copy()``-ing it per message halves the cost of every PRF
+#: call on the expansion hot path. Outputs are bit-identical — ``copy()``
+#: resumes the exact same HMAC state.
+#:
+#: Key-hygiene trade-off: entries hold key-derived HMAC state (and the key
+#: bytes as dict keys) beyond the lifetime of the AccessKey that supplied
+#: them. The cache is small (16 entries, evicted wholesale) and
+#: :func:`purge_keyed_hmac_cache` drops everything — long-running services
+#: that rotate keys should call it on rotation.
+_KEYED_HMAC_CACHE: Dict[bytes, "hmac.HMAC"] = {}
+_KEYED_HMAC_CACHE_CAP = 16
+_KEYED_HMAC_CACHE_LOCK = threading.Lock()
+
+
+def _keyed_hmac(key: bytes) -> "hmac.HMAC":
+    with _KEYED_HMAC_CACHE_LOCK:
+        template = _KEYED_HMAC_CACHE.get(key)
+        if template is None:
+            template = hmac.new(key, digestmod=hashlib.sha256)
+            if len(_KEYED_HMAC_CACHE) >= _KEYED_HMAC_CACHE_CAP:
+                _KEYED_HMAC_CACHE.clear()
+            _KEYED_HMAC_CACHE[key] = template
+        return template.copy()
+
+
+def purge_keyed_hmac_cache() -> None:
+    """Drop every cached keyed-HMAC template (see the key-hygiene note)."""
+    with _KEYED_HMAC_CACHE_LOCK:
+        _KEYED_HMAC_CACHE.clear()
+
+
+def keyed_digest(key: bytes, message: bytes) -> bytes:
+    """``HMAC-SHA256(key, message)`` via the keyed-template cache.
+
+    Exactly ``hmac.new(key, message, hashlib.sha256).digest()``, minus the
+    per-call key-absorption cost.
+    """
+    mac = _keyed_hmac(key)
+    mac.update(message)
+    return mac.digest()
 
 
 def prf_value(key: bytes, domain: bytes, index: int) -> int:
@@ -37,8 +87,7 @@ def prf_value(key: bytes, domain: bytes, index: int) -> int:
     if index < 0:
         raise ValueError(f"PRF index must be non-negative, got {index}")
     message = domain + index.to_bytes(8, "big")
-    digest = hmac.new(key, message, hashlib.sha256).digest()
-    return int.from_bytes(digest, "big")
+    return int.from_bytes(keyed_digest(key, message), "big")
 
 
 def derive_pad(key: bytes, domain: bytes, width_bytes: int = 8) -> bytes:
@@ -50,8 +99,7 @@ def derive_pad(key: bytes, domain: bytes, width_bytes: int = 8) -> bytes:
     """
     if width_bytes <= 0 or width_bytes > _DIGEST_BYTES:
         raise ValueError(f"width_bytes must be in 1..{_DIGEST_BYTES}")
-    digest = hmac.new(key, domain + b"|pad", hashlib.sha256).digest()
-    return digest[:width_bytes]
+    return keyed_digest(key, domain + b"|pad")[:width_bytes]
 
 
 class PrfStream:

@@ -29,13 +29,25 @@ class PopulationSnapshot:
     def __init__(self, segment_of: Mapping[int, int], time: float = 0.0) -> None:
         self._segment_of: Dict[int, int] = dict(segment_of)
         self._time = float(time)
-        users_on: Dict[int, list] = {}
-        for user_id, segment_id in self._segment_of.items():
-            users_on.setdefault(segment_id, []).append(user_id)
-        self._users_on: Dict[int, Tuple[int, ...]] = {
-            segment_id: tuple(sorted(users))
-            for segment_id, users in users_on.items()
-        }
+        # The anonymizer only ever needs *counts* (delta_k checks run on
+        # every expansion step), so those are precomputed as plain ints;
+        # the per-segment user-id tuples are materialised lazily on the
+        # first identity query.
+        self._counts: Dict[int, int] = {}
+        for segment_id in self._segment_of.values():
+            self._counts[segment_id] = self._counts.get(segment_id, 0) + 1
+        self._users_on: Optional[Dict[int, Tuple[int, ...]]] = None
+
+    def _users_on_map(self) -> Dict[int, Tuple[int, ...]]:
+        if self._users_on is None:
+            users_on: Dict[int, list] = {}
+            for user_id, segment_id in self._segment_of.items():
+                users_on.setdefault(segment_id, []).append(user_id)
+            self._users_on = {
+                segment_id: tuple(sorted(users))
+                for segment_id, users in users_on.items()
+            }
+        return self._users_on
 
     @classmethod
     def from_counts(cls, counts: Mapping[int, int], time: float = 0.0) -> "PopulationSnapshot":
@@ -81,34 +93,36 @@ class PopulationSnapshot:
 
     def users_on(self, segment_id: int) -> Tuple[int, ...]:
         """User ids currently on ``segment_id`` (empty tuple when vacant)."""
-        return self._users_on.get(segment_id, ())
+        return self._users_on_map().get(segment_id, ())
 
     def count_on(self, segment_id: int) -> int:
-        """Number of users on ``segment_id``."""
-        return len(self._users_on.get(segment_id, ()))
+        """Number of users on ``segment_id`` (O(1), precomputed)."""
+        return self._counts.get(segment_id, 0)
 
     def count_in_region(self, region: AbstractSet[int]) -> int:
         """Total users on any segment of ``region`` — the quantity compared
         against ``delta_k`` during cloaking."""
-        return sum(self.count_on(segment_id) for segment_id in region)
+        counts = self._counts
+        return sum(counts.get(segment_id, 0) for segment_id in region)
 
     def users_in_region(self, region: AbstractSet[int]) -> Tuple[int, ...]:
         """All user ids inside ``region``, ascending."""
+        users_on = self._users_on_map()
         found = []
         for segment_id in region:
-            found.extend(self._users_on.get(segment_id, ()))
+            found.extend(users_on.get(segment_id, ()))
         return tuple(sorted(found))
 
     def occupied_segments(self) -> Tuple[int, ...]:
         """Segments with at least one user, ascending."""
-        return tuple(sorted(self._users_on))
+        return tuple(sorted(self._counts))
 
     def counts(self) -> Dict[int, int]:
         """Per-segment user counts (a fresh dict; safe to mutate)."""
-        return {segment_id: len(users) for segment_id, users in self._users_on.items()}
+        return dict(self._counts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PopulationSnapshot(users={self.user_count}, "
-            f"occupied_segments={len(self._users_on)}, time={self._time})"
+            f"occupied_segments={len(self._counts)}, time={self._time})"
         )

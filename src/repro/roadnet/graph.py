@@ -16,7 +16,17 @@ networks with :class:`RoadNetworkBuilder` or the generators in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from ..errors import (
     DisconnectedRegionError,
@@ -26,7 +36,110 @@ from ..errors import (
 )
 from .geometry import BoundingBox, Point, midpoint
 
-__all__ = ["Junction", "Segment", "RoadNetwork", "RoadNetworkBuilder"]
+__all__ = [
+    "Junction",
+    "Segment",
+    "RoadNetwork",
+    "RoadNetworkBuilder",
+    "removable_segments",
+]
+
+
+def removable_segments(neighbors_of, region: AbstractSet[int]) -> Tuple[int, ...]:
+    """Region members whose removal leaves the rest of ``region`` connected.
+
+    ``neighbors_of`` maps a segment id to its adjacent segment ids (the
+    caller restricts nothing — membership filtering happens here). The whole
+    answer is produced by one component sweep plus one articulation-point
+    pass, O(|region| * deg):
+
+    * one connected component: removable = non-articulation members (an
+      empty remainder, i.e. a single-member region, counts as connected);
+    * two components: only a singleton component can go — removing its
+      member leaves exactly the other (connected) component;
+    * three or more components: removing one member can never reconnect the
+      rest, so nothing is removable.
+    """
+    region_set = region if isinstance(region, (set, frozenset)) else set(region)
+    if not region_set:
+        return ()
+    if len(region_set) == 1:
+        return tuple(region_set)
+    components = []
+    unseen = set(region_set)
+    while unseen:
+        start = next(iter(unseen))
+        seen = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for neighbor in neighbors_of(current):
+                if neighbor in unseen and neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        unseen -= seen
+        components.append(seen)
+    if len(components) > 2:
+        return ()
+    if len(components) == 2:
+        return tuple(
+            sorted(
+                member
+                for component in components
+                if len(component) == 1
+                for member in component
+            )
+        )
+    articulation = _articulation_points(
+        neighbors_of, region_set, next(iter(components[0]))
+    )
+    return tuple(sorted(region_set - articulation))
+
+
+def _articulation_points(
+    neighbors_of, region: AbstractSet[int], start: int
+) -> set:
+    """Articulation points of the (connected) region-induced subgraph.
+
+    Iterative Tarjan lowlink pass — recursion-free so arbitrarily large
+    regions cannot overflow the interpreter stack.
+    """
+    disc: Dict[int, int] = {start: 0}
+    low: Dict[int, int] = {start: 0}
+    articulation: set = set()
+    counter = 1
+    root_children = 0
+    stack: List[Tuple[int, int, Iterator[int]]] = [
+        (start, -1, iter(neighbors_of(start)))
+    ]
+    while stack:
+        node, parent, neighbors = stack[-1]
+        descended = False
+        for neighbor in neighbors:
+            if neighbor not in region or neighbor == parent:
+                continue
+            if neighbor in disc:
+                if disc[neighbor] < low[node]:
+                    low[node] = disc[neighbor]
+            else:
+                disc[neighbor] = low[neighbor] = counter
+                counter += 1
+                stack.append((neighbor, node, iter(neighbors_of(neighbor))))
+                descended = True
+                break
+        if not descended:
+            stack.pop()
+            if stack:
+                above = stack[-1][0]
+                if low[node] < low[above]:
+                    low[above] = low[node]
+                if above == start:
+                    root_children += 1
+                elif low[node] >= disc[above]:
+                    articulation.add(above)
+    if root_children >= 2:
+        articulation.add(start)
+    return articulation
 
 
 @dataclass(frozen=True)
@@ -98,6 +211,18 @@ class RoadNetwork:
         self._validate()
         self._segments_at_junction: Dict[int, Tuple[int, ...]] = self._index_junctions()
         self._neighbors: Dict[int, Tuple[int, ...]] = self._index_neighbors()
+        # Hot-path caches: tolerance checks and spatial indexing look up
+        # segment lengths constantly, and several callers need the whole
+        # network's summed length; both are pure functions of the immutable
+        # graph, so they are computed once here.
+        self._length_of: Dict[int, float] = {
+            segment_id: segment.length
+            for segment_id, segment in self._segments.items()
+        }
+        self._network_length: float = sum(
+            self._length_of[segment_id] for segment_id in sorted(self._length_of)
+        )
+        self._network_bbox: Optional[BoundingBox] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -231,20 +356,36 @@ class RoadNetwork:
 
     def segment_length(self, segment_id: int) -> float:
         """Road length of a segment in metres."""
-        return self.segment(segment_id).length
+        try:
+            return self._length_of[segment_id]
+        except KeyError:
+            raise UnknownSegmentError(segment_id) from None
 
     def bounding_box(self, segment_ids: Optional[Iterable[int]] = None) -> BoundingBox:
-        """Tightest box around the given segments (whole network by default)."""
+        """Tightest box around the given segments (whole network by default).
+
+        The full-network box is computed once and cached — the graph is
+        immutable, and spatial indexes ask for it repeatedly.
+        """
         if segment_ids is None:
-            points = [j.location for j in self._junctions.values()]
-        else:
-            points = []
-            for segment_id in segment_ids:
-                points.extend(self.segment_endpoints(segment_id))
+            if self._network_bbox is None:
+                self._network_bbox = BoundingBox.around(
+                    [j.location for j in self._junctions.values()]
+                )
+            return self._network_bbox
+        points = []
+        for segment_id in segment_ids:
+            points.extend(self.segment_endpoints(segment_id))
         return BoundingBox.around(points)
 
-    def total_length(self, segment_ids: Iterable[int]) -> float:
-        """Sum of segment lengths in metres."""
+    def total_length(self, segment_ids: Optional[Iterable[int]] = None) -> float:
+        """Sum of segment lengths in metres (whole network by default).
+
+        The full-network total is precomputed at construction, so
+        ``total_length()`` is O(1).
+        """
+        if segment_ids is None:
+            return self._network_length
         return sum(self.segment_length(sid) for sid in segment_ids)
 
     # ------------------------------------------------------------------
@@ -297,14 +438,15 @@ class RoadNetwork:
         of a forward expansion is connected, so the true last-added segment is
         always in this set. Search-mode reversal uses it to enumerate
         hypotheses.
+
+        Computed with a single articulation-point pass (Tarjan) over the
+        region-induced subgraph: O(|region| * deg) total, instead of one
+        connectivity check per member (O(|region|^2 * deg)).
         """
-        removable = []
         region_set = set(region)
-        for segment_id in sorted(region_set):
-            remaining = region_set - {segment_id}
-            if self.is_connected_region(remaining):
-                removable.append(segment_id)
-        return tuple(removable)
+        for segment_id in region_set:
+            self.segment(segment_id)
+        return removable_segments(self._neighbors.__getitem__, region_set)
 
     def connected_components(self) -> Tuple[FrozenSet[int], ...]:
         """Connected components of the segment-adjacency graph, largest first."""

@@ -38,7 +38,7 @@ class SegmentIndex:
             raise RoadNetworkError("cannot index an empty network")
         self._network = network
         if cell_size is None:
-            mean_length = network.total_length(network.segment_ids()) / network.segment_count
+            mean_length = network.total_length() / network.segment_count
             cell_size = max(1.0, 2.0 * mean_length)
         if cell_size <= 0:
             raise RoadNetworkError(f"cell_size must be positive, got {cell_size}")
