@@ -118,7 +118,11 @@ def run(quick: bool, repeats: int) -> dict:
             profile = profile_for_region(target)
             for algo_name, algorithm in algorithms.items():
                 fast = ReverseCloakEngine(network, algorithm)
-                slow = ReverseCloakEngine(network, algorithm, incremental=False)
+                # Legacy = the seed-era configuration: from-scratch region
+                # recomputes AND per-call PRF draws.
+                slow = ReverseCloakEngine(
+                    network, algorithm, incremental=False, batched_prf=False
+                )
                 envelope = fast.anonymize(user, snapshot, profile, chain)
                 assert envelope == slow.anonymize(user, snapshot, profile, chain)
                 region_segments = len(envelope.region)

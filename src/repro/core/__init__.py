@@ -1,6 +1,11 @@
 """ReverseCloak core: profiles, transition tables, RGE, RPLE, the engine."""
 
-from .algorithm import CloakingAlgorithm, eligible_candidates, keyed_draw
+from .algorithm import (
+    CloakingAlgorithm,
+    LevelDraws,
+    eligible_candidates,
+    keyed_draw,
+)
 from .engine import (
     DeanonymizationResult,
     ReverseCloakEngine,
@@ -28,6 +33,7 @@ from .transition_table import TransitionTable, length_order
 __all__ = [
     "CloakingAlgorithm",
     "keyed_draw",
+    "LevelDraws",
     "eligible_candidates",
     "TransitionTable",
     "length_order",

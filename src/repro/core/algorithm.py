@@ -20,6 +20,18 @@ Indexing by step — instead of one running counter — lets the backward pass
 replay any step's draws without knowing how many draws earlier steps
 consumed (RPLE redraws make that count variable).
 
+Draws come in two byte-identical planes. :func:`keyed_draw` is the per-call
+plane: one HMAC per invocation. :class:`LevelDraws` is the batched plane:
+one buffer per (level key, request) that pre-draws the attempt-0 values of
+a run of upcoming steps in a single tight loop (:func:`~repro.keys.prf.
+prf_block`), draws redraw attempts on demand, and memoizes every value it
+has drawn — so a whole level peel (many
+hypotheses replaying the same steps) pays for each distinct draw once. The
+engine and the reversal search construct one ``LevelDraws`` per level and
+pass it down; algorithms fall back to :func:`keyed_draw` when ``draws`` is
+``None``, which is the equivalence/benchmark baseline (like
+``incremental=False`` for the region state).
+
 Complexity: every step-level primitive here accepts an optional maintained
 :class:`~repro.core.region_state.RegionState`. Without it, the frontier and
 each candidate's tolerance check are recomputed from the raw region —
@@ -34,16 +46,16 @@ envelopes and reversals are unaffected by which one ran.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import AbstractSet, Optional, Set, Tuple
+from typing import AbstractSet, Dict, Optional, Set, Tuple
 
 from ..errors import CloakingError, FrontierExhaustedError, ToleranceExceededError
 from ..keys.keys import AccessKey
-from ..keys.prf import prf_value
+from ..keys.prf import PrfDrawer, prf_value
 from ..roadnet.graph import RoadNetwork
 from .profile import ToleranceSpec
 from .region_state import RegionState
 
-__all__ = ["CloakingAlgorithm", "keyed_draw", "eligible_candidates"]
+__all__ = ["CloakingAlgorithm", "LevelDraws", "keyed_draw", "eligible_candidates"]
 
 _ATTEMPT_BITS = 24
 MAX_ATTEMPT = 1 << _ATTEMPT_BITS
@@ -75,6 +87,100 @@ def keyed_draw(key: AccessKey, step: int, attempt: int = 0) -> int:
     return prf_value(
         key.material, _transition_domain(key.level), (step << _ATTEMPT_BITS) | attempt
     )
+
+
+class LevelDraws:
+    """Buffered keyed draws of one level key (the batched PRF plane).
+
+    Maintains two pre-draw surfaces over the level's transition domain,
+    byte-identical to :func:`keyed_draw` everywhere:
+
+    * **attempt-0 plane** — the first request at or past the pre-drawn
+      horizon block-draws the attempt-0 values of the next run of steps in
+      one :func:`~repro.keys.prf.prf_block` loop (geometrically growing
+      blocks, so a level of ``n`` additions costs O(n) batched HMACs plus
+      at most one block of overshoot);
+    * **redraw plane** — RPLE redraws (attempt >= 1) are drawn singly
+      (most redraw runs stop after one extra attempt, so speculative
+      bursts would mostly waste HMACs) and memoized like everything else.
+
+    Every drawn value is memoized, which is what makes one instance worth
+    sharing across a whole level peel: sibling hypotheses and replay
+    certifications re-request the same (step, attempt) pairs over and over
+    and pay a dict hit instead of an HMAC.
+
+    Not thread-safe — instances are per-request scratch state (engines
+    build one per level per call), never shared across threads.
+    """
+
+    __slots__ = ("_drawer", "_level", "_values", "_next_step", "_block")
+
+    #: First attempt-0 block size; doubles per refill up to the cap. The
+    #: cap bounds end-of-level overshoot (wasted draws past the last step)
+    #: at 63 while still amortising the per-block fixed cost over >= 16
+    #: draws — with an unbounded doubling schedule a ~500-step level wastes
+    #: a whole trailing block, which measurably exceeds the batching gain.
+    _INITIAL_BLOCK = 16
+    _MAX_BLOCK = 64
+    #: Ceiling on a caller-supplied lookahead. Envelopes are attacker
+    #: input, and the engine sizes peel buffers from a record's claimed
+    #: step count before the steps-vs-region validation runs — without a
+    #: ceiling a forged ``steps`` would allocate and draw an arbitrarily
+    #: large first block. Real levels are bounded by the map size; past
+    #: the ceiling the buffer just refills in capped blocks.
+    _MAX_LOOKAHEAD = 4096
+
+    def __init__(self, key: AccessKey, lookahead: Optional[int] = None) -> None:
+        """Wrap ``key``; ``lookahead`` (e.g. a known step count) sizes the
+        first attempt-0 block so replays draw their whole level at once."""
+        self._drawer = PrfDrawer(key.material, _transition_domain(key.level))
+        self._level = key.level
+        self._values: Dict[int, int] = {}
+        self._next_step = 1
+        # A caller-supplied lookahead is an exact upcoming step count (a
+        # replay knows its level length), so honour it beyond _MAX_BLOCK —
+        # every pre-drawn value will be consumed. Only the growth schedule
+        # of the unknown-length path (and forged counts, see
+        # _MAX_LOOKAHEAD) is capped.
+        self._block = max(
+            self._INITIAL_BLOCK, min(lookahead or 0, self._MAX_LOOKAHEAD)
+        )
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def draw(self, step: int, attempt: int = 0) -> int:
+        """The keyed pseudo-random number ``R`` of ``(step, attempt)``.
+
+        Identical to ``keyed_draw(key, step, attempt)``, served from the
+        pre-drawn buffers.
+        """
+        if step < 1:
+            raise CloakingError(f"step must be >= 1, got {step}")
+        if not 0 <= attempt < MAX_ATTEMPT:
+            raise CloakingError(
+                f"attempt must be in 0..{MAX_ATTEMPT - 1}, got {attempt}"
+            )
+        packed = (step << _ATTEMPT_BITS) | attempt
+        value = self._values.get(packed)
+        if value is not None:
+            return value
+        if attempt == 0:
+            # Extend the attempt-0 horizon to cover ``step`` in one loop.
+            count = max(self._block, step - self._next_step + 1)
+            indices = [s << _ATTEMPT_BITS for s in range(self._next_step, self._next_step + count)]
+            self._values.update(zip(indices, self._drawer.block(indices)))
+            self._next_step += count
+            self._block = min(2 * count, self._MAX_BLOCK)
+        else:
+            # Redraw plane: drawn singly (most redraw runs stop after one
+            # extra attempt, so bursts mostly waste HMACs) but memoized, so
+            # a peel's many hypotheses re-read each attempt value for free.
+            value = self._drawer.value(packed)
+            self._values[packed] = value
+            return value
+        return self._values[packed]
 
 
 def eligible_candidates(
@@ -125,6 +231,7 @@ class CloakingAlgorithm(ABC):
         step: int,
         tolerance: ToleranceSpec,
         state: Optional[RegionState] = None,
+        draws: Optional[LevelDraws] = None,
     ) -> int:
         """Select the next segment to add.
 
@@ -137,6 +244,8 @@ class CloakingAlgorithm(ABC):
             tolerance: The level's spatial tolerance.
             state: Optional maintained state of ``region`` for O(1) frontier
                 and tolerance reads; never changes the selected segment.
+            draws: Optional batched draw buffer of ``key``'s level; serves
+                the identical keyed values at block-draw cost.
 
         Returns:
             The id of the selected frontier segment.
@@ -157,6 +266,7 @@ class CloakingAlgorithm(ABC):
         step: int,
         tolerance: ToleranceSpec,
         state: Optional[RegionState] = None,
+        draws: Optional[LevelDraws] = None,
     ) -> Tuple[int, ...]:
         """Anchor hypotheses for the step that added ``removed``.
 
@@ -169,6 +279,7 @@ class CloakingAlgorithm(ABC):
             tolerance: The level's spatial tolerance.
             state: Optional maintained state of ``inner_region``; never
                 changes the returned hypotheses.
+            draws: Optional batched draw buffer of ``key``'s level.
 
         Returns:
             Candidate anchors, best-first. Empty when ``removed`` could not
@@ -185,6 +296,7 @@ class CloakingAlgorithm(ABC):
         step: int,
         tolerance: ToleranceSpec,
         state: Optional[RegionState] = None,
+        draws: Optional[LevelDraws] = None,
     ) -> Tuple[Tuple[int, int], ...]:
         """Anchor hypotheses with a search *penalty* each.
 
@@ -201,7 +313,7 @@ class CloakingAlgorithm(ABC):
             for index, anchor in enumerate(
                 self.backward_anchors(
                     network, inner_region, removed, key, step, tolerance,
-                    state=state,
+                    state=state, draws=draws,
                 )
             )
         )

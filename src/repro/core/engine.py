@@ -36,7 +36,7 @@ from ..errors import (
 from ..keys.keys import AccessKey, KeyChain
 from ..mobility.snapshot import PopulationSnapshot
 from ..roadnet.graph import RoadNetwork
-from .algorithm import CloakingAlgorithm
+from .algorithm import CloakingAlgorithm, LevelDraws
 from .envelope import (
     CloakEnvelope,
     LevelRecord,
@@ -46,6 +46,7 @@ from .envelope import (
     seal_anchor,
     unseal_anchor,
     witness_byte,
+    witness_bytes,
 )
 from .profile import PrivacyProfile
 from .region_state import RegionState
@@ -139,6 +140,12 @@ class ReverseCloakEngine:
             Off forces the original from-scratch recomputes — byte-identical
             envelopes and reversals, asymptotically slower; the flag exists
             for equivalence testing and benchmarking.
+        batched_prf: Draw each level's keyed randomness through one
+            :class:`LevelDraws` buffer (block pre-draws, memoized redraws,
+            batched witness tags) instead of one HMAC call per transition.
+            Byte-identical envelopes and reversals either way; off is the
+            per-call equivalence/benchmark baseline, exactly like
+            ``incremental=False``.
 
     Example:
         >>> from repro.roadnet import grid_network
@@ -166,12 +173,14 @@ class ReverseCloakEngine:
         branch_limit: int = DEFAULT_BRANCH_LIMIT,
         validate_reversals: bool = True,
         incremental: bool = True,
+        batched_prf: bool = True,
     ) -> None:
         self._network = network
         self._algorithm = algorithm or ReversibleGlobalExpansion()
         self._branch_limit = branch_limit
         self._validate = validate_reversals
         self._incremental = incremental
+        self._batched_prf = batched_prf
         self._net_digest = network_digest(network)
 
     @classmethod
@@ -182,6 +191,7 @@ class ReverseCloakEngine:
         branch_limit: int = DEFAULT_BRANCH_LIMIT,
         validate_reversals: bool = True,
         incremental: bool = True,
+        batched_prf: bool = True,
     ) -> "ReverseCloakEngine":
         """An engine configured to reverse ``envelope`` (requester side)."""
         return cls(
@@ -190,6 +200,7 @@ class ReverseCloakEngine:
             branch_limit=branch_limit,
             validate_reversals=validate_reversals,
             incremental=incremental,
+            batched_prf=batched_prf,
         )
 
     @property
@@ -249,6 +260,10 @@ class ReverseCloakEngine:
         for level in range(1, profile.level_count + 1):
             requirement = profile.requirement(level)
             key = chain.key_for(level)
+            # One draw buffer per level: the level's R_i values are block
+            # pre-drawn ahead of the expansion instead of one HMAC per
+            # transition (identical values either way).
+            draws = LevelDraws(key) if self._batched_prf else None
             start_anchor = anchor
             steps = 0
             step_anchors: List[int] = []
@@ -262,7 +277,7 @@ class ReverseCloakEngine:
                 step_anchors.append(anchor)
                 segment = self._algorithm.forward_step(
                     self._network, region, anchor, key, steps + 1,
-                    requirement.tolerance, state=state,
+                    requirement.tolerance, state=state, draws=draws,
                 )
                 if state is not None:
                     state.add(segment)
@@ -274,14 +289,15 @@ class ReverseCloakEngine:
             sealed_start = (
                 seal_anchor(key, start_anchor, "start") if include_hints else None
             )
-            witnesses = (
-                tuple(
+            if not include_hints:
+                witnesses: Tuple[int, ...] = ()
+            elif self._batched_prf:
+                witnesses = witness_bytes(key, step_anchors)
+            else:
+                witnesses = tuple(
                     witness_byte(key, step, step_anchor)
                     for step, step_anchor in enumerate(step_anchors, start=1)
                 )
-                if include_hints
-                else ()
-            )
             digest = region_digest(region)
             records.append(
                 LevelRecord(
@@ -369,6 +385,13 @@ class ReverseCloakEngine:
             record = envelope.level_record(level)
             key = key_map[level]
             record.verify_key(key, envelope.algorithm, envelope.net_digest)
+            # One shared draw buffer per level peel: every hypothesis and
+            # replay certification below re-reads the same keyed values.
+            draws = (
+                LevelDraws(key, lookahead=record.steps)
+                if self._batched_prf
+                else None
+            )
             if region_digest(region) != record.digest:
                 raise EnvelopeError(
                     f"level {level} digest mismatch: envelope inconsistent"
@@ -379,7 +402,7 @@ class ReverseCloakEngine:
                 # no hypothesis search. This matters: level 1 typically
                 # adds the most segments of any level.
                 region, removed[1] = self._reconstruct_level_one(
-                    record, key, region
+                    record, key, region, draws=draws
                 )
                 regions[0] = tuple(sorted(region))
                 continue
@@ -414,6 +437,7 @@ class ReverseCloakEngine:
                 accept=accept,
                 witness_filter=witness_filter,
                 use_states=self._incremental,
+                draws=draws,
             )
             if accept is not None:
                 if not outcomes:
@@ -471,6 +495,7 @@ class ReverseCloakEngine:
         record: LevelRecord,
         key: AccessKey,
         region: frozenset,
+        draws: Optional[LevelDraws] = None,
     ) -> Tuple[frozenset, Tuple[int, ...]]:
         """Peel level 1 by forward replay from the sealed user segment.
 
@@ -495,6 +520,7 @@ class ReverseCloakEngine:
             record.steps,
             record.tolerance,
             use_state=self._incremental,
+            draws=draws,
         )
         if additions is None or frozenset({start}) | set(additions) != region:
             raise KeyMismatchError(

@@ -32,7 +32,7 @@ from typing import AbstractSet, Dict, Iterable, Optional, Tuple
 
 from ..errors import EnvelopeError, KeyMismatchError
 from ..keys.keys import AccessKey
-from ..keys.prf import derive_pad, keyed_digest
+from ..keys.prf import derive_pad, keyed_digest, keyed_digest_block
 from ..roadnet.graph import RoadNetwork
 from .profile import LevelRequirement, ToleranceSpec
 
@@ -45,6 +45,7 @@ __all__ = [
     "unseal_anchor",
     "level_mac",
     "witness_byte",
+    "witness_bytes",
 ]
 
 _ENVELOPE_VERSION = 1
@@ -116,6 +117,20 @@ def witness_byte(key: AccessKey, step: int, anchor: int) -> int:
     """
     message = f"witness|{step}|{anchor}".encode()
     return keyed_digest(key.material, message)[0]
+
+
+def witness_bytes(key: AccessKey, anchors: Iterable[int]) -> Tuple[int, ...]:
+    """The witness tags of a whole level in one batched keyed-digest loop.
+
+    ``anchors`` are the per-step forward anchors in step order (step 1
+    first). Byte-identical to ``tuple(witness_byte(key, step, anchor) ...)``
+    — this is the envelope-construction arm of the batched PRF plane.
+    """
+    messages = [
+        f"witness|{step}|{anchor}".encode()
+        for step, anchor in enumerate(anchors, start=1)
+    ]
+    return tuple(d[0] for d in keyed_digest_block(key.material, messages))
 
 
 def level_mac(

@@ -25,9 +25,11 @@ answers under :meth:`add` / :meth:`remove` mutations instead:
 Floating-point note: naive float summation is order-dependent, and a
 tolerance comparison that flips between the anonymizer's and the
 de-anonymizer's summation order would break reversibility. The state
-therefore maintains the total length *exactly* (every float length is a
-dyadic rational, so a :class:`~fractions.Fraction` accumulator is lossless
-under any add/remove order) and exposes its correctly-rounded float.
+therefore maintains the total length *exactly* — every float length is a
+dyadic rational, so a fixed-point integer accumulator at scale ``2**-1074``
+is lossless under any add/remove order (see ``_scaled_exact``; it replaced
+the former :class:`~fractions.Fraction` accumulator at identical semantics
+and ~5x less per-mutation cost) — and exposes its correctly-rounded float.
 :class:`~repro.core.profile.ToleranceSpec` resolves comparisons that land
 within rounding distance of the bound against the exact value, so every
 path — incremental, from-scratch, clone-derived — makes identical
@@ -70,6 +72,33 @@ def exact_fraction(value: float) -> Fraction:
     return fraction
 
 
+#: Fixed-point scale of the exact length accumulator. Every finite float is
+#: ``m / 2**k`` with ``k <= 1074`` (the subnormal limit), so integers at
+#: scale ``2**-1074`` represent any sum of float lengths *exactly* —
+#: big-int addition replaces :class:`Fraction` normalisation on the
+#: per-mutation hot path (~5x cheaper), and ``n / _SCALE`` (CPython's
+#: correctly-rounded int/int true division) recovers the same
+#: correctly-rounded float total bit for bit.
+_SCALE_BITS = 1074
+_SCALE = 1 << _SCALE_BITS
+
+#: Scaled-integer memo for float lengths (same role as the Fraction memo).
+_SCALED_CACHE: Dict[float, int] = {}
+
+
+def _scaled_exact(value: float) -> int:
+    """``value`` as an exact integer multiple of ``2**-1074`` (memoised)."""
+    scaled = _SCALED_CACHE.get(value)
+    if scaled is None:
+        if len(_SCALED_CACHE) >= _FRACTION_CACHE_CAP:
+            _SCALED_CACHE.clear()
+        numerator, denominator = value.as_integer_ratio()
+        # Denominators of finite floats are powers of two dividing 2**1074.
+        scaled = numerator * (_SCALE // denominator)
+        _SCALED_CACHE[value] = scaled
+    return scaled
+
+
 class RegionState:
     """Mutable region over an immutable network with O(deg) updates.
 
@@ -94,7 +123,7 @@ class RegionState:
         self._snapshot = snapshot
         self._members: set = set()
         self._frontier_counts: Dict[int, int] = {}
-        self._exact_length = Fraction(0)
+        self._exact_scaled = 0
         self._total_length = 0.0
         self._population = 0
         self._by_length: List[Tuple[float, int]] = []
@@ -125,7 +154,7 @@ class RegionState:
         other._snapshot = self._snapshot
         other._members = set(self._members)
         other._frontier_counts = dict(self._frontier_counts)
-        other._exact_length = self._exact_length
+        other._exact_scaled = self._exact_scaled
         other._total_length = self._total_length
         other._population = self._population
         other._by_length = list(self._by_length)
@@ -152,8 +181,8 @@ class RegionState:
                 self._frontier_counts[neighbor] = (
                     self._frontier_counts.get(neighbor, 0) + 1
                 )
-        self._exact_length += exact_fraction(length)
-        self._total_length = float(self._exact_length)
+        self._exact_scaled += _scaled_exact(length)
+        self._total_length = self._exact_scaled / _SCALE
         if self._snapshot is not None:
             self._population += self._snapshot.count_on(segment_id)
         insort(self._by_length, (length, segment_id))
@@ -189,8 +218,8 @@ class RegionState:
                         self._frontier_counts[neighbor] = count - 1
         if in_region_neighbors:
             self._frontier_counts[segment_id] = in_region_neighbors
-        self._exact_length -= exact_fraction(length)
-        self._total_length = float(self._exact_length)
+        self._exact_scaled -= _scaled_exact(length)
+        self._total_length = self._exact_scaled / _SCALE
         if self._snapshot is not None:
             self._population -= self._snapshot.count_on(segment_id)
         index = bisect_left(self._by_length, (length, segment_id))
@@ -240,7 +269,7 @@ class RegionState:
     @property
     def exact_total_length(self) -> Fraction:
         """The exact rational total length (tolerance tie-breaks)."""
-        return self._exact_length
+        return Fraction(self._exact_scaled, _SCALE)
 
     @property
     def population(self) -> int:

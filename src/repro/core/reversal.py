@@ -45,7 +45,7 @@ from typing import AbstractSet, Callable, Dict, Iterable, List, Optional, Sequen
 from ..errors import CloakingError, CollisionError, DeanonymizationError
 from ..keys.keys import AccessKey
 from ..roadnet.graph import RoadNetwork
-from .algorithm import CloakingAlgorithm
+from .algorithm import CloakingAlgorithm, LevelDraws
 from .profile import ToleranceSpec
 from .region_state import RegionState
 
@@ -98,6 +98,7 @@ def replay_level(
     steps: int,
     tolerance: ToleranceSpec,
     use_state: bool = True,
+    draws: Optional[LevelDraws] = None,
 ) -> Optional[Tuple[int, ...]]:
     """Re-run ``steps`` forward transitions from a hypothesised inner state.
 
@@ -106,6 +107,8 @@ def replay_level(
     :class:`RegionState` is maintained across the whole replay (O(deg) per
     step after the O(|region| * deg) initialisation) unless ``use_state``
     is off or the final region is below the incremental crossover size.
+    ``draws`` serves the keyed values from the batched PRF plane — pass the
+    peel's shared buffer so replays never recompute a draw.
     """
     if len(start_region) + steps <= INCREMENTAL_SIZE_THRESHOLD:
         use_state = False
@@ -118,7 +121,8 @@ def replay_level(
     for step in range(1, steps + 1):
         try:
             segment = algorithm.forward_step(
-                network, region, anchor, key, step, tolerance, state=state
+                network, region, anchor, key, step, tolerance, state=state,
+                draws=draws,
             )
         except CloakingError:
             return None
@@ -156,6 +160,7 @@ def peel_level(
     accept: Optional[Callable[[PeelOutcome], bool]] = None,
     witness_filter: Optional[Callable[[int, int], bool]] = None,
     use_states: bool = True,
+    draws: Optional[LevelDraws] = None,
 ) -> List[PeelOutcome]:
     """Peel one level, returning every replay-certified outcome.
 
@@ -189,6 +194,10 @@ def peel_level(
             articulation-free sets, per-region :class:`RegionState`) across
             the search. Off forces the original from-scratch recomputes —
             identical outcomes, asymptotically slower.
+        draws: Optional shared :class:`LevelDraws` buffer of ``key``'s
+            level (the batched PRF plane). Hypotheses and replay
+            certifications across the whole peel then pay for each distinct
+            keyed draw once. ``None`` falls back to per-call draws.
 
     Returns:
         Certified outcomes. Empty when no hypothesis is consistent.
@@ -304,6 +313,7 @@ def peel_level(
                             if use_states
                             else None
                         ),
+                        draws=draws,
                     )
                     if witness_filter is not None:
                         # The hypothesis is the anchor of forward step
@@ -350,7 +360,8 @@ def peel_level(
                 if accept is not None and not accept(outcome):
                     continue
                 if validate and not _certify(
-                    network, algorithm, key, outcome, tolerance, use_states
+                    network, algorithm, key, outcome, tolerance, use_states,
+                    draws=draws,
                 ):
                     continue
                 seen_outcomes.add(signature)
@@ -367,6 +378,7 @@ def _certify(
     outcome: PeelOutcome,
     tolerance: ToleranceSpec,
     use_state: bool = True,
+    draws: Optional[LevelDraws] = None,
 ) -> bool:
     """Forward-replay certification of a completed peel hypothesis."""
     replayed = replay_level(
@@ -378,5 +390,6 @@ def _certify(
         len(outcome.removed),
         tolerance,
         use_state=use_state,
+        draws=draws,
     )
     return replayed == outcome.added_sequence

@@ -24,7 +24,12 @@ from typing import AbstractSet, Optional, Tuple
 from ..errors import CloakingError
 from ..keys.keys import AccessKey
 from ..roadnet.graph import RoadNetwork
-from .algorithm import CloakingAlgorithm, eligible_candidates, keyed_draw
+from .algorithm import (
+    CloakingAlgorithm,
+    LevelDraws,
+    eligible_candidates,
+    keyed_draw,
+)
 from .profile import ToleranceSpec
 from .region_state import RegionState
 from .transition_table import TransitionTable, state_forward, state_table
@@ -53,6 +58,7 @@ class ReversibleGlobalExpansion(CloakingAlgorithm):
         step: int,
         tolerance: ToleranceSpec,
         state: Optional[RegionState] = None,
+        draws: Optional[LevelDraws] = None,
     ) -> int:
         if anchor not in region:
             raise CloakingError(
@@ -61,12 +67,11 @@ class ReversibleGlobalExpansion(CloakingAlgorithm):
         candidates = eligible_candidates(network, region, tolerance, state=state)
         if not candidates:
             self._raise_no_candidates(network, region, step, key.level, state=state)
+        pick = draws.draw(step) if draws is not None else keyed_draw(key, step)
         if state is not None:
-            return state_forward(
-                network, state, candidates, anchor, keyed_draw(key, step)
-            )
+            return state_forward(network, state, candidates, anchor, pick)
         table = self._table(network, region, candidates, state)
-        return table.forward(anchor, keyed_draw(key, step))
+        return table.forward(anchor, pick)
 
     def backward_anchors(
         self,
@@ -77,6 +82,7 @@ class ReversibleGlobalExpansion(CloakingAlgorithm):
         step: int,
         tolerance: ToleranceSpec,
         state: Optional[RegionState] = None,
+        draws: Optional[LevelDraws] = None,
     ) -> Tuple[int, ...]:
         if removed in inner_region:
             raise CloakingError(
@@ -90,7 +96,8 @@ class ReversibleGlobalExpansion(CloakingAlgorithm):
             # it was not an eligible candidate of the inner region.
             return ()
         table = self._table(network, inner_region, candidates, state)
-        return table.backward(removed, keyed_draw(key, step))
+        pick = draws.draw(step) if draws is not None else keyed_draw(key, step)
+        return table.backward(removed, pick)
 
     @staticmethod
     def _table(

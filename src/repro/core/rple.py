@@ -51,7 +51,12 @@ from ..errors import CloakingError, PreassignmentError
 from ..keys.keys import AccessKey
 from ..roadnet.graph import RoadNetwork
 from ..roadnet.paths import segment_hop_distances
-from .algorithm import CloakingAlgorithm, eligible_candidates, keyed_draw
+from .algorithm import (
+    CloakingAlgorithm,
+    LevelDraws,
+    eligible_candidates,
+    keyed_draw,
+)
 from .envelope import network_digest
 from .profile import ToleranceSpec
 from .region_state import RegionState
@@ -105,6 +110,15 @@ class Preassignment:
         self._forward: Dict[int, List[Optional[int]]] = {}
         self._backward: Dict[int, List[Optional[int]]] = {}
         self._assign()
+        # Freeze the finished lists: accessors hand out these shared tuples
+        # (the lists never mutate after assignment), so the per-step lookup
+        # loops stop paying a fresh tuple construction per call.
+        self._forward_frozen: Dict[int, Tuple[Optional[int], ...]] = {
+            sid: tuple(slots) for sid, slots in self._forward.items()
+        }
+        self._backward_frozen: Dict[int, Tuple[Optional[int], ...]] = {
+            sid: tuple(slots) for sid, slots in self._backward.items()
+        }
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -162,14 +176,14 @@ class Preassignment:
     def forward_list(self, segment_id: int) -> Tuple[Optional[int], ...]:
         """``FT[segment_id]`` (``None`` marks an empty slot)."""
         try:
-            return tuple(self._forward[segment_id])
+            return self._forward_frozen[segment_id]
         except KeyError:
             raise PreassignmentError(f"segment {segment_id} not pre-assigned") from None
 
     def backward_list(self, segment_id: int) -> Tuple[Optional[int], ...]:
         """``BT[segment_id]``."""
         try:
-            return tuple(self._backward[segment_id])
+            return self._backward_frozen[segment_id]
         except KeyError:
             raise PreassignmentError(f"segment {segment_id} not pre-assigned") from None
 
@@ -327,17 +341,17 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         step: int,
         tolerance: ToleranceSpec,
         state: Optional[RegionState] = None,
+        draws: Optional[LevelDraws] = None,
     ) -> int:
         """One RGE-style table step for a dead local anchor (decision D12)."""
         candidates = eligible_candidates(network, region, tolerance, state=state)
         if not candidates:
             self._raise_no_candidates(network, region, step, key.level, state=state)
+        pick = draws.draw(step) if draws is not None else keyed_draw(key, step)
         if state is not None:
-            return state_forward(
-                network, state, candidates, anchor, keyed_draw(key, step)
-            )
+            return state_forward(network, state, candidates, anchor, pick)
         table = TransitionTable(network, set(region), set(candidates))
-        return table.forward(anchor, keyed_draw(key, step))
+        return table.forward(anchor, pick)
 
     def forward_step(
         self,
@@ -348,6 +362,7 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         step: int,
         tolerance: ToleranceSpec,
         state: Optional[RegionState] = None,
+        draws: Optional[LevelDraws] = None,
     ) -> int:
         if anchor not in region:
             raise CloakingError(
@@ -355,12 +370,18 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
             )
         if not self._anchor_alive(network, region, anchor, tolerance, state=state):
             return self._global_fallback_forward(
-                network, region, anchor, key, step, tolerance, state=state
+                network, region, anchor, key, step, tolerance, state=state,
+                draws=draws,
             )
         forward = self._pre.forward_list(anchor)
         length = self._pre.list_length
         for attempt in range(self._max_attempts):
-            slot = keyed_draw(key, step, attempt) % length
+            value = (
+                draws.draw(step, attempt)
+                if draws is not None
+                else keyed_draw(key, step, attempt)
+            )
+            slot = value % length
             target = forward[slot]
             if self._slot_valid(network, region, target, tolerance, state=state):
                 assert target is not None
@@ -382,6 +403,7 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         step: int,
         tolerance: ToleranceSpec,
         state: Optional[RegionState] = None,
+        draws: Optional[LevelDraws] = None,
     ) -> Tuple[Tuple[int, int], ...]:
         """Anchor hypotheses, rank-penalised for the deepening search.
 
@@ -425,7 +447,12 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         distinct = 0
         seen_slot = [False] * length
         for attempt in range(self._max_attempts):
-            slot = keyed_draw(key, step, attempt) % length
+            value = (
+                draws.draw(step, attempt)
+                if draws is not None
+                else keyed_draw(key, step, attempt)
+            )
+            slot = value % length
             slots.append(slot)
             if not seen_slot[slot]:
                 seen_slot[slot] = True
@@ -457,8 +484,9 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
                 table = state_table(network, state, candidates)
             else:
                 table = TransitionTable(network, set(inner_region), set(candidates))
+            pick = draws.draw(step) if draws is not None else keyed_draw(key, step)
             global_rank = 0
-            for candidate in table.backward(removed, keyed_draw(key, step)):
+            for candidate in table.backward(removed, pick):
                 if not self._anchor_alive(
                     network, inner_region, candidate, tolerance, state=state
                 ):
@@ -481,11 +509,13 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         step: int,
         tolerance: ToleranceSpec,
         state: Optional[RegionState] = None,
+        draws: Optional[LevelDraws] = None,
     ) -> Tuple[int, ...]:
         return tuple(
             anchor
             for anchor, __ in self.backward_hypotheses(
-                network, inner_region, removed, key, step, tolerance, state=state
+                network, inner_region, removed, key, step, tolerance,
+                state=state, draws=draws,
             )
         )
 

@@ -2,11 +2,27 @@
 
 from .access_control import AccessControlProfile, KeyGrant, Requester
 from .keys import AccessKey, KeyChain
-from .prf import PrfStream, derive_pad, prf_value
+from .prf import (
+    PrfBlock,
+    PrfDrawer,
+    PrfStream,
+    derive_pad,
+    keyed_digest,
+    keyed_digest_block,
+    prf_block,
+    prf_value,
+    purge_keyed_hmac_cache,
+)
 
 __all__ = [
     "PrfStream",
+    "PrfBlock",
+    "PrfDrawer",
     "prf_value",
+    "prf_block",
+    "keyed_digest",
+    "keyed_digest_block",
+    "purge_keyed_hmac_cache",
     "derive_pad",
     "AccessKey",
     "KeyChain",

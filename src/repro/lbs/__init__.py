@@ -5,11 +5,12 @@ from .continuous import CloakTimeline, ContinuousCloaker, TimelineEntry
 from .deferral import DeferredCloaking, DeferredResult, TemporalTolerance
 from .provider import LBSProvider
 from .query import CandidateResult, PoiDirectory, PointOfInterest, range_query
-from .server import CloakRequest, TrustedAnonymizer
+from .server import BatchOutcome, CloakRequest, TrustedAnonymizer
 
 __all__ = [
     "TrustedAnonymizer",
     "CloakRequest",
+    "BatchOutcome",
     "LBSProvider",
     "PoiDirectory",
     "PointOfInterest",

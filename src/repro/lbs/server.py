@@ -10,12 +10,26 @@ live population snapshot, accepts cloaking requests (raw segment + profile +
 keys), runs the engine, and hands back the envelope. It retains *no*
 per-request state — the defining advantage over the mapping-store baseline —
 apart from optional bookkeeping counters used by experiments.
+
+Concurrency model: the server is thread-safe. :meth:`cloak_batch` serves a
+whole batch of requests across a thread pool — each worker thread reuses
+its own :class:`~repro.core.engine.ReverseCloakEngine` (engines hold only
+immutable shared structures: the network, the algorithm and its
+pre-assignment tables) and every request in a batch is cloaked against the
+*same* population snapshot, captured once when the batch starts, so a
+concurrent :meth:`update_snapshot` never tears a batch. The bookkeeping
+counters are guarded by a lock — unguarded ``+= 1`` under concurrent
+serving loses increments (the read-modify-write races), which this class
+used to do.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..core.algorithm import CloakingAlgorithm
 from ..core.engine import ReverseCloakEngine
@@ -26,7 +40,7 @@ from ..keys.keys import KeyChain
 from ..mobility.snapshot import PopulationSnapshot
 from ..roadnet.graph import RoadNetwork
 
-__all__ = ["CloakRequest", "TrustedAnonymizer"]
+__all__ = ["CloakRequest", "BatchOutcome", "TrustedAnonymizer"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +59,31 @@ class CloakRequest:
     chain: KeyChain
 
 
+@dataclass(frozen=True)
+class BatchOutcome:
+    """The result of one request inside a :meth:`TrustedAnonymizer.cloak_batch`.
+
+    Exactly one of :attr:`envelope` / :attr:`error` is set. Batch serving
+    never lets one failing request abort its siblings; the error object is
+    returned in place so the caller can retry or report per request.
+
+    Attributes:
+        request: The request this outcome answers (same position as in the
+            submitted batch).
+        envelope: The cloaked envelope on success.
+        error: The :class:`~repro.errors.CloakingError` or
+            :class:`~repro.errors.MobilityError` the request failed with.
+    """
+
+    request: CloakRequest
+    envelope: Optional[CloakEnvelope] = None
+    error: Optional[Exception] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.envelope is not None
+
+
 class TrustedAnonymizer:
     """The anonymization service of the ReverseCloak deployment.
 
@@ -60,11 +99,21 @@ class TrustedAnonymizer:
         algorithm: Optional[CloakingAlgorithm] = None,
         include_hints: bool = True,
     ) -> None:
+        self._network = network
         self._engine = ReverseCloakEngine(network, algorithm)
         self._include_hints = include_hints
         self._snapshot: Optional[PopulationSnapshot] = None
+        # Counter lock: cloak()/cloak_batch() run concurrently and bare
+        # ``+= 1`` would drop increments under that interleaving.
+        self._counter_lock = threading.Lock()
         self._requests_served = 0
         self._failures = 0
+        # One engine per worker thread (created lazily on first use).
+        # Reuse spans the many requests a worker serves within a batch —
+        # pools are per-call, so their threads (and these engines) end with
+        # the batch; engines are cheap to build (the network digest and
+        # pre-assignment tables are cached process-wide).
+        self._worker_engines = threading.local()
 
     @property
     def engine(self) -> ReverseCloakEngine:
@@ -72,17 +121,26 @@ class TrustedAnonymizer:
 
     @property
     def requests_served(self) -> int:
-        return self._requests_served
+        with self._counter_lock:
+            return self._requests_served
 
     @property
     def failures(self) -> int:
-        return self._failures
+        with self._counter_lock:
+            return self._failures
 
     def update_snapshot(self, snapshot: PopulationSnapshot) -> None:
         """Install the current population snapshot (called per tick by the
-        deployment; the anonymizer never looks at stale positions)."""
+        deployment; the anonymizer never looks at stale positions).
+
+        Snapshots are immutable; in-flight batches keep serving against the
+        snapshot they captured at submission.
+        """
         self._snapshot = snapshot
 
+    # ------------------------------------------------------------------
+    # single-request serving
+    # ------------------------------------------------------------------
     def cloak(self, request: CloakRequest) -> CloakEnvelope:
         """Serve one anonymization request.
 
@@ -90,44 +148,133 @@ class TrustedAnonymizer:
         profile, and returns the envelope. Raw location is used transiently
         and not retained.
         """
-        if self._snapshot is None:
+        snapshot = self._snapshot
+        if snapshot is None:
             raise MobilityError("anonymizer has no population snapshot")
-        if not self._snapshot.has_user(request.user_id):
-            raise MobilityError(
-                f"user {request.user_id} is not in the current snapshot"
-            )
-        user_segment = self._snapshot.segment_of(request.user_id)
-        try:
-            envelope = self._engine.anonymize(
-                user_segment,
-                self._snapshot,
-                request.profile,
-                request.chain,
-                include_hints=self._include_hints,
-            )
-        except CloakingError:
-            self._failures += 1
-            raise
-        self._requests_served += 1
-        return envelope
+        return self._serve(self._engine, snapshot, request)
 
     def cloak_segment(
         self, user_segment: int, profile: PrivacyProfile, chain: KeyChain
     ) -> CloakEnvelope:
         """Cloak an explicit segment (bypasses the user lookup; used by
         experiments that sweep positions directly)."""
-        if self._snapshot is None:
+        snapshot = self._snapshot
+        if snapshot is None:
             raise MobilityError("anonymizer has no population snapshot")
         try:
             envelope = self._engine.anonymize(
                 user_segment,
-                self._snapshot,
+                snapshot,
                 profile,
                 chain,
                 include_hints=self._include_hints,
             )
         except CloakingError:
-            self._failures += 1
+            self._count_failure()
             raise
-        self._requests_served += 1
+        self._count_served()
         return envelope
+
+    # ------------------------------------------------------------------
+    # batch serving
+    # ------------------------------------------------------------------
+    def cloak_batch(
+        self,
+        requests: Sequence[CloakRequest],
+        max_workers: Optional[int] = None,
+    ) -> List[BatchOutcome]:
+        """Serve a batch of requests, optionally across a thread pool.
+
+        Every request is cloaked against the snapshot installed when the
+        batch starts (one immutable capture for the whole batch), and each
+        worker thread reuses one thread-local engine over the shared
+        network/algorithm for all the requests it serves. Outcomes come
+        back in request order; a failing request yields a
+        :class:`BatchOutcome` with its error instead of aborting the batch.
+
+        Args:
+            requests: The batch, served in order.
+            max_workers: Thread-pool width. ``None`` picks
+                ``min(8, cpu_count, len(requests))``; ``1`` serves the batch
+                inline on the calling thread (no pool).
+
+        Raises:
+            MobilityError: No snapshot is installed.
+        """
+        snapshot = self._snapshot
+        if snapshot is None:
+            raise MobilityError("anonymizer has no population snapshot")
+        if not requests:
+            return []
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1, len(requests))
+        if max_workers <= 1:
+            engine = self._engine
+            return [self._serve_outcome(engine, snapshot, r) for r in requests]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(
+                pool.map(
+                    lambda request: self._serve_outcome(
+                        self._worker_engine(), snapshot, request
+                    ),
+                    requests,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _worker_engine(self) -> ReverseCloakEngine:
+        """This thread's engine (lazily built, reused for every request
+        the thread serves while its pool lives)."""
+        engine = getattr(self._worker_engines, "engine", None)
+        if engine is None:
+            engine = ReverseCloakEngine(self._network, self._engine.algorithm)
+            self._worker_engines.engine = engine
+        return engine
+
+    def _serve(
+        self,
+        engine: ReverseCloakEngine,
+        snapshot: PopulationSnapshot,
+        request: CloakRequest,
+    ) -> CloakEnvelope:
+        """One request against a pinned (engine, snapshot) pair."""
+        if not snapshot.has_user(request.user_id):
+            raise MobilityError(
+                f"user {request.user_id} is not in the current snapshot"
+            )
+        user_segment = snapshot.segment_of(request.user_id)
+        try:
+            envelope = engine.anonymize(
+                user_segment,
+                snapshot,
+                request.profile,
+                request.chain,
+                include_hints=self._include_hints,
+            )
+        except CloakingError:
+            self._count_failure()
+            raise
+        self._count_served()
+        return envelope
+
+    def _serve_outcome(
+        self,
+        engine: ReverseCloakEngine,
+        snapshot: PopulationSnapshot,
+        request: CloakRequest,
+    ) -> BatchOutcome:
+        try:
+            envelope = self._serve(engine, snapshot, request)
+        except (CloakingError, MobilityError) as exc:
+            return BatchOutcome(request=request, error=exc)
+        return BatchOutcome(request=request, envelope=envelope)
+
+    def _count_served(self) -> None:
+        with self._counter_lock:
+            self._requests_served += 1
+
+    def _count_failure(self) -> None:
+        with self._counter_lock:
+            self._failures += 1
