@@ -1,0 +1,210 @@
+"""Serving-backend benchmark (PR 3 trajectory): inline vs thread pool vs
+sharded process pool.
+
+Measures ``AnonymizerService.cloak_batch`` requests/sec on the trajectory
+workload (10k-segment map, 64-request batches; small map with ``--quick``)
+across the three execution backends at several worker widths, asserting
+byte-identical envelopes between every backend and sequential single-request
+serving. The thread-pool rows reproduce PR 2's ``cloak_batch`` measurement
+(GIL-bound, so widths > 1 measure overhead); the process-pool rows are this
+PR's new cross-process path, where each worker holds its own engine against
+a per-batch snapshot shipped as wire documents.
+
+Timing is steady-state: each backend serves one warm-up batch first (pool
+spawn and the one-time snapshot ship are start-up costs, not per-batch
+costs) and the recorded number is the best of ``--repeats`` batches.
+
+Writes ``BENCH_serving.json`` at the repo root (``BENCH_serving.quick.json``
+for ``--quick`` CI smoke runs, which never clobber the committed full-sweep
+baseline) and the usual ``benchmarks/results/`` table artifacts.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import (
+    AnonymizerService,
+    KeyChain,
+    PopulationSnapshot,
+    PrivacyProfile,
+    grid_network,
+)
+from repro.bench import ResultTable
+from repro.lbs import (
+    CloakRequest,
+    InlineBackend,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+FULL_MAP_SIDE, FULL_MAP_SEGMENTS = 71, 9940
+QUICK_MAP_SIDE, QUICK_MAP_SEGMENTS = 16, 480
+FULL_BATCH = 64
+QUICK_BATCH = 12
+FULL_WIDTHS = (1, 4, 8)
+QUICK_WIDTHS = (1, 2)
+
+#: PR 2's recorded thread-pool serving ceiling on this workload
+#: (BENCH_prf.json, 64-request batches): the number the process pool must
+#: scale past.
+PR2_THREAD_CEILING_RPS = 2611.6
+
+
+def _best_batch_ms(service, requests, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        service.cloak_batch(requests)
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def bench_serving(quick: bool, repeats: int) -> list:
+    side = QUICK_MAP_SIDE if quick else FULL_MAP_SIDE
+    segments = QUICK_MAP_SEGMENTS if quick else FULL_MAP_SEGMENTS
+    batch_size = QUICK_BATCH if quick else FULL_BATCH
+    widths = QUICK_WIDTHS if quick else FULL_WIDTHS
+    network = grid_network(side, side)
+    snapshot = PopulationSnapshot.from_counts(
+        {segment_id: 2 for segment_id in network.segment_ids()}
+    )
+    # The PR 2 batch workload: modest per-request regions, so throughput
+    # measures serving overheads and scaling, not one giant expansion.
+    profile = PrivacyProfile.uniform(
+        levels=2, base_k=20, k_step=20, base_l=3, l_step=1, max_segments=80
+    )
+    requests = [
+        CloakRequest(
+            user_id=user_id,
+            profile=profile,
+            chain=KeyChain.from_passphrases([f"b{user_id}-1", f"b{user_id}-2"]),
+        )
+        for user_id in snapshot.users()[:batch_size]
+    ]
+
+    reference = AnonymizerService(network)
+    reference.update_snapshot(snapshot)
+    sequential = [reference.cloak(request).to_json() for request in requests]
+    sequential_ms = _best_batch_ms(
+        reference, requests, repeats
+    )  # inline backend == sequential serving
+
+    def backend_rows(label: str, make_backend, widths) -> list:
+        rows = []
+        for width in widths:
+            with make_backend(width) as backend:
+                service = AnonymizerService(network, backend=backend)
+                service.update_snapshot(snapshot)
+                warm = service.cloak_batch(requests)
+                produced = [outcome.envelope.to_json() for outcome in warm]
+                assert produced == sequential, (
+                    f"{label}@{width} diverged from sequential serving"
+                )
+                batch_ms = _best_batch_ms(service, requests, repeats)
+            rows.append(
+                {
+                    "map_segments": segments,
+                    "batch_size": batch_size,
+                    "backend": label,
+                    "workers": width,
+                    "batch_ms": round(batch_ms, 3),
+                    "throughput_rps": round(batch_size / (batch_ms / 1000.0), 1),
+                    "speedup_vs_sequential": round(sequential_ms / batch_ms, 2),
+                }
+            )
+            print(
+                f"{label} workers={width}: {batch_ms:.2f} ms/batch "
+                f"({batch_size / (batch_ms / 1000.0):.0f} req/s)"
+            )
+        return rows
+
+    rows = backend_rows("inline", lambda _w: InlineBackend(), (1,))
+    rows += backend_rows("thread", lambda w: ThreadPoolBackend(w), widths)
+    rows += backend_rows(
+        "process", lambda w: ProcessPoolBackend(w, start_method="fork"), widths
+    )
+    return rows
+
+
+def run(quick: bool, repeats: int) -> dict:
+    rows = bench_serving(quick, repeats)
+
+    table = ResultTable(
+        "BENCH_SERVING",
+        "cloak_batch throughput by execution backend (best-of-%d)" % repeats,
+        [
+            "map_segments",
+            "batch_size",
+            "backend",
+            "workers",
+            "batch_ms",
+            "throughput_rps",
+            "speedup_vs_sequential",
+        ],
+    )
+    for row in rows:
+        table.add_row(**row)
+    table.print_and_save()
+
+    def best_for(backend: str, min_workers: int = 1) -> dict:
+        candidates = [
+            row
+            for row in rows
+            if row["backend"] == backend and row["workers"] >= min_workers
+        ]
+        return max(candidates, key=lambda row: row["throughput_rps"])
+
+    inline = best_for("inline")
+    thread = best_for("thread")
+    process = best_for("process")
+    process_scaled = best_for("process", min_workers=4 if not quick else 2)
+    return {
+        "benchmark": "bench_serving",
+        "quick": quick,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "pr2_thread_ceiling_rps": PR2_THREAD_CEILING_RPS,
+        "serving": rows,
+        "summary": {
+            "inline_rps": inline["throughput_rps"],
+            "best_thread_rps": thread["throughput_rps"],
+            "best_thread_workers": thread["workers"],
+            "best_process_rps": process["throughput_rps"],
+            "best_process_workers": process["workers"],
+            "process_rps_at_scaled_width": process_scaled["throughput_rps"],
+            "process_scaled_width": process_scaled["workers"],
+            "process_vs_pr2_thread_ceiling": round(
+                process_scaled["throughput_rps"] / PR2_THREAD_CEILING_RPS, 3
+            ),
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small map / small batch CI smoke"
+    )
+    parser.add_argument("--repeats", type=int, default=7)
+    args = parser.parse_args()
+    document = run(quick=args.quick, repeats=args.repeats)
+    name = "BENCH_serving.quick.json" if args.quick else "BENCH_serving.json"
+    out = REPO_ROOT / name
+    out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

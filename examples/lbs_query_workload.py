@@ -15,12 +15,17 @@ import statistics
 from repro import (
     KeyChain,
     PrivacyProfile,
-    ReverseCloakEngine,
     ReversiblePreassignmentExpansion,
     TrafficSimulator,
     grid_network,
 )
-from repro.lbs import CloakRequest, LBSProvider, PoiDirectory, TrustedAnonymizer
+from repro.lbs import (
+    AnonymizerService,
+    CloakRequest,
+    LBSProvider,
+    PoiDirectory,
+    ThreadPoolBackend,
+)
 from repro.metrics import Timer
 
 
@@ -41,25 +46,31 @@ def main() -> None:
           f"{preassign_timer.elapsed * 1000:.0f} ms "
           f"({algorithm.preassignment.memory_bytes() / 1024:.0f} KiB of tables)")
 
-    anonymizer = TrustedAnonymizer(network, algorithm)
+    anonymizer = AnonymizerService(
+        network, algorithm, backend=ThreadPoolBackend(4)
+    )
     anonymizer.update_snapshot(snapshot)
     provider = LBSProvider(PoiDirectory(network, count=800, seed=5))
-    engine = ReverseCloakEngine(network, algorithm)
 
     profile = PrivacyProfile.uniform(
         levels=3, base_k=8, k_step=8, base_l=3, l_step=2, max_segments=100
     )
 
-    # Serve a stream of cloaking requests.
-    chains = {}
+    # Serve the request stream as one batch on the execution backend.
+    chains = {
+        user_id: KeyChain.generate(profile.level_count)
+        for user_id in snapshot.users()[:N_USERS]
+    }
+    requests = [
+        CloakRequest(user_id=user_id, profile=profile, chain=chain)
+        for user_id, chain in chains.items()
+    ]
     with Timer() as cloak_timer:
-        for index, user_id in enumerate(snapshot.users()[:N_USERS]):
-            chain = KeyChain.generate(profile.level_count)
-            chains[user_id] = chain
-            envelope = anonymizer.cloak(
-                CloakRequest(user_id=user_id, profile=profile, chain=chain)
-            )
-            provider.upload(f"user-{user_id}", envelope)
+        outcomes = anonymizer.cloak_batch(requests)
+    for outcome in outcomes:
+        if not outcome.ok:  # failed requests surface here, per request
+            raise outcome.error
+        provider.upload(f"user-{outcome.request.user_id}", outcome.envelope)
     print(f"cloaked {N_USERS} users in {cloak_timer.elapsed * 1000:.1f} ms "
           f"({cloak_timer.elapsed * 1000 / N_USERS:.2f} ms each)")
 
@@ -68,7 +79,7 @@ def main() -> None:
     precision = {level: [] for level in range(4)}
     for user_id, chain in chains.items():
         stored = provider.envelope_of(f"user-{user_id}")
-        truth = engine.deanonymize(stored, chain, target_level=0)
+        truth = anonymizer.deanonymize(stored, chain, target_level=0)
         true_segment = snapshot.segment_of(user_id)
         for level in range(4):
             result = provider.serve_range_query(

@@ -19,12 +19,11 @@ from repro import (
     AccessControlProfile,
     KeyChain,
     PrivacyProfile,
-    ReverseCloakEngine,
     Requester,
     TrafficSimulator,
     grid_network,
 )
-from repro.lbs import CloakRequest, LBSProvider, PoiDirectory, TrustedAnonymizer
+from repro.lbs import AnonymizerService, CloakRequest, LBSProvider, PoiDirectory
 
 
 def main() -> None:
@@ -34,7 +33,7 @@ def main() -> None:
     simulator.run(4)
     snapshot = simulator.snapshot()
 
-    anonymizer = TrustedAnonymizer(network)
+    anonymizer = AnonymizerService(network)
     anonymizer.update_snapshot(snapshot)
     provider = LBSProvider(PoiDirectory(network, count=300, seed=11))
 
@@ -67,8 +66,7 @@ def main() -> None:
             region = stored.region
             level = stored.top_level
         else:
-            engine = ReverseCloakEngine.for_envelope(network, stored)
-            result = engine.deanonymize(
+            result = anonymizer.deanonymize(
                 stored,
                 {key.level: key for key in grant.keys},
                 target_level=grant.access_level,

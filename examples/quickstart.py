@@ -13,9 +13,9 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
+    AnonymizerService,
     KeyChain,
     PrivacyProfile,
-    ReverseCloakEngine,
     TrafficSimulator,
     grid_network,
 )
@@ -45,8 +45,9 @@ def main() -> None:
 
     # 3. Keys + anonymization ("Auto key generation" + "Anonymize" buttons).
     chain = KeyChain.generate(profile.level_count)
-    engine = ReverseCloakEngine(network)  # RGE by default
-    envelope = engine.anonymize(user_segment, snapshot, profile, chain)
+    service = AnonymizerService(network)  # RGE by default, inline backend
+    service.update_snapshot(snapshot)
+    envelope = service.cloak_segment(user_segment, profile, chain)
     print(f"published cloak: {len(envelope.region)} segments, "
           f"steps per level {[record.steps for record in envelope.levels]}")
 
@@ -55,14 +56,14 @@ def main() -> None:
     print(f"  no keys (the LBS provider): {len(envelope.region)} segments")
     for target in (2, 1, 0):
         granted = {key.level: key for key in chain.suffix(target + 1)}
-        result = engine.deanonymize(envelope, granted, target_level=target)
+        result = service.deanonymize(envelope, granted, target_level=target)
         region = result.region_at(target)
         label = "exact segment" if target == 0 else f"L{target} region"
         print(f"  keys {sorted(granted)} -> {label}: "
               f"{len(region)} segment(s) {list(region) if target == 0 else ''}")
 
     # The full chain recovers the user's segment exactly.
-    full = engine.deanonymize(envelope, chain, target_level=0)
+    full = service.deanonymize(envelope, chain, target_level=0)
     assert full.region_at(0) == (user_segment,)
     print("\nround trip verified: L0 == the user's true segment")
 

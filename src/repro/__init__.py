@@ -62,6 +62,14 @@ from .errors import (
     ToleranceExceededError,
 )
 from .keys import AccessControlProfile, AccessKey, KeyChain, KeyGrant, Requester
+from .lbs import (
+    AnonymizerService,
+    BatchOutcome,
+    CloakRequest,
+    InlineBackend,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+)
 from .mobility import (
     GaussianPlacement,
     MobilityTrace,
@@ -106,6 +114,13 @@ __all__ = [
     "ToleranceSpec",
     "RegionState",
     "algorithm_for_envelope",
+    # serving
+    "AnonymizerService",
+    "CloakRequest",
+    "BatchOutcome",
+    "InlineBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
     # keys
     "AccessKey",
     "KeyChain",

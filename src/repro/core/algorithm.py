@@ -202,6 +202,12 @@ def eligible_candidates(
     and recompute; the result — content *and* order — is identical.
     """
     if state is not None:
+        uniform = tolerance.uniform_fit_after_add(state)
+        if uniform is not None:
+            # Count-only tolerance: one decision covers every candidate,
+            # so skip the per-candidate filter calls entirely. Content and
+            # order are unchanged: all candidates pass or all fail.
+            return state.frontier() if uniform else ()
         return tuple(
             candidate
             for candidate in state.frontier()

@@ -60,7 +60,12 @@ from .reversal import (
 from .rge import ReversibleGlobalExpansion
 from .rple import ReversiblePreassignmentExpansion
 
-__all__ = ["ReverseCloakEngine", "DeanonymizationResult", "algorithm_for_envelope"]
+__all__ = [
+    "ReverseCloakEngine",
+    "DeanonymizationResult",
+    "algorithm_for_envelope",
+    "algorithm_from_spec",
+]
 
 KeysLike = Union[KeyChain, Mapping[int, AccessKey], Iterable[AccessKey]]
 
@@ -78,24 +83,34 @@ def _normalize_keys(keys: KeysLike) -> Dict[int, AccessKey]:
     return {key.level: key for key in keys}
 
 
-def algorithm_for_envelope(
-    network: RoadNetwork, envelope: CloakEnvelope
+def algorithm_from_spec(
+    network: RoadNetwork, name: str, params: Optional[Mapping] = None
 ) -> CloakingAlgorithm:
-    """Reconstruct the algorithm instance an envelope was produced with.
+    """Reconstruct an algorithm from its wire spec ``(name, params)``.
 
+    This is the single place a serialized algorithm identity (envelope
+    metadata, a backend worker's engine spec) turns back into an instance.
     Pre-assignment is deterministic, so the RPLE instance built here is
     identical to the anonymizer's.
     """
-    if envelope.algorithm == ReversibleGlobalExpansion.name:
+    params = params or {}
+    if name == ReversibleGlobalExpansion.name:
         return ReversibleGlobalExpansion()
-    if envelope.algorithm == ReversiblePreassignmentExpansion.name:
-        params = envelope.algorithm_params
+    if name == ReversiblePreassignmentExpansion.name:
+        max_hops = params.get("max_hops")
         return ReversiblePreassignmentExpansion.for_network(
             network,
             list_length=int(params.get("list_length", 8)),
-            max_hops=params.get("max_hops"),
+            max_hops=None if max_hops is None else int(max_hops),
         )
-    raise EnvelopeError(f"unknown algorithm: {envelope.algorithm!r}")
+    raise EnvelopeError(f"unknown algorithm: {name!r}")
+
+
+def algorithm_for_envelope(
+    network: RoadNetwork, envelope: CloakEnvelope
+) -> CloakingAlgorithm:
+    """Reconstruct the algorithm instance an envelope was produced with."""
+    return algorithm_from_spec(network, envelope.algorithm, envelope.algorithm_params)
 
 
 @dataclass(frozen=True)

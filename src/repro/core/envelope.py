@@ -54,7 +54,7 @@ _PAD_BYTES = 8
 
 def region_digest(region: AbstractSet[int]) -> str:
     """A stable digest of a segment set (order-independent)."""
-    payload = ",".join(str(segment_id) for segment_id in sorted(region))
+    payload = ",".join(map(str, sorted(region)))
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
@@ -230,6 +230,11 @@ class LevelRecord:
 
     @classmethod
     def from_dict(cls, document: dict) -> "LevelRecord":
+        if not isinstance(document, dict):
+            raise EnvelopeError(
+                f"level record document must be a dict, got {type(document).__name__}"
+            )
+
         def _optional_int(field: str) -> Optional[int]:
             value = document.get(field)
             return None if value is None else int(value)
@@ -242,7 +247,7 @@ class LevelRecord:
             tolerance=ToleranceSpec.from_dict(document["tolerance"]),
             sealed_anchor=_optional_int("sealed_anchor"),
             sealed_start=_optional_int("sealed_start"),
-            witnesses=tuple(int(w) for w in document.get("witnesses", ())),
+            witnesses=tuple(map(int, document.get("witnesses", ()))),
             mac=str(document["mac"]),
             digest=str(document["digest"]),
         )
@@ -322,6 +327,10 @@ class CloakEnvelope:
 
     @classmethod
     def from_dict(cls, document: dict) -> "CloakEnvelope":
+        if not isinstance(document, dict):
+            raise EnvelopeError(
+                f"envelope document must be a dict, got {type(document).__name__}"
+            )
         if document.get("format") != "repro.envelope":
             raise EnvelopeError("not a repro.envelope document")
         if document.get("version") != _ENVELOPE_VERSION:
@@ -333,7 +342,7 @@ class CloakEnvelope:
             algorithm_params=dict(document.get("algorithm_params", {})),
             network_name=str(document.get("network_name", "")),
             net_digest=str(document["net_digest"]),
-            region=tuple(int(x) for x in document["region"]),
+            region=tuple(map(int, document["region"])),
             levels=tuple(
                 LevelRecord.from_dict(item) for item in document["levels"]
             ),

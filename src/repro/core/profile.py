@@ -172,6 +172,22 @@ class ToleranceSpec:
             return False
         return True
 
+    def uniform_fit_after_add(self, state: "RegionState") -> Optional[bool]:
+        """The one answer :meth:`fits_after_add` gives for *every* candidate
+        of ``state``'s current region, or ``None`` when the answer depends
+        on the candidate.
+
+        With a segment-count-only tolerance, adding any single segment
+        grows the count by exactly one, so the delta check is uniform
+        across candidates; length and diagonal bounds depend on *which*
+        segment is added. Hot paths (candidate filtering, RPLE slot
+        probing) evaluate this once per step instead of once per candidate
+        — the answer, and therefore every envelope byte, is unchanged.
+        """
+        if self.max_total_length is not None or self.max_diagonal is not None:
+            return None
+        return self.max_segments is None or len(state) + 1 <= self.max_segments
+
     def at_least_as_loose_as(self, other: "ToleranceSpec") -> bool:
         """Whether any region fitting ``self``'s bounds ... is a superset
         condition: every bound of ``self`` is absent or >= ``other``'s."""
@@ -198,11 +214,23 @@ class ToleranceSpec:
 
     @classmethod
     def from_dict(cls, document: dict) -> "ToleranceSpec":
-        return cls(
-            max_segments=document.get("max_segments"),
-            max_total_length=document.get("max_total_length"),
-            max_diagonal=document.get("max_diagonal"),
-        )
+        if not isinstance(document, dict):
+            raise ProfileError(
+                f"tolerance document must be a dict, got {type(document).__name__}"
+            )
+        max_segments = document.get("max_segments")
+        max_total_length = document.get("max_total_length")
+        max_diagonal = document.get("max_diagonal")
+        try:
+            return cls(
+                max_segments=None if max_segments is None else int(max_segments),
+                max_total_length=(
+                    None if max_total_length is None else float(max_total_length)
+                ),
+                max_diagonal=None if max_diagonal is None else float(max_diagonal),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ProfileError(f"malformed tolerance document: {exc}") from None
 
 
 @dataclass(frozen=True)
@@ -257,11 +285,17 @@ class LevelRequirement:
 
     @classmethod
     def from_dict(cls, document: dict) -> "LevelRequirement":
-        return cls(
-            k=int(document["k"]),
-            l=int(document["l"]),
-            tolerance=ToleranceSpec.from_dict(document["tolerance"]),
-        )
+        if not isinstance(document, dict):
+            raise ProfileError(
+                f"level-requirement document must be a dict, got {type(document).__name__}"
+            )
+        try:
+            k = int(document["k"])
+            l = int(document["l"])
+            tolerance_doc = document["tolerance"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProfileError(f"malformed level-requirement document: {exc}") from None
+        return cls(k=k, l=l, tolerance=ToleranceSpec.from_dict(tolerance_doc))
 
 
 class PrivacyProfile:
@@ -362,6 +396,12 @@ class PrivacyProfile:
 
     @classmethod
     def from_dict(cls, document: dict) -> "PrivacyProfile":
+        if not isinstance(document, dict) or not isinstance(
+            document.get("levels"), list
+        ):
+            raise ProfileError(
+                "malformed profile document: expected {'levels': [...]}"
+            )
         return cls([LevelRequirement.from_dict(item) for item in document["levels"]])
 
     def __eq__(self, other: object) -> bool:

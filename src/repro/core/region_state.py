@@ -121,10 +121,12 @@ class RegionState:
     ) -> None:
         self._network = network
         self._snapshot = snapshot
+        self._seg_bounds = network.segment_bounds()
         self._members: set = set()
         self._frontier_counts: Dict[int, int] = {}
         self._exact_scaled = 0
         self._total_length = 0.0
+        self._total_dirty = False
         self._population = 0
         self._by_length: List[Tuple[float, int]] = []
         self._min_x = self._min_y = float("inf")
@@ -152,10 +154,12 @@ class RegionState:
         other = RegionState.__new__(RegionState)
         other._network = self._network
         other._snapshot = self._snapshot
+        other._seg_bounds = self._seg_bounds
         other._members = set(self._members)
         other._frontier_counts = dict(self._frontier_counts)
         other._exact_scaled = self._exact_scaled
         other._total_length = self._total_length
+        other._total_dirty = self._total_dirty
         other._population = self._population
         other._by_length = list(self._by_length)
         other._min_x = self._min_x
@@ -182,21 +186,20 @@ class RegionState:
                     self._frontier_counts.get(neighbor, 0) + 1
                 )
         self._exact_scaled += _scaled_exact(length)
-        self._total_length = self._exact_scaled / _SCALE
+        self._total_dirty = True
         if self._snapshot is not None:
             self._population += self._snapshot.count_on(segment_id)
         insort(self._by_length, (length, segment_id))
         if not self._bbox_dirty:
-            a, b = self._network.segment_endpoints(segment_id)
-            for point in (a, b):
-                if point.x < self._min_x:
-                    self._min_x = point.x
-                if point.x > self._max_x:
-                    self._max_x = point.x
-                if point.y < self._min_y:
-                    self._min_y = point.y
-                if point.y > self._max_y:
-                    self._max_y = point.y
+            min_x, min_y, max_x, max_y = self._seg_bounds[segment_id]
+            if min_x < self._min_x:
+                self._min_x = min_x
+            if max_x > self._max_x:
+                self._max_x = max_x
+            if min_y < self._min_y:
+                self._min_y = min_y
+            if max_y > self._max_y:
+                self._max_y = max_y
         self._removable = None
 
     def remove(self, segment_id: int) -> None:
@@ -219,22 +222,20 @@ class RegionState:
         if in_region_neighbors:
             self._frontier_counts[segment_id] = in_region_neighbors
         self._exact_scaled -= _scaled_exact(length)
-        self._total_length = self._exact_scaled / _SCALE
+        self._total_dirty = True
         if self._snapshot is not None:
             self._population -= self._snapshot.count_on(segment_id)
         index = bisect_left(self._by_length, (length, segment_id))
         del self._by_length[index]
         if not self._bbox_dirty:
-            a, b = self._network.segment_endpoints(segment_id)
-            for point in (a, b):
-                if (
-                    point.x <= self._min_x
-                    or point.x >= self._max_x
-                    or point.y <= self._min_y
-                    or point.y >= self._max_y
-                ):
-                    self._bbox_dirty = True
-                    break
+            min_x, min_y, max_x, max_y = self._seg_bounds[segment_id]
+            if (
+                min_x <= self._min_x
+                or max_x >= self._max_x
+                or min_y <= self._min_y
+                or max_y >= self._max_y
+            ):
+                self._bbox_dirty = True
         self._removable = None
 
     # ------------------------------------------------------------------
@@ -263,7 +264,15 @@ class RegionState:
     def total_length(self) -> float:
         """Summed road length of the region, metres — the *correctly
         rounded* float of the exact sum, so it is independent of the
-        add/remove order that produced this state."""
+        add/remove order that produced this state.
+
+        The rounding (an exact big-int division) runs lazily on first read
+        after a mutation: only length-bounded tolerances ever read it, so
+        segment-count-only workloads never pay for it.
+        """
+        if self._total_dirty:
+            self._total_length = self._exact_scaled / _SCALE
+            self._total_dirty = False
         return self._total_length
 
     @property
@@ -310,17 +319,17 @@ class RegionState:
     def _rebuild_bbox(self) -> None:
         self._min_x = self._min_y = float("inf")
         self._max_x = self._max_y = float("-inf")
+        bounds = self._seg_bounds
         for segment_id in self._members:
-            a, b = self._network.segment_endpoints(segment_id)
-            for point in (a, b):
-                if point.x < self._min_x:
-                    self._min_x = point.x
-                if point.x > self._max_x:
-                    self._max_x = point.x
-                if point.y < self._min_y:
-                    self._min_y = point.y
-                if point.y > self._max_y:
-                    self._max_y = point.y
+            min_x, min_y, max_x, max_y = bounds[segment_id]
+            if min_x < self._min_x:
+                self._min_x = min_x
+            if max_x > self._max_x:
+                self._max_x = max_x
+            if min_y < self._min_y:
+                self._min_y = min_y
+            if max_y > self._max_y:
+                self._max_y = max_y
         self._bbox_dirty = False
 
     def bounding_box(self) -> BoundingBox:
@@ -344,23 +353,15 @@ class RegionState:
         min/max are exact, so this equals the from-scratch diagonal of
         ``region | {segment_id}`` bit for bit.
         """
-        a, b = self._network.segment_endpoints(segment_id)
+        seg_min_x, seg_min_y, seg_max_x, seg_max_y = self._seg_bounds[segment_id]
         if not self._members:
-            box = BoundingBox.around((a, b))
-            return box.diagonal
+            return BoundingBox(seg_min_x, seg_min_y, seg_max_x, seg_max_y).diagonal
         if self._bbox_dirty:
             self._rebuild_bbox()
-        min_x, min_y = self._min_x, self._min_y
-        max_x, max_y = self._max_x, self._max_y
-        for point in (a, b):
-            if point.x < min_x:
-                min_x = point.x
-            if point.x > max_x:
-                max_x = point.x
-            if point.y < min_y:
-                min_y = point.y
-            if point.y > max_y:
-                max_y = point.y
+        min_x = seg_min_x if seg_min_x < self._min_x else self._min_x
+        max_x = seg_max_x if seg_max_x > self._max_x else self._max_x
+        min_y = seg_min_y if seg_min_y < self._min_y else self._min_y
+        max_y = seg_max_y if seg_max_y > self._max_y else self._max_y
         return BoundingBox(min_x, min_y, max_x, max_y).diagonal
 
     # ------------------------------------------------------------------
@@ -391,5 +392,5 @@ class RegionState:
         return (
             f"RegionState(members={len(self._members)}, "
             f"frontier={len(self._frontier_counts)}, "
-            f"length={self._total_length:.1f})"
+            f"length={self.total_length:.1f})"
         )

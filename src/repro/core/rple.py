@@ -291,6 +291,7 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         target: Optional[int],
         tolerance: ToleranceSpec,
         state: Optional[RegionState] = None,
+        fits_hint: Optional[bool] = None,
     ) -> bool:
         """Whether a forward slot target is usable from the current region.
 
@@ -302,13 +303,18 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         makes redraws reversible.
 
         With a maintained ``state`` the frontier test and the tolerance
-        check are O(1) instead of O(|region|).
+        check are O(1) instead of O(|region|). ``fits_hint`` is the step's
+        precomputed :meth:`ToleranceSpec.uniform_fit_after_add` answer
+        (count-only tolerances give every candidate the same one); callers
+        must pass it only for probes against the state's current region.
         """
         if target is None:
             return False
         if state is not None:
             if not state.is_frontier(target):
                 return False
+            if fits_hint is not None:
+                return fits_hint
             return tolerance.fits_after_add(state, target)
         if target in region:
             return False
@@ -323,12 +329,26 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         anchor: int,
         tolerance: ToleranceSpec,
         state: Optional[RegionState] = None,
+        fits_hint: Optional[bool] = None,
     ) -> bool:
         """Whether any slot of ``anchor``'s forward list can extend the
         region. A pure function of (anchor, region, tolerance) — both
         protocol sides evaluate it identically."""
+        if state is not None and fits_hint is not None:
+            # Uniform tolerance answer: a slot is valid iff it is a
+            # frontier segment — skip the per-slot _slot_valid dispatch.
+            if not fits_hint:
+                return False
+            is_frontier = state.is_frontier
+            return any(
+                target is not None and is_frontier(target)
+                for target in self._pre.forward_list(anchor)
+            )
         return any(
-            self._slot_valid(network, region, target, tolerance, state=state)
+            self._slot_valid(
+                network, region, target, tolerance, state=state,
+                fits_hint=fits_hint,
+            )
             for target in self._pre.forward_list(anchor)
         )
 
@@ -368,13 +388,23 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
             raise CloakingError(
                 f"anchor {anchor} is not inside the region at step {step}"
             )
-        if not self._anchor_alive(network, region, anchor, tolerance, state=state):
+        # One uniform tolerance answer per step (count-only tolerances);
+        # valid for every probe below because the region does not change
+        # until the step's segment is returned and added by the engine.
+        fits_hint = (
+            tolerance.uniform_fit_after_add(state) if state is not None else None
+        )
+        if not self._anchor_alive(
+            network, region, anchor, tolerance, state=state, fits_hint=fits_hint
+        ):
             return self._global_fallback_forward(
                 network, region, anchor, key, step, tolerance, state=state,
                 draws=draws,
             )
         forward = self._pre.forward_list(anchor)
         length = self._pre.list_length
+        uniform_ok = fits_hint is True and state is not None
+        is_frontier = state.is_frontier if state is not None else None
         for attempt in range(self._max_attempts):
             value = (
                 draws.draw(step, attempt)
@@ -383,7 +413,16 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
             )
             slot = value % length
             target = forward[slot]
-            if self._slot_valid(network, region, target, tolerance, state=state):
+            if uniform_ok:
+                # _anchor_alive said some slot is valid and the tolerance
+                # answer is uniformly True, so validity is the frontier test.
+                if target is not None and is_frontier(target):
+                    return target
+                continue
+            if self._slot_valid(
+                network, region, target, tolerance, state=state,
+                fits_hint=fits_hint,
+            ):
                 assert target is not None
                 return target
         raise CloakingError(
@@ -431,6 +470,12 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
             if not tolerance.fits(network, set(inner_region) | {removed}):
                 return ()
         hypotheses: List[Tuple[int, int]] = []
+        # The inner region is fixed for the whole enumeration, so the
+        # count-only tolerance answer is too (prefix replays below grow
+        # cloned states and therefore do not use it).
+        fits_hint = (
+            tolerance.uniform_fit_after_add(state) if state is not None else None
+        )
         # Local interpretation: the forward step drew slots from a live
         # anchor's list until one was valid.
         backward = self._pre.backward_list(removed)
@@ -464,7 +509,8 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
             if candidate is None or candidate not in inner_region:
                 continue
             if not self._anchor_alive(
-                network, inner_region, candidate, tolerance, state=state
+                network, inner_region, candidate, tolerance, state=state,
+                fits_hint=fits_hint,
             ):
                 # A dead anchor would have taken the global fallback, so the
                 # local interpretation cannot hold for this candidate.
@@ -488,7 +534,8 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
             global_rank = 0
             for candidate in table.backward(removed, pick):
                 if not self._anchor_alive(
-                    network, inner_region, candidate, tolerance, state=state
+                    network, inner_region, candidate, tolerance, state=state,
+                    fits_hint=fits_hint,
                 ):
                     hypotheses.append((candidate, 1 + global_rank))
                     global_rank += 1

@@ -38,11 +38,16 @@ def length_order(network: RoadNetwork, segment_ids: Iterable[int]) -> Tuple[int,
 
     This is the canonical ordering for transition-table rows and columns; it
     is a pure function of the road network, so anonymizer and de-anonymizer
-    always agree on it.
+    always agree on it. Sorting uses the network's precomputed
+    ``(length, id)`` key table — this runs once per expansion step, so the
+    per-element key construction matters.
     """
-    return tuple(
-        sorted(segment_ids, key=lambda sid: (network.segment_length(sid), sid))
-    )
+    keys = network.length_sort_keys()
+    try:
+        return tuple(sorted(segment_ids, key=keys.__getitem__))
+    except KeyError as exc:
+        network.segment_length(exc.args[0])  # raises UnknownSegmentError
+        raise
 
 
 class TransitionTable:

@@ -22,6 +22,7 @@ __all__ = [
     "CollisionError",
     "KeyMismatchError",
     "EnvelopeError",
+    "WireFormatError",
     "PreassignmentError",
     "MobilityError",
     "QueryError",
@@ -116,6 +117,17 @@ class KeyMismatchError(DeanonymizationError):
 
 class EnvelopeError(ReverseCloakError):
     """A cloaked-region envelope is malformed or internally inconsistent."""
+
+
+class WireFormatError(EnvelopeError):
+    """A wire document (request, outcome, snapshot, ...) is malformed.
+
+    Raised by the :mod:`repro.lbs.wire` parsers whenever a document fails
+    structural validation — wrong format tag, unsupported version, missing
+    or mistyped fields. Serving surfaces map it to the structured error
+    code ``"malformed_document"`` so transports can reject bad input
+    without ever reaching an engine.
+    """
 
 
 class PreassignmentError(ReverseCloakError):

@@ -62,6 +62,28 @@ class KeyGrant:
     def key_levels(self) -> Tuple[int, ...]:
         return tuple(key.level for key in self.keys)
 
+    def to_dict(self) -> dict:
+        """A JSON-round-trippable document of the grant (contains the
+        granted key material — deliver only to the vetted requester)."""
+        return {
+            "requester_id": self.requester_id,
+            "access_level": self.access_level,
+            "keys": [key.to_dict() for key in self.keys],
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "KeyGrant":
+        """Rebuild a grant from :meth:`to_dict` output."""
+        if not isinstance(document, dict):
+            raise ProfileError(f"key-grant document must be a dict, got {type(document).__name__}")
+        try:
+            requester_id = str(document["requester_id"])
+            access_level = int(document["access_level"])
+            keys = tuple(AccessKey.from_dict(item) for item in document["keys"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProfileError(f"malformed key-grant document: {exc}") from None
+        return cls(requester_id=requester_id, access_level=access_level, keys=keys)
+
 
 class AccessControlProfile:
     """Maps requester trust degrees to privilege levels and key grants.

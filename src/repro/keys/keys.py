@@ -67,6 +67,28 @@ class AccessKey:
         """A short non-secret identifier (first 8 hex chars of SHA-256)."""
         return hashlib.sha256(self.material).hexdigest()[:8]
 
+    def to_dict(self) -> dict:
+        """A JSON-round-trippable document of this key.
+
+        The document contains the raw secret material (hex) — it is the
+        wire form used *inside* the trusted perimeter (anonymizer workers,
+        key-grant delivery), never something to publish alongside an
+        envelope.
+        """
+        return {"level": self.level, "material": self.material.hex()}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "AccessKey":
+        """Rebuild a key from :meth:`to_dict` output."""
+        if not isinstance(document, dict):
+            raise ProfileError(f"access-key document must be a dict, got {type(document).__name__}")
+        try:
+            level = int(document["level"])
+            material = bytes.fromhex(document["material"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProfileError(f"malformed access-key document: {exc}") from None
+        return cls(level, material)
+
     def __repr__(self) -> str:
         return f"AccessKey(level={self.level}, fingerprint={self.fingerprint()!r})"
 
@@ -149,6 +171,26 @@ class KeyChain:
             AccessKey(level, bytes.fromhex(material))
             for level, material in enumerate(materials, start=1)
         )
+
+    def to_dict(self) -> dict:
+        """A JSON-round-trippable document of the whole chain (secret —
+        same caveat as :meth:`AccessKey.to_dict`)."""
+        return {"keys": [self._keys[level].to_dict() for level in sorted(self._keys)]}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "KeyChain":
+        """Rebuild a chain from :meth:`to_dict` output."""
+        if not isinstance(document, dict) or not isinstance(document.get("keys"), list):
+            raise ProfileError("malformed key-chain document: expected {'keys': [...]}")
+        return cls(AccessKey.from_dict(item) for item in document["keys"])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KeyChain):
+            return NotImplemented
+        return self._keys == other._keys
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._keys[level] for level in sorted(self._keys)))
 
     def __iter__(self) -> Iterator[AccessKey]:
         return iter(self._keys[level] for level in sorted(self._keys))

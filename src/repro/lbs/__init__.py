@@ -1,16 +1,41 @@
-"""LBS substrate: trusted anonymizer, provider, anonymous query processing,
-temporal deferral and continuous cloaking."""
+"""LBS substrate: anonymization service (wire protocol + execution
+backends), provider, anonymous query processing, temporal deferral and
+continuous cloaking."""
 
+from .backends import (
+    BackendSpec,
+    BatchOutcome,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+)
 from .continuous import CloakTimeline, ContinuousCloaker, TimelineEntry
 from .deferral import DeferredCloaking, DeferredResult, TemporalTolerance
 from .provider import LBSProvider
 from .query import CandidateResult, PoiDirectory, PointOfInterest, range_query
-from .server import BatchOutcome, CloakRequest, TrustedAnonymizer
+from .server import TrustedAnonymizer
+from .service import AnonymizerService
+from .wire import (
+    CloakRequest,
+    CloakRequestDoc,
+    DeanonymizeRequestDoc,
+    OutcomeDoc,
+)
 
 __all__ = [
+    "AnonymizerService",
     "TrustedAnonymizer",
     "CloakRequest",
     "BatchOutcome",
+    "CloakRequestDoc",
+    "DeanonymizeRequestDoc",
+    "OutcomeDoc",
+    "ExecutionBackend",
+    "BackendSpec",
+    "InlineBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
     "LBSProvider",
     "PoiDirectory",
     "PointOfInterest",

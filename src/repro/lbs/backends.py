@@ -1,0 +1,607 @@
+"""Pluggable execution backends of the anonymization service.
+
+The serving facade (:class:`~repro.lbs.service.AnonymizerService`) owns the
+protocol — request in, outcome out — and delegates *where the cloaking
+work runs* to an :class:`ExecutionBackend`:
+
+* :class:`InlineBackend` — the calling thread, one engine. The reference
+  implementation every other backend must match byte for byte.
+* :class:`ThreadPoolBackend` — a persistent thread pool with one engine
+  per worker thread (PR 2's ``cloak_batch`` machinery, re-homed). Threads
+  share the interpreter, so on GIL-bound builds this measures serving
+  overhead rather than adding parallelism; it remains the right backend
+  for workloads that block (I/O-heavy algorithms, free-threaded builds).
+* :class:`ProcessPoolBackend` — N worker *processes*, each holding its own
+  engine rebuilt from wire documents against a per-batch snapshot. Work
+  and results cross the boundary as wire documents only, so serving is
+  byte-identical to inline and the workers never share mutable state —
+  the seam every later sharding/async PR builds on.
+
+A backend is bound once to an immutable :class:`BackendSpec` (network +
+algorithm + hint policy) and then serves any number of batches; each batch
+is pinned to the one snapshot it was submitted with. Outcomes come back in
+request order, failures in place (:class:`BatchOutcome`), and *unexpected*
+exceptions — anything outside the documented
+:class:`~repro.errors.CloakingError` / :class:`~repro.errors.MobilityError`
+serving failures — propagate to the caller instead of being swallowed into
+outcomes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.algorithm import CloakingAlgorithm
+from ..core.engine import ReverseCloakEngine, algorithm_from_spec
+from ..core.envelope import CloakEnvelope
+from ..errors import CloakingError, MobilityError
+from ..mobility.snapshot import PopulationSnapshot
+from ..roadnet.graph import RoadNetwork
+from ..roadnet.io import network_from_dict, network_to_dict
+from .wire import (
+    CloakRequest,
+    CloakRequestDoc,
+    OutcomeDoc,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+
+__all__ = [
+    "BackendSpec",
+    "BatchOutcome",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+]
+
+#: The typed per-request failure union of batch serving. Anything else is a
+#: bug or an infrastructure failure and must propagate.
+ServingError = Union[CloakingError, MobilityError]
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """The result of one request inside a batch.
+
+    Exactly one of :attr:`envelope` / :attr:`error` is set. Batch serving
+    never lets one failing request abort its siblings; the error object is
+    returned in place so the caller can retry or report per request.
+
+    Attributes:
+        request: The request this outcome answers (same position as in the
+            submitted batch).
+        envelope: The cloaked envelope on success.
+        error: The :class:`~repro.errors.CloakingError` or
+            :class:`~repro.errors.MobilityError` the request failed with —
+            these are the only failures serving converts into outcomes;
+            unexpected exceptions propagate out of the batch call.
+    """
+
+    request: CloakRequest
+    envelope: Optional[CloakEnvelope] = None
+    error: Optional[ServingError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.envelope is not None
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Everything a backend needs to run the cloaking work anywhere.
+
+    Attributes:
+        network: The shared road map.
+        algorithm: The cloaking algorithm instance (its ``name``/``params()``
+            are the wire spec process workers rebuild it from).
+        include_hints: Sealed-hint envelope policy (decision D1).
+    """
+
+    network: RoadNetwork
+    algorithm: CloakingAlgorithm
+    include_hints: bool = True
+
+    def build_engine(self) -> ReverseCloakEngine:
+        return ReverseCloakEngine(self.network, self.algorithm)
+
+
+def serve_request(
+    engine: ReverseCloakEngine,
+    snapshot: PopulationSnapshot,
+    request: CloakRequest,
+    include_hints: bool,
+) -> CloakEnvelope:
+    """One request against a pinned (engine, snapshot) pair.
+
+    The single code path every backend funnels through (process workers
+    via their wire-doc twin ``_worker_serve``): resolve the user, expand,
+    return the envelope. Raw location is used transiently and not retained.
+    """
+    if not snapshot.has_user(request.user_id):
+        raise MobilityError(
+            f"user {request.user_id} is not in the current snapshot"
+        )
+    user_segment = snapshot.segment_of(request.user_id)
+    return engine.anonymize(
+        user_segment,
+        snapshot,
+        request.profile,
+        request.chain,
+        include_hints=include_hints,
+    )
+
+
+def _serve_outcome(
+    engine: ReverseCloakEngine,
+    snapshot: PopulationSnapshot,
+    request: CloakRequest,
+    include_hints: bool,
+) -> BatchOutcome:
+    try:
+        envelope = serve_request(engine, snapshot, request, include_hints)
+    except (CloakingError, MobilityError) as exc:
+        return BatchOutcome(request=request, error=exc)
+    return BatchOutcome(request=request, envelope=envelope)
+
+
+class ExecutionBackend(ABC):
+    """Where the serving work of one anonymization service runs.
+
+    Lifecycle: the service calls :meth:`bind` exactly once with its
+    immutable :class:`BackendSpec`, then any number of
+    :meth:`cloak_batch` calls, then :meth:`close`. Backends are
+    thread-safe for concurrent ``cloak_batch`` submissions.
+    """
+
+    _spec: Optional[BackendSpec] = None
+
+    def bind(self, spec: BackendSpec) -> None:
+        """Pin this backend to its serving configuration (idempotent for
+        the same spec; a backend never serves two configurations)."""
+        if self._spec is not None and self._spec is not spec:
+            raise CloakingError("backend is already bound to another service")
+        self._spec = spec
+
+    @property
+    def spec(self) -> BackendSpec:
+        if self._spec is None:
+            raise CloakingError("backend is not bound to a service yet")
+        return self._spec
+
+    @abstractmethod
+    def cloak_batch(
+        self, snapshot: PopulationSnapshot, requests: Sequence[CloakRequest]
+    ) -> List[BatchOutcome]:
+        """Serve ``requests`` against ``snapshot``, outcomes in order."""
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class InlineBackend(ExecutionBackend):
+    """Serve every batch sequentially on the calling thread."""
+
+    def __init__(self) -> None:
+        self._engine: Optional[ReverseCloakEngine] = None
+
+    def bind(self, spec: BackendSpec) -> None:
+        super().bind(spec)
+        if self._engine is None:
+            self._engine = spec.build_engine()
+
+    def cloak_batch(
+        self, snapshot: PopulationSnapshot, requests: Sequence[CloakRequest]
+    ) -> List[BatchOutcome]:
+        spec = self.spec
+        engine = self._engine
+        return [
+            _serve_outcome(engine, snapshot, request, spec.include_hints)
+            for request in requests
+        ]
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Serve batches across a persistent thread pool.
+
+    Each worker thread lazily builds one engine and reuses it for every
+    request it ever serves (engines hold only immutable shared structures:
+    the network, the algorithm and its pre-assignment tables). All requests
+    of a batch run against the one snapshot the batch was submitted with.
+
+    Args:
+        max_workers: Pool width; ``None`` picks ``min(8, cpu_count)``.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise CloakingError(f"max_workers must be >= 1, got {max_workers}")
+        self._max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._engines = threading.local()
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def _worker_engine(self) -> ReverseCloakEngine:
+        engine = getattr(self._engines, "engine", None)
+        if engine is None:
+            engine = self.spec.build_engine()
+            self._engines.engine = engine
+        return engine
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="reversecloak-serve",
+                )
+            return self._pool
+
+    def cloak_batch(
+        self, snapshot: PopulationSnapshot, requests: Sequence[CloakRequest]
+    ) -> List[BatchOutcome]:
+        if not requests:
+            return []
+        include_hints = self.spec.include_hints
+        pool = self._ensure_pool()
+        return list(
+            pool.map(
+                lambda request: _serve_outcome(
+                    self._worker_engine(), snapshot, request, include_hints
+                ),
+                requests,
+            )
+        )
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+# ----------------------------------------------------------------------
+# process-pool backend
+# ----------------------------------------------------------------------
+#: Chunk reply meaning "this worker has not seen the batch's snapshot yet";
+#: the parent re-submits the chunk with the snapshot document attached.
+_NEED_SNAPSHOT = "__need_snapshot__"
+
+#: Per-process worker state, populated by :func:`_worker_init` (one engine
+#: per worker process, plus the cache of the last snapshot it deserialized).
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(
+    network_blob: str, algorithm_name: str, params_blob: str, include_hints: bool
+) -> None:
+    """Process-pool worker initializer (module-level: ``spawn`` pickles the
+    function by qualified name). Rebuilds the engine from wire documents —
+    the worker never shares live objects with the parent."""
+    network = network_from_dict(json.loads(network_blob))
+    algorithm = algorithm_from_spec(network, algorithm_name, json.loads(params_blob))
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(
+        engine=ReverseCloakEngine(network, algorithm),
+        include_hints=include_hints,
+        snapshot_token=None,
+        snapshot=None,
+    )
+
+
+def _worker_serve_chunk(
+    snapshot_token: int,
+    snapshot_blob: Optional[str],
+    request_docs: Tuple[dict, ...],
+):
+    """Serve one chunk of wire request documents inside a worker process.
+
+    Returns outcome documents (plain dicts) in chunk order, or the
+    :data:`_NEED_SNAPSHOT` sentinel when the worker's cached snapshot is
+    stale and the chunk carried no snapshot document. Expected serving
+    failures become error outcomes; anything else propagates and surfaces
+    in the parent.
+    """
+    state = _WORKER_STATE
+    if state.get("snapshot_token") != snapshot_token:
+        if snapshot_blob is None:
+            return _NEED_SNAPSHOT
+        state["snapshot"] = snapshot_from_dict(json.loads(snapshot_blob))
+        state["snapshot_token"] = snapshot_token
+    snapshot = state["snapshot"]
+    engine = state["engine"]
+    include_hints = state["include_hints"]
+    outcomes = []
+    for request_doc in request_docs:
+        doc = CloakRequestDoc.from_dict(request_doc)
+        try:
+            envelope = engine.anonymize(
+                doc.user_segment,
+                snapshot,
+                doc.profile,
+                doc.chain,
+                include_hints=include_hints,
+            )
+        except CloakingError as exc:
+            outcomes.append(OutcomeDoc.from_exception(exc).to_dict())
+        else:
+            outcomes.append(OutcomeDoc.from_envelope(envelope).to_dict())
+    return outcomes
+
+
+def _worker_main(
+    connection,
+    network_blob: str,
+    algorithm_name: str,
+    params_blob: str,
+    include_hints: bool,
+) -> None:
+    """The serve loop of one sharded worker process.
+
+    Module-level so the ``spawn`` start method can import it by qualified
+    name. The worker rebuilds its engine from the wire documents it was
+    started with, then answers ``(token, snapshot_blob, request_docs)``
+    messages on its dedicated pipe until it receives ``None``. Replies are
+    ``("ok", outcome_docs)``, ``("ok", _NEED_SNAPSHOT)`` for a stale
+    snapshot cache, or ``("raise", exception)`` for unexpected failures
+    (re-raised in the parent).
+    """
+    _worker_init(network_blob, algorithm_name, params_blob, include_hints)
+    while True:
+        message = connection.recv()
+        if message is None:
+            break
+        token, snapshot_blob, request_docs = message
+        try:
+            reply = _worker_serve_chunk(token, snapshot_blob, request_docs)
+        except BaseException as exc:  # ship unexpected failures to the parent
+            try:
+                connection.send(("raise", exc))
+            except Exception:
+                connection.send(
+                    ("raise", RuntimeError(f"worker failure: {exc!r}"))
+                )
+        else:
+            connection.send(("ok", reply))
+    connection.close()
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Serve batches across N sharded worker processes, one engine each.
+
+    The workers are dedicated processes on private pipes (not a task
+    queue): the parent splits every batch into one contiguous chunk per
+    worker, writes each chunk to its worker, and reads the replies back —
+    no shared queues, no management threads, so the per-batch dispatch
+    overhead stays flat as workers are added.
+
+    Everything crossing the process boundary is a wire document:
+
+    * at start-up each worker rebuilds the road network and algorithm from
+      their serialized forms (:func:`_worker_init`);
+    * per batch, the snapshot ships as a counts document under a
+      monotonically increasing token — workers cache the parsed snapshot
+      by token, so a steady stream of batches against one snapshot pays
+      the (de)serialization once per worker, not once per batch;
+    * requests ship as :class:`~repro.lbs.wire.CloakRequestDoc` dicts with
+      the user already resolved to a segment (the parent holds the
+      user-to-segment map; workers only ever need counts), and results
+      return as :class:`~repro.lbs.wire.OutcomeDoc` dicts.
+
+    Wire documents round-trip exactly, so the envelopes a worker produces
+    are byte-identical to inline serving — asserted by the backend tests.
+
+    Batches are dispatched one at a time (a lock serializes
+    :meth:`cloak_batch` callers); parallelism lives *inside* a batch.
+
+    Args:
+        max_workers: Number of worker processes; ``None`` picks
+            ``min(4, cpu_count)``.
+        start_method: ``multiprocessing`` start method (``"fork"``,
+            ``"spawn"``, ``"forkserver"``); ``None`` uses the platform
+            default. Everything shipped to workers is picklable under
+            ``spawn``, so macOS/Windows semantics are covered.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise CloakingError(f"max_workers must be >= 1, got {max_workers}")
+        self._max_workers = max_workers or min(4, os.cpu_count() or 1)
+        self._start_method = start_method
+        self._dispatch_lock = threading.Lock()
+        self._workers: List = []  # [(Process, Connection)]
+        # Snapshot shipping state: one token per distinct snapshot object,
+        # blob serialized once; workers that have not seen the batch's
+        # token answer _NEED_SNAPSHOT and get a resend with the blob.
+        self._snapshot_token = 0
+        self._snapshot_seen: Optional[PopulationSnapshot] = None
+        self._snapshot_blob: Optional[str] = None
+        self._cold_token = True
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def _ensure_workers(self) -> List:
+        """Spawn the worker shards on first use (dispatch lock held)."""
+        if not self._workers:
+            import multiprocessing
+
+            context = multiprocessing.get_context(self._start_method)
+            spec = self.spec
+            init_args = (
+                json.dumps(network_to_dict(spec.network)),
+                spec.algorithm.name,
+                json.dumps(spec.algorithm.params()),
+                spec.include_hints,
+            )
+            for _ in range(self._max_workers):
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_end,) + init_args,
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                self._workers.append((process, parent_end))
+        return self._workers
+
+    def _snapshot_wire(self, snapshot: PopulationSnapshot) -> Tuple[int, str]:
+        """The (token, counts blob) of ``snapshot``, serialized once per
+        distinct snapshot object (snapshots are immutable)."""
+        if snapshot is not self._snapshot_seen:
+            self._snapshot_token += 1
+            self._snapshot_seen = snapshot
+            self._snapshot_blob = json.dumps(
+                snapshot_to_dict(snapshot, counts_only=True)
+            )
+            self._cold_token = True
+        return self._snapshot_token, self._snapshot_blob
+
+    def cloak_batch(
+        self, snapshot: PopulationSnapshot, requests: Sequence[CloakRequest]
+    ) -> List[BatchOutcome]:
+        if not requests:
+            return []
+        # Resolve users up front (the parent holds the full snapshot) so
+        # workers need only counts; unknown users fail here, in place,
+        # exactly like inline serving.
+        outcomes: List[Optional[BatchOutcome]] = [None] * len(requests)
+        chunk_docs: List[dict] = []
+        chunk_positions: List[int] = []
+        for position, request in enumerate(requests):
+            if not snapshot.has_user(request.user_id):
+                outcomes[position] = BatchOutcome(
+                    request=request,
+                    error=MobilityError(
+                        f"user {request.user_id} is not in the current snapshot"
+                    ),
+                )
+                continue
+            doc = CloakRequestDoc.from_request(
+                request, user_segment=snapshot.segment_of(request.user_id)
+            )
+            chunk_docs.append(doc.to_dict())
+            chunk_positions.append(position)
+
+        if chunk_docs:
+            with self._dispatch_lock:
+                replies = self._dispatch(snapshot, chunk_docs)
+            cursor = 0
+            failure: Optional[BaseException] = None
+            for reply in replies:
+                outcome_doc = OutcomeDoc.from_dict(reply)
+                position = chunk_positions[cursor]
+                cursor += 1
+                request = requests[position]
+                if outcome_doc.ok:
+                    outcomes[position] = BatchOutcome(
+                        request=request, envelope=outcome_doc.envelope
+                    )
+                else:
+                    error = outcome_doc.to_exception()
+                    if not isinstance(error, (CloakingError, MobilityError)):
+                        failure = failure or error
+                        continue
+                    outcomes[position] = BatchOutcome(request=request, error=error)
+            if failure is not None:
+                raise failure
+        return list(outcomes)  # type: ignore[arg-type]
+
+    def _dispatch(
+        self, snapshot: PopulationSnapshot, chunk_docs: List[dict]
+    ) -> List[dict]:
+        """Fan the batch out to the worker shards; replies in batch order.
+
+        Dispatch lock held. A worker answering :data:`_NEED_SNAPSHOT` gets
+        its chunk once more with the snapshot document attached. Failures a
+        worker *reports* (``("raise", exc)``) keep the pipes aligned — the
+        other replies are drained before re-raising; a *transport* failure
+        (dead worker, broken pipe) tears the whole pool down instead, so a
+        retried batch starts against fresh, message-aligned workers rather
+        than reading the dead batch's leftover replies.
+        """
+        workers = self._ensure_workers()
+        token, blob = self._snapshot_wire(snapshot)
+        ship_blob = blob if self._cold_token else None
+        chunks = self._chunk(chunk_docs)
+        used = workers[: len(chunks)]
+        replies: List[dict] = []
+        failure: Optional[BaseException] = None
+        try:
+            for (_process, connection), chunk in zip(used, chunks):
+                connection.send((token, ship_blob, tuple(chunk)))
+            for (_process, connection), chunk in zip(used, chunks):
+                kind, payload = connection.recv()
+                if kind == "ok" and payload == _NEED_SNAPSHOT:
+                    connection.send((token, blob, tuple(chunk)))
+                    kind, payload = connection.recv()
+                if kind == "raise":
+                    # Remember the first failure but keep draining the
+                    # other workers' replies so the pipes stay aligned.
+                    failure = failure or payload
+                    continue
+                replies.extend(payload)
+        except BaseException:
+            self._teardown_workers()
+            raise
+        if failure is not None:
+            raise failure
+        self._cold_token = False
+        return replies
+
+    def _chunk(self, docs: List[dict]) -> List[List[dict]]:
+        """Split the batch into one contiguous chunk per worker."""
+        workers = min(self._max_workers, len(docs))
+        base, extra = divmod(len(docs), workers)
+        chunks: List[List[dict]] = []
+        start = 0
+        for index in range(workers):
+            size = base + (1 if index < extra else 0)
+            chunks.append(docs[start : start + size])
+            start += size
+        return chunks
+
+    def _teardown_workers(self) -> None:
+        """Shut every worker down and reset snapshot-shipping state
+        (dispatch lock held). The next batch spawns a fresh pool."""
+        for process, connection in self._workers:
+            try:
+                connection.send(None)
+            except (OSError, ValueError):
+                pass
+        for process, connection in self._workers:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5)
+            connection.close()
+        self._workers.clear()
+        self._snapshot_seen = None
+        self._snapshot_blob = None
+        self._cold_token = True
+
+    def close(self) -> None:
+        with self._dispatch_lock:
+            self._teardown_workers()

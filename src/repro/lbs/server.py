@@ -1,96 +1,48 @@
-"""The trusted anonymization server.
+"""The trusted anonymization server (deprecated shim).
 
-Paper, Section II-B: *"a trusted anonymizer obtains the raw location
-information from the mobile clients with the user-defined profile"* and,
-Section IV, the Anonymizer GUI *"sends the parameters and access keys to a
-trusted anonymization server"*.
+:class:`TrustedAnonymizer` was the serving surface up to PR 2. The serving
+layer has since been redesigned around a transport-neutral protocol
+(:mod:`repro.lbs.wire`) and pluggable execution backends
+(:mod:`repro.lbs.backends`), fronted by
+:class:`~repro.lbs.service.AnonymizerService` — use that directly in new
+code; it adds the server-side ``deanonymize`` endpoint, the raw-document
+``handle`` entry point, and backend selection (inline / thread pool /
+sharded process pool).
 
-:class:`TrustedAnonymizer` is that component: it holds the road map and the
-live population snapshot, accepts cloaking requests (raw segment + profile +
-keys), runs the engine, and hands back the envelope. It retains *no*
-per-request state — the defining advantage over the mapping-store baseline —
-apart from optional bookkeeping counters used by experiments.
-
-Concurrency model: the server is thread-safe. :meth:`cloak_batch` serves a
-whole batch of requests across a thread pool — each worker thread reuses
-its own :class:`~repro.core.engine.ReverseCloakEngine` (engines hold only
-immutable shared structures: the network, the algorithm and its
-pre-assignment tables) and every request in a batch is cloaked against the
-*same* population snapshot, captured once when the batch starts, so a
-concurrent :meth:`update_snapshot` never tears a batch. The bookkeeping
-counters are guarded by a lock — unguarded ``+= 1`` under concurrent
-serving loses increments (the read-modify-write races), which this class
-used to do.
+This module keeps the old class as a thin delegating shim with the exact
+PR 2 signatures and counter semantics, emitting a :class:`DeprecationWarning`
+at construction. ``CloakRequest`` and ``BatchOutcome`` now live in
+:mod:`repro.lbs.wire` and :mod:`repro.lbs.backends` respectively and are
+re-exported here unchanged.
 """
 
 from __future__ import annotations
 
 import os
-import threading
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+import warnings
 from typing import List, Optional, Sequence
 
 from ..core.algorithm import CloakingAlgorithm
 from ..core.engine import ReverseCloakEngine
 from ..core.envelope import CloakEnvelope
 from ..core.profile import PrivacyProfile
-from ..errors import CloakingError, MobilityError
 from ..keys.keys import KeyChain
 from ..mobility.snapshot import PopulationSnapshot
 from ..roadnet.graph import RoadNetwork
+from .backends import BatchOutcome
+from .service import AnonymizerService
+from .wire import CloakRequest
 
 __all__ = ["CloakRequest", "BatchOutcome", "TrustedAnonymizer"]
 
 
-@dataclass(frozen=True)
-class CloakRequest:
-    """One mobile client's anonymization request.
-
-    Attributes:
-        user_id: The requesting user (must be present in the snapshot).
-        profile: The user-defined multi-level privacy profile.
-        chain: The user's per-level access keys (kept client-side after the
-            request; the server uses them only to drive the expansion).
-    """
-
-    user_id: int
-    profile: PrivacyProfile
-    chain: KeyChain
-
-
-@dataclass(frozen=True)
-class BatchOutcome:
-    """The result of one request inside a :meth:`TrustedAnonymizer.cloak_batch`.
-
-    Exactly one of :attr:`envelope` / :attr:`error` is set. Batch serving
-    never lets one failing request abort its siblings; the error object is
-    returned in place so the caller can retry or report per request.
-
-    Attributes:
-        request: The request this outcome answers (same position as in the
-            submitted batch).
-        envelope: The cloaked envelope on success.
-        error: The :class:`~repro.errors.CloakingError` or
-            :class:`~repro.errors.MobilityError` the request failed with.
-    """
-
-    request: CloakRequest
-    envelope: Optional[CloakEnvelope] = None
-    error: Optional[Exception] = None
-
-    @property
-    def ok(self) -> bool:
-        return self.envelope is not None
-
-
 class TrustedAnonymizer:
-    """The anonymization service of the ReverseCloak deployment.
+    """Deprecated facade over :class:`~repro.lbs.service.AnonymizerService`.
 
-    Args:
-        network: The shared road map.
-        algorithm: Cloaking algorithm (defaults to RGE inside the engine).
-        include_hints: Produce sealed-hint envelopes (decision D1).
+    Identical constructor and method signatures to the PR 2 class; every
+    call delegates to an internal service configured the same way. New code
+    should construct :class:`AnonymizerService` directly (and pick an
+    execution backend).
     """
 
     def __init__(
@@ -99,182 +51,51 @@ class TrustedAnonymizer:
         algorithm: Optional[CloakingAlgorithm] = None,
         include_hints: bool = True,
     ) -> None:
-        self._network = network
-        self._engine = ReverseCloakEngine(network, algorithm)
-        self._include_hints = include_hints
-        self._snapshot: Optional[PopulationSnapshot] = None
-        # Counter lock: cloak()/cloak_batch() run concurrently and bare
-        # ``+= 1`` would drop increments under that interleaving.
-        self._counter_lock = threading.Lock()
-        self._requests_served = 0
-        self._failures = 0
-        # One engine per worker thread (created lazily on first use).
-        # Reuse spans the many requests a worker serves within a batch —
-        # pools are per-call, so their threads (and these engines) end with
-        # the batch; engines are cheap to build (the network digest and
-        # pre-assignment tables are cached process-wide).
-        self._worker_engines = threading.local()
+        warnings.warn(
+            "TrustedAnonymizer is deprecated; use "
+            "repro.lbs.AnonymizerService (same behaviour, plus the "
+            "deanonymize endpoint and pluggable execution backends)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._service = AnonymizerService(
+            network, algorithm, include_hints=include_hints
+        )
+
+    @property
+    def service(self) -> AnonymizerService:
+        """The underlying service (migration escape hatch)."""
+        return self._service
 
     @property
     def engine(self) -> ReverseCloakEngine:
-        return self._engine
+        return self._service.engine
 
     @property
     def requests_served(self) -> int:
-        with self._counter_lock:
-            return self._requests_served
+        return self._service.requests_served
 
     @property
     def failures(self) -> int:
-        with self._counter_lock:
-            return self._failures
+        return self._service.failures
 
     def update_snapshot(self, snapshot: PopulationSnapshot) -> None:
-        """Install the current population snapshot (called per tick by the
-        deployment; the anonymizer never looks at stale positions).
+        self._service.update_snapshot(snapshot)
 
-        Snapshots are immutable; in-flight batches keep serving against the
-        snapshot they captured at submission.
-        """
-        self._snapshot = snapshot
-
-    # ------------------------------------------------------------------
-    # single-request serving
-    # ------------------------------------------------------------------
     def cloak(self, request: CloakRequest) -> CloakEnvelope:
-        """Serve one anonymization request.
-
-        Looks up the user's current segment in the snapshot, expands per the
-        profile, and returns the envelope. Raw location is used transiently
-        and not retained.
-        """
-        snapshot = self._snapshot
-        if snapshot is None:
-            raise MobilityError("anonymizer has no population snapshot")
-        return self._serve(self._engine, snapshot, request)
+        return self._service.cloak(request)
 
     def cloak_segment(
         self, user_segment: int, profile: PrivacyProfile, chain: KeyChain
     ) -> CloakEnvelope:
-        """Cloak an explicit segment (bypasses the user lookup; used by
-        experiments that sweep positions directly)."""
-        snapshot = self._snapshot
-        if snapshot is None:
-            raise MobilityError("anonymizer has no population snapshot")
-        try:
-            envelope = self._engine.anonymize(
-                user_segment,
-                snapshot,
-                profile,
-                chain,
-                include_hints=self._include_hints,
-            )
-        except CloakingError:
-            self._count_failure()
-            raise
-        self._count_served()
-        return envelope
+        return self._service.cloak_segment(user_segment, profile, chain)
 
-    # ------------------------------------------------------------------
-    # batch serving
-    # ------------------------------------------------------------------
     def cloak_batch(
         self,
         requests: Sequence[CloakRequest],
         max_workers: Optional[int] = None,
     ) -> List[BatchOutcome]:
-        """Serve a batch of requests, optionally across a thread pool.
-
-        Every request is cloaked against the snapshot installed when the
-        batch starts (one immutable capture for the whole batch), and each
-        worker thread reuses one thread-local engine over the shared
-        network/algorithm for all the requests it serves. Outcomes come
-        back in request order; a failing request yields a
-        :class:`BatchOutcome` with its error instead of aborting the batch.
-
-        Args:
-            requests: The batch, served in order.
-            max_workers: Thread-pool width. ``None`` picks
-                ``min(8, cpu_count, len(requests))``; ``1`` serves the batch
-                inline on the calling thread (no pool).
-
-        Raises:
-            MobilityError: No snapshot is installed.
-        """
-        snapshot = self._snapshot
-        if snapshot is None:
-            raise MobilityError("anonymizer has no population snapshot")
-        if not requests:
-            return []
         if max_workers is None:
-            max_workers = min(8, os.cpu_count() or 1, len(requests))
-        if max_workers <= 1:
-            engine = self._engine
-            return [self._serve_outcome(engine, snapshot, r) for r in requests]
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(
-                pool.map(
-                    lambda request: self._serve_outcome(
-                        self._worker_engine(), snapshot, request
-                    ),
-                    requests,
-                )
-            )
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-    def _worker_engine(self) -> ReverseCloakEngine:
-        """This thread's engine (lazily built, reused for every request
-        the thread serves while its pool lives)."""
-        engine = getattr(self._worker_engines, "engine", None)
-        if engine is None:
-            engine = ReverseCloakEngine(self._network, self._engine.algorithm)
-            self._worker_engines.engine = engine
-        return engine
-
-    def _serve(
-        self,
-        engine: ReverseCloakEngine,
-        snapshot: PopulationSnapshot,
-        request: CloakRequest,
-    ) -> CloakEnvelope:
-        """One request against a pinned (engine, snapshot) pair."""
-        if not snapshot.has_user(request.user_id):
-            raise MobilityError(
-                f"user {request.user_id} is not in the current snapshot"
-            )
-        user_segment = snapshot.segment_of(request.user_id)
-        try:
-            envelope = engine.anonymize(
-                user_segment,
-                snapshot,
-                request.profile,
-                request.chain,
-                include_hints=self._include_hints,
-            )
-        except CloakingError:
-            self._count_failure()
-            raise
-        self._count_served()
-        return envelope
-
-    def _serve_outcome(
-        self,
-        engine: ReverseCloakEngine,
-        snapshot: PopulationSnapshot,
-        request: CloakRequest,
-    ) -> BatchOutcome:
-        try:
-            envelope = self._serve(engine, snapshot, request)
-        except (CloakingError, MobilityError) as exc:
-            return BatchOutcome(request=request, error=exc)
-        return BatchOutcome(request=request, envelope=envelope)
-
-    def _count_served(self) -> None:
-        with self._counter_lock:
-            self._requests_served += 1
-
-    def _count_failure(self) -> None:
-        with self._counter_lock:
-            self._failures += 1
+            # The PR 2 default: size the pool to the batch, capped at 8.
+            max_workers = min(8, os.cpu_count() or 1, max(1, len(requests)))
+        return self._service.cloak_batch(requests, max_workers=max_workers)

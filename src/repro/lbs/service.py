@@ -1,0 +1,381 @@
+"""The anonymization service facade.
+
+Paper, Section II-B: *"a trusted anonymizer obtains the raw location
+information from the mobile clients with the user-defined profile"*, and
+Section IV's deployment adds the symmetric server-side capability — the
+anonymizer also answers de-anonymization requests from key-holding
+requesters.
+
+:class:`AnonymizerService` is that component, redesigned around two seams:
+
+* **the wire protocol** (:mod:`repro.lbs.wire`) — every entry point has a
+  transport-neutral twin: :meth:`handle` accepts a raw request document
+  and returns an outcome document, so an HTTP/gRPC/queue front-end needs
+  zero knowledge of domain objects;
+* **the execution backend** (:mod:`repro.lbs.backends`) — where batch
+  cloaking work runs (inline, thread pool, sharded process pool) is a
+  constructor choice, not a code path.
+
+The service retains *no* per-request state — the defining advantage over
+the mapping-store baseline — apart from lock-guarded bookkeeping counters
+used by experiments. It is thread-safe: batches are pinned to the snapshot
+installed when they start, and a concurrent :meth:`update_snapshot` never
+tears a batch.
+
+:class:`~repro.lbs.server.TrustedAnonymizer` remains as a deprecated thin
+shim over this class.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.algorithm import CloakingAlgorithm
+from ..core.engine import DeanonymizationResult, ReverseCloakEngine
+from ..core.envelope import CloakEnvelope
+from ..core.profile import PrivacyProfile
+from ..errors import CloakingError, MobilityError, ReverseCloakError, WireFormatError
+from ..keys.keys import KeyChain
+from ..mobility.snapshot import PopulationSnapshot
+from ..roadnet.graph import RoadNetwork
+from .backends import (
+    BackendSpec,
+    BatchOutcome,
+    ExecutionBackend,
+    InlineBackend,
+    ThreadPoolBackend,
+    serve_request,
+)
+from .wire import (
+    CLOAK_REQUEST_FORMAT,
+    DEANONYMIZE_REQUEST_FORMAT,
+    CloakRequest,
+    CloakRequestDoc,
+    DeanonymizeRequestDoc,
+    OutcomeDoc,
+)
+
+__all__ = ["AnonymizerService"]
+
+
+class AnonymizerService:
+    """The anonymization service of the ReverseCloak deployment.
+
+    Args:
+        network: The shared road map.
+        algorithm: Cloaking algorithm (defaults to RGE inside the engine).
+        include_hints: Produce sealed-hint envelopes (decision D1).
+        backend: The :class:`~repro.lbs.backends.ExecutionBackend` batches
+            run on; defaults to :class:`~repro.lbs.backends.InlineBackend`.
+            The service binds (and, on :meth:`close`, releases) it.
+
+    Example:
+        >>> from repro import grid_network, PopulationSnapshot
+        >>> from repro import KeyChain, PrivacyProfile
+        >>> network = grid_network(6, 6)
+        >>> service = AnonymizerService(network)
+        >>> service.update_snapshot(PopulationSnapshot.from_counts(
+        ...     {sid: 2 for sid in network.segment_ids()}))
+        >>> profile = PrivacyProfile.uniform(levels=2, base_k=4, k_step=4,
+        ...                                  base_l=3, l_step=2,
+        ...                                  max_segments=30)
+        >>> chain = KeyChain.generate(profile.level_count)
+        >>> envelope = service.cloak_segment(30, profile, chain)
+        >>> service.deanonymize(envelope, chain, target_level=0).region_at(0)
+        (30,)
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        algorithm: Optional[CloakingAlgorithm] = None,
+        include_hints: bool = True,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> None:
+        self._network = network
+        self._engine = ReverseCloakEngine(network, algorithm)
+        self._include_hints = include_hints
+        self._spec = BackendSpec(
+            network=network,
+            algorithm=self._engine.algorithm,
+            include_hints=include_hints,
+        )
+        self._backend = backend if backend is not None else InlineBackend()
+        self._backend.bind(self._spec)
+        self._snapshot: Optional[PopulationSnapshot] = None
+        # Counter lock: cloak()/cloak_batch() run concurrently and bare
+        # ``+= 1`` would drop increments under that interleaving.
+        self._counter_lock = threading.Lock()
+        self._requests_served = 0
+        self._failures = 0
+        self._reversals_served = 0
+        # Legacy per-call ``max_workers`` widths get a cached thread
+        # backend each (the shim's cloak_batch signature), lazily built.
+        self._width_lock = threading.Lock()
+        self._width_backends: Dict[int, ExecutionBackend] = {}
+        # Reversal engines per algorithm spec seen in envelopes (RPLE
+        # pre-assignment is memoized process-wide, so these are cheap, but
+        # caching keeps repeated deanonymize calls allocation-free).
+        self._reversal_lock = threading.Lock()
+        self._reversal_engines: Dict[Tuple[str, str], ReverseCloakEngine] = {}
+
+    # ------------------------------------------------------------------
+    # configuration and bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    @property
+    def engine(self) -> ReverseCloakEngine:
+        return self._engine
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        return self._backend
+
+    @property
+    def include_hints(self) -> bool:
+        return self._include_hints
+
+    @property
+    def requests_served(self) -> int:
+        with self._counter_lock:
+            return self._requests_served
+
+    @property
+    def failures(self) -> int:
+        with self._counter_lock:
+            return self._failures
+
+    @property
+    def reversals_served(self) -> int:
+        with self._counter_lock:
+            return self._reversals_served
+
+    def update_snapshot(self, snapshot: PopulationSnapshot) -> None:
+        """Install the current population snapshot (called per tick by the
+        deployment; the anonymizer never looks at stale positions).
+
+        Snapshots are immutable; in-flight batches keep serving against the
+        snapshot they captured at submission.
+        """
+        self._snapshot = snapshot
+
+    def close(self) -> None:
+        """Release the backend's worker resources (idempotent)."""
+        self._backend.close()
+        with self._width_lock:
+            for backend in self._width_backends.values():
+                backend.close()
+            self._width_backends.clear()
+
+    def __enter__(self) -> "AnonymizerService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # cloaking
+    # ------------------------------------------------------------------
+    def cloak(self, request: CloakRequest) -> CloakEnvelope:
+        """Serve one anonymization request.
+
+        Looks up the user's current segment in the snapshot, expands per the
+        profile, and returns the envelope.
+        """
+        snapshot = self._require_snapshot()
+        try:
+            envelope = serve_request(
+                self._engine, snapshot, request, self._include_hints
+            )
+        except CloakingError:
+            self._count(failures=1)
+            raise
+        self._count(served=1)
+        return envelope
+
+    def cloak_segment(
+        self, user_segment: int, profile: PrivacyProfile, chain: KeyChain
+    ) -> CloakEnvelope:
+        """Cloak an explicit segment (bypasses the user lookup; used by
+        experiments that sweep positions directly)."""
+        snapshot = self._require_snapshot()
+        try:
+            envelope = self._engine.anonymize(
+                user_segment,
+                snapshot,
+                profile,
+                chain,
+                include_hints=self._include_hints,
+            )
+        except CloakingError:
+            self._count(failures=1)
+            raise
+        self._count(served=1)
+        return envelope
+
+    def cloak_batch(
+        self,
+        requests: Sequence[CloakRequest],
+        max_workers: Optional[int] = None,
+    ) -> List[BatchOutcome]:
+        """Serve a batch of requests on the execution backend.
+
+        Every request is cloaked against the snapshot installed when the
+        batch starts (one immutable capture for the whole batch). Outcomes
+        come back in request order; a request failing with a
+        :class:`~repro.errors.CloakingError` or
+        :class:`~repro.errors.MobilityError` yields a
+        :class:`BatchOutcome` carrying that error instead of aborting the
+        batch — any other exception propagates.
+
+        Args:
+            requests: The batch, served in order.
+            max_workers: ``None`` (the default) serves on the configured
+                backend. An explicit width overrides the backend for this
+                call with the legacy thread-pool semantics: ``1`` serves
+                inline on the calling thread, ``N > 1`` uses a cached
+                ``N``-wide thread pool.
+
+        Raises:
+            MobilityError: No snapshot is installed.
+        """
+        snapshot = self._require_snapshot()
+        if not requests:
+            return []
+        backend = (
+            self._backend if max_workers is None else self._width_backend(max_workers)
+        )
+        outcomes = backend.cloak_batch(snapshot, requests)
+        served = sum(1 for outcome in outcomes if outcome.ok)
+        cloak_failures = sum(
+            1 for outcome in outcomes if isinstance(outcome.error, CloakingError)
+        )
+        self._count(served=served, failures=cloak_failures)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # de-anonymization (server-side endpoint)
+    # ------------------------------------------------------------------
+    def deanonymize(
+        self,
+        envelope: CloakEnvelope,
+        keys,
+        target_level: int,
+        mode: str = "auto",
+    ) -> DeanonymizationResult:
+        """Peel ``envelope`` down to ``target_level`` for a key-holding
+        requester.
+
+        Drives :meth:`ReverseCloakEngine.for_envelope`: the reversal engine
+        is configured from the envelope's own algorithm metadata (cached per
+        algorithm spec), so the service can reverse envelopes produced with
+        any algorithm on this map — including by other anonymizer instances.
+        """
+        result = self._reversal_engine(envelope).deanonymize(
+            envelope, keys, target_level, mode=mode
+        )
+        self._count(reversals=1)
+        return result
+
+    def _reversal_engine(self, envelope: CloakEnvelope) -> ReverseCloakEngine:
+        if envelope.algorithm == self._engine.algorithm.name and (
+            envelope.algorithm_params == self._engine.algorithm.params()
+        ):
+            return self._engine
+        cache_key = (
+            envelope.algorithm,
+            json.dumps(envelope.algorithm_params, sort_keys=True),
+        )
+        with self._reversal_lock:
+            engine = self._reversal_engines.get(cache_key)
+            if engine is None:
+                engine = ReverseCloakEngine.for_envelope(self._network, envelope)
+                self._reversal_engines[cache_key] = engine
+            return engine
+
+    # ------------------------------------------------------------------
+    # transport-neutral entry point
+    # ------------------------------------------------------------------
+    def handle(self, document: dict) -> dict:
+        """Serve one raw wire document and return an outcome document.
+
+        Dispatches on the document's ``format`` tag
+        (:data:`~repro.lbs.wire.CLOAK_REQUEST_FORMAT` /
+        :data:`~repro.lbs.wire.DEANONYMIZE_REQUEST_FORMAT`). Every
+        :class:`~repro.errors.ReverseCloakError` — including malformed
+        documents — comes back as a structured error outcome; only
+        genuinely unexpected exceptions propagate. This is the single
+        method a transport adapter needs.
+        """
+        try:
+            kind = document.get("format") if isinstance(document, dict) else None
+            if kind == CLOAK_REQUEST_FORMAT:
+                request_doc = CloakRequestDoc.from_dict(document)
+                if request_doc.user_segment is not None:
+                    envelope = self.cloak_segment(
+                        request_doc.user_segment,
+                        request_doc.profile,
+                        request_doc.chain,
+                    )
+                else:
+                    envelope = self.cloak(request_doc.to_request())
+                return OutcomeDoc.from_envelope(envelope).to_dict()
+            if kind == DEANONYMIZE_REQUEST_FORMAT:
+                reversal_doc = DeanonymizeRequestDoc.from_dict(document)
+                result = self.deanonymize(
+                    reversal_doc.envelope,
+                    reversal_doc.key_map(),
+                    reversal_doc.target_level,
+                    mode=reversal_doc.mode,
+                )
+                return OutcomeDoc.from_result(result).to_dict()
+            raise WireFormatError(f"unknown document format: {kind!r}")
+        except ReverseCloakError as exc:
+            return OutcomeDoc.from_exception(exc).to_dict()
+
+    def handle_json(self, payload: str) -> str:
+        """:meth:`handle` over JSON strings (byte-transport adapters)."""
+        try:
+            document = json.loads(payload)
+        except ValueError as exc:
+            malformed = WireFormatError(f"request is not valid JSON: {exc}")
+            return OutcomeDoc.from_exception(malformed).to_json()
+        return json.dumps(self.handle(document), sort_keys=True)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _require_snapshot(self) -> PopulationSnapshot:
+        snapshot = self._snapshot
+        if snapshot is None:
+            raise MobilityError("anonymizer has no population snapshot")
+        return snapshot
+
+    def _width_backend(self, max_workers: int) -> ExecutionBackend:
+        """The cached legacy backend of an explicit ``max_workers`` width."""
+        if max_workers <= 1:
+            width = 1
+        else:
+            width = min(max_workers, 64)
+        with self._width_lock:
+            backend = self._width_backends.get(width)
+            if backend is None:
+                backend = (
+                    InlineBackend() if width == 1 else ThreadPoolBackend(width)
+                )
+                backend.bind(self._spec)
+                self._width_backends[width] = backend
+            return backend
+
+    def _count(
+        self, served: int = 0, failures: int = 0, reversals: int = 0
+    ) -> None:
+        with self._counter_lock:
+            self._requests_served += served
+            self._failures += failures
+            self._reversals_served += reversals

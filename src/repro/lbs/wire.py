@@ -1,0 +1,623 @@
+"""The transport-neutral wire protocol of the serving layer.
+
+The paper's deployment (Section II-B) is a client / anonymizer / LBS
+pipeline: cloaking and de-anonymization requests cross process and machine
+boundaries. This module defines the versioned, JSON-round-trippable
+documents those boundaries exchange, so any transport — an in-process call,
+a thread pool, a sharded process pool, an HTTP front-end — can carry the
+same requests and produce byte-identical results:
+
+* :class:`CloakRequestDoc` — one client's anonymization request (user id,
+  profile, per-level keys, optionally the pre-resolved segment),
+* :class:`DeanonymizeRequestDoc` — a requester's reversal request
+  (envelope, granted keys, target level, reversal mode),
+* :class:`OutcomeDoc` — the uniform response envelope: a success payload
+  (cloak envelope or recovered regions) *or* a structured error code.
+
+Every parser raises :class:`~repro.errors.WireFormatError` on a malformed
+document; serving surfaces map that to the stable error code
+``"malformed_document"``. Error codes are part of the protocol: they are
+stable strings (see :data:`ERROR_CODES`), never Python class names, so
+non-Python clients can switch on them and process-pool workers can ship
+failures back without pickling exception objects.
+
+Secrecy note: request documents necessarily carry key material (the
+anonymizer needs the keys to drive the expansion; that is the paper's trust
+model). They are wire forms for links *inside* the trusted perimeter —
+client to anonymizer, anonymizer to its workers — and must never be logged
+or published. Outcome documents carry no key material.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Type
+
+from ..core.engine import DeanonymizationResult
+from ..core.envelope import CloakEnvelope
+from ..core.profile import PrivacyProfile
+from ..errors import (
+    CloakingError,
+    CollisionError,
+    DeanonymizationError,
+    EnvelopeError,
+    FrontierExhaustedError,
+    KeyMismatchError,
+    MobilityError,
+    PreassignmentError,
+    ProfileError,
+    QueryError,
+    ReverseCloakError,
+    RoadNetworkError,
+    ToleranceExceededError,
+    WireFormatError,
+)
+from ..keys.keys import AccessKey, KeyChain
+from ..mobility.snapshot import PopulationSnapshot
+
+__all__ = [
+    "WIRE_VERSION",
+    "CLOAK_REQUEST_FORMAT",
+    "DEANONYMIZE_REQUEST_FORMAT",
+    "OUTCOME_FORMAT",
+    "SNAPSHOT_FORMAT",
+    "MALFORMED_DOCUMENT",
+    "ERROR_CODES",
+    "CloakRequest",
+    "CloakRequestDoc",
+    "DeanonymizeRequestDoc",
+    "OutcomeDoc",
+    "error_code_for",
+    "error_doc_for",
+    "exception_from_error_doc",
+    "snapshot_to_dict",
+    "snapshot_from_dict",
+]
+
+WIRE_VERSION = 1
+
+CLOAK_REQUEST_FORMAT = "repro.cloak_request"
+DEANONYMIZE_REQUEST_FORMAT = "repro.deanonymize_request"
+OUTCOME_FORMAT = "repro.outcome"
+SNAPSHOT_FORMAT = "repro.snapshot"
+
+#: The error code every malformed wire document maps to.
+MALFORMED_DOCUMENT = "malformed_document"
+
+
+@dataclass(frozen=True)
+class CloakRequest:
+    """One mobile client's anonymization request.
+
+    Attributes:
+        user_id: The requesting user (must be present in the snapshot).
+        profile: The user-defined multi-level privacy profile.
+        chain: The user's per-level access keys (kept client-side after the
+            request; the server uses them only to drive the expansion).
+    """
+
+    user_id: int
+    profile: PrivacyProfile
+    chain: KeyChain
+
+
+def _require(document, kind: str) -> dict:
+    """Common envelope of every wire parser: dict, format tag, version."""
+    if not isinstance(document, dict):
+        raise WireFormatError(
+            f"{kind} document must be a dict, got {type(document).__name__}"
+        )
+    if document.get("format") != kind:
+        raise WireFormatError(
+            f"not a {kind} document (format={document.get('format')!r})"
+        )
+    if document.get("version") != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported {kind} version: {document.get('version')!r}"
+        )
+    return document
+
+
+def _parse(kind: str, what: str, thunk):
+    """Run a field parser, mapping any structural failure to WireFormatError."""
+    try:
+        return thunk()
+    except WireFormatError:
+        raise
+    except (
+        ReverseCloakError,
+        AttributeError,
+        KeyError,
+        TypeError,
+        ValueError,
+    ) as exc:
+        raise WireFormatError(f"malformed {kind}: bad {what}: {exc}") from None
+
+
+#: Parsed-profile memo keyed by canonical JSON. Real workloads draw
+#: profiles from a handful of presets, so batch serving parses each
+#: distinct profile document once instead of once per request; profiles
+#: are immutable, so sharing instances is safe.
+_PROFILE_CACHE: Dict[str, PrivacyProfile] = {}
+_PROFILE_CACHE_CAP = 256
+
+
+def _cached_profile(document) -> PrivacyProfile:
+    try:
+        key = json.dumps(document, sort_keys=True)
+    except (TypeError, ValueError):
+        return PrivacyProfile.from_dict(document)  # unhashable junk: let it fail there
+    profile = _PROFILE_CACHE.get(key)
+    if profile is None:
+        if len(_PROFILE_CACHE) >= _PROFILE_CACHE_CAP:
+            _PROFILE_CACHE.clear()
+        profile = PrivacyProfile.from_dict(document)
+        _PROFILE_CACHE[key] = profile
+    return profile
+
+
+# ----------------------------------------------------------------------
+# requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CloakRequestDoc:
+    """The wire form of a :class:`CloakRequest`.
+
+    Attributes:
+        user_id: The requesting user.
+        profile: The multi-level privacy profile.
+        chain: The per-level access keys.
+        user_segment: The user's segment, when the front-end already
+            resolved it against the serving snapshot (execution backends do
+            this so workers need only population *counts*, not the full
+            user-to-segment map). ``None`` means the server must look the
+            user up itself.
+    """
+
+    user_id: int
+    profile: PrivacyProfile
+    chain: KeyChain
+    user_segment: Optional[int] = None
+
+    @classmethod
+    def from_request(
+        cls, request: CloakRequest, user_segment: Optional[int] = None
+    ) -> "CloakRequestDoc":
+        return cls(
+            user_id=request.user_id,
+            profile=request.profile,
+            chain=request.chain,
+            user_segment=user_segment,
+        )
+
+    def to_request(self) -> CloakRequest:
+        return CloakRequest(
+            user_id=self.user_id, profile=self.profile, chain=self.chain
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "format": CLOAK_REQUEST_FORMAT,
+            "version": WIRE_VERSION,
+            "user_id": self.user_id,
+            "profile": self.profile.to_dict(),
+            "chain": self.chain.to_dict(),
+            "user_segment": self.user_segment,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "CloakRequestDoc":
+        document = _require(document, CLOAK_REQUEST_FORMAT)
+        # Flat try/except (no per-field closures): this parser sits on the
+        # batch-serving hot path of the process-pool workers.
+        try:
+            user_id = int(document["user_id"])
+            profile = _cached_profile(document["profile"])
+            chain = KeyChain.from_dict(document["chain"])
+            segment = document.get("user_segment")
+            user_segment = None if segment is None else int(segment)
+        except WireFormatError:
+            raise
+        except (
+            ReverseCloakError,
+            AttributeError,
+            KeyError,
+            TypeError,
+            ValueError,
+        ) as exc:
+            raise WireFormatError(
+                f"malformed {CLOAK_REQUEST_FORMAT}: {exc}"
+            ) from None
+        return cls(
+            user_id=user_id, profile=profile, chain=chain, user_segment=user_segment
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "CloakRequestDoc":
+        try:
+            document = json.loads(payload)
+        except ValueError as exc:
+            raise WireFormatError(f"cloak request is not valid JSON: {exc}") from None
+        return cls.from_dict(document)
+
+
+@dataclass(frozen=True)
+class DeanonymizeRequestDoc:
+    """The wire form of a server-side de-anonymization request.
+
+    Attributes:
+        envelope: The published cloak to peel.
+        keys: The requester's granted keys (typically a
+            :meth:`~repro.keys.access_control.KeyGrant` suffix).
+        target_level: The lowest level to recover.
+        mode: ``"auto"``, ``"hint"``, or ``"search"``.
+    """
+
+    envelope: CloakEnvelope
+    keys: Tuple[AccessKey, ...]
+    target_level: int
+    mode: str = "auto"
+
+    def key_map(self) -> Dict[int, AccessKey]:
+        return {key.level: key for key in self.keys}
+
+    def to_dict(self) -> dict:
+        return {
+            "format": DEANONYMIZE_REQUEST_FORMAT,
+            "version": WIRE_VERSION,
+            "envelope": self.envelope.to_dict(),
+            "keys": [key.to_dict() for key in self.keys],
+            "target_level": self.target_level,
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "DeanonymizeRequestDoc":
+        document = _require(document, DEANONYMIZE_REQUEST_FORMAT)
+        kind = DEANONYMIZE_REQUEST_FORMAT
+        envelope = _parse(
+            kind, "envelope", lambda: CloakEnvelope.from_dict(document["envelope"])
+        )
+        keys = _parse(
+            kind,
+            "keys",
+            lambda: tuple(AccessKey.from_dict(item) for item in document["keys"]),
+        )
+        target_level = _parse(
+            kind, "target_level", lambda: int(document["target_level"])
+        )
+        mode = str(document.get("mode", "auto"))
+        return cls(envelope=envelope, keys=keys, target_level=target_level, mode=mode)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "DeanonymizeRequestDoc":
+        try:
+            document = json.loads(payload)
+        except ValueError as exc:
+            raise WireFormatError(
+                f"deanonymize request is not valid JSON: {exc}"
+            ) from None
+        return cls.from_dict(document)
+
+
+# ----------------------------------------------------------------------
+# error codes
+# ----------------------------------------------------------------------
+#: Stable protocol error codes, most-derived exception first. The order is
+#: the dispatch order of :func:`error_code_for`, so a subclass must appear
+#: before every one of its bases.
+ERROR_CODES: Tuple[Tuple[Type[ReverseCloakError], str], ...] = (
+    (WireFormatError, MALFORMED_DOCUMENT),
+    (ToleranceExceededError, "tolerance_exceeded"),
+    (FrontierExhaustedError, "frontier_exhausted"),
+    (CollisionError, "reversal_collision"),
+    (KeyMismatchError, "key_mismatch"),
+    (EnvelopeError, "malformed_envelope"),
+    (ProfileError, "invalid_profile"),
+    (PreassignmentError, "preassignment_failed"),
+    (CloakingError, "cloaking_failed"),
+    (DeanonymizationError, "deanonymization_failed"),
+    (MobilityError, "mobility_unavailable"),
+    (QueryError, "query_failed"),
+    (RoadNetworkError, "road_network_error"),
+    (ReverseCloakError, "internal_error"),
+)
+
+_CODE_TO_CLASS: Dict[str, Type[ReverseCloakError]] = {}
+for _cls, _code in ERROR_CODES:
+    _CODE_TO_CLASS.setdefault(_code, _cls)
+
+
+def error_code_for(exc: BaseException) -> str:
+    """The stable protocol code of ``exc`` (``"internal_error"`` fallback)."""
+    for cls, code in ERROR_CODES:
+        if isinstance(exc, cls):
+            return code
+    return "internal_error"
+
+
+def error_doc_for(exc: BaseException) -> dict:
+    """The structured error payload of an :class:`OutcomeDoc`.
+
+    Carries the code, the human-readable message, and — for the error types
+    whose constructors take structured arguments — enough detail to rebuild
+    an equivalent exception on the other side of the wire.
+    """
+    details: dict = {}
+    if isinstance(exc, ToleranceExceededError):
+        details = {"level": exc.level, "detail": exc.detail}
+    elif isinstance(exc, FrontierExhaustedError):
+        details = {"level": exc.level}
+    elif isinstance(exc, CollisionError):
+        details = {"level": exc.level, "hypotheses": exc.hypotheses}
+    doc = {"code": error_code_for(exc), "message": str(exc)}
+    if details:
+        doc["details"] = details
+    return doc
+
+
+#: Fallback classes for the parameterised codes: their constructors take
+#: structured arguments, so a detail-less payload reconstructs as the
+#: nearest message-only base instead (still catchable the same way).
+_MESSAGE_ONLY_FALLBACK: Dict[str, Type[ReverseCloakError]] = {
+    "tolerance_exceeded": CloakingError,
+    "frontier_exhausted": CloakingError,
+    "reversal_collision": DeanonymizationError,
+}
+
+
+def exception_from_error_doc(document: dict) -> ReverseCloakError:
+    """Rebuild the typed exception an error payload describes.
+
+    The reconstruction preserves the exception *type* (so callers can keep
+    using ``except CloakingError`` across a process boundary) and the
+    structured attributes of the parameterised types. A parameterised code
+    arriving without usable details (e.g. from a non-Python client)
+    degrades to the nearest message-only base class rather than failing.
+    """
+    if not isinstance(document, dict) or "code" not in document:
+        raise WireFormatError("error payload must be a dict with a 'code'")
+    code = str(document["code"])
+    message = str(document.get("message", code))
+    details = document.get("details") or {}
+    try:
+        if code == "tolerance_exceeded":
+            return ToleranceExceededError(int(details["level"]), str(details["detail"]))
+        if code == "frontier_exhausted":
+            return FrontierExhaustedError(int(details["level"]))
+        if code == "reversal_collision":
+            return CollisionError(int(details["level"]), int(details["hypotheses"]))
+    except (KeyError, TypeError, ValueError):
+        pass  # detail-less variants degrade to the message-only fallback
+    cls = _MESSAGE_ONLY_FALLBACK.get(code) or _CODE_TO_CLASS.get(
+        code, ReverseCloakError
+    )
+    return cls(message)
+
+
+# ----------------------------------------------------------------------
+# outcomes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OutcomeDoc:
+    """The uniform serving response: success payload or structured error.
+
+    Exactly one of the three payload shapes is present:
+
+    * ``envelope`` — a cloaking success,
+    * ``result`` — a de-anonymization success,
+    * ``error_code``/``error_message`` — a structured failure.
+    """
+
+    envelope: Optional[CloakEnvelope] = None
+    result: Optional[DeanonymizationResult] = None
+    error_code: Optional[str] = None
+    error_message: Optional[str] = None
+    error_details: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        present = sum(
+            1
+            for payload in (self.envelope, self.result, self.error_code)
+            if payload is not None
+        )
+        if present != 1:
+            raise WireFormatError(
+                "an outcome carries exactly one of envelope/result/error"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.error_code is None
+
+    @classmethod
+    def from_envelope(cls, envelope: CloakEnvelope) -> "OutcomeDoc":
+        return cls(envelope=envelope)
+
+    @classmethod
+    def from_result(cls, result: DeanonymizationResult) -> "OutcomeDoc":
+        return cls(result=result)
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "OutcomeDoc":
+        payload = error_doc_for(exc)
+        return cls(
+            error_code=payload["code"],
+            error_message=payload["message"],
+            error_details=payload.get("details"),
+        )
+
+    def to_exception(self) -> ReverseCloakError:
+        """The typed exception of an error outcome (raises on success docs)."""
+        if self.ok:
+            raise WireFormatError("outcome is a success; there is no error")
+        payload = {"code": self.error_code, "message": self.error_message}
+        if self.error_details:
+            payload["details"] = self.error_details
+        return exception_from_error_doc(payload)
+
+    def raise_if_error(self) -> "OutcomeDoc":
+        """Raise the typed exception of an error outcome; return self on
+        success, so transports can chain ``OutcomeDoc.from_dict(d).raise_if_error()``."""
+        if not self.ok:
+            raise self.to_exception()
+        return self
+
+    def to_dict(self) -> dict:
+        document: dict = {
+            "format": OUTCOME_FORMAT,
+            "version": WIRE_VERSION,
+            "status": "ok" if self.ok else "error",
+        }
+        if self.envelope is not None:
+            document["envelope"] = self.envelope.to_dict()
+        elif self.result is not None:
+            document["result"] = {
+                "target_level": self.result.target_level,
+                "regions": {
+                    str(level): list(region)
+                    for level, region in sorted(self.result.regions.items())
+                },
+                "removed": {
+                    str(level): list(removed)
+                    for level, removed in sorted(self.result.removed.items())
+                },
+            }
+        else:
+            document["error"] = {
+                "code": self.error_code,
+                "message": self.error_message,
+            }
+            if self.error_details:
+                document["error"]["details"] = dict(self.error_details)
+        return document
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "OutcomeDoc":
+        document = _require(document, OUTCOME_FORMAT)
+        kind = OUTCOME_FORMAT
+        status = document.get("status")
+        if status == "ok":
+            if "envelope" in document:
+                envelope = _parse(
+                    kind,
+                    "envelope",
+                    lambda: CloakEnvelope.from_dict(document["envelope"]),
+                )
+                return cls(envelope=envelope)
+            if "result" in document:
+                def build_result() -> DeanonymizationResult:
+                    payload = document["result"]
+                    return DeanonymizationResult(
+                        target_level=int(payload["target_level"]),
+                        regions={
+                            int(level): tuple(int(s) for s in region)
+                            for level, region in payload["regions"].items()
+                        },
+                        removed={
+                            int(level): tuple(int(s) for s in removed)
+                            for level, removed in payload["removed"].items()
+                        },
+                    )
+
+                return cls(result=_parse(kind, "result", build_result))
+            raise WireFormatError("ok outcome carries neither envelope nor result")
+        if status == "error":
+            error = document.get("error")
+            if not isinstance(error, dict) or "code" not in error:
+                raise WireFormatError("error outcome carries no structured error")
+            return cls(
+                error_code=str(error["code"]),
+                error_message=str(error.get("message", error["code"])),
+                error_details=error.get("details"),
+            )
+        raise WireFormatError(f"unknown outcome status: {status!r}")
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "OutcomeDoc":
+        try:
+            document = json.loads(payload)
+        except ValueError as exc:
+            raise WireFormatError(f"outcome is not valid JSON: {exc}") from None
+        return cls.from_dict(document)
+
+
+# ----------------------------------------------------------------------
+# snapshots
+# ----------------------------------------------------------------------
+def snapshot_to_dict(
+    snapshot: PopulationSnapshot, counts_only: bool = False
+) -> dict:
+    """The wire form of a population snapshot.
+
+    With ``counts_only`` the document carries per-segment *counts* instead
+    of the user-to-segment map — an order of magnitude smaller, and exactly
+    what cloaking needs (``delta_k`` compares counts; envelopes never
+    mention user ids). Execution backends ship the counts form to workers
+    after resolving each request's user to a segment up front; the
+    identity-preserving form exists for transports that need the lookup on
+    the far side.
+    """
+    document: dict = {
+        "format": SNAPSHOT_FORMAT,
+        "version": WIRE_VERSION,
+        "time": snapshot.time,
+    }
+    if counts_only:
+        document["counts"] = {
+            str(segment_id): snapshot.count_on(segment_id)
+            for segment_id in snapshot.occupied_segments()
+        }
+    else:
+        document["users"] = {
+            str(user_id): snapshot.segment_of(user_id)
+            for user_id in snapshot.users()
+        }
+    return document
+
+
+def snapshot_from_dict(document: dict) -> PopulationSnapshot:
+    """Rebuild a snapshot from :func:`snapshot_to_dict` output.
+
+    A counts-form document synthesizes consecutive user ids (like
+    :meth:`PopulationSnapshot.from_counts`): counts — the cloaking-relevant
+    content — round-trip exactly, identities do not.
+    """
+    document = _require(document, SNAPSHOT_FORMAT)
+    kind = SNAPSHOT_FORMAT
+    time = _parse(kind, "time", lambda: float(document.get("time", 0.0)))
+    if "users" in document:
+        return _parse(
+            kind,
+            "users",
+            lambda: PopulationSnapshot(
+                {
+                    int(user_id): int(segment_id)
+                    for user_id, segment_id in document["users"].items()
+                },
+                time=time,
+            ),
+        )
+    if "counts" in document:
+        return _parse(
+            kind,
+            "counts",
+            lambda: PopulationSnapshot.from_counts(
+                {
+                    int(segment_id): int(count)
+                    for segment_id, count in document["counts"].items()
+                },
+                time=time,
+            ),
+        )
+    raise WireFormatError("snapshot document carries neither users nor counts")

@@ -223,6 +223,10 @@ class RoadNetwork:
             self._length_of[segment_id] for segment_id in sorted(self._length_of)
         )
         self._network_bbox: Optional[BoundingBox] = None
+        self._length_sort_keys: Optional[Dict[int, Tuple[float, int]]] = None
+        self._segment_bounds: Optional[
+            Dict[int, Tuple[float, float, float, float]]
+        ] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -279,6 +283,46 @@ class RoadNetwork:
             linked.discard(segment.segment_id)
             neighbors[segment.segment_id] = tuple(sorted(linked))
         return neighbors
+
+    def length_sort_keys(self) -> Dict[int, Tuple[float, int]]:
+        """The canonical ``(length, id)`` sort key of every segment.
+
+        This is the key of the protocol's length ordering (transition-table
+        rows and columns). Computed once per network — sorting with
+        ``key=keys.__getitem__`` replaces a per-element Python lambda in the
+        per-step candidate ordering, which is hot during cloaking.
+        """
+        keys = self._length_sort_keys
+        if keys is None:
+            keys = {
+                segment_id: (length, segment_id)
+                for segment_id, length in self._length_of.items()
+            }
+            self._length_sort_keys = keys
+        return keys
+
+    def segment_bounds(self) -> Dict[int, Tuple[float, float, float, float]]:
+        """Per-segment ``(min_x, min_y, max_x, max_y)``, computed once.
+
+        The running bounding-box maintenance of
+        :class:`~repro.core.region_state.RegionState` folds these plain
+        tuples per mutation instead of re-reading endpoint ``Point``
+        attributes — same extremes, a fraction of the attribute traffic.
+        """
+        bounds = self._segment_bounds
+        if bounds is None:
+            bounds = {}
+            for segment_id, segment in self._segments.items():
+                a = self._junctions[segment.junction_a].location
+                b = self._junctions[segment.junction_b].location
+                bounds[segment_id] = (
+                    a.x if a.x < b.x else b.x,
+                    a.y if a.y < b.y else b.y,
+                    a.x if a.x > b.x else b.x,
+                    a.y if a.y > b.y else b.y,
+                )
+            self._segment_bounds = bounds
+        return bounds
 
     # ------------------------------------------------------------------
     # basic accessors

@@ -1,0 +1,317 @@
+"""Tests for the pluggable execution backends (:mod:`repro.lbs.backends`).
+
+The contract under test: every backend serves byte-identical envelopes to
+inline serving against the same (spec, snapshot, batch); expected serving
+failures come back in place as typed outcomes; anything unexpected
+propagates. ``ProcessPoolBackend`` additionally covers the wire-document
+path and the snapshot token cache.
+
+The multiprocessing start methods exercised come from the
+``REPRO_TEST_START_METHODS`` environment variable (comma-separated;
+default ``fork``) — CI runs a ``spawn`` entry so macOS/Windows semantics
+are covered without paying spawn start-up on every local run.
+"""
+
+import os
+
+import pytest
+
+from repro import (
+    KeyChain,
+    PopulationSnapshot,
+    PrivacyProfile,
+    ReversiblePreassignmentExpansion,
+)
+from repro.core import LevelRequirement, PrivacyProfile as CoreProfile, ToleranceSpec
+from repro.errors import CloakingError, MobilityError, ToleranceExceededError
+from repro.lbs import (
+    AnonymizerService,
+    BackendSpec,
+    BatchOutcome,
+    CloakRequest,
+    InlineBackend,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+)
+
+START_METHODS = tuple(
+    method.strip()
+    for method in os.environ.get("REPRO_TEST_START_METHODS", "fork").split(",")
+    if method.strip()
+)
+
+
+@pytest.fixture(scope="module")
+def batch_profile():
+    return PrivacyProfile.uniform(
+        levels=2, base_k=3, k_step=3, base_l=2, l_step=1, max_segments=60
+    )
+
+
+def _requests(snapshot, profile, count, tag="u"):
+    return [
+        CloakRequest(
+            user_id=user_id,
+            profile=profile,
+            chain=KeyChain.from_passphrases(
+                [f"{tag}{user_id}-1", f"{tag}{user_id}-2"]
+            ),
+        )
+        for user_id in snapshot.users()[:count]
+    ]
+
+
+def _backends():
+    backends = [
+        pytest.param(lambda: InlineBackend(), id="inline"),
+        pytest.param(lambda: ThreadPoolBackend(4), id="thread-4"),
+    ]
+    for method in START_METHODS:
+        backends.append(
+            pytest.param(
+                lambda method=method: ProcessPoolBackend(2, start_method=method),
+                id=f"process-2-{method}",
+            )
+        )
+    return backends
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("make_backend", _backends())
+    def test_byte_identical_to_inline(
+        self, grid10, traffic_snapshot, batch_profile, make_backend
+    ):
+        reference = AnonymizerService(grid10)
+        reference.update_snapshot(traffic_snapshot)
+        requests = _requests(traffic_snapshot, batch_profile, 8)
+        expected = [reference.cloak(request).to_json() for request in requests]
+        with make_backend() as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            service.update_snapshot(traffic_snapshot)
+            outcomes = service.cloak_batch(requests)
+            assert [o.request for o in outcomes] == requests
+            assert all(o.ok and o.error is None for o in outcomes)
+            assert [o.envelope.to_json() for o in outcomes] == expected
+            # A second (warm) batch: the process backend now serves from
+            # its cached snapshot token — results must not change.
+            again = service.cloak_batch(requests)
+            assert [o.envelope.to_json() for o in again] == expected
+            service.close()
+
+    @pytest.mark.parametrize("make_backend", _backends())
+    def test_rple_engine_spec_crosses_backend(
+        self, grid10, traffic_snapshot, batch_profile, make_backend
+    ):
+        algorithm = ReversiblePreassignmentExpansion.for_network(grid10)
+        reference = AnonymizerService(grid10, algorithm)
+        reference.update_snapshot(traffic_snapshot)
+        requests = _requests(traffic_snapshot, batch_profile, 4, tag="r")
+        expected = [reference.cloak(request).to_json() for request in requests]
+        with make_backend() as backend:
+            service = AnonymizerService(grid10, algorithm, backend=backend)
+            service.update_snapshot(traffic_snapshot)
+            outcomes = service.cloak_batch(requests)
+            assert [o.envelope.to_json() for o in outcomes] == expected
+
+    @pytest.mark.parametrize("make_backend", _backends())
+    def test_failures_reported_in_place_with_typed_errors(
+        self, grid10, traffic_snapshot, batch_profile, make_backend
+    ):
+        impossible = CoreProfile(
+            [LevelRequirement(k=10_000, l=2, tolerance=ToleranceSpec(max_segments=5))]
+        )
+        good = _requests(traffic_snapshot, batch_profile, 4)
+        bad = CloakRequest(
+            user_id=traffic_snapshot.users()[0],
+            profile=impossible,
+            chain=KeyChain.from_passphrases(["bad1"]),
+        )
+        missing = CloakRequest(
+            user_id=10_000,
+            profile=batch_profile,
+            chain=KeyChain.from_passphrases(["gone1", "gone2"]),
+        )
+        with make_backend() as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            service.update_snapshot(traffic_snapshot)
+            outcomes = service.cloak_batch(good[:2] + [bad, missing] + good[2:])
+            assert [o.ok for o in outcomes] == [True, True, False, False, True, True]
+            assert isinstance(outcomes[2].error, ToleranceExceededError)
+            assert isinstance(outcomes[3].error, MobilityError)
+            # The typed union of BatchOutcome.error, across every backend.
+            for outcome in outcomes:
+                assert outcome.error is None or isinstance(
+                    outcome.error, (CloakingError, MobilityError)
+                )
+
+
+class TestUnexpectedExceptionsPropagate:
+    """Regression: only CloakingError/MobilityError may become outcomes —
+    a bug in the engine (or any unexpected exception) must abort the batch,
+    not be swallowed into a BatchOutcome."""
+
+    @pytest.mark.parametrize(
+        "make_backend",
+        [
+            pytest.param(lambda: InlineBackend(), id="inline"),
+            pytest.param(lambda: ThreadPoolBackend(2), id="thread-2"),
+        ],
+    )
+    def test_inline_and_thread(
+        self, grid10, traffic_snapshot, batch_profile, make_backend, monkeypatch
+    ):
+        from repro.core.engine import ReverseCloakEngine
+
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("engine bug")
+
+        with make_backend() as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            service.update_snapshot(traffic_snapshot)
+            requests = _requests(traffic_snapshot, batch_profile, 3)
+            monkeypatch.setattr(ReverseCloakEngine, "anonymize", boom)
+            with pytest.raises(RuntimeError, match="engine bug"):
+                service.cloak_batch(requests)
+
+    @pytest.mark.skipif(
+        "fork" not in START_METHODS, reason="needs fork to inherit the patch"
+    )
+    def test_process_pool(
+        self, grid10, traffic_snapshot, batch_profile, monkeypatch
+    ):
+        from repro.core.engine import ReverseCloakEngine
+
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("engine bug in worker")
+
+        # Patch before the pool forks so workers inherit the broken engine.
+        monkeypatch.setattr(ReverseCloakEngine, "anonymize", boom)
+        with ProcessPoolBackend(2, start_method="fork") as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            service.update_snapshot(traffic_snapshot)
+            requests = _requests(traffic_snapshot, batch_profile, 3)
+            with pytest.raises(RuntimeError, match="engine bug in worker"):
+                service.cloak_batch(requests)
+
+
+class TestProcessPoolProtocol:
+    @pytest.fixture(scope="class")
+    def method(self):
+        return START_METHODS[0]
+
+    def test_snapshot_updates_between_batches(
+        self, grid10, batch_profile, method
+    ):
+        dense = PopulationSnapshot.from_counts(
+            {segment_id: 5 for segment_id in grid10.segment_ids()}, time=1.0
+        )
+        sparse = PopulationSnapshot.from_counts(
+            {segment_id: 1 for segment_id in grid10.segment_ids()}, time=2.0
+        )
+        reference = AnonymizerService(grid10)
+        with ProcessPoolBackend(2, start_method=method) as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            for snapshot in (dense, sparse, dense):
+                reference.update_snapshot(snapshot)
+                service.update_snapshot(snapshot)
+                requests = _requests(snapshot, batch_profile, 4, tag="s")
+                expected = [
+                    reference.cloak(request).to_json() for request in requests
+                ]
+                outcomes = service.cloak_batch(requests)
+                assert [o.envelope.to_json() for o in outcomes] == expected
+                assert all(
+                    o.envelope.snapshot_time == snapshot.time for o in outcomes
+                )
+
+    def test_straggler_workers_resync_snapshot(
+        self, grid10, traffic_snapshot, batch_profile, method
+    ):
+        # First batch has fewer chunks than workers, so some workers never
+        # see the snapshot token; the next, wider batch forces them through
+        # the _NEED_SNAPSHOT resend path.
+        reference = AnonymizerService(grid10)
+        reference.update_snapshot(traffic_snapshot)
+        with ProcessPoolBackend(4, start_method=method) as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            service.update_snapshot(traffic_snapshot)
+            small = _requests(traffic_snapshot, batch_profile, 2)
+            assert all(o.ok for o in service.cloak_batch(small))
+            wide = _requests(traffic_snapshot, batch_profile, 12)
+            expected = [reference.cloak(request).to_json() for request in wide]
+            outcomes = service.cloak_batch(wide)
+            assert [o.envelope.to_json() for o in outcomes] == expected
+
+    def test_empty_batch(self, grid10, traffic_snapshot, method):
+        with ProcessPoolBackend(2, start_method=method) as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            service.update_snapshot(traffic_snapshot)
+            assert service.cloak_batch([]) == []
+
+    def test_dead_worker_fails_batch_then_pool_respawns(
+        self, grid10, traffic_snapshot, batch_profile, method
+    ):
+        # A worker dying mid-protocol is a transport failure: the batch
+        # errors out, the pool is torn down (no stale replies left in any
+        # pipe), and the next batch serves correctly on fresh workers.
+        reference = AnonymizerService(grid10)
+        reference.update_snapshot(traffic_snapshot)
+        requests = _requests(traffic_snapshot, batch_profile, 6)
+        expected = [reference.cloak(request).to_json() for request in requests]
+        with ProcessPoolBackend(2, start_method=method) as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            service.update_snapshot(traffic_snapshot)
+            assert all(o.ok for o in service.cloak_batch(requests))
+            for process, _connection in backend._workers:
+                process.terminate()
+                process.join(timeout=5)
+            with pytest.raises(Exception):
+                service.cloak_batch(requests)
+            assert backend._workers == []  # torn down, not half-broken
+            retried = service.cloak_batch(requests)
+            assert [o.envelope.to_json() for o in retried] == expected
+
+    def test_close_is_idempotent(self, grid10, traffic_snapshot, batch_profile, method):
+        backend = ProcessPoolBackend(2, start_method=method)
+        service = AnonymizerService(grid10, backend=backend)
+        service.update_snapshot(traffic_snapshot)
+        assert all(
+            o.ok for o in service.cloak_batch(_requests(traffic_snapshot, batch_profile, 2))
+        )
+        backend.close()
+        backend.close()
+
+
+class TestBackendLifecycle:
+    def test_bind_to_two_services_rejected(self, grid10, grid6):
+        backend = InlineBackend()
+        AnonymizerService(grid10, backend=backend)
+        with pytest.raises(CloakingError):
+            AnonymizerService(grid6, backend=backend)
+
+    def test_unbound_backend_rejects_serving(self, dense_snapshot, batch_profile):
+        backend = ThreadPoolBackend(2)
+        with pytest.raises(CloakingError):
+            backend.cloak_batch(
+                dense_snapshot, _requests(dense_snapshot, batch_profile, 1)
+            )
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(CloakingError):
+            ThreadPoolBackend(0)
+        with pytest.raises(CloakingError):
+            ProcessPoolBackend(0)
+
+    def test_batch_outcome_ok_property(self, grid10, dense_snapshot, batch_profile):
+        request = _requests(dense_snapshot, batch_profile, 1)[0]
+        assert not BatchOutcome(request=request, error=CloakingError("x")).ok
+
+    def test_spec_builds_engines_against_shared_structures(self, grid10):
+        spec = BackendSpec(
+            network=grid10,
+            algorithm=ReversiblePreassignmentExpansion.for_network(grid10),
+            include_hints=False,
+        )
+        engine = spec.build_engine()
+        assert engine.network is grid10
+        assert engine.algorithm is spec.algorithm

@@ -1,0 +1,250 @@
+"""Tests for :class:`~repro.lbs.service.AnonymizerService` — the serving
+facade: cloaking, the server-side deanonymize endpoint, the raw-document
+``handle`` entry point, and the deprecated ``TrustedAnonymizer`` shim."""
+
+import json
+import warnings
+
+import pytest
+
+from repro import (
+    KeyChain,
+    PrivacyProfile,
+    ReverseCloakEngine,
+    ReversiblePreassignmentExpansion,
+)
+from repro.core import LevelRequirement, PrivacyProfile as CoreProfile, ToleranceSpec
+from repro.errors import MobilityError, ToleranceExceededError
+from repro.lbs import (
+    AnonymizerService,
+    CloakRequest,
+    CloakRequestDoc,
+    DeanonymizeRequestDoc,
+    OutcomeDoc,
+    TrustedAnonymizer,
+)
+from repro.lbs.wire import MALFORMED_DOCUMENT
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return PrivacyProfile.uniform(
+        levels=2, base_k=3, k_step=3, base_l=2, l_step=1, max_segments=60
+    )
+
+
+@pytest.fixture()
+def service(grid10, traffic_snapshot):
+    service = AnonymizerService(grid10)
+    service.update_snapshot(traffic_snapshot)
+    return service
+
+
+def _request(snapshot, profile, index=0, tag="svc"):
+    user_id = snapshot.users()[index]
+    return CloakRequest(
+        user_id=user_id,
+        profile=profile,
+        chain=KeyChain.from_passphrases([f"{tag}-1", f"{tag}-2"]),
+    )
+
+
+class TestCloaking:
+    def test_serves_request_and_counts(self, service, traffic_snapshot, profile):
+        request = _request(traffic_snapshot, profile)
+        envelope = service.cloak(request)
+        assert traffic_snapshot.segment_of(request.user_id) in envelope.region
+        assert service.requests_served == 1
+        assert service.failures == 0
+
+    def test_no_snapshot_rejected(self, grid10, profile):
+        bare = AnonymizerService(grid10)
+        with pytest.raises(MobilityError):
+            bare.cloak(
+                CloakRequest(
+                    user_id=0,
+                    profile=profile,
+                    chain=KeyChain.from_passphrases(["x1", "x2"]),
+                )
+            )
+        with pytest.raises(MobilityError):
+            bare.cloak_batch([_request_stub(profile)])
+
+    def test_failures_counted(self, service, traffic_snapshot):
+        impossible = CoreProfile(
+            [LevelRequirement(k=10_000, l=2, tolerance=ToleranceSpec(max_segments=5))]
+        )
+        with pytest.raises(ToleranceExceededError):
+            service.cloak(
+                CloakRequest(
+                    user_id=traffic_snapshot.users()[0],
+                    profile=impossible,
+                    chain=KeyChain.from_passphrases(["f1"]),
+                )
+            )
+        assert service.failures == 1
+
+    def test_cloak_segment(self, service, profile):
+        chain = KeyChain.from_passphrases(["seg-1", "seg-2"])
+        envelope = service.cloak_segment(50, profile, chain)
+        assert 50 in envelope.region
+
+    def test_explicit_width_overrides_backend(
+        self, service, traffic_snapshot, profile
+    ):
+        requests = [
+            CloakRequest(
+                user_id=user_id,
+                profile=profile,
+                chain=KeyChain.from_passphrases([f"w{user_id}-1", f"w{user_id}-2"]),
+            )
+            for user_id in traffic_snapshot.users()[:6]
+        ]
+        inline = service.cloak_batch(requests, max_workers=1)
+        pooled = service.cloak_batch(requests, max_workers=3)
+        default = service.cloak_batch(requests)
+        expected = [o.envelope.to_json() for o in inline]
+        assert [o.envelope.to_json() for o in pooled] == expected
+        assert [o.envelope.to_json() for o in default] == expected
+        assert service.requests_served == 18
+
+
+def _request_stub(profile):
+    return CloakRequest(
+        user_id=0, profile=profile, chain=KeyChain.from_passphrases(["a", "b"])
+    )
+
+
+class TestDeanonymizeEndpoint:
+    def test_multi_level_peel(self, service, traffic_snapshot, profile):
+        request = _request(traffic_snapshot, profile, tag="peel")
+        envelope = service.cloak(request)
+        user_segment = traffic_snapshot.segment_of(request.user_id)
+        result = service.deanonymize(envelope, request.chain, target_level=0)
+        assert result.region_at(0) == (user_segment,)
+        assert service.reversals_served == 1
+        partial = service.deanonymize(
+            envelope, request.chain.suffix(2), target_level=1
+        )
+        assert set(partial.region_at(1)) < set(envelope.region)
+
+    def test_matches_direct_engine(self, service, traffic_snapshot, profile):
+        request = _request(traffic_snapshot, profile, tag="eq")
+        envelope = service.cloak(request)
+        direct = ReverseCloakEngine(service.network).deanonymize(
+            envelope, request.chain, target_level=0
+        )
+        via_service = service.deanonymize(envelope, request.chain, target_level=0)
+        assert via_service.regions == direct.regions
+        assert via_service.removed == direct.removed
+
+    def test_foreign_algorithm_envelope(self, grid10, traffic_snapshot, profile):
+        # A service configured for RGE must still reverse an RPLE envelope:
+        # the reversal engine comes from the envelope's own metadata.
+        rple = ReversiblePreassignmentExpansion.for_network(grid10)
+        producer = AnonymizerService(grid10, rple)
+        producer.update_snapshot(traffic_snapshot)
+        request = _request(traffic_snapshot, profile, tag="foreign")
+        envelope = producer.cloak(request)
+        consumer = AnonymizerService(grid10)
+        consumer.update_snapshot(traffic_snapshot)
+        result = consumer.deanonymize(envelope, request.chain, target_level=0)
+        assert result.region_at(0) == (
+            traffic_snapshot.segment_of(request.user_id),
+        )
+        # The per-spec reversal engine is cached across calls.
+        assert consumer._reversal_engine(envelope) is consumer._reversal_engine(
+            envelope
+        )
+
+
+class TestHandle:
+    def test_cloak_document_round_trip(self, service, traffic_snapshot, profile):
+        request = _request(traffic_snapshot, profile, tag="doc")
+        expected = service.cloak(request)
+        outcome = OutcomeDoc.from_dict(
+            service.handle(CloakRequestDoc.from_request(request).to_dict())
+        )
+        assert outcome.ok
+        assert outcome.envelope.to_json() == expected.to_json()
+
+    def test_resolved_segment_document(self, service, profile):
+        chain = KeyChain.from_passphrases(["rs-1", "rs-2"])
+        document = CloakRequestDoc(
+            user_id=999_999, profile=profile, chain=chain, user_segment=50
+        ).to_dict()
+        outcome = OutcomeDoc.from_dict(service.handle(document))
+        assert outcome.ok
+        assert 50 in outcome.envelope.region
+
+    def test_deanonymize_document(self, service, traffic_snapshot, profile):
+        request = _request(traffic_snapshot, profile, tag="dd")
+        envelope = service.cloak(request)
+        document = DeanonymizeRequestDoc(
+            envelope=envelope, keys=tuple(request.chain), target_level=0
+        ).to_dict()
+        outcome = OutcomeDoc.from_dict(service.handle(document))
+        assert outcome.ok
+        assert outcome.result.region_at(0) == (
+            traffic_snapshot.segment_of(request.user_id),
+        )
+
+    def test_serving_failure_becomes_structured_error(
+        self, service, traffic_snapshot
+    ):
+        impossible = CoreProfile(
+            [LevelRequirement(k=10_000, l=2, tolerance=ToleranceSpec(max_segments=5))]
+        )
+        document = CloakRequestDoc(
+            user_id=traffic_snapshot.users()[0],
+            profile=impossible,
+            chain=KeyChain.from_passphrases(["h1"]),
+        ).to_dict()
+        outcome = OutcomeDoc.from_dict(service.handle(document))
+        assert not outcome.ok
+        assert outcome.error_code == "tolerance_exceeded"
+        assert isinstance(outcome.to_exception(), ToleranceExceededError)
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            {"format": "repro.cloak_request", "version": 1},  # missing fields
+            {"format": "what.is.this", "version": 1},
+            {"no": "format"},
+            "not even a dict",
+        ],
+    )
+    def test_malformed_documents_become_structured_errors(self, service, document):
+        outcome = OutcomeDoc.from_dict(service.handle(document))
+        assert not outcome.ok
+        assert outcome.error_code == MALFORMED_DOCUMENT
+
+    def test_handle_json(self, service, traffic_snapshot, profile):
+        request = _request(traffic_snapshot, profile, tag="hj")
+        payload = CloakRequestDoc.from_request(request).to_json()
+        outcome = OutcomeDoc.from_json(service.handle_json(payload))
+        assert outcome.ok
+        bad = OutcomeDoc.from_json(service.handle_json("{broken"))
+        assert bad.error_code == MALFORMED_DOCUMENT
+
+
+class TestTrustedAnonymizerShim:
+    def test_construction_warns_deprecation(self, grid10):
+        with pytest.warns(DeprecationWarning, match="AnonymizerService"):
+            TrustedAnonymizer(grid10)
+
+    def test_delegates_to_service(self, grid10, traffic_snapshot, profile):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = TrustedAnonymizer(grid10)
+        shim.update_snapshot(traffic_snapshot)
+        request = _request(traffic_snapshot, profile, tag="shim")
+        envelope = shim.cloak(request)
+        reference = AnonymizerService(grid10)
+        reference.update_snapshot(traffic_snapshot)
+        assert envelope.to_json() == reference.cloak(request).to_json()
+        assert shim.requests_served == 1
+        assert shim.failures == 0
+        assert isinstance(shim.service, AnonymizerService)
+        outcomes = shim.cloak_batch([request], max_workers=2)
+        assert outcomes[0].envelope.to_json() == envelope.to_json()

@@ -1,0 +1,280 @@
+"""Tests for the transport-neutral wire protocol (:mod:`repro.lbs.wire`)."""
+
+import json
+
+import pytest
+
+from repro import (
+    KeyChain,
+    PopulationSnapshot,
+    PrivacyProfile,
+    ReverseCloakEngine,
+    grid_network,
+)
+from repro.errors import (
+    CloakingError,
+    CollisionError,
+    DeanonymizationError,
+    FrontierExhaustedError,
+    KeyMismatchError,
+    MobilityError,
+    ProfileError,
+    ReverseCloakError,
+    ToleranceExceededError,
+    WireFormatError,
+)
+from repro.lbs.wire import (
+    CLOAK_REQUEST_FORMAT,
+    DEANONYMIZE_REQUEST_FORMAT,
+    MALFORMED_DOCUMENT,
+    CloakRequest,
+    CloakRequestDoc,
+    DeanonymizeRequestDoc,
+    OutcomeDoc,
+    error_code_for,
+    error_doc_for,
+    exception_from_error_doc,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+
+NETWORK = grid_network(8, 8)
+SNAPSHOT = PopulationSnapshot.from_counts(
+    {segment_id: 2 for segment_id in NETWORK.segment_ids()}, time=17.5
+)
+PROFILE = PrivacyProfile.uniform(
+    levels=2, base_k=4, k_step=4, base_l=3, l_step=1, max_segments=40
+)
+CHAIN = KeyChain.from_passphrases(["wire-1", "wire-2"])
+ENGINE = ReverseCloakEngine(NETWORK)
+ENVELOPE = ENGINE.anonymize(30, SNAPSHOT, PROFILE, CHAIN)
+
+
+class TestCloakRequestDoc:
+    def test_json_round_trip(self):
+        doc = CloakRequestDoc(
+            user_id=7, profile=PROFILE, chain=CHAIN, user_segment=30
+        )
+        restored = CloakRequestDoc.from_json(doc.to_json())
+        assert restored == doc
+        assert restored.to_request() == CloakRequest(7, PROFILE, CHAIN)
+
+    def test_from_request(self):
+        request = CloakRequest(user_id=3, profile=PROFILE, chain=CHAIN)
+        doc = CloakRequestDoc.from_request(request, user_segment=12)
+        assert doc.user_segment == 12
+        assert doc.to_request() == request
+
+    def test_unresolved_segment_survives(self):
+        doc = CloakRequestDoc(user_id=7, profile=PROFILE, chain=CHAIN)
+        assert CloakRequestDoc.from_json(doc.to_json()).user_segment is None
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("user_id"),
+            lambda d: d.pop("profile"),
+            lambda d: d.pop("chain"),
+            lambda d: d.update(profile={"levels": "junk"}),
+            lambda d: d.update(chain={"keys": [{"level": 1}]}),
+            lambda d: d.update(format="repro.other"),
+            lambda d: d.update(version=99),
+        ],
+    )
+    def test_malformed_documents_raise_structured_code(self, mutate):
+        document = CloakRequestDoc(
+            user_id=7, profile=PROFILE, chain=CHAIN
+        ).to_dict()
+        mutate(document)
+        with pytest.raises(WireFormatError) as excinfo:
+            CloakRequestDoc.from_dict(document)
+        assert error_code_for(excinfo.value) == MALFORMED_DOCUMENT
+
+    def test_not_json_raises(self):
+        with pytest.raises(WireFormatError):
+            CloakRequestDoc.from_json("{nope")
+
+    def test_not_a_dict_raises(self):
+        with pytest.raises(WireFormatError):
+            CloakRequestDoc.from_dict([1, 2, 3])
+
+
+class TestDeanonymizeRequestDoc:
+    def test_json_round_trip(self):
+        doc = DeanonymizeRequestDoc(
+            envelope=ENVELOPE,
+            keys=CHAIN.suffix(1),
+            target_level=0,
+            mode="hint",
+        )
+        restored = DeanonymizeRequestDoc.from_json(doc.to_json())
+        assert restored == doc
+        assert restored.key_map() == {key.level: key for key in CHAIN}
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("envelope"),
+            lambda d: d.pop("keys"),
+            lambda d: d.pop("target_level"),
+            lambda d: d.update(envelope={"format": "nope"}),
+            lambda d: d.update(format="repro.cloak_request"),
+        ],
+    )
+    def test_malformed_documents_raise_structured_code(self, mutate):
+        document = DeanonymizeRequestDoc(
+            envelope=ENVELOPE, keys=CHAIN.suffix(1), target_level=0
+        ).to_dict()
+        mutate(document)
+        with pytest.raises(WireFormatError) as excinfo:
+            DeanonymizeRequestDoc.from_dict(document)
+        assert error_code_for(excinfo.value) == MALFORMED_DOCUMENT
+
+
+class TestOutcomeDoc:
+    def test_envelope_round_trip(self):
+        doc = OutcomeDoc.from_envelope(ENVELOPE)
+        restored = OutcomeDoc.from_json(doc.to_json())
+        assert restored.ok
+        assert restored.envelope == ENVELOPE
+        assert restored.envelope.to_json() == ENVELOPE.to_json()
+        assert restored.raise_if_error() is restored
+
+    def test_result_round_trip(self):
+        result = ENGINE.deanonymize(ENVELOPE, CHAIN, target_level=0)
+        doc = OutcomeDoc.from_result(result)
+        restored = OutcomeDoc.from_json(doc.to_json())
+        assert restored.ok
+        assert restored.result.target_level == result.target_level
+        assert restored.result.regions == result.regions
+        assert restored.result.removed == result.removed
+
+    def test_error_round_trip_preserves_type_and_details(self):
+        doc = OutcomeDoc.from_exception(ToleranceExceededError(2, "no fit"))
+        restored = OutcomeDoc.from_json(doc.to_json())
+        assert not restored.ok
+        assert restored.error_code == "tolerance_exceeded"
+        rebuilt = restored.to_exception()
+        assert isinstance(rebuilt, ToleranceExceededError)
+        assert rebuilt.level == 2 and rebuilt.detail == "no fit"
+        with pytest.raises(ToleranceExceededError):
+            restored.raise_if_error()
+
+    def test_exactly_one_payload_enforced(self):
+        with pytest.raises(WireFormatError):
+            OutcomeDoc()
+        with pytest.raises(WireFormatError):
+            OutcomeDoc(envelope=ENVELOPE, error_code="cloaking_failed")
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("status"),
+            lambda d: d.update(status="maybe"),
+            lambda d: (d.pop("envelope"), None)[1],
+            lambda d: d.update(format="repro.cloak_request"),
+        ],
+    )
+    def test_malformed_documents_raise_structured_code(self, mutate):
+        document = OutcomeDoc.from_envelope(ENVELOPE).to_dict()
+        mutate(document)
+        with pytest.raises(WireFormatError) as excinfo:
+            OutcomeDoc.from_dict(document)
+        assert error_code_for(excinfo.value) == MALFORMED_DOCUMENT
+
+
+class TestErrorCodes:
+    @pytest.mark.parametrize(
+        "exc, code",
+        [
+            (WireFormatError("x"), "malformed_document"),
+            (ToleranceExceededError(1, "d"), "tolerance_exceeded"),
+            (FrontierExhaustedError(1), "frontier_exhausted"),
+            (CollisionError(2, 3), "reversal_collision"),
+            (KeyMismatchError("x"), "key_mismatch"),
+            (ProfileError("x"), "invalid_profile"),
+            (CloakingError("x"), "cloaking_failed"),
+            (MobilityError("x"), "mobility_unavailable"),
+            (ReverseCloakError("x"), "internal_error"),
+            (RuntimeError("x"), "internal_error"),
+        ],
+    )
+    def test_code_mapping(self, exc, code):
+        assert error_code_for(exc) == code
+
+    @pytest.mark.parametrize(
+        "exc, cls",
+        [
+            (FrontierExhaustedError(3), FrontierExhaustedError),
+            (CollisionError(2, 5), CollisionError),
+            (KeyMismatchError("bad key"), KeyMismatchError),
+            (MobilityError("no snapshot"), MobilityError),
+            (CloakingError("dead end"), CloakingError),
+        ],
+    )
+    def test_exception_reconstruction_preserves_type(self, exc, cls):
+        rebuilt = exception_from_error_doc(error_doc_for(exc))
+        assert type(rebuilt) is cls
+        assert str(rebuilt) == str(exc)
+
+    def test_unknown_code_falls_back_to_base(self):
+        rebuilt = exception_from_error_doc({"code": "???", "message": "m"})
+        assert type(rebuilt) is ReverseCloakError
+
+    @pytest.mark.parametrize(
+        "code, base",
+        [
+            ("tolerance_exceeded", CloakingError),
+            ("frontier_exhausted", CloakingError),
+            ("reversal_collision", DeanonymizationError),
+        ],
+    )
+    def test_parameterised_codes_without_details_degrade_to_base(
+        self, code, base
+    ):
+        # A non-Python client may ship the code without structured details;
+        # reconstruction must stay catchable and keep the message intact.
+        for payload in (
+            {"code": code, "message": "boom"},
+            {"code": code, "message": "boom", "details": {"level": "x"}},
+        ):
+            rebuilt = exception_from_error_doc(payload)
+            assert isinstance(rebuilt, base)
+            assert str(rebuilt) == "boom"
+
+    def test_malformed_error_doc_raises(self):
+        with pytest.raises(WireFormatError):
+            exception_from_error_doc({"message": "no code"})
+
+
+class TestSnapshotDocs:
+    def test_users_form_round_trips_exactly(self):
+        document = json.loads(json.dumps(snapshot_to_dict(SNAPSHOT)))
+        restored = snapshot_from_dict(document)
+        assert restored.time == SNAPSHOT.time
+        assert restored.users() == SNAPSHOT.users()
+        for user_id in SNAPSHOT.users():
+            assert restored.segment_of(user_id) == SNAPSHOT.segment_of(user_id)
+
+    def test_counts_form_preserves_counts(self):
+        document = json.loads(
+            json.dumps(snapshot_to_dict(SNAPSHOT, counts_only=True))
+        )
+        restored = snapshot_from_dict(document)
+        assert restored.time == SNAPSHOT.time
+        assert restored.counts() == SNAPSHOT.counts()
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: (d.pop("users", None), d.pop("counts", None), None)[2],
+            lambda d: d.update(format="repro.envelope"),
+            lambda d: d.update(users={"a": "b"}),
+        ],
+    )
+    def test_malformed_documents_raise_structured_code(self, mutate):
+        document = snapshot_to_dict(SNAPSHOT)
+        mutate(document)
+        with pytest.raises(WireFormatError) as excinfo:
+            snapshot_from_dict(document)
+        assert error_code_for(excinfo.value) == MALFORMED_DOCUMENT

@@ -1,0 +1,232 @@
+"""Property-based round trips for the serving wire protocol.
+
+Every wire document must survive ``to_dict -> json -> from_dict``
+unchanged — the process-pool backend's byte-identical-serving guarantee
+rests on these round trips — and every malformed document must map to the
+stable ``malformed_document`` error code rather than a raw ``KeyError`` /
+``TypeError`` escaping the parser.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AccessKey,
+    KeyChain,
+    PopulationSnapshot,
+    PrivacyProfile,
+    ReverseCloakEngine,
+    grid_network,
+)
+from repro.core.profile import LevelRequirement, ToleranceSpec
+from repro.errors import WireFormatError
+from repro.lbs.wire import (
+    CloakRequestDoc,
+    DeanonymizeRequestDoc,
+    OutcomeDoc,
+    error_code_for,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+
+GRID = grid_network(8, 8)
+SNAPSHOT = PopulationSnapshot.from_counts(
+    {segment_id: 2 for segment_id in GRID.segment_ids()}
+)
+ENGINE = ReverseCloakEngine(GRID)
+
+
+@st.composite
+def tolerances(draw):
+    max_segments = draw(st.one_of(st.none(), st.integers(4, 500)))
+    max_total_length = draw(
+        st.one_of(st.none(), st.floats(1.0, 1e6, allow_nan=False))
+    )
+    max_diagonal = draw(st.one_of(st.none(), st.floats(1.0, 1e6, allow_nan=False)))
+    if max_segments is None and max_total_length is None and max_diagonal is None:
+        max_segments = draw(st.integers(4, 500))
+    return ToleranceSpec(
+        max_segments=max_segments,
+        max_total_length=max_total_length,
+        max_diagonal=max_diagonal,
+    )
+
+
+@st.composite
+def profiles(draw):
+    levels = draw(st.integers(1, 4))
+    tolerance = draw(tolerances())
+    # delta_l may never exceed the segment-count bound (profile invariant).
+    max_l = tolerance.max_segments or 10**9
+    requirements = []
+    k = draw(st.integers(1, 20))
+    l = draw(st.integers(1, min(4, max_l)))
+    for _ in range(levels):
+        requirements.append(LevelRequirement(k=k, l=l, tolerance=tolerance))
+        k += draw(st.integers(0, 10))
+        l = min(l + draw(st.integers(0, 2)), max_l)
+    return PrivacyProfile(requirements)
+
+
+@st.composite
+def chains(draw):
+    levels = draw(st.integers(1, 4))
+    return KeyChain(
+        AccessKey(level, draw(st.binary(min_size=8, max_size=48)))
+        for level in range(1, levels + 1)
+    )
+
+
+class TestWireDocumentRoundTrips:
+    @settings(max_examples=40, deadline=None)
+    @given(profile=profiles())
+    def test_profile_documents(self, profile):
+        document = json.loads(json.dumps(profile.to_dict()))
+        assert PrivacyProfile.from_dict(document) == profile
+
+    @settings(max_examples=40, deadline=None)
+    @given(chain=chains())
+    def test_keychain_documents(self, chain):
+        document = json.loads(json.dumps(chain.to_dict()))
+        assert KeyChain.from_dict(document) == chain
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        profile=profiles(),
+        chain=chains(),
+        user_id=st.integers(0, 2**40),
+        segment=st.one_of(st.none(), st.integers(0, 10_000)),
+    )
+    def test_cloak_request_documents(self, profile, chain, user_id, segment):
+        doc = CloakRequestDoc(
+            user_id=user_id, profile=profile, chain=chain, user_segment=segment
+        )
+        assert CloakRequestDoc.from_json(doc.to_json()) == doc
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        user_index=st.integers(0, 111),
+        passphrase=st.text(min_size=1, max_size=8),
+        levels=st.integers(1, 3),
+        target=st.integers(0, 2),
+    )
+    def test_envelope_and_outcome_documents(
+        self, user_index, passphrase, levels, target
+    ):
+        segment = GRID.segment_ids()[user_index % GRID.segment_count]
+        chain = KeyChain.from_passphrases(
+            [f"{passphrase}-{level}" for level in range(1, levels + 1)]
+        )
+        profile = PrivacyProfile.uniform(
+            levels=levels, base_k=4, k_step=3, base_l=3, l_step=1, max_segments=50
+        )
+        envelope = ENGINE.anonymize(segment, SNAPSHOT, profile, chain)
+        outcome = OutcomeDoc.from_envelope(envelope)
+        restored = OutcomeDoc.from_json(outcome.to_json())
+        assert restored.envelope == envelope
+        assert restored.envelope.to_json() == envelope.to_json()
+
+        reversal = DeanonymizeRequestDoc(
+            envelope=envelope,
+            keys=tuple(chain),
+            target_level=min(target, levels - 1),
+        )
+        assert DeanonymizeRequestDoc.from_json(reversal.to_json()) == reversal
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        counts=st.dictionaries(
+            st.integers(0, 500), st.integers(0, 9), min_size=1, max_size=40
+        ),
+        time=st.floats(0, 1e6, allow_nan=False),
+    )
+    def test_snapshot_documents(self, counts, time):
+        snapshot = PopulationSnapshot.from_counts(counts, time=time)
+        users_doc = json.loads(json.dumps(snapshot_to_dict(snapshot)))
+        counts_doc = json.loads(
+            json.dumps(snapshot_to_dict(snapshot, counts_only=True))
+        )
+        by_users = snapshot_from_dict(users_doc)
+        by_counts = snapshot_from_dict(counts_doc)
+        assert by_users.users() == snapshot.users()
+        assert by_users.counts() == snapshot.counts()
+        assert by_counts.counts() == snapshot.counts()
+        assert by_users.time == by_counts.time == snapshot.time
+
+
+def _valid_documents():
+    profile = PrivacyProfile.uniform(
+        levels=2, base_k=4, k_step=4, base_l=3, l_step=1, max_segments=40
+    )
+    chain = KeyChain.from_passphrases(["m-1", "m-2"])
+    envelope = ENGINE.anonymize(30, SNAPSHOT, profile, chain)
+    return [
+        pytest.param(
+            CloakRequestDoc(user_id=1, profile=profile, chain=chain).to_dict(),
+            CloakRequestDoc.from_dict,
+            id="cloak_request",
+        ),
+        pytest.param(
+            DeanonymizeRequestDoc(
+                envelope=envelope, keys=tuple(chain), target_level=0
+            ).to_dict(),
+            DeanonymizeRequestDoc.from_dict,
+            id="deanonymize_request",
+        ),
+        pytest.param(
+            OutcomeDoc.from_envelope(envelope).to_dict(),
+            OutcomeDoc.from_dict,
+            id="outcome",
+        ),
+        pytest.param(
+            snapshot_to_dict(SNAPSHOT),
+            snapshot_from_dict,
+            id="snapshot",
+        ),
+    ]
+
+
+class TestMalformedDocuments:
+    """One malformed-document property per wire type: any structural damage
+    must surface as WireFormatError -> ``malformed_document``, never as a
+    stray KeyError/TypeError/ValueError."""
+
+    @pytest.mark.parametrize("document, parser", _valid_documents())
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_structural_damage_maps_to_malformed_document(
+        self, document, parser, data
+    ):
+        damaged = json.loads(json.dumps(document))
+        keys = sorted(damaged)
+        action = data.draw(
+            st.sampled_from(["drop", "retype", "version", "format"])
+        )
+        if action == "drop":
+            damaged.pop(data.draw(st.sampled_from(keys)))
+        elif action == "retype":
+            damaged[data.draw(st.sampled_from(keys))] = data.draw(
+                st.sampled_from([None, "junk", 3.5, ["x"], {"y": 1}])
+            )
+        elif action == "version":
+            damaged["version"] = data.draw(st.sampled_from([0, 99, "one", None]))
+        else:
+            damaged["format"] = data.draw(
+                st.sampled_from(["", "repro.other", None, 7])
+            )
+        try:
+            parsed = parser(damaged)
+        except WireFormatError as exc:
+            assert error_code_for(exc) == "malformed_document"
+        else:
+            # Some damage is harmless (e.g. dropping an optional field or
+            # replacing a value with an equivalent one) — parsing may
+            # succeed, but it must never raise anything un-structured.
+            assert parsed is not None
