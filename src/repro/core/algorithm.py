@@ -62,12 +62,19 @@ MAX_ATTEMPT = 1 << _ATTEMPT_BITS
 
 #: Per-level transition-domain bytes (pure function of the level number;
 #: rebuilt-per-draw f-string encoding showed up in expansion profiles).
+#: Bounded: level numbers arrive from attacker-controlled envelopes, so an
+#: unbounded memo would let forged level fields grow a server's memory;
+#: real profiles use a handful of levels, so a full drop past the cap
+#: costs one re-encode per level afterwards.
 _TRANSITION_DOMAINS: dict = {}
+_TRANSITION_DOMAINS_CAP = 128
 
 
 def _transition_domain(level: int) -> bytes:
     domain = _TRANSITION_DOMAINS.get(level)
     if domain is None:
+        if len(_TRANSITION_DOMAINS) >= _TRANSITION_DOMAINS_CAP:
+            _TRANSITION_DOMAINS.clear()
         domain = f"reversecloak|level={level}|transitions".encode()
         _TRANSITION_DOMAINS[level] = domain
     return domain

@@ -161,6 +161,13 @@ class ReverseCloakEngine:
             Byte-identical envelopes and reversals either way; off is the
             per-call equivalence/benchmark baseline, exactly like
             ``incremental=False``.
+        undo_log: Reversal-search backtracking discipline: explore
+            hypotheses on one checkpoint/rollback region state (default)
+            instead of deriving one cloned state per visited region (the
+            PR 1-3 path). Outcomes are byte-identical either way; the flag
+            exists for equivalence testing and benchmarking, exactly like
+            ``incremental`` and ``batched_prf``. Ignored when
+            ``incremental`` is off.
 
     Example:
         >>> from repro.roadnet import grid_network
@@ -189,6 +196,7 @@ class ReverseCloakEngine:
         validate_reversals: bool = True,
         incremental: bool = True,
         batched_prf: bool = True,
+        undo_log: bool = True,
     ) -> None:
         self._network = network
         self._algorithm = algorithm or ReversibleGlobalExpansion()
@@ -196,6 +204,7 @@ class ReverseCloakEngine:
         self._validate = validate_reversals
         self._incremental = incremental
         self._batched_prf = batched_prf
+        self._undo_log = undo_log
         self._net_digest = network_digest(network)
 
     @classmethod
@@ -207,6 +216,7 @@ class ReverseCloakEngine:
         validate_reversals: bool = True,
         incremental: bool = True,
         batched_prf: bool = True,
+        undo_log: bool = True,
     ) -> "ReverseCloakEngine":
         """An engine configured to reverse ``envelope`` (requester side)."""
         return cls(
@@ -216,6 +226,7 @@ class ReverseCloakEngine:
             validate_reversals=validate_reversals,
             incremental=incremental,
             batched_prf=batched_prf,
+            undo_log=undo_log,
         )
 
     @property
@@ -453,6 +464,7 @@ class ReverseCloakEngine:
                 witness_filter=witness_filter,
                 use_states=self._incremental,
                 draws=draws,
+                undo_log=self._undo_log,
             )
             if accept is not None:
                 if not outcomes:

@@ -1,4 +1,4 @@
-"""Incrementally maintained cloaking-region state.
+"""Incrementally maintained cloaking-region state, with an undo log.
 
 Every question the expansion and reversal hot paths ask about the current
 region — *what is the frontier? how long is it? how big is its bounding box?
@@ -16,11 +16,29 @@ answers under :meth:`add` / :meth:`remove` mutations instead:
 * **population count** — O(1) per mutation against the construction-time
   :class:`~repro.mobility.snapshot.PopulationSnapshot`;
 * **length-ordered members** — the transition-table row ordering
-  (``length_order``), maintained by binary insertion so RGE never re-sorts
-  the whole region per step;
+  (``length_order``), maintained by binary insertion over the compiled
+  plane's global length *ranks* (one int per member instead of a
+  ``(length, id)`` tuple) so RGE never re-sorts the whole region per step;
 * **removal bookkeeping** — the articulation-free member set, recomputed
-  lazily with one Tarjan pass (O(|R| * deg)) and cached until the next
-  mutation, which is what reversal's hypothesis enumeration consumes.
+  lazily with one Tarjan pass over the compiled CSR adjacency
+  (O(|R| * deg)) and cached until the next mutation, which is what
+  reversal's hypothesis enumeration consumes.
+
+All per-segment lookups (neighbours, lengths, bbox extremes, length ranks)
+come from the map's shared :class:`~repro.roadnet.compiled.CompiledNetwork`
+plane, resolved once at construction.
+
+**Undo log.** The reversal search explores hypothesised inner regions
+depth-first: remove a segment, look backward, recurse, put it back. A
+:meth:`clone` per hypothesis costs O(|R|) container copies even when the
+branch dies immediately; the undo log makes backtracking O(changed)
+instead. :meth:`checkpoint` arms an operation trail and returns a token;
+every subsequent mutation appends its inverse bookkeeping (the segment,
+plus the O(1) scalars a pure inverse cannot recover: the cached removable
+set, the frontier tuple, the bbox extremes/dirty flag and the rounded
+total); :meth:`rollback` pops the trail back to the token, restoring the
+state — including the lazily cached answers — bit for bit. The clone path
+remains as the equivalence oracle (see ``tests/core/test_undo_log.py``).
 
 Floating-point note: naive float summation is order-dependent, and a
 tolerance comparison that flips between the anonymizer's and the
@@ -32,13 +50,13 @@ the former :class:`~fractions.Fraction` accumulator at identical semantics
 and ~5x less per-mutation cost) — and exposes its correctly-rounded float.
 :class:`~repro.core.profile.ToleranceSpec` resolves comparisons that land
 within rounding distance of the bound against the exact value, so every
-path — incremental, from-scratch, clone-derived — makes identical
-decisions.
+path — incremental, from-scratch, clone-derived, rolled-back — makes
+identical decisions.
 
 The state is deliberately *not* thread-safe and not tied to any algorithm:
 the engine owns one state for the whole multi-level expansion, replay owns
-one per certification, and the peel search builds one per hypothesised
-inner region (cached per region).
+one per certification, and the peel search owns one undo-logged state for
+the whole hypothesis walk.
 """
 
 from __future__ import annotations
@@ -50,7 +68,7 @@ from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Optional, Tuple
 from ..errors import CloakingError
 from ..mobility.snapshot import PopulationSnapshot
 from ..roadnet.geometry import BoundingBox
-from ..roadnet.graph import RoadNetwork, removable_segments
+from ..roadnet.graph import RoadNetwork
 
 __all__ = ["RegionState", "exact_fraction"]
 
@@ -119,20 +137,30 @@ class RegionState:
         members: Iterable[int] = (),
         snapshot: Optional[PopulationSnapshot] = None,
     ) -> None:
+        compiled = network.compiled()
         self._network = network
+        self._compiled = compiled
         self._snapshot = snapshot
-        self._seg_bounds = network.segment_bounds()
+        self._neighbors = compiled.neighbor_map
+        self._length_of = compiled.length_of
+        self._rank_of = compiled.rank_of
+        self._rank_to_id = compiled.rank_to_id
+        self._seg_bounds = compiled.bounds_of
         self._members: set = set()
         self._frontier_counts: Dict[int, int] = {}
+        self._frontier_cache: Optional[Tuple[int, ...]] = None
         self._exact_scaled = 0
         self._total_length = 0.0
         self._total_dirty = False
         self._population = 0
-        self._by_length: List[Tuple[float, int]] = []
+        #: Members as global length ranks, ascending — rank order equals
+        #: the canonical (length, id) order, one int compare per step.
+        self._by_length: List[int] = []
         self._min_x = self._min_y = float("inf")
         self._max_x = self._max_y = float("-inf")
         self._bbox_dirty = False
         self._removable: Optional[FrozenSet[int]] = None
+        self._trail: Optional[list] = None
         for segment_id in members:
             self.add(segment_id)
 
@@ -149,14 +177,22 @@ class RegionState:
     def clone(self) -> "RegionState":
         """An independent copy — O(|region| + |frontier|) container copies,
         cheaper than a from-scratch rebuild (no neighbour scans, no
-        re-sorting). The peel search derives each hypothesis's inner-region
-        state from its parent this way."""
+        re-sorting). The clone never inherits the undo trail: it is a
+        snapshot, not a participant in the original's checkpoint stack.
+        This is the reversal search's equivalence oracle; the search
+        itself backtracks with :meth:`checkpoint` / :meth:`rollback`."""
         other = RegionState.__new__(RegionState)
         other._network = self._network
+        other._compiled = self._compiled
         other._snapshot = self._snapshot
+        other._neighbors = self._neighbors
+        other._length_of = self._length_of
+        other._rank_of = self._rank_of
+        other._rank_to_id = self._rank_to_id
         other._seg_bounds = self._seg_bounds
         other._members = set(self._members)
         other._frontier_counts = dict(self._frontier_counts)
+        other._frontier_cache = self._frontier_cache
         other._exact_scaled = self._exact_scaled
         other._total_length = self._total_length
         other._total_dirty = self._total_dirty
@@ -168,28 +204,84 @@ class RegionState:
         other._max_y = self._max_y
         other._bbox_dirty = self._bbox_dirty
         other._removable = self._removable
+        other._trail = None
         return other
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
+    def _base_add(self, segment_id: int, length: float, rank: int) -> None:
+        """The self-inverse core of :meth:`add`: members, frontier counts,
+        exact length, population and length ordering (everything
+        :meth:`rollback` can undo by running the opposite base op)."""
+        members = self._members
+        members.add(segment_id)
+        frontier_counts = self._frontier_counts
+        frontier_counts.pop(segment_id, None)
+        for neighbor in self._neighbors[segment_id]:
+            if neighbor not in members:
+                frontier_counts[neighbor] = frontier_counts.get(neighbor, 0) + 1
+        self._exact_scaled += _scaled_exact(length)
+        if self._snapshot is not None:
+            self._population += self._snapshot.count_on(segment_id)
+        insort(self._by_length, rank)
+
+    def _base_remove(self, segment_id: int, length: float, rank: int) -> None:
+        """The self-inverse core of :meth:`remove` (see :meth:`_base_add`)."""
+        members = self._members
+        members.discard(segment_id)
+        frontier_counts = self._frontier_counts
+        in_region_neighbors = 0
+        for neighbor in self._neighbors[segment_id]:
+            if neighbor in members:
+                in_region_neighbors += 1
+            else:
+                count = frontier_counts.get(neighbor)
+                if count is not None:
+                    if count <= 1:
+                        del frontier_counts[neighbor]
+                    else:
+                        frontier_counts[neighbor] = count - 1
+        if in_region_neighbors:
+            frontier_counts[segment_id] = in_region_neighbors
+        self._exact_scaled -= _scaled_exact(length)
+        if self._snapshot is not None:
+            self._population -= self._snapshot.count_on(segment_id)
+        index = bisect_left(self._by_length, rank)
+        del self._by_length[index]
+
+    def _log(self, was_add: bool, segment_id: int) -> None:
+        """Append one trail entry: the op plus the O(1) scalars a pure
+        inverse cannot recover (cached answers, bbox, rounded total)."""
+        self._trail.append(
+            (
+                was_add,
+                segment_id,
+                self._removable,
+                self._frontier_cache,
+                self._min_x,
+                self._min_y,
+                self._max_x,
+                self._max_y,
+                self._bbox_dirty,
+                self._total_length,
+                self._total_dirty,
+            )
+        )
+
     def add(self, segment_id: int) -> None:
         """Add one segment to the region (raises if already inside)."""
         if segment_id in self._members:
             raise CloakingError(f"segment {segment_id} is already in the region")
-        length = self._network.segment_length(segment_id)
-        self._members.add(segment_id)
-        self._frontier_counts.pop(segment_id, None)
-        for neighbor in self._network.neighbors(segment_id):
-            if neighbor not in self._members:
-                self._frontier_counts[neighbor] = (
-                    self._frontier_counts.get(neighbor, 0) + 1
-                )
-        self._exact_scaled += _scaled_exact(length)
+        try:
+            length = self._length_of[segment_id]
+        except KeyError:
+            self._network.segment_length(segment_id)  # raises UnknownSegmentError
+            raise
+        if self._trail is not None:
+            self._log(True, segment_id)
+        self._base_add(segment_id, length, self._rank_of[segment_id])
         self._total_dirty = True
-        if self._snapshot is not None:
-            self._population += self._snapshot.count_on(segment_id)
-        insort(self._by_length, (length, segment_id))
         if not self._bbox_dirty:
             min_x, min_y, max_x, max_y = self._seg_bounds[segment_id]
             if min_x < self._min_x:
@@ -201,32 +293,18 @@ class RegionState:
             if max_y > self._max_y:
                 self._max_y = max_y
         self._removable = None
+        self._frontier_cache = None
 
     def remove(self, segment_id: int) -> None:
         """Remove one segment from the region (raises if not inside)."""
         if segment_id not in self._members:
             raise CloakingError(f"segment {segment_id} is not in the region")
-        length = self._network.segment_length(segment_id)
-        self._members.discard(segment_id)
-        in_region_neighbors = 0
-        for neighbor in self._network.neighbors(segment_id):
-            if neighbor in self._members:
-                in_region_neighbors += 1
-            else:
-                count = self._frontier_counts.get(neighbor)
-                if count is not None:
-                    if count <= 1:
-                        del self._frontier_counts[neighbor]
-                    else:
-                        self._frontier_counts[neighbor] = count - 1
-        if in_region_neighbors:
-            self._frontier_counts[segment_id] = in_region_neighbors
-        self._exact_scaled -= _scaled_exact(length)
+        if self._trail is not None:
+            self._log(False, segment_id)
+        self._base_remove(
+            segment_id, self._length_of[segment_id], self._rank_of[segment_id]
+        )
         self._total_dirty = True
-        if self._snapshot is not None:
-            self._population -= self._snapshot.count_on(segment_id)
-        index = bisect_left(self._by_length, (length, segment_id))
-        del self._by_length[index]
         if not self._bbox_dirty:
             min_x, min_y, max_x, max_y = self._seg_bounds[segment_id]
             if (
@@ -237,6 +315,70 @@ class RegionState:
             ):
                 self._bbox_dirty = True
         self._removable = None
+        self._frontier_cache = None
+
+    # ------------------------------------------------------------------
+    # undo log
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Arm the undo log (idempotent) and return a rollback token.
+
+        Every mutation after a checkpoint is recorded; :meth:`rollback`
+        with the token restores this exact state — maintained measures
+        *and* lazily cached answers (removable set, frontier tuple, bbox)
+        — in O(mutations since the token). Tokens nest like a stack:
+        rolling back to an outer token discards inner ones.
+        """
+        trail = self._trail
+        if trail is None:
+            trail = self._trail = []
+        return len(trail)
+
+    def rollback(self, token: int) -> None:
+        """Restore the state captured by ``token`` (see :meth:`checkpoint`).
+
+        Raises :class:`CloakingError` when ``token`` does not designate a
+        live checkpoint (never armed, or already rolled past).
+        """
+        trail = self._trail
+        if trail is None or token > len(trail) or token < 0:
+            raise CloakingError(f"no checkpoint at token {token}")
+        length_of = self._length_of
+        rank_of = self._rank_of
+        while len(trail) > token:
+            (
+                was_add,
+                segment_id,
+                removable,
+                frontier_cache,
+                min_x,
+                min_y,
+                max_x,
+                max_y,
+                bbox_dirty,
+                total_length,
+                total_dirty,
+            ) = trail.pop()
+            length = length_of[segment_id]
+            rank = rank_of[segment_id]
+            if was_add:
+                self._base_remove(segment_id, length, rank)
+            else:
+                self._base_add(segment_id, length, rank)
+            self._removable = removable
+            self._frontier_cache = frontier_cache
+            self._min_x = min_x
+            self._min_y = min_y
+            self._max_x = max_x
+            self._max_y = max_y
+            self._bbox_dirty = bbox_dirty
+            self._total_length = total_length
+            self._total_dirty = total_dirty
+
+    @property
+    def trail_length(self) -> int:
+        """Logged mutations since the first checkpoint (0 when unarmed)."""
+        return len(self._trail) if self._trail is not None else 0
 
     # ------------------------------------------------------------------
     # reads
@@ -290,10 +432,23 @@ class RegionState:
         """Whether ``segment_id`` is outside the region but adjacent to it."""
         return segment_id in self._frontier_counts
 
+    @property
+    def frontier_map(self) -> Dict[int, int]:
+        """The live frontier multiset ``{candidate: in-region neighbour
+        count}`` — read-only by contract, like :attr:`members`. Hot loops
+        (RPLE slot probing) test membership against it directly instead of
+        paying a method call per probe."""
+        return self._frontier_counts
+
     def frontier(self) -> Tuple[int, ...]:
         """The candidate frontier, ascending ids (matches
-        :meth:`RoadNetwork.frontier` exactly)."""
-        return tuple(sorted(self._frontier_counts))
+        :meth:`RoadNetwork.frontier` exactly). Cached until the next
+        mutation — backward enumerations read it repeatedly."""
+        cached = self._frontier_cache
+        if cached is None:
+            cached = tuple(sorted(self._frontier_counts))
+            self._frontier_cache = cached
+        return cached
 
     def frontier_counts(self) -> Dict[int, int]:
         """Per-candidate in-region neighbour counts (a fresh dict)."""
@@ -302,16 +457,22 @@ class RegionState:
     def segments_by_length(self) -> Tuple[int, ...]:
         """Members ordered by (length, id) — the canonical transition-table
         row order (:func:`repro.core.transition_table.length_order`)."""
-        return tuple(segment_id for _, segment_id in self._by_length)
+        return tuple(map(self._rank_to_id.__getitem__, self._by_length))
+
+    def members_by_length_slice(self, start: int, stride: int) -> Tuple[int, ...]:
+        """Members at positions ``start, start + stride, ...`` of the
+        (length, id) ordering — the backward transition's row walk
+        (:func:`repro.core.transition_table.state_backward`), read
+        straight off the maintained ordering without materialising it."""
+        return tuple(
+            map(self._rank_to_id.__getitem__, self._by_length[start::stride])
+        )
 
     def length_rank(self, segment_id: int) -> int:
         """The member's 0-based position in the (length, id) ordering."""
         if segment_id not in self._members:
             raise CloakingError(f"segment {segment_id} is not in the region")
-        return bisect_left(
-            self._by_length,
-            (self._network.segment_length(segment_id), segment_id),
-        )
+        return bisect_left(self._by_length, self._rank_of[segment_id])
 
     # ------------------------------------------------------------------
     # geometry
@@ -369,18 +530,20 @@ class RegionState:
     # ------------------------------------------------------------------
     def is_connected(self) -> bool:
         """Whether the region induces a connected subgraph."""
-        return self._network.is_connected_region(self._members)
+        return self._compiled.is_connected(self._members)
 
     def removable_members(self) -> FrozenSet[int]:
         """Members whose removal keeps the region connected.
 
-        One Tarjan articulation pass, cached until the next mutation —
+        One Tarjan articulation pass over the compiled CSR plane, cached
+        until the next mutation (and *restored* by :meth:`rollback`, so a
+        backtracking search re-reads earlier regions' answers for free) —
         reversal's hypothesis enumeration asks this for many candidates of
         the same region, so the amortised cost per query is O(1).
         """
         if self._removable is None:
             self._removable = frozenset(
-                removable_segments(self._network.neighbors, self._members)
+                self._compiled.removable_members(self._members)
             )
         return self._removable
 

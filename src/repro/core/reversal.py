@@ -23,24 +23,48 @@ straight-line walk — the common, fast path. The search breadth is capped;
 exceeding the cap raises :class:`~repro.errors.CollisionError` rather than
 silently exploring an exponential space.
 
-Complexity: peeling maintains incremental region bookkeeping
-(:class:`~repro.core.region_state.RegionState`) per visited region — the
-"can this removal keep the region connected?" test reads a cached
-articulation-free set (one Tarjan pass per distinct region, O(|R| * deg))
-and each backward lookup's candidate filtering uses O(1) tolerance deltas.
-That turns a level peel from O(R^3) (per-hypothesis connectivity recompute
-times per-candidate tolerance recompute) into O(R^2 * deg) worst case, and
-hinted straight-line peels into O(R * deg). Replay certification likewise
-maintains one state for its whole forward run. Pass ``use_states=False``
-to force the original from-scratch recomputes (the two paths are
-behaviourally identical; the flag exists for equivalence testing and
-benchmarking).
+Complexity and the checkpoint/rollback search discipline: the search owns
+**one** undo-logged :class:`~repro.core.region_state.RegionState` for the
+whole peel. Descending into a hypothesis is ``token = state.checkpoint();
+state.remove(segment)``; returning is ``state.rollback(token)`` — O(deg)
+per edge of the search tree instead of the former O(|R|) clone-per-region
+derivation, so quickly-pruned branches (RPLE's dead-anchor fan-out,
+decision D12) cost what they explore, not what the region weighs. The
+rollback restores cached answers too, so a node's articulation-free set
+(one Tarjan pass over the compiled CSR plane) survives the excursion into
+its children. Two value caches keyed by the flowing region frozensets make
+the iterative-deepening re-walks cheap: ``backward_hypotheses`` results
+and removable sets are pure functions of (region, removed, step), so later
+budget passes replay the tree mostly through dict hits. Backward lookups
+read the maintained length ordering directly (``state_backward``) — no
+per-node transition-table builds — and candidate filtering uses O(1)
+tolerance deltas. Hinted straight-line peels stay O(R * deg); replay
+certification maintains one state for its whole forward run.
+
+Two equivalence toggles, both byte-identical in *outcomes*:
+``use_states=False`` forces the seed-era from-scratch recomputes, and
+``undo_log=False`` keeps incremental states but derives one clone per
+visited region (the PR 1-3 discipline) — the oracle the undo-log path is
+golden-tested against. The undo path's cross-budget interval memo makes
+its explored-work counter advance more slowly (replayed subtrees are not
+re-counted), so a search near the branch limit may complete where the
+oracle path would raise; the first deepening pass — where tiny test
+limits trip — counts identically on both paths.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import CloakingError, CollisionError, DeanonymizationError
 from ..keys.keys import AccessKey
@@ -49,22 +73,44 @@ from .algorithm import CloakingAlgorithm, LevelDraws
 from .profile import ToleranceSpec
 from .region_state import RegionState
 
-__all__ = ["PeelOutcome", "peel_level", "replay_level", "enumerate_bootstraps"]
+__all__ = [
+    "PeelOutcome",
+    "peel_level",
+    "replay_level",
+    "enumerate_bootstraps",
+    "incremental_threshold",
+]
 
 #: Default cap on explored hypotheses per level peel. RPLE dead-anchor
 #: relocation (decision D12) can fan out several quickly-pruned hypotheses
 #: per step, so the cap is generous; genuine run-aways still terminate.
 DEFAULT_BRANCH_LIMIT = 20_000
 
-#: Region-size crossover for the incremental bookkeeping. Below it, a
-#: *hinted* (witness/accept-pinned, straight-line) peel is cheaper with the
-#: original from-scratch recomputes than with per-region RegionState
-#: derivation — the constant costs (container clones, exact-length
-#: accumulation) dominate tiny regions. Search-mode peels keep the states
-#: at every size: they revisit regions across many hypotheses, so the
-#: caches amortise even when small. Both paths are behaviourally
-#: identical, so crossing over is purely a constant-factor choice.
-INCREMENTAL_SIZE_THRESHOLD = 32
+#: Calibrated cost ratio behind :func:`incremental_threshold`: roughly how
+#: many neighbour-scan units a from-scratch hinted step may burn before
+#: building/maintaining incremental state breaks even. Measured on grid
+#: maps (mean segment degree ~6), where the crossover sits at ~32-member
+#: regions — the value PR 1 hard-coded before the compiled plane existed.
+_CROSSOVER_STEP_COST = 192
+
+
+def incremental_threshold(network: RoadNetwork) -> int:
+    """Region-size crossover for the incremental bookkeeping of ``network``.
+
+    Below it, a *hinted* (witness/accept-pinned, straight-line) peel is
+    cheaper with the original from-scratch recomputes than with maintained
+    :class:`RegionState` bookkeeping — the fixed costs (state construction,
+    exact-length accumulation) dominate tiny regions. The from-scratch step
+    costs O(|R| * deg) while the maintained step costs ~O(deg), so the
+    break-even member count scales inversely with the map's mean segment
+    degree — read off the compiled plane instead of hard-coding the grid
+    answer. Search-mode peels keep the states at every size: they revisit
+    regions across many hypotheses, so the caches amortise even when
+    small. Both paths are behaviourally identical, so crossing over is
+    purely a constant-factor choice.
+    """
+    mean_degree = network.compiled().avg_degree
+    return max(8, int(_CROSSOVER_STEP_COST / max(mean_degree, 1.0)))
 
 
 @dataclass(frozen=True)
@@ -110,7 +156,7 @@ def replay_level(
     ``draws`` serves the keyed values from the batched PRF plane — pass the
     peel's shared buffer so replays never recompute a draw.
     """
-    if len(start_region) + steps <= INCREMENTAL_SIZE_THRESHOLD:
+    if len(start_region) + steps <= incremental_threshold(network):
         use_state = False
     state: Optional[RegionState] = (
         RegionState.from_region(network, start_region) if use_state else None
@@ -161,6 +207,7 @@ def peel_level(
     witness_filter: Optional[Callable[[int, int], bool]] = None,
     use_states: bool = True,
     draws: Optional[LevelDraws] = None,
+    undo_log: bool = True,
 ) -> List[PeelOutcome]:
     """Peel one level, returning every replay-certified outcome.
 
@@ -198,6 +245,16 @@ def peel_level(
             level (the batched PRF plane). Hypotheses and replay
             certifications across the whole peel then pay for each distinct
             keyed draw once. ``None`` falls back to per-call draws.
+        undo_log: Explore hypotheses on one checkpoint/rollback state with
+            cross-budget hypothesis/removable/interval memos (the fast
+            default). Off derives one cloned state per visited region
+            instead — the PR 1-3 search discipline, kept as the
+            equivalence oracle. Outcomes are byte-identical either way;
+            the explored-work counter advances more slowly with the memos
+            on (interval hits replay whole subtrees without re-counting
+            them), so near the branch limit the undo path may complete a
+            search the clone path would abort. The first deepening pass
+            counts identically — interval entries cannot hit at budget 0.
 
     Returns:
         Certified outcomes. Empty when no hypothesis is consistent.
@@ -219,7 +276,7 @@ def peel_level(
             f"{len(outer)} segments"
         )
 
-    # The search combines three ideas:
+    # The search combines four ideas:
     #
     # * *Suffix memoization* — different removal orders of the same segment
     #   set converge onto identical (region, target, step) states; the memo
@@ -230,6 +287,17 @@ def peel_level(
     #   interpretation, decision D12). True chains use few penalised steps,
     #   so low-budget passes find them before the high-penalty hypothesis
     #   space (which is where false branches breed) is ever entered.
+    # * *Budget-interval reuse* (undo-log path) — a node's completions are
+    #   a step function of its remaining budget: they can only change at
+    #   the penalty of a pruned hypothesis or at a child's own next flip
+    #   point. Each computation therefore returns, besides its completions,
+    #   the smallest remaining value at which they could differ, and a
+    #   cross-budget memo replays unchanged subtrees as dict hits instead
+    #   of re-walking them once per deepening pass. Values are identical by
+    #   construction; only the explored-work counter advances more slowly,
+    #   so a search near the branch limit may complete where the per-pass
+    #   re-walk would abort (the first pass, where tiny limits trip, counts
+    #   identically — budget 0 never produces an interval hit).
     # * *Certified early exit* — with an ``accept`` predicate (hint mode),
     #   replay determinism makes the first certified match unique, so the
     #   search stops there.
@@ -243,20 +311,53 @@ def peel_level(
     if (
         use_states
         and (witness_filter is not None or accept is not None)
-        and len(outer) <= INCREMENTAL_SIZE_THRESHOLD
+        and len(outer) <= incremental_threshold(network)
     ):
         use_states = False
 
-    # Incremental bookkeeping shared across the whole peel (all budgets):
-    # one RegionState per distinct region, serving both the connectivity
-    # test (its cached Tarjan removable set — one pass instead of one
-    # connectivity recompute per hypothesis) and O(1) frontier/tolerance
-    # reads for the backward lookups. Regions recur heavily — across
-    # sibling hypotheses, across deepening budgets — so the cache
-    # amortises to O(1) per search node. Capped; past the cap new states
-    # are derived but not stored (never evicted wholesale — the early, hot
+    # Incremental bookkeeping shared across the whole peel (all budgets).
+    #
+    # Fast path (``undo_log``): one live RegionState walks the search tree
+    # by checkpoint/remove on descent and rollback on return — O(deg) per
+    # edge, nothing proportional to |R|. Two value memos keyed by the
+    # region frozensets make node revisits (sibling hypotheses within a
+    # budget, whole-tree re-walks across deepening budgets) near-free:
+    # ``backward_hypotheses`` tuples and removable sets are pure functions
+    # of (region, removed segment, step). Capped; past the cap values are
+    # recomputed but not stored (never evicted wholesale — the early, hot
     # entries such as the outer region and the true chain's prefixes stay
     # cached).
+    #
+    # Oracle path (``undo_log=False``): one RegionState per distinct
+    # region, derived from its parent by clone + removal and cached — the
+    # PR 1-3 discipline, byte-identical outcomes, kept for equivalence
+    # testing and as the benchmark trajectory's midpoint.
+    live: Optional[RegionState] = None
+    hyp_cache: Dict[Tuple[frozenset, int, int], tuple] = {}
+    removable_cache: Dict[frozenset, FrozenSet[int]] = {}
+    _HYP_CACHE_CAP = 32768
+    _REMOVABLE_CACHE_CAP = 8192
+    compiled = network.compiled()
+    side_neighbors = compiled.side_neighbors
+
+    def _is_removable(region: frozenset, removing: int) -> bool:
+        if regions_connected:
+            # Clique shortcut: segments at one junction are pairwise
+            # adjacent, so a member whose in-region neighbours all share
+            # one endpoint can never disconnect a connected region — any
+            # path through it reroutes inside the clique. O(deg), and it
+            # answers the overwhelming majority of probes without ever
+            # materialising the articulation set.
+            at_a, at_b = side_neighbors[removing]
+            if region.isdisjoint(at_a) or region.isdisjoint(at_b):
+                return True
+        removable = removable_cache.get(region)
+        if removable is None:
+            removable = frozenset(compiled.removable_members(region))
+            if len(removable_cache) < _REMOVABLE_CACHE_CAP:
+                removable_cache[region] = removable
+        return removing in removable
+
     state_cache: Dict[frozenset, RegionState] = {}
     _PEEL_CACHE_CAP = 4096
 
@@ -281,40 +382,92 @@ def peel_level(
                 state_cache[region] = region_state
         return region_state
 
+    regions_connected = False
     if use_states:
-        state_cache[outer] = RegionState.from_region(network, outer)
+        # Building the outer state first also validates every segment id
+        # (unknown ids raise UnknownSegmentError, not a bare KeyError).
+        if undo_log:
+            live = RegionState.from_region(network, outer)
+        else:
+            state_cache[outer] = RegionState.from_region(network, outer)
+        # Every region the search visits is connected when the outer region
+        # is: descent only ever crosses the removability gate. That unlocks
+        # the O(deg) clique shortcut in ``_is_removable``; a disconnected
+        # (tampered) outer region demotes every query to the full
+        # articulation answer.
+        regions_connected = compiled.is_connected(outer)
+
+    # Cross-budget caches of the undo-log path, all keyed by the node
+    # signature ``(region, removing, step)`` (pure functions of it):
+    # the inner-region frozenset, and the budget-interval entries
+    # ``(valid_from, bound, completions)`` — the node's completions are
+    # valid verbatim for any remaining budget in ``[valid_from, bound)``.
+    inf = float("inf")
+    inner_cache: Dict[Tuple[frozenset, int, int], frozenset] = {}
+    interval_memo: dict = {}
 
     for budget in budgets:
         memo: dict = {}
 
         def search(
             region: frozenset, removing: int, step: int, remaining: int
-        ) -> List[Tuple[frozenset, Tuple[int, ...], int]]:
+        ) -> Tuple[List[Tuple[frozenset, Tuple[int, ...], int]], float]:
             nonlocal explored
-            state = (region, removing, step, remaining)
-            if state in memo:
-                return memo[state]
+            node_key = (region, removing, step, remaining)
+            result = memo.get(node_key)
+            if result is not None:
+                return result
+            node_sig = (region, removing, step)
+            if live is not None:
+                cached = interval_memo.get(node_sig)
+                if cached is not None:
+                    valid_from, bound, completions = cached
+                    if valid_from <= remaining < bound:
+                        result = (completions, bound)
+                        memo[node_key] = result
+                        return result
             explored += 1
             if explored > branch_limit:
                 raise CollisionError(key.level, explored)
             completions: List[Tuple[frozenset, Tuple[int, ...], int]] = []
+            bound = inf
             if removing in region:
-                inner = region - {removing}
-                connected = (
-                    _state_of(region).is_removable(removing)
-                    if use_states
-                    else network.is_connected_region(inner)
-                )
+                inner = inner_cache.get(node_sig) if live is not None else None
+                if inner is None:
+                    inner = region - {removing}
+                    if live is not None and len(inner_cache) < _HYP_CACHE_CAP:
+                        inner_cache[node_sig] = inner
+                if not use_states:
+                    connected = network.is_connected_region(inner)
+                elif live is not None:
+                    connected = _is_removable(region, removing)
+                else:
+                    connected = _state_of(region).is_removable(removing)
                 if inner and connected:
-                    hypotheses = algorithm.backward_hypotheses(
-                        network, inner, removing, key, step, tolerance,
-                        state=(
-                            _state_of(inner, region, removing)
-                            if use_states
-                            else None
-                        ),
-                        draws=draws,
-                    )
+                    hypotheses: Optional[tuple] = None
+                    if live is not None:
+                        hypotheses = hyp_cache.get(node_sig)
+                    # Descend the live state: the recursion below expects
+                    # it to *be* the inner region. Skipped only when the
+                    # node is a cached leaf (step 1), which never recurses
+                    # and needs no state.
+                    token = -1
+                    if live is not None and (hypotheses is None or step > 1):
+                        token = live.checkpoint()
+                        live.remove(removing)
+                    if hypotheses is None:
+                        if live is not None:
+                            state = live
+                        elif use_states:
+                            state = _state_of(inner, region, removing)
+                        else:
+                            state = None
+                        hypotheses = algorithm.backward_hypotheses(
+                            network, inner, removing, key, step, tolerance,
+                            state=state, draws=draws,
+                        )
+                        if live is not None and len(hyp_cache) < _HYP_CACHE_CAP:
+                            hyp_cache[node_sig] = hypotheses
                     if witness_filter is not None:
                         # The hypothesis is the anchor of forward step
                         # ``step``; its keyed witness must match. Survivors
@@ -331,26 +484,37 @@ def peel_level(
                             )
                         )
                     if step == 1:
-                        completions = [
-                            (inner, (removing,), anchor)
-                            for anchor, penalty in hypotheses
-                            if penalty <= remaining
-                        ]
+                        for anchor, penalty in hypotheses:
+                            if penalty <= remaining:
+                                completions.append((inner, (removing,), anchor))
+                            elif penalty < bound:
+                                bound = penalty
                     else:
                         for anchor, penalty in hypotheses:
                             if penalty > remaining:
+                                if penalty < bound:
+                                    bound = penalty
                                 continue
-                            for inner2, suffix, start in search(
+                            sub, sub_bound = search(
                                 inner, anchor, step - 1, remaining - penalty
-                            ):
+                            )
+                            threshold = penalty + sub_bound
+                            if threshold < bound:
+                                bound = threshold
+                            for inner2, suffix, start in sub:
                                 completions.append(
                                     (inner2, (removing,) + suffix, start)
                                 )
-            memo[state] = completions
-            return completions
+                    if token >= 0:
+                        live.rollback(token)
+            result = (completions, bound)
+            memo[node_key] = result
+            if live is not None:
+                interval_memo[node_sig] = (remaining, bound, completions)
+            return result
 
         for bootstrap in dict.fromkeys(bootstraps):
-            for inner, removed_seq, start in search(outer, bootstrap, steps, budget):
+            for inner, removed_seq, start in search(outer, bootstrap, steps, budget)[0]:
                 signature = (inner, removed_seq, start)
                 if signature in seen_outcomes:
                     continue

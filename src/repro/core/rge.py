@@ -32,7 +32,11 @@ from .algorithm import (
 )
 from .profile import ToleranceSpec
 from .region_state import RegionState
-from .transition_table import TransitionTable, state_forward, state_table
+from .transition_table import (
+    TransitionTable,
+    state_backward,
+    state_forward,
+)
 
 __all__ = ["ReversibleGlobalExpansion"]
 
@@ -70,8 +74,9 @@ class ReversibleGlobalExpansion(CloakingAlgorithm):
         pick = draws.draw(step) if draws is not None else keyed_draw(key, step)
         if state is not None:
             return state_forward(network, state, candidates, anchor, pick)
-        table = self._table(network, region, candidates, state)
-        return table.forward(anchor, pick)
+        return TransitionTable(network, set(region), set(candidates)).forward(
+            anchor, pick
+        )
 
     def backward_anchors(
         self,
@@ -95,19 +100,12 @@ class ReversibleGlobalExpansion(CloakingAlgorithm):
             # The forward step could never have selected this segment here:
             # it was not an eligible candidate of the inner region.
             return ()
-        table = self._table(network, inner_region, candidates, state)
         pick = draws.draw(step) if draws is not None else keyed_draw(key, step)
-        return table.backward(removed, pick)
-
-    @staticmethod
-    def _table(
-        network: RoadNetwork,
-        region: AbstractSet[int],
-        candidates: Tuple[int, ...],
-        state: Optional[RegionState],
-    ) -> TransitionTable:
-        """The step's transition table, reusing the state's maintained
-        length ordering when one is available."""
         if state is not None:
-            return state_table(network, state, candidates)
-        return TransitionTable(network, set(region), set(candidates))
+            # Identical to table.backward, without building the table —
+            # the column index and the strided row walk come straight off
+            # the maintained orderings.
+            return state_backward(network, state, candidates, removed, pick)
+        return TransitionTable(network, set(inner_region), set(candidates)).backward(
+            removed, pick
+        )

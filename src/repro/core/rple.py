@@ -49,6 +49,7 @@ from typing import AbstractSet, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import CloakingError, PreassignmentError
 from ..keys.keys import AccessKey
+from ..roadnet.compiled import geometry_digest
 from ..roadnet.graph import RoadNetwork
 from ..roadnet.paths import segment_hop_distances
 from .algorithm import (
@@ -57,10 +58,13 @@ from .algorithm import (
     eligible_candidates,
     keyed_draw,
 )
-from .envelope import network_digest
 from .profile import ToleranceSpec
 from .region_state import RegionState
-from .transition_table import TransitionTable, state_forward, state_table
+from .transition_table import (
+    TransitionTable,
+    state_backward,
+    state_forward,
+)
 
 __all__ = ["Preassignment", "ReversiblePreassignmentExpansion", "DEFAULT_LIST_LENGTH"]
 
@@ -68,11 +72,15 @@ __all__ = ["Preassignment", "ReversiblePreassignmentExpansion", "DEFAULT_LIST_LE
 #: the degree distribution of grid and Delaunay maps with headroom.
 DEFAULT_LIST_LENGTH = 8
 
-#: Pre-assignment memo keyed by ``(network digest, T, max_hops)``. The
-#: tables are a pure function of that key, so every de-anonymization request
-#: (``algorithm_for_envelope``) reuses them instead of rebuilding the
-#: O(E * T) structure per call. Small LRU: each entry pins its network.
-#: Guarded by a lock — concurrent server threads share it.
+#: Pre-assignment memo keyed by ``(geometry digest, T, max_hops)``. The
+#: tables are a pure function of that key — the *geometry* digest, not the
+#: wire ``network_digest``: proximity order ranks by midpoint distance, so
+#: two maps agreeing on topology but not coordinates must not share tables.
+#: Every de-anonymization request (``algorithm_for_envelope``) reuses them
+#: instead of rebuilding the O(E * T) structure per call. Small LRU (the
+#: bound, not a wholesale clear, is what keeps a long-running service from
+#: growing without limit while the hot entry stays resident): each entry
+#: pins its network. Guarded by a lock — concurrent server threads share it.
 _PREASSIGNMENT_CACHE: "OrderedDict[Tuple[str, int, Optional[int]], Preassignment]" = (
     OrderedDict()
 )
@@ -250,7 +258,7 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         """
         if not cache:
             return cls(Preassignment(network, list_length, max_hops))
-        key = (network_digest(network), list_length, max_hops)
+        key = (geometry_digest(network), list_length, max_hops)
         with _PREASSIGNMENT_CACHE_LOCK:
             pre = _PREASSIGNMENT_CACHE.get(key)
             if pre is not None:
@@ -336,12 +344,13 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         protocol sides evaluate it identically."""
         if state is not None and fits_hint is not None:
             # Uniform tolerance answer: a slot is valid iff it is a
-            # frontier segment — skip the per-slot _slot_valid dispatch.
+            # frontier segment — skip the per-slot _slot_valid dispatch
+            # (C-level dict containment against the live frontier map).
             if not fits_hint:
                 return False
-            is_frontier = state.is_frontier
+            frontier_map = state.frontier_map
             return any(
-                target is not None and is_frontier(target)
+                target is not None and target in frontier_map
                 for target in self._pre.forward_list(anchor)
             )
         return any(
@@ -470,9 +479,9 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
             if not tolerance.fits(network, set(inner_region) | {removed}):
                 return ()
         hypotheses: List[Tuple[int, int]] = []
-        # The inner region is fixed for the whole enumeration, so the
-        # count-only tolerance answer is too (prefix replays below grow
-        # cloned states and therefore do not use it).
+        # The inner region is fixed for the whole enumeration — every
+        # probe below (anchor liveness, prefix replay, global rows) is
+        # against it — so the count-only tolerance answer is too.
         fits_hint = (
             tolerance.uniform_fit_after_add(state) if state is not None else None
         )
@@ -517,7 +526,7 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
                 continue
             if self._forward_prefix_fails(
                 network, inner_region, candidate, slots[:attempt], tolerance,
-                state=state,
+                state=state, fits_hint=fits_hint,
             ):
                 hypotheses.append((candidate, len(hypotheses)))
         # Global interpretation (decision D12): the forward anchor was dead
@@ -526,13 +535,14 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
             network, inner_region, tolerance, state=state
         )
         if removed in candidates:
+            pick = draws.draw(step) if draws is not None else keyed_draw(key, step)
             if state is not None:
-                table = state_table(network, state, candidates)
+                rows = state_backward(network, state, candidates, removed, pick)
             else:
                 table = TransitionTable(network, set(inner_region), set(candidates))
-            pick = draws.draw(step) if draws is not None else keyed_draw(key, step)
+                rows = table.backward(removed, pick)
             global_rank = 0
-            for candidate in table.backward(removed, pick):
+            for candidate in rows:
                 if not self._anchor_alive(
                     network, inner_region, candidate, tolerance, state=state,
                     fits_hint=fits_hint,
@@ -574,6 +584,7 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         earlier_slots: Sequence[int],
         tolerance: ToleranceSpec,
         state: Optional[RegionState] = None,
+        fits_hint: Optional[bool] = None,
     ) -> bool:
         """Replay guard: would a forward step from ``anchor`` have failed
         every earlier attempt (whose slot indices are ``earlier_slots``)?
@@ -582,11 +593,16 @@ class ReversiblePreassignmentExpansion(CloakingAlgorithm):
         from this anchor) would have selected a different segment earlier, so
         the hypothesis "``anchor`` produced the removal at this attempt" is
         inconsistent and must be discarded.
+
+        Every probe here is against the unchanged ``inner_region`` (the
+        guard replays *attempts*, not additions), so the caller's uniform
+        ``fits_hint`` for that region applies to every slot check.
         """
         forward = self._pre.forward_list(anchor)
         for slot in earlier_slots:
             if self._slot_valid(
-                network, inner_region, forward[slot], tolerance, state=state
+                network, inner_region, forward[slot], tolerance, state=state,
+                fits_hint=fits_hint,
             ):
                 return False
         return True

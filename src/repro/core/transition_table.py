@@ -22,6 +22,7 @@ caller disambiguates by hypothesis search with forward-replay validation
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import TYPE_CHECKING, AbstractSet, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import CloakingError
@@ -30,7 +31,12 @@ from ..roadnet.graph import RoadNetwork
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .region_state import RegionState
 
-__all__ = ["length_order", "TransitionTable", "state_forward", "state_table"]
+__all__ = [
+    "length_order",
+    "TransitionTable",
+    "state_forward",
+    "state_backward",
+]
 
 
 def length_order(network: RoadNetwork, segment_ids: Iterable[int]) -> Tuple[int, ...]:
@@ -38,13 +44,14 @@ def length_order(network: RoadNetwork, segment_ids: Iterable[int]) -> Tuple[int,
 
     This is the canonical ordering for transition-table rows and columns; it
     is a pure function of the road network, so anonymizer and de-anonymizer
-    always agree on it. Sorting uses the network's precomputed
-    ``(length, id)`` key table — this runs once per expansion step, so the
-    per-element key construction matters.
+    always agree on it. Sorting keys on the compiled plane's global length
+    *rank* — one precomputed int per segment whose order equals the
+    ``(length, id)`` order — this runs once per expansion step, so the
+    per-element comparison cost matters.
     """
-    keys = network.length_sort_keys()
+    ranks = network.compiled().rank_of
     try:
-        return tuple(sorted(segment_ids, key=keys.__getitem__))
+        return tuple(sorted(segment_ids, key=ranks.__getitem__))
     except KeyError as exc:
         network.segment_length(exc.args[0])  # raises UnknownSegmentError
         raise
@@ -232,17 +239,30 @@ def state_forward(
     )
 
 
-def state_table(
+def state_backward(
     network: RoadNetwork,
     state: "RegionState",
-    candidates: AbstractSet[int],
-) -> TransitionTable:
-    """A full transition table over a maintained region state (backward
-    lookups need the rows); reuses the state's maintained length ordering
-    instead of re-sorting the region."""
-    return TransitionTable(
-        network,
-        state.members,
-        set(candidates),
-        row_order=state.segments_by_length(),
-    )
+    candidates: Sequence[int],
+    removed: int,
+    random_value: int,
+) -> Tuple[int, ...]:
+    """The backward transition from a maintained region state, table-free.
+
+    :meth:`TransitionTable.backward` only ever reads one column index and
+    one ``|CanA|``-strided row walk, yet building the table costs the full
+    length-ordered row tuple plus two index dicts per call — the dominant
+    constant of search-mode reversal. This computes the identical answer
+    from the maintained state: the column index is the removed segment's
+    position among the rank-sorted candidates (binary search over int
+    ranks), and the matching rows come straight off the state's maintained
+    length ordering (``members_by_length_slice``). ``removed`` must be one
+    of ``candidates`` (callers have already checked eligibility).
+    """
+    rank_of = network.compiled().rank_of
+    column_ranks = sorted(map(rank_of.__getitem__, candidates))
+    count = len(column_ranks)
+    pick = random_value % count
+    column = bisect_left(column_ranks, rank_of[removed])
+    return state.members_by_length_slice((pick - column) % count, count)
+
+

@@ -221,6 +221,16 @@ class ThreadPoolBackend(ExecutionBackend):
     the network, the algorithm and its pre-assignment tables). All requests
     of a batch run against the one snapshot the batch was submitted with.
 
+    GIL caveat: cloaking is pure Python, so on GIL-bound builds the pool
+    adds scheduling overhead without adding parallelism — every measured
+    width was slower than inline serving on a 1-CPU container
+    (``BENCH_serving.json``). A width of 1 therefore short-circuits to
+    inline execution on the calling thread (same engine-per-thread reuse,
+    no pool hop); widths > 1 remain the right backend only for workloads
+    that actually block (I/O-heavy algorithms, free-threaded builds) —
+    otherwise prefer :class:`InlineBackend` or
+    :class:`ProcessPoolBackend`.
+
     Args:
         max_workers: Pool width; ``None`` picks ``min(8, cpu_count)``.
     """
@@ -259,6 +269,15 @@ class ThreadPoolBackend(ExecutionBackend):
         if not requests:
             return []
         include_hints = self.spec.include_hints
+        if self._max_workers == 1:
+            # A one-thread pool is pure overhead (submission hop + GIL
+            # handoff per request, see the class docstring): serve on the
+            # calling thread with the same per-thread engine reuse.
+            engine = self._worker_engine()
+            return [
+                _serve_outcome(engine, snapshot, request, include_hints)
+                for request in requests
+            ]
         pool = self._ensure_pool()
         return list(
             pool.map(

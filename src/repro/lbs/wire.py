@@ -31,6 +31,8 @@ or published. Outcome documents carry no key material.
 from __future__ import annotations
 
 import json
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Type
 
@@ -138,9 +140,15 @@ def _parse(kind: str, what: str, thunk):
 #: Parsed-profile memo keyed by canonical JSON. Real workloads draw
 #: profiles from a handful of presets, so batch serving parses each
 #: distinct profile document once instead of once per request; profiles
-#: are immutable, so sharing instances is safe.
-_PROFILE_CACHE: Dict[str, PrivacyProfile] = {}
+#: are immutable, so sharing instances is safe. True LRU (move-to-end on
+#: hit, evict oldest past the cap): request documents are attacker input,
+#: so a long-running :class:`~repro.lbs.service.AnonymizerService` fed
+#: churning profiles must neither grow without limit nor — as the former
+#: clear-when-full policy did — drop the hot presets whenever the cap is
+#: reached. Lock-guarded: backends parse concurrently.
+_PROFILE_CACHE: "OrderedDict[str, PrivacyProfile]" = OrderedDict()
 _PROFILE_CACHE_CAP = 256
+_PROFILE_CACHE_LOCK = threading.Lock()
 
 
 def _cached_profile(document) -> PrivacyProfile:
@@ -148,12 +156,17 @@ def _cached_profile(document) -> PrivacyProfile:
         key = json.dumps(document, sort_keys=True)
     except (TypeError, ValueError):
         return PrivacyProfile.from_dict(document)  # unhashable junk: let it fail there
-    profile = _PROFILE_CACHE.get(key)
-    if profile is None:
-        if len(_PROFILE_CACHE) >= _PROFILE_CACHE_CAP:
-            _PROFILE_CACHE.clear()
-        profile = PrivacyProfile.from_dict(document)
+    with _PROFILE_CACHE_LOCK:
+        profile = _PROFILE_CACHE.get(key)
+        if profile is not None:
+            _PROFILE_CACHE.move_to_end(key)
+            return profile
+    profile = PrivacyProfile.from_dict(document)
+    with _PROFILE_CACHE_LOCK:
         _PROFILE_CACHE[key] = profile
+        _PROFILE_CACHE.move_to_end(key)
+        while len(_PROFILE_CACHE) > _PROFILE_CACHE_CAP:
+            _PROFILE_CACHE.popitem(last=False)
     return profile
 
 

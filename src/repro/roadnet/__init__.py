@@ -28,6 +28,7 @@ from .generators import (
     radial_network,
     random_delaunay_network,
 )
+from .compiled import CompiledNetwork, compiled_network, geometry_digest
 from .graph import Junction, RoadNetwork, RoadNetworkBuilder, Segment
 from .io import (
     load_network_csv,
@@ -54,6 +55,9 @@ __all__ = [
     "Segment",
     "RoadNetwork",
     "RoadNetworkBuilder",
+    "CompiledNetwork",
+    "compiled_network",
+    "geometry_digest",
     "grid_network",
     "path_network",
     "radial_network",

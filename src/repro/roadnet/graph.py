@@ -227,6 +227,7 @@ class RoadNetwork:
         self._segment_bounds: Optional[
             Dict[int, Tuple[float, float, float, float]]
         ] = None
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -300,6 +301,22 @@ class RoadNetwork:
             }
             self._length_sort_keys = keys
         return keys
+
+    def compiled(self):
+        """The shared :class:`~repro.roadnet.compiled.CompiledNetwork` of
+        this map — dense reindex, CSR adjacency, flat length/bbox/rank
+        tables. Compiled once per geometry digest (equal maps share one
+        plane) and cached on the instance; this is what every hot path
+        (region state maintenance, candidate ordering, removability
+        sweeps) consumes instead of the id-keyed dicts here.
+        """
+        plane = self._compiled
+        if plane is None:
+            from .compiled import compiled_network  # local: avoids a cycle
+
+            plane = compiled_network(self)
+            self._compiled = plane
+        return plane
 
     def segment_bounds(self) -> Dict[int, Tuple[float, float, float, float]]:
         """Per-segment ``(min_x, min_y, max_x, max_y)``, computed once.
@@ -485,12 +502,15 @@ class RoadNetwork:
 
         Computed with a single articulation-point pass (Tarjan) over the
         region-induced subgraph: O(|region| * deg) total, instead of one
-        connectivity check per member (O(|region|^2 * deg)).
+        connectivity check per member (O(|region|^2 * deg)). Runs on the
+        compiled CSR plane; :func:`removable_segments` remains the
+        dict-walking reference implementation it is tested against.
         """
         region_set = set(region)
-        for segment_id in region_set:
-            self.segment(segment_id)
-        return removable_segments(self._neighbors.__getitem__, region_set)
+        try:
+            return self.compiled().removable_members(region_set)
+        except KeyError as exc:
+            raise UnknownSegmentError(exc.args[0]) from None
 
     def connected_components(self) -> Tuple[FrozenSet[int], ...]:
         """Connected components of the segment-adjacency graph, largest first."""
@@ -510,6 +530,14 @@ class RoadNetwork:
             components.append(frozenset(seen))
         components.sort(key=lambda c: (-len(c), min(c)))
         return tuple(components)
+
+    def __getstate__(self) -> dict:
+        # The compiled plane carries per-thread scratch (unpicklable) and
+        # is memoized per geometry digest anyway — drop it and let the
+        # unpickled copy resolve it on first use.
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

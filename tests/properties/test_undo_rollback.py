@@ -1,0 +1,84 @@
+"""Property test: arbitrary checkpoint/rollback interleavings vs clones.
+
+Hypothesis drives :class:`~repro.core.region_state.RegionState` through
+arbitrary interpreted programs of add / remove / checkpoint / rollback
+steps; a clone captured at every checkpoint is the oracle a later rollback
+must reproduce *exactly* — including the exact fixed-point length
+accumulator, the removability answer and the canonical length ordering.
+This is the reversal search's safety net: `peel_level` explores thousands
+of hypotheses by apply/undo on one shared state, so any drift between a
+rolled-back state and a fresh one would silently corrupt reversals.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PopulationSnapshot, RegionState, grid_network
+
+NETWORK = grid_network(7, 7)
+SEGMENTS = NETWORK.segment_ids()
+SNAPSHOT = PopulationSnapshot.from_counts(
+    {sid: (sid * 7) % 5 for sid in SEGMENTS}
+)
+
+#: Program steps: ("add"/"remove", pick) mutate, ("checkpoint",) pushes,
+#: ("rollback", pick) unwinds to a still-live checkpoint.
+_STEP = st.one_of(
+    st.tuples(st.just("add"), st.integers(0, 10_000)),
+    st.tuples(st.just("remove"), st.integers(0, 10_000)),
+    st.tuples(st.just("checkpoint")),
+    st.tuples(st.just("rollback"), st.integers(0, 10_000)),
+)
+
+
+def _observe(state):
+    """Every maintained observable, in comparable form."""
+    return (
+        frozenset(state.members),
+        state.frontier(),
+        tuple(sorted(state.frontier_counts().items())),
+        state.exact_total_length,
+        state.total_length,
+        state.population,
+        state.segments_by_length(),
+        state.bounding_box() if len(state) else None,
+        state.removable_members(),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=st.lists(_STEP, min_size=1, max_size=60))
+def test_rollback_matches_clone_oracle(program):
+    state = RegionState(NETWORK, snapshot=SNAPSHOT)
+    live = set()
+    checkpoints = []  # (token, oracle clone)
+    for step in program:
+        if step[0] == "add":
+            candidates = [s for s in SEGMENTS if s not in live]
+            if not candidates:
+                continue
+            sid = candidates[step[1] % len(candidates)]
+            state.add(sid)
+            live.add(sid)
+        elif step[0] == "remove":
+            if not live:
+                continue
+            sid = sorted(live)[step[1] % len(live)]
+            state.remove(sid)
+            live.discard(sid)
+        elif step[0] == "checkpoint":
+            checkpoints.append((state.checkpoint(), state.clone()))
+        else:  # rollback
+            if not checkpoints:
+                continue
+            index = step[1] % len(checkpoints)
+            token, oracle = checkpoints[index]
+            del checkpoints[index:]
+            state.rollback(token)
+            assert _observe(state) == _observe(oracle)
+            live = set(oracle.members)
+    # Final unwind: every remaining checkpoint must still restore exactly.
+    while checkpoints:
+        token, oracle = checkpoints.pop()
+        state.rollback(token)
+        assert _observe(state) == _observe(oracle)

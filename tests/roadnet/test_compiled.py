@@ -1,0 +1,126 @@
+"""CompiledNetwork: the flat hot-path tables must mirror the dict model."""
+
+import random
+
+import pytest
+
+from repro.roadnet import (
+    CompiledNetwork,
+    compiled_network,
+    geometry_digest,
+    grid_network,
+    random_delaunay_network,
+)
+from repro.roadnet.graph import RoadNetworkBuilder, removable_segments
+
+GRID = grid_network(9, 9)
+DELAUNAY = random_delaunay_network(n_junctions=60, target_segments=120, seed=7)
+
+
+@pytest.mark.parametrize("network", [GRID, DELAUNAY], ids=["grid", "delaunay"])
+class TestTables:
+    def test_dense_reindex_is_id_ordered(self, network):
+        plane = network.compiled()
+        assert plane.segment_list == network.segment_ids()
+        assert all(
+            plane.segment_list[plane.index_of[s]] == s for s in plane.segment_list
+        )
+
+    def test_csr_matches_neighbor_map(self, network):
+        plane = network.compiled()
+        for sid in network.segment_ids():
+            dense = plane.index_of[sid]
+            row = plane.csr_neighbors[
+                plane.offsets[dense] : plane.offsets[dense + 1]
+            ]
+            assert tuple(plane.segment_list[d] for d in row) == network.neighbors(sid)
+
+    def test_length_rank_is_global_length_order(self, network):
+        plane = network.compiled()
+        expected = sorted(
+            network.segment_ids(), key=lambda s: (network.segment_length(s), s)
+        )
+        assert list(plane.rank_to_id) == expected
+        assert all(plane.rank_of[s] == i for i, s in enumerate(expected))
+        assert all(
+            plane.length_rank[plane.index_of[s]] == plane.rank_of[s]
+            for s in network.segment_ids()
+        )
+
+    def test_flat_geometry_tables(self, network):
+        plane = network.compiled()
+        bounds = network.segment_bounds()
+        for sid in network.segment_ids():
+            dense = plane.index_of[sid]
+            assert plane.lengths[dense] == network.segment_length(sid)
+            assert (
+                plane.min_x[dense],
+                plane.min_y[dense],
+                plane.max_x[dense],
+                plane.max_y[dense],
+            ) == bounds[sid]
+
+    def test_side_neighbors_partition_the_neighbor_list(self, network):
+        plane = network.compiled()
+        for sid in network.segment_ids():
+            at_a, at_b = plane.side_neighbors[sid]
+            assert not at_a & at_b  # a neighbour shares exactly one junction
+            segment = network.segment(sid)
+            incident = (
+                set(network.segments_at_junction(segment.junction_a))
+                | set(network.segments_at_junction(segment.junction_b))
+            ) - {sid}
+            assert at_a | at_b == incident
+
+    def test_removability_and_connectivity_match_reference(self, network):
+        plane = network.compiled()
+        rng = random.Random(23)
+        ids = list(network.segment_ids())
+        neighbors = network.compiled().neighbor_map.__getitem__
+        for _ in range(200):
+            region = set(rng.sample(ids, rng.randrange(0, 24)))
+            assert plane.removable_members(region) == removable_segments(
+                neighbors, set(region)
+            )
+            assert plane.is_connected(region) == network.is_connected_region(region)
+        # Grown (connected) regions exercise the single-component Tarjan arm.
+        region = {ids[0]}
+        for _ in range(60):
+            frontier = network.frontier(region)
+            if not frontier:
+                break
+            region.add(rng.choice(frontier))
+            assert plane.removable_members(region) == removable_segments(
+                neighbors, set(region)
+            )
+
+
+class TestSharing:
+    def test_plane_cached_on_instance(self):
+        assert GRID.compiled() is GRID.compiled()
+
+    def test_equal_maps_share_one_plane(self):
+        assert grid_network(5, 5).compiled() is grid_network(5, 5).compiled()
+        assert compiled_network(grid_network(5, 5)) is grid_network(5, 5).compiled()
+
+    def test_geometry_digest_separates_coordinates(self):
+        """Same topology and lengths, different junction coordinates: the
+        wire network digest collides by design, the geometry digest (and
+        therefore the compiled bbox tables) must not."""
+
+        def build(y):
+            builder = RoadNetworkBuilder(name="twin")
+            builder.add_junction(0, 0.0, 0.0)
+            builder.add_junction(1, 100.0, y)
+            builder.add_junction(2, 200.0, 0.0)
+            builder.add_segment(0, 0, 1, length=150.0)
+            builder.add_segment(1, 1, 2, length=150.0)
+            return builder.build()
+
+        flat, bent = build(0.0), build(90.0)
+        from repro.core.envelope import network_digest
+
+        assert network_digest(flat) == network_digest(bent)
+        assert geometry_digest(flat) != geometry_digest(bent)
+        assert flat.compiled() is not bent.compiled()
+        assert isinstance(flat.compiled(), CompiledNetwork)
