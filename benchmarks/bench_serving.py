@@ -1,14 +1,22 @@
 """Serving-backend benchmark (PR 3 trajectory): inline vs thread pool vs
-sharded process pool.
+sharded process pool — cloaking and, since PR 5, batched de-anonymization.
 
 Measures ``AnonymizerService.cloak_batch`` requests/sec on the trajectory
 workload (10k-segment map, 64-request batches; small map with ``--quick``)
 across the three execution backends at several worker widths, asserting
 byte-identical envelopes between every backend and sequential single-request
 serving. The thread-pool rows reproduce PR 2's ``cloak_batch`` measurement
-(GIL-bound, so widths > 1 measure overhead); the process-pool rows are this
-PR's new cross-process path, where each worker holds its own engine against
+(GIL-bound, so widths > 1 measure overhead); the process-pool rows are the
+PR 3 cross-process path, where each worker holds its own engine against
 a per-batch snapshot shipped as wire documents.
+
+The PR 5 reversal section measures ``AnonymizerService.deanonymize_batch``
+peels/sec over the same envelopes, in hint and search modes, across the
+same backends — the first time the system's slowest serving operation
+rides the execution seam at all. Reversal is snapshot-free pure CPU, so
+unlike GIL-bound cloaking threads, process-pool shards genuinely
+parallelise it on multi-core hardware (a 1-CPU container measures the
+wire overhead floor instead — the number to beat is inline).
 
 Timing is steady-state: each backend serves one warm-up batch first (pool
 spawn and the one-time snapshot ship are start-up costs, not per-batch
@@ -42,7 +50,9 @@ from repro import (
 from repro.bench import ResultTable
 from repro.lbs import (
     CloakRequest,
+    DeanonymizeRequestDoc,
     InlineBackend,
+    OutcomeDoc,
     ProcessPoolBackend,
     ThreadPoolBackend,
 )
@@ -138,8 +148,110 @@ def bench_serving(quick: bool, repeats: int) -> list:
     return rows
 
 
+def _best_reversal_ms(service, requests, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        service.deanonymize_batch(requests)
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def bench_reversal_serving(quick: bool, repeats: int) -> list:
+    """The PR 5 section: batched de-anonymization across the backends."""
+    side = QUICK_MAP_SIDE if quick else FULL_MAP_SIDE
+    segments = QUICK_MAP_SEGMENTS if quick else FULL_MAP_SEGMENTS
+    batch_size = QUICK_BATCH if quick else FULL_BATCH
+    widths = QUICK_WIDTHS if quick else FULL_WIDTHS
+    network = grid_network(side, side)
+    snapshot = PopulationSnapshot.from_counts(
+        {segment_id: 2 for segment_id in network.segment_ids()}
+    )
+    profile = PrivacyProfile.uniform(
+        levels=2, base_k=20, k_step=20, base_l=3, l_step=1, max_segments=80
+    )
+    producer = AnonymizerService(network)
+    producer.update_snapshot(snapshot)
+    batches = {}
+    for mode in ("hint", "search"):
+        requests = []
+        for user_id in snapshot.users()[:batch_size]:
+            chain = KeyChain.from_passphrases(
+                [f"r{user_id}-1", f"r{user_id}-2"]
+            )
+            envelope = producer.cloak(
+                CloakRequest(user_id=user_id, profile=profile, chain=chain)
+            )
+            requests.append(
+                DeanonymizeRequestDoc(
+                    envelope=envelope,
+                    keys=tuple(chain),
+                    target_level=0,
+                    mode=mode,
+                )
+            )
+        batches[mode] = requests
+
+    reference = AnonymizerService(network)
+    sequential = {
+        mode: [
+            OutcomeDoc.from_result(
+                reference.deanonymize(
+                    r.envelope, r.key_map(), r.target_level, mode=mode
+                )
+            ).to_json()
+            for r in requests
+        ]
+        for mode, requests in batches.items()
+    }
+
+    def backend_rows(label: str, make_backend, widths) -> list:
+        rows = []
+        for width in widths:
+            for mode, requests in batches.items():
+                with make_backend(width) as backend:
+                    service = AnonymizerService(network, backend=backend)
+                    warm = service.deanonymize_batch(requests)
+                    produced = [
+                        OutcomeDoc.from_result(outcome.result).to_json()
+                        for outcome in warm
+                    ]
+                    assert produced == sequential[mode], (
+                        f"reversal {label}@{width}/{mode} diverged from "
+                        "sequential serving"
+                    )
+                    batch_ms = _best_reversal_ms(service, requests, repeats)
+                rows.append(
+                    {
+                        "map_segments": segments,
+                        "batch_size": batch_size,
+                        "backend": label,
+                        "workers": width,
+                        "mode": mode,
+                        "batch_ms": round(batch_ms, 3),
+                        "throughput_rps": round(
+                            batch_size / (batch_ms / 1000.0), 1
+                        ),
+                    }
+                )
+                print(
+                    f"reversal {label} workers={width} mode={mode}: "
+                    f"{batch_ms:.2f} ms/batch "
+                    f"({batch_size / (batch_ms / 1000.0):.0f} peels/s)"
+                )
+        return rows
+
+    rows = backend_rows("inline", lambda _w: InlineBackend(), (1,))
+    rows += backend_rows("thread", lambda w: ThreadPoolBackend(w), widths)
+    rows += backend_rows(
+        "process", lambda w: ProcessPoolBackend(w, start_method="fork"), widths
+    )
+    return rows
+
+
 def run(quick: bool, repeats: int) -> dict:
     rows = bench_serving(quick, repeats)
+    reversal_rows = bench_reversal_serving(quick, repeats)
 
     table = ResultTable(
         "BENCH_SERVING",
@@ -158,6 +270,24 @@ def run(quick: bool, repeats: int) -> dict:
         table.add_row(**row)
     table.print_and_save()
 
+    reversal_table = ResultTable(
+        "BENCH_SERVING_REVERSAL",
+        "deanonymize_batch throughput by execution backend (best-of-%d)"
+        % repeats,
+        [
+            "map_segments",
+            "batch_size",
+            "backend",
+            "workers",
+            "mode",
+            "batch_ms",
+            "throughput_rps",
+        ],
+    )
+    for row in reversal_rows:
+        reversal_table.add_row(**row)
+    reversal_table.print_and_save()
+
     def best_for(backend: str, min_workers: int = 1) -> dict:
         candidates = [
             row
@@ -166,10 +296,34 @@ def run(quick: bool, repeats: int) -> dict:
         ]
         return max(candidates, key=lambda row: row["throughput_rps"])
 
+    def reversal_best(backend: str, mode: str, min_workers: int = 1) -> dict:
+        candidates = [
+            row
+            for row in reversal_rows
+            if row["backend"] == backend
+            and row["mode"] == mode
+            and row["workers"] >= min_workers
+        ]
+        return max(candidates, key=lambda row: row["throughput_rps"])
+
     inline = best_for("inline")
     thread = best_for("thread")
     process = best_for("process")
-    process_scaled = best_for("process", min_workers=4 if not quick else 2)
+    scaled_width = 4 if not quick else 2
+    process_scaled = best_for("process", min_workers=scaled_width)
+    reversal_summary = {}
+    for mode in ("hint", "search"):
+        r_inline = reversal_best("inline", mode)
+        r_process = reversal_best("process", mode, min_workers=scaled_width)
+        reversal_summary[mode] = {
+            "inline_rps": r_inline["throughput_rps"],
+            "best_thread_rps": reversal_best("thread", mode)["throughput_rps"],
+            "process_rps_at_scaled_width": r_process["throughput_rps"],
+            "process_scaled_width": r_process["workers"],
+            "process_vs_inline": round(
+                r_process["throughput_rps"] / r_inline["throughput_rps"], 3
+            ),
+        }
     return {
         "benchmark": "bench_serving",
         "quick": quick,
@@ -177,6 +331,7 @@ def run(quick: bool, repeats: int) -> dict:
         "cpu_count": os.cpu_count(),
         "pr2_thread_ceiling_rps": PR2_THREAD_CEILING_RPS,
         "serving": rows,
+        "reversal_serving": reversal_rows,
         "summary": {
             "inline_rps": inline["throughput_rps"],
             "best_thread_rps": thread["throughput_rps"],
@@ -188,6 +343,7 @@ def run(quick: bool, repeats: int) -> dict:
             "process_vs_pr2_thread_ceiling": round(
                 process_scaled["throughput_rps"] / PR2_THREAD_CEILING_RPS, 3
             ),
+            "reversal": reversal_summary,
         },
     }
 

@@ -52,6 +52,7 @@ from .profile import PrivacyProfile
 from .region_state import RegionState
 from .reversal import (
     DEFAULT_BRANCH_LIMIT,
+    DrawsCache,
     PeelOutcome,
     enumerate_bootstraps,
     peel_level,
@@ -361,6 +362,7 @@ class ReverseCloakEngine:
         keys: KeysLike,
         target_level: int,
         mode: str = "auto",
+        draws_cache: Optional[DrawsCache] = None,
     ) -> DeanonymizationResult:
         """Peel ``envelope`` down to ``target_level``.
 
@@ -372,6 +374,12 @@ class ReverseCloakEngine:
             target_level: The lowest level to recover (0 recovers the user's
                 segment).
             mode: ``"hint"``, ``"search"``, or ``"auto"``.
+            draws_cache: Optional cross-request
+                :class:`~repro.core.reversal.DrawsCache` — batch callers
+                pass one so peels of envelopes sharing level keys reuse
+                each other's memoized keyed draws. Values are pure
+                functions of the key, so results are byte-identical with
+                or without it.
 
         Raises:
             KeyMismatchError: A key fails its level MAC or hint check.
@@ -413,11 +421,14 @@ class ReverseCloakEngine:
             record.verify_key(key, envelope.algorithm, envelope.net_digest)
             # One shared draw buffer per level peel: every hypothesis and
             # replay certification below re-reads the same keyed values.
-            draws = (
-                LevelDraws(key, lookahead=record.steps)
-                if self._batched_prf
-                else None
-            )
+            # A batch caller's cache widens the sharing to sibling
+            # envelopes peeled under the same key.
+            if not self._batched_prf:
+                draws = None
+            elif draws_cache is not None:
+                draws = draws_cache.draws_for(key, lookahead=record.steps)
+            else:
+                draws = LevelDraws(key, lookahead=record.steps)
             if region_digest(region) != record.digest:
                 raise EnvelopeError(
                     f"level {level} digest mismatch: envelope inconsistent"
@@ -491,6 +502,45 @@ class ReverseCloakEngine:
         return DeanonymizationResult(
             target_level=target_level, regions=regions, removed=removed
         )
+
+    def deanonymize_batch(
+        self,
+        items: Iterable[Tuple[CloakEnvelope, KeysLike, int]],
+        mode: str = "auto",
+        draws_cache: Optional[DrawsCache] = None,
+    ) -> List[DeanonymizationResult]:
+        """Peel a batch of envelopes, sharing per-key reversal state.
+
+        The batch twin of :meth:`deanonymize`: results are element-wise
+        byte-identical to calling it once per item, but the batch resolves
+        the compiled network plane once up front and threads one
+        :class:`~repro.core.reversal.DrawsCache` through every peel, so
+        envelopes sharing level keys (a user's timeline, re-peeled grant
+        suffixes) pay for each distinct keyed draw once across the whole
+        batch.
+
+        Args:
+            items: ``(envelope, keys, target_level)`` triples.
+            mode: Reversal mode applied to every item.
+            draws_cache: Optional externally owned cache (defaults to a
+                fresh one per batch).
+
+        Raises:
+            Whatever :meth:`deanonymize` raises, on the first failing item
+            — per-item error capture is the serving layer's job
+            (:meth:`repro.lbs.backends.ExecutionBackend.deanonymize_batch`).
+        """
+        cache = draws_cache if draws_cache is not None else DrawsCache()
+        # One compiled-plane resolution for the whole batch: every peel's
+        # region bookkeeping reads the same plane, so touch the accessor
+        # once here instead of once per item inside the hot path.
+        self._network.compiled()
+        return [
+            self.deanonymize(
+                envelope, keys, target_level, mode=mode, draws_cache=cache
+            )
+            for envelope, keys, target_level in items
+        ]
 
     def _bootstraps_for(
         self,

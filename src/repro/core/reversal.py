@@ -74,6 +74,7 @@ from .profile import ToleranceSpec
 from .region_state import RegionState
 
 __all__ = [
+    "DrawsCache",
     "PeelOutcome",
     "peel_level",
     "replay_level",
@@ -111,6 +112,55 @@ def incremental_threshold(network: RoadNetwork) -> int:
     """
     mean_degree = network.compiled().avg_degree
     return max(8, int(_CROSSOVER_STEP_COST / max(mean_degree, 1.0)))
+
+
+class DrawsCache:
+    """A per-batch pool of :class:`~repro.core.algorithm.LevelDraws` buffers.
+
+    One level peel already shares a single draws buffer across all of its
+    hypotheses and replay certifications; a *batch* of reversals goes one
+    step further — envelopes produced under the same key chain (a user's
+    timeline, a provider re-peeling grant suffixes) re-request exactly the
+    same ``(level, key, step, attempt)`` values, so the pool hands every
+    peel of the same ``(level, key material)`` pair the same memoized
+    buffer. Keyed draws are pure functions of that pair, so sharing never
+    changes a value — outcomes stay byte-identical with or without the
+    cache.
+
+    Not thread-safe (neither is :class:`LevelDraws`): a cache belongs to
+    one serving thread's batch. Bounded — batch contents are attacker
+    input on the wire endpoints, so a batch of envelopes churning distinct
+    keys must not grow the pool without limit; past the cap, new keys
+    simply get unpooled buffers (correct, just unshared).
+    """
+
+    __slots__ = ("_buffers", "_cap")
+
+    #: Default buffer cap: levels x distinct chains worth sharing in one
+    #: batch. Past it the cache stops pooling rather than evicting — an
+    #: evicted buffer's sunk draws would be repaid in full on re-entry.
+    DEFAULT_CAP = 512
+
+    def __init__(self, cap: int = DEFAULT_CAP) -> None:
+        self._buffers: Dict[Tuple[int, bytes], LevelDraws] = {}
+        self._cap = cap
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def draws_for(self, key: AccessKey, lookahead: Optional[int] = None) -> LevelDraws:
+        """The shared buffer of ``key`` (created on first use).
+
+        ``lookahead`` sizes the first pre-draw block of a *new* buffer
+        (an existing buffer keeps its memoized values and simply refills).
+        """
+        cache_key = (key.level, key.material)
+        draws = self._buffers.get(cache_key)
+        if draws is None:
+            draws = LevelDraws(key, lookahead=lookahead)
+            if len(self._buffers) < self._cap:
+                self._buffers[cache_key] = draws
+        return draws
 
 
 @dataclass(frozen=True)

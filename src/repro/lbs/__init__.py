@@ -8,6 +8,8 @@ from .backends import (
     ExecutionBackend,
     InlineBackend,
     ProcessPoolBackend,
+    ReversalEngineCache,
+    ReversalOutcome,
     ThreadPoolBackend,
 )
 from .continuous import CloakTimeline, ContinuousCloaker, TimelineEntry
@@ -17,8 +19,10 @@ from .query import CandidateResult, PoiDirectory, PointOfInterest, range_query
 from .server import TrustedAnonymizer
 from .service import AnonymizerService
 from .wire import (
+    BatchOutcomeDoc,
     CloakRequest,
     CloakRequestDoc,
+    DeanonymizeBatchDoc,
     DeanonymizeRequestDoc,
     OutcomeDoc,
 )
@@ -28,9 +32,13 @@ __all__ = [
     "TrustedAnonymizer",
     "CloakRequest",
     "BatchOutcome",
+    "ReversalOutcome",
+    "ReversalEngineCache",
     "CloakRequestDoc",
     "DeanonymizeRequestDoc",
+    "DeanonymizeBatchDoc",
     "OutcomeDoc",
+    "BatchOutcomeDoc",
     "ExecutionBackend",
     "BackendSpec",
     "InlineBackend",

@@ -25,6 +25,21 @@ exceptions — anything outside the documented
 :class:`~repro.errors.CloakingError` / :class:`~repro.errors.MobilityError`
 serving failures — propagate to the caller instead of being swallowed into
 outcomes.
+
+Since PR 5 the seam carries the system's headline operation too:
+:meth:`ExecutionBackend.deanonymize_batch` serves a batch of
+de-anonymization requests (:class:`~repro.lbs.wire.DeanonymizeRequestDoc`)
+under the same contract — outcomes in request order
+(:class:`ReversalOutcome`), per-item typed failures
+(:class:`~repro.errors.DeanonymizationError` /
+:class:`~repro.errors.EnvelopeError` / :class:`~repro.errors.ProfileError`)
+in place, anything else propagating, byte-identical results across every
+backend. Reversal needs no population snapshot (envelopes are
+self-describing), so the batch is snapshot-free; reversal engines are
+resolved from each envelope's own algorithm metadata through a bounded
+:class:`ReversalEngineCache`, and peels within a batch share keyed-draw
+buffers through one :class:`~repro.core.reversal.DrawsCache` per serving
+thread.
 """
 
 from __future__ import annotations
@@ -33,20 +48,34 @@ import json
 import os
 import threading
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core.algorithm import CloakingAlgorithm
-from ..core.engine import ReverseCloakEngine, algorithm_from_spec
+from ..core.engine import (
+    DeanonymizationResult,
+    ReverseCloakEngine,
+    algorithm_from_spec,
+)
 from ..core.envelope import CloakEnvelope
-from ..errors import CloakingError, MobilityError
+from ..core.reversal import DrawsCache
+from ..errors import (
+    CloakingError,
+    DeanonymizationError,
+    EnvelopeError,
+    MobilityError,
+    ProfileError,
+    WireFormatError,
+)
 from ..mobility.snapshot import PopulationSnapshot
 from ..roadnet.graph import RoadNetwork
 from ..roadnet.io import network_from_dict, network_to_dict
 from .wire import (
     CloakRequest,
     CloakRequestDoc,
+    DeanonymizeRequestDoc,
     OutcomeDoc,
     snapshot_from_dict,
     snapshot_to_dict,
@@ -55,6 +84,8 @@ from .wire import (
 __all__ = [
     "BackendSpec",
     "BatchOutcome",
+    "ReversalOutcome",
+    "ReversalEngineCache",
     "ExecutionBackend",
     "InlineBackend",
     "ThreadPoolBackend",
@@ -64,6 +95,15 @@ __all__ = [
 #: The typed per-request failure union of batch serving. Anything else is a
 #: bug or an infrastructure failure and must propagate.
 ServingError = Union[CloakingError, MobilityError]
+
+#: The typed per-item failure union of batch *reversal* serving: wrong or
+#: missing keys, collisions, malformed or foreign envelopes, bad levels.
+#: Anything else is a bug or an infrastructure failure and must propagate.
+ReversalServingError = Union[DeanonymizationError, EnvelopeError, ProfileError]
+
+#: The isinstance tuple of :data:`ReversalServingError` (also what the
+#: process-pool workers convert into per-item outcome documents).
+_REVERSAL_ERRORS = (DeanonymizationError, EnvelopeError, ProfileError)
 
 
 @dataclass(frozen=True)
@@ -91,6 +131,136 @@ class BatchOutcome:
     @property
     def ok(self) -> bool:
         return self.envelope is not None
+
+
+@dataclass(frozen=True)
+class ReversalOutcome:
+    """The result of one de-anonymization request inside a batch.
+
+    Exactly one of :attr:`result` / :attr:`error` is set; failures sit in
+    place so one bad item (wrong key, tampered envelope, collision) never
+    aborts its siblings.
+
+    Attributes:
+        request: The reversal request this outcome answers (same position
+            as in the submitted batch).
+        result: The recovered per-level regions on success.
+        error: The typed :data:`ReversalServingError` the item failed with
+            — the only failures serving converts into outcomes; unexpected
+            exceptions propagate out of the batch call.
+    """
+
+    request: DeanonymizeRequestDoc
+    result: Optional[DeanonymizationResult] = None
+    error: Optional[ReversalServingError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+class ReversalEngineCache:
+    """Bounded, lock-guarded LRU of reversal engines keyed by algorithm spec.
+
+    Envelopes name their own algorithm and parameters, and those fields are
+    attacker-controlled on the wire endpoints — an unbounded
+    ``{(algorithm, params): engine}`` dict lets churning parameters grow
+    engine objects (and their pre-assignment tables) without limit, the
+    same bug class PR 4 fixed in the transition-domain memo. This cache
+    caps the live set (move-to-end on hit, evict oldest past ``cap``) and
+    keeps the common case allocation-free: a ``default`` engine matching
+    its own algorithm spec is answered without touching the LRU at all.
+
+    Thread-safe; engines themselves hold only immutable shared structures,
+    so handing one instance to several serving threads is fine.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        default: Optional[ReverseCloakEngine] = None,
+        cap: int = 32,
+    ) -> None:
+        if cap < 1:
+            raise ProfileError(f"engine cache cap must be >= 1, got {cap}")
+        self._network = network
+        self._default = default
+        # The default's spec, computed once: algorithm instances are
+        # immutable, and rebuilding the params dict per lookup would put
+        # an allocation on every peel's fast path.
+        self._default_spec = (
+            (default.algorithm.name, default.algorithm.params())
+            if default is not None
+            else None
+        )
+        self._cap = cap
+        self._lock = threading.Lock()
+        self._engines: "OrderedDict[Tuple[str, str], ReverseCloakEngine]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._engines)
+
+    def engine_for(self, envelope: CloakEnvelope) -> ReverseCloakEngine:
+        """The reversal engine of ``envelope``'s algorithm metadata.
+
+        Raises:
+            EnvelopeError: The envelope names an unknown algorithm.
+        """
+        default_spec = self._default_spec
+        if default_spec is not None and (
+            (envelope.algorithm, envelope.algorithm_params) == default_spec
+        ):
+            return self._default
+        cache_key = (
+            envelope.algorithm,
+            json.dumps(envelope.algorithm_params, sort_keys=True),
+        )
+        with self._lock:
+            engine = self._engines.get(cache_key)
+            if engine is not None:
+                self._engines.move_to_end(cache_key)
+                return engine
+        # Build outside the lock (RPLE pre-assignment can be expensive);
+        # a racing builder of the same spec just loses its copy.
+        engine = ReverseCloakEngine.for_envelope(self._network, envelope)
+        with self._lock:
+            existing = self._engines.get(cache_key)
+            if existing is not None:
+                self._engines.move_to_end(cache_key)
+                return existing
+            self._engines[cache_key] = engine
+            while len(self._engines) > self._cap:
+                self._engines.popitem(last=False)
+        return engine
+
+
+def _peel_outcome(
+    engines: ReversalEngineCache,
+    request: DeanonymizeRequestDoc,
+    draws_cache: Optional[DrawsCache],
+) -> ReversalOutcome:
+    """One reversal request against a pinned engine cache.
+
+    The single code path every backend funnels reversal through (process
+    workers via its wire-doc twin ``_worker_peel_chunk``): resolve the
+    engine from the envelope's own metadata, peel, capture the typed
+    failure union in place.
+    """
+    try:
+        engine = engines.engine_for(request.envelope)
+        result = engine.deanonymize(
+            request.envelope,
+            request.key_map(),
+            request.target_level,
+            mode=request.mode,
+            draws_cache=draws_cache,
+        )
+    except _REVERSAL_ERRORS as exc:
+        return ReversalOutcome(request=request, error=exc)
+    return ReversalOutcome(request=request, result=result)
 
 
 @dataclass(frozen=True)
@@ -156,8 +326,9 @@ class ExecutionBackend(ABC):
 
     Lifecycle: the service calls :meth:`bind` exactly once with its
     immutable :class:`BackendSpec`, then any number of
-    :meth:`cloak_batch` calls, then :meth:`close`. Backends are
-    thread-safe for concurrent ``cloak_batch`` submissions.
+    :meth:`cloak_batch` / :meth:`deanonymize_batch` calls, then
+    :meth:`close`. Backends are thread-safe for concurrent batch
+    submissions.
     """
 
     _spec: Optional[BackendSpec] = None
@@ -181,6 +352,18 @@ class ExecutionBackend(ABC):
     ) -> List[BatchOutcome]:
         """Serve ``requests`` against ``snapshot``, outcomes in order."""
 
+    @abstractmethod
+    def deanonymize_batch(
+        self, requests: Sequence[DeanonymizeRequestDoc]
+    ) -> List[ReversalOutcome]:
+        """Serve a batch of reversal requests, outcomes in request order.
+
+        Snapshot-free: each envelope carries everything reversal needs.
+        Per-item :data:`ReversalServingError` failures come back in place;
+        anything else propagates. Results are byte-identical across every
+        backend.
+        """
+
     def close(self) -> None:
         """Release worker resources (idempotent)."""
 
@@ -192,15 +375,25 @@ class ExecutionBackend(ABC):
 
 
 class InlineBackend(ExecutionBackend):
-    """Serve every batch sequentially on the calling thread."""
+    """Serve every batch sequentially on the calling thread.
+
+    The reference implementation: every other backend must match its
+    results byte for byte. Reversal serving reuses one bounded engine
+    cache across batches and shares one keyed-draw cache within each
+    batch.
+    """
 
     def __init__(self) -> None:
         self._engine: Optional[ReverseCloakEngine] = None
+        self._reversal_engines: Optional[ReversalEngineCache] = None
 
     def bind(self, spec: BackendSpec) -> None:
         super().bind(spec)
         if self._engine is None:
             self._engine = spec.build_engine()
+            self._reversal_engines = ReversalEngineCache(
+                spec.network, default=self._engine
+            )
 
     def cloak_batch(
         self, snapshot: PopulationSnapshot, requests: Sequence[CloakRequest]
@@ -210,6 +403,16 @@ class InlineBackend(ExecutionBackend):
         return [
             _serve_outcome(engine, snapshot, request, spec.include_hints)
             for request in requests
+        ]
+
+    def deanonymize_batch(
+        self, requests: Sequence[DeanonymizeRequestDoc]
+    ) -> List[ReversalOutcome]:
+        self.spec  # raise the unbound error before any work
+        engines = self._reversal_engines
+        draws_cache = DrawsCache()
+        return [
+            _peel_outcome(engines, request, draws_cache) for request in requests
         ]
 
 
@@ -254,6 +457,22 @@ class ThreadPoolBackend(ExecutionBackend):
             self._engines.engine = engine
         return engine
 
+    def _worker_reversal_engines(self) -> ReversalEngineCache:
+        """This worker thread's bounded reversal-engine cache.
+
+        Per-worker (not shared) so reversal serving stays lock-free on the
+        hot path, mirroring the per-worker cloaking engines; the caches
+        answer from each envelope's algorithm metadata, never from a
+        snapshot — reversal is snapshot-free.
+        """
+        engines = getattr(self._engines, "reversal", None)
+        if engines is None:
+            engines = ReversalEngineCache(
+                self.spec.network, default=self._worker_engine()
+            )
+            self._engines.reversal = engines
+        return engines
+
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
             if self._pool is None:
@@ -288,6 +507,34 @@ class ThreadPoolBackend(ExecutionBackend):
             )
         )
 
+    def deanonymize_batch(
+        self, requests: Sequence[DeanonymizeRequestDoc]
+    ) -> List[ReversalOutcome]:
+        if not requests:
+            return []
+        self.spec  # raise the unbound error before any work
+        if self._max_workers == 1:
+            # Same short-circuit as cloak_batch — and serving on the
+            # calling thread lets the whole batch share one draws cache.
+            engines = self._worker_reversal_engines()
+            draws_cache = DrawsCache()
+            return [
+                _peel_outcome(engines, request, draws_cache)
+                for request in requests
+            ]
+        pool = self._ensure_pool()
+        # No cross-item draws cache here: LevelDraws buffers are per-thread
+        # scratch and items of one batch land on different workers. Each
+        # peel still shares draws internally across its own hypotheses.
+        return list(
+            pool.map(
+                lambda request: _peel_outcome(
+                    self._worker_reversal_engines(), request, None
+                ),
+                requests,
+            )
+        )
+
     def close(self) -> None:
         with self._pool_lock:
             if self._pool is not None:
@@ -315,9 +562,13 @@ def _worker_init(
     the worker never shares live objects with the parent."""
     network = network_from_dict(json.loads(network_blob))
     algorithm = algorithm_from_spec(network, algorithm_name, json.loads(params_blob))
+    engine = ReverseCloakEngine(network, algorithm)
     _WORKER_STATE.clear()
     _WORKER_STATE.update(
-        engine=ReverseCloakEngine(network, algorithm),
+        engine=engine,
+        # Reversal engines are rebuilt worker-side from each envelope's own
+        # algorithm metadata; the bounded cache mirrors the parent's.
+        reversal_engines=ReversalEngineCache(network, default=engine),
         include_hints=include_hints,
         snapshot_token=None,
         snapshot=None,
@@ -364,6 +615,34 @@ def _worker_serve_chunk(
     return outcomes
 
 
+def _worker_peel_chunk(request_docs: Tuple[dict, ...]):
+    """Serve one chunk of reversal request documents inside a worker.
+
+    The wire-doc twin of :func:`_peel_outcome`: each item's engine is
+    resolved from the envelope's own algorithm metadata through the
+    worker's bounded cache, the chunk shares one keyed-draw cache, and
+    every typed reversal failure — including a malformed item document —
+    becomes a structured error outcome in place. Anything else propagates
+    and surfaces in the parent.
+    """
+    engines: ReversalEngineCache = _WORKER_STATE["reversal_engines"]
+    draws_cache = DrawsCache()
+    outcomes = []
+    for request_doc in request_docs:
+        try:
+            doc = DeanonymizeRequestDoc.from_dict(request_doc)
+        except WireFormatError as exc:
+            outcomes.append(OutcomeDoc.from_exception(exc).to_dict())
+            continue
+        outcome = _peel_outcome(engines, doc, draws_cache)
+        outcomes.append(
+            OutcomeDoc.from_result(outcome.result).to_dict()
+            if outcome.ok
+            else OutcomeDoc.from_exception(outcome.error).to_dict()
+        )
+    return outcomes
+
+
 def _worker_main(
     connection,
     network_blob: str,
@@ -375,20 +654,32 @@ def _worker_main(
 
     Module-level so the ``spawn`` start method can import it by qualified
     name. The worker rebuilds its engine from the wire documents it was
-    started with, then answers ``(token, snapshot_blob, request_docs)``
-    messages on its dedicated pipe until it receives ``None``. Replies are
-    ``("ok", outcome_docs)``, ``("ok", _NEED_SNAPSHOT)`` for a stale
-    snapshot cache, or ``("raise", exception)`` for unexpected failures
-    (re-raised in the parent).
+    started with, then answers tagged messages on its dedicated pipe until
+    it receives ``None``:
+
+    * ``("cloak", token, snapshot_blob, request_docs)`` — one cloaking
+      chunk against the token's snapshot;
+    * ``("peel", request_docs)`` — one de-anonymization chunk
+      (snapshot-free).
+
+    Replies are ``("ok", outcome_docs)``, ``("ok", _NEED_SNAPSHOT)`` for a
+    stale snapshot cache, or ``("raise", exception)`` for unexpected
+    failures (re-raised in the parent).
     """
     _worker_init(network_blob, algorithm_name, params_blob, include_hints)
     while True:
         message = connection.recv()
         if message is None:
             break
-        token, snapshot_blob, request_docs = message
         try:
-            reply = _worker_serve_chunk(token, snapshot_blob, request_docs)
+            kind = message[0]
+            if kind == "cloak":
+                _, token, snapshot_blob, request_docs = message
+                reply = _worker_serve_chunk(token, snapshot_blob, request_docs)
+            elif kind == "peel":
+                reply = _worker_peel_chunk(message[1])
+            else:
+                raise RuntimeError(f"unknown worker message kind: {kind!r}")
         except BaseException as exc:  # ship unexpected failures to the parent
             try:
                 connection.send(("raise", exc))
@@ -421,13 +712,19 @@ class ProcessPoolBackend(ExecutionBackend):
     * requests ship as :class:`~repro.lbs.wire.CloakRequestDoc` dicts with
       the user already resolved to a segment (the parent holds the
       user-to-segment map; workers only ever need counts), and results
-      return as :class:`~repro.lbs.wire.OutcomeDoc` dicts.
+      return as :class:`~repro.lbs.wire.OutcomeDoc` dicts;
+    * reversal batches (:meth:`deanonymize_batch`) ship as
+      :class:`~repro.lbs.wire.DeanonymizeRequestDoc` dicts — snapshot-free;
+      workers rebuild each envelope's reversal engine from its own
+      algorithm metadata through a bounded per-worker cache.
 
-    Wire documents round-trip exactly, so the envelopes a worker produces
-    are byte-identical to inline serving — asserted by the backend tests.
+    Wire documents round-trip exactly, so the envelopes and recovered
+    regions a worker produces are byte-identical to inline serving —
+    asserted by the backend tests.
 
     Batches are dispatched one at a time (a lock serializes
-    :meth:`cloak_batch` callers); parallelism lives *inside* a batch.
+    :meth:`cloak_batch` / :meth:`deanonymize_batch` callers); parallelism
+    lives *inside* a batch.
 
     Args:
         max_workers: Number of worker processes; ``None`` picks
@@ -570,11 +867,11 @@ class ProcessPoolBackend(ExecutionBackend):
         failure: Optional[BaseException] = None
         try:
             for (_process, connection), chunk in zip(used, chunks):
-                connection.send((token, ship_blob, tuple(chunk)))
+                connection.send(("cloak", token, ship_blob, tuple(chunk)))
             for (_process, connection), chunk in zip(used, chunks):
                 kind, payload = connection.recv()
                 if kind == "ok" and payload == _NEED_SNAPSHOT:
-                    connection.send((token, blob, tuple(chunk)))
+                    connection.send(("cloak", token, blob, tuple(chunk)))
                     kind, payload = connection.recv()
                 if kind == "raise":
                     # Remember the first failure but keep draining the
@@ -588,6 +885,74 @@ class ProcessPoolBackend(ExecutionBackend):
         if failure is not None:
             raise failure
         self._cold_token = False
+        return replies
+
+    def deanonymize_batch(
+        self, requests: Sequence[DeanonymizeRequestDoc]
+    ) -> List[ReversalOutcome]:
+        """Fan a reversal batch out across the worker shards.
+
+        This is the first parallel reversal path in the system: each shard
+        peels its contiguous chunk with its own engine (reversal is pure
+        CPU with no shared state, so on multi-core hardware the slowest
+        serving operation finally scales with workers). Requests cross the
+        pipes as :class:`~repro.lbs.wire.DeanonymizeRequestDoc` dicts —
+        key material rides inside them exactly as on the single-request
+        wire path — and results return as outcome documents, so recovered
+        regions are byte-identical to inline serving.
+        """
+        if not requests:
+            return []
+        self.spec  # raise the unbound error before spawning anything
+        chunk_docs = [request.to_dict() for request in requests]
+        with self._dispatch_lock:
+            replies = self._dispatch_peels(chunk_docs)
+        outcomes: List[ReversalOutcome] = []
+        failure: Optional[BaseException] = None
+        for request, reply in zip(requests, replies):
+            outcome_doc = OutcomeDoc.from_dict(reply)
+            if outcome_doc.ok:
+                outcomes.append(
+                    ReversalOutcome(request=request, result=outcome_doc.result)
+                )
+            else:
+                error = outcome_doc.to_exception()
+                if not isinstance(error, _REVERSAL_ERRORS):
+                    failure = failure or error
+                    continue
+                outcomes.append(ReversalOutcome(request=request, error=error))
+        if failure is not None:
+            raise failure
+        return outcomes
+
+    def _dispatch_peels(self, chunk_docs: List[dict]) -> List[dict]:
+        """Fan one reversal batch out to the workers; replies in order.
+
+        Dispatch lock held. Same pipe-alignment discipline as the cloaking
+        :meth:`_dispatch` — reported failures drain the remaining replies
+        before re-raising, transport failures tear the pool down so a
+        retried batch never reads a dead batch's leftovers — minus the
+        snapshot machinery, which reversal does not need.
+        """
+        workers = self._ensure_workers()
+        chunks = self._chunk(chunk_docs)
+        used = workers[: len(chunks)]
+        replies: List[dict] = []
+        failure: Optional[BaseException] = None
+        try:
+            for (_process, connection), chunk in zip(used, chunks):
+                connection.send(("peel", tuple(chunk)))
+            for (_process, connection), _chunk in zip(used, chunks):
+                kind, payload = connection.recv()
+                if kind == "raise":
+                    failure = failure or payload
+                    continue
+                replies.extend(payload)
+        except BaseException:
+            self._teardown_workers()
+            raise
+        if failure is not None:
+            raise failure
         return replies
 
     def _chunk(self, docs: List[dict]) -> List[List[dict]]:

@@ -121,11 +121,16 @@ class ContinuousCloaker:
         """Produce ``ticks`` cloaks for ``user_id``, one per interval.
 
         Args:
-            user_id: The tracked user (must exist in the simulation).
+            user_id: The tracked user (must exist in the simulation when
+                the run starts — a missing user at tick 0 is a caller
+                error and always raises).
             ticks: Number of cloaking requests.
             interval_seconds: Simulated time between requests.
             skip_failures: Record failed requests as ``None`` entries
-                instead of raising (an LBS keeps serving the stream).
+                instead of raising (an LBS keeps serving the stream). This
+                covers the user *leaving the simulation* mid-run too — a
+                despawned tick is a failed request like any other, not a
+                reason to lose the whole timeline.
         """
         if ticks < 1:
             raise MobilityError(f"ticks must be >= 1, got {ticks}")
@@ -138,8 +143,6 @@ class ContinuousCloaker:
             if tick > 0:
                 self._simulator.step(interval_seconds)
             snapshot = self._simulator.snapshot()
-            if not snapshot.has_user(user_id):
-                raise MobilityError(f"user {user_id} not in the simulation")
             chain = (
                 KeyChain.generate(self._profile.level_count)
                 if self._fresh_keys
@@ -148,11 +151,18 @@ class ContinuousCloaker:
             assert chain is not None
             envelope: Optional[CloakEnvelope]
             try:
+                if not snapshot.has_user(user_id):
+                    raise MobilityError(f"user {user_id} not in the simulation")
                 envelope = self._engine.anonymize(
                     snapshot.segment_of(user_id), snapshot, self._profile, chain
                 )
-            except CloakingError:
-                if not skip_failures:
+            except (CloakingError, MobilityError):
+                # Tick 0 absence is a bad user_id, not a transient serving
+                # failure: a run that never observed the user raises even
+                # with skip_failures, exactly as before the despawn fix.
+                if not skip_failures or (
+                    tick == 0 and not snapshot.has_user(user_id)
+                ):
                     raise
                 envelope = None
             entries.append(

@@ -56,8 +56,21 @@ class TemporalTolerance:
 
     @property
     def max_retries(self) -> int:
-        """How many deferral rounds fit in the budget."""
-        return int(self.max_defer_seconds / self.retry_interval_seconds)
+        """How many deferral rounds fit in the budget.
+
+        Rounding-tolerant: a budget that is an exact multiple of the
+        cadence must grant exactly that many rounds, but the float
+        quotient of such pairs can land just *below* the integer
+        (``0.3 / 0.1 == 2.9999...``), and truncating it silently lost the
+        final deferral round. Quotients within one part in 10^9 of an
+        integer are therefore treated as exact; everything else truncates
+        as before (a 0.25 s budget at a 0.1 s cadence is still 2 rounds).
+        """
+        quotient = self.max_defer_seconds / self.retry_interval_seconds
+        nearest = round(quotient)
+        if abs(quotient - nearest) <= 1e-9 * max(1.0, nearest):
+            return int(nearest)
+        return int(quotient)
 
 
 @dataclass(frozen=True)

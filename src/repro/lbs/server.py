@@ -99,3 +99,12 @@ class TrustedAnonymizer:
             # The PR 2 default: size the pool to the batch, capped at 8.
             max_workers = min(8, os.cpu_count() or 1, max(1, len(requests)))
         return self._service.cloak_batch(requests, max_workers=max_workers)
+
+    # Post-PR 2 service capabilities, delegated for migration convenience
+    # (code holding the shim can reach the reversal endpoints without
+    # constructing a second facade around the same network).
+    def deanonymize(self, envelope, keys, target_level: int, mode: str = "auto"):
+        return self._service.deanonymize(envelope, keys, target_level, mode=mode)
+
+    def deanonymize_batch(self, requests):
+        return self._service.deanonymize_batch(requests)

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import json
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.algorithm import CloakingAlgorithm
 from ..core.engine import DeanonymizationResult, ReverseCloakEngine
@@ -45,14 +45,19 @@ from .backends import (
     BatchOutcome,
     ExecutionBackend,
     InlineBackend,
+    ReversalEngineCache,
+    ReversalOutcome,
     ThreadPoolBackend,
     serve_request,
 )
 from .wire import (
     CLOAK_REQUEST_FORMAT,
+    DEANONYMIZE_BATCH_FORMAT,
     DEANONYMIZE_REQUEST_FORMAT,
+    BatchOutcomeDoc,
     CloakRequest,
     CloakRequestDoc,
+    DeanonymizeBatchDoc,
     DeanonymizeRequestDoc,
     OutcomeDoc,
 )
@@ -111,15 +116,20 @@ class AnonymizerService:
         self._requests_served = 0
         self._failures = 0
         self._reversals_served = 0
+        self._reversal_failures = 0
         # Legacy per-call ``max_workers`` widths get a cached thread
         # backend each (the shim's cloak_batch signature), lazily built.
         self._width_lock = threading.Lock()
         self._width_backends: Dict[int, ExecutionBackend] = {}
-        # Reversal engines per algorithm spec seen in envelopes (RPLE
-        # pre-assignment is memoized process-wide, so these are cheap, but
-        # caching keeps repeated deanonymize calls allocation-free).
-        self._reversal_lock = threading.Lock()
-        self._reversal_engines: Dict[Tuple[str, str], ReverseCloakEngine] = {}
+        # Reversal engines per algorithm spec seen in envelopes — a
+        # *bounded* LRU: the spec fields are attacker-controlled input on
+        # the ``handle`` wire endpoint, so churning parameters must evict,
+        # not accumulate. The hot path (envelopes matching this service's
+        # own algorithm) is answered by the default engine without
+        # touching the cache.
+        self._reversal_engines = ReversalEngineCache(
+            network, default=self._engine
+        )
 
     # ------------------------------------------------------------------
     # configuration and bookkeeping
@@ -147,6 +157,7 @@ class AnonymizerService:
 
     @property
     def failures(self) -> int:
+        """Total serving failures, cloaking *and* reversal."""
         with self._counter_lock:
             return self._failures
 
@@ -154,6 +165,12 @@ class AnonymizerService:
     def reversals_served(self) -> int:
         with self._counter_lock:
             return self._reversals_served
+
+    @property
+    def reversal_failures(self) -> int:
+        """The reversal-side share of :attr:`failures`."""
+        with self._counter_lock:
+            return self._reversal_failures
 
     def update_snapshot(self, snapshot: PopulationSnapshot) -> None:
         """Install the current population snapshot (called per tick by the
@@ -276,27 +293,41 @@ class AnonymizerService:
         algorithm spec), so the service can reverse envelopes produced with
         any algorithm on this map — including by other anonymizer instances.
         """
-        result = self._reversal_engine(envelope).deanonymize(
-            envelope, keys, target_level, mode=mode
-        )
+        try:
+            result = self._reversal_engine(envelope).deanonymize(
+                envelope, keys, target_level, mode=mode
+            )
+        except ReverseCloakError:
+            # Failed reversals count too — `handle` converts them into
+            # outcome documents, so without this the wire path would leave
+            # no bookkeeping trace at all.
+            self._count(reversal_failures=1)
+            raise
         self._count(reversals=1)
         return result
 
+    def deanonymize_batch(
+        self, requests: Sequence[DeanonymizeRequestDoc]
+    ) -> List[ReversalOutcome]:
+        """Serve a batch of reversal requests on the execution backend.
+
+        The batch twin of :meth:`deanonymize`, and the path that finally
+        puts the system's headline operation on the serving seam: outcomes
+        come back in request order, per-item failures (wrong keys,
+        collisions, foreign envelopes) ride in place as typed
+        :class:`~repro.lbs.backends.ReversalOutcome` errors, and the
+        results are byte-identical whichever backend the service was
+        configured with — the process pool peels shards in parallel.
+        """
+        if not requests:
+            return []
+        outcomes = self._backend.deanonymize_batch(requests)
+        served = sum(1 for outcome in outcomes if outcome.ok)
+        self._count(reversals=served, reversal_failures=len(outcomes) - served)
+        return outcomes
+
     def _reversal_engine(self, envelope: CloakEnvelope) -> ReverseCloakEngine:
-        if envelope.algorithm == self._engine.algorithm.name and (
-            envelope.algorithm_params == self._engine.algorithm.params()
-        ):
-            return self._engine
-        cache_key = (
-            envelope.algorithm,
-            json.dumps(envelope.algorithm_params, sort_keys=True),
-        )
-        with self._reversal_lock:
-            engine = self._reversal_engines.get(cache_key)
-            if engine is None:
-                engine = ReverseCloakEngine.for_envelope(self._network, envelope)
-                self._reversal_engines[cache_key] = engine
-            return engine
+        return self._reversal_engines.engine_for(envelope)
 
     # ------------------------------------------------------------------
     # transport-neutral entry point
@@ -306,7 +337,10 @@ class AnonymizerService:
 
         Dispatches on the document's ``format`` tag
         (:data:`~repro.lbs.wire.CLOAK_REQUEST_FORMAT` /
-        :data:`~repro.lbs.wire.DEANONYMIZE_REQUEST_FORMAT`). Every
+        :data:`~repro.lbs.wire.DEANONYMIZE_REQUEST_FORMAT` /
+        :data:`~repro.lbs.wire.DEANONYMIZE_BATCH_FORMAT` — batch requests
+        answer with a :class:`~repro.lbs.wire.BatchOutcomeDoc`, per-item
+        errors in place). Every
         :class:`~repro.errors.ReverseCloakError` — including malformed
         documents — comes back as a structured error outcome; only
         genuinely unexpected exceptions propagate. This is the single
@@ -334,6 +368,17 @@ class AnonymizerService:
                     mode=reversal_doc.mode,
                 )
                 return OutcomeDoc.from_result(result).to_dict()
+            if kind == DEANONYMIZE_BATCH_FORMAT:
+                batch_doc = DeanonymizeBatchDoc.from_dict(document)
+                outcomes = self.deanonymize_batch(batch_doc.items)
+                return BatchOutcomeDoc(
+                    outcomes=tuple(
+                        OutcomeDoc.from_result(outcome.result)
+                        if outcome.ok
+                        else OutcomeDoc.from_exception(outcome.error)
+                        for outcome in outcomes
+                    )
+                ).to_dict()
             raise WireFormatError(f"unknown document format: {kind!r}")
         except ReverseCloakError as exc:
             return OutcomeDoc.from_exception(exc).to_dict()
@@ -373,9 +418,14 @@ class AnonymizerService:
             return backend
 
     def _count(
-        self, served: int = 0, failures: int = 0, reversals: int = 0
+        self,
+        served: int = 0,
+        failures: int = 0,
+        reversals: int = 0,
+        reversal_failures: int = 0,
     ) -> None:
         with self._counter_lock:
             self._requests_served += served
-            self._failures += failures
+            self._failures += failures + reversal_failures
             self._reversals_served += reversals
+            self._reversal_failures += reversal_failures

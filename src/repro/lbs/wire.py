@@ -11,8 +11,14 @@ same requests and produce byte-identical results:
   profile, per-level keys, optionally the pre-resolved segment),
 * :class:`DeanonymizeRequestDoc` — a requester's reversal request
   (envelope, granted keys, target level, reversal mode),
+* :class:`DeanonymizeBatchDoc` — an ordered batch of reversal requests,
+  served as one unit on an execution backend (key material travels inside
+  each item as the existing key-grant documents),
 * :class:`OutcomeDoc` — the uniform response envelope: a success payload
-  (cloak envelope or recovered regions) *or* a structured error code.
+  (cloak envelope or recovered regions) *or* a structured error code,
+* :class:`BatchOutcomeDoc` — the positional outcome list of a batch
+  request: one :class:`OutcomeDoc` per item, same order, with per-item
+  structured error codes (one failing item never poisons its siblings).
 
 Every parser raises :class:`~repro.errors.WireFormatError` on a malformed
 document; serving surfaces map that to the stable error code
@@ -62,14 +68,18 @@ __all__ = [
     "WIRE_VERSION",
     "CLOAK_REQUEST_FORMAT",
     "DEANONYMIZE_REQUEST_FORMAT",
+    "DEANONYMIZE_BATCH_FORMAT",
     "OUTCOME_FORMAT",
+    "BATCH_OUTCOME_FORMAT",
     "SNAPSHOT_FORMAT",
     "MALFORMED_DOCUMENT",
     "ERROR_CODES",
     "CloakRequest",
     "CloakRequestDoc",
     "DeanonymizeRequestDoc",
+    "DeanonymizeBatchDoc",
     "OutcomeDoc",
+    "BatchOutcomeDoc",
     "error_code_for",
     "error_doc_for",
     "exception_from_error_doc",
@@ -81,7 +91,9 @@ WIRE_VERSION = 1
 
 CLOAK_REQUEST_FORMAT = "repro.cloak_request"
 DEANONYMIZE_REQUEST_FORMAT = "repro.deanonymize_request"
+DEANONYMIZE_BATCH_FORMAT = "repro.deanonymize_batch"
 OUTCOME_FORMAT = "repro.outcome"
+BATCH_OUTCOME_FORMAT = "repro.batch_outcome"
 SNAPSHOT_FORMAT = "repro.snapshot"
 
 #: The error code every malformed wire document maps to.
@@ -316,6 +328,67 @@ class DeanonymizeRequestDoc:
         except ValueError as exc:
             raise WireFormatError(
                 f"deanonymize request is not valid JSON: {exc}"
+            ) from None
+        return cls.from_dict(document)
+
+
+@dataclass(frozen=True)
+class DeanonymizeBatchDoc:
+    """An ordered batch of de-anonymization requests, served as one unit.
+
+    Each item is a complete :class:`DeanonymizeRequestDoc` — envelope,
+    granted keys (the existing key-grant wire form), target level and mode
+    travel per item, so a batch may mix envelopes, algorithms and grants
+    freely. The response is a :class:`BatchOutcomeDoc`: one outcome per
+    item in the same position, failures carried as per-item structured
+    error codes.
+    """
+
+    items: Tuple[DeanonymizeRequestDoc, ...]
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise WireFormatError(
+                "a deanonymize batch must contain at least one item"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "format": DEANONYMIZE_BATCH_FORMAT,
+            "version": WIRE_VERSION,
+            "items": [item.to_dict() for item in self.items],
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "DeanonymizeBatchDoc":
+        document = _require(document, DEANONYMIZE_BATCH_FORMAT)
+        items = document.get("items")
+        if not isinstance(items, list) or not items:
+            raise WireFormatError(
+                f"malformed {DEANONYMIZE_BATCH_FORMAT}: 'items' must be a "
+                "non-empty list"
+            )
+        return cls(
+            items=tuple(
+                _parse(
+                    DEANONYMIZE_BATCH_FORMAT,
+                    f"item {index}",
+                    lambda item=item: DeanonymizeRequestDoc.from_dict(item),
+                )
+                for index, item in enumerate(items)
+            )
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "DeanonymizeBatchDoc":
+        try:
+            document = json.loads(payload)
+        except ValueError as exc:
+            raise WireFormatError(
+                f"deanonymize batch is not valid JSON: {exc}"
             ) from None
         return cls.from_dict(document)
 
@@ -562,6 +635,69 @@ class OutcomeDoc:
             document = json.loads(payload)
         except ValueError as exc:
             raise WireFormatError(f"outcome is not valid JSON: {exc}") from None
+        return cls.from_dict(document)
+
+
+@dataclass(frozen=True)
+class BatchOutcomeDoc:
+    """The positional response of a batch request.
+
+    One :class:`OutcomeDoc` per submitted item, in submission order —
+    failures sit in place as structured error outcomes, so a client can
+    retry or report per item without re-correlating anything.
+    """
+
+    outcomes: Tuple[OutcomeDoc, ...]
+
+    def __post_init__(self) -> None:
+        if not self.outcomes:
+            raise WireFormatError(
+                "a batch outcome must contain at least one outcome"
+            )
+
+    @property
+    def ok(self) -> bool:
+        """Whether every item succeeded."""
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": BATCH_OUTCOME_FORMAT,
+            "version": WIRE_VERSION,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "BatchOutcomeDoc":
+        document = _require(document, BATCH_OUTCOME_FORMAT)
+        outcomes = document.get("outcomes")
+        if not isinstance(outcomes, list) or not outcomes:
+            raise WireFormatError(
+                f"malformed {BATCH_OUTCOME_FORMAT}: 'outcomes' must be a "
+                "non-empty list"
+            )
+        return cls(
+            outcomes=tuple(
+                _parse(
+                    BATCH_OUTCOME_FORMAT,
+                    f"outcome {index}",
+                    lambda item=item: OutcomeDoc.from_dict(item),
+                )
+                for index, item in enumerate(outcomes)
+            )
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "BatchOutcomeDoc":
+        try:
+            document = json.loads(payload)
+        except ValueError as exc:
+            raise WireFormatError(
+                f"batch outcome is not valid JSON: {exc}"
+            ) from None
         return cls.from_dict(document)
 
 

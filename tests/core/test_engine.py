@@ -216,3 +216,79 @@ class TestTrafficSnapshots:
         chain = KeyChain.from_passphrases(["t1", "t2"])
         envelope = engine.anonymize(user_segment, traffic_snapshot, profile, chain)
         assert traffic_snapshot.count_in_region(set(envelope.region)) >= 12
+
+
+class TestDeanonymizeBatch:
+    """The engine-level batch entry point: element-wise byte-identical to
+    per-item deanonymize, with keyed-draw buffers shared across envelopes
+    that were produced under the same level keys."""
+
+    def _envelopes(self, engine, dense_snapshot, profile3, chain3, segments):
+        return [
+            engine.anonymize(segment, dense_snapshot, profile3, chain3)
+            for segment in segments
+        ]
+
+    def test_matches_per_item_deanonymize(
+        self, engine, dense_snapshot, profile3, chain3
+    ):
+        envelopes = self._envelopes(
+            engine, dense_snapshot, profile3, chain3, (90, 95, 100)
+        )
+        items = [
+            (envelope, chain3, target)
+            for envelope, target in zip(envelopes, (0, 1, 2))
+        ]
+        results = engine.deanonymize_batch(items)
+        expected = [
+            engine.deanonymize(envelope, chain3, target)
+            for envelope, _keys, target in items
+        ]
+        assert [(r.target_level, r.regions, r.removed) for r in results] == [
+            (e.target_level, e.regions, e.removed) for e in expected
+        ]
+
+    def test_shared_chain_pools_draw_buffers(
+        self, engine, dense_snapshot, profile3, chain3
+    ):
+        from repro.core.reversal import DrawsCache
+
+        envelopes = self._envelopes(
+            engine, dense_snapshot, profile3, chain3, (90, 95, 100, 105)
+        )
+        cache = DrawsCache()
+        results = engine.deanonymize_batch(
+            [(envelope, chain3, 0) for envelope in envelopes],
+            draws_cache=cache,
+        )
+        # All four envelopes share chain3, so the pool holds one buffer
+        # per level — not one per (envelope, level).
+        assert len(cache) == profile3.level_count
+        assert [r.region_at(0) for r in results] == [
+            (90,), (95,), (100,), (105,)
+        ]
+
+    def test_modes_apply_to_every_item(
+        self, engine, dense_snapshot, profile3, chain3
+    ):
+        envelopes = self._envelopes(
+            engine, dense_snapshot, profile3, chain3, (90, 100)
+        )
+        items = [(envelope, chain3, 0) for envelope in envelopes]
+        hint = engine.deanonymize_batch(items, mode="hint")
+        search = engine.deanonymize_batch(items, mode="search")
+        assert [r.regions for r in hint] == [r.regions for r in search]
+
+    def test_first_failing_item_propagates(
+        self, engine, dense_snapshot, profile3, chain3
+    ):
+        from repro.errors import KeyMismatchError
+
+        envelopes = self._envelopes(
+            engine, dense_snapshot, profile3, chain3, (90, 95)
+        )
+        wrong = KeyChain.from_passphrases(["no-1", "no-2", "no-3"])
+        with pytest.raises(KeyMismatchError):
+            engine.deanonymize_batch(
+                [(envelopes[0], chain3, 0), (envelopes[1], wrong, 0)]
+            )

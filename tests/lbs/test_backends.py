@@ -21,9 +21,17 @@ from repro import (
     PopulationSnapshot,
     PrivacyProfile,
     ReversiblePreassignmentExpansion,
+    grid_network,
 )
 from repro.core import LevelRequirement, PrivacyProfile as CoreProfile, ToleranceSpec
-from repro.errors import CloakingError, MobilityError, ToleranceExceededError
+from repro.errors import (
+    CloakingError,
+    DeanonymizationError,
+    EnvelopeError,
+    KeyMismatchError,
+    MobilityError,
+    ToleranceExceededError,
+)
 from repro.lbs import (
     AnonymizerService,
     BackendSpec,
@@ -33,6 +41,7 @@ from repro.lbs import (
     ProcessPoolBackend,
     ThreadPoolBackend,
 )
+from repro.lbs.wire import DeanonymizeRequestDoc, OutcomeDoc
 
 START_METHODS = tuple(
     method.strip()
@@ -143,6 +152,234 @@ class TestBackendEquivalence:
                 assert outcome.error is None or isinstance(
                     outcome.error, (CloakingError, MobilityError)
                 )
+
+
+def _reversal_fixture(network, snapshot, profile, count, tag="peel"):
+    """(requests, producing service) — one reversal request per cloak."""
+    producer = AnonymizerService(network)
+    producer.update_snapshot(snapshot)
+    requests = []
+    for index, user_id in enumerate(snapshot.users()[:count]):
+        chain = KeyChain.from_passphrases(
+            [f"{tag}{index}-1", f"{tag}{index}-2"]
+        )
+        envelope = producer.cloak(
+            CloakRequest(user_id=user_id, profile=profile, chain=chain)
+        )
+        requests.append(
+            DeanonymizeRequestDoc(
+                envelope=envelope, keys=tuple(chain), target_level=0
+            )
+        )
+    return requests
+
+
+def _canonical(outcomes):
+    """The canonical wire form of reversal outcomes (sorted-key JSON) —
+    byte-level equality across backends is asserted on exactly this."""
+    return [
+        OutcomeDoc.from_result(o.result).to_json()
+        if o.ok
+        else OutcomeDoc.from_exception(o.error).to_json()
+        for o in outcomes
+    ]
+
+
+class TestReversalBackendEquivalence:
+    """`deanonymize_batch` must be byte-identical across every backend —
+    the reversal twin of the cloaking equivalence contract, including the
+    process pool under both start methods."""
+
+    @pytest.mark.parametrize("make_backend", _backends())
+    @pytest.mark.parametrize("mode", ["hint", "search"])
+    def test_byte_identical_to_sequential_service(
+        self, grid10, traffic_snapshot, batch_profile, make_backend, mode
+    ):
+        base = _reversal_fixture(grid10, traffic_snapshot, batch_profile, 6)
+        requests = [
+            DeanonymizeRequestDoc(
+                envelope=r.envelope,
+                keys=r.keys,
+                target_level=r.target_level,
+                mode=mode,
+            )
+            for r in base
+        ]
+        reference = AnonymizerService(grid10)
+        expected = [
+            OutcomeDoc.from_result(
+                reference.deanonymize(r.envelope, r.key_map(), 0, mode=mode)
+            ).to_json()
+            for r in requests
+        ]
+        with make_backend() as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            outcomes = service.deanonymize_batch(requests)
+            assert [o.request for o in outcomes] == requests
+            assert all(o.ok and o.error is None for o in outcomes)
+            assert _canonical(outcomes) == expected
+            # A warm second batch must not change anything.
+            assert _canonical(service.deanonymize_batch(requests)) == expected
+        assert service.reversals_served == 12
+        assert service.failures == 0
+
+    @pytest.mark.parametrize("make_backend", _backends())
+    def test_rple_envelopes_cross_every_backend(
+        self, grid10, traffic_snapshot, batch_profile, make_backend
+    ):
+        # The serving backend is configured for RGE; the envelopes are
+        # RPLE — reversal engines must come from envelope metadata on
+        # every backend, including inside process-pool workers.
+        algorithm = ReversiblePreassignmentExpansion.for_network(grid10)
+        producer = AnonymizerService(grid10, algorithm)
+        producer.update_snapshot(traffic_snapshot)
+        requests = []
+        for index, user_id in enumerate(traffic_snapshot.users()[:4]):
+            chain = KeyChain.from_passphrases([f"rp{index}-1", f"rp{index}-2"])
+            envelope = producer.cloak(
+                CloakRequest(
+                    user_id=user_id, profile=batch_profile, chain=chain
+                )
+            )
+            requests.append(
+                DeanonymizeRequestDoc(
+                    envelope=envelope, keys=tuple(chain), target_level=0
+                )
+            )
+        reference = AnonymizerService(grid10)
+        expected = [
+            OutcomeDoc.from_result(
+                reference.deanonymize(r.envelope, r.key_map(), 0)
+            ).to_json()
+            for r in requests
+        ]
+        with make_backend() as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            assert _canonical(service.deanonymize_batch(requests)) == expected
+
+    @pytest.mark.parametrize("make_backend", _backends())
+    def test_mixed_error_batches_keep_request_order(
+        self, grid10, traffic_snapshot, batch_profile, make_backend
+    ):
+        good = _reversal_fixture(grid10, traffic_snapshot, batch_profile, 3)
+        wrong_chain = KeyChain.from_passphrases(["wrong-1", "wrong-2"])
+        wrong_key = DeanonymizeRequestDoc(
+            envelope=good[0].envelope,
+            keys=tuple(wrong_chain),
+            target_level=0,
+        )
+        bad_level = DeanonymizeRequestDoc(
+            envelope=good[1].envelope,
+            keys=good[1].keys,
+            target_level=7,
+        )
+        foreign_network = AnonymizerService(grid_network(4, 4))
+        foreign_network.update_snapshot(
+            PopulationSnapshot.from_counts(
+                {sid: 3 for sid in grid_network(4, 4).segment_ids()}
+            )
+        )
+        foreign_chain = KeyChain.from_passphrases(["fn-1", "fn-2"])
+        foreign = DeanonymizeRequestDoc(
+            envelope=foreign_network.cloak_segment(
+                5, batch_profile, foreign_chain
+            ),
+            keys=tuple(foreign_chain),
+            target_level=0,
+        )
+        batch = [good[0], wrong_key, bad_level, good[1], foreign, good[2]]
+        with make_backend() as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            outcomes = service.deanonymize_batch(batch)
+        assert [o.request for o in outcomes] == batch
+        assert [o.ok for o in outcomes] == [True, False, False, True, False, True]
+        assert isinstance(outcomes[1].error, KeyMismatchError)
+        assert isinstance(outcomes[2].error, DeanonymizationError)
+        assert isinstance(outcomes[4].error, EnvelopeError)
+        assert service.reversals_served == 3
+        assert service.failures == 3
+        assert service.reversal_failures == 3
+
+    @pytest.mark.parametrize("make_backend", _backends())
+    def test_empty_batch(self, grid10, make_backend):
+        with make_backend() as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            assert service.deanonymize_batch([]) == []
+
+    def test_thread_width_one_short_circuits_with_shared_draws(
+        self, grid10, traffic_snapshot, batch_profile
+    ):
+        requests = _reversal_fixture(
+            grid10, traffic_snapshot, batch_profile, 3, tag="w1"
+        )
+        reference = AnonymizerService(grid10)
+        expected = [
+            OutcomeDoc.from_result(
+                reference.deanonymize(r.envelope, r.key_map(), 0)
+            ).to_json()
+            for r in requests
+        ]
+        with ThreadPoolBackend(1) as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            assert _canonical(service.deanonymize_batch(requests)) == expected
+            assert backend._pool is None  # never spun a pool up
+
+
+class TestReversalUnexpectedExceptionsPropagate:
+    """Only the typed reversal union may become outcomes — engine bugs
+    must abort the batch on every backend."""
+
+    @pytest.mark.parametrize(
+        "make_backend",
+        [
+            pytest.param(lambda: InlineBackend(), id="inline"),
+            pytest.param(lambda: ThreadPoolBackend(2), id="thread-2"),
+        ],
+    )
+    def test_inline_and_thread(
+        self, grid10, traffic_snapshot, batch_profile, make_backend, monkeypatch
+    ):
+        from repro.core.engine import ReverseCloakEngine
+
+        requests = _reversal_fixture(
+            grid10, traffic_snapshot, batch_profile, 2, tag="boom"
+        )
+
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("reversal engine bug")
+
+        with make_backend() as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            monkeypatch.setattr(ReverseCloakEngine, "deanonymize", boom)
+            with pytest.raises(RuntimeError, match="reversal engine bug"):
+                service.deanonymize_batch(requests)
+
+    @pytest.mark.skipif(
+        "fork" not in START_METHODS, reason="needs fork to inherit the patch"
+    )
+    def test_process_pool(
+        self, grid10, traffic_snapshot, batch_profile, monkeypatch
+    ):
+        from repro.core.engine import ReverseCloakEngine
+
+        requests = _reversal_fixture(
+            grid10, traffic_snapshot, batch_profile, 2, tag="pboom"
+        )
+
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("reversal bug in worker")
+
+        monkeypatch.setattr(ReverseCloakEngine, "deanonymize", boom)
+        with ProcessPoolBackend(2, start_method="fork") as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            with pytest.raises(RuntimeError, match="reversal bug in worker"):
+                service.deanonymize_batch(requests)
+            # Reported failures keep the pipes aligned: the pool survives
+            # and the next (cloak) batch still serves.
+            monkeypatch.undo()
+            service.update_snapshot(traffic_snapshot)
+            good = _requests(traffic_snapshot, batch_profile, 2)
+            assert all(o.ok for o in service.cloak_batch(good))
 
 
 class TestUnexpectedExceptionsPropagate:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import (
+    PopulationSnapshot,
     PrivacyProfile,
     ReverseCloakEngine,
     TrafficSimulator,
@@ -10,6 +11,37 @@ from repro import (
 )
 from repro.errors import MobilityError
 from repro.lbs import CloakTimeline, ContinuousCloaker
+
+
+class DespawningSimulator:
+    """A minimal simulator whose tracked user leaves the simulation after a
+    given number of ticks (drives the mid-stream despawn regression)."""
+
+    def __init__(self, network, user_segments, despawn_user, despawn_after_ticks):
+        self._network = network
+        self._segments = dict(user_segments)
+        self._despawn_user = despawn_user
+        self._despawn_after = despawn_after_ticks
+        self._ticks = 0
+        self._time = 0.0
+
+    @property
+    def network(self):
+        return self._network
+
+    @property
+    def time(self):
+        return self._time
+
+    def step(self, dt=1.0):
+        self._time += dt
+        self._ticks += 1
+
+    def snapshot(self):
+        users = dict(self._segments)
+        if self._ticks >= self._despawn_after:
+            users.pop(self._despawn_user, None)
+        return PopulationSnapshot(users, time=self._time)
 
 
 @pytest.fixture()
@@ -86,11 +118,67 @@ class TestContinuousCloaker:
             cloaker.run(user_id=3, ticks=0)
         with pytest.raises(MobilityError):
             cloaker.run(user_id=3, ticks=2, interval_seconds=0.0)
+        # A user missing when the run starts is a caller error, not a
+        # transient serving failure — raises regardless of skip_failures.
         with pytest.raises(MobilityError):
             cloaker.run(user_id=99_999, ticks=2)
+        with pytest.raises(MobilityError):
+            cloaker.run(user_id=99_999, ticks=2, skip_failures=False)
 
     def test_mismatched_network_rejected(self, setup):
         network, simulator, engine, profile = setup
         other_engine = ReverseCloakEngine(grid_network(10, 10))
         with pytest.raises(MobilityError):
             ContinuousCloaker(other_engine, simulator, profile)
+
+
+class TestMidStreamDespawn:
+    """Regression: a tracked user leaving the simulation mid-run used to
+    raise even with ``skip_failures=True``, losing the whole timeline —
+    the docstring promises a ``None`` entry and continued serving. (A user
+    already missing at tick 0 still raises: that's a bad user_id.)"""
+
+    def _make(self, despawn_after_ticks):
+        network = grid_network(10, 10)
+        user_segments = {
+            user_id: segment_id
+            for user_id, segment_id in enumerate(
+                sid for sid in network.segment_ids() for _ in range(2)
+            )
+        }
+        simulator = DespawningSimulator(
+            network,
+            user_segments,
+            despawn_user=6,
+            despawn_after_ticks=despawn_after_ticks,
+        )
+        engine = ReverseCloakEngine(network)
+        profile = PrivacyProfile.uniform(
+            levels=2, base_k=5, k_step=3, base_l=3, l_step=1, max_segments=50
+        )
+        return ContinuousCloaker(engine, simulator, profile)
+
+    def test_despawn_records_none_and_keeps_serving(self):
+        cloaker = self._make(despawn_after_ticks=2)
+        timeline = cloaker.run(user_id=6, ticks=5, interval_seconds=1.0)
+        assert len(timeline) == 5  # the whole timeline survives
+        envelopes = [entry.envelope for entry in timeline]
+        assert all(envelope is not None for envelope in envelopes[:2])
+        assert all(envelope is None for envelope in envelopes[2:])
+        assert timeline.success_rate() == pytest.approx(2 / 5)
+        # Failed ticks still record their moment's snapshot and a chain.
+        for entry in timeline:
+            assert entry.snapshot is not None
+            assert entry.chain is not None
+
+    def test_despawn_still_raises_without_skip_failures(self):
+        cloaker = self._make(despawn_after_ticks=1)
+        with pytest.raises(MobilityError, match="not in the simulation"):
+            cloaker.run(
+                user_id=6, ticks=3, interval_seconds=1.0, skip_failures=False
+            )
+
+    def test_missing_at_tick_zero_raises_even_with_skip_failures(self):
+        cloaker = self._make(despawn_after_ticks=0)  # never present
+        with pytest.raises(MobilityError, match="not in the simulation"):
+            cloaker.run(user_id=6, ticks=3, interval_seconds=1.0)

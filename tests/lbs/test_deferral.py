@@ -27,6 +27,24 @@ class TestTemporalTolerance:
         assert TemporalTolerance(10.0, 2.0).max_retries == 5
         assert TemporalTolerance(0.0, 1.0).max_retries == 0
 
+    def test_max_retries_exact_multiples_of_inexact_cadence(self):
+        """Regression: ``int(0.3 / 0.1) == 2`` — float truncation silently
+        dropped the final deferral round whenever the budget was an exact
+        multiple of a cadence that is not exactly representable."""
+        assert TemporalTolerance(0.3, 0.1).max_retries == 3
+        assert TemporalTolerance(0.7, 0.1).max_retries == 7
+        assert TemporalTolerance(0.6, 0.2).max_retries == 3
+        assert TemporalTolerance(3.3, 1.1).max_retries == 3
+        # Large budgets: the tolerance scales with the quotient.
+        assert TemporalTolerance(3600.0, 0.1).max_retries == 36000
+
+    def test_max_retries_partial_rounds_still_truncate(self):
+        """A genuinely partial final round grants no extra retry."""
+        assert TemporalTolerance(0.25, 0.1).max_retries == 2
+        assert TemporalTolerance(1.0, 0.3).max_retries == 3
+        assert TemporalTolerance(5.9, 2.0).max_retries == 2
+        assert TemporalTolerance(0.05, 0.1).max_retries == 0
+
     def test_validation(self):
         with pytest.raises(ProfileError):
             TemporalTolerance(-1.0)

@@ -17,10 +17,13 @@ from repro.core import LevelRequirement, PrivacyProfile as CoreProfile, Toleranc
 from repro.errors import MobilityError, ToleranceExceededError
 from repro.lbs import (
     AnonymizerService,
+    BatchOutcomeDoc,
     CloakRequest,
     CloakRequestDoc,
+    DeanonymizeBatchDoc,
     DeanonymizeRequestDoc,
     OutcomeDoc,
+    ReversalEngineCache,
     TrustedAnonymizer,
 )
 from repro.lbs.wire import MALFORMED_DOCUMENT
@@ -158,6 +161,159 @@ class TestDeanonymizeEndpoint:
         )
 
 
+class TestDeanonymizeBatchEndpoint:
+    def test_matches_sequential_deanonymize(
+        self, service, traffic_snapshot, profile
+    ):
+        requests = []
+        for index in range(4):
+            request = _request(traffic_snapshot, profile, index, tag=f"db{index}")
+            envelope = service.cloak(request)
+            requests.append(
+                DeanonymizeRequestDoc(
+                    envelope=envelope, keys=tuple(request.chain), target_level=0
+                )
+            )
+        expected = [
+            service.deanonymize(r.envelope, r.key_map(), 0) for r in requests
+        ]
+        outcomes = service.deanonymize_batch(requests)
+        assert all(o.ok for o in outcomes)
+        assert [o.result.regions for o in outcomes] == [
+            e.regions for e in expected
+        ]
+        assert [o.result.removed for o in outcomes] == [
+            e.removed for e in expected
+        ]
+
+    def test_empty_batch(self, service):
+        assert service.deanonymize_batch([]) == []
+
+
+class TestReversalEngineCacheLRU:
+    """Regression for the unbounded `_reversal_engines` dict: envelope
+    algorithm metadata is attacker input on the wire endpoint, so churning
+    params must evict old engines, not accumulate them."""
+
+    class _Envelope:
+        """The two fields engine resolution reads (RGE ignores params, so
+        churning them makes distinct cache keys without expensive builds)."""
+
+        def __init__(self, params):
+            self.algorithm = "rge"
+            self.algorithm_params = params
+
+    def test_eviction_and_reuse(self, grid6):
+        cache = ReversalEngineCache(grid6, cap=4)
+        first = self._Envelope({"churn": 0})
+        engine_zero = cache.engine_for(first)
+        assert cache.engine_for(first) is engine_zero  # cached, not rebuilt
+        for index in range(1, 10):
+            cache.engine_for(self._Envelope({"churn": index}))
+        assert len(cache) == 4  # bounded: eviction happened
+        # Entry 0 was evicted — a fresh engine object comes back...
+        assert cache.engine_for(first) is not engine_zero
+        # ...while the most recent entries survived and are reused.
+        recent = self._Envelope({"churn": 9})
+        assert cache.engine_for(recent) is cache.engine_for(recent)
+
+    def test_lru_order_refreshes_on_hit(self, grid6):
+        cache = ReversalEngineCache(grid6, cap=2)
+        hot = self._Envelope({"w": "hot"})
+        hot_engine = cache.engine_for(hot)
+        cache.engine_for(self._Envelope({"w": "b"}))
+        cache.engine_for(hot)  # refresh: hot becomes most recent
+        cache.engine_for(self._Envelope({"w": "c"}))  # evicts b, not hot
+        assert cache.engine_for(hot) is hot_engine
+
+    def test_service_reversal_cache_is_bounded(
+        self, service, traffic_snapshot, profile
+    ):
+        for index in range(40):
+            service._reversal_engine(self._Envelope({"i": index}))
+        assert len(service._reversal_engines) <= 32
+        # The service's own algorithm spec bypasses the LRU entirely.
+        request = _request(traffic_snapshot, profile, tag="lru")
+        envelope = service.cloak(request)
+        assert service._reversal_engine(envelope) is service.engine
+
+
+class TestReversalCounters:
+    """Regression: reversal failures used to increment nothing, and
+    `handle` converted them to outcome docs leaving no trace at all."""
+
+    def test_direct_deanonymize_failure_counts(
+        self, service, traffic_snapshot, profile
+    ):
+        request = _request(traffic_snapshot, profile, tag="cnt")
+        envelope = service.cloak(request)
+        wrong = KeyChain.from_passphrases(["bad-1", "bad-2"])
+        with pytest.raises(Exception):
+            service.deanonymize(envelope, wrong, target_level=0)
+        assert service.reversal_failures == 1
+        assert service.failures == 1
+        assert service.reversals_served == 0
+
+    def test_handle_reversal_failure_leaves_a_trace(
+        self, service, traffic_snapshot, profile
+    ):
+        request = _request(traffic_snapshot, profile, tag="hcnt")
+        envelope = service.cloak(request)
+        wrong = KeyChain.from_passphrases(["worse-1", "worse-2"])
+        document = DeanonymizeRequestDoc(
+            envelope=envelope, keys=tuple(wrong), target_level=0
+        ).to_dict()
+        outcome = OutcomeDoc.from_dict(service.handle(document))
+        assert not outcome.ok
+        assert service.reversal_failures == 1
+        assert service.failures == 1
+        assert service.reversals_served == 0
+        # A successful reversal through handle still counts as served.
+        good = DeanonymizeRequestDoc(
+            envelope=envelope, keys=tuple(request.chain), target_level=0
+        ).to_dict()
+        assert OutcomeDoc.from_dict(service.handle(good)).ok
+        assert service.reversals_served == 1
+        assert service.failures == 1
+
+    def test_batch_counters_split_success_and_failure(
+        self, service, traffic_snapshot, profile
+    ):
+        request = _request(traffic_snapshot, profile, tag="bcnt")
+        envelope = service.cloak(request)
+        wrong = KeyChain.from_passphrases(["nope-1", "nope-2"])
+        batch = [
+            DeanonymizeRequestDoc(
+                envelope=envelope, keys=tuple(request.chain), target_level=0
+            ),
+            DeanonymizeRequestDoc(
+                envelope=envelope, keys=tuple(wrong), target_level=0
+            ),
+            DeanonymizeRequestDoc(
+                envelope=envelope, keys=tuple(request.chain), target_level=1
+            ),
+        ]
+        outcomes = service.deanonymize_batch(batch)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert service.reversals_served == 2
+        assert service.reversal_failures == 1
+        assert service.failures == 1
+        # Cloak-side failures keep accumulating into the same total.
+        impossible = CoreProfile(
+            [LevelRequirement(k=10_000, l=2, tolerance=ToleranceSpec(max_segments=5))]
+        )
+        with pytest.raises(ToleranceExceededError):
+            service.cloak(
+                CloakRequest(
+                    user_id=traffic_snapshot.users()[0],
+                    profile=impossible,
+                    chain=KeyChain.from_passphrases(["c1"]),
+                )
+            )
+        assert service.failures == 2
+        assert service.reversal_failures == 1
+
+
 class TestHandle:
     def test_cloak_document_round_trip(self, service, traffic_snapshot, profile):
         request = _request(traffic_snapshot, profile, tag="doc")
@@ -188,6 +344,35 @@ class TestHandle:
         assert outcome.result.region_at(0) == (
             traffic_snapshot.segment_of(request.user_id),
         )
+
+    def test_deanonymize_batch_document(self, service, traffic_snapshot, profile):
+        request = _request(traffic_snapshot, profile, tag="bd")
+        envelope = service.cloak(request)
+        wrong = KeyChain.from_passphrases(["bw-1", "bw-2"])
+        batch = DeanonymizeBatchDoc(
+            items=(
+                DeanonymizeRequestDoc(
+                    envelope=envelope, keys=tuple(request.chain), target_level=0
+                ),
+                DeanonymizeRequestDoc(
+                    envelope=envelope, keys=tuple(wrong), target_level=0
+                ),
+            )
+        )
+        reply = BatchOutcomeDoc.from_dict(service.handle(batch.to_dict()))
+        assert len(reply.outcomes) == 2
+        assert reply.outcomes[0].ok
+        assert reply.outcomes[0].result.region_at(0) == (
+            traffic_snapshot.segment_of(request.user_id),
+        )
+        assert not reply.outcomes[1].ok
+        assert reply.outcomes[1].error_code == "key_mismatch"
+        assert not reply.ok
+        # The whole exchange survives a JSON transport.
+        json_reply = BatchOutcomeDoc.from_json(
+            service.handle_json(batch.to_json())
+        )
+        assert json_reply.to_json() == reply.to_json()
 
     def test_serving_failure_becomes_structured_error(
         self, service, traffic_snapshot

@@ -22,9 +22,11 @@ from repro import (
     grid_network,
 )
 from repro.core.profile import LevelRequirement, ToleranceSpec
-from repro.errors import WireFormatError
+from repro.errors import KeyMismatchError, WireFormatError
 from repro.lbs.wire import (
+    BatchOutcomeDoc,
     CloakRequestDoc,
+    DeanonymizeBatchDoc,
     DeanonymizeRequestDoc,
     OutcomeDoc,
     error_code_for,
@@ -140,6 +142,72 @@ class TestWireDocumentRoundTrips:
         )
         assert DeanonymizeRequestDoc.from_json(reversal.to_json()) == reversal
 
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        user_indices=st.lists(
+            st.integers(0, 111), min_size=1, max_size=4, unique=True
+        ),
+        passphrase=st.text(min_size=1, max_size=8),
+        modes=st.lists(
+            st.sampled_from(["auto", "hint", "search"]), min_size=4, max_size=4
+        ),
+    )
+    def test_batch_documents(self, user_indices, passphrase, modes):
+        profile = PrivacyProfile.uniform(
+            levels=2, base_k=4, k_step=3, base_l=3, l_step=1, max_segments=50
+        )
+        items = []
+        for index, user_index in enumerate(user_indices):
+            segment = GRID.segment_ids()[user_index % GRID.segment_count]
+            chain = KeyChain.from_passphrases(
+                [f"{passphrase}b{index}-1", f"{passphrase}b{index}-2"]
+            )
+            envelope = ENGINE.anonymize(segment, SNAPSHOT, profile, chain)
+            items.append(
+                DeanonymizeRequestDoc(
+                    envelope=envelope,
+                    keys=tuple(chain),
+                    target_level=index % 2,
+                    mode=modes[index % len(modes)],
+                )
+            )
+        batch = DeanonymizeBatchDoc(items=tuple(items))
+        restored = DeanonymizeBatchDoc.from_json(batch.to_json())
+        assert restored == batch
+        assert restored.to_json() == batch.to_json()
+
+        # The positional response: mix successes and per-item errors.
+        outcomes = []
+        for item in items:
+            result = ENGINE.deanonymize(
+                item.envelope, dict(item.key_map()), item.target_level
+            )
+            outcomes.append(OutcomeDoc.from_result(result))
+        outcomes.append(
+            OutcomeDoc.from_exception(KeyMismatchError("wrong key"))
+        )
+        batch_outcome = BatchOutcomeDoc(outcomes=tuple(outcomes))
+        restored_outcome = BatchOutcomeDoc.from_json(batch_outcome.to_json())
+        assert restored_outcome == batch_outcome
+        assert restored_outcome.to_json() == batch_outcome.to_json()
+        assert not restored_outcome.ok  # the error item poisons only `ok`
+        assert [o.ok for o in restored_outcome.outcomes] == (
+            [True] * len(items) + [False]
+        )
+        assert isinstance(
+            restored_outcome.outcomes[-1].to_exception(), KeyMismatchError
+        )
+
+    def test_empty_batches_rejected(self):
+        with pytest.raises(WireFormatError):
+            DeanonymizeBatchDoc(items=())
+        with pytest.raises(WireFormatError):
+            BatchOutcomeDoc(outcomes=())
+
     @settings(max_examples=20, deadline=None)
     @given(
         counts=st.dictionaries(
@@ -184,6 +252,24 @@ def _valid_documents():
             OutcomeDoc.from_envelope(envelope).to_dict(),
             OutcomeDoc.from_dict,
             id="outcome",
+        ),
+        pytest.param(
+            DeanonymizeBatchDoc(
+                items=(
+                    DeanonymizeRequestDoc(
+                        envelope=envelope, keys=tuple(chain), target_level=0
+                    ),
+                )
+            ).to_dict(),
+            DeanonymizeBatchDoc.from_dict,
+            id="deanonymize_batch",
+        ),
+        pytest.param(
+            BatchOutcomeDoc(
+                outcomes=(OutcomeDoc.from_envelope(envelope),)
+            ).to_dict(),
+            BatchOutcomeDoc.from_dict,
+            id="batch_outcome",
         ),
         pytest.param(
             snapshot_to_dict(SNAPSHOT),
