@@ -49,17 +49,20 @@ from .core import (
 from .errors import (
     CloakingError,
     CollisionError,
+    DeadlineExceededError,
     DeanonymizationError,
     EnvelopeError,
     FrontierExhaustedError,
     KeyMismatchError,
     MobilityError,
+    OverloadedError,
     PreassignmentError,
     ProfileError,
     QueryError,
     ReverseCloakError,
     RoadNetworkError,
     ToleranceExceededError,
+    WorkerCrashedError,
 )
 from .keys import AccessControlProfile, AccessKey, KeyChain, KeyGrant, Requester
 from .lbs import (
@@ -163,4 +166,7 @@ __all__ = [
     "PreassignmentError",
     "MobilityError",
     "QueryError",
+    "DeadlineExceededError",
+    "WorkerCrashedError",
+    "OverloadedError",
 ]

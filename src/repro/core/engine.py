@@ -23,7 +23,17 @@ exactly. Three bootstrap modes (decision D1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..errors import (
     CloakingError,
@@ -248,6 +258,7 @@ class ReverseCloakEngine:
         profile: PrivacyProfile,
         chain: KeyChain,
         include_hints: bool = True,
+        checkpoint: Optional[Callable[[], None]] = None,
     ) -> CloakEnvelope:
         """Cloak ``user_segment`` under every level of ``profile``.
 
@@ -259,6 +270,12 @@ class ReverseCloakEngine:
             include_hints: Embed sealed last-added hints per level
                 (decision D1; disable to produce a pure search-mode
                 envelope).
+            checkpoint: Optional zero-argument callable invoked between
+                expansion steps and at each level boundary. The serving
+                layer threads cooperative deadline checks through here
+                (:class:`~repro.lbs.faults.Deadline`); a checkpoint aborts
+                by raising. Cooperative, not preemptive: the step in
+                progress always completes first.
 
         Raises:
             ToleranceExceededError: A level hit ``sigma_s`` unsatisfied.
@@ -285,6 +302,8 @@ class ReverseCloakEngine:
         records: List[LevelRecord] = []
         step_cap = self._network.segment_count + 1
         for level in range(1, profile.level_count + 1):
+            if checkpoint is not None:
+                checkpoint()
             requirement = profile.requirement(level)
             key = chain.key_for(level)
             # One draw buffer per level: the level's R_i values are block
@@ -301,6 +320,8 @@ class ReverseCloakEngine:
                     raise CloakingError(
                         f"level {level} exceeded {step_cap} transitions"
                     )
+                if checkpoint is not None:
+                    checkpoint()
                 step_anchors.append(anchor)
                 segment = self._algorithm.forward_step(
                     self._network, region, anchor, key, steps + 1,
@@ -363,6 +384,7 @@ class ReverseCloakEngine:
         target_level: int,
         mode: str = "auto",
         draws_cache: Optional[DrawsCache] = None,
+        checkpoint: Optional[Callable[[], None]] = None,
     ) -> DeanonymizationResult:
         """Peel ``envelope`` down to ``target_level``.
 
@@ -380,6 +402,9 @@ class ReverseCloakEngine:
                 each other's memoized keyed draws. Values are pure
                 functions of the key, so results are byte-identical with
                 or without it.
+            checkpoint: Optional zero-argument callable invoked before
+                each level peel (cooperative deadline hook; see
+                :meth:`anonymize`).
 
         Raises:
             KeyMismatchError: A key fails its level MAC or hint check.
@@ -416,6 +441,8 @@ class ReverseCloakEngine:
         region = frozenset(envelope.region)
         chained_anchors: Tuple[int, ...] = ()
         for level in range(top, target_level, -1):
+            if checkpoint is not None:
+                checkpoint()
             record = envelope.level_record(level)
             key = key_map[level]
             record.verify_key(key, envelope.algorithm, envelope.net_digest)

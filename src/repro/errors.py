@@ -26,6 +26,9 @@ __all__ = [
     "PreassignmentError",
     "MobilityError",
     "QueryError",
+    "DeadlineExceededError",
+    "WorkerCrashedError",
+    "OverloadedError",
 ]
 
 
@@ -140,3 +143,33 @@ class MobilityError(ReverseCloakError):
 
 class QueryError(ReverseCloakError):
     """Problems during anonymous query processing in the LBS substrate."""
+
+
+class DeadlineExceededError(CloakingError, DeanonymizationError):
+    """A request's cooperative deadline expired before serving finished.
+
+    Deadlines are *cooperative*, not preemptive: workers check them between
+    cloak/peel steps, so an in-progress step always completes before the
+    error is raised. The class derives both :class:`CloakingError` and
+    :class:`DeanonymizationError` because a deadline can expire on either
+    serving direction — batch outcomes on both paths carry it in place.
+    """
+
+
+class WorkerCrashedError(CloakingError, DeanonymizationError):
+    """A process-pool worker died serving a chunk and every recovery
+    attempt (respawn + re-drive, then inline fallback where enabled) was
+    exhausted.
+
+    Supervised serving converts worker death into respawn-and-retry, so
+    clients only ever see this error when the retry budget ran out and
+    inline degradation was disabled. Like :class:`DeadlineExceededError`
+    it derives both batch failure families.
+    """
+
+
+class OverloadedError(ReverseCloakError):
+    """The service shed this request: admitting it would exceed the
+    configured in-flight budget (:class:`~repro.lbs.service.AnonymizerService`
+    ``max_inflight``). The caller should back off and retry; nothing was
+    executed."""

@@ -14,6 +14,7 @@ from .backends import (
 )
 from .continuous import CloakTimeline, ContinuousCloaker, TimelineEntry
 from .deferral import DeferredCloaking, DeferredResult, TemporalTolerance
+from .faults import FAULT_PLAN_ENV, Deadline, FaultAction, FaultInjector, FaultPlan
 from .provider import LBSProvider
 from .query import CandidateResult, PoiDirectory, PointOfInterest, range_query
 from .server import TrustedAnonymizer
@@ -55,4 +56,9 @@ __all__ = [
     "ContinuousCloaker",
     "CloakTimeline",
     "TimelineEntry",
+    "Deadline",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "FAULT_PLAN_ENV",
 ]

@@ -40,6 +40,15 @@ resolved from each envelope's own algorithm metadata through a bounded
 :class:`ReversalEngineCache`, and peels within a batch share keyed-draw
 buffers through one :class:`~repro.core.reversal.DrawsCache` per serving
 thread.
+
+Since PR 6 the seam is fault-tolerant: every backend enforces the
+cooperative per-request deadlines carried in the wire documents
+(``deadline_ms``, surfacing as the structured ``deadline_exceeded`` code),
+and :class:`ProcessPoolBackend` supervises its workers — death of a shard
+mid-batch is recovered by respawn + chunk re-drive with bounded retries,
+degrading to inline execution rather than ever losing a batch. The
+recovery paths are exercised deterministically through
+:mod:`repro.lbs.faults`.
 """
 
 from __future__ import annotations
@@ -47,6 +56,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -68,10 +78,12 @@ from ..errors import (
     MobilityError,
     ProfileError,
     WireFormatError,
+    WorkerCrashedError,
 )
 from ..mobility.snapshot import PopulationSnapshot
 from ..roadnet.graph import RoadNetwork
 from ..roadnet.io import network_from_dict, network_to_dict
+from .faults import Deadline, FaultInjector, FaultPlan
 from .wire import (
     CloakRequest,
     CloakRequestDoc,
@@ -241,14 +253,20 @@ def _peel_outcome(
     engines: ReversalEngineCache,
     request: DeanonymizeRequestDoc,
     draws_cache: Optional[DrawsCache],
+    deadline: Optional[Deadline] = None,
 ) -> ReversalOutcome:
     """One reversal request against a pinned engine cache.
 
     The single code path every backend funnels reversal through (process
-    workers via its wire-doc twin ``_worker_peel_chunk``): resolve the
-    engine from the envelope's own metadata, peel, capture the typed
-    failure union in place.
+    workers via its wire-doc twin ``_peel_chunk_docs``): resolve the
+    engine from the envelope's own metadata, peel under the request's
+    cooperative deadline, capture the typed failure union in place
+    (:class:`~repro.errors.DeadlineExceededError` is a
+    :class:`~repro.errors.DeanonymizationError`, so expiry lands in place
+    like any other per-item failure).
     """
+    if deadline is None:
+        deadline = Deadline.start(request.deadline_ms)
     try:
         engine = engines.engine_for(request.envelope)
         result = engine.deanonymize(
@@ -257,6 +275,7 @@ def _peel_outcome(
             request.target_level,
             mode=request.mode,
             draws_cache=draws_cache,
+            checkpoint=deadline.check if deadline.active else None,
         )
     except _REVERSAL_ERRORS as exc:
         return ReversalOutcome(request=request, error=exc)
@@ -287,13 +306,17 @@ def serve_request(
     snapshot: PopulationSnapshot,
     request: CloakRequest,
     include_hints: bool,
+    deadline: Optional[Deadline] = None,
 ) -> CloakEnvelope:
     """One request against a pinned (engine, snapshot) pair.
 
     The single code path every backend funnels through (process workers
-    via their wire-doc twin ``_worker_serve``): resolve the user, expand,
-    return the envelope. Raw location is used transiently and not retained.
+    via their wire-doc twin ``_serve_chunk_docs``): resolve the user,
+    expand under the request's cooperative deadline, return the envelope.
+    Raw location is used transiently and not retained.
     """
+    if deadline is None:
+        deadline = Deadline.start(request.deadline_ms)
     if not snapshot.has_user(request.user_id):
         raise MobilityError(
             f"user {request.user_id} is not in the current snapshot"
@@ -305,6 +328,7 @@ def serve_request(
         request.profile,
         request.chain,
         include_hints=include_hints,
+        checkpoint=deadline.check if deadline.active else None,
     )
 
 
@@ -313,9 +337,12 @@ def _serve_outcome(
     snapshot: PopulationSnapshot,
     request: CloakRequest,
     include_hints: bool,
+    deadline: Optional[Deadline] = None,
 ) -> BatchOutcome:
     try:
-        envelope = serve_request(engine, snapshot, request, include_hints)
+        envelope = serve_request(
+            engine, snapshot, request, include_hints, deadline=deadline
+        )
     except (CloakingError, MobilityError) as exc:
         return BatchOutcome(request=request, error=exc)
     return BatchOutcome(request=request, envelope=envelope)
@@ -381,11 +408,23 @@ class InlineBackend(ExecutionBackend):
     results byte for byte. Reversal serving reuses one bounded engine
     cache across batches and shares one keyed-draw cache within each
     batch.
+
+    Args:
+        fault_plan: Optional :class:`~repro.lbs.faults.FaultPlan`
+            (defaults to the ambient :data:`~repro.lbs.faults.FAULT_PLAN_ENV`
+            plan). Inline serving presents to the plan as worker ``0``,
+            incarnation ``0``, with each batch as one chunk — but only
+            ``delay`` faults apply: kill and drop faults are inert
+            in-process (there is no worker to lose).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fault_plan: Optional[FaultPlan] = None) -> None:
         self._engine: Optional[ReverseCloakEngine] = None
         self._reversal_engines: Optional[ReversalEngineCache] = None
+        self._injector = FaultInjector(
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
+        self._chunk_counter = 0
 
     def bind(self, spec: BackendSpec) -> None:
         super().bind(spec)
@@ -395,15 +434,32 @@ class InlineBackend(ExecutionBackend):
                 spec.network, default=self._engine
             )
 
+    def _next_chunk(self) -> int:
+        chunk = self._chunk_counter
+        self._chunk_counter += 1
+        return chunk
+
     def cloak_batch(
         self, snapshot: PopulationSnapshot, requests: Sequence[CloakRequest]
     ) -> List[BatchOutcome]:
         spec = self.spec
         engine = self._engine
-        return [
-            _serve_outcome(engine, snapshot, request, spec.include_hints)
-            for request in requests
-        ]
+        if not self._injector:
+            return [
+                _serve_outcome(engine, snapshot, request, spec.include_hints)
+                for request in requests
+            ]
+        chunk = self._next_chunk()
+        outcomes = []
+        for item, request in enumerate(requests):
+            deadline = Deadline.start(request.deadline_ms)
+            self._injector.on_item(chunk, item, "cloak", deadline)
+            outcomes.append(
+                _serve_outcome(
+                    engine, snapshot, request, spec.include_hints, deadline=deadline
+                )
+            )
+        return outcomes
 
     def deanonymize_batch(
         self, requests: Sequence[DeanonymizeRequestDoc]
@@ -411,9 +467,20 @@ class InlineBackend(ExecutionBackend):
         self.spec  # raise the unbound error before any work
         engines = self._reversal_engines
         draws_cache = DrawsCache()
-        return [
-            _peel_outcome(engines, request, draws_cache) for request in requests
-        ]
+        if not self._injector:
+            return [
+                _peel_outcome(engines, request, draws_cache)
+                for request in requests
+            ]
+        chunk = self._next_chunk()
+        outcomes = []
+        for item, request in enumerate(requests):
+            deadline = Deadline.start(request.deadline_ms)
+            self._injector.on_item(chunk, item, "peel", deadline)
+            outcomes.append(
+                _peel_outcome(engines, request, draws_cache, deadline=deadline)
+            )
+        return outcomes
 
 
 class ThreadPoolBackend(ExecutionBackend):
@@ -575,12 +642,89 @@ def _worker_init(
     )
 
 
+def _serve_chunk_docs(
+    engine: ReverseCloakEngine,
+    snapshot: PopulationSnapshot,
+    include_hints: bool,
+    request_docs: Sequence[dict],
+    injector: Optional[FaultInjector] = None,
+    chunk: int = 0,
+) -> List[dict]:
+    """Serve one chunk of cloaking request documents against an engine.
+
+    The wire-doc twin of :func:`_serve_outcome`, shared by the process-pool
+    workers and the parent's inline degradation path (which is why it takes
+    plain documents, not live requests): each item runs under its own
+    cooperative deadline, expected serving failures — deadline expiry
+    included — become error outcome documents in place, anything else
+    propagates.
+    """
+    outcomes = []
+    for item, request_doc in enumerate(request_docs):
+        doc = CloakRequestDoc.from_dict(request_doc)
+        deadline = Deadline.start(doc.deadline_ms)
+        if injector is not None:
+            injector.on_item(chunk, item, "cloak", deadline)
+        try:
+            envelope = engine.anonymize(
+                doc.user_segment,
+                snapshot,
+                doc.profile,
+                doc.chain,
+                include_hints=include_hints,
+                checkpoint=deadline.check if deadline.active else None,
+            )
+        except CloakingError as exc:
+            outcomes.append(OutcomeDoc.from_exception(exc).to_dict())
+        else:
+            outcomes.append(OutcomeDoc.from_envelope(envelope).to_dict())
+    return outcomes
+
+
+def _peel_chunk_docs(
+    engines: ReversalEngineCache,
+    request_docs: Sequence[dict],
+    draws_cache: Optional[DrawsCache] = None,
+    injector: Optional[FaultInjector] = None,
+    chunk: int = 0,
+) -> List[dict]:
+    """Serve one chunk of reversal request documents against an engine cache.
+
+    The wire-doc twin of :func:`_peel_outcome`, shared by the process-pool
+    workers and the parent's inline degradation path: each item's engine is
+    resolved from the envelope's own algorithm metadata through the bounded
+    cache, the chunk shares one keyed-draw cache, each item runs under its
+    own cooperative deadline, and every typed reversal failure — including
+    a malformed item document — becomes a structured error outcome in
+    place. Anything else propagates.
+    """
+    outcomes = []
+    for item, request_doc in enumerate(request_docs):
+        try:
+            doc = DeanonymizeRequestDoc.from_dict(request_doc)
+        except WireFormatError as exc:
+            outcomes.append(OutcomeDoc.from_exception(exc).to_dict())
+            continue
+        deadline = Deadline.start(doc.deadline_ms)
+        if injector is not None:
+            injector.on_item(chunk, item, "peel", deadline)
+        outcome = _peel_outcome(engines, doc, draws_cache, deadline=deadline)
+        outcomes.append(
+            OutcomeDoc.from_result(outcome.result).to_dict()
+            if outcome.ok
+            else OutcomeDoc.from_exception(outcome.error).to_dict()
+        )
+    return outcomes
+
+
 def _worker_serve_chunk(
     snapshot_token: int,
     snapshot_blob: Optional[str],
     request_docs: Tuple[dict, ...],
+    injector: Optional[FaultInjector] = None,
+    chunk: int = 0,
 ):
-    """Serve one chunk of wire request documents inside a worker process.
+    """Serve one cloaking chunk inside a worker process.
 
     Returns outcome documents (plain dicts) in chunk order, or the
     :data:`_NEED_SNAPSHOT` sentinel when the worker's cached snapshot is
@@ -594,53 +738,29 @@ def _worker_serve_chunk(
             return _NEED_SNAPSHOT
         state["snapshot"] = snapshot_from_dict(json.loads(snapshot_blob))
         state["snapshot_token"] = snapshot_token
-    snapshot = state["snapshot"]
-    engine = state["engine"]
-    include_hints = state["include_hints"]
-    outcomes = []
-    for request_doc in request_docs:
-        doc = CloakRequestDoc.from_dict(request_doc)
-        try:
-            envelope = engine.anonymize(
-                doc.user_segment,
-                snapshot,
-                doc.profile,
-                doc.chain,
-                include_hints=include_hints,
-            )
-        except CloakingError as exc:
-            outcomes.append(OutcomeDoc.from_exception(exc).to_dict())
-        else:
-            outcomes.append(OutcomeDoc.from_envelope(envelope).to_dict())
-    return outcomes
+    return _serve_chunk_docs(
+        state["engine"],
+        state["snapshot"],
+        state["include_hints"],
+        request_docs,
+        injector=injector,
+        chunk=chunk,
+    )
 
 
-def _worker_peel_chunk(request_docs: Tuple[dict, ...]):
-    """Serve one chunk of reversal request documents inside a worker.
-
-    The wire-doc twin of :func:`_peel_outcome`: each item's engine is
-    resolved from the envelope's own algorithm metadata through the
-    worker's bounded cache, the chunk shares one keyed-draw cache, and
-    every typed reversal failure — including a malformed item document —
-    becomes a structured error outcome in place. Anything else propagates
-    and surfaces in the parent.
-    """
-    engines: ReversalEngineCache = _WORKER_STATE["reversal_engines"]
-    draws_cache = DrawsCache()
-    outcomes = []
-    for request_doc in request_docs:
-        try:
-            doc = DeanonymizeRequestDoc.from_dict(request_doc)
-        except WireFormatError as exc:
-            outcomes.append(OutcomeDoc.from_exception(exc).to_dict())
-            continue
-        outcome = _peel_outcome(engines, doc, draws_cache)
-        outcomes.append(
-            OutcomeDoc.from_result(outcome.result).to_dict()
-            if outcome.ok
-            else OutcomeDoc.from_exception(outcome.error).to_dict()
-        )
-    return outcomes
+def _worker_peel_chunk(
+    request_docs: Tuple[dict, ...],
+    injector: Optional[FaultInjector] = None,
+    chunk: int = 0,
+):
+    """Serve one reversal chunk inside a worker process."""
+    return _peel_chunk_docs(
+        _WORKER_STATE["reversal_engines"],
+        request_docs,
+        DrawsCache(),
+        injector=injector,
+        chunk=chunk,
+    )
 
 
 def _worker_main(
@@ -649,6 +769,9 @@ def _worker_main(
     algorithm_name: str,
     params_blob: str,
     include_hints: bool,
+    plan_blob: Optional[str] = None,
+    worker_index: int = 0,
+    incarnation: int = 0,
 ) -> None:
     """The serve loop of one sharded worker process.
 
@@ -665,19 +788,40 @@ def _worker_main(
     Replies are ``("ok", outcome_docs)``, ``("ok", _NEED_SNAPSHOT)`` for a
     stale snapshot cache, or ``("raise", exception)`` for unexpected
     failures (re-raised in the parent).
+
+    ``plan_blob``/``worker_index``/``incarnation`` configure the worker's
+    deterministic :class:`~repro.lbs.faults.FaultInjector` (the plan ships
+    as JSON so it survives ``spawn``). Chunk ordinals count the messages
+    *this incarnation* has received, so a respawned worker starts from
+    chunk 0 — and, because faults default to incarnation 0, does not
+    re-trigger the fault that killed its predecessor.
     """
     _worker_init(network_blob, algorithm_name, params_blob, include_hints)
+    plan = FaultPlan.from_json(plan_blob) if plan_blob else None
+    injector = FaultInjector(
+        plan, worker_index, incarnation, process_worker=True
+    )
+    injector.install_signal_faults()
+    chunk_counter = 0
     while True:
         message = connection.recv()
         if message is None:
+            if injector.ignore_shutdown():
+                continue
             break
+        chunk = chunk_counter
+        chunk_counter += 1
+        op = "peel" if message[0] == "peel" else "cloak"
         try:
+            injector.on_chunk(chunk, op)
             kind = message[0]
             if kind == "cloak":
                 _, token, snapshot_blob, request_docs = message
-                reply = _worker_serve_chunk(token, snapshot_blob, request_docs)
+                reply = _worker_serve_chunk(
+                    token, snapshot_blob, request_docs, injector, chunk
+                )
             elif kind == "peel":
-                reply = _worker_peel_chunk(message[1])
+                reply = _worker_peel_chunk(message[1], injector, chunk)
             else:
                 raise RuntimeError(f"unknown worker message kind: {kind!r}")
         except BaseException as exc:  # ship unexpected failures to the parent
@@ -688,8 +832,36 @@ def _worker_main(
                     ("raise", RuntimeError(f"worker failure: {exc!r}"))
                 )
         else:
+            if injector.drop_reply(chunk, op):
+                continue
             connection.send(("ok", reply))
     connection.close()
+
+
+class _WedgedWorkerError(Exception):
+    """Internal: a worker missed its dispatch-wait timeout (wedged or its
+    reply was lost); treated exactly like a dead pipe by supervision."""
+
+
+#: What supervision treats as "the worker is gone": a dead pipe (EOF /
+#: broken pipe / reset, all OSError subclasses) or a missed dispatch wait.
+_TRANSPORT_ERRORS = (EOFError, OSError, _WedgedWorkerError)
+
+#: Grace added on top of a chunk's largest item deadline when the parent
+#: bounds its dispatch wait with it: deadlines are cooperative, so a worker
+#: may legitimately finish (and report expiry itself) slightly late.
+_DEADLINE_WAIT_GRACE_S = 1.0
+
+
+@dataclass
+class _WorkerHandle:
+    """One live worker shard: its process, private pipe, stable slot index
+    and incarnation number (bumped on every supervised respawn)."""
+
+    process: object
+    connection: object
+    index: int
+    incarnation: int
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -726,6 +898,21 @@ class ProcessPoolBackend(ExecutionBackend):
     :meth:`cloak_batch` / :meth:`deanonymize_batch` callers); parallelism
     lives *inside* a batch.
 
+    **Supervision.** Worker death is an operational event, not a batch
+    failure: when a pipe dies (EOF, broken pipe, reset) or a dispatch wait
+    times out, the parent respawns the slot — incarnation bumped, engine
+    rebuilt from the same wire documents — and re-drives *only the lost
+    chunk*, with exponential backoff, up to ``max_chunk_retries`` times.
+    A chunk that outlives its retry budget degrades to inline execution on
+    the parent (byte-identical by the counts-only snapshot equivalence the
+    wire protocol already guarantees), so a batch is never lost; with
+    ``inline_fallback=False`` the chunk's items surface as structured
+    ``worker_crashed`` outcomes instead. Failures a worker *reports*
+    (``("raise", exc)``) are not crashes: the pool stays up, the remaining
+    replies are drained, and the failure re-raises as before.
+    :attr:`worker_restarts` and :attr:`inline_fallbacks` count the
+    recovery events.
+
     Args:
         max_workers: Number of worker processes; ``None`` picks
             ``min(4, cpu_count)``.
@@ -733,19 +920,66 @@ class ProcessPoolBackend(ExecutionBackend):
             ``"spawn"``, ``"forkserver"``); ``None`` uses the platform
             default. Everything shipped to workers is picklable under
             ``spawn``, so macOS/Windows semantics are covered.
+        fault_plan: Optional :class:`~repro.lbs.faults.FaultPlan` shipped
+            to every worker (as JSON, so it survives ``spawn``); defaults
+            to the ambient :data:`~repro.lbs.faults.FAULT_PLAN_ENV` plan.
+        max_chunk_retries: Respawn-and-redrive attempts per lost chunk
+            before degrading it.
+        retry_backoff_s: Base of the exponential backoff between respawn
+            attempts (``retry_backoff_s * 2**(attempt-1)`` seconds).
+        dispatch_timeout_s: Optional bound on each dispatch wait; a worker
+            that misses it is treated as wedged (killed, respawned, chunk
+            re-driven). Required for ``drop_reply`` faults to be
+            recoverable — without it, and without per-item deadlines, a
+            silently dropped reply would block the parent forever.
+        inline_fallback: Degrade retry-exhausted chunks to inline
+            execution (default) instead of ``worker_crashed`` outcomes.
+        shutdown_join_s: Join timeout of each teardown escalation stage
+            (sentinel → ``terminate()`` → ``kill()``).
     """
 
     def __init__(
         self,
         max_workers: Optional[int] = None,
         start_method: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_chunk_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        dispatch_timeout_s: Optional[float] = None,
+        inline_fallback: bool = True,
+        shutdown_join_s: float = 5.0,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise CloakingError(f"max_workers must be >= 1, got {max_workers}")
+        if max_chunk_retries < 0:
+            raise CloakingError(
+                f"max_chunk_retries must be >= 0, got {max_chunk_retries}"
+            )
         self._max_workers = max_workers or min(4, os.cpu_count() or 1)
         self._start_method = start_method
+        self._fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
+        self._plan_blob = (
+            self._fault_plan.to_json() if self._fault_plan else None
+        )
+        self._max_chunk_retries = max_chunk_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._dispatch_timeout_s = dispatch_timeout_s
+        self._inline_fallback = inline_fallback
+        self._shutdown_join_s = shutdown_join_s
         self._dispatch_lock = threading.Lock()
-        self._workers: List = []  # [(Process, Connection)]
+        self._context = None
+        self._init_args: Optional[tuple] = None
+        self._workers: List[_WorkerHandle] = []
+        # The degradation engines are built lazily on the first retry
+        # exhaustion — the happy path never pays for them.
+        self._fallback_engine: Optional[ReverseCloakEngine] = None
+        self._fallback_reversal: Optional[ReversalEngineCache] = None
+        #: Supervised respawns performed (observability; tests assert on it).
+        self.worker_restarts = 0
+        #: Chunks degraded to inline execution after retry exhaustion.
+        self.inline_fallbacks = 0
         # Snapshot shipping state: one token per distinct snapshot object,
         # blob serialized once; workers that have not seen the batch's
         # token answer _NEED_SNAPSHOT and get a resend with the blob.
@@ -758,30 +992,63 @@ class ProcessPoolBackend(ExecutionBackend):
     def max_workers(self) -> int:
         return self._max_workers
 
-    def _ensure_workers(self) -> List:
+    def _spawn_worker(self, index: int, incarnation: int) -> _WorkerHandle:
+        parent_end, child_end = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_end,)
+            + self._init_args
+            + (self._plan_blob, index, incarnation),
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        return _WorkerHandle(process, parent_end, index, incarnation)
+
+    def _ensure_workers(self) -> List[_WorkerHandle]:
         """Spawn the worker shards on first use (dispatch lock held)."""
         if not self._workers:
-            import multiprocessing
+            if self._context is None:
+                import multiprocessing
 
-            context = multiprocessing.get_context(self._start_method)
+                self._context = multiprocessing.get_context(self._start_method)
             spec = self.spec
-            init_args = (
+            self._init_args = (
                 json.dumps(network_to_dict(spec.network)),
                 spec.algorithm.name,
                 json.dumps(spec.algorithm.params()),
                 spec.include_hints,
             )
-            for _ in range(self._max_workers):
-                parent_end, child_end = context.Pipe()
-                process = context.Process(
-                    target=_worker_main,
-                    args=(child_end,) + init_args,
-                    daemon=True,
-                )
-                process.start()
-                child_end.close()
-                self._workers.append((process, parent_end))
+            for index in range(self._max_workers):
+                self._workers.append(self._spawn_worker(index, incarnation=0))
         return self._workers
+
+    def _reap_worker(self, handle: _WorkerHandle) -> None:
+        """Put one worker down for good: terminate, escalate to kill, close
+        the pipe. Used on respawn and by teardown."""
+        process = handle.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=self._shutdown_join_s)
+        if process.is_alive():  # SIGTERM ignored or wedged: cannot be refused
+            process.kill()
+            process.join(timeout=self._shutdown_join_s)
+        try:
+            handle.connection.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    def _respawn(self, slot: int) -> _WorkerHandle:
+        """Replace the worker in ``slot`` with a fresh incarnation
+        (dispatch lock held). The replacement rebuilds its engine from the
+        same wire documents; its snapshot cache starts cold, so re-driven
+        cloak chunks must carry the snapshot blob."""
+        handle = self._workers[slot]
+        self._reap_worker(handle)
+        replacement = self._spawn_worker(handle.index, handle.incarnation + 1)
+        self._workers[slot] = replacement
+        self.worker_restarts += 1
+        return replacement
 
     def _snapshot_wire(self, snapshot: PopulationSnapshot) -> Tuple[int, str]:
         """The (token, counts blob) of ``snapshot``, serialized once per
@@ -854,38 +1121,176 @@ class ProcessPoolBackend(ExecutionBackend):
         its chunk once more with the snapshot document attached. Failures a
         worker *reports* (``("raise", exc)``) keep the pipes aligned — the
         other replies are drained before re-raising; a *transport* failure
-        (dead worker, broken pipe) tears the whole pool down instead, so a
-        retried batch starts against fresh, message-aligned workers rather
-        than reading the dead batch's leftover replies.
+        (dead worker, broken pipe, missed dispatch wait) is recovered by
+        supervision (see :meth:`_collect_chunk`): the slot is respawned and
+        only the lost chunk re-driven, so the surviving workers' replies
+        are never discarded.
         """
-        workers = self._ensure_workers()
         token, blob = self._snapshot_wire(snapshot)
         ship_blob = blob if self._cold_token else None
-        chunks = self._chunk(chunk_docs)
-        used = workers[: len(chunks)]
-        replies: List[dict] = []
-        failure: Optional[BaseException] = None
-        try:
-            for (_process, connection), chunk in zip(used, chunks):
-                connection.send(("cloak", token, ship_blob, tuple(chunk)))
-            for (_process, connection), chunk in zip(used, chunks):
-                kind, payload = connection.recv()
-                if kind == "ok" and payload == _NEED_SNAPSHOT:
-                    connection.send(("cloak", token, blob, tuple(chunk)))
-                    kind, payload = connection.recv()
-                if kind == "raise":
-                    # Remember the first failure but keep draining the
-                    # other workers' replies so the pipes stay aligned.
-                    failure = failure or payload
-                    continue
-                replies.extend(payload)
-        except BaseException:
-            self._teardown_workers()
-            raise
-        if failure is not None:
-            raise failure
+        replies = self._drive(
+            "cloak",
+            self._chunk(chunk_docs),
+            snapshot=snapshot,
+            token=token,
+            blob=blob,
+            ship_blob=ship_blob,
+        )
         self._cold_token = False
         return replies
+
+    def _message(
+        self, op: str, chunk: List[dict], token: Optional[int], blob: Optional[str]
+    ) -> tuple:
+        if op == "cloak":
+            return ("cloak", token, blob, tuple(chunk))
+        return ("peel", tuple(chunk))
+
+    def _chunk_timeout(self, chunk: List[dict]) -> Optional[float]:
+        """How long a dispatch wait on ``chunk`` may block.
+
+        ``dispatch_timeout_s`` when configured; additionally, when *every*
+        item carries a deadline, the worker must have answered by the
+        largest one (plus cooperative grace) — this is the parent-side
+        deadline enforcement on dispatch waits. ``None`` blocks forever.
+        """
+        timeout = self._dispatch_timeout_s
+        deadlines = [doc.get("deadline_ms") for doc in chunk]
+        if deadlines and all(value is not None for value in deadlines):
+            bound = max(deadlines) / 1000.0 + _DEADLINE_WAIT_GRACE_S
+            timeout = bound if timeout is None else min(timeout, bound)
+        return timeout
+
+    def _recv_reply(self, handle: _WorkerHandle, timeout: Optional[float]):
+        if timeout is not None and not handle.connection.poll(timeout):
+            raise _WedgedWorkerError(
+                f"worker {handle.index} (incarnation {handle.incarnation}) "
+                f"sent no reply within {timeout:g}s"
+            )
+        return handle.connection.recv()
+
+    def _drive(
+        self,
+        op: str,
+        chunks: List[List[dict]],
+        snapshot: Optional[PopulationSnapshot] = None,
+        token: Optional[int] = None,
+        blob: Optional[str] = None,
+        ship_blob: Optional[str] = None,
+    ) -> List[dict]:
+        """Send every chunk to its shard, then collect replies in order.
+
+        Dispatch lock held. The fan-out phase keeps all shards busy in
+        parallel; the collect phase runs per-slot supervision
+        (:meth:`_collect_chunk`), so a crash on one shard never discards
+        another shard's work. Worker-*reported* failures drain the
+        remaining replies before re-raising, exactly as before.
+        """
+        self._ensure_workers()
+        sent: List[bool] = []
+        for slot, chunk in enumerate(chunks):
+            try:
+                self._workers[slot].connection.send(
+                    self._message(op, chunk, token, ship_blob)
+                )
+                sent.append(True)
+            except (OSError, ValueError):
+                # Dead before the batch even reached it: leave the send to
+                # the supervised collect pass, which will respawn the slot.
+                sent.append(False)
+        replies: List[dict] = []
+        failure: Optional[BaseException] = None
+        for slot, chunk in enumerate(chunks):
+            kind, payload = self._collect_chunk(
+                op, slot, chunk, token, blob, sent[slot], snapshot
+            )
+            if kind == "raise":
+                failure = failure or payload
+                continue
+            replies.extend(payload)
+        if failure is not None:
+            raise failure
+        return replies
+
+    def _collect_chunk(
+        self,
+        op: str,
+        slot: int,
+        chunk: List[dict],
+        token: Optional[int],
+        blob: Optional[str],
+        sent: bool,
+        snapshot: Optional[PopulationSnapshot],
+    ):
+        """Collect one shard's reply, recovering the chunk through worker
+        death: respawn with exponential backoff and re-drive (re-driven
+        cloak chunks always carry the snapshot blob — a fresh incarnation's
+        snapshot cache is cold), degrade after ``max_chunk_retries``.
+        Returns ``("ok", outcome_docs)`` or ``("raise", exc)``.
+        """
+        timeout = self._chunk_timeout(chunk)
+        attempt = 0
+        while True:
+            handle = self._workers[slot]
+            try:
+                if not sent:
+                    handle.connection.send(self._message(op, chunk, token, blob))
+                    sent = True
+                kind, payload = self._recv_reply(handle, timeout)
+                if kind == "ok" and payload == _NEED_SNAPSHOT:
+                    handle.connection.send(("cloak", token, blob, tuple(chunk)))
+                    kind, payload = self._recv_reply(handle, timeout)
+                return kind, payload
+            except _TRANSPORT_ERRORS:
+                attempt += 1
+                # Replace the dead/wedged incarnation either way, so the
+                # pool is whole for the remaining slots and later batches.
+                self._respawn(slot)
+                if attempt > self._max_chunk_retries:
+                    return "ok", self._degraded_chunk(op, chunk, snapshot)
+                time.sleep(self._retry_backoff_s * (2 ** (attempt - 1)))
+                sent = False
+
+    def _degraded_chunk(
+        self,
+        op: str,
+        chunk: List[dict],
+        snapshot: Optional[PopulationSnapshot],
+    ) -> List[dict]:
+        """The outcome documents of a chunk whose retry budget ran out:
+        inline execution on the parent (graceful degradation — byte-
+        identical, the batch is never lost), or per-item ``worker_crashed``
+        outcomes when ``inline_fallback`` is off."""
+        if not self._inline_fallback:
+            error = WorkerCrashedError(
+                f"worker chunk lost {self._max_chunk_retries + 1} times; "
+                "retries exhausted and inline fallback is disabled"
+            )
+            doc = OutcomeDoc.from_exception(error).to_dict()
+            return [dict(doc) for _ in chunk]
+        self.inline_fallbacks += 1
+        if op == "cloak":
+            return _serve_chunk_docs(
+                self._fallback_cloak_engine(),
+                snapshot,
+                self.spec.include_hints,
+                chunk,
+            )
+        return _peel_chunk_docs(
+            self._fallback_reversal_engines(), chunk, DrawsCache()
+        )
+
+    def _fallback_cloak_engine(self) -> ReverseCloakEngine:
+        if self._fallback_engine is None:
+            self._fallback_engine = self.spec.build_engine()
+        return self._fallback_engine
+
+    def _fallback_reversal_engines(self) -> ReversalEngineCache:
+        if self._fallback_reversal is None:
+            self._fallback_reversal = ReversalEngineCache(
+                self.spec.network, default=self._fallback_cloak_engine()
+            )
+        return self._fallback_reversal
 
     def deanonymize_batch(
         self, requests: Sequence[DeanonymizeRequestDoc]
@@ -928,32 +1333,13 @@ class ProcessPoolBackend(ExecutionBackend):
     def _dispatch_peels(self, chunk_docs: List[dict]) -> List[dict]:
         """Fan one reversal batch out to the workers; replies in order.
 
-        Dispatch lock held. Same pipe-alignment discipline as the cloaking
+        Dispatch lock held. Same supervision discipline as the cloaking
         :meth:`_dispatch` — reported failures drain the remaining replies
-        before re-raising, transport failures tear the pool down so a
-        retried batch never reads a dead batch's leftovers — minus the
-        snapshot machinery, which reversal does not need.
+        before re-raising, transport failures respawn the slot and
+        re-drive only its chunk — minus the snapshot machinery, which
+        reversal does not need.
         """
-        workers = self._ensure_workers()
-        chunks = self._chunk(chunk_docs)
-        used = workers[: len(chunks)]
-        replies: List[dict] = []
-        failure: Optional[BaseException] = None
-        try:
-            for (_process, connection), chunk in zip(used, chunks):
-                connection.send(("peel", tuple(chunk)))
-            for (_process, connection), _chunk in zip(used, chunks):
-                kind, payload = connection.recv()
-                if kind == "raise":
-                    failure = failure or payload
-                    continue
-                replies.extend(payload)
-        except BaseException:
-            self._teardown_workers()
-            raise
-        if failure is not None:
-            raise failure
-        return replies
+        return self._drive("peel", self._chunk(chunk_docs))
 
     def _chunk(self, docs: List[dict]) -> List[List[dict]]:
         """Split the batch into one contiguous chunk per worker."""
@@ -969,18 +1355,32 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def _teardown_workers(self) -> None:
         """Shut every worker down and reset snapshot-shipping state
-        (dispatch lock held). The next batch spawns a fresh pool."""
-        for process, connection in self._workers:
+        (dispatch lock held). The next batch spawns a fresh pool.
+
+        Escalation ladder per worker: cooperative shutdown sentinel →
+        ``join(shutdown_join_s)`` → ``terminate()`` (SIGTERM) → join →
+        ``kill()`` (SIGKILL, cannot be ignored) → join. ``close()``
+        therefore never leaks a live child, even against a worker that
+        ignores the sentinel and SIGTERM.
+        """
+        for handle in self._workers:
             try:
-                connection.send(None)
+                handle.connection.send(None)
             except (OSError, ValueError):
                 pass
-        for process, connection in self._workers:
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - hung worker
+        for handle in self._workers:
+            process = handle.process
+            process.join(timeout=self._shutdown_join_s)
+            if process.is_alive():
                 process.terminate()
-                process.join(timeout=5)
-            connection.close()
+                process.join(timeout=self._shutdown_join_s)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=self._shutdown_join_s)
+            try:
+                handle.connection.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
         self._workers.clear()
         self._snapshot_seen = None
         self._snapshot_blob = None

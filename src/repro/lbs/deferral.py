@@ -16,6 +16,7 @@ temporal budget buys back under tight spatial tolerances.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -37,11 +38,28 @@ class TemporalTolerance:
         max_defer_seconds: Total simulated time a request may wait.
         retry_interval_seconds: Cadence at which the anonymizer re-checks
             (each retry advances the shared simulation and takes a fresh
-            snapshot).
+            snapshot). With backoff, this is the *first* wait.
+        backoff_factor: Multiplier applied to the wait after each retry
+            (``1.0``, the default, keeps the original fixed-interval
+            schedule byte-identical). Exponential backoff lets a deferred
+            request poll densely at first — when a single tick of traffic
+            drift is most likely to unlock it — without hammering the
+            snapshot pipeline through a long tail.
+        jitter_fraction: Deterministic jitter amplitude: each wait is
+            scaled by a factor drawn uniformly from ``1 ± jitter_fraction``
+            using a :class:`random.Random` seeded with ``jitter_seed``, so
+            a fleet of deferred requests de-synchronizes their retries
+            while any given (seed, schedule) pair stays exactly
+            reproducible. ``0.0`` (default) disables jitter.
+        jitter_seed: Seed of the jitter stream (ignored when
+            ``jitter_fraction`` is 0).
     """
 
     max_defer_seconds: float
     retry_interval_seconds: float = 1.0
+    backoff_factor: float = 1.0
+    jitter_fraction: float = 0.0
+    jitter_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_defer_seconds < 0:
@@ -53,6 +71,22 @@ class TemporalTolerance:
                 f"retry_interval_seconds must be positive, got "
                 f"{self.retry_interval_seconds}"
             )
+        if self.backoff_factor < 1.0:
+            # < 1 would shrink waits toward zero and let the schedule fit
+            # unboundedly many rounds into a finite budget.
+            raise ProfileError(
+                f"backoff_factor must be >= 1.0, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ProfileError(
+                f"jitter_fraction must be in [0, 1), got {self.jitter_fraction}"
+            )
+
+    @property
+    def uniform(self) -> bool:
+        """Whether this is the original fixed-interval schedule (no
+        backoff, no jitter) — the byte-identical default."""
+        return self.backoff_factor == 1.0 and self.jitter_fraction == 0.0
 
     @property
     def max_retries(self) -> int:
@@ -71,6 +105,38 @@ class TemporalTolerance:
         if abs(quotient - nearest) <= 1e-9 * max(1.0, nearest):
             return int(nearest)
         return int(quotient)
+
+    def wait_schedule(self) -> Tuple[float, ...]:
+        """The deterministic sequence of deferral waits within the budget.
+
+        For the uniform default this is exactly ``max_retries`` copies of
+        ``retry_interval_seconds`` (sharing its rounding-tolerant count).
+        With backoff/jitter, waits grow by ``backoff_factor`` per round
+        (each scaled by its jitter draw) and the schedule stops at the
+        last wait whose *cumulative* time still fits ``max_defer_seconds``
+        — the budget bounds total waiting, not round count. Pure function
+        of the tolerance's fields: the same tolerance always yields the
+        same schedule.
+        """
+        if self.uniform:
+            return (self.retry_interval_seconds,) * self.max_retries
+        rng = (
+            random.Random(self.jitter_seed) if self.jitter_fraction else None
+        )
+        waits = []
+        elapsed = 0.0
+        interval = self.retry_interval_seconds
+        while True:
+            wait = interval
+            if rng is not None:
+                wait *= 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
+            # Same one-part-in-10^9 tolerance as max_retries: a cumulative
+            # sum that is the budget bar float noise still fits.
+            if elapsed + wait > self.max_defer_seconds * (1.0 + 1e-9):
+                return tuple(waits)
+            waits.append(wait)
+            elapsed += wait
+            interval *= self.backoff_factor
 
 
 @dataclass(frozen=True)
@@ -137,8 +203,10 @@ class DeferredCloaking:
                 requirements became reachable (the final attempt's error is
                 re-raised, typically :class:`ToleranceExceededError`).
         """
+        schedule = temporal.wait_schedule()
         last_error: Optional[CloakingError] = None
-        for retries in range(temporal.max_retries + 1):
+        waited = 0.0
+        for retries in range(len(schedule) + 1):
             snapshot = self._simulator.snapshot()
             if not snapshot.has_user(user_id):
                 raise CloakingError(f"user {user_id} not in the simulation")
@@ -150,13 +218,21 @@ class DeferredCloaking:
                 )
             except CloakingError as error:
                 last_error = error
-                if retries == temporal.max_retries:
+                if retries == len(schedule):
                     break
-                self._simulator.step(temporal.retry_interval_seconds)
+                self._simulator.step(schedule[retries])
+                waited += schedule[retries]
                 continue
+            # The uniform schedule keeps the historical product form (a
+            # float sum of N equal waits is not bit-equal to N * wait).
+            deferred = (
+                retries * temporal.retry_interval_seconds
+                if temporal.uniform
+                else waited
+            )
             return DeferredResult(
                 envelope=envelope,
-                deferred_seconds=retries * temporal.retry_interval_seconds,
+                deferred_seconds=deferred,
                 retries=retries,
             )
         assert last_error is not None

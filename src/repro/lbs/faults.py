@@ -1,0 +1,404 @@
+"""Deterministic fault injection and cooperative deadlines for serving.
+
+A fault-tolerant serving stack is only trustworthy if every recovery path
+is *exercised*, not just written. This module makes the failure modes of
+the execution backends — a worker process dying mid-chunk, a peel running
+past its deadline, a reply never arriving — reproducible from ordinary
+pytest, with no timing races and no randomness:
+
+* :class:`Deadline` — the cooperative per-request deadline object.
+  Serving code calls :meth:`Deadline.check` between cloak/peel steps;
+  fault injection can *inject* artificial elapsed time, so a "peel that
+  runs long" is a deterministic unit test instead of a real sleep.
+* :class:`FaultAction` / :class:`FaultPlan` — a declarative, JSON-round-
+  trippable script of failures keyed on deterministic counters (worker
+  index, worker incarnation, per-incarnation chunk ordinal, item ordinal)
+  rather than wall-clock time.
+* :class:`FaultInjector` — the per-worker(-incarnation) runtime that the
+  backends consult at well-defined points: chunk receipt, item start,
+  reply send, shutdown.
+
+Plans reach worker processes two ways: explicitly, via the backend's
+``fault_plan`` constructor argument (shipped to workers as JSON, so it
+works under the ``spawn`` start method), or ambiently through the
+:data:`FAULT_PLAN_ENV` environment variable (``REPRO_FAULT_PLAN``) holding
+either inline JSON or ``@/path/to/plan.json`` — the hook CI's
+fault-injection job and the faulted benchmark section use.
+
+Fault kinds
+-----------
+
+``kill_worker``
+    The worker calls ``os._exit(KILLED_EXIT_CODE)`` — at chunk receipt
+    when ``item`` is unset, or mid-chunk just before serving item
+    ``item`` (a kill mid-cloak / mid-peel). Ignored outside process-pool
+    workers: an inline backend shares the test's process.
+``delay``
+    Inject ``delay_ms`` of artificial elapsed time into the matched
+    item's :class:`Deadline` (no real sleeping — tests stay fast), used
+    to push a cloak or peel deterministically past its deadline.
+``drop_reply``
+    The worker serves the chunk but never sends the reply — the parent's
+    supervised dispatch must detect the wedged worker via its wait
+    timeout or batch deadline.
+``ignore_shutdown`` / ``ignore_sigterm``
+    The worker ignores the shutdown sentinel / SIGTERM, forcing the
+    parent's teardown escalation (join → terminate → kill) to go all the
+    way; used by the zombie-reaping regression tests.
+
+Matching semantics: ``worker``/``chunk``/``item``/``op``/``incarnation``
+are filters; a ``None`` filter matches anything (``incarnation`` defaults
+to ``0`` — first incarnation only — so a respawned worker does *not*
+re-trigger the fault that killed its predecessor unless the plan says
+``incarnation: null``). Each action fires at most once per injector
+instance, i.e. once per worker incarnation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import DeadlineExceededError, WireFormatError
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "KILLED_EXIT_CODE",
+    "Deadline",
+    "FaultAction",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+#: The environment variable the backends read a default fault plan from:
+#: inline JSON, or ``@/path/to/plan.json``. Inherited by worker processes
+#: under both ``fork`` and ``spawn``.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: The exit code an injected ``kill_worker`` fault dies with — a sentinel
+#: the supervision tests can distinguish from organic crashes.
+KILLED_EXIT_CODE = 23
+
+_FAULT_KINDS = (
+    "kill_worker",
+    "delay",
+    "drop_reply",
+    "ignore_shutdown",
+    "ignore_sigterm",
+)
+
+_OPS = ("cloak", "peel")
+
+
+class Deadline:
+    """A cooperative deadline over a monotonic clock.
+
+    ``budget_ms=None`` builds an inert deadline that never expires (the
+    common no-deadline case costs one attribute check per use). Fault
+    injection advances the deadline artificially through
+    :meth:`inject_delay_ms`, so deadline-expiry paths are deterministic.
+    """
+
+    __slots__ = ("_budget_ms", "_expires_at", "_injected_s")
+
+    def __init__(self, budget_ms: Optional[float] = None) -> None:
+        if budget_ms is not None and budget_ms < 0:
+            raise WireFormatError(
+                f"deadline_ms must be >= 0, got {budget_ms}"
+            )
+        self._budget_ms = budget_ms
+        self._expires_at = (
+            None if budget_ms is None else time.monotonic() + budget_ms / 1000.0
+        )
+        self._injected_s = 0.0
+
+    @classmethod
+    def start(cls, budget_ms: Optional[float]) -> "Deadline":
+        """A deadline starting now (inert when ``budget_ms`` is None)."""
+        return cls(budget_ms)
+
+    @property
+    def active(self) -> bool:
+        """Whether this deadline can ever expire."""
+        return self._expires_at is not None
+
+    @property
+    def budget_ms(self) -> Optional[float]:
+        return self._budget_ms
+
+    def inject_delay_ms(self, ms: float) -> None:
+        """Advance the deadline's notion of elapsed time by ``ms`` without
+        sleeping (the ``delay`` fault's mechanism)."""
+        self._injected_s += ms / 1000.0
+
+    def remaining_s(self) -> Optional[float]:
+        """Seconds until expiry (may be negative); ``None`` when inert."""
+        if self._expires_at is None:
+            return None
+        return self._expires_at - time.monotonic() - self._injected_s
+
+    @property
+    def expired(self) -> bool:
+        remaining = self.remaining_s()
+        return remaining is not None and remaining <= 0
+
+    def check(self) -> None:
+        """Raise :class:`~repro.errors.DeadlineExceededError` on expiry —
+        the callable serving code threads between cloak/peel steps."""
+        if self.expired:
+            budget = self._budget_ms
+            raise DeadlineExceededError(
+                f"deadline of {budget:g} ms exceeded (cooperative check)"
+            )
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scripted failure. See the module docstring for kind semantics.
+
+    Attributes:
+        kind: One of ``kill_worker`` / ``delay`` / ``drop_reply`` /
+            ``ignore_shutdown`` / ``ignore_sigterm``.
+        worker: Worker-slot filter (``None`` = any; inline backends count
+            as worker 0).
+        chunk: Per-incarnation chunk-ordinal filter (``None`` = any; an
+            inline backend's chunk ordinal is its batch ordinal).
+        item: Item-ordinal-within-chunk filter. For ``kill_worker`` an
+            item makes the kill fire mid-chunk; for ``delay`` it selects
+            the item whose deadline is advanced.
+        op: ``"cloak"`` / ``"peel"`` filter (``None`` = both).
+        delay_ms: Injected elapsed milliseconds (``delay`` only).
+        incarnation: Worker-incarnation filter. Defaults to ``0`` so a
+            fault does not re-fire after the supervised respawn; ``None``
+            re-fires on every incarnation (the crash-loop scenarios).
+    """
+
+    kind: str
+    worker: Optional[int] = None
+    chunk: Optional[int] = None
+    item: Optional[int] = None
+    op: Optional[str] = None
+    delay_ms: float = 0.0
+    incarnation: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FAULT_KINDS:
+            raise WireFormatError(
+                f"unknown fault kind {self.kind!r} (know {_FAULT_KINDS})"
+            )
+        if self.op is not None and self.op not in _OPS:
+            raise WireFormatError(
+                f"fault op must be one of {_OPS}, got {self.op!r}"
+            )
+        if self.kind == "delay" and self.delay_ms <= 0:
+            raise WireFormatError(
+                f"delay fault needs a positive delay_ms, got {self.delay_ms}"
+            )
+
+    def to_dict(self) -> dict:
+        document: dict = {"kind": self.kind}
+        for field in ("worker", "chunk", "item", "op", "incarnation"):
+            value = getattr(self, field)
+            if field == "incarnation":
+                document[field] = value  # None is meaningful: any incarnation
+            elif value is not None:
+                document[field] = value
+        if self.kind == "delay":
+            document["delay_ms"] = self.delay_ms
+        return document
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "FaultAction":
+        if not isinstance(document, dict) or "kind" not in document:
+            raise WireFormatError(
+                "a fault action must be a dict with a 'kind'"
+            )
+
+        def opt_int(name: str) -> Optional[int]:
+            value = document.get(name)
+            return None if value is None else int(value)
+
+        op = document.get("op")
+        return cls(
+            kind=str(document["kind"]),
+            worker=opt_int("worker"),
+            chunk=opt_int("chunk"),
+            item=opt_int("item"),
+            op=None if op is None else str(op),
+            delay_ms=float(document.get("delay_ms", 0.0)),
+            incarnation=(
+                opt_int("incarnation") if "incarnation" in document else 0
+            ),
+        )
+
+    def matches(
+        self,
+        *,
+        worker: int,
+        incarnation: int,
+        op: Optional[str] = None,
+        chunk: Optional[int] = None,
+        item: Optional[int] = None,
+    ) -> bool:
+        if self.worker is not None and self.worker != worker:
+            return False
+        if self.incarnation is not None and self.incarnation != incarnation:
+            return False
+        if self.op is not None and op is not None and self.op != op:
+            return False
+        if self.chunk is not None and self.chunk != chunk:
+            return False
+        # Item filters only match at item granularity and vice versa, so a
+        # chunk-level consult never consumes an item-targeted action.
+        if (self.item is None) != (item is None):
+            return False
+        if self.item is not None and self.item != item:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable script of :class:`FaultAction`\\ s."""
+
+    actions: Tuple[FaultAction, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.actions)
+
+    def to_dict(self) -> dict:
+        return {"faults": [action.to_dict() for action in self.actions]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "FaultPlan":
+        if not isinstance(document, dict) or not isinstance(
+            document.get("faults"), list
+        ):
+            raise WireFormatError(
+                "a fault plan must be a dict with a 'faults' list"
+            )
+        return cls(
+            actions=tuple(
+                FaultAction.from_dict(item) for item in document["faults"]
+            )
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultPlan":
+        try:
+            document = json.loads(payload)
+        except ValueError as exc:
+            raise WireFormatError(
+                f"fault plan is not valid JSON: {exc}"
+            ) from None
+        return cls.from_dict(document)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The ambient plan from :data:`FAULT_PLAN_ENV`, or ``None``.
+
+        The value is inline JSON, or ``@path`` naming a JSON file. A
+        malformed value raises — silently ignoring a typo'd fault plan
+        would make a fault-injection CI job quietly test nothing.
+        """
+        raw = os.environ.get(FAULT_PLAN_ENV, "").strip()
+        if not raw:
+            return None
+        if raw.startswith("@"):
+            with open(raw[1:], "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        return cls.from_json(raw)
+
+
+class FaultInjector:
+    """The runtime a serving worker consults against one plan.
+
+    One injector exists per worker *incarnation* (and per inline backend,
+    which presents as worker 0, incarnation 0): its chunk ordinals count
+    messages received by this incarnation, and every action fires at most
+    once through it. Kill and drop faults are inert unless
+    ``process_worker`` — an inline backend shares the caller's process,
+    and exiting it would take the test (or the service) down with it.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan],
+        worker_index: int = 0,
+        incarnation: int = 0,
+        process_worker: bool = False,
+    ) -> None:
+        self._actions = list(plan.actions) if plan is not None else []
+        self._worker = worker_index
+        self._incarnation = incarnation
+        self._process_worker = process_worker
+        self._spent: set = set()
+
+    def __bool__(self) -> bool:
+        return bool(self._actions)
+
+    def _take(self, kind: str, **where) -> Optional[FaultAction]:
+        """The first unspent matching action of ``kind``, marked spent."""
+        for index, action in enumerate(self._actions):
+            if index in self._spent or action.kind != kind:
+                continue
+            if action.matches(
+                worker=self._worker, incarnation=self._incarnation, **where
+            ):
+                self._spent.add(index)
+                return action
+        return None
+
+    # ------------------------------------------------------------------
+    # consult points
+    # ------------------------------------------------------------------
+    def on_chunk(self, chunk: int, op: str) -> None:
+        """Chunk receipt: chunk-level kills fire here (before any item)."""
+        if self._take("kill_worker", op=op, chunk=chunk) is not None:
+            self._die()
+
+    def on_item(
+        self, chunk: int, item: int, op: str, deadline: Deadline
+    ) -> None:
+        """Item start: mid-chunk kills and deadline delays fire here."""
+        if (
+            self._take("kill_worker", op=op, chunk=chunk, item=item)
+            is not None
+        ):
+            self._die()
+        action = self._take("delay", op=op, chunk=chunk, item=item)
+        if action is not None:
+            deadline.inject_delay_ms(action.delay_ms)
+
+    def drop_reply(self, chunk: int, op: str) -> bool:
+        """Whether the reply of ``chunk`` should be silently dropped."""
+        if not self._process_worker:
+            return False
+        return self._take("drop_reply", op=op, chunk=chunk) is not None
+
+    def ignore_shutdown(self) -> bool:
+        """Whether the worker should ignore the shutdown sentinel."""
+        if not self._process_worker:
+            return False
+        return self._take("ignore_shutdown") is not None
+
+    def install_signal_faults(self) -> None:
+        """Apply process-level signal faults (worker start-up)."""
+        if not self._process_worker:
+            return
+        if self._take("ignore_sigterm") is not None:
+            import signal
+
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+
+    def _die(self) -> None:
+        if self._process_worker:
+            # A hard exit, not an exception: the point is to simulate a
+            # crash the parent can only observe as a dead pipe.
+            os._exit(KILLED_EXIT_CODE)

@@ -28,15 +28,24 @@ shim over this class.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import threading
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence
 
 from ..core.algorithm import CloakingAlgorithm
 from ..core.engine import DeanonymizationResult, ReverseCloakEngine
 from ..core.envelope import CloakEnvelope
 from ..core.profile import PrivacyProfile
-from ..errors import CloakingError, MobilityError, ReverseCloakError, WireFormatError
+from ..errors import (
+    CloakingError,
+    MobilityError,
+    OverloadedError,
+    ProfileError,
+    ReverseCloakError,
+    WireFormatError,
+)
 from ..keys.keys import KeyChain
 from ..mobility.snapshot import PopulationSnapshot
 from ..roadnet.graph import RoadNetwork
@@ -50,6 +59,7 @@ from .backends import (
     ThreadPoolBackend,
     serve_request,
 )
+from .faults import Deadline
 from .wire import (
     CLOAK_REQUEST_FORMAT,
     DEANONYMIZE_BATCH_FORMAT,
@@ -75,6 +85,14 @@ class AnonymizerService:
         backend: The :class:`~repro.lbs.backends.ExecutionBackend` batches
             run on; defaults to :class:`~repro.lbs.backends.InlineBackend`.
             The service binds (and, on :meth:`close`, releases) it.
+        max_inflight: Optional admission-control budget: the maximum
+            number of requests (batch items count individually) allowed in
+            flight at once across every serving entry point. Work beyond
+            the budget is *shed* — rejected up front with
+            :class:`~repro.errors.OverloadedError` (the structured
+            ``overloaded`` outcome on the wire path) before any engine
+            work runs, instead of queuing unboundedly. A batch is admitted
+            all-or-nothing. ``None`` (default) admits everything.
 
     Example:
         >>> from repro import grid_network, PopulationSnapshot
@@ -98,7 +116,12 @@ class AnonymizerService:
         algorithm: Optional[CloakingAlgorithm] = None,
         include_hints: bool = True,
         backend: Optional[ExecutionBackend] = None,
+        max_inflight: Optional[int] = None,
     ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ProfileError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
         self._network = network
         self._engine = ReverseCloakEngine(network, algorithm)
         self._include_hints = include_hints
@@ -117,6 +140,13 @@ class AnonymizerService:
         self._failures = 0
         self._reversals_served = 0
         self._reversal_failures = 0
+        # Admission control: a bounded in-flight budget shared by every
+        # serving entry point. The counter is all the state load-shedding
+        # needs — there is no queue to bound because the service never
+        # queues; work beyond the budget is rejected at the door.
+        self._max_inflight = max_inflight
+        self._inflight = 0
+        self._requests_shed = 0
         # Legacy per-call ``max_workers`` widths get a cached thread
         # backend each (the shim's cloak_batch signature), lazily built.
         self._width_lock = threading.Lock()
@@ -172,6 +202,55 @@ class AnonymizerService:
         with self._counter_lock:
             return self._reversal_failures
 
+    @property
+    def max_inflight(self) -> Optional[int]:
+        return self._max_inflight
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being served (batch items counted singly)."""
+        with self._counter_lock:
+            return self._inflight
+
+    @property
+    def requests_shed(self) -> int:
+        """Requests rejected by admission control (never executed; not
+        part of :attr:`failures` — shedding is backpressure, not a serving
+        failure)."""
+        with self._counter_lock:
+            return self._requests_shed
+
+    @contextmanager
+    def _admit(self, units: int):
+        """Hold ``units`` of the in-flight budget for the enclosed work.
+
+        Raises :class:`~repro.errors.OverloadedError` — and counts the
+        shed — when granting ``units`` would push the in-flight total past
+        ``max_inflight``. Admission is all-or-nothing per call, so one
+        oversized batch cannot starve by partial execution.
+        """
+        limit = self._max_inflight
+        if limit is None:
+            yield
+            return
+        with self._counter_lock:
+            if self._inflight + units > limit:
+                self._requests_shed += units
+                inflight = self._inflight
+            else:
+                self._inflight += units
+                inflight = None
+        if inflight is not None:
+            raise OverloadedError(
+                f"admitting {units} request(s) would exceed the in-flight "
+                f"budget ({inflight}/{limit} in flight); shed — retry later"
+            )
+        try:
+            yield
+        finally:
+            with self._counter_lock:
+                self._inflight -= units
+
     def update_snapshot(self, snapshot: PopulationSnapshot) -> None:
         """Install the current population snapshot (called per tick by the
         deployment; the anonymizer never looks at stale positions).
@@ -205,33 +284,43 @@ class AnonymizerService:
         profile, and returns the envelope.
         """
         snapshot = self._require_snapshot()
-        try:
-            envelope = serve_request(
-                self._engine, snapshot, request, self._include_hints
-            )
-        except CloakingError:
-            self._count(failures=1)
-            raise
+        with self._admit(1):
+            try:
+                envelope = serve_request(
+                    self._engine, snapshot, request, self._include_hints
+                )
+            except CloakingError:
+                self._count(failures=1)
+                raise
         self._count(served=1)
         return envelope
 
     def cloak_segment(
-        self, user_segment: int, profile: PrivacyProfile, chain: KeyChain
+        self,
+        user_segment: int,
+        profile: PrivacyProfile,
+        chain: KeyChain,
+        deadline_ms: Optional[float] = None,
     ) -> CloakEnvelope:
         """Cloak an explicit segment (bypasses the user lookup; used by
-        experiments that sweep positions directly)."""
+        experiments that sweep positions directly, and by the wire path
+        for pre-resolved requests — which is why it honors an optional
+        cooperative ``deadline_ms``)."""
         snapshot = self._require_snapshot()
-        try:
-            envelope = self._engine.anonymize(
-                user_segment,
-                snapshot,
-                profile,
-                chain,
-                include_hints=self._include_hints,
-            )
-        except CloakingError:
-            self._count(failures=1)
-            raise
+        deadline = Deadline.start(deadline_ms)
+        with self._admit(1):
+            try:
+                envelope = self._engine.anonymize(
+                    user_segment,
+                    snapshot,
+                    profile,
+                    chain,
+                    include_hints=self._include_hints,
+                    checkpoint=deadline.check if deadline.active else None,
+                )
+            except CloakingError:
+                self._count(failures=1)
+                raise
         self._count(served=1)
         return envelope
 
@@ -267,7 +356,8 @@ class AnonymizerService:
         backend = (
             self._backend if max_workers is None else self._width_backend(max_workers)
         )
-        outcomes = backend.cloak_batch(snapshot, requests)
+        with self._admit(len(requests)):
+            outcomes = backend.cloak_batch(snapshot, requests)
         served = sum(1 for outcome in outcomes if outcome.ok)
         cloak_failures = sum(
             1 for outcome in outcomes if isinstance(outcome.error, CloakingError)
@@ -293,16 +383,17 @@ class AnonymizerService:
         algorithm spec), so the service can reverse envelopes produced with
         any algorithm on this map — including by other anonymizer instances.
         """
-        try:
-            result = self._reversal_engine(envelope).deanonymize(
-                envelope, keys, target_level, mode=mode
-            )
-        except ReverseCloakError:
-            # Failed reversals count too — `handle` converts them into
-            # outcome documents, so without this the wire path would leave
-            # no bookkeeping trace at all.
-            self._count(reversal_failures=1)
-            raise
+        with self._admit(1):
+            try:
+                result = self._reversal_engine(envelope).deanonymize(
+                    envelope, keys, target_level, mode=mode
+                )
+            except ReverseCloakError:
+                # Failed reversals count too — `handle` converts them into
+                # outcome documents, so without this the wire path would
+                # leave no bookkeeping trace at all.
+                self._count(reversal_failures=1)
+                raise
         self._count(reversals=1)
         return result
 
@@ -321,7 +412,8 @@ class AnonymizerService:
         """
         if not requests:
             return []
-        outcomes = self._backend.deanonymize_batch(requests)
+        with self._admit(len(requests)):
+            outcomes = self._backend.deanonymize_batch(requests)
         served = sum(1 for outcome in outcomes if outcome.ok)
         self._count(reversals=served, reversal_failures=len(outcomes) - served)
         return outcomes
@@ -342,9 +434,13 @@ class AnonymizerService:
         answer with a :class:`~repro.lbs.wire.BatchOutcomeDoc`, per-item
         errors in place). Every
         :class:`~repro.errors.ReverseCloakError` — including malformed
-        documents — comes back as a structured error outcome; only
-        genuinely unexpected exceptions propagate. This is the single
-        method a transport adapter needs.
+        documents, shed load (``overloaded``) and expired deadlines
+        (``deadline_exceeded``) — comes back as a structured error
+        outcome; only genuinely unexpected exceptions propagate. This is
+        the single method a transport adapter needs.
+
+        A batch document's ``deadline_ms`` is applied as the default
+        cooperative deadline of every item that does not carry its own.
         """
         try:
             kind = document.get("format") if isinstance(document, dict) else None
@@ -355,6 +451,7 @@ class AnonymizerService:
                         request_doc.user_segment,
                         request_doc.profile,
                         request_doc.chain,
+                        deadline_ms=request_doc.deadline_ms,
                     )
                 else:
                     envelope = self.cloak(request_doc.to_request())
@@ -370,7 +467,19 @@ class AnonymizerService:
                 return OutcomeDoc.from_result(result).to_dict()
             if kind == DEANONYMIZE_BATCH_FORMAT:
                 batch_doc = DeanonymizeBatchDoc.from_dict(document)
-                outcomes = self.deanonymize_batch(batch_doc.items)
+                items = batch_doc.items
+                if batch_doc.deadline_ms is not None:
+                    # The batch-level deadline is a default, not a cap:
+                    # items carrying their own deadline keep it.
+                    items = tuple(
+                        item
+                        if item.deadline_ms is not None
+                        else dataclasses.replace(
+                            item, deadline_ms=batch_doc.deadline_ms
+                        )
+                        for item in items
+                    )
+                outcomes = self.deanonymize_batch(items)
                 return BatchOutcomeDoc(
                     outcomes=tuple(
                         OutcomeDoc.from_result(outcome.result)

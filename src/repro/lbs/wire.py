@@ -48,11 +48,13 @@ from ..core.profile import PrivacyProfile
 from ..errors import (
     CloakingError,
     CollisionError,
+    DeadlineExceededError,
     DeanonymizationError,
     EnvelopeError,
     FrontierExhaustedError,
     KeyMismatchError,
     MobilityError,
+    OverloadedError,
     PreassignmentError,
     ProfileError,
     QueryError,
@@ -60,6 +62,7 @@ from ..errors import (
     RoadNetworkError,
     ToleranceExceededError,
     WireFormatError,
+    WorkerCrashedError,
 )
 from ..keys.keys import AccessKey, KeyChain
 from ..mobility.snapshot import PopulationSnapshot
@@ -109,11 +112,15 @@ class CloakRequest:
         profile: The user-defined multi-level privacy profile.
         chain: The user's per-level access keys (kept client-side after the
             request; the server uses them only to drive the expansion).
+        deadline_ms: Optional cooperative serving deadline in milliseconds.
+            The clock starts when a server begins executing the request;
+            expiry surfaces as the structured ``deadline_exceeded`` code.
     """
 
     user_id: int
     profile: PrivacyProfile
     chain: KeyChain
+    deadline_ms: Optional[float] = None
 
 
 def _require(document, kind: str) -> dict:
@@ -198,12 +205,17 @@ class CloakRequestDoc:
             this so workers need only population *counts*, not the full
             user-to-segment map). ``None`` means the server must look the
             user up itself.
+        deadline_ms: Optional cooperative serving deadline (milliseconds;
+            see :class:`CloakRequest`). Omitted from the wire form when
+            unset, so deadline-free documents are byte-identical to the
+            previous protocol revision.
     """
 
     user_id: int
     profile: PrivacyProfile
     chain: KeyChain
     user_segment: Optional[int] = None
+    deadline_ms: Optional[float] = None
 
     @classmethod
     def from_request(
@@ -214,15 +226,19 @@ class CloakRequestDoc:
             profile=request.profile,
             chain=request.chain,
             user_segment=user_segment,
+            deadline_ms=request.deadline_ms,
         )
 
     def to_request(self) -> CloakRequest:
         return CloakRequest(
-            user_id=self.user_id, profile=self.profile, chain=self.chain
+            user_id=self.user_id,
+            profile=self.profile,
+            chain=self.chain,
+            deadline_ms=self.deadline_ms,
         )
 
     def to_dict(self) -> dict:
-        return {
+        document = {
             "format": CLOAK_REQUEST_FORMAT,
             "version": WIRE_VERSION,
             "user_id": self.user_id,
@@ -230,6 +246,9 @@ class CloakRequestDoc:
             "chain": self.chain.to_dict(),
             "user_segment": self.user_segment,
         }
+        if self.deadline_ms is not None:
+            document["deadline_ms"] = self.deadline_ms
+        return document
 
     @classmethod
     def from_dict(cls, document: dict) -> "CloakRequestDoc":
@@ -242,6 +261,8 @@ class CloakRequestDoc:
             chain = KeyChain.from_dict(document["chain"])
             segment = document.get("user_segment")
             user_segment = None if segment is None else int(segment)
+            deadline = document.get("deadline_ms")
+            deadline_ms = None if deadline is None else float(deadline)
         except WireFormatError:
             raise
         except (
@@ -255,7 +276,11 @@ class CloakRequestDoc:
                 f"malformed {CLOAK_REQUEST_FORMAT}: {exc}"
             ) from None
         return cls(
-            user_id=user_id, profile=profile, chain=chain, user_segment=user_segment
+            user_id=user_id,
+            profile=profile,
+            chain=chain,
+            user_segment=user_segment,
+            deadline_ms=deadline_ms,
         )
 
     def to_json(self) -> str:
@@ -280,18 +305,22 @@ class DeanonymizeRequestDoc:
             :meth:`~repro.keys.access_control.KeyGrant` suffix).
         target_level: The lowest level to recover.
         mode: ``"auto"``, ``"hint"``, or ``"search"``.
+        deadline_ms: Optional cooperative serving deadline (milliseconds;
+            see :class:`CloakRequest`). Omitted from the wire form when
+            unset.
     """
 
     envelope: CloakEnvelope
     keys: Tuple[AccessKey, ...]
     target_level: int
     mode: str = "auto"
+    deadline_ms: Optional[float] = None
 
     def key_map(self) -> Dict[int, AccessKey]:
         return {key.level: key for key in self.keys}
 
     def to_dict(self) -> dict:
-        return {
+        document = {
             "format": DEANONYMIZE_REQUEST_FORMAT,
             "version": WIRE_VERSION,
             "envelope": self.envelope.to_dict(),
@@ -299,6 +328,9 @@ class DeanonymizeRequestDoc:
             "target_level": self.target_level,
             "mode": self.mode,
         }
+        if self.deadline_ms is not None:
+            document["deadline_ms"] = self.deadline_ms
+        return document
 
     @classmethod
     def from_dict(cls, document: dict) -> "DeanonymizeRequestDoc":
@@ -316,7 +348,22 @@ class DeanonymizeRequestDoc:
             kind, "target_level", lambda: int(document["target_level"])
         )
         mode = str(document.get("mode", "auto"))
-        return cls(envelope=envelope, keys=keys, target_level=target_level, mode=mode)
+        deadline_ms = _parse(
+            kind,
+            "deadline_ms",
+            lambda: (
+                None
+                if document.get("deadline_ms") is None
+                else float(document["deadline_ms"])
+            ),
+        )
+        return cls(
+            envelope=envelope,
+            keys=keys,
+            target_level=target_level,
+            mode=mode,
+            deadline_ms=deadline_ms,
+        )
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True)
@@ -342,9 +389,15 @@ class DeanonymizeBatchDoc:
     freely. The response is a :class:`BatchOutcomeDoc`: one outcome per
     item in the same position, failures carried as per-item structured
     error codes.
+
+    ``deadline_ms`` is a batch-level *default* cooperative deadline: when
+    set, serving applies it to every item that does not carry its own
+    ``deadline_ms``. Per-item deadlines always win. Omitted from the wire
+    form when unset.
     """
 
     items: Tuple[DeanonymizeRequestDoc, ...]
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.items:
@@ -353,11 +406,14 @@ class DeanonymizeBatchDoc:
             )
 
     def to_dict(self) -> dict:
-        return {
+        document = {
             "format": DEANONYMIZE_BATCH_FORMAT,
             "version": WIRE_VERSION,
             "items": [item.to_dict() for item in self.items],
         }
+        if self.deadline_ms is not None:
+            document["deadline_ms"] = self.deadline_ms
+        return document
 
     @classmethod
     def from_dict(cls, document: dict) -> "DeanonymizeBatchDoc":
@@ -368,6 +424,15 @@ class DeanonymizeBatchDoc:
                 f"malformed {DEANONYMIZE_BATCH_FORMAT}: 'items' must be a "
                 "non-empty list"
             )
+        deadline_ms = _parse(
+            DEANONYMIZE_BATCH_FORMAT,
+            "deadline_ms",
+            lambda: (
+                None
+                if document.get("deadline_ms") is None
+                else float(document["deadline_ms"])
+            ),
+        )
         return cls(
             items=tuple(
                 _parse(
@@ -376,7 +441,8 @@ class DeanonymizeBatchDoc:
                     lambda item=item: DeanonymizeRequestDoc.from_dict(item),
                 )
                 for index, item in enumerate(items)
-            )
+            ),
+            deadline_ms=deadline_ms,
         )
 
     def to_json(self) -> str:
@@ -401,6 +467,13 @@ class DeanonymizeBatchDoc:
 #: before every one of its bases.
 ERROR_CODES: Tuple[Tuple[Type[ReverseCloakError], str], ...] = (
     (WireFormatError, MALFORMED_DOCUMENT),
+    # The fault-tolerance codes sit above the cloak/peel families: both
+    # DeadlineExceededError and WorkerCrashedError derive CloakingError
+    # *and* DeanonymizationError (they can strike either direction), so
+    # they must dispatch before either base claims them.
+    (DeadlineExceededError, "deadline_exceeded"),
+    (WorkerCrashedError, "worker_crashed"),
+    (OverloadedError, "overloaded"),
     (ToleranceExceededError, "tolerance_exceeded"),
     (FrontierExhaustedError, "frontier_exhausted"),
     (CollisionError, "reversal_collision"),

@@ -485,12 +485,13 @@ class TestProcessPoolProtocol:
             service.update_snapshot(traffic_snapshot)
             assert service.cloak_batch([]) == []
 
-    def test_dead_worker_fails_batch_then_pool_respawns(
+    def test_dead_workers_recovered_in_place(
         self, grid10, traffic_snapshot, batch_profile, method
     ):
-        # A worker dying mid-protocol is a transport failure: the batch
-        # errors out, the pool is torn down (no stale replies left in any
-        # pipe), and the next batch serves correctly on fresh workers.
+        # Since PR 6 a worker dying mid-protocol is an operational event,
+        # not a batch failure: supervision respawns the slot and re-drives
+        # the lost chunk, so the batch still returns byte-identical
+        # outcomes — even when every worker was killed under it.
         reference = AnonymizerService(grid10)
         reference.update_snapshot(traffic_snapshot)
         requests = _requests(traffic_snapshot, batch_profile, 6)
@@ -499,14 +500,16 @@ class TestProcessPoolProtocol:
             service = AnonymizerService(grid10, backend=backend)
             service.update_snapshot(traffic_snapshot)
             assert all(o.ok for o in service.cloak_batch(requests))
-            for process, _connection in backend._workers:
-                process.terminate()
-                process.join(timeout=5)
-            with pytest.raises(Exception):
-                service.cloak_batch(requests)
-            assert backend._workers == []  # torn down, not half-broken
+            for handle in backend._workers:
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+            recovered = service.cloak_batch(requests)
+            assert [o.envelope.to_json() for o in recovered] == expected
+            assert backend.worker_restarts == 2  # both slots respawned
+            assert backend.inline_fallbacks == 0  # recovery, not degradation
             retried = service.cloak_batch(requests)
             assert [o.envelope.to_json() for o in retried] == expected
+            assert backend.worker_restarts == 2  # respawned workers are healthy
 
     def test_close_is_idempotent(self, grid10, traffic_snapshot, batch_profile, method):
         backend = ProcessPoolBackend(2, start_method=method)

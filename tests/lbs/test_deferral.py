@@ -50,6 +50,62 @@ class TestTemporalTolerance:
             TemporalTolerance(-1.0)
         with pytest.raises(ProfileError):
             TemporalTolerance(5.0, retry_interval_seconds=0.0)
+        with pytest.raises(ProfileError):
+            TemporalTolerance(5.0, backoff_factor=0.5)
+        with pytest.raises(ProfileError):
+            TemporalTolerance(5.0, jitter_fraction=1.0)
+        with pytest.raises(ProfileError):
+            TemporalTolerance(5.0, jitter_fraction=-0.1)
+
+
+class TestWaitSchedule:
+    def test_uniform_default_is_fixed_interval(self):
+        tolerance = TemporalTolerance(10.0, 2.0)
+        assert tolerance.uniform
+        assert tolerance.wait_schedule() == (2.0,) * 5
+        # The rounding-tolerant round count carries over exactly.
+        assert TemporalTolerance(0.3, 0.1).wait_schedule() == (0.1,) * 3
+        assert TemporalTolerance(0.25, 0.1).wait_schedule() == (0.1,) * 2
+        assert TemporalTolerance(0.0, 1.0).wait_schedule() == ()
+
+    def test_backoff_grows_and_respects_the_budget(self):
+        tolerance = TemporalTolerance(10.0, 1.0, backoff_factor=2.0)
+        assert not tolerance.uniform
+        # 1 + 2 + 4 = 7 fits; the next wait (8) would blow the budget.
+        assert tolerance.wait_schedule() == (1.0, 2.0, 4.0)
+        assert sum(tolerance.wait_schedule()) <= 10.0
+
+    def test_backoff_budget_boundary_is_rounding_tolerant(self):
+        # A cumulative sum exactly equal to the budget still fits.
+        assert TemporalTolerance(
+            7.0, 1.0, backoff_factor=2.0
+        ).wait_schedule() == (1.0, 2.0, 4.0)
+
+    def test_jittered_schedule_is_deterministic_per_seed(self):
+        def tolerance(seed):
+            return TemporalTolerance(
+                20.0,
+                1.0,
+                backoff_factor=1.5,
+                jitter_fraction=0.2,
+                jitter_seed=seed,
+            )
+
+        first = tolerance(7).wait_schedule()
+        assert first == tolerance(7).wait_schedule()  # pure function
+        assert first != tolerance(8).wait_schedule()
+        # Every wait stays within its round's jitter band, and the
+        # cumulative schedule stays within the budget.
+        interval = 1.0
+        for wait in first:
+            assert interval * 0.8 <= wait <= interval * 1.2
+            interval *= 1.5
+        assert sum(first) <= 20.0 * (1.0 + 1e-9)
+
+    def test_unjittered_backoff_ignores_the_seed(self):
+        a = TemporalTolerance(10.0, 1.0, backoff_factor=2.0, jitter_seed=1)
+        b = TemporalTolerance(10.0, 1.0, backoff_factor=2.0, jitter_seed=99)
+        assert a.wait_schedule() == b.wait_schedule()
 
 
 class TestDeferredCloaking:
@@ -135,6 +191,79 @@ class TestDeferredCloaking:
         other_engine = ReverseCloakEngine(grid_network(10, 10))
         with pytest.raises(ProfileError):
             DeferredCloaking(other_engine, simulator)
+
+    def test_uniform_deferred_seconds_keeps_product_form(self, setup):
+        """Regression guard for the backoff refactor: the default schedule
+        must report ``retries * retry_interval_seconds`` — the product, not
+        a float sum of equal waits (``5 * 0.1 != sum([0.1] * 5)``) — so
+        pre-backoff results stay byte-identical."""
+        network, simulator, engine = setup
+        tight = PrivacyProfile.uniform(
+            levels=1, base_k=8, k_step=0, base_l=2, l_step=0, max_segments=5
+        )
+        chain = KeyChain.from_passphrases(["u1"])
+        deferred = DeferredCloaking(engine, simulator)
+        interval = 2.0
+        tolerance = TemporalTolerance(40.0, interval)
+        waited = 0
+        for user_id in simulator.snapshot().users()[:12]:
+            try:
+                result = deferred.cloak_user(
+                    user_id, tight, chain, tolerance
+                )
+            except CloakingError:
+                continue
+            assert result.deferred_seconds == result.retries * interval
+            if result.retries > 0:
+                waited += 1
+        assert waited > 0, "fixture must defer at least one user"
+
+    def test_backoff_deferral_is_deterministic(self, setup):
+        """Two identical worlds, one jittered backoff tolerance: byte-
+        identical outcomes (the seeded schedule is a pure function)."""
+        network, _simulator, _engine = setup
+        tight = PrivacyProfile.uniform(
+            levels=1, base_k=8, k_step=0, base_l=2, l_step=0, max_segments=5
+        )
+        chain = KeyChain.from_passphrases(["b1"])
+        tolerance = TemporalTolerance(
+            40.0,
+            2.0,
+            backoff_factor=1.5,
+            jitter_fraction=0.2,
+            jitter_seed=13,
+        )
+
+        def run():
+            simulator = TrafficSimulator(network, n_cars=300, seed=21)
+            simulator.run(2)
+            engine = ReverseCloakEngine(network)
+            deferred = DeferredCloaking(engine, simulator)
+            for user_id in simulator.snapshot().users()[:12]:
+                try:
+                    result = deferred.cloak_user(
+                        user_id, tight, chain, tolerance
+                    )
+                except CloakingError:
+                    continue
+                if result.retries > 0:
+                    return user_id, result
+            return None
+
+        first = run()
+        if first is None:
+            pytest.skip("no user needed deferral under the tight profile")
+        second = run()
+        assert second is not None
+        assert first[0] == second[0]
+        assert first[1].retries == second[1].retries
+        assert first[1].deferred_seconds == second[1].deferred_seconds
+        assert first[1].envelope.to_json() == second[1].envelope.to_json()
+        # The waited time is the sum of the consumed schedule prefix.
+        schedule = tolerance.wait_schedule()
+        assert first[1].deferred_seconds == sum(
+            schedule[: first[1].retries]
+        )
 
     def test_deferred_cloak_remains_reversible(self, setup):
         network, simulator, engine = setup

@@ -1,0 +1,260 @@
+"""Tests for the deterministic fault-injection harness and cooperative
+deadlines (:mod:`repro.lbs.faults`).
+
+These are the *mechanism* tests: plan round-trips, matching semantics, and
+deadline arithmetic. The recovery paths they feed — supervision, degraded
+execution, teardown escalation — are exercised end-to-end in
+``test_fault_tolerance.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import DeadlineExceededError, WireFormatError
+from repro.lbs import Deadline, FaultAction, FaultInjector, FaultPlan
+from repro.lbs.faults import FAULT_PLAN_ENV
+
+
+class TestDeadline:
+    def test_inert_by_default(self):
+        deadline = Deadline.start(None)
+        assert not deadline.active
+        assert deadline.budget_ms is None
+        assert deadline.remaining_s() is None
+        assert not deadline.expired
+        deadline.check()  # never raises
+
+    def test_inert_deadline_ignores_injected_delay(self):
+        deadline = Deadline.start(None)
+        deadline.inject_delay_ms(1_000_000)
+        assert not deadline.expired
+        deadline.check()
+
+    def test_generous_budget_does_not_expire(self):
+        deadline = Deadline.start(60_000)
+        assert deadline.active
+        assert deadline.budget_ms == 60_000
+        assert deadline.remaining_s() > 0
+        deadline.check()
+
+    def test_zero_budget_is_expired_immediately(self):
+        deadline = Deadline.start(0)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError, match="0 ms"):
+            deadline.check()
+
+    def test_injected_delay_expires_without_sleeping(self):
+        deadline = Deadline.start(50)
+        deadline.check()
+        deadline.inject_delay_ms(200)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError, match="cooperative"):
+            deadline.check()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(WireFormatError):
+            Deadline.start(-1)
+
+
+class TestFaultActionValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WireFormatError, match="unknown fault kind"):
+            FaultAction(kind="meteor_strike")
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(WireFormatError, match="fault op"):
+            FaultAction(kind="kill_worker", op="bake")
+
+    def test_delay_requires_positive_delay_ms(self):
+        with pytest.raises(WireFormatError, match="positive delay_ms"):
+            FaultAction(kind="delay")
+        FaultAction(kind="delay", delay_ms=5.0)  # fine
+
+
+class TestFaultPlanRoundTrip:
+    def _plan(self):
+        return FaultPlan(
+            actions=(
+                FaultAction(kind="kill_worker", worker=1, chunk=0, op="cloak"),
+                FaultAction(
+                    kind="delay", worker=0, chunk=2, item=3, op="peel",
+                    delay_ms=40.0,
+                ),
+                FaultAction(kind="kill_worker", incarnation=None),
+                FaultAction(kind="ignore_shutdown", worker=0),
+            )
+        )
+
+    def test_json_round_trip(self):
+        plan = self._plan()
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        # The ``incarnation: null`` wildcard survives (None is meaningful).
+        assert restored.actions[2].incarnation is None
+        assert restored.actions[0].incarnation == 0
+
+    def test_incarnation_defaults_to_zero_when_absent(self):
+        action = FaultAction.from_dict({"kind": "kill_worker"})
+        assert action.incarnation == 0
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan(actions=(FaultAction(kind="kill_worker"),))
+
+    @pytest.mark.parametrize(
+        "payload",
+        ["{nope", "[]", '{"faults": "x"}', '{"faults": [{"no": "kind"}]}'],
+    )
+    def test_malformed_plans_raise(self, payload):
+        with pytest.raises(WireFormatError):
+            FaultPlan.from_json(payload)
+
+
+class TestFaultPlanFromEnv:
+    def test_absent_env_is_none(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(FAULT_PLAN_ENV, "   ")
+        assert FaultPlan.from_env() is None
+
+    def test_inline_json(self, monkeypatch):
+        plan = FaultPlan(actions=(FaultAction(kind="kill_worker", worker=1),))
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        assert FaultPlan.from_env() == plan
+
+    def test_at_path_form(self, monkeypatch, tmp_path):
+        plan = FaultPlan(
+            actions=(FaultAction(kind="delay", delay_ms=10.0, op="peel"),)
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        monkeypatch.setenv(FAULT_PLAN_ENV, f"@{path}")
+        assert FaultPlan.from_env() == plan
+
+    def test_malformed_env_raises_not_ignores(self, monkeypatch):
+        # Silently ignoring a typo'd plan would make a fault-injection CI
+        # job quietly test nothing.
+        monkeypatch.setenv(FAULT_PLAN_ENV, "{not json")
+        with pytest.raises(WireFormatError):
+            FaultPlan.from_env()
+
+
+class TestInjectorMatching:
+    def test_filters_select_worker_chunk_op(self):
+        plan = FaultPlan(
+            actions=(
+                FaultAction(kind="delay", worker=1, chunk=2, op="peel",
+                            item=0, delay_ms=10.0),
+            )
+        )
+        wrong_worker = FaultInjector(plan, worker_index=0)
+        deadline = Deadline.start(5)
+        wrong_worker.on_item(2, 0, "peel", deadline)
+        assert deadline.remaining_s() > 0  # no delay injected
+
+        right = FaultInjector(plan, worker_index=1)
+        d1 = Deadline.start(5)
+        right.on_item(1, 0, "peel", d1)  # wrong chunk
+        assert d1.remaining_s() > 0
+        d2 = Deadline.start(5)
+        right.on_item(2, 0, "cloak", d2)  # wrong op
+        assert d2.remaining_s() > 0
+        d3 = Deadline.start(5)
+        right.on_item(2, 0, "peel", d3)
+        assert d3.expired  # matched: 10 ms injected against a 5 ms budget
+
+    def test_actions_fire_at_most_once_per_injector(self):
+        plan = FaultPlan(
+            actions=(FaultAction(kind="delay", item=0, delay_ms=10.0),)
+        )
+        injector = FaultInjector(plan)
+        first = Deadline.start(5)
+        injector.on_item(0, 0, "cloak", first)
+        assert first.expired
+        second = Deadline.start(5)
+        injector.on_item(1, 0, "cloak", second)
+        assert not second.expired  # spent
+
+    def test_incarnation_zero_default_skips_respawned_workers(self):
+        plan = FaultPlan(
+            actions=(FaultAction(kind="delay", item=0, delay_ms=10.0),)
+        )
+        respawned = FaultInjector(plan, worker_index=0, incarnation=1)
+        deadline = Deadline.start(5)
+        respawned.on_item(0, 0, "cloak", deadline)
+        assert not deadline.expired
+
+    def test_incarnation_none_matches_every_incarnation(self):
+        plan = FaultPlan(
+            actions=(
+                FaultAction(
+                    kind="delay", item=0, delay_ms=10.0, incarnation=None
+                ),
+            )
+        )
+        for incarnation in (0, 1, 5):
+            injector = FaultInjector(plan, incarnation=incarnation)
+            deadline = Deadline.start(5)
+            injector.on_item(0, 0, "cloak", deadline)
+            assert deadline.expired
+
+    def test_item_targeted_actions_never_fire_at_chunk_granularity(self):
+        # on_chunk must not consume (or trigger) an action aimed at an
+        # item, and vice versa: a chunk-level kill with item=None is not
+        # claimed by on_item.
+        plan = FaultPlan(
+            actions=(FaultAction(kind="delay", item=2, delay_ms=10.0),)
+        )
+        injector = FaultInjector(plan)
+        injector.on_chunk(0, "cloak")  # must not consume the item action
+        deadline = Deadline.start(5)
+        injector.on_item(0, 2, "cloak", deadline)
+        assert deadline.expired
+
+    def test_kill_and_drop_inert_in_process(self):
+        # An in-process injector must never os._exit the caller — kill and
+        # drop faults only apply to real worker processes.
+        plan = FaultPlan(
+            actions=(
+                FaultAction(kind="kill_worker"),
+                FaultAction(kind="kill_worker", item=0),
+                FaultAction(kind="drop_reply"),
+                FaultAction(kind="ignore_shutdown"),
+            )
+        )
+        injector = FaultInjector(plan, process_worker=False)
+        injector.on_chunk(0, "cloak")  # would os._exit if not gated
+        injector.on_item(0, 0, "cloak", Deadline.start(None))
+        assert injector.drop_reply(0, "cloak") is False
+        assert injector.ignore_shutdown() is False
+
+    def test_empty_injector_is_falsy(self):
+        assert not FaultInjector(None)
+        assert not FaultInjector(FaultPlan())
+        assert FaultInjector(
+            FaultPlan(actions=(FaultAction(kind="kill_worker"),))
+        )
+
+
+class TestPlanWireShape:
+    def test_plan_dict_shape_is_documented_json(self):
+        # The README documents this exact shape; keep it stable.
+        plan = FaultPlan(
+            actions=(
+                FaultAction(kind="kill_worker", worker=0, chunk=1,
+                            op="cloak"),
+            )
+        )
+        document = json.loads(plan.to_json())
+        assert document == {
+            "faults": [
+                {
+                    "kind": "kill_worker",
+                    "worker": 0,
+                    "chunk": 1,
+                    "op": "cloak",
+                    "incarnation": 0,
+                }
+            ]
+        }

@@ -3,6 +3,7 @@ facade: cloaking, the server-side deanonymize endpoint, the raw-document
 ``handle`` entry point, and the deprecated ``TrustedAnonymizer`` shim."""
 
 import json
+import threading
 import warnings
 
 import pytest
@@ -14,7 +15,13 @@ from repro import (
     ReversiblePreassignmentExpansion,
 )
 from repro.core import LevelRequirement, PrivacyProfile as CoreProfile, ToleranceSpec
-from repro.errors import MobilityError, ToleranceExceededError
+from repro.errors import (
+    DeadlineExceededError,
+    MobilityError,
+    OverloadedError,
+    ProfileError,
+    ToleranceExceededError,
+)
 from repro.lbs import (
     AnonymizerService,
     BatchOutcomeDoc,
@@ -411,6 +418,167 @@ class TestHandle:
         assert outcome.ok
         bad = OutcomeDoc.from_json(service.handle_json("{broken"))
         assert bad.error_code == MALFORMED_DOCUMENT
+
+
+class TestAdmissionControl:
+    """Load shedding: a bounded in-flight budget rejects excess work up
+    front with the structured ``overloaded`` code — backpressure, not a
+    serving failure."""
+
+    def _service(self, grid10, traffic_snapshot, max_inflight):
+        service = AnonymizerService(grid10, max_inflight=max_inflight)
+        service.update_snapshot(traffic_snapshot)
+        return service
+
+    def test_invalid_budget_rejected(self, grid10):
+        with pytest.raises(ProfileError):
+            AnonymizerService(grid10, max_inflight=0)
+
+    def test_unbounded_by_default(self, service):
+        assert service.max_inflight is None
+        assert service.inflight == 0
+        assert service.requests_shed == 0
+
+    def test_oversized_batch_shed_all_or_nothing(
+        self, grid10, traffic_snapshot, profile
+    ):
+        service = self._service(grid10, traffic_snapshot, max_inflight=2)
+        requests = [
+            _request(traffic_snapshot, profile, index, tag=f"sh{index}")
+            for index in range(3)
+        ]
+        with pytest.raises(OverloadedError, match="in-flight budget"):
+            service.cloak_batch(requests)
+        # Nothing executed, nothing leaked: the batch was rejected at the
+        # door, the budget is free again, and shedding is not a failure.
+        assert service.requests_served == 0
+        assert service.failures == 0
+        assert service.requests_shed == 3
+        assert service.inflight == 0
+        # A batch that fits still serves.
+        assert all(o.ok for o in service.cloak_batch(requests[:2]))
+        assert service.requests_served == 2
+
+    def test_concurrent_load_beyond_budget_is_shed(
+        self, grid10, traffic_snapshot, profile
+    ):
+        service = self._service(grid10, traffic_snapshot, max_inflight=1)
+        release = threading.Event()
+        entered = threading.Event()
+        original = service.engine.anonymize
+
+        def slow_anonymize(*args, **kwargs):
+            entered.set()
+            release.wait(timeout=10)
+            return original(*args, **kwargs)
+
+        service._engine.anonymize = slow_anonymize
+        holder = threading.Thread(
+            target=service.cloak, args=(_request(traffic_snapshot, profile),)
+        )
+        holder.start()
+        try:
+            assert entered.wait(timeout=10)
+            assert service.inflight == 1
+            with pytest.raises(OverloadedError):
+                service.cloak(_request(traffic_snapshot, profile, 1, tag="c2"))
+            assert service.requests_shed == 1
+        finally:
+            release.set()
+            holder.join(timeout=10)
+        assert service.inflight == 0
+        assert service.requests_served == 1
+
+    def test_handle_returns_structured_overloaded_outcome(
+        self, grid10, traffic_snapshot, profile
+    ):
+        service = self._service(grid10, traffic_snapshot, max_inflight=1)
+        envelope = service.cloak(_request(traffic_snapshot, profile, tag="ho"))
+        batch = DeanonymizeBatchDoc(
+            items=(
+                DeanonymizeRequestDoc(
+                    envelope=envelope,
+                    keys=tuple(
+                        KeyChain.from_passphrases(["ho-1", "ho-2"])
+                    ),
+                    target_level=0,
+                ),
+            )
+            * 2
+        )
+        reply = service.handle(batch.to_dict())
+        outcome = OutcomeDoc.from_dict(reply)
+        assert not outcome.ok
+        assert outcome.error_code == "overloaded"
+        assert isinstance(outcome.to_exception(), OverloadedError)
+        assert service.requests_shed == 2
+
+    def test_reversal_batches_share_the_budget(
+        self, grid10, traffic_snapshot, profile
+    ):
+        service = self._service(grid10, traffic_snapshot, max_inflight=2)
+        request = _request(traffic_snapshot, profile, tag="rb")
+        envelope = service.cloak(request)
+        item = DeanonymizeRequestDoc(
+            envelope=envelope, keys=tuple(request.chain), target_level=0
+        )
+        with pytest.raises(OverloadedError):
+            service.deanonymize_batch([item, item, item])
+        assert service.requests_shed == 3
+        assert all(o.ok for o in service.deanonymize_batch([item, item]))
+
+
+class TestServiceDeadlines:
+    """Cooperative deadlines on the serving facade and the wire path."""
+
+    def test_cloak_segment_honors_deadline(self, service, profile):
+        chain = KeyChain.from_passphrases(["ddl-1", "ddl-2"])
+        with pytest.raises(DeadlineExceededError):
+            service.cloak_segment(50, profile, chain, deadline_ms=0.0)
+        assert service.failures == 1
+        # Without a deadline (or with a generous one) nothing changes.
+        assert 50 in service.cloak_segment(50, profile, chain).region
+        assert (
+            50
+            in service.cloak_segment(
+                50, profile, chain, deadline_ms=60_000.0
+            ).region
+        )
+
+    def test_handle_surfaces_deadline_exceeded_outcome(
+        self, service, traffic_snapshot, profile
+    ):
+        request = _request(traffic_snapshot, profile, tag="hd")
+        document = CloakRequestDoc.from_request(request).to_dict()
+        document["deadline_ms"] = 0.0
+        outcome = OutcomeDoc.from_dict(service.handle(document))
+        assert not outcome.ok
+        assert outcome.error_code == "deadline_exceeded"
+        assert isinstance(outcome.to_exception(), DeadlineExceededError)
+
+    def test_batch_deadline_is_a_default_not_a_cap(
+        self, service, traffic_snapshot, profile
+    ):
+        # The batch-level deadline applies to items without their own;
+        # an item's explicit (generous) deadline wins over the expired
+        # batch default.
+        request = _request(traffic_snapshot, profile, tag="bdl")
+        envelope = service.cloak(request)
+        defaulted = DeanonymizeRequestDoc(
+            envelope=envelope, keys=tuple(request.chain), target_level=0
+        )
+        explicit = DeanonymizeRequestDoc(
+            envelope=envelope,
+            keys=tuple(request.chain),
+            target_level=0,
+            deadline_ms=60_000.0,
+        )
+        batch = DeanonymizeBatchDoc(
+            items=(defaulted, explicit), deadline_ms=0.0
+        )
+        reply = BatchOutcomeDoc.from_dict(service.handle(batch.to_dict()))
+        assert [o.ok for o in reply.outcomes] == [False, True]
+        assert reply.outcomes[0].error_code == "deadline_exceeded"
 
 
 class TestTrustedAnonymizerShim:

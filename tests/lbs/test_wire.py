@@ -14,14 +14,17 @@ from repro import (
 from repro.errors import (
     CloakingError,
     CollisionError,
+    DeadlineExceededError,
     DeanonymizationError,
     FrontierExhaustedError,
     KeyMismatchError,
     MobilityError,
+    OverloadedError,
     ProfileError,
     ReverseCloakError,
     ToleranceExceededError,
     WireFormatError,
+    WorkerCrashedError,
 )
 from repro.lbs.wire import (
     CLOAK_REQUEST_FORMAT,
@@ -29,6 +32,7 @@ from repro.lbs.wire import (
     MALFORMED_DOCUMENT,
     CloakRequest,
     CloakRequestDoc,
+    DeanonymizeBatchDoc,
     DeanonymizeRequestDoc,
     OutcomeDoc,
     error_code_for,
@@ -98,6 +102,21 @@ class TestCloakRequestDoc:
         with pytest.raises(WireFormatError):
             CloakRequestDoc.from_dict([1, 2, 3])
 
+    def test_deadline_round_trips(self):
+        doc = CloakRequestDoc(
+            user_id=7, profile=PROFILE, chain=CHAIN, deadline_ms=250.0
+        )
+        restored = CloakRequestDoc.from_json(doc.to_json())
+        assert restored.deadline_ms == 250.0
+        assert restored.to_request().deadline_ms == 250.0
+
+    def test_no_deadline_is_omitted_from_the_document(self):
+        # Byte-compatibility with pre-deadline documents: the field only
+        # appears when set, so old clients and old goldens are unaffected.
+        doc = CloakRequestDoc(user_id=7, profile=PROFILE, chain=CHAIN)
+        assert "deadline_ms" not in doc.to_dict()
+        assert CloakRequestDoc.from_json(doc.to_json()).deadline_ms is None
+
 
 class TestDeanonymizeRequestDoc:
     def test_json_round_trip(self):
@@ -129,6 +148,32 @@ class TestDeanonymizeRequestDoc:
         with pytest.raises(WireFormatError) as excinfo:
             DeanonymizeRequestDoc.from_dict(document)
         assert error_code_for(excinfo.value) == MALFORMED_DOCUMENT
+
+    def test_deadline_round_trips(self):
+        doc = DeanonymizeRequestDoc(
+            envelope=ENVELOPE,
+            keys=CHAIN.suffix(1),
+            target_level=0,
+            deadline_ms=75.5,
+        )
+        restored = DeanonymizeRequestDoc.from_json(doc.to_json())
+        assert restored.deadline_ms == 75.5
+        plain = DeanonymizeRequestDoc(
+            envelope=ENVELOPE, keys=CHAIN.suffix(1), target_level=0
+        )
+        assert "deadline_ms" not in plain.to_dict()
+
+    def test_batch_level_deadline_round_trips(self):
+        item = DeanonymizeRequestDoc(
+            envelope=ENVELOPE, keys=CHAIN.suffix(1), target_level=0
+        )
+        batch = DeanonymizeBatchDoc(items=(item,), deadline_ms=500.0)
+        restored = DeanonymizeBatchDoc.from_json(batch.to_json())
+        assert restored.deadline_ms == 500.0
+        assert restored.items[0].deadline_ms is None  # default, not a rewrite
+        bare = DeanonymizeBatchDoc(items=(item,))
+        assert "deadline_ms" not in bare.to_dict()
+        assert DeanonymizeBatchDoc.from_json(bare.to_json()).deadline_ms is None
 
 
 class TestOutcomeDoc:
@@ -193,6 +238,9 @@ class TestErrorCodes:
             (CollisionError(2, 3), "reversal_collision"),
             (KeyMismatchError("x"), "key_mismatch"),
             (ProfileError("x"), "invalid_profile"),
+            (DeadlineExceededError("x"), "deadline_exceeded"),
+            (WorkerCrashedError("x"), "worker_crashed"),
+            (OverloadedError("x"), "overloaded"),
             (CloakingError("x"), "cloaking_failed"),
             (MobilityError("x"), "mobility_unavailable"),
             (ReverseCloakError("x"), "internal_error"),
@@ -201,6 +249,35 @@ class TestErrorCodes:
     )
     def test_code_mapping(self, exc, code):
         assert error_code_for(exc) == code
+
+    def test_dual_derived_codes_dispatch_before_their_bases(self):
+        # DeadlineExceededError and WorkerCrashedError derive from *both*
+        # CloakingError and DeanonymizationError (so both batch failure
+        # unions accept them without widening); the ERROR_CODES table must
+        # still resolve them to their own codes, not a base's.
+        assert isinstance(DeadlineExceededError("x"), CloakingError)
+        assert isinstance(DeadlineExceededError("x"), DeanonymizationError)
+        assert isinstance(WorkerCrashedError("x"), CloakingError)
+        assert isinstance(WorkerCrashedError("x"), DeanonymizationError)
+        assert error_code_for(DeadlineExceededError("x")) == "deadline_exceeded"
+        assert error_code_for(WorkerCrashedError("x")) == "worker_crashed"
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            DeadlineExceededError("deadline of 5 ms exceeded"),
+            WorkerCrashedError("worker chunk lost"),
+            OverloadedError("budget full; shed"),
+        ],
+    )
+    def test_fault_codes_round_trip_through_outcome_docs(self, exc):
+        restored = OutcomeDoc.from_json(
+            OutcomeDoc.from_exception(exc).to_json()
+        )
+        assert not restored.ok
+        rebuilt = restored.to_exception()
+        assert type(rebuilt) is type(exc)
+        assert str(rebuilt) == str(exc)
 
     @pytest.mark.parametrize(
         "exc, cls",
