@@ -1,0 +1,28 @@
+"""``reprolint`` — the project's AST-based invariant linter.
+
+Static analysis that encodes this repository's hard-won serving
+invariants as machine-checked rules (see :mod:`repro.analysis.rules` for
+the catalogue and :mod:`repro.analysis.core` for the framework). Run it
+with ``python -m repro.analysis [--format=text|json] [paths]``; CI gates
+every PR on it against the committed ``.reprolint-baseline.json``.
+
+Public API: :func:`run_analysis` scans paths and returns
+:class:`Finding` objects (suppressions applied, baseline not — the CLI
+layers that); :func:`all_rules` lists the registered rules.
+"""
+
+from .baseline import Baseline, split_findings
+from .core import Finding, ModuleInfo, Project
+from .registry import Rule, all_rules, register, run_analysis
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "all_rules",
+    "register",
+    "run_analysis",
+    "split_findings",
+]

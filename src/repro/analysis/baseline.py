@@ -1,0 +1,99 @@
+"""The checked-in findings baseline of ``reprolint``.
+
+A baseline makes *accepted* findings explicit and reviewable: the CI gate
+fails on findings that are new relative to the committed file, never on
+the accepted backlog. Matching is by :meth:`Finding.fingerprint` —
+``(rule, path, context line)`` — deliberately line-number-free so edits
+above an accepted finding do not invalidate it, and count-aware so a
+*second* occurrence of an accepted pattern still fails.
+
+The file is plain JSON (sorted, one entry per accepted fingerprint with a
+count) so diffs in review show exactly which debts were added or paid
+down. Regenerate with ``python -m repro.analysis --write-baseline``; the
+tool also reports *stale* entries (accepted findings that no longer
+occur) so the baseline cannot quietly rot.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .core import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME", "split_findings"]
+
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+_Fingerprint = Tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """Accepted finding fingerprints with multiplicities."""
+
+    entries: Dict[_Fingerprint, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(document, dict) or "accepted" not in document:
+            raise ValueError(f"{path}: not a reprolint baseline file")
+        entries: Dict[_Fingerprint, int] = {}
+        for item in document["accepted"]:
+            fingerprint = (
+                str(item["rule"]),
+                str(item["path"]),
+                str(item.get("context", "")),
+            )
+            entries[fingerprint] = entries.get(fingerprint, 0) + int(
+                item.get("count", 1)
+            )
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        counts = Counter(finding.fingerprint() for finding in findings)
+        return cls(entries=dict(counts))
+
+    def to_json(self) -> str:
+        accepted = [
+            {"rule": rule, "path": path, "context": context, "count": count}
+            for (rule, path, context), count in sorted(self.entries.items())
+        ]
+        return (
+            json.dumps({"version": 1, "accepted": accepted}, indent=2, sort_keys=True)
+            + "\n"
+        )
+
+    def save(self, path: Path) -> None:
+        path.write_text(self.to_json(), encoding="utf-8")
+
+
+def split_findings(
+    findings: List[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[_Fingerprint]]:
+    """Partition ``findings`` against ``baseline``.
+
+    Returns ``(new_findings, stale_entries)``: findings beyond the
+    accepted multiplicity of their fingerprint, and baseline entries whose
+    accepted occurrences no longer all exist (the baseline should be
+    regenerated to pay the debt down explicitly).
+    """
+    budget = Counter(
+        {fingerprint: count for fingerprint, count in baseline.entries.items()}
+    )
+    new: List[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if budget.get(fingerprint, 0) > 0:
+            budget[fingerprint] -= 1
+        else:
+            new.append(finding)
+    stale = sorted(
+        fingerprint for fingerprint, remaining in budget.items() if remaining > 0
+    )
+    return new, stale

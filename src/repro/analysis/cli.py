@@ -1,0 +1,165 @@
+"""The ``reprolint`` command line: ``python -m repro.analysis [paths]``.
+
+Exit status is the CI contract:
+
+* ``0`` — no findings beyond the baseline (clean tree);
+* ``1`` — new findings (or, with ``--strict-baseline``, stale baseline
+  entries that should be paid down);
+* ``2`` — usage errors.
+
+``--format=json`` emits a machine-readable report (the CI job archives
+it); ``--write-baseline`` regenerates the committed baseline from the
+current findings so accepted debt stays an explicit, reviewed file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline, split_findings
+from .registry import all_rules, run_analysis
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: AST-based invariant linter for the ReverseCloak "
+            "serving stack (lock discipline, bounded caches, wire "
+            "round-trips, determinism, error-code registry)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            f"baseline file (default: ./{DEFAULT_BASELINE_NAME} when it "
+            "exists); accepted findings listed there do not fail the run"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="also fail when baseline entries are stale (debt paid down "
+        "but the file not regenerated)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def _resolve_baseline(args) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE_NAME)
+    return default if default.exists() else None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}: {rule.description}")
+        return 0
+
+    paths = [Path(item) for item in args.paths]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    findings = run_analysis(paths, root=Path.cwd())
+
+    baseline_path = _resolve_baseline(args)
+    if args.write_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE_NAME)
+        Baseline.from_findings(findings).save(target)
+        print(
+            f"wrote {len(findings)} accepted finding(s) to {target}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if baseline_path is not None and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+        new_findings, stale = split_findings(findings, baseline)
+    else:
+        baseline = None
+        new_findings, stale = findings, []
+
+    if args.format == "json":
+        report = {
+            "version": 1,
+            "findings": [finding.to_dict() for finding in new_findings],
+            "baselined": len(findings) - len(new_findings),
+            "stale_baseline_entries": [
+                {"rule": rule, "path": path, "context": context}
+                for rule, path, context in stale
+            ],
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for finding in new_findings:
+            print(finding.render())
+        if stale:
+            print(
+                f"note: {len(stale)} stale baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} (regenerate with "
+                "--write-baseline to pay the debt down):",
+                file=sys.stderr,
+            )
+            for rule, path, context in stale:
+                print(f"  [{rule}] {path}: {context}", file=sys.stderr)
+        suffix = (
+            f" ({len(findings) - len(new_findings)} baselined)"
+            if baseline is not None
+            else ""
+        )
+        print(
+            f"reprolint: {len(new_findings)} finding(s){suffix}",
+            file=sys.stderr,
+        )
+
+    if new_findings:
+        return 1
+    if stale and args.strict_baseline:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,235 @@
+"""The core of ``reprolint``, the project's AST-based invariant linter.
+
+Six PRs of growth produced a handful of bug classes that kept resurfacing
+by hand: unbounded attacker-growable caches (fixed in PR 4 *and* PR 5),
+racy unguarded counters (PR 2), wire documents silently losing
+byte-identical compatibility, and nondeterminism leaking into the
+byte-identical envelope oracle. This package turns each class into a
+machine-checked rule over the parsed source tree — no imports, no
+execution, just :mod:`ast` — so later PRs cannot reintroduce them.
+
+This module holds the pieces every rule shares:
+
+* :class:`Finding` — one reported violation (rule id, location, message),
+  with the stable :meth:`Finding.fingerprint` the baseline file matches on;
+* :class:`ModuleInfo` — one parsed source file: the AST (parent links
+  annotated), the raw lines, and the per-line suppression table parsed
+  from ``# reprolint: disable=<rule>[,<rule>...]`` comments;
+* :class:`Project` — the whole scanned file set, for rules that need
+  cross-module context (the error-code registry checks ``errors.py``
+  against every use site).
+
+Suppressions: a ``# reprolint: disable=rule`` comment suppresses that
+rule on its own line; a comment-only line suppresses the next code line
+(so justifications can sit above long statements); and a
+``# reprolint: disable-file=rule`` comment anywhere suppresses the rule
+for the whole file. ``disable=all`` suppresses every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "parse_module",
+    "collect_modules",
+    "attach_parents",
+]
+
+#: Matches one suppression comment. Rules are comma-separated ids;
+#: ``all`` disables everything on the governed line(s).
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\- ]+)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: The reporting rule's id (e.g. ``"lock-discipline"``).
+        path: Repo-relative POSIX path of the flagged file.
+        line: 1-based line of the flagged node.
+        message: Human-readable description of the violation.
+        context: The stripped source text of the flagged line — part of the
+            :meth:`fingerprint`, so baseline entries survive unrelated line
+            drift in the same file.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    context: str = ""
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """The baseline identity of this finding: (rule, path, context).
+
+        Deliberately excludes the line number — inserting code above an
+        accepted finding must not invalidate the baseline — and the
+        message, which may carry incidental detail.
+        """
+        return (self.rule, self.path, self.context)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "context": self.context,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def attach_parents(tree: ast.AST) -> ast.AST:
+    """Annotate every node with a ``parent`` backlink (rules walk up to
+    find enclosing ``if``/``with``/function scopes)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.parent = node  # type: ignore[attr-defined]
+    tree.parent = None  # type: ignore[attr-defined]
+    return tree
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus its suppression table."""
+
+    path: Path
+    rel_path: str
+    source: str
+    lines: List[str]
+    tree: Optional[ast.Module]
+    #: line -> rule ids suppressed on that line ("all" suppresses any).
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule ids suppressed for the whole file.
+    file_suppressions: Set[str] = field(default_factory=set)
+    #: Syntax error message when the file failed to parse (tree is None).
+    parse_error: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.path.name
+
+    def context_at(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node_or_line, message: str) -> Finding:
+        line = getattr(node_or_line, "lineno", node_or_line)
+        return Finding(
+            rule=rule,
+            path=self.rel_path,
+            line=int(line),
+            message=message,
+            context=self.context_at(int(line)),
+        )
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_suppressions or "all" in self.file_suppressions:
+            return True
+        rules = self.suppressions.get(line)
+        return bool(rules) and (rule in rules or "all" in rules)
+
+
+def _parse_suppressions(
+    lines: List[str],
+) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    for index, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        kind = match.group(1)
+        rules = {
+            item.strip() for item in match.group(2).split(",") if item.strip()
+        }
+        if kind == "disable-file":
+            per_file |= rules
+            continue
+        per_line.setdefault(index, set()).update(rules)
+        if text.lstrip().startswith("#"):
+            # A standalone suppression comment governs the next code line,
+            # so the justification can sit above the flagged statement.
+            cursor = index + 1
+            while cursor <= len(lines) and (
+                not lines[cursor - 1].strip()
+                or lines[cursor - 1].lstrip().startswith("#")
+            ):
+                cursor += 1
+            if cursor <= len(lines):
+                per_line.setdefault(cursor, set()).update(rules)
+    return per_line, per_file
+
+
+def parse_module(path: Path, root: Path) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (never raises on bad
+    source — syntax errors surface as ``parse_error``)."""
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        rel_path = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel_path = path.as_posix()
+    per_line, per_file = _parse_suppressions(lines)
+    try:
+        tree = attach_parents(ast.parse(source, filename=str(path)))
+        error = None
+    except SyntaxError as exc:
+        tree = None
+        error = f"{exc.msg} (line {exc.lineno})"
+    return ModuleInfo(
+        path=path,
+        rel_path=rel_path,
+        source=source,
+        lines=lines,
+        tree=tree,
+        suppressions=per_line,
+        file_suppressions=per_file,
+        parse_error=error,
+    )
+
+
+@dataclass
+class Project:
+    """The scanned file set: what project-level rules see."""
+
+    root: Path
+    modules: List[ModuleInfo]
+
+    def modules_named(self, filename: str) -> List[ModuleInfo]:
+        return [module for module in self.modules if module.name == filename]
+
+
+def collect_modules(paths: Iterable[Path], root: Path) -> Project:
+    """Parse every ``.py`` file under ``paths`` (files or directories)
+    into one :class:`Project`, sorted by path for deterministic output."""
+    seen: Set[Path] = set()
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                resolved = candidate.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    files.append(candidate)
+        elif path.suffix == ".py":
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(path)
+    files.sort(key=lambda item: item.as_posix())
+    return Project(root=root, modules=[parse_module(item, root) for item in files])

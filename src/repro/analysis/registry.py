@@ -1,0 +1,124 @@
+"""The rule registry of ``reprolint``.
+
+A rule is a class with a stable ``id`` (the name suppression comments and
+the baseline refer to), a one-line ``description``, and one or both of:
+
+* :meth:`Rule.check_module` — called once per parsed file;
+* :meth:`Rule.check_project` — called once with the whole scanned set
+  (for cross-module invariants like the error-code registry).
+
+Registering is declarative::
+
+    @register
+    class MyRule(Rule):
+        id = "my-rule"
+        description = "what invariant this encodes"
+
+        def check_module(self, module, project):
+            yield module.finding(self.id, node, "message")
+
+The analyzer driver (:func:`run_analysis`) parses the file set, runs
+every registered rule, drops suppressed findings, and returns the rest
+sorted by location. Parse failures surface as findings of the reserved
+``parse-error`` rule rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Type
+
+from .core import Finding, ModuleInfo, Project, collect_modules
+
+__all__ = ["Rule", "register", "all_rules", "run_analysis", "PARSE_ERROR_RULE"]
+
+#: Reserved rule id for files that fail to parse (not suppressible by
+#: design: a syntax error hides every other finding in the file).
+PARSE_ERROR_RULE = "parse-error"
+
+
+class Rule:
+    """Base class of every lint rule."""
+
+    id: str = ""
+    description: str = ""
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in _REGISTRY and _REGISTRY[rule_cls.id] is not rule_cls:
+        raise ValueError(f"duplicate rule id: {rule_cls.id}")
+    # Import-time registration, bounded by the rule catalogue — never a
+    # request path.
+    # reprolint: disable=bounded-cache
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, ordered by id.
+
+    Importing :mod:`repro.analysis.rules` populates the registry; the
+    import lives here so API users calling :func:`run_analysis` directly
+    get the built-in rules without extra ceremony.
+    """
+    from . import rules  # noqa: F401  (import populates the registry)
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def run_analysis(
+    paths: Iterable[Path],
+    root: Optional[Path] = None,
+    rules: Optional[List[Rule]] = None,
+) -> List[Finding]:
+    """Parse ``paths`` and run ``rules`` (default: all registered).
+
+    Returns unsuppressed findings sorted by (path, line, rule). The
+    returned list is *pre-baseline*: the CLI applies the baseline file on
+    top of this.
+    """
+    paths = [Path(item) for item in paths]
+    if root is None:
+        root = Path.cwd()
+    project = collect_modules(paths, root)
+    active = rules if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for module in project.modules:
+        if module.tree is None:
+            findings.append(
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    path=module.rel_path,
+                    line=1,
+                    message=f"file does not parse: {module.parse_error}",
+                )
+            )
+            continue
+        for rule in active:
+            for finding in rule.check_module(module, project):
+                if not module.is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+    modules_by_path = {module.rel_path: module for module in project.modules}
+    for rule in active:
+        for finding in rule.check_project(project):
+            module = modules_by_path.get(finding.path)
+            if module is None or not module.is_suppressed(
+                finding.rule, finding.line
+            ):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

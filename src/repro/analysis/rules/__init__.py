@@ -1,0 +1,19 @@
+"""Built-in ``reprolint`` rules — importing this package registers them.
+
+Each module encodes one historical bug class of this repository:
+
+* :mod:`.locks` — the PR 2 racy-counter class (``lock-discipline``);
+* :mod:`.caches` — the PR 4/5 unbounded attacker-growable cache class
+  (``bounded-cache``);
+* :mod:`.wire_docs` — wire-document round-trip completeness and the PR 6
+  omitted-when-None byte-compat discipline (``wire-roundtrip``);
+* :mod:`.determinism` — wall clocks / unseeded randomness inside the
+  byte-identical oracle core (``determinism``) and the fork-hides-it,
+  spawn-breaks-it picklability class (``spawn-safety``);
+* :mod:`.error_codes` — the single-declaration, most-derived-first wire
+  error-code registry (``error-registry``).
+"""
+
+from . import caches, determinism, error_codes, locks, wire_docs  # noqa: F401
+
+__all__ = ["caches", "determinism", "error_codes", "locks", "wire_docs"]

@@ -1,0 +1,194 @@
+"""``bounded-cache`` — caches fed by request data must have an eviction path.
+
+The bug class this repository fixed twice: PR 4 found module-level memos
+(`_TRANSITION_DOMAINS`, the wire profile cache) growing without bound
+under attacker-churned request parameters, and PR 5 found the same shape
+again in ``AnonymizerService._reversal_engines`` — an
+``{algorithm spec: engine}`` dict keyed by fields the ``handle`` endpoint
+takes from the wire. Long-running serving + attacker-controlled keys +
+no eviction = memory exhaustion.
+
+The rule flags a container when all of the following hold:
+
+* it is *long-lived*: a module-level ``{}``/``dict()``/``OrderedDict()``
+  assignment, or an instance attribute initialized empty in ``__init__``;
+* it *grows under external influence*: some method/function outside
+  ``__init__`` performs ``container[key] = ...`` (or ``setdefault``)
+  where the key expression derives from the enclosing function's
+  parameters (a conservative forward taint pass — request-independent
+  rebuild loops like RPLE pre-assignment do not trigger);
+* it has *no eviction or bound anywhere in the owning scope*: no
+  ``pop``/``popitem``/``clear``/``del container[...]`` and no
+  ``len(container)`` comparison (the ``while len(c) > CAP: c.popitem()``
+  idiom every bounded cache in this repo uses).
+
+A fixed-key write (``state["engine"] = ...``) is configuration, not
+growth, and never triggers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..core import Finding, ModuleInfo, Project
+from ..registry import Rule, register
+from ..visitor import (
+    SHRINKING_METHODS,
+    enclosing_function,
+    iter_attr_mutations,
+    iter_global_mutations,
+    names_in,
+    tainted_locals,
+)
+
+_EMPTY_FACTORIES = {"dict", "OrderedDict", "defaultdict"}
+
+
+def _is_empty_dict_init(value: ast.AST) -> bool:
+    if isinstance(value, ast.Dict) and not value.keys:
+        return True
+    if isinstance(value, ast.Call) and not value.args and not value.keywords:
+        func = value.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        return name in _EMPTY_FACTORIES
+    # ``defaultdict(list)`` and friends: factory arg, still empty.
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        return name == "defaultdict"
+    return False
+
+
+def _has_len_bound(scope: ast.AST, container: str, owner: Optional[str]) -> bool:
+    """A ``len(<container>)`` comparison anywhere in ``scope``."""
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Compare):
+            continue
+        for expr in [node.left, *node.comparators]:
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id == "len"
+                and expr.args
+            ):
+                arg = expr.args[0]
+                if owner is None:
+                    if isinstance(arg, ast.Name) and arg.id == container:
+                        return True
+                elif (
+                    isinstance(arg, ast.Attribute)
+                    and arg.attr == container
+                    and isinstance(arg.value, ast.Name)
+                    and arg.value.id == owner
+                ):
+                    return True
+    return False
+
+
+def _growth_key_is_tainted(mutation_node: ast.AST, key: Optional[ast.AST]) -> bool:
+    if key is None or isinstance(key, ast.Constant):
+        return False
+    func = enclosing_function(mutation_node)
+    if func is None:
+        return False
+    return bool(names_in(key) & tainted_locals(func))
+
+
+@register
+class BoundedCacheRule(Rule):
+    id = "bounded-cache"
+    description = (
+        "long-lived dicts grown with request-derived keys must have an "
+        "eviction branch or size bound (the PR 4/5 unbounded-cache class)"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        yield from self._check_globals(module)
+        yield from self._check_instances(module)
+
+    # ------------------------------------------------------------------
+    def _check_globals(self, module: ModuleInfo) -> Iterable[Finding]:
+        tree = module.tree
+        containers: Set[str] = set()
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and _is_empty_dict_init(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        containers.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_empty_dict_init(node.value) and isinstance(
+                    node.target, ast.Name
+                ):
+                    containers.add(node.target.id)
+        if not containers:
+            return
+        grows: Dict[str, List] = {}
+        shrinks: Set[str] = set()
+        for mutation in iter_global_mutations(tree, containers):
+            in_function = enclosing_function(mutation.node) is not None
+            if mutation.kind in ("subscript", "setdefault") and in_function:
+                if _growth_key_is_tainted(mutation.node, mutation.key):
+                    grows.setdefault(mutation.attr, []).append(mutation.node)
+            if mutation.kind in SHRINKING_METHODS or mutation.kind == "del":
+                shrinks.add(mutation.attr)
+        for name, sites in sorted(grows.items()):
+            if name in shrinks or _has_len_bound(tree, name, owner=None):
+                continue
+            yield module.finding(
+                self.id,
+                sites[0],
+                f"module dict {name} grows with request-derived keys but has "
+                "no eviction or size bound anywhere in this module",
+            )
+
+    # ------------------------------------------------------------------
+    def _check_instances(self, module: ModuleInfo) -> Iterable[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            init = next(
+                (
+                    item
+                    for item in cls.body
+                    if isinstance(item, ast.FunctionDef) and item.name == "__init__"
+                ),
+                None,
+            )
+            if init is None:
+                continue
+            containers: Set[str] = set()
+            for node in ast.walk(init):
+                if isinstance(node, ast.Assign) and _is_empty_dict_init(node.value):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            containers.add(target.attr)
+            if not containers:
+                continue
+            grows: Dict[str, List] = {}
+            shrinks: Set[str] = set()
+            for mutation in iter_attr_mutations(cls):
+                if mutation.attr not in containers:
+                    continue
+                func = enclosing_function(mutation.node)
+                outside_init = func is not None and func.name != "__init__"
+                if mutation.kind in ("subscript", "setdefault") and outside_init:
+                    if _growth_key_is_tainted(mutation.node, mutation.key):
+                        grows.setdefault(mutation.attr, []).append(mutation.node)
+                if mutation.kind in SHRINKING_METHODS or mutation.kind == "del":
+                    shrinks.add(mutation.attr)
+            for name, sites in sorted(grows.items()):
+                if name in shrinks or _has_len_bound(cls, name, owner="self"):
+                    continue
+                yield module.finding(
+                    self.id,
+                    sites[0],
+                    f"{cls.name}.{name} grows with request-derived keys but "
+                    "has no eviction or size bound anywhere in this class",
+                )

@@ -1,0 +1,275 @@
+"""``determinism`` and ``spawn-safety`` — protect the byte-identical
+oracle and the process-pool seam.
+
+**determinism.** ReverseCloak's whole contract — multi-level reversal,
+cross-backend byte-identical envelopes, the golden-vector tests — rests
+on ``core/``, ``keys/`` and ``roadnet/`` being pure functions of their
+inputs. A wall-clock read or an unseeded RNG anywhere in those packages
+silently breaks the oracle in ways only a flaky golden test would ever
+catch. The rule forbids calls to wall clocks (``time.time``,
+``time.monotonic``, ``perf_counter`` ...), unseeded randomness
+(``random.*`` module functions, argument-less ``random.Random()`` /
+``numpy.random.default_rng()``, the legacy ``numpy.random.*`` global
+RNG, ``os.urandom``, ``uuid.uuid1/uuid4``, ``secrets.*``) and
+``id()``-keyed ordering (``sorted(..., key=id)`` or ``d[id(x)]`` — CPython
+address order, different every run) inside those packages. Seeded
+constructions (``default_rng(seed)``, ``random.Random(seed)``) are fine:
+determinism, not randomness, is the invariant. Legitimate exceptions
+(deadline checkpoints, benchmark instrumentation) belong in
+:data:`ALLOWED_CALLS` or behind an inline suppression with a
+justification.
+
+**spawn-safety.** The fork-hides-it, spawn-breaks-it class CI guards
+dynamically: a lambda or a locally-defined closure assigned to an
+attribute of an object that later ships to a ``ProcessPoolBackend``
+worker pickles fine under ``fork`` (nothing is pickled) and explodes
+under ``spawn``. The rule flags attribute assignments whose value is a
+``lambda`` or a function defined inside the enclosing function, anywhere
+in the tree — serving objects travel too widely to scope this by path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from ..core import Finding, ModuleInfo, Project
+from ..registry import Rule, register
+from ..visitor import ImportTable, enclosing_function
+
+#: Path components whose files the determinism rule governs.
+DETERMINISTIC_PACKAGES = frozenset({"core", "keys", "roadnet"})
+
+#: Dotted call targets that read ambient nondeterminism.
+FORBIDDEN_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+#: Explicit allowlist: dotted targets exempted by design (none today —
+#: deadline checkpoints live in ``lbs/faults.py``, outside the governed
+#: packages, and benchmarks live outside ``src/``). Entries added here
+#: must say why.
+ALLOWED_CALLS: Set[str] = set()
+
+#: Legacy numpy global-RNG entry points (unseeded process-wide state).
+_NUMPY_GLOBAL_RNG = frozenset(
+    {
+        "numpy.random.random",
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.randint",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+        "numpy.random.uniform",
+        "numpy.random.normal",
+        "numpy.random.seed",
+    }
+)
+
+
+def _governed(module: ModuleInfo) -> bool:
+    return bool(set(module.rel_path.split("/")) & DETERMINISTIC_PACKAGES)
+
+
+@register
+class DeterminismRule(Rule):
+    id = "determinism"
+    description = (
+        "no wall clocks, unseeded randomness, or id()-keyed ordering inside "
+        "core/, keys/, roadnet/ (the byte-identical oracle packages)"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        if not _governed(module):
+            return
+        imports = ImportTable(module.tree)
+        imported_roots = set(imports.aliases)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                finding = self._check_call(module, imports, imported_roots, node)
+                if finding is not None:
+                    yield finding
+            elif isinstance(node, ast.Subscript) and not isinstance(
+                node.ctx, ast.Load
+            ):
+                # `d[id(x)] = ...` — id-keyed storage orders by address.
+                if _is_id_call(node.slice):
+                    yield module.finding(
+                        self.id,
+                        node,
+                        "id()-keyed storage orders by CPython address — "
+                        "different every run; key by a stable identity",
+                    )
+
+    def _check_call(
+        self,
+        module: ModuleInfo,
+        imports: ImportTable,
+        imported_roots: Set[str],
+        node: ast.Call,
+    ) -> Optional[Finding]:
+        resolved = imports.resolve(node.func)
+        if resolved is not None and "." in resolved:
+            # Only trust resolutions rooted in an actual import — a local
+            # object that happens to be named `time` is not the module.
+            base = node.func
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            resolved_rooted = (
+                resolved
+                if isinstance(base, ast.Name) and base.id in imported_roots
+                else None
+            )
+            if resolved_rooted is not None:
+                if resolved_rooted in ALLOWED_CALLS:
+                    return None
+                if resolved_rooted in FORBIDDEN_CALLS:
+                    return module.finding(
+                        self.id,
+                        node,
+                        f"{resolved_rooted}() inside a byte-identical oracle "
+                        "package: results must be pure functions of their "
+                        "inputs",
+                    )
+                if resolved_rooted in _NUMPY_GLOBAL_RNG:
+                    return module.finding(
+                        self.id,
+                        node,
+                        f"{resolved_rooted}() uses the unseeded process-wide "
+                        "RNG; build a seeded Generator instead",
+                    )
+                if (
+                    resolved_rooted.startswith("random.")
+                    and resolved_rooted != "random.Random"
+                ):
+                    return module.finding(
+                        self.id,
+                        node,
+                        f"{resolved_rooted}() draws from the unseeded global "
+                        "RNG; thread a seeded random.Random through instead",
+                    )
+                if resolved_rooted in (
+                    "random.Random",
+                    "numpy.random.default_rng",
+                ) and not (node.args or node.keywords):
+                    return module.finding(
+                        self.id,
+                        node,
+                        f"{resolved_rooted}() without a seed is entropy-"
+                        "seeded; pass an explicit seed",
+                    )
+        # id()-keyed ordering: sorted(xs, key=id) / key=lambda x: id(x).
+        func_name = getattr(node.func, "id", None)
+        if func_name in ("sorted", "min", "max"):
+            for keyword in node.keywords:
+                if keyword.arg == "key" and _is_id_key(keyword.value):
+                    return module.finding(
+                        self.id,
+                        node,
+                        f"{func_name}(..., key=id) orders by CPython address "
+                        "— different every run; key by a stable identity",
+                    )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "sort"
+        ):
+            for keyword in node.keywords:
+                if keyword.arg == "key" and _is_id_key(keyword.value):
+                    return module.finding(
+                        self.id,
+                        node,
+                        "sort(key=id) orders by CPython address — different "
+                        "every run; key by a stable identity",
+                    )
+        return None
+
+
+def _is_id_key(value: ast.AST) -> bool:
+    if isinstance(value, ast.Name) and value.id == "id":
+        return True
+    if isinstance(value, ast.Lambda):
+        return _is_id_call(value.body)
+    return False
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+@register
+class SpawnSafetyRule(Rule):
+    id = "spawn-safety"
+    description = (
+        "no lambdas or local closures assigned to object attributes — "
+        "pickles under fork, explodes under spawn (ProcessPoolBackend seam)"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            attr_targets = [
+                target
+                for target in node.targets
+                if isinstance(target, ast.Attribute)
+            ]
+            if not attr_targets:
+                continue
+            if isinstance(node.value, ast.Lambda):
+                target = attr_targets[0]
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"lambda assigned to attribute .{target.attr}: "
+                    "unpicklable — fork hides it, spawn breaks it; use a "
+                    "module-level function",
+                )
+            elif isinstance(node.value, ast.Name):
+                func = enclosing_function(node)
+                if func is None:
+                    continue
+                local_defs = {
+                    child.name
+                    for child in ast.walk(func)
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and child is not func
+                }
+                if node.value.id in local_defs:
+                    target = attr_targets[0]
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"locally-defined function {node.value.id!r} assigned "
+                        f"to attribute .{target.attr}: unpicklable — fork "
+                        "hides it, spawn breaks it; define it at module level",
+                    )

@@ -1,0 +1,253 @@
+"""``error-registry`` — wire error codes are declared once, dispatched
+most-derived-first.
+
+Error codes are wire protocol: stable strings non-Python clients switch
+on, never Python class names. PR 6 added dual-derived exception types
+(``DeadlineExceededError`` derives *both* ``CloakingError`` and
+``DeanonymizationError``) and with them the dispatch rule the protocol
+silently depends on: the ``(exception class, code)`` table is scanned
+first-match, so **a subclass must appear before every one of its bases**
+— an entry out of order makes derived errors dispatch to the base code
+and changes the wire behavior without failing any type check. Until this
+rule, that ordering was enforced only by convention.
+
+The rule checks, across the whole scanned tree:
+
+* every dispatch table — a module-level literal tuple/list of
+  ``(ExceptionClass, "code")`` pairs — lives in ``errors.py``, beside the
+  hierarchy it dispatches over (other modules import or alias it);
+* each code string is declared exactly once in ``errors.py``;
+* table order is most-derived-first, computed from the class hierarchy
+  parsed out of ``errors.py`` (multiple inheritance included);
+* use sites match declarations: a dict literal mapping code strings to
+  exception classes (the ``_MESSAGE_ONLY_FALLBACK`` pattern) or a
+  ``code == "..."`` comparison naming a code that is not declared is a
+  typo'd or stale code — flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core import Finding, ModuleInfo, Project
+from ..registry import Rule, register
+
+#: (class name, code, entry node) triples of one dispatch table.
+_TableEntry = Tuple[str, str, ast.AST]
+
+
+def _dispatch_table(node: ast.stmt) -> Optional[List[_TableEntry]]:
+    """Parse ``node`` as a dispatch-table assignment, or ``None``.
+
+    A dispatch table is a module-level (Ann)Assign whose value is a
+    tuple/list of two-tuples ``(Name-or-Attribute, string constant)``.
+    """
+    if isinstance(node, ast.Assign):
+        value = node.value
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        value = node.value
+    else:
+        return None
+    if not isinstance(value, (ast.Tuple, ast.List)) or not value.elts:
+        return None
+    entries: List[_TableEntry] = []
+    for element in value.elts:
+        if not isinstance(element, ast.Tuple) or len(element.elts) != 2:
+            return None
+        cls_node, code_node = element.elts
+        if not isinstance(code_node, ast.Constant) or not isinstance(
+            code_node.value, str
+        ):
+            return None
+        if isinstance(cls_node, ast.Name):
+            cls_name = cls_node.id
+        elif isinstance(cls_node, ast.Attribute):
+            cls_name = cls_node.attr
+        else:
+            return None
+        entries.append((cls_name, code_node.value, element))
+    return entries
+
+
+def _class_bases(modules: List[ModuleInfo]) -> Dict[str, Set[str]]:
+    """Direct base names of every class defined in ``modules``."""
+    bases: Dict[str, Set[str]] = {}
+    for module in modules:
+        if module.tree is None:
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                names = set()
+                for base in node.bases:
+                    if isinstance(base, ast.Name):
+                        names.add(base.id)
+                    elif isinstance(base, ast.Attribute):
+                        names.add(base.attr)
+                bases[node.name] = names
+    return bases
+
+
+def _is_strict_ancestor(
+    ancestor: str, descendant: str, bases: Dict[str, Set[str]]
+) -> bool:
+    if ancestor == descendant:
+        return False
+    seen: Set[str] = set()
+    frontier = [descendant]
+    while frontier:
+        current = frontier.pop()
+        for base in bases.get(current, ()):
+            if base == ancestor:
+                return True
+            if base not in seen:
+                seen.add(base)
+                frontier.append(base)
+    return False
+
+
+@register
+class ErrorRegistryRule(Rule):
+    id = "error-registry"
+    description = (
+        "wire error codes declared exactly once in errors.py; dispatch "
+        "tables ordered most-derived-first (the PR 6 dispatch rule)"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        registries = project.modules_named("errors.py")
+        bases = _class_bases(registries)
+        declared: Dict[str, ModuleInfo] = {}
+        exception_classes = set(bases)
+
+        # Declarations: tables inside errors.py modules.
+        for module in registries:
+            if module.tree is None:
+                continue
+            for stmt in module.tree.body:
+                entries = _dispatch_table(stmt)
+                if entries is None:
+                    continue
+                yield from self._check_table(module, entries, bases, declared)
+
+        # Tables and uses everywhere else.
+        for module in project.modules:
+            if module.tree is None or module in registries:
+                continue
+            for stmt in module.tree.body:
+                entries = _dispatch_table(stmt)
+                if entries is not None and self._looks_like_error_table(
+                    entries, exception_classes
+                ):
+                    yield module.finding(
+                        self.id,
+                        stmt,
+                        "error-code dispatch table declared outside "
+                        "errors.py: declare it beside the exception "
+                        "hierarchy and alias it here",
+                    )
+            if declared:
+                yield from self._check_uses(module, declared, exception_classes)
+
+    # ------------------------------------------------------------------
+    def _check_table(
+        self,
+        module: ModuleInfo,
+        entries: List[_TableEntry],
+        bases: Dict[str, Set[str]],
+        declared: Dict[str, ModuleInfo],
+    ) -> Iterable[Finding]:
+        for cls_name, code, node in entries:
+            if code in declared:
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"error code {code!r} is declared more than once; wire "
+                    "codes must have exactly one declaration",
+                )
+            else:
+                declared[code] = module
+        # Most-derived-first: no entry may be preceded by one of its bases.
+        for later_index, (later_cls, later_code, later_node) in enumerate(entries):
+            for earlier_cls, earlier_code, _ in entries[:later_index]:
+                if _is_strict_ancestor(earlier_cls, later_cls, bases):
+                    yield module.finding(
+                        self.id,
+                        later_node,
+                        f"{later_cls} ({later_code!r}) derives from "
+                        f"{earlier_cls} ({earlier_code!r}) listed above it: "
+                        "first-match dispatch would claim it for the base "
+                        "code — order most-derived-first",
+                    )
+                    break
+
+    # ------------------------------------------------------------------
+    def _looks_like_error_table(
+        self, entries: List[_TableEntry], exception_classes: Set[str]
+    ) -> bool:
+        if not exception_classes:
+            return False
+        return all(cls in exception_classes for cls, _, _ in entries)
+
+    def _check_uses(
+        self,
+        module: ModuleInfo,
+        declared: Dict[str, ModuleInfo],
+        exception_classes: Set[str],
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Dict) and node.keys:
+                if self._is_code_to_class_dict(node, exception_classes):
+                    for key in node.keys:
+                        if (
+                            isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)
+                            and key.value not in declared
+                        ):
+                            yield module.finding(
+                                self.id,
+                                key,
+                                f"error code {key.value!r} is not declared in "
+                                "errors.py: typo'd or stale wire code",
+                            )
+            elif isinstance(node, ast.Compare) and len(node.comparators) == 1:
+                left, right = node.left, node.comparators[0]
+                if not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+                    continue
+                name, const = None, None
+                if isinstance(left, ast.Name) and isinstance(right, ast.Constant):
+                    name, const = left.id, right.value
+                elif isinstance(right, ast.Name) and isinstance(
+                    left, ast.Constant
+                ):
+                    name, const = right.id, left.value
+                if (
+                    name == "code"
+                    and isinstance(const, str)
+                    and const not in declared
+                ):
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"comparison against error code {const!r} which is "
+                        "not declared in errors.py: typo'd or stale wire code",
+                    )
+
+    def _is_code_to_class_dict(
+        self, node: ast.Dict, exception_classes: Set[str]
+    ) -> bool:
+        if not node.values:
+            return False
+        for value in node.values:
+            if isinstance(value, ast.Name):
+                if value.id not in exception_classes:
+                    return False
+            elif isinstance(value, ast.Attribute):
+                if value.attr not in exception_classes:
+                    return False
+            else:
+                return False
+        return all(
+            isinstance(key, ast.Constant) and isinstance(key.value, str)
+            for key in node.keys
+        )

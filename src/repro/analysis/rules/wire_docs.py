@@ -1,0 +1,202 @@
+"""``wire-roundtrip`` — wire dataclasses must serialize completely and
+keep byte-identical compatibility.
+
+The serving protocol's compatibility discipline, enforced by hand since
+PR 3 and encoded here: for every ``*Doc`` dataclass (the versioned wire
+documents of :mod:`repro.lbs.wire`),
+
+* **completeness** — every dataclass field must appear in both
+  ``to_dict`` and ``from_dict``; a field added to the dataclass but not
+  to one side of the round trip silently drops data on the wire (the
+  exact shape a hand review caught for ``deadline_ms`` in PR 6);
+* **omitted-when-None** — a field with a ``None`` default must not be
+  written into the outgoing document unconditionally: new optional
+  fields must be omitted when unset, so documents that do not use the
+  feature stay byte-identical to the previous protocol revision (the
+  PR 6 ``deadline_ms`` discipline: ``if self.x is not None:
+  document["x"] = self.x``).
+
+"Appears in ``to_dict``" means the method reads ``self.<field>`` or names
+the ``"<field>"`` key; "appears in ``from_dict``" means the method names
+the ``"<field>"`` key or passes a ``<field>=`` keyword (nested layouts
+like ``OutcomeDoc``'s ``error`` sub-document satisfy this through the
+constructor keywords).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..core import Finding, ModuleInfo, Project
+from ..registry import Rule, register
+
+_DATACLASS_DECORATORS = {"dataclass"}
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = (
+            target.attr
+            if isinstance(target, ast.Attribute)
+            else getattr(target, "id", "")
+        )
+        if name in _DATACLASS_DECORATORS:
+            return True
+    return False
+
+
+def _doc_fields(cls: ast.ClassDef) -> Dict[str, Optional[ast.AST]]:
+    """``field -> default expression`` of a dataclass body (``ClassVar``
+    annotations excluded)."""
+    fields: Dict[str, Optional[ast.AST]] = {}
+    for node in cls.body:
+        if not isinstance(node, ast.AnnAssign) or not isinstance(
+            node.target, ast.Name
+        ):
+            continue
+        annotation = ast.dump(node.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields[node.target.id] = node.value
+    return fields
+
+
+def _method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _self_reads(func: ast.FunctionDef) -> Set[str]:
+    return {
+        node.attr
+        for node in ast.walk(func)
+        if isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    }
+
+
+def _string_constants(func: ast.FunctionDef) -> Set[str]:
+    return {
+        node.value
+        for node in ast.walk(func)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+def _call_keywords(func: ast.FunctionDef) -> Set[str]:
+    return {
+        keyword.arg
+        for node in ast.walk(func)
+        if isinstance(node, ast.Call)
+        for keyword in node.keywords
+        if keyword.arg is not None
+    }
+
+
+def _guarded_by_field(node: ast.AST, field: str) -> bool:
+    """An enclosing ``if``/ternary tests ``self.<field>``."""
+    cursor = getattr(node, "parent", None)
+    while cursor is not None:
+        if isinstance(cursor, (ast.If, ast.IfExp)):
+            for sub in ast.walk(cursor.test):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr == field
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                ):
+                    return True
+        cursor = getattr(cursor, "parent", None)
+    return False
+
+
+def _unconditional_emissions(
+    func: ast.FunctionDef, field: str
+) -> List[ast.AST]:
+    """Places ``to_dict`` writes the ``"<field>"`` key without testing
+    ``self.<field>`` first: dict-literal keys and constant-key subscript
+    assignments."""
+    sites: List[ast.AST] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == field
+                    and not _guarded_by_field(node, field)
+                ):
+                    sites.append(key)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and target.slice.value == field
+                    and not _guarded_by_field(node, field)
+                ):
+                    sites.append(node)
+    return sites
+
+
+@register
+class WireRoundTripRule(Rule):
+    id = "wire-roundtrip"
+    description = (
+        "*Doc dataclass fields must round-trip through to_dict/from_dict, "
+        "and None-defaulted fields must be omitted when unset (byte-compat)"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not cls.name.endswith("Doc") or not _is_dataclass(cls):
+                continue
+            fields = _doc_fields(cls)
+            if not fields:
+                continue
+            to_dict = _method(cls, "to_dict")
+            from_dict = _method(cls, "from_dict")
+            if to_dict is None or from_dict is None:
+                missing = "to_dict" if to_dict is None else "from_dict"
+                yield module.finding(
+                    self.id,
+                    cls,
+                    f"wire dataclass {cls.name} has no {missing}: every *Doc "
+                    "must round-trip through to_dict/from_dict",
+                )
+                continue
+            to_names = _self_reads(to_dict) | _string_constants(to_dict)
+            from_names = _string_constants(from_dict) | _call_keywords(from_dict)
+            for field, default in fields.items():
+                if field not in to_names:
+                    yield module.finding(
+                        self.id,
+                        to_dict,
+                        f"{cls.name}.{field} never appears in to_dict: the "
+                        "field is silently dropped on serialization",
+                    )
+                if field not in from_names:
+                    yield module.finding(
+                        self.id,
+                        from_dict,
+                        f"{cls.name}.{field} never appears in from_dict: the "
+                        "field is silently dropped on parsing",
+                    )
+                if isinstance(default, ast.Constant) and default.value is None:
+                    for site in _unconditional_emissions(to_dict, field):
+                        yield module.finding(
+                            self.id,
+                            site,
+                            f"{cls.name}.{field} defaults to None but to_dict "
+                            "emits it unconditionally: optional fields must "
+                            "be omitted when unset so old documents stay "
+                            "byte-identical",
+                        )

@@ -1,0 +1,306 @@
+"""Scope and alias tracking shared by the ``reprolint`` rules.
+
+Rules reason about *resolved* names, not surface syntax: ``Lock()`` after
+``from threading import Lock``, ``threading.Lock()``, and
+``import threading as t; t.Lock()`` are the same callable. The
+:class:`ImportTable` resolves a ``Name``/``Attribute`` chain to its dotted
+module path; the mutation helpers classify attribute writes
+(``self.x = ...``, ``self.x += 1``, ``self.x[k] = v``, ``self.x.pop()``)
+and report which lock attributes the enclosing ``with`` statements hold —
+the machinery behind the lock-discipline and bounded-cache rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "ImportTable",
+    "AttrMutation",
+    "MUTATING_METHODS",
+    "SHRINKING_METHODS",
+    "dotted_name",
+    "iter_attr_mutations",
+    "held_attr_locks",
+    "held_global_locks",
+    "enclosing_function",
+    "names_in",
+]
+
+#: Methods that mutate their receiver (dict/list/set/OrderedDict).
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+    }
+)
+
+#: The subset of mutators that can *shrink* a container (the bounded-cache
+#: rule accepts any of these — or an explicit ``len()`` bound — as
+#: evidence of an eviction path).
+SHRINKING_METHODS = frozenset({"pop", "popitem", "remove", "discard", "clear"})
+
+
+class ImportTable:
+    """Alias resolution for one module.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``; ``from threading
+    import Lock as L`` maps ``L`` to ``threading.Lock``. :meth:`resolve`
+    expands the leading alias of a ``Name``/``Attribute`` chain into the
+    full dotted path, so rules can match on canonical names.
+    """
+
+    def __init__(self, tree: Optional[ast.AST]) -> None:
+        self.aliases: Dict[str, str] = {}
+        if tree is None:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """The dotted path of a ``Name``/``Attribute`` chain, aliases
+        expanded — ``None`` when the chain roots in anything else (a call
+        result, a subscript, ``self``)."""
+        parts: List[str] = []
+        cursor = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        head = self.aliases.get(cursor.id, cursor.id)
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+
+@dataclass(frozen=True)
+class AttrMutation:
+    """One write to ``<owner>.<attr>`` (or a module-level ``<name>``).
+
+    Attributes:
+        attr: The attribute (or global) being mutated.
+        node: The mutating statement/expression node.
+        kind: ``"assign"`` / ``"augassign"`` / ``"subscript"`` / ``"del"``
+            or the mutating method name (``"pop"``, ``"setdefault"``, ...).
+        key: For ``subscript`` writes and ``setdefault`` calls, the key
+            expression (taint analysis uses it).
+    """
+
+    attr: str
+    node: ast.AST
+    kind: str
+    key: Optional[ast.AST] = None
+
+
+def _self_attr(node: ast.AST, owner: str = "self") -> Optional[str]:
+    """``attr`` when ``node`` is exactly ``<owner>.<attr>``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == owner
+    ):
+        return node.attr
+    return None
+
+
+def iter_attr_mutations(
+    root: ast.AST, owner: str = "self"
+) -> Iterator[AttrMutation]:
+    """Every mutation of ``<owner>.<attr>`` under ``root``.
+
+    Covers plain and augmented assignment, subscript writes and deletes,
+    and calls of :data:`MUTATING_METHODS` on the attribute.
+    """
+    for node in ast.walk(root):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attr(target, owner)
+                if attr is not None:
+                    yield AttrMutation(attr, node, "assign")
+                elif isinstance(target, ast.Subscript):
+                    attr = _self_attr(target.value, owner)
+                    if attr is not None:
+                        yield AttrMutation(attr, node, "subscript", target.slice)
+        elif isinstance(node, ast.AugAssign):
+            attr = _self_attr(node.target, owner)
+            if attr is not None:
+                yield AttrMutation(attr, node, "augassign")
+            elif isinstance(node.target, ast.Subscript):
+                attr = _self_attr(node.target.value, owner)
+                if attr is not None:
+                    yield AttrMutation(attr, node, "subscript", node.target.slice)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    attr = _self_attr(target.value, owner)
+                    if attr is not None:
+                        yield AttrMutation(attr, node, "del", target.slice)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATING_METHODS:
+                attr = _self_attr(node.func.value, owner)
+                if attr is not None:
+                    key = node.args[0] if node.args else None
+                    yield AttrMutation(attr, node, node.func.attr, key)
+
+
+def iter_global_mutations(root: ast.AST, names: Set[str]) -> Iterator[AttrMutation]:
+    """Every mutation of the module-level ``names`` under ``root`` —
+    the global twin of :func:`iter_attr_mutations` (rebinding via plain
+    ``NAME = ...`` is excluded: inside functions that is a local unless
+    declared ``global``, and rebinding a cache wholesale is a reset, not
+    growth)."""
+    for node in ast.walk(root):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in names
+                ):
+                    yield AttrMutation(
+                        target.value.id, node, "subscript", target.slice
+                    )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in names
+                ):
+                    yield AttrMutation(target.value.id, node, "del", target.slice)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if (
+                node.func.attr in MUTATING_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in names
+            ):
+                key = node.args[0] if node.args else None
+                yield AttrMutation(node.func.value.id, node, node.func.attr, key)
+
+
+def _with_lock_attrs(item: ast.withitem, owner: str) -> Optional[str]:
+    expr = item.context_expr
+    # `with self._lock:` and `with self._lock as held:` both guard.
+    return _self_attr(expr, owner)
+
+
+def held_attr_locks(node: ast.AST, owner: str = "self") -> Set[str]:
+    """The ``<owner>.<lock>`` attributes held by ``with`` statements
+    enclosing ``node`` (walks ``parent`` backlinks)."""
+    held: Set[str] = set()
+    cursor = getattr(node, "parent", None)
+    while cursor is not None:
+        if isinstance(cursor, ast.With):
+            for item in cursor.items:
+                attr = _with_lock_attrs(item, owner)
+                if attr is not None:
+                    held.add(attr)
+        cursor = getattr(cursor, "parent", None)
+    return held
+
+
+def held_global_locks(node: ast.AST) -> Set[str]:
+    """The module-level lock *names* held by enclosing ``with`` statements."""
+    held: Set[str] = set()
+    cursor = getattr(node, "parent", None)
+    while cursor is not None:
+        if isinstance(cursor, ast.With):
+            for item in cursor.items:
+                if isinstance(item.context_expr, ast.Name):
+                    held.add(item.context_expr.id)
+        cursor = getattr(cursor, "parent", None)
+    return held
+
+
+def enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    """The nearest enclosing function/method definition, if any."""
+    cursor = getattr(node, "parent", None)
+    while cursor is not None:
+        if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return cursor
+        cursor = getattr(cursor, "parent", None)
+    return None
+
+
+def names_in(node: Optional[ast.AST]) -> Set[str]:
+    """Every ``Name`` referenced under ``node`` (taint propagation)."""
+    if node is None:
+        return set()
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def function_params(func: ast.AST) -> Set[str]:
+    """The parameter names of a function definition (minus ``self``/``cls``)."""
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return {name for name in names if name not in ("self", "cls")}
+
+
+def tainted_locals(func: ast.AST) -> Set[str]:
+    """Names in ``func`` whose values (conservatively) derive from its
+    parameters: the parameters themselves plus, in one forward pass per
+    statement order, any local assigned an expression referencing an
+    already-tainted name. Loop variables iterating over a tainted
+    iterable are tainted too."""
+    tainted = set(function_params(func))
+    # Two passes reach fixpoint for the simple chains rules care about.
+    for _ in range(2):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                if names_in(node.value) & tainted:
+                    for target in node.targets:
+                        for name in ast.walk(target):
+                            if isinstance(name, ast.Name):
+                                tainted.add(name.id)
+            elif isinstance(node, ast.AugAssign):
+                if names_in(node.value) & tainted and isinstance(
+                    node.target, ast.Name
+                ):
+                    tainted.add(node.target.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if names_in(node.iter) & tainted:
+                    for name in ast.walk(node.target):
+                        if isinstance(name, ast.Name):
+                            tainted.add(name.id)
+            elif isinstance(node, ast.comprehension):
+                if names_in(node.iter) & tainted:
+                    for name in ast.walk(node.target):
+                        if isinstance(name, ast.Name):
+                            tainted.add(name.id)
+    return tainted
+
+
+def call_args(node: ast.Call) -> Sequence[Tuple[Optional[str], ast.AST]]:
+    """(keyword-or-None, value) pairs of a call's arguments."""
+    out: List[Tuple[Optional[str], ast.AST]] = [(None, arg) for arg in node.args]
+    out.extend((kw.arg, kw.value) for kw in node.keywords)
+    return out

@@ -8,7 +8,10 @@ exhibit (tolerance exhaustion, reversal collisions, key mismatches, ...).
 
 from __future__ import annotations
 
+from typing import Tuple, Type
+
 __all__ = [
+    "WIRE_ERROR_CODES",
     "ReverseCloakError",
     "RoadNetworkError",
     "UnknownSegmentError",
@@ -173,3 +176,37 @@ class OverloadedError(ReverseCloakError):
     configured in-flight budget (:class:`~repro.lbs.service.AnonymizerService`
     ``max_inflight``). The caller should back off and retry; nothing was
     executed."""
+
+
+# ----------------------------------------------------------------------
+# wire error-code registry
+# ----------------------------------------------------------------------
+#: Stable protocol error codes, most-derived exception first. This is the
+#: single declaration of every wire code: :mod:`repro.lbs.wire` aliases it
+#: as ``ERROR_CODES`` and scans it first-match, so a subclass must appear
+#: before every one of its bases (the ``error-registry`` lint rule
+#: enforces both properties). The strings are protocol — non-Python
+#: clients switch on them — and must never change for an existing class.
+WIRE_ERROR_CODES: Tuple[Tuple[Type[ReverseCloakError], str], ...] = (
+    (WireFormatError, "malformed_document"),
+    # The fault-tolerance codes sit above the cloak/peel families: both
+    # DeadlineExceededError and WorkerCrashedError derive CloakingError
+    # *and* DeanonymizationError (they can strike either direction), so
+    # they must dispatch before either base claims them.
+    (DeadlineExceededError, "deadline_exceeded"),
+    (WorkerCrashedError, "worker_crashed"),
+    (OverloadedError, "overloaded"),
+    (ToleranceExceededError, "tolerance_exceeded"),
+    (FrontierExhaustedError, "frontier_exhausted"),
+    (CollisionError, "reversal_collision"),
+    (KeyMismatchError, "key_mismatch"),
+    (EnvelopeError, "malformed_envelope"),
+    (ProfileError, "invalid_profile"),
+    (PreassignmentError, "preassignment_failed"),
+    (CloakingError, "cloaking_failed"),
+    (DeanonymizationError, "deanonymization_failed"),
+    (MobilityError, "mobility_unavailable"),
+    (QueryError, "query_failed"),
+    (RoadNetworkError, "road_network_error"),
+    (ReverseCloakError, "internal_error"),
+)

@@ -424,6 +424,7 @@ class InlineBackend(ExecutionBackend):
         self._injector = FaultInjector(
             fault_plan if fault_plan is not None else FaultPlan.from_env()
         )
+        self._chunk_lock = threading.Lock()
         self._chunk_counter = 0
 
     def bind(self, spec: BackendSpec) -> None:
@@ -435,9 +436,13 @@ class InlineBackend(ExecutionBackend):
             )
 
     def _next_chunk(self) -> int:
-        chunk = self._chunk_counter
-        self._chunk_counter += 1
-        return chunk
+        # Services share one backend across request threads; an unguarded
+        # read-increment pair here hands the same chunk id (and therefore
+        # the same fault-plan row) to two concurrent batches.
+        with self._chunk_lock:
+            chunk = self._chunk_counter
+            self._chunk_counter += 1
+            return chunk
 
     def cloak_batch(
         self, snapshot: PopulationSnapshot, requests: Sequence[CloakRequest]

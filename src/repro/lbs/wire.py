@@ -46,23 +46,14 @@ from ..core.engine import DeanonymizationResult
 from ..core.envelope import CloakEnvelope
 from ..core.profile import PrivacyProfile
 from ..errors import (
+    WIRE_ERROR_CODES,
     CloakingError,
     CollisionError,
-    DeadlineExceededError,
     DeanonymizationError,
-    EnvelopeError,
     FrontierExhaustedError,
-    KeyMismatchError,
-    MobilityError,
-    OverloadedError,
-    PreassignmentError,
-    ProfileError,
-    QueryError,
     ReverseCloakError,
-    RoadNetworkError,
     ToleranceExceededError,
     WireFormatError,
-    WorkerCrashedError,
 )
 from ..keys.keys import AccessKey, KeyChain
 from ..mobility.snapshot import PopulationSnapshot
@@ -244,6 +235,10 @@ class CloakRequestDoc:
             "user_id": self.user_id,
             "profile": self.profile.to_dict(),
             "chain": self.chain.to_dict(),
+            # Emitted even when None: v1 documents have always carried the
+            # key, and omitting it would change their byte form (the
+            # envelope oracle hashes these bytes).
+            # reprolint: disable=wire-roundtrip
             "user_segment": self.user_segment,
         }
         if self.deadline_ms is not None:
@@ -464,30 +459,10 @@ class DeanonymizeBatchDoc:
 # ----------------------------------------------------------------------
 #: Stable protocol error codes, most-derived exception first. The order is
 #: the dispatch order of :func:`error_code_for`, so a subclass must appear
-#: before every one of its bases.
-ERROR_CODES: Tuple[Tuple[Type[ReverseCloakError], str], ...] = (
-    (WireFormatError, MALFORMED_DOCUMENT),
-    # The fault-tolerance codes sit above the cloak/peel families: both
-    # DeadlineExceededError and WorkerCrashedError derive CloakingError
-    # *and* DeanonymizationError (they can strike either direction), so
-    # they must dispatch before either base claims them.
-    (DeadlineExceededError, "deadline_exceeded"),
-    (WorkerCrashedError, "worker_crashed"),
-    (OverloadedError, "overloaded"),
-    (ToleranceExceededError, "tolerance_exceeded"),
-    (FrontierExhaustedError, "frontier_exhausted"),
-    (CollisionError, "reversal_collision"),
-    (KeyMismatchError, "key_mismatch"),
-    (EnvelopeError, "malformed_envelope"),
-    (ProfileError, "invalid_profile"),
-    (PreassignmentError, "preassignment_failed"),
-    (CloakingError, "cloaking_failed"),
-    (DeanonymizationError, "deanonymization_failed"),
-    (MobilityError, "mobility_unavailable"),
-    (QueryError, "query_failed"),
-    (RoadNetworkError, "road_network_error"),
-    (ReverseCloakError, "internal_error"),
-)
+#: before every one of its bases. The single declaration lives beside the
+#: exception hierarchy as :data:`repro.errors.WIRE_ERROR_CODES`; this is
+#: an alias for wire-layer callers.
+ERROR_CODES: Tuple[Tuple[Type[ReverseCloakError], str], ...] = WIRE_ERROR_CODES
 
 _CODE_TO_CLASS: Dict[str, Type[ReverseCloakError]] = {}
 for _cls, _code in ERROR_CODES:

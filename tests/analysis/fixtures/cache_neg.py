@@ -1,0 +1,58 @@
+"""Golden negative for ``bounded-cache``.
+
+``BoundedLru`` uses the repo's standard ``while len(...) > cap:
+popitem()`` idiom; ``ClearedRegistry`` has an eviction path (``clear``);
+``FixedSlots`` only ever writes constant keys (configuration, not
+growth); ``RebuildIndex`` grows under keys derived from construction
+state, not request parameters.
+"""
+
+from collections import OrderedDict
+
+_CAP = 64
+
+
+class BoundedLru:
+    def __init__(self):
+        self._cache = OrderedDict()
+
+    def lookup(self, key):
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        value = key * 2
+        self._cache[key] = value
+        while len(self._cache) > _CAP:
+            self._cache.popitem(last=False)
+        return value
+
+
+class ClearedRegistry:
+    def __init__(self):
+        self._by_width = {}
+
+    def lookup(self, width):
+        if width not in self._by_width:
+            self._by_width[width] = object()
+        return self._by_width[width]
+
+    def close(self):
+        self._by_width.clear()
+
+
+class FixedSlots:
+    def __init__(self):
+        self._state = {}
+
+    def bind(self, engine):
+        self._state["engine"] = engine
+
+
+class RebuildIndex:
+    def __init__(self):
+        self._index = {}
+        self._rebuild()
+
+    def _rebuild(self):
+        for position in range(8):
+            self._index[position * 3] = position

@@ -1,0 +1,25 @@
+"""Golden positive for ``bounded-cache``: the PR 4/5 unbounded-memo shape.
+
+Both containers grow under request-derived keys and neither has an
+eviction path or a ``len()`` bound anywhere in its owning scope.
+"""
+
+_PROFILE_MEMO = {}
+
+
+def remember_profile(profile_key, parsed):
+    _PROFILE_MEMO[profile_key] = parsed  # EXPECT: bounded-cache
+    return parsed
+
+
+class EngineCache:
+    def __init__(self):
+        self._engines = {}
+
+    def lookup(self, spec):
+        if spec not in self._engines:
+            self._engines[spec] = self._build(spec)  # EXPECT: bounded-cache
+        return self._engines[spec]
+
+    def _build(self, spec):
+        return (spec, spec)

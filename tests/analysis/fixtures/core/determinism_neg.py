@@ -1,0 +1,23 @@
+"""Golden negative for ``determinism``: seeded constructions and stable
+orderings are exactly what the oracle packages should use."""
+
+import hashlib
+import random
+
+import numpy as np
+
+
+def seeded_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def seeded_stream(seed):
+    return random.Random(seed)
+
+
+def stable_digest(payload):
+    return hashlib.sha256(payload).hexdigest()
+
+
+def stable_order(items):
+    return sorted(items, key=lambda item: item[0])

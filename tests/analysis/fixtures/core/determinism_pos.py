@@ -1,0 +1,32 @@
+"""Golden positive for ``determinism`` (lives under a ``core/`` path
+component, so the rule governs it)."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()  # EXPECT: determinism (wall clock)
+
+
+def jitter():
+    return random.random()  # EXPECT: determinism (global RNG)
+
+
+def salt():
+    return os.urandom(8)  # EXPECT: determinism (entropy)
+
+
+def fresh_generator():
+    return np.random.default_rng()  # EXPECT: determinism (unseeded)
+
+
+def address_order(items):
+    return sorted(items, key=id)  # EXPECT: determinism (id ordering)
+
+
+def address_index(store, item):
+    store[id(item)] = item  # EXPECT: determinism (id-keyed storage)

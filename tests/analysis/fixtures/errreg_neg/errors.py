@@ -1,0 +1,16 @@
+"""Golden negative for ``error-registry`` (registry side): unique codes,
+most-derived-first order."""
+
+
+class AppError(Exception):
+    pass
+
+
+class CloakError(AppError):
+    pass
+
+
+ERROR_CODES = (
+    (CloakError, "cloak_failed"),
+    (AppError, "internal_error"),
+)

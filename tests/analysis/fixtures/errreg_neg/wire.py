@@ -1,0 +1,15 @@
+"""Golden negative for ``error-registry`` (use side): the table is
+aliased (not re-declared), the fallback dict and the comparison only name
+declared codes."""
+
+from .errors import ERROR_CODES, AppError, CloakError
+
+TABLE = ERROR_CODES
+
+_FALLBACK = {"cloak_failed": CloakError}
+
+
+def classify(code):
+    if code == "internal_error":
+        return AppError
+    return None

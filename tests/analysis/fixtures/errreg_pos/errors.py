@@ -1,0 +1,21 @@
+"""Golden positive for ``error-registry`` (registry side): a duplicate
+code and two base-before-derived orderings."""
+
+
+class AppError(Exception):
+    pass
+
+
+class CloakError(AppError):
+    pass
+
+
+class DeepError(CloakError):
+    pass
+
+
+ERROR_CODES = (
+    (AppError, "internal_error"),
+    (CloakError, "cloak_failed"),  # EXPECT: error-registry (base above)
+    (DeepError, "cloak_failed"),  # EXPECT: error-registry (dup + order)
+)

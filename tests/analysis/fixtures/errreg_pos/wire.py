@@ -1,0 +1,16 @@
+"""Golden positive for ``error-registry`` (use side): a dispatch table
+declared outside ``errors.py`` and a comparison against an undeclared
+code."""
+
+from .errors import AppError, CloakError
+
+LOCAL_TABLE = (  # EXPECT: error-registry (table outside errors.py)
+    (CloakError, "cloak_failed"),
+    (AppError, "internal_error"),
+)
+
+
+def classify(code):
+    if code == "bogus_code":  # EXPECT: error-registry (undeclared code)
+        return None
+    return AppError

@@ -1,0 +1,37 @@
+"""Golden negative for ``lock-discipline``.
+
+``DisciplinedCounter`` holds the lock at every mutation site;
+``CallerHeldHelper`` mutates only inside helpers whose callers hold the
+lock (the ProcessPoolBackend ``_respawn`` convention) — its attributes
+never enter the guarded set, so the rule stays quiet.
+"""
+
+import threading
+
+
+class DisciplinedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._served = 0
+
+    def record_batch(self, n):
+        with self._lock:
+            self._served += n
+
+    def record_single(self):
+        with self._lock:
+            self._served += 1
+
+
+class CallerHeldHelper:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._workers = []
+
+    def dispatch(self):
+        with self._lock:
+            self._respawn()
+
+    def _respawn(self):
+        # Lock held by the caller: no syntactic `with`, never guarded.
+        self._workers.append(object())

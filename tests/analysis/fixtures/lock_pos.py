@@ -1,0 +1,20 @@
+"""Golden positive for ``lock-discipline``: the PR 2 racy-counter shape.
+
+One mutation of ``_served`` holds the lock, one does not — the
+half-disciplined state the rule exists to refuse.
+"""
+
+import threading
+
+
+class RacyCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._served = 0
+
+    def record_batch(self, n):
+        with self._lock:
+            self._served += n
+
+    def record_single(self):
+        self._served += 1  # EXPECT: lock-discipline

@@ -1,0 +1,14 @@
+"""Golden negative for ``spawn-safety``: module-level functions pickle by
+qualified name under every start method."""
+
+
+def double(value):
+    return value * 2
+
+
+class Task:
+    def __init__(self):
+        self.transform = double
+
+    def configure(self, fn):
+        self.callback = fn

@@ -1,0 +1,13 @@
+"""Golden positive for ``spawn-safety``: callables that pickle under
+``fork`` and explode under ``spawn``."""
+
+
+class Task:
+    def __init__(self):
+        self.transform = lambda value: value + 1  # EXPECT: spawn-safety
+
+    def configure(self):
+        def helper(value):
+            return value * 2
+
+        self.callback = helper  # EXPECT: spawn-safety

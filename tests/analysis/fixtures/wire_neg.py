@@ -1,0 +1,22 @@
+"""Golden negative for ``wire-roundtrip``: the PR 6 ``deadline_ms``
+discipline done right — complete round trip, optional field omitted when
+unset."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class GoodDoc:
+    name: str
+    hint: Optional[str] = None
+
+    def to_dict(self):
+        document = {"name": self.name}
+        if self.hint is not None:
+            document["hint"] = self.hint
+        return document
+
+    @classmethod
+    def from_dict(cls, document):
+        return cls(name=document["name"], hint=document.get("hint"))

@@ -1,0 +1,33 @@
+"""Golden positive for ``wire-roundtrip``.
+
+``BrokenDoc.hint`` is dropped by ``from_dict`` (the PR 6 ``deadline_ms``
+review catch) and emitted unconditionally despite its ``None`` default;
+``HalfDoc`` has no ``from_dict`` at all.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class BrokenDoc:
+    name: str
+    hint: Optional[str] = None
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "hint": self.hint,  # EXPECT: wire-roundtrip (unconditional)
+        }
+
+    @classmethod
+    def from_dict(cls, document):  # EXPECT: wire-roundtrip (hint dropped)
+        return cls(name=document["name"])
+
+
+@dataclass
+class HalfDoc:  # EXPECT: wire-roundtrip (no from_dict)
+    name: str
+
+    def to_dict(self):
+        return {"name": self.name}

@@ -1,0 +1,152 @@
+"""CLI contract tests: exit codes, formats, suppressions, baseline."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+RACY = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "class Counter:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._n = 0\n"
+    "\n"
+    "    def locked(self):\n"
+    "        with self._lock:\n"
+    "            self._n += 1\n"
+    "\n"
+    "    def racy(self):\n"
+    "        self._n += 1\n"
+)
+
+
+@pytest.fixture
+def racy_tree(tmp_path, monkeypatch):
+    (tmp_path / "mod.py").write_text(RACY)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_clean_tree_exits_zero(tmp_path, monkeypatch, capsys):
+    (tmp_path / "mod.py").write_text("VALUE = 1\n")
+    monkeypatch.chdir(tmp_path)
+    assert main(["."]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_finding_exits_one_text_format(racy_tree, capsys):
+    assert main(["."]) == 1
+    out = capsys.readouterr().out
+    assert "mod.py:14: [lock-discipline]" in out
+
+
+def test_json_format_reports_findings(racy_tree, capsys):
+    assert main(["--format=json", "."]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["baselined"] == 0
+    (finding,) = report["findings"]
+    assert finding["rule"] == "lock-discipline"
+    assert finding["path"] == "mod.py"
+    assert finding["line"] == 14
+    assert finding["context"] == "self._n += 1"
+
+
+def test_missing_path_exits_two(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["no/such/dir"]) == 2
+
+
+def test_same_line_suppression(racy_tree):
+    source = RACY.replace(
+        "    def racy(self):\n        self._n += 1\n",
+        "    def racy(self):\n"
+        "        self._n += 1  # reprolint: disable=lock-discipline\n",
+    )
+    (racy_tree / "mod.py").write_text(source)
+    assert main(["."]) == 0
+
+
+def test_standalone_comment_governs_next_code_line(racy_tree):
+    source = RACY.replace(
+        "    def racy(self):\n        self._n += 1\n",
+        "    def racy(self):\n"
+        "        # Justification for the exception goes here.\n"
+        "        # reprolint: disable=lock-discipline\n"
+        "        self._n += 1\n",
+    )
+    (racy_tree / "mod.py").write_text(source)
+    assert main(["."]) == 0
+
+
+def test_file_level_suppression(racy_tree):
+    (racy_tree / "mod.py").write_text(
+        "# reprolint: disable-file=lock-discipline\n" + RACY
+    )
+    assert main(["."]) == 0
+
+
+def test_suppression_is_per_rule(racy_tree):
+    (racy_tree / "mod.py").write_text(
+        "# reprolint: disable-file=bounded-cache\n" + RACY
+    )
+    assert main(["."]) == 1
+
+
+def test_baseline_roundtrip(racy_tree, capsys):
+    assert main(["."]) == 1
+    # Accept the current findings, then the same tree passes.
+    assert main(["--write-baseline", "."]) == 0
+    assert Path(".reprolint-baseline.json").exists()
+    assert main(["."]) == 0
+    report_exit = main(["--format=json", "."])
+    capsys.readouterr()  # drain
+    assert report_exit == 0
+
+    # A *second* occurrence of the same accepted pattern still fails:
+    # fingerprints are count-aware.
+    (racy_tree / "mod.py").write_text(
+        RACY + "\n    def racy_again(self):\n        self._n += 1\n"
+    )
+    assert main(["."]) == 1
+
+
+def test_baseline_staleness_reported(racy_tree, capsys):
+    assert main(["--write-baseline", "."]) == 0
+    # Fix the finding: the stale entry is reported but only fails the
+    # run under --strict-baseline.
+    fixed = RACY.replace(
+        "    def racy(self):\n        self._n += 1\n",
+        "    def racy(self):\n"
+        "        with self._lock:\n"
+        "            self._n += 1\n",
+    )
+    (racy_tree / "mod.py").write_text(fixed)
+    assert main(["."]) == 0
+    err = capsys.readouterr().err
+    assert "stale baseline" in err
+    assert main(["--strict-baseline", "."]) == 1
+
+
+def test_no_baseline_flag_ignores_file(racy_tree):
+    assert main(["--write-baseline", "."]) == 0
+    assert main(["."]) == 0
+    assert main(["--no-baseline", "."]) == 1
+
+
+def test_list_rules_names_all_six(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "bounded-cache",
+        "determinism",
+        "error-registry",
+        "lock-discipline",
+        "spawn-safety",
+        "wire-roundtrip",
+    ):
+        assert rule_id in out

@@ -1,0 +1,68 @@
+"""Meta-tests: the linter's standing relationship with the real tree.
+
+These are the tests that make reprolint a *gate* rather than a demo: the
+real ``src/`` must scan clean modulo the committed baseline, the
+committed baseline must not be stale, and the golden positive fixtures
+must keep failing the CLI (if they ever pass, the rules have gone blind).
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import Baseline, run_analysis, split_findings
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_real_src_is_clean_modulo_baseline(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    exit_code = main(["--format=json", "src"])
+    report = json.loads(capsys.readouterr().out)
+    assert exit_code == 0, f"new findings in src/: {report['findings']}"
+    assert report["findings"] == []
+
+
+def test_committed_baseline_is_not_stale():
+    baseline_path = REPO_ROOT / ".reprolint-baseline.json"
+    assert baseline_path.exists(), "commit .reprolint-baseline.json"
+    baseline = Baseline.load(baseline_path)
+    findings = run_analysis([REPO_ROOT / "src"], root=REPO_ROOT)
+    _, stale = split_findings(findings, baseline)
+    assert stale == [], (
+        "baseline entries no longer occur; regenerate with "
+        "`python -m repro.analysis --write-baseline src`"
+    )
+
+
+def test_positive_fixtures_fail_the_cli(monkeypatch, capsys):
+    # The ISSUE's acceptance criterion: scanning the golden positive
+    # fixtures exits non-zero even with the repo baseline in place.
+    monkeypatch.chdir(REPO_ROOT)
+    exit_code = main(
+        [
+            str(FIXTURES / "lock_pos.py"),
+            str(FIXTURES / "cache_pos.py"),
+            str(FIXTURES / "wire_pos.py"),
+            str(FIXTURES / "core" / "determinism_pos.py"),
+            str(FIXTURES / "spawn_pos.py"),
+            str(FIXTURES / "errreg_pos"),
+        ]
+    )
+    capsys.readouterr()
+    assert exit_code == 1
+
+
+def test_every_rule_has_positive_and_negative_coverage():
+    from repro.analysis import all_rules
+
+    covered = {
+        "lock-discipline",
+        "bounded-cache",
+        "wire-roundtrip",
+        "determinism",
+        "spawn-safety",
+        "error-registry",
+    }
+    assert {rule.id for rule in all_rules()} == covered

@@ -555,3 +555,32 @@ class TestBackendLifecycle:
         engine = spec.build_engine()
         assert engine.network is grid10
         assert engine.algorithm is spec.algorithm
+
+
+class TestInlineChunkCounter:
+    def test_chunk_ids_unique_under_concurrent_batches(self):
+        # Regression: `_next_chunk` used an unguarded read-increment pair,
+        # so two request threads sharing one backend could draw the same
+        # chunk id — and with it the same fault-plan row. The counter is
+        # now lock-guarded; hammer it from many threads and require every
+        # id to be distinct and gapless.
+        import threading
+
+        backend = InlineBackend()
+        drawn = []
+        record = drawn.append
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(200):
+                record(backend._next_chunk())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(drawn) == 8 * 200
+        assert sorted(drawn) == list(range(8 * 200))
