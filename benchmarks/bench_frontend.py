@@ -1,0 +1,422 @@
+"""Open-loop load benchmark of the TCP front-end (PR 8).
+
+Closed-loop benchmarks (``bench_serving.py``) measure how fast the stack
+*can* serve when the client politely waits; an open-loop harness measures
+what the paper's deployment would actually see — requests arriving on a
+socket at a rate that does not care how the server is doing. Arrivals are
+Poisson (seeded, reproducible): the sender schedules each request at its
+pre-drawn arrival instant and latency is measured *from that instant*, so
+queueing delay under overload is charged to the server, never hidden by a
+slow client (no coordinated omission).
+
+For each server configuration (inline backend; coalescing process pools),
+the harness first calibrates the closed-loop capacity with saturating
+bursts, then sweeps offered load across fractions of that capacity —
+below, near, and past saturation — recording achieved throughput and
+p50/p99 latency at every point. The *knee* is the first sweep point whose
+achieved throughput falls more than :data:`KNEE_TOLERANCE` short of its
+offered rate: to the left the server keeps up and latency is flat; at the
+knee achieved throughput plateaus at capacity and queueing delay takes
+over. That plateau is the number the front-end is accountable for: the
+full run asserts the best coalescing process-pool configuration keeps its
+knee throughput at or above :data:`FRONTEND_MIN_RATIO` of the committed
+``BENCH_serving.json`` inline ``cloak_batch`` rate — the socket, framing,
+multiplexing and coalescing layers all together may cost at most that
+much versus calling the service directly.
+
+Client and server share one process (loopback, one event loop, serving
+off-loop) — on the 1-CPU bench container this charges client-side frame
+encoding and demultiplexing against the server, making the asserted
+number conservative. The client uses the pre-encoded-request / raw-reply
+``on_reply`` streaming mode (no per-request future, no ``json.loads`` of
+outcomes) so the measurement is dominated by the protocol, not by the
+load generator.
+
+Writes ``BENCH_frontend.json`` at the repo root
+(``BENCH_frontend.quick.json`` for ``--quick`` CI smoke runs, which never
+clobber the committed full-sweep baseline) and the usual
+``benchmarks/results/`` table artifacts.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_frontend.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_frontend.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import gc
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro import (
+    AnonymizerService,
+    KeyChain,
+    PopulationSnapshot,
+    PrivacyProfile,
+    grid_network,
+)
+from repro.bench import ResultTable
+from repro.lbs import (
+    CloakRequest,
+    CloakRequestDoc,
+    FrontendClient,
+    FrontendServer,
+    InlineBackend,
+    ProcessPoolBackend,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+FULL_MAP_SIDE, FULL_MAP_SEGMENTS = 71, 9940
+QUICK_MAP_SIDE, QUICK_MAP_SEGMENTS = 16, 480
+#: Distinct pre-encoded requests the sender cycles through.
+FULL_REQUEST_POOL = 64
+QUICK_REQUEST_POOL = 12
+#: Closed-loop calibration: requests per saturating burst, bursts timed.
+CALIBRATION_BURST = 256
+CALIBRATION_REPEATS = 3
+#: Offered load sweep, as fractions of the calibrated capacity — below,
+#: near, and past saturation so the knee is bracketed from both sides.
+SWEEP_FRACTIONS = (0.4, 0.7, 0.9, 1.05, 1.25, 1.5)
+#: Seconds of Poisson arrivals per sweep point.
+FULL_POINT_SECONDS = 2.5
+QUICK_POINT_SECONDS = 0.4
+#: A point is past the knee when achieved < KNEE_TOLERANCE * offered.
+KNEE_TOLERANCE = 0.92
+#: Full-run assertion: the best coalescing process-pool knee must stay at
+#: or above this fraction of the committed closed-loop inline rate.
+FRONTEND_MIN_RATIO = 0.8
+#: Fallback when BENCH_serving.json is absent (its committed value).
+COMMITTED_INLINE_RPS = 2889.4
+#: Server tuning under test: the lane window is a small multiple of the
+#: per-request service time (latency bound at light load); the flush
+#: threshold is four times the bench_serving batch, reached only by the
+#: adaptive accumulation at saturation (throughput bound past the knee,
+#: amortizing the per-dispatch pipe round-trip further).
+BATCH_WINDOW_MS = 4.0
+BATCH_MAX = 256
+#: Deep enough that saturation surfaces as queueing delay, not shedding —
+#: the harness measures the knee, the shed path has its own tests.
+MAX_PENDING = 1 << 20
+
+ARRIVAL_SEED = 20170605
+
+
+def _encoded_requests(network, snapshot, pool_size: int) -> list:
+    profile = PrivacyProfile.uniform(
+        levels=2, base_k=20, k_step=20, base_l=3, l_step=1, max_segments=80
+    )
+    return [
+        json.dumps(
+            CloakRequestDoc.from_request(
+                CloakRequest(
+                    user_id=user_id,
+                    profile=profile,
+                    chain=KeyChain.from_passphrases(
+                        [f"b{user_id}-1", f"b{user_id}-2"]
+                    ),
+                )
+            ).to_dict(),
+            separators=(",", ":"),
+        )
+        for user_id in snapshot.users()[:pool_size]
+    ]
+
+
+async def _calibrate(client, encoded) -> float:
+    """Closed-loop capacity (req/s): best of a few saturating bursts."""
+    best = 0.0
+    for _ in range(CALIBRATION_REPEATS):
+        start = time.perf_counter()
+        futures = [
+            client.submit_encoded(encoded[i % len(encoded)], raw=True)
+            for i in range(CALIBRATION_BURST)
+        ]
+        await client.drain()
+        await asyncio.gather(*futures)
+        best = max(best, CALIBRATION_BURST / (time.perf_counter() - start))
+    return best
+
+
+async def _open_loop_point(client, encoded, rate: float, seconds: float) -> dict:
+    """Offer ``rate`` req/s of Poisson arrivals for ``seconds``; measure."""
+    rng = random.Random(ARRIVAL_SEED)
+    arrivals = []
+    clock = 0.0
+    while clock < seconds:
+        clock += rng.expovariate(rate)
+        arrivals.append(clock)
+    loop = asyncio.get_running_loop()
+    done_at = [0.0] * len(arrivals)
+    errors = 0
+    remaining = len(arrivals)
+    all_done = asyncio.Event()
+    start = loop.time()
+
+    def finish(index, payload):
+        # Invoked synchronously by the client's reader task (the
+        # ``on_reply`` load-generator mode): no future, no per-reply
+        # ``call_soon`` — at thousands of requests per second that
+        # machinery is measurable CPU charged against the server.
+        nonlocal errors, remaining
+        done_at[index] = loop.time() - start
+        if payload is None or b'"status":"error"' in payload:
+            errors += 1
+        remaining -= 1
+        if not remaining:
+            all_done.set()
+
+    # Collector churn (promoted futures, frame buffers) is bench noise,
+    # not serving cost: collection is deferred to the gap between points.
+    gc.collect()
+    gc.disable()
+    try:
+        for index, arrival in enumerate(arrivals):
+            delay = arrival - (loop.time() - start)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            elif index % 32 == 0:
+                # Behind schedule (past the knee the sender always is):
+                # yield anyway. Client and server share this event loop,
+                # and a sender that never suspends would starve the
+                # server's frame handling and lane flushes — a loop stall
+                # no remote client could ever inflict on a real
+                # deployment.
+                await asyncio.sleep(0)
+            client.submit_encoded(
+                encoded[index % len(encoded)],
+                raw=True,
+                on_reply=lambda payload, index=index: finish(index, payload),
+            )
+        await client.drain()
+        await all_done.wait()
+    finally:
+        gc.enable()
+    elapsed = max(done_at)
+    # Latency from the *scheduled* arrival instant — queueing past the
+    # knee is the server's problem, not smoothed away by a waiting sender.
+    latencies = sorted(
+        (done - arrival) * 1000.0
+        for done, arrival in zip(done_at, arrivals)
+    )
+    return {
+        "offered_rps": round(rate, 1),
+        "achieved_rps": round(len(arrivals) / elapsed, 1),
+        "requests": len(arrivals),
+        "errors": errors,
+        "p50_ms": round(latencies[len(latencies) // 2], 3),
+        "p99_ms": round(latencies[int(len(latencies) * 0.99)], 3),
+    }
+
+
+def _find_knee(points: list) -> tuple:
+    """(knee point, plateau req/s).
+
+    The knee is the first sweep point that falls more than
+    :data:`KNEE_TOLERANCE` short of its offered rate (the last point if
+    the sweep never saturated — capacity was understated). The plateau is
+    the best achieved throughput at or past the knee: once saturated the
+    queue is never empty, so achieved throughput *is* the serving
+    capacity under open load, and the best saturated point reads it with
+    the least startup transient."""
+    for index, point in enumerate(points):
+        if point["achieved_rps"] < KNEE_TOLERANCE * point["offered_rps"]:
+            break
+    else:
+        index = len(points) - 1
+    plateau = max(p["achieved_rps"] for p in points[index:])
+    return points[index], plateau
+
+
+async def _bench_config(label, service, encoded, point_seconds) -> dict:
+    async with FrontendServer(
+        service,
+        batch_window_ms=BATCH_WINDOW_MS,
+        batch_max=BATCH_MAX,
+        max_pending=MAX_PENDING,
+        max_connection_pending=MAX_PENDING,
+    ) as server:
+        client = await FrontendClient.connect(server.host, server.port)
+        # Warm-up: pool spawn, snapshot ship, engine build are start-up
+        # costs, not steady-state serving.
+        await asyncio.gather(
+            *[client.submit_encoded(doc, raw=True) for doc in encoded]
+        )
+        capacity = await _calibrate(client, encoded)
+        points = []
+        for fraction in SWEEP_FRACTIONS:
+            point = await _open_loop_point(
+                client, encoded, fraction * capacity, point_seconds
+            )
+            point["load_fraction"] = fraction
+            points.append(point)
+            print(
+                f"{label}: offered {point['offered_rps']:.0f} req/s -> "
+                f"achieved {point['achieved_rps']:.0f} req/s "
+                f"(p50 {point['p50_ms']:.2f} ms, p99 {point['p99_ms']:.2f} ms)"
+            )
+        assert all(point["errors"] == 0 for point in points), (
+            f"{label}: open-loop serving must not error under load"
+        )
+        stats = await client.stats()
+        await client.close()
+    knee, plateau = _find_knee(points)
+    print(
+        f"{label}: closed-loop capacity {capacity:.0f} req/s, knee at "
+        f"{knee['offered_rps']:.0f} req/s offered, saturated plateau "
+        f"{plateau:.0f} req/s "
+        f"({stats['counters']['batches_coalesced']} coalesced batches)"
+    )
+    return {
+        "config": label,
+        "closed_loop_capacity_rps": round(capacity, 1),
+        "points": points,
+        "knee_offered_rps": knee["offered_rps"],
+        "knee_achieved_rps": knee["achieved_rps"],
+        "knee_p99_ms": knee["p99_ms"],
+        "plateau_rps": plateau,
+        "batches_coalesced": stats["counters"]["batches_coalesced"],
+        "requests_shed": stats["counters"]["frontend_requests_shed"],
+    }
+
+
+def _committed_inline_rps() -> float:
+    committed = REPO_ROOT / "BENCH_serving.json"
+    if committed.exists():
+        return json.loads(committed.read_text())["summary"]["inline_rps"]
+    return COMMITTED_INLINE_RPS
+
+
+def run(quick: bool) -> dict:
+    side = QUICK_MAP_SIDE if quick else FULL_MAP_SIDE
+    segments = QUICK_MAP_SEGMENTS if quick else FULL_MAP_SEGMENTS
+    pool_size = QUICK_REQUEST_POOL if quick else FULL_REQUEST_POOL
+    point_seconds = QUICK_POINT_SECONDS if quick else FULL_POINT_SECONDS
+    network = grid_network(side, side)
+    snapshot = PopulationSnapshot.from_counts(
+        {segment_id: 2 for segment_id in network.segment_ids()}
+    )
+    encoded = _encoded_requests(network, snapshot, pool_size)
+
+    configs = [("inline", lambda: InlineBackend())]
+    process_widths = (2,) if quick else (1, 2, 4)
+    for width in process_widths:
+        configs.append(
+            (
+                f"process-{width}",
+                lambda width=width: ProcessPoolBackend(
+                    width, start_method="fork"
+                ),
+            )
+        )
+
+    results = []
+    for label, make_backend in configs:
+        with make_backend() as backend:
+            service = AnonymizerService(network, backend=backend)
+            service.update_snapshot(snapshot)
+            results.append(
+                asyncio.run(
+                    _bench_config(label, service, encoded, point_seconds)
+                )
+            )
+            service.close()
+
+    table = ResultTable(
+        "BENCH_FRONTEND",
+        "open-loop socket serving: offered vs achieved load, Poisson arrivals",
+        [
+            "config",
+            "load_fraction",
+            "offered_rps",
+            "achieved_rps",
+            "p50_ms",
+            "p99_ms",
+        ],
+    )
+    for result in results:
+        for point in result["points"]:
+            table.add_row(
+                config=result["config"],
+                load_fraction=point["load_fraction"],
+                offered_rps=point["offered_rps"],
+                achieved_rps=point["achieved_rps"],
+                p50_ms=point["p50_ms"],
+                p99_ms=point["p99_ms"],
+            )
+    table.print_and_save()
+
+    inline_rps = _committed_inline_rps()
+    best_process = max(
+        (r for r in results if r["config"].startswith("process")),
+        key=lambda r: r["plateau_rps"],
+    )
+    ratio = best_process["plateau_rps"] / inline_rps
+    print(
+        f"socket saturation plateau ({best_process['config']}): "
+        f"{best_process['plateau_rps']:.0f} req/s = {ratio:.2f}x the "
+        f"committed closed-loop inline rate ({inline_rps:.0f} req/s)"
+    )
+    if not quick:
+        # The full-mode contract: the whole socket stack may cost at most
+        # (1 - FRONTEND_MIN_RATIO) of the direct closed-loop inline rate.
+        # Quick CI runs measure a toy map on shared runners — their
+        # numbers are smoke, not contracts.
+        assert ratio >= FRONTEND_MIN_RATIO, (
+            f"socket plateau {best_process['plateau_rps']:.0f} req/s fell "
+            f"below {FRONTEND_MIN_RATIO:.0%} of the committed inline "
+            f"closed-loop rate {inline_rps:.0f} req/s"
+        )
+
+    return {
+        "benchmark": "bench_frontend",
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "map_segments": segments,
+        "request_pool": pool_size,
+        "batch_window_ms": BATCH_WINDOW_MS,
+        "batch_max": BATCH_MAX,
+        "point_seconds": point_seconds,
+        "arrival_seed": ARRIVAL_SEED,
+        "knee_tolerance": KNEE_TOLERANCE,
+        "configs": results,
+        "summary": {
+            "committed_inline_rps": inline_rps,
+            "best_process_config": best_process["config"],
+            "best_process_knee_offered_rps": best_process["knee_offered_rps"],
+            "best_process_plateau_rps": best_process["plateau_rps"],
+            "plateau_vs_committed_inline": round(ratio, 3),
+            "min_ratio": FRONTEND_MIN_RATIO,
+        },
+    }
+
+
+def main() -> None:
+    global CALIBRATION_REPEATS
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small map / short points CI smoke"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=CALIBRATION_REPEATS,
+        help="calibration bursts per config (kept for bench CLI symmetry)",
+    )
+    args = parser.parse_args()
+    CALIBRATION_REPEATS = max(1, args.repeats)
+    document = run(quick=args.quick)
+    name = "BENCH_frontend.quick.json" if args.quick else "BENCH_frontend.json"
+    out = REPO_ROOT / name
+    out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Network front-end demo: drive a live anonymizer server over TCP.
+
+The other examples call :class:`AnonymizerService` in process. This one
+speaks to it the way a deployment would: it launches
+``python -m repro.lbs.frontend`` as a separate process, connects a
+:class:`~repro.lbs.FrontendClient` over the socket, and exercises the
+wire protocol end to end — concurrent cloaks multiplexed on one
+connection, a de-anonymization built from a returned envelope, a
+``stats`` request for the server's merged counters, and a clean
+SIGINT drain.
+
+Run:  python examples/frontend_client_demo.py
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+
+# Make the repo importable for both this script and the spawned server,
+# whether or not the package is installed.
+_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src")
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import KeyChain, PrivacyProfile  # noqa: E402
+from repro.lbs import FrontendClient  # noqa: E402
+from repro.lbs.wire import (  # noqa: E402
+    CLOAK_REQUEST_FORMAT,
+    DEANONYMIZE_REQUEST_FORMAT,
+    WIRE_VERSION,
+)
+
+N_USERS = 6
+
+
+def launch_server() -> subprocess.Popen:
+    """Start the front-end on an ephemeral port and wait for readiness."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.lbs.frontend",
+            "--port", "0",
+            "--backend", "thread",
+            "--workers", "2",
+            "--grid-side", "12",
+            "--batch-window-ms", "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def cloak_document(user_id: int, profile: PrivacyProfile, chain: KeyChain) -> dict:
+    """A cloak request in its wire form, as a remote client would build it."""
+    return {
+        "format": CLOAK_REQUEST_FORMAT,
+        "version": WIRE_VERSION,
+        "user_id": user_id,
+        "profile": profile.to_dict(),
+        "chain": [key.to_dict() for key in chain],
+    }
+
+
+async def drive(host: str, port: int) -> None:
+    profile = PrivacyProfile.uniform(
+        levels=3, base_k=4, k_step=4, base_l=2, l_step=1, max_segments=60
+    )
+    chains = {
+        user_id: KeyChain.from_passphrases(
+            [f"demo-{user_id}-L{level}" for level in range(3)]
+        )
+        for user_id in range(N_USERS)
+    }
+
+    async with await FrontendClient.connect(host, port) as client:
+        # One connection, many requests in flight: submit() returns a
+        # future per request and the reader task de-multiplexes replies
+        # by their echoed request_id. The server coalesces these into
+        # batched backend calls.
+        futures = [
+            client.submit(cloak_document(user_id, profile, chains[user_id]))
+            for user_id in range(N_USERS)
+        ]
+        outcomes = await asyncio.gather(*futures)
+        print(f"cloaked {len(outcomes)} users over one connection:")
+        for user_id, outcome in enumerate(outcomes):
+            regions = outcome["envelope"]["regions"]
+            sizes = ", ".join(
+                f"L{level}={len(region)}" for level, region in sorted(regions.items())
+            )
+            print(f"  user {user_id}: region sizes {sizes}")
+
+        # Reverse one cloak: the published envelope plus the granted keys
+        # travel back over the wire; level 0 is the exact segment.
+        target = 0
+        peel = await client.request(
+            {
+                "format": DEANONYMIZE_REQUEST_FORMAT,
+                "version": WIRE_VERSION,
+                "envelope": outcomes[target]["envelope"],
+                "keys": [key.to_dict() for key in chains[target]],
+                "target_level": 0,
+            }
+        )
+        region = peel["result"]["regions"]["0"]
+        print(f"peeled user {target} back to level 0: segment(s) {region}")
+
+        stats = await client.stats()
+        counters = stats["counters"]
+        print("server counters:")
+        for key in (
+            "requests_served",
+            "batches_coalesced",
+            "connections",
+            "frames_rejected",
+            "frontend_requests_shed",
+        ):
+            print(f"  {key}: {counters[key]}")
+
+
+def main() -> int:
+    proc = launch_server()
+    try:
+        ready = proc.stdout.readline().split()
+        if ready[:1] != ["FRONTEND_READY"]:
+            print("server failed to start:", proc.stderr.read(), file=sys.stderr)
+            return 1
+        host, port = ready[1], int(ready[2])
+        print(f"front-end listening on {host}:{port}")
+        asyncio.run(drive(host, port))
+
+        # A clean shutdown: SIGINT makes the server stop accepting,
+        # drain in-flight work, and exit 0.
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=30)
+        print(f"server drained and exited {proc.returncode}")
+        sys.stdout.write(out)
+        return proc.returncode or 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ from .backends import (
 from .continuous import CloakTimeline, ContinuousCloaker, TimelineEntry
 from .deferral import DeferredCloaking, DeferredResult, TemporalTolerance
 from .faults import FAULT_PLAN_ENV, Deadline, FaultAction, FaultInjector, FaultPlan
+from .framing import DEFAULT_MAX_FRAME_BYTES, FrameDecoder, encode_frame
 from .provider import LBSProvider
 from .query import CandidateResult, PoiDirectory, PointOfInterest, range_query
 from .server import TrustedAnonymizer
@@ -61,4 +62,20 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FAULT_PLAN_ENV",
+    "FrameDecoder",
+    "encode_frame",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrontendServer",
+    "FrontendClient",
 ]
+
+
+def __getattr__(name: str):
+    # The front-end is imported lazily (PEP 562) so that
+    # ``python -m repro.lbs.frontend`` does not import the module twice
+    # (once here, once as ``__main__`` — runpy warns about exactly that).
+    if name in ("FrontendServer", "FrontendClient"):
+        from . import frontend
+
+        return getattr(frontend, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

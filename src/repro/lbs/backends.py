@@ -53,6 +53,7 @@ recovery paths are exercised deterministically through
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import threading
@@ -77,6 +78,7 @@ from ..errors import (
     EnvelopeError,
     MobilityError,
     ProfileError,
+    ReverseCloakError,
     WireFormatError,
     WorkerCrashedError,
 )
@@ -311,17 +313,20 @@ def serve_request(
     """One request against a pinned (engine, snapshot) pair.
 
     The single code path every backend funnels through (process workers
-    via their wire-doc twin ``_serve_chunk_docs``): resolve the user,
-    expand under the request's cooperative deadline, return the envelope.
-    Raw location is used transiently and not retained.
+    via their wire-doc twin ``_serve_chunk_docs``): resolve the user
+    (unless the request already carries its pre-resolved segment), expand
+    under the request's cooperative deadline, return the envelope. Raw
+    location is used transiently and not retained.
     """
     if deadline is None:
         deadline = Deadline.start(request.deadline_ms)
-    if not snapshot.has_user(request.user_id):
-        raise MobilityError(
-            f"user {request.user_id} is not in the current snapshot"
-        )
-    user_segment = snapshot.segment_of(request.user_id)
+    user_segment = request.user_segment
+    if user_segment is None:
+        if not snapshot.has_user(request.user_id):
+            raise MobilityError(
+                f"user {request.user_id} is not in the current snapshot"
+            )
+        user_segment = snapshot.segment_of(request.user_id)
     return engine.anonymize(
         user_segment,
         snapshot,
@@ -390,6 +395,105 @@ class ExecutionBackend(ABC):
         anything else propagates. Results are byte-identical across every
         backend.
         """
+
+    def cloak_batch_docs(
+        self, snapshot: PopulationSnapshot, docs: Sequence[CloakRequestDoc]
+    ) -> List[dict]:
+        """Serve parsed cloak request documents; outcome documents in order.
+
+        The wire-document twin of :meth:`cloak_batch`, for transports that
+        already hold parsed documents (the network front-end's coalescer):
+        same serving semantics and byte-identical envelopes, but results
+        come back as :class:`~repro.lbs.wire.OutcomeDoc` dicts ready to
+        serialize — per-item failures ride in place as structured error
+        documents instead of exceptions.
+        """
+        outcomes = self.cloak_batch(snapshot, [doc.to_request() for doc in docs])
+        return [
+            OutcomeDoc.from_envelope(outcome.envelope).to_dict()
+            if outcome.ok
+            else OutcomeDoc.from_exception(outcome.error).to_dict()
+            for outcome in outcomes
+        ]
+
+    def deanonymize_batch_docs(
+        self, docs: Sequence[DeanonymizeRequestDoc]
+    ) -> List[dict]:
+        """Serve parsed reversal request documents; outcome documents in
+        order — the wire-document twin of :meth:`deanonymize_batch` (see
+        :meth:`cloak_batch_docs`)."""
+        outcomes = self.deanonymize_batch(docs)
+        return [
+            OutcomeDoc.from_result(outcome.result).to_dict()
+            if outcome.ok
+            else OutcomeDoc.from_exception(outcome.error).to_dict()
+            for outcome in outcomes
+        ]
+
+    def cloak_batch_raw(
+        self, snapshot: PopulationSnapshot, documents: Sequence[dict]
+    ) -> List[dict]:
+        """Serve *raw* (unparsed) cloak request documents; outcome
+        documents in order.
+
+        The entry the transport coalescer calls: parse failures, unknown
+        users and serving failures all ride in place as structured error
+        documents — this method never raises for a bad document. The
+        default validates parent-side and delegates to
+        :meth:`cloak_batch_docs`; backends whose workers re-validate every
+        document anyway may override it to defer validation to the shard
+        and skip the duplicate parse.
+        """
+        outcomes: List[Optional[dict]] = [None] * len(documents)
+        docs: List[CloakRequestDoc] = []
+        positions: List[int] = []
+        for position, document in enumerate(documents):
+            try:
+                doc = CloakRequestDoc.from_dict(document)
+                if doc.user_segment is None:
+                    # Resolve against the snapshot up front (the shard may
+                    # only hold counts): an unknown user fails here, in
+                    # place, exactly like the single-request path.
+                    if not snapshot.has_user(doc.user_id):
+                        raise MobilityError(
+                            f"user {doc.user_id} is not in the current "
+                            "snapshot"
+                        )
+                    doc = dataclasses.replace(
+                        doc, user_segment=snapshot.segment_of(doc.user_id)
+                    )
+            except ReverseCloakError as exc:
+                outcomes[position] = OutcomeDoc.from_exception(exc).to_dict()
+                continue
+            docs.append(doc)
+            positions.append(position)
+        if docs:
+            for position, outcome in zip(
+                positions, self.cloak_batch_docs(snapshot, docs)
+            ):
+                outcomes[position] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    def deanonymize_batch_raw(self, documents: Sequence[dict]) -> List[dict]:
+        """Serve *raw* (unparsed) reversal request documents; outcome
+        documents in order — the raw twin of :meth:`cloak_batch_raw`
+        (reversal is snapshot-free)."""
+        outcomes: List[Optional[dict]] = [None] * len(documents)
+        docs: List[DeanonymizeRequestDoc] = []
+        positions: List[int] = []
+        for position, document in enumerate(documents):
+            try:
+                docs.append(DeanonymizeRequestDoc.from_dict(document))
+            except ReverseCloakError as exc:
+                outcomes[position] = OutcomeDoc.from_exception(exc).to_dict()
+                continue
+            positions.append(position)
+        if docs:
+            for position, outcome in zip(
+                positions, self.deanonymize_batch_docs(docs)
+            ):
+                outcomes[position] = outcome
+        return outcomes  # type: ignore[return-value]
 
     def close(self) -> None:
         """Release worker resources (idempotent)."""
@@ -666,7 +770,14 @@ def _serve_chunk_docs(
     """
     outcomes = []
     for item, request_doc in enumerate(request_docs):
-        doc = CloakRequestDoc.from_dict(request_doc)
+        try:
+            doc = CloakRequestDoc.from_dict(request_doc)
+        except WireFormatError as exc:
+            # Raw documents may reach the shard unvalidated (the
+            # coalescing fast path defers parsing here); a malformed item
+            # answers in place, like its reversal twin below.
+            outcomes.append(OutcomeDoc.from_exception(exc).to_dict())
+            continue
         deadline = Deadline.start(doc.deadline_ms)
         if injector is not None:
             injector.on_item(chunk, item, "cloak", deadline)
@@ -1074,22 +1185,24 @@ class ProcessPoolBackend(ExecutionBackend):
             return []
         # Resolve users up front (the parent holds the full snapshot) so
         # workers need only counts; unknown users fail here, in place,
-        # exactly like inline serving.
+        # exactly like inline serving. Requests arriving with their segment
+        # pre-resolved skip the lookup.
         outcomes: List[Optional[BatchOutcome]] = [None] * len(requests)
         chunk_docs: List[dict] = []
         chunk_positions: List[int] = []
         for position, request in enumerate(requests):
-            if not snapshot.has_user(request.user_id):
-                outcomes[position] = BatchOutcome(
-                    request=request,
-                    error=MobilityError(
-                        f"user {request.user_id} is not in the current snapshot"
-                    ),
-                )
-                continue
-            doc = CloakRequestDoc.from_request(
-                request, user_segment=snapshot.segment_of(request.user_id)
-            )
+            user_segment = request.user_segment
+            if user_segment is None:
+                if not snapshot.has_user(request.user_id):
+                    outcomes[position] = BatchOutcome(
+                        request=request,
+                        error=MobilityError(
+                            f"user {request.user_id} is not in the current snapshot"
+                        ),
+                    )
+                    continue
+                user_segment = snapshot.segment_of(request.user_id)
+            doc = CloakRequestDoc.from_request(request, user_segment=user_segment)
             chunk_docs.append(doc.to_dict())
             chunk_positions.append(position)
 
@@ -1116,6 +1229,121 @@ class ProcessPoolBackend(ExecutionBackend):
             if failure is not None:
                 raise failure
         return list(outcomes)  # type: ignore[arg-type]
+
+    def cloak_batch_docs(
+        self, snapshot: PopulationSnapshot, docs: Sequence[CloakRequestDoc]
+    ) -> List[dict]:
+        """Ship parsed cloak documents straight to the worker shards.
+
+        Overrides the default to skip the request-object round-trip: the
+        parsed documents go over the pipes as-is (after parent-side user
+        resolution for any item still carrying only a user id) and the
+        workers' outcome documents come back untouched — the hot path of
+        the network front-end's coalescer. Unlike :meth:`cloak_batch`,
+        *every* worker-reported error rides in place as a structured
+        outcome document; nothing re-raises, because a transport caller
+        answers per item.
+        """
+        if not docs:
+            return []
+        self.spec  # raise the unbound error before spawning anything
+        outcomes: List[Optional[dict]] = [None] * len(docs)
+        chunk_docs: List[dict] = []
+        chunk_positions: List[int] = []
+        for position, doc in enumerate(docs):
+            if doc.user_segment is None:
+                if not snapshot.has_user(doc.user_id):
+                    error = MobilityError(
+                        f"user {doc.user_id} is not in the current snapshot"
+                    )
+                    outcomes[position] = OutcomeDoc.from_exception(error).to_dict()
+                    continue
+                doc = dataclasses.replace(
+                    doc, user_segment=snapshot.segment_of(doc.user_id)
+                )
+            chunk_docs.append(doc.to_dict())
+            chunk_positions.append(position)
+        if chunk_docs:
+            with self._dispatch_lock:
+                replies = self._dispatch(snapshot, chunk_docs)
+            for position, reply in zip(chunk_positions, replies):
+                outcomes[position] = reply
+        return list(outcomes)  # type: ignore[arg-type]
+
+    def deanonymize_batch_docs(
+        self, docs: Sequence[DeanonymizeRequestDoc]
+    ) -> List[dict]:
+        """Ship parsed reversal documents straight to the worker shards
+        (see :meth:`cloak_batch_docs`; reversal is snapshot-free)."""
+        if not docs:
+            return []
+        self.spec  # raise the unbound error before spawning anything
+        chunk_docs = [doc.to_dict() for doc in docs]
+        with self._dispatch_lock:
+            return self._dispatch_peels(chunk_docs)
+
+    def cloak_batch_raw(
+        self, snapshot: PopulationSnapshot, documents: Sequence[dict]
+    ) -> List[dict]:
+        """Ship raw cloak documents to the worker shards unparsed.
+
+        The shards run ``CloakRequestDoc.from_dict`` on every document they
+        serve, so the parent-side parse of the default implementation is
+        pure duplication — measurable on the coalescer's hot path, where
+        the parent competes with its own workers for cores. The parent
+        only patches in the user's segment (it alone holds the full
+        snapshot); a malformed document answers in place from the shard's
+        parse. Documents the id fast path cannot vouch for — a
+        non-integer ``user_id``, an unknown user — take the parsing
+        default instead, which preserves error precedence: a malformed
+        document must fail as malformed, never as merely unknown.
+        """
+        if not documents:
+            return []
+        self.spec  # raise the unbound error before spawning anything
+        outcomes: List[Optional[dict]] = [None] * len(documents)
+        chunk_docs: List[dict] = []
+        chunk_positions: List[int] = []
+        slow_documents: List[dict] = []
+        slow_positions: List[int] = []
+        for position, document in enumerate(documents):
+            if isinstance(document, dict) and document.get("user_segment") is None:
+                user_id = document.get("user_id")
+                # `type` not `isinstance`: bool subclasses int, and
+                # from_dict's int() coercion must stay the one authority
+                # on anything that is not literally an int already.
+                if type(user_id) is int and snapshot.has_user(user_id):
+                    document = dict(
+                        document, user_segment=snapshot.segment_of(user_id)
+                    )
+                else:
+                    slow_documents.append(document)
+                    slow_positions.append(position)
+                    continue
+            chunk_docs.append(document)
+            chunk_positions.append(position)
+        if slow_documents:
+            for position, outcome in zip(
+                slow_positions,
+                super().cloak_batch_raw(snapshot, slow_documents),
+            ):
+                outcomes[position] = outcome
+        if chunk_docs:
+            with self._dispatch_lock:
+                replies = self._dispatch(snapshot, chunk_docs)
+            for position, reply in zip(chunk_positions, replies):
+                outcomes[position] = reply
+        return list(outcomes)  # type: ignore[arg-type]
+
+    def deanonymize_batch_raw(self, documents: Sequence[dict]) -> List[dict]:
+        """Ship raw reversal documents to the worker shards unparsed (see
+        :meth:`cloak_batch_raw`; the shard's per-item parse answers
+        malformed documents in place)."""
+        if not documents:
+            return []
+        self.spec  # raise the unbound error before spawning anything
+        with self._dispatch_lock:
+            return self._dispatch_peels(list(documents))
 
     def _dispatch(
         self, snapshot: PopulationSnapshot, chunk_docs: List[dict]

@@ -1,0 +1,135 @@
+"""Length-prefixed framing of the network front-end.
+
+The byte protocol under :mod:`repro.lbs.frontend`: every message — request
+or reply — travels as one *frame*,
+
+    ``[4-byte big-endian unsigned payload length][UTF-8 JSON payload]``
+
+chosen over line-delimited JSON so payloads need no escaping discipline and
+a reader can pre-size its buffer. The payload is exactly what
+:meth:`~repro.lbs.service.AnonymizerService.handle_json` exchanges, wrapped
+in the front-end's multiplexing envelope (``request_id`` + document; see
+:mod:`repro.lbs.frontend`).
+
+Both ends must bound what a peer can make them buffer: a frame whose
+*declared* length exceeds ``max_frame_bytes`` raises
+:class:`~repro.errors.WireFormatError` the moment the four length bytes
+arrive — before any payload is read — and serving surfaces it as the
+structured ``malformed_document`` code. After an oversized declaration the
+stream cannot be resynchronized (the next bytes are mid-payload garbage),
+so transports must drop the connection.
+
+:class:`FrameDecoder` is deliberately transport-free — feed it byte chunks
+of any size, get back completed payloads — so the adversarial-input tests
+(truncated prefixes, mid-frame cuts, pathological chunkings) can drive it
+without sockets, and server and client share one decoding path.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Union
+
+from ..errors import WireFormatError
+
+__all__ = [
+    "FRAME_HEADER_SIZE",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "encode_frame",
+    "FrameDecoder",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: Bytes of the length prefix.
+FRAME_HEADER_SIZE = _HEADER.size
+
+#: Default per-frame payload cap (1 MiB): comfortably above any realistic
+#: request or outcome document, far below what lets a hostile peer balloon
+#: a server buffer with one declared length.
+DEFAULT_MAX_FRAME_BYTES = 1 << 20
+
+
+def encode_frame(
+    payload: Union[bytes, str],
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """``payload`` as one wire frame (UTF-8 encoding ``str`` payloads).
+
+    Raises:
+        WireFormatError: The payload exceeds ``max_frame_bytes`` — refused
+            at the sender, since the receiver would only reject it anyway.
+    """
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    if len(payload) > max_frame_bytes:
+        raise WireFormatError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte frame limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder: arbitrary byte chunks in, payloads out.
+
+    Stateful across calls — a frame may arrive split across any number of
+    :meth:`feed` chunks, and one chunk may complete several frames. The
+    internal buffer is bounded by construction: it never holds more than
+    one incomplete frame (≤ ``max_frame_bytes`` + header) plus the chunk
+    being fed, because an oversized declaration raises before its payload
+    is ever buffered.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < 1:
+            raise WireFormatError(
+                f"max_frame_bytes must be >= 1, got {max_frame_bytes}"
+            )
+        self._max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    @property
+    def max_frame_bytes(self) -> int:
+        return self._max_frame_bytes
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes held for a frame still being assembled."""
+        return len(self._buffer)
+
+    @property
+    def mid_frame(self) -> bool:
+        """Whether the stream currently ends inside an unfinished frame —
+        a truncated length prefix or a partial payload. What a server
+        checks at EOF to tell a clean close from a mid-frame disconnect."""
+        return len(self._buffer) > 0
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Absorb ``data``; return every frame payload it completed.
+
+        Raises:
+            WireFormatError: A frame declared more than ``max_frame_bytes``
+                of payload. The stream is unrecoverable past this point
+                (there is no resynchronization marker); the caller must
+                drop the connection.
+        """
+        self._buffer.extend(data)
+        frames: List[bytes] = []
+        buffer = self._buffer
+        offset = 0
+        while len(buffer) - offset >= FRAME_HEADER_SIZE:
+            (length,) = _HEADER.unpack_from(buffer, offset)
+            if length > self._max_frame_bytes:
+                del buffer[:offset]
+                raise WireFormatError(
+                    f"peer declared a frame of {length} bytes, over the "
+                    f"{self._max_frame_bytes}-byte frame limit"
+                )
+            start = offset + FRAME_HEADER_SIZE
+            if len(buffer) - start < length:
+                break
+            frames.append(bytes(buffer[start : start + length]))
+            offset = start + length
+        del buffer[:offset]
+        return frames

@@ -1,0 +1,932 @@
+"""The asyncio TCP front-end of the anonymization service.
+
+This is the subsystem that puts :class:`~repro.lbs.service.AnonymizerService`
+on a socket — the paper's trusted anonymizer finally *serving*, not just
+callable. One event loop multiplexes any number of client connections onto
+one service; the blocking engine work runs off-loop so the socket plane
+stays responsive while a batch cloaks.
+
+**Frame protocol** (see :mod:`repro.lbs.framing` for the byte layer):
+every frame payload is a JSON object. Requests:
+
+    ``{"request_id": <int|str>, "request": <wire document>,
+       "deadline_ms": <optional float>}``
+
+``request`` is any document :meth:`AnonymizerService.handle` accepts — the
+front-end adds no formats of its own except that ``repro.stats_request``
+replies are enriched with the front-end's counters. A frame-level
+``deadline_ms`` is a convenience default: it is copied into the inner
+document when (and only when) that document carries none. Replies:
+
+    ``{"request_id": <echoed>, "outcome": <outcome document>}``
+
+**Multiplexing.** Requests on one connection are independent: many may be
+in flight, and replies come back *as completed* — out of submission order —
+correlated only by the echoed ``request_id`` (any JSON string or integer;
+uniqueness is the client's business). Frames the server cannot attribute
+(bad JSON, missing ``request_id``) are answered with ``request_id: null``
+and a structured ``malformed_document`` outcome.
+
+**Batch coalescing.** Single cloak and single reversal documents are not
+served one by one: each lands in a per-format lane, and a lane is flushed
+into one :meth:`AnonymizerService.handle_batch` call when it holds
+``batch_max`` items, when ``batch_window_ms`` elapses since its first
+item, or — the adaptive case — the moment the serving executor comes free
+while earlier work had it busy (see the lane implementation notes). A
+process-pool backend therefore pays its dispatch overhead once per
+coalesced batch instead of once per connection round-trip, and saturated
+batches grow toward ``batch_max`` on their own, which is what makes the
+socket path's throughput track the raw ``cloak_batch`` numbers
+(``BENCH_frontend.json``). Positional outcomes are de-multiplexed back to
+their connections. Other formats (reversal batches, stats, unknown)
+bypass the lanes and serve individually.
+
+**Overload.** Two bounded queues guard admission *before* the service's
+own ``max_inflight`` budget: a global cap (``max_pending``) and a
+per-connection cap (``max_connection_pending``, so one greedy client
+cannot starve the rest). A frame past either cap is shed immediately with
+the structured ``overloaded`` code — same contract as service-level
+shedding, one layer earlier.
+
+**Shutdown.** :meth:`FrontendServer.close` (and SIGINT/SIGTERM on the
+``python -m repro.lbs.frontend`` entry point) drains: the listener stops,
+queued lanes flush, in-flight batches finish and their replies are
+written, then connections close.
+
+Single-loop discipline: all server state — lanes, pending counts, counters
+— is touched only from the event-loop thread, so the front-end needs no
+locks; the service's own counters remain lock-guarded as before.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import itertools
+import json
+import signal
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import OverloadedError, ProfileError, ReverseCloakError, WireFormatError
+from .framing import DEFAULT_MAX_FRAME_BYTES, FrameDecoder, encode_frame
+from .service import AnonymizerService
+from .wire import (
+    CLOAK_REQUEST_FORMAT,
+    DEANONYMIZE_REQUEST_FORMAT,
+    STATS_REQUEST_FORMAT,
+    WIRE_VERSION,
+    OutcomeDoc,
+)
+
+__all__ = ["FrontendServer", "FrontendClient", "main"]
+
+#: Socket read granularity of both ends.
+_READ_CHUNK = 1 << 16
+
+#: Errors a write/drain on a dying peer surfaces; never fatal to the server.
+_PEER_ERRORS = (ConnectionError, TimeoutError, OSError, RuntimeError)
+
+
+class _Connection:
+    """Per-connection server state: the write end, the bounded pending
+    count, and the closed latch that makes late replies no-ops."""
+
+    __slots__ = ("writer", "pending", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.pending = 0
+        self.closed = False
+
+
+class FrontendServer:
+    """Serve one :class:`AnonymizerService` over TCP (see module docs).
+
+    Args:
+        service: The service to expose. The server does not own it — the
+            caller still closes it (the ``__main__`` entry point does).
+        host/port: Bind address; port ``0`` picks an ephemeral port
+            (available as :attr:`port` after :meth:`start`).
+        batch_window_ms: How long a coalescing lane may wait for company
+            after its first request, in milliseconds. ``0`` still
+            coalesces whatever one event-loop pass delivers together.
+        batch_max: Lane flush threshold — a lane holding this many
+            requests flushes immediately.
+        max_frame_bytes: Per-frame payload cap, both directions.
+        max_pending: Global bound on admitted-but-unanswered requests.
+        max_connection_pending: The same bound per connection.
+        serve_threads: Width of the off-loop executor the blocking
+            service calls run on. The default of 1 serializes engine work
+            (correct for CPU-bound cloaking under the GIL); raise it only
+            for backends that block without computing.
+    """
+
+    def __init__(
+        self,
+        service: AnonymizerService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        batch_window_ms: float = 2.0,
+        batch_max: int = 64,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        max_pending: int = 1024,
+        max_connection_pending: int = 256,
+        serve_threads: int = 1,
+    ) -> None:
+        if batch_max < 1:
+            raise ProfileError(f"batch_max must be >= 1, got {batch_max}")
+        if batch_window_ms < 0:
+            raise ProfileError(
+                f"batch_window_ms must be >= 0, got {batch_window_ms}"
+            )
+        if max_pending < 1:
+            raise ProfileError(f"max_pending must be >= 1, got {max_pending}")
+        if max_connection_pending < 1:
+            raise ProfileError(
+                "max_connection_pending must be >= 1, "
+                f"got {max_connection_pending}"
+            )
+        if serve_threads < 1:
+            raise ProfileError(f"serve_threads must be >= 1, got {serve_threads}")
+        self._service = service
+        self._host = host
+        self._port = port
+        self._batch_window_s = batch_window_ms / 1000.0
+        self._batch_max = batch_max
+        self._max_frame_bytes = max_frame_bytes
+        self._max_pending = max_pending
+        self._max_connection_pending = max_connection_pending
+        self._serve_threads = serve_threads
+        self._lanes: Dict[str, List[Tuple[_Connection, Any, dict]]] = {
+            "cloak": [],
+            "peel": [],
+        }
+        self._lane_timers: Dict[str, Optional[asyncio.TimerHandle]] = {
+            "cloak": None,
+            "peel": None,
+        }
+        self._pending = 0
+        self._busy = 0  # executor jobs in flight (adaptive-flush signal)
+        self._tasks: Set[asyncio.Task] = set()
+        self._handlers: Set[asyncio.Task] = set()
+        self._connections: Set[_Connection] = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closing = False
+        # Counters (event-loop thread only; merged into stats replies).
+        self._connections_total = 0
+        self._frames_rejected = 0
+        self._batches_coalesced = 0
+        self._requests_shed = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved after :meth:`start` when created with 0)."""
+        return self._port
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("frontend server is already started")
+        self._loop = asyncio.get_running_loop()
+        self._closing = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._serve_threads,
+            thread_name_prefix="reversecloak-frontend",
+        )
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("frontend server is not started")
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Drain and stop.
+
+        No new connections or frames are admitted, queued lanes flush,
+        every in-flight batch finishes and its replies are written, then
+        the connections close. Idempotent. The wrapped service is *not*
+        closed — its owner does that.
+        """
+        if self._server is None:
+            return
+        self._closing = True
+        server, self._server = self._server, None
+        server.close()
+        for op in self._lanes:
+            self._flush(op)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        for conn in list(self._connections):
+            conn.closed = True
+            conn.writer.close()
+        self._connections.clear()
+        # Closing the transports EOFs the per-connection reader loops;
+        # wait for the handlers to unwind on their own (3.12's
+        # wait_closed would do this for us, 3.11's does not — and either
+        # way the transports must close first or the wait deadlocks).
+        while self._handlers:
+            await asyncio.gather(*list(self._handlers), return_exceptions=True)
+        await server.wait_closed()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "FrontendServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    def counters(self) -> dict:
+        """The front-end's own counters (merged into ``repro.stats_request``
+        replies served over the socket, namespaced ``frontend_*`` where a
+        service counter of the same meaning exists)."""
+        return {
+            "connections": self._connections_total,
+            "frames_rejected": self._frames_rejected,
+            "batches_coalesced": self._batches_coalesced,
+            "frontend_requests_shed": self._requests_shed,
+            "frontend_pending": self._pending,
+        }
+
+    # ------------------------------------------------------------------
+    # connection plane
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._closing:
+            writer.close()
+            return
+        handler = asyncio.current_task()
+        if handler is not None:
+            self._handlers.add(handler)
+            handler.add_done_callback(self._handlers.discard)
+        self._connections_total += 1
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        decoder = FrameDecoder(self._max_frame_bytes)
+        try:
+            while not self._closing:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    if decoder.mid_frame:
+                        # Truncated length prefix or mid-frame disconnect:
+                        # nothing to answer (the peer is gone), but the
+                        # event is visible in the counters.
+                        self._frames_rejected += 1
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except WireFormatError as exc:
+                    # Oversized declaration. The stream cannot resync, so:
+                    # one structured error frame, then drop the connection
+                    # — the other clients never notice.
+                    self._frames_rejected += 1
+                    self._write_reply(
+                        conn, None, OutcomeDoc.from_exception(exc).to_dict()
+                    )
+                    break
+                for payload in frames:
+                    self._handle_frame(conn, payload)
+        except _PEER_ERRORS:
+            pass  # peer vanished mid-read; replies still in flight no-op
+        finally:
+            conn.closed = True
+            self._connections.discard(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except _PEER_ERRORS:
+                pass
+
+    def _handle_frame(self, conn: _Connection, payload: bytes) -> None:
+        """Admit one frame: parse the envelope, shed or route (loop thread)."""
+        try:
+            frame = json.loads(payload)
+        except ValueError as exc:
+            self._frames_rejected += 1
+            self._write_reply(
+                conn,
+                None,
+                OutcomeDoc.from_exception(
+                    WireFormatError(f"frame is not valid JSON: {exc}")
+                ).to_dict(),
+            )
+            return
+        if not isinstance(frame, dict):
+            self._frames_rejected += 1
+            self._write_reply(
+                conn,
+                None,
+                OutcomeDoc.from_exception(
+                    WireFormatError(
+                        "frame must be a JSON object, "
+                        f"got {type(frame).__name__}"
+                    )
+                ).to_dict(),
+            )
+            return
+        request_id = frame.get("request_id")
+        if isinstance(request_id, bool) or not isinstance(request_id, (str, int)):
+            self._frames_rejected += 1
+            self._write_reply(
+                conn,
+                None,
+                OutcomeDoc.from_exception(
+                    WireFormatError(
+                        "frame carries no usable 'request_id' "
+                        "(a JSON string or integer is required)"
+                    )
+                ).to_dict(),
+            )
+            return
+        request = frame.get("request")
+        deadline_ms = frame.get("deadline_ms")
+        if (
+            deadline_ms is not None
+            and isinstance(request, dict)
+            and request.get("deadline_ms") is None
+        ):
+            # Frame-level deadline propagates as the document default —
+            # for batch documents this lands on the existing batch-level
+            # default semantics (items with their own deadline keep it).
+            request = dict(request)
+            request["deadline_ms"] = deadline_ms
+        if (
+            self._closing
+            or self._pending >= self._max_pending
+            or conn.pending >= self._max_connection_pending
+        ):
+            self._requests_shed += 1
+            self._write_reply(
+                conn,
+                request_id,
+                OutcomeDoc.from_exception(
+                    OverloadedError(
+                        "front-end queue is full "
+                        f"({self._pending}/{self._max_pending} pending, "
+                        f"{conn.pending}/{self._max_connection_pending} on "
+                        "this connection); shed — retry later"
+                    )
+                ).to_dict(),
+            )
+            return
+        conn.pending += 1
+        self._pending += 1
+        kind = request.get("format") if isinstance(request, dict) else None
+        if kind == CLOAK_REQUEST_FORMAT:
+            self._enqueue("cloak", conn, request_id, request)
+        elif kind == DEANONYMIZE_REQUEST_FORMAT:
+            self._enqueue("peel", conn, request_id, request)
+        elif kind == STATS_REQUEST_FORMAT:
+            # Served on the loop thread: stats must merge the front-end
+            # counters, which only this thread may read consistently. The
+            # stats request releases its own admission slot *before* the
+            # counters are read, so ``frontend_pending`` reports only the
+            # other requests in flight.
+            outcome = self._service.handle(request)
+            conn.pending -= 1
+            self._pending -= 1
+            counters = outcome.get("counters")
+            if isinstance(counters, dict):
+                counters.update(self.counters())
+            self._write_reply(conn, request_id, outcome)
+        else:
+            # Everything else — reversal *batch* documents, unknown
+            # formats — serves individually off-loop, one task each.
+            self._busy += 1
+            self._spawn(self._run_single(conn, request_id, request))
+
+    # ------------------------------------------------------------------
+    # coalescing lanes
+    # ------------------------------------------------------------------
+    # Batching is adaptive: ``batch_window_ms`` and ``batch_max`` are
+    # *upper bounds* on added latency and batch size, but while the
+    # serving executor is busy with an earlier batch a lane simply keeps
+    # accumulating (nothing could serve it sooner anyway), and the moment
+    # the executor drains, whatever accumulated flushes at once. Under
+    # light load this degenerates to the plain window/threshold scheme
+    # (small batches, window-bounded latency); at saturation batches grow
+    # to ``batch_max`` automatically, which is what amortizes a process
+    # pool's per-dispatch cost and moves the open-loop saturation plateau
+    # up to the closed-loop batch rate (see ``benchmarks/bench_frontend``).
+
+    def _enqueue(
+        self, op: str, conn: _Connection, request_id: Any, request: dict
+    ) -> None:
+        lane = self._lanes[op]
+        lane.append((conn, request_id, request))
+        if len(lane) >= self._batch_max:
+            self._flush(op)
+        elif self._busy == 0 and self._lane_timers[op] is None:
+            self._lane_timers[op] = self._loop.call_later(
+                self._batch_window_s, self._flush, op
+            )
+
+    def _flush(self, op: str) -> None:
+        timer = self._lane_timers[op]
+        if timer is not None:
+            timer.cancel()
+            self._lane_timers[op] = None
+        items = self._lanes[op]
+        if not items:
+            return
+        self._lanes[op] = []
+        self._batches_coalesced += 1
+        self._busy += 1
+        self._spawn(self._run_batch(items))
+
+    def _after_job(self) -> None:
+        """Executor-drain hook: flush what accumulated while it was busy."""
+        self._busy -= 1
+        if self._busy == 0 and not self._closing:
+            for op in self._lanes:
+                if self._lanes[op]:
+                    self._flush(op)
+
+    def _spawn(self, coro) -> None:
+        task = self._loop.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(
+        self, items: List[Tuple[_Connection, Any, dict]]
+    ) -> None:
+        documents = [request for _, _, request in items]
+        try:
+            outcomes = await self._loop.run_in_executor(
+                self._executor, self._service.handle_batch, documents
+            )
+        except Exception as exc:  # the front-end outlives any request
+            outcome = OutcomeDoc.from_exception(exc).to_dict()
+            outcomes = [dict(outcome) for _ in items]
+        finally:
+            self._after_job()
+        for (conn, request_id, _), outcome in zip(items, outcomes):
+            self._finish(conn, request_id, outcome)
+        await self._drain_writers({conn for conn, _, _ in items})
+
+    async def _run_single(
+        self, conn: _Connection, request_id: Any, request
+    ) -> None:
+        try:
+            outcome = await self._loop.run_in_executor(
+                self._executor, self._service.handle, request
+            )
+        except Exception as exc:  # the front-end outlives any request
+            outcome = OutcomeDoc.from_exception(exc).to_dict()
+        finally:
+            self._after_job()
+        self._finish(conn, request_id, outcome)
+        await self._drain_writers((conn,))
+
+    # ------------------------------------------------------------------
+    # replies
+    # ------------------------------------------------------------------
+    def _finish(self, conn: _Connection, request_id: Any, outcome: dict) -> None:
+        """Release one admitted request and write its reply."""
+        conn.pending -= 1
+        self._pending -= 1
+        self._write_reply(conn, request_id, outcome)
+
+    def _write_reply(
+        self, conn: _Connection, request_id: Any, outcome: dict
+    ) -> None:
+        if conn.closed:
+            return
+        payload = json.dumps(
+            {"request_id": request_id, "outcome": outcome},
+            separators=(",", ":"),
+        )
+        try:
+            frame = encode_frame(payload, self._max_frame_bytes)
+        except WireFormatError as exc:
+            # The outcome itself is too big for the frame limit: degrade
+            # to a (small) structured error so the client is not starved.
+            frame = encode_frame(
+                json.dumps(
+                    {
+                        "request_id": request_id,
+                        "outcome": OutcomeDoc.from_exception(exc).to_dict(),
+                    },
+                    separators=(",", ":"),
+                ),
+                self._max_frame_bytes,
+            )
+        try:
+            conn.writer.write(frame)
+        except _PEER_ERRORS:
+            conn.closed = True
+
+    async def _drain_writers(self, conns) -> None:
+        """Apply write backpressure after a burst of replies."""
+        for conn in conns:
+            if conn.closed:
+                continue
+            try:
+                await conn.writer.drain()
+            except _PEER_ERRORS:
+                conn.closed = True
+
+
+def _scan_request_id(payload: bytes) -> Optional[int]:
+    """Cheap integer ``request_id`` extraction from a compact reply frame.
+
+    The server emits ``{"request_id":<id>,...}`` with the id first, so a
+    client that only ever issues integer ids (this one) can demultiplex
+    without parsing the whole outcome — the open-loop bench measures the
+    socket, not ``json.loads``. Anything unexpected returns ``None`` and
+    the caller falls back to a full parse.
+    """
+    prefix = b'{"request_id":'
+    if not payload.startswith(prefix):
+        return None
+    cut = payload.find(b",", len(prefix))
+    if cut < 0:
+        cut = payload.find(b"}", len(prefix))
+    if cut < 0:
+        return None
+    try:
+        return int(payload[len(prefix) : cut])
+    except ValueError:
+        return None
+
+
+class FrontendClient:
+    """Asyncio client of the front-end: framing plus request multiplexing.
+
+    Any number of requests may be in flight; the background reader task
+    resolves each returned future from the reply's echoed ``request_id``.
+    One event loop only (not thread-safe) — run several clients for
+    several loops.
+
+    Replies the client cannot attribute — the server answers rejected
+    frames with ``request_id: null`` — accumulate in :attr:`unmatched`
+    (bounded) instead of being dropped silently.
+    """
+
+    _UNMATCHED_KEPT = 32
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame_bytes = max_frame_bytes
+        self._ids = itertools.count(1)
+        # request_id -> (future-or-callback, raw, is_callback); entries are
+        # popped as replies land, so the map's size is exactly the requests
+        # currently in flight.
+        self._pending: Dict[Any, Tuple[Any, bool, bool]] = {}
+        self._unmatched: List[dict] = []
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_replies()
+        )
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> "FrontendClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame_bytes)
+
+    async def __aenter__(self) -> "FrontendClient":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    @property
+    def unmatched(self) -> List[dict]:
+        """Recent reply frames with no in-flight ``request_id`` (copies)."""
+        return list(self._unmatched)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        document: dict,
+        *,
+        deadline_ms: Optional[float] = None,
+        raw: bool = False,
+    ) -> "asyncio.Future":
+        """Send one request document; the future resolves to its outcome
+        document (or, with ``raw``, to the undecoded reply payload bytes —
+        the bench's fast path)."""
+        request_id = next(self._ids)
+        frame: dict = {"request_id": request_id, "request": document}
+        if deadline_ms is not None:
+            frame["deadline_ms"] = deadline_ms
+        return self._submit(
+            request_id, json.dumps(frame, separators=(",", ":")), raw
+        )
+
+    def submit_encoded(
+        self,
+        encoded_request: str,
+        *,
+        raw: bool = False,
+        on_reply: Optional[Callable] = None,
+    ):
+        """:meth:`submit` for a pre-encoded request document (the open-loop
+        bench encodes each distinct document once, then sends it thousands
+        of times — the frame is assembled by concatenation).
+
+        With ``on_reply``, no future is created at all: the callable is
+        invoked synchronously from the reader task with the reply (the raw
+        payload bytes under ``raw``, the outcome document otherwise), and
+        ``submit_encoded`` returns ``None``. This is the load-generator
+        mode — per-request futures and their ``call_soon`` resolution
+        machinery cost real CPU at tens of thousands of requests, which on
+        a shared benchmark box is charged against the server. If the
+        connection dies before the reply arrives, ``on_reply`` receives
+        ``None``.
+        """
+        request_id = next(self._ids)
+        payload = '{"request_id":%d,"request":%s}' % (request_id, encoded_request)
+        return self._submit(request_id, payload, raw, on_reply)
+
+    def _submit(
+        self,
+        request_id: int,
+        payload: str,
+        raw: bool,
+        on_reply: Optional[Callable] = None,
+    ):
+        if self._closed:
+            raise ConnectionError("frontend client is closed")
+        if on_reply is not None:
+            self._pending[request_id] = (on_reply, raw, True)
+            future = None
+        else:
+            future = asyncio.get_running_loop().create_future()
+            self._pending[request_id] = (future, raw, False)
+        try:
+            self._writer.write(encode_frame(payload, self._max_frame_bytes))
+        except Exception:
+            self._pending.pop(request_id, None)
+            raise
+        return future
+
+    async def request(
+        self, document: dict, *, deadline_ms: Optional[float] = None
+    ) -> dict:
+        """Send one request and await its outcome document."""
+        return await self.submit(document, deadline_ms=deadline_ms)
+
+    async def stats(self) -> dict:
+        """The server's merged counters (service + front-end)."""
+        outcome = await self.request(
+            {"format": STATS_REQUEST_FORMAT, "version": WIRE_VERSION}
+        )
+        return outcome
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    async def _read_replies(self) -> None:
+        decoder = FrameDecoder(self._max_frame_bytes)
+        try:
+            while True:
+                data = await self._reader.read(_READ_CHUNK)
+                if not data:
+                    self._fail_pending(
+                        ConnectionError("server closed the connection")
+                    )
+                    return
+                for payload in decoder.feed(data):
+                    self._on_reply(payload)
+        except (WireFormatError, *(_PEER_ERRORS)) as exc:
+            self._fail_pending(ConnectionError(f"reply stream broke: {exc!r}"))
+
+    def _on_reply(self, payload: bytes) -> None:
+        request_id = _scan_request_id(payload)
+        entry = (
+            self._pending.pop(request_id, None) if request_id is not None else None
+        )
+        if entry is not None and entry[1]:
+            if entry[2]:
+                entry[0](payload)
+            elif not entry[0].done():
+                entry[0].set_result(payload)
+            return
+        try:
+            frame = json.loads(payload)
+        except ValueError:
+            frame = None
+        if not isinstance(frame, dict):
+            if entry is None:
+                self._note_unmatched(
+                    {"outcome": None, "raw": payload.decode("utf-8", "replace")}
+                )
+            elif entry[2]:
+                entry[0](None)
+            elif not entry[0].done():
+                entry[0].set_exception(
+                    WireFormatError("reply frame is not a JSON object")
+                )
+            return
+        if entry is None:
+            reply_id = frame.get("request_id")
+            entry = (
+                self._pending.pop(reply_id, None) if reply_id is not None else None
+            )
+        if entry is None:
+            self._note_unmatched(frame)
+            return
+        target, raw, is_callback = entry
+        if is_callback:
+            target(payload if raw else frame.get("outcome"))
+        elif not target.done():
+            target.set_result(payload if raw else frame.get("outcome"))
+
+    def _note_unmatched(self, frame: dict) -> None:
+        self._unmatched.append(frame)
+        del self._unmatched[: -self._UNMATCHED_KEPT]
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for target, _raw, is_callback in pending.values():
+            if is_callback:
+                target(None)
+            elif not target.done():
+                target.set_exception(exc)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        except Exception:
+            pass
+        self._fail_pending(ConnectionError("frontend client closed"))
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except _PEER_ERRORS:
+            pass
+
+
+# ----------------------------------------------------------------------
+# console entry point
+# ----------------------------------------------------------------------
+def _build_backend(args):
+    from .backends import InlineBackend, ProcessPoolBackend, ThreadPoolBackend
+
+    if args.backend == "inline":
+        return InlineBackend()
+    if args.backend == "thread":
+        return ThreadPoolBackend(args.workers)
+    return ProcessPoolBackend(args.workers, start_method=args.start_method)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lbs.frontend",
+        description=(
+            "Serve the ReverseCloak anonymizer over TCP "
+            "(length-prefixed JSON frames; see repro.lbs.frontend docs). "
+            "Serves a synthetic grid map with a uniform population — the "
+            "demo/bench deployment; embed FrontendServer for real maps."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="0 picks an ephemeral port, printed on the FRONTEND_READY line",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("inline", "thread", "process"),
+        default="inline",
+        help="execution backend the coalesced batches run on",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="thread/process pool width"
+    )
+    parser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method of the process backend",
+    )
+    parser.add_argument("--batch-window-ms", type=float, default=2.0)
+    parser.add_argument("--batch-max", type=int, default=64)
+    parser.add_argument("--max-pending", type=int, default=1024)
+    parser.add_argument("--max-connection-pending", type=int, default=256)
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="service-level admission budget (default: unbounded)",
+    )
+    parser.add_argument(
+        "--grid-side", type=int, default=24, help="side of the demo grid map"
+    )
+    parser.add_argument(
+        "--users-per-segment", type=int, default=2, help="demo population density"
+    )
+    return parser
+
+
+async def _serve(args, service: AnonymizerService) -> None:
+    server = FrontendServer(
+        service,
+        args.host,
+        args.port,
+        batch_window_ms=args.batch_window_ms,
+        batch_max=args.batch_max,
+        max_pending=args.max_pending,
+        max_connection_pending=args.max_connection_pending,
+    )
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    # Signal handlers are installed *before* the readiness line: a
+    # supervisor that signals as soon as it reads the line must land on
+    # the drain path, never on a default KeyboardInterrupt.
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    # Machine-parseable readiness line first (the example client and the
+    # tests wait for it), human summary second.
+    print(f"FRONTEND_READY {server.host} {server.port}", flush=True)
+    print(
+        f"serving a {args.grid_side}x{args.grid_side} grid on the "
+        f"{args.backend} backend at {server.host}:{server.port} "
+        f"(batch window {args.batch_window_ms:g} ms, batch max "
+        f"{args.batch_max}); SIGINT/SIGTERM drains and exits",
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        print("draining in-flight batches...", flush=True)
+        await server.close()
+        counters = server.counters()
+        print(
+            f"served {counters['connections']} connection(s), "
+            f"{counters['batches_coalesced']} coalesced batch(es); bye",
+            flush=True,
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from ..mobility.snapshot import PopulationSnapshot
+    from ..roadnet.generators import grid_network
+
+    args = _parser().parse_args(argv)
+    network = grid_network(args.grid_side, args.grid_side)
+    snapshot = PopulationSnapshot.from_counts(
+        {
+            segment_id: args.users_per_segment
+            for segment_id in network.segment_ids()
+        }
+    )
+    service = AnonymizerService(
+        network, backend=_build_backend(args), max_inflight=args.max_inflight
+    )
+    service.update_snapshot(snapshot)
+    try:
+        asyncio.run(_serve(args, service))
+    finally:
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,7 @@ import dataclasses
 import json
 import threading
 from contextlib import contextmanager
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import CloakingAlgorithm
 from ..core.engine import DeanonymizationResult, ReverseCloakEngine
@@ -64,12 +64,16 @@ from .wire import (
     CLOAK_REQUEST_FORMAT,
     DEANONYMIZE_BATCH_FORMAT,
     DEANONYMIZE_REQUEST_FORMAT,
+    STATS_FORMAT,
+    STATS_REQUEST_FORMAT,
+    WIRE_VERSION,
     BatchOutcomeDoc,
     CloakRequest,
     CloakRequestDoc,
     DeanonymizeBatchDoc,
     DeanonymizeRequestDoc,
     OutcomeDoc,
+    error_class_for_code,
 )
 
 __all__ = ["AnonymizerService"]
@@ -219,6 +223,33 @@ class AnonymizerService:
         failure)."""
         with self._counter_lock:
             return self._requests_shed
+
+    def stats(self) -> dict:
+        """One consistent reading of every serving counter.
+
+        The payload of the ``repro.stats_request`` wire format (see
+        :meth:`handle`): the service-level counters under one lock
+        acquisition, plus the bound backend's supervision counters
+        (``worker_restarts``/``inline_fallbacks``; zero for backends
+        without supervision). Transport front-ends merge their own
+        counters into the same flat mapping.
+        """
+        with self._counter_lock:
+            counters = {
+                "requests_served": self._requests_served,
+                "failures": self._failures,
+                "reversals_served": self._reversals_served,
+                "reversal_failures": self._reversal_failures,
+                "requests_shed": self._requests_shed,
+                "inflight": self._inflight,
+            }
+        counters["worker_restarts"] = int(
+            getattr(self._backend, "worker_restarts", 0)
+        )
+        counters["inline_fallbacks"] = int(
+            getattr(self._backend, "inline_fallbacks", 0)
+        )
+        return counters
 
     @contextmanager
     def _admit(self, units: int):
@@ -488,9 +519,39 @@ class AnonymizerService:
                         for outcome in outcomes
                     )
                 ).to_dict()
-            raise WireFormatError(f"unknown document format: {kind!r}")
+            if kind == STATS_REQUEST_FORMAT:
+                version = document.get("version")
+                if version != WIRE_VERSION:
+                    raise WireFormatError(
+                        f"unsupported {STATS_REQUEST_FORMAT} version: {version!r}"
+                    )
+                return {
+                    "format": STATS_FORMAT,
+                    "version": WIRE_VERSION,
+                    "status": "ok",
+                    "counters": self.stats(),
+                }
+            raise WireFormatError(self._unknown_format_message(document, kind))
         except ReverseCloakError as exc:
             return OutcomeDoc.from_exception(exc).to_dict()
+
+    @staticmethod
+    def _unknown_format_message(document, kind) -> str:
+        """Name the offending top-level key(s) of an undispatchable
+        document: a bare ``unknown document format: None`` used to leave a
+        client with a typo'd ``"fromat"`` key nothing to grep for."""
+        if not isinstance(document, dict):
+            return (
+                "unknown document format: request must be a JSON object, "
+                f"got {type(document).__name__}"
+            )
+        if "format" not in document:
+            keys = ", ".join(repr(str(key)) for key in sorted(map(str, document)))
+            return (
+                "unknown document format: no 'format' key; offending "
+                f"top-level key(s): [{keys}]"
+            )
+        return f"unknown document format: 'format' is {kind!r}"
 
     def handle_json(self, payload: str) -> str:
         """:meth:`handle` over JSON strings (byte-transport adapters)."""
@@ -500,6 +561,106 @@ class AnonymizerService:
             malformed = WireFormatError(f"request is not valid JSON: {exc}")
             return OutcomeDoc.from_exception(malformed).to_json()
         return json.dumps(self.handle(document), sort_keys=True)
+
+    def handle_batch(self, documents: Sequence[dict]) -> List[dict]:
+        """Serve many *independent* wire documents as coalesced batches.
+
+        The transport-batching twin of :meth:`handle`, built for
+        front-ends that accumulate compatible requests
+        (:mod:`repro.lbs.frontend`): one outcome document per input
+        document, positionally, each answering exactly what :meth:`handle`
+        would have answered for that document alone — but single cloak and
+        single reversal documents are grouped into one
+        ``cloak_batch_raw`` / ``deanonymize_batch_raw`` backend call
+        each, so a process-pool backend pays its dispatch overhead once
+        per coalesced batch instead of once per request — and ships the
+        raw documents, deferring validation to wherever the backend
+        parses anyway. Every other format (reversal batches, stats,
+        unknown) is served individually through :meth:`handle`.
+
+        Admission control is per coalesced group, all-or-nothing like any
+        batch; a shed group answers structured ``overloaded`` outcomes in
+        place. Parse failures, unknown users and serving failures all ride
+        in place too — this method never raises for a bad document.
+        """
+        results: List[Optional[dict]] = [None] * len(documents)
+        cloak_lane: List[Tuple[int, dict]] = []
+        peel_lane: List[Tuple[int, dict]] = []
+        for position, document in enumerate(documents):
+            kind = document.get("format") if isinstance(document, dict) else None
+            if kind == CLOAK_REQUEST_FORMAT:
+                cloak_lane.append((position, document))
+            elif kind == DEANONYMIZE_REQUEST_FORMAT:
+                peel_lane.append((position, document))
+            else:
+                results[position] = self.handle(document)
+        if cloak_lane:
+            self._serve_cloak_lane(cloak_lane, results)
+        if peel_lane:
+            self._serve_peel_lane(peel_lane, results)
+        return results  # type: ignore[return-value]
+
+    def _serve_cloak_lane(
+        self,
+        lane: List[Tuple[int, dict]],
+        results: List[Optional[dict]],
+    ) -> None:
+        """One coalesced cloak group through the backend's raw-document
+        path, outcomes written back positionally; counter bookkeeping
+        matches :meth:`cloak_batch` (only cloaking errors count as
+        failures — a malformed or unknown-user document counts as
+        neither, exactly like :meth:`handle`)."""
+        docs = [document for _, document in lane]
+        try:
+            snapshot = self._require_snapshot()
+            with self._admit(len(docs)):
+                outcome_docs = self._backend.cloak_batch_raw(snapshot, docs)
+        except ReverseCloakError as exc:
+            outcome = OutcomeDoc.from_exception(exc).to_dict()
+            for position, _ in lane:
+                results[position] = dict(outcome)
+            return
+        served = 0
+        failures = 0
+        for (position, _), outcome in zip(lane, outcome_docs):
+            results[position] = outcome
+            if outcome.get("status") == "ok":
+                served += 1
+            else:
+                code = str((outcome.get("error") or {}).get("code", ""))
+                if issubclass(error_class_for_code(code), CloakingError):
+                    failures += 1
+        self._count(served=served, failures=failures)
+
+    def _serve_peel_lane(
+        self,
+        lane: List[Tuple[int, dict]],
+        results: List[Optional[dict]],
+    ) -> None:
+        """One coalesced reversal group through the backend's raw-document
+        path; counter bookkeeping matches :meth:`deanonymize_batch`,
+        except that malformed documents — which :meth:`handle` rejects
+        before ever counting — stay uncounted here too."""
+        docs = [document for _, document in lane]
+        try:
+            with self._admit(len(docs)):
+                outcome_docs = self._backend.deanonymize_batch_raw(docs)
+        except ReverseCloakError as exc:
+            outcome = OutcomeDoc.from_exception(exc).to_dict()
+            for position, _ in lane:
+                results[position] = dict(outcome)
+            return
+        served = 0
+        reversal_failures = 0
+        for (position, _), outcome in zip(lane, outcome_docs):
+            results[position] = outcome
+            if outcome.get("status") == "ok":
+                served += 1
+            else:
+                code = str((outcome.get("error") or {}).get("code", ""))
+                if not issubclass(error_class_for_code(code), WireFormatError):
+                    reversal_failures += 1
+        self._count(reversals=served, reversal_failures=reversal_failures)
 
     # ------------------------------------------------------------------
     # internals

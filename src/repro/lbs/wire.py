@@ -66,6 +66,8 @@ __all__ = [
     "OUTCOME_FORMAT",
     "BATCH_OUTCOME_FORMAT",
     "SNAPSHOT_FORMAT",
+    "STATS_REQUEST_FORMAT",
+    "STATS_FORMAT",
     "MALFORMED_DOCUMENT",
     "ERROR_CODES",
     "CloakRequest",
@@ -75,6 +77,7 @@ __all__ = [
     "OutcomeDoc",
     "BatchOutcomeDoc",
     "error_code_for",
+    "error_class_for_code",
     "error_doc_for",
     "exception_from_error_doc",
     "snapshot_to_dict",
@@ -89,6 +92,8 @@ DEANONYMIZE_BATCH_FORMAT = "repro.deanonymize_batch"
 OUTCOME_FORMAT = "repro.outcome"
 BATCH_OUTCOME_FORMAT = "repro.batch_outcome"
 SNAPSHOT_FORMAT = "repro.snapshot"
+STATS_REQUEST_FORMAT = "repro.stats_request"
+STATS_FORMAT = "repro.stats"
 
 #: The error code every malformed wire document maps to.
 MALFORMED_DOCUMENT = "malformed_document"
@@ -106,12 +111,17 @@ class CloakRequest:
         deadline_ms: Optional cooperative serving deadline in milliseconds.
             The clock starts when a server begins executing the request;
             expiry surfaces as the structured ``deadline_exceeded`` code.
+        user_segment: The user's segment, when the caller already resolved
+            it against the serving snapshot (transport front-ends and
+            execution backends do, so the engine never re-resolves).
+            ``None`` means serving must look the user up itself.
     """
 
     user_id: int
     profile: PrivacyProfile
     chain: KeyChain
     deadline_ms: Optional[float] = None
+    user_segment: Optional[int] = None
 
 
 def _require(document, kind: str) -> dict:
@@ -216,7 +226,9 @@ class CloakRequestDoc:
             user_id=request.user_id,
             profile=request.profile,
             chain=request.chain,
-            user_segment=user_segment,
+            user_segment=(
+                user_segment if user_segment is not None else request.user_segment
+            ),
             deadline_ms=request.deadline_ms,
         )
 
@@ -226,6 +238,7 @@ class CloakRequestDoc:
             profile=self.profile,
             chain=self.chain,
             deadline_ms=self.deadline_ms,
+            user_segment=self.user_segment,
         )
 
     def to_dict(self) -> dict:
@@ -475,6 +488,17 @@ def error_code_for(exc: BaseException) -> str:
         if isinstance(exc, cls):
             return code
     return "internal_error"
+
+
+def error_class_for_code(code: str) -> Type[ReverseCloakError]:
+    """The exception class a stable protocol code reconstructs as.
+
+    The reverse direction of :func:`error_code_for` — what a caller holding
+    only an outcome document's ``error.code`` uses to attribute the failure
+    (e.g. "is this a :class:`~repro.errors.CloakingError`?") without
+    rebuilding the exception. Unknown codes map to the hierarchy root.
+    """
+    return _CODE_TO_CLASS.get(code, ReverseCloakError)
 
 
 def error_doc_for(exc: BaseException) -> dict:

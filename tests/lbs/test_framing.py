@@ -1,0 +1,100 @@
+"""Tests for :mod:`repro.lbs.framing` — the length-prefixed byte layer of
+the network front-end, including its adversarial-input contract: oversized
+declarations, truncated prefixes, and pathological chunkings."""
+
+import struct
+
+import pytest
+
+from repro.errors import WireFormatError
+from repro.lbs import DEFAULT_MAX_FRAME_BYTES, FrameDecoder, encode_frame
+from repro.lbs.framing import FRAME_HEADER_SIZE
+
+
+PAYLOADS = [b"{}", b'{"request_id":1}', b"x" * 1000, b"", "café".encode()]
+
+
+def test_frame_layout():
+    frame = encode_frame(b"abc")
+    assert frame[:FRAME_HEADER_SIZE] == struct.pack(">I", 3)
+    assert frame[FRAME_HEADER_SIZE:] == b"abc"
+
+
+def test_encode_accepts_str_as_utf8():
+    assert encode_frame("café") == encode_frame("café".encode("utf-8"))
+
+
+class TestRoundTrip:
+    def test_one_feed(self):
+        decoder = FrameDecoder()
+        stream = b"".join(encode_frame(p) for p in PAYLOADS)
+        assert decoder.feed(stream) == PAYLOADS
+        assert not decoder.mid_frame
+        assert decoder.buffered_bytes == 0
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 5, 7, 64, 4096])
+    def test_any_chunking(self, chunk_size):
+        """A frame boundary never has to align with a read boundary."""
+        decoder = FrameDecoder()
+        stream = b"".join(encode_frame(p) for p in PAYLOADS)
+        out = []
+        for start in range(0, len(stream), chunk_size):
+            out.extend(decoder.feed(stream[start : start + chunk_size]))
+        assert out == PAYLOADS
+        assert not decoder.mid_frame
+
+    def test_empty_feed_is_noop(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(b"") == []
+        assert not decoder.mid_frame
+
+
+class TestMidFrame:
+    def test_truncated_length_prefix(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(b"\x00\x00") == []
+        assert decoder.mid_frame
+        assert decoder.buffered_bytes == 2
+
+    def test_partial_payload(self):
+        decoder = FrameDecoder()
+        frame = encode_frame(b"hello world")
+        assert decoder.feed(frame[:-4]) == []
+        assert decoder.mid_frame
+        assert decoder.feed(frame[-4:]) == [b"hello world"]
+        assert not decoder.mid_frame
+
+    def test_complete_frame_plus_tail_is_mid_frame(self):
+        decoder = FrameDecoder()
+        stream = encode_frame(b"done") + encode_frame(b"cut")[:3]
+        assert decoder.feed(stream) == [b"done"]
+        assert decoder.mid_frame
+
+
+class TestOversized:
+    def test_declared_over_limit_raises_before_payload(self):
+        decoder = FrameDecoder(max_frame_bytes=16)
+        with pytest.raises(WireFormatError, match="over the 16-byte"):
+            # Only the 4 length bytes arrive — the decoder must not wait
+            # for (and buffer) a payload it already knows it will refuse.
+            decoder.feed(struct.pack(">I", 17))
+
+    def test_exactly_at_limit_is_fine(self):
+        decoder = FrameDecoder(max_frame_bytes=16)
+        assert decoder.feed(encode_frame(b"x" * 16, 16)) == [b"x" * 16]
+
+    def test_frames_before_the_oversized_one_are_delivered(self):
+        decoder = FrameDecoder(max_frame_bytes=16)
+        stream = encode_frame(b"ok", 16) + struct.pack(">I", 1 << 30)
+        with pytest.raises(WireFormatError):
+            decoder.feed(stream)
+
+    def test_encode_refuses_over_limit(self):
+        with pytest.raises(WireFormatError, match="exceeds"):
+            encode_frame(b"x" * 17, max_frame_bytes=16)
+        with pytest.raises(WireFormatError):
+            encode_frame(b"x" * (DEFAULT_MAX_FRAME_BYTES + 1))
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(WireFormatError):
+            FrameDecoder(max_frame_bytes=0)

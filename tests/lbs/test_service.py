@@ -33,7 +33,12 @@ from repro.lbs import (
     ReversalEngineCache,
     TrustedAnonymizer,
 )
-from repro.lbs.wire import MALFORMED_DOCUMENT
+from repro.lbs.wire import (
+    MALFORMED_DOCUMENT,
+    STATS_FORMAT,
+    STATS_REQUEST_FORMAT,
+    WIRE_VERSION,
+)
 
 
 @pytest.fixture(scope="module")
@@ -601,3 +606,228 @@ class TestTrustedAnonymizerShim:
         assert isinstance(shim.service, AnonymizerService)
         outcomes = shim.cloak_batch([request], max_workers=2)
         assert outcomes[0].envelope.to_json() == envelope.to_json()
+
+
+class TestStats:
+    """The ``stats()`` snapshot and its ``repro.stats_request`` wire form."""
+
+    def test_counters_snapshot(self, service, traffic_snapshot, profile):
+        request = _request(traffic_snapshot, profile, tag="st")
+        envelope = service.cloak(request)
+        service.deanonymize(
+            envelope, {key.level: key for key in request.chain}, 0
+        )
+        with pytest.raises(MobilityError):
+            service.cloak(
+                CloakRequest(
+                    user_id=10_000,
+                    profile=profile,
+                    chain=KeyChain.from_passphrases(["st-x1", "st-x2"]),
+                )
+            )
+        stats = service.stats()
+        assert stats == {
+            "requests_served": 1,
+            "failures": 0,  # a MobilityError is not a cloaking failure
+            "reversals_served": 1,
+            "reversal_failures": 0,
+            "requests_shed": 0,
+            "inflight": 0,
+            "worker_restarts": 0,
+            "inline_fallbacks": 0,
+        }
+
+    def test_stats_request_format(self, service, traffic_snapshot, profile):
+        service.handle(
+            CloakRequestDoc.from_request(
+                _request(traffic_snapshot, profile, tag="stw")
+            ).to_dict()
+        )
+        reply = service.handle(
+            {"format": STATS_REQUEST_FORMAT, "version": WIRE_VERSION}
+        )
+        assert reply["format"] == STATS_FORMAT
+        assert reply["version"] == WIRE_VERSION
+        assert reply["status"] == "ok"
+        assert reply["counters"] == service.stats()
+        assert reply["counters"]["requests_served"] == 1
+
+    def test_stats_request_version_mismatch(self, service):
+        outcome = OutcomeDoc.from_dict(
+            service.handle({"format": STATS_REQUEST_FORMAT, "version": 99})
+        )
+        assert outcome.error_code == MALFORMED_DOCUMENT
+        assert "version" in outcome.error_message
+
+    def test_backend_counters_surface(self, grid10, traffic_snapshot, profile):
+        from repro.lbs import ProcessPoolBackend
+
+        with ProcessPoolBackend(2, start_method="fork") as backend:
+            service = AnonymizerService(grid10, backend=backend)
+            service.update_snapshot(traffic_snapshot)
+            stats = service.stats()
+            assert stats["worker_restarts"] == 0
+            assert stats["inline_fallbacks"] == 0
+
+
+class TestUnknownFormatDiagnostics:
+    """Satellite regression: the unknown-format error names the offending
+    top-level key(s) instead of a bare ``malformed_document``."""
+
+    def test_missing_format_key_lists_top_level_keys(self, service):
+        outcome = OutcomeDoc.from_dict(
+            service.handle({"fromat": "repro.cloak_request", "version": 1})
+        )
+        assert outcome.error_code == MALFORMED_DOCUMENT
+        assert "no 'format' key" in outcome.error_message
+        assert "'fromat'" in outcome.error_message
+        assert "'version'" in outcome.error_message
+
+    def test_unknown_format_value_is_quoted(self, service):
+        outcome = OutcomeDoc.from_dict(
+            service.handle({"format": "what.is.this", "version": 1})
+        )
+        assert outcome.error_code == MALFORMED_DOCUMENT
+        assert "'what.is.this'" in outcome.error_message
+
+    def test_non_dict_reports_received_type(self, service):
+        outcome = OutcomeDoc.from_dict(service.handle(["not", "a", "dict"]))
+        assert outcome.error_code == MALFORMED_DOCUMENT
+        assert "list" in outcome.error_message
+
+    def test_valid_documents_unchanged(
+        self, grid10, service, traffic_snapshot, profile
+    ):
+        # The fix must not disturb the wire form of valid traffic.
+        request = _request(traffic_snapshot, profile, tag="ufd")
+        document = CloakRequestDoc.from_request(request).to_dict()
+        direct = AnonymizerService(grid10)
+        direct.update_snapshot(traffic_snapshot)
+        assert service.handle_json(json.dumps(document)) == direct.handle_json(
+            json.dumps(document)
+        )
+
+
+class TestHandleBatch:
+    """``handle_batch``: positional transport batching over ``handle``."""
+
+    def test_equivalent_to_per_document_handle(
+        self, grid10, traffic_snapshot, profile
+    ):
+        producer = AnonymizerService(grid10)
+        producer.update_snapshot(traffic_snapshot)
+        peel_request = _request(traffic_snapshot, profile, index=5, tag="hb")
+        envelope = producer.cloak(peel_request)
+        reference = AnonymizerService(grid10)
+        reference.update_snapshot(traffic_snapshot)
+        batched = AnonymizerService(grid10)
+        batched.update_snapshot(traffic_snapshot)
+        documents = [
+            CloakRequestDoc.from_request(
+                _request(traffic_snapshot, profile, index=i, tag="hb")
+            ).to_dict()
+            for i in range(3)
+        ]
+        documents.append(
+            DeanonymizeRequestDoc(
+                envelope=envelope,
+                keys=tuple(peel_request.chain),
+                target_level=0,
+            ).to_dict()
+        )
+        documents.append({"format": "what.is.this"})  # unknown stays per-doc
+        documents.append(
+            dict(documents[0], user_id=10_000)
+        )  # unknown user fails in place
+        expected = [
+            json.dumps(reference.handle(doc), sort_keys=True)
+            for doc in documents
+        ]
+        outcomes = batched.handle_batch(documents)
+        assert [
+            json.dumps(outcome, sort_keys=True) for outcome in outcomes
+        ] == expected
+        assert batched.requests_served == reference.requests_served
+        assert batched.failures == reference.failures
+        assert batched.reversals_served == reference.reversals_served
+
+    def test_empty_batch(self, service):
+        assert service.handle_batch([]) == []
+
+    @pytest.mark.parametrize("backend_kind", ["inline", "process"])
+    def test_malformed_items_answer_in_place(
+        self, grid10, traffic_snapshot, profile, backend_kind
+    ):
+        """A malformed cloak or peel document inside a coalesced batch
+        answers as malformed — never demoted to unknown-user — and counts
+        nothing, byte-identical to ``handle`` serving it alone. Runs on
+        both the inline backend (parent-side parse) and the process pool
+        (the raw fast path defers parsing to the worker shards)."""
+        producer = AnonymizerService(grid10)
+        producer.update_snapshot(traffic_snapshot)
+        peel_request = _request(traffic_snapshot, profile, index=5, tag="hbm")
+        envelope = producer.cloak(peel_request)
+        good_cloak = CloakRequestDoc.from_request(
+            _request(traffic_snapshot, profile, index=1, tag="hbm")
+        ).to_dict()
+        good_peel = DeanonymizeRequestDoc(
+            envelope=envelope,
+            keys=tuple(peel_request.chain),
+            target_level=0,
+        ).to_dict()
+        documents = [
+            good_cloak,
+            # Valid user id, junk profile: ships to the shard, whose
+            # parse must answer in place without poisoning the chunk.
+            dict(good_cloak, profile={"levels": "nope"}),
+            # Non-integer user id: malformed must beat unknown-user.
+            dict(good_cloak, user_id="not-an-int"),
+            good_peel,
+            dict(good_peel, keys="not-a-list"),
+            dict(good_cloak, user_id=10_000),  # unknown user, in place
+        ]
+        reference = AnonymizerService(grid10)
+        reference.update_snapshot(traffic_snapshot)
+        expected = [
+            json.dumps(reference.handle(doc), sort_keys=True)
+            for doc in documents
+        ]
+
+        def run(batched):
+            batched.update_snapshot(traffic_snapshot)
+            outcomes = batched.handle_batch(documents)
+            assert [
+                json.dumps(outcome, sort_keys=True) for outcome in outcomes
+            ] == expected
+            for key in (
+                "requests_served",
+                "failures",
+                "reversals_served",
+                "reversal_failures",
+            ):
+                assert batched.stats()[key] == reference.stats()[key], key
+
+        if backend_kind == "process":
+            from repro.lbs import ProcessPoolBackend
+
+            with ProcessPoolBackend(2, start_method="fork") as backend:
+                run(AnonymizerService(grid10, backend=backend))
+        else:
+            run(AnonymizerService(grid10))
+
+    def test_shed_batch_answers_every_position(
+        self, grid10, traffic_snapshot, profile
+    ):
+        service = AnonymizerService(grid10, max_inflight=1)
+        service.update_snapshot(traffic_snapshot)
+        documents = [
+            CloakRequestDoc.from_request(
+                _request(traffic_snapshot, profile, index=i, tag="shb")
+            ).to_dict()
+            for i in range(3)
+        ]
+        outcomes = service.handle_batch(documents)
+        assert len(outcomes) == 3
+        codes = {outcome["error"]["code"] for outcome in outcomes}
+        assert codes == {"overloaded"}
+        assert service.requests_shed == 3

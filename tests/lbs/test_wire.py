@@ -1,5 +1,6 @@
 """Tests for the transport-neutral wire protocol (:mod:`repro.lbs.wire`)."""
 
+import dataclasses
 import json
 
 import pytest
@@ -61,13 +62,17 @@ class TestCloakRequestDoc:
         )
         restored = CloakRequestDoc.from_json(doc.to_json())
         assert restored == doc
-        assert restored.to_request() == CloakRequest(7, PROFILE, CHAIN)
+        # to_request() now threads the resolved segment through, so the
+        # engine never re-resolves a segment the transport already knows.
+        assert restored.to_request() == CloakRequest(
+            7, PROFILE, CHAIN, user_segment=30
+        )
 
     def test_from_request(self):
         request = CloakRequest(user_id=3, profile=PROFILE, chain=CHAIN)
         doc = CloakRequestDoc.from_request(request, user_segment=12)
         assert doc.user_segment == 12
-        assert doc.to_request() == request
+        assert doc.to_request() == dataclasses.replace(request, user_segment=12)
 
     def test_unresolved_segment_survives(self):
         doc = CloakRequestDoc(user_id=7, profile=PROFILE, chain=CHAIN)
