@@ -65,11 +65,17 @@ from repro.bench import ResultTable
 from repro.lbs import (
     CloakRequest,
     CloakRequestDoc,
+    FaultAction,
+    FaultPlan,
+    FaultyConnection,
     FrontendClient,
     FrontendServer,
     InlineBackend,
+    NetworkFaultInjector,
     ProcessPoolBackend,
+    ResilientClient,
 )
+from repro.lbs.deferral import TemporalTolerance
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -106,6 +112,27 @@ BATCH_MAX = 256
 MAX_PENDING = 1 << 20
 
 ARRIVAL_SEED = 20170605
+
+#: Faulted-serving contract (the lifecycle-hardening PR): with one
+#: scripted mid-stream disconnect and one stalled reader injected per
+#: FAULTED_DISRUPTION_UNIT connections, completed throughput must stay at
+#: or above this fraction of an identical clean pass — recovery and
+#: eviction are bounded costs, not collapses.
+FAULTED_MIN_RATIO = 0.8
+FAULTED_DISRUPTION_UNIT = 100
+FULL_FAULTED_CONNECTIONS = 100
+QUICK_FAULTED_CONNECTIONS = 20
+FULL_FAULTED_REQUESTS = 8
+QUICK_FAULTED_REQUESTS = 4
+#: Frames a stalled reader pushes before falling silent (its replies are
+#: real serving work wasted on a dead peer — part of the injected cost).
+STALLED_READER_FRAMES = 8
+#: Faulted-pass server tuning: small write-buffer bound and short drain
+#: patience so the stalled reader is detected and evicted *during* the
+#: measured window, plus an idle timeout as the backstop.
+FAULTED_WRITE_BUFFER = 1 << 14
+FAULTED_DRAIN_TIMEOUT_S = 0.25
+FAULTED_IDLE_TIMEOUT_S = 0.5
 
 
 def _encoded_requests(network, snapshot, pool_size: int) -> list:
@@ -286,6 +313,173 @@ async def _bench_config(label, service, encoded, point_seconds) -> dict:
     }
 
 
+async def _faulted_pass(
+    service,
+    documents: list,
+    n_connections: int,
+    requests_per_connection: int,
+    faulted: bool,
+) -> dict:
+    """One closed-loop pass of ``n_connections`` concurrent resilient
+    clients, optionally disrupted by one scripted mid-stream disconnect
+    and one stalled reader per :data:`FAULTED_DISRUPTION_UNIT`
+    connections. Returns completed count, wall-clock rate and the
+    recovery counters."""
+    n_units = (
+        max(1, n_connections // FAULTED_DISRUPTION_UNIT) if faulted else 0
+    )
+    # Scripted drops: client k*unit+7 loses its connection mid-stream
+    # (just before its middle request) and must reconnect and retry.
+    drop_frame = requests_per_connection // 2
+    drop_targets = {
+        (k * FAULTED_DISRUPTION_UNIT + 7) % n_connections
+        for k in range(n_units)
+    }
+    tolerance = TemporalTolerance(
+        max_defer_seconds=5.0,
+        retry_interval_seconds=0.01,
+        backoff_factor=2.0,
+        jitter_fraction=0.25,
+        jitter_seed=ARRIVAL_SEED,
+    )
+    async with FrontendServer(
+        service,
+        batch_window_ms=BATCH_WINDOW_MS,
+        batch_max=BATCH_MAX,
+        max_pending=MAX_PENDING,
+        max_connection_pending=MAX_PENDING,
+        idle_timeout_s=FAULTED_IDLE_TIMEOUT_S,
+        max_write_buffer_bytes=FAULTED_WRITE_BUFFER,
+        drain_timeout_s=FAULTED_DRAIN_TIMEOUT_S,
+    ) as server:
+        stalled = []
+        for k in range(n_units):
+            # The stalled reader: a tiny receive buffer, a burst of real
+            # requests, and then silence — its replies back up against
+            # the write-buffer bound until the server evicts it.
+            conn = await FaultyConnection.connect(
+                server.host,
+                server.port,
+                None,
+                connection_index=n_connections + k,
+                recv_buffer_bytes=2048,
+            )
+            for j in range(STALLED_READER_FRAMES):
+                await conn.send_frame(
+                    {"request_id": j, "request": documents[j % len(documents)]}
+                )
+            stalled.append(conn)
+
+        async def drive(index: int) -> tuple:
+            injector = None
+            if index in drop_targets:
+                injector = NetworkFaultInjector(
+                    FaultPlan(
+                        actions=(
+                            FaultAction(
+                                kind="drop_connection",
+                                connection=index,
+                                frame=drop_frame,
+                            ),
+                        )
+                    )
+                )
+            client = ResilientClient(
+                server.host,
+                server.port,
+                tolerance=tolerance,
+                fault_injector=injector,
+                connection_index=index,
+            )
+            completed = 0
+            for j in range(requests_per_connection):
+                outcome = await client.request(
+                    documents[(index + j) % len(documents)]
+                )
+                completed += outcome.get("status") == "ok"
+            reconnects = client.reconnects
+            await client.close()
+            return completed, reconnects
+
+        start = time.perf_counter()
+        results = await asyncio.gather(
+            *[drive(index) for index in range(n_connections)]
+        )
+        elapsed = time.perf_counter() - start
+        for conn in stalled:
+            await conn.close()
+        counters = server.counters()
+    completed = sum(done for done, _ in results)
+    return {
+        "connections": n_connections,
+        "requests_per_connection": requests_per_connection,
+        "completed": completed,
+        "elapsed_s": round(elapsed, 3),
+        "rps": round(completed / elapsed, 1),
+        "reconnects": sum(reconnects for _, reconnects in results),
+        "connections_evicted": counters["connections_evicted"],
+        "requests_shed": counters["frontend_requests_shed"],
+    }
+
+
+def _bench_faulted(network, snapshot, encoded, quick: bool) -> dict:
+    """Clean pass vs faulted pass (inline backend): same clients, same
+    requests, plus the per-unit scripted disconnect and stalled reader."""
+    n_connections = (
+        QUICK_FAULTED_CONNECTIONS if quick else FULL_FAULTED_CONNECTIONS
+    )
+    requests_per_connection = (
+        QUICK_FAULTED_REQUESTS if quick else FULL_FAULTED_REQUESTS
+    )
+    documents = [json.loads(doc) for doc in encoded]
+    with InlineBackend() as backend:
+        service = AnonymizerService(network, backend=backend)
+        service.update_snapshot(snapshot)
+        clean = asyncio.run(
+            _faulted_pass(
+                service, documents, n_connections, requests_per_connection,
+                faulted=False,
+            )
+        )
+        faulted = asyncio.run(
+            _faulted_pass(
+                service, documents, n_connections, requests_per_connection,
+                faulted=True,
+            )
+        )
+        service.close()
+    expected = n_connections * requests_per_connection
+    # No admitted request is lost to the injected faults: every measured
+    # request completes in both passes (the stalled reader's burst is
+    # extra injected load, not part of the measured population).
+    assert clean["completed"] == expected, (
+        f"clean pass completed {clean['completed']}/{expected}"
+    )
+    assert faulted["completed"] == expected, (
+        f"faulted pass completed {faulted['completed']}/{expected}"
+    )
+    ratio = faulted["rps"] / clean["rps"]
+    print(
+        f"faulted_frontend: clean {clean['rps']:.0f} req/s, faulted "
+        f"{faulted['rps']:.0f} req/s ({ratio:.2f}x) with "
+        f"{faulted['reconnects']} reconnect(s) and "
+        f"{faulted['connections_evicted']} eviction(s) across "
+        f"{n_connections} connections"
+    )
+    if not quick:
+        assert ratio >= FAULTED_MIN_RATIO, (
+            f"faulted serving fell to {ratio:.2f}x of the clean pass "
+            f"(contract: >= {FAULTED_MIN_RATIO:.2f}x)"
+        )
+    return {
+        "clean": clean,
+        "faulted": faulted,
+        "faulted_vs_clean": round(ratio, 3),
+        "min_ratio": FAULTED_MIN_RATIO,
+        "disruption_unit": FAULTED_DISRUPTION_UNIT,
+    }
+
+
 def _committed_inline_rps() -> float:
     committed = REPO_ROOT / "BENCH_serving.json"
     if committed.exists():
@@ -352,6 +546,8 @@ def run(quick: bool) -> dict:
             )
     table.print_and_save()
 
+    faulted_section = _bench_faulted(network, snapshot, encoded, quick)
+
     inline_rps = _committed_inline_rps()
     best_process = max(
         (r for r in results if r["config"].startswith("process")),
@@ -386,6 +582,7 @@ def run(quick: bool) -> dict:
         "arrival_seed": ARRIVAL_SEED,
         "knee_tolerance": KNEE_TOLERANCE,
         "configs": results,
+        "faulted_frontend": faulted_section,
         "summary": {
             "committed_inline_rps": inline_rps,
             "best_process_config": best_process["config"],

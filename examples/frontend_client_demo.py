@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
-"""Network front-end demo: drive a live anonymizer server over TCP.
+"""Network front-end demo: drive a live anonymizer server over TCP —
+and survive it going away.
 
 The other examples call :class:`AnonymizerService` in process. This one
 speaks to it the way a deployment would: it launches
-``python -m repro.lbs.frontend`` as a separate process, connects a
-:class:`~repro.lbs.FrontendClient` over the socket, and exercises the
-wire protocol end to end — concurrent cloaks multiplexed on one
-connection, a de-anonymization built from a returned envelope, a
-``stats`` request for the server's merged counters, and a clean
-SIGINT drain.
+``python -m repro.lbs.frontend`` as a separate process and connects a
+:class:`~repro.lbs.ResilientClient` over the socket. The resilient
+client is the deployment-shaped client — reconnect with deterministic
+backoff, bounded retry of retryable structured errors, optional
+per-request deadline budgets — so the demo can do what a
+``FrontendClient`` demo cannot: **restart the server mid-stream** and
+keep serving. The script cloaks half its users, SIGTERMs the server (a
+graceful drain: in-flight work finishes, then exit 0), starts a fresh
+server on the same port, and cloaks the rest through the same client
+object, which quietly re-establishes the connection. A peel, a
+``health`` probe, and a clean SIGINT drain round out the wire protocol.
 
 Run:  python examples/frontend_client_demo.py
 """
@@ -16,6 +22,7 @@ Run:  python examples/frontend_client_demo.py
 import asyncio
 import os
 import signal
+import socket
 import subprocess
 import sys
 
@@ -28,7 +35,7 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 from repro import KeyChain, PrivacyProfile  # noqa: E402
-from repro.lbs import FrontendClient  # noqa: E402
+from repro.lbs import ResilientClient  # noqa: E402
 from repro.lbs.wire import (  # noqa: E402
     CLOAK_REQUEST_FORMAT,
     DEANONYMIZE_REQUEST_FORMAT,
@@ -38,18 +45,25 @@ from repro.lbs.wire import (  # noqa: E402
 N_USERS = 6
 
 
-def launch_server() -> subprocess.Popen:
-    """Start the front-end on an ephemeral port and wait for readiness."""
+def free_port() -> int:
+    """Reserve an ephemeral port number the restarted server can reuse."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def launch_server(port: int) -> subprocess.Popen:
+    """Start the front-end on ``port`` and wait for its readiness line."""
     env = dict(os.environ)
     env["PYTHONPATH"] = _SRC + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    return subprocess.Popen(
+    proc = subprocess.Popen(
         [
             sys.executable,
             "-m",
             "repro.lbs.frontend",
-            "--port", "0",
+            "--port", str(port),
             "--backend", "thread",
             "--workers", "2",
             "--grid-side", "12",
@@ -60,6 +74,10 @@ def launch_server() -> subprocess.Popen:
         text=True,
         env=env,
     )
+    ready = proc.stdout.readline().split()
+    if ready[:1] != ["FRONTEND_READY"]:
+        raise RuntimeError(f"server failed to start: {proc.stderr.read()}")
+    return proc
 
 
 def cloak_document(user_id: int, profile: PrivacyProfile, chain: KeyChain) -> dict:
@@ -69,11 +87,22 @@ def cloak_document(user_id: int, profile: PrivacyProfile, chain: KeyChain) -> di
         "version": WIRE_VERSION,
         "user_id": user_id,
         "profile": profile.to_dict(),
-        "chain": [key.to_dict() for key in chain],
+        "chain": chain.to_dict(),
     }
 
 
-async def drive(host: str, port: int) -> None:
+def describe(user_id: int, outcome: dict) -> None:
+    envelope = outcome["envelope"]
+    levels = ", ".join(
+        f"L{spec['level']}(k={spec['k']})" for spec in envelope["levels"]
+    )
+    print(
+        f"  user {user_id}: published region of "
+        f"{len(envelope['region'])} segment(s); sealed levels {levels}"
+    )
+
+
+async def drive(host: str, port: int, restart_server) -> None:
     profile = PrivacyProfile.uniform(
         levels=3, base_k=4, k_step=4, base_l=2, l_step=1, max_segments=60
     )
@@ -83,27 +112,35 @@ async def drive(host: str, port: int) -> None:
         )
         for user_id in range(N_USERS)
     }
+    half = N_USERS // 2
 
-    async with await FrontendClient.connect(host, port) as client:
-        # One connection, many requests in flight: submit() returns a
-        # future per request and the reader task de-multiplexes replies
-        # by their echoed request_id. The server coalesces these into
-        # batched backend calls.
-        futures = [
-            client.submit(cloak_document(user_id, profile, chains[user_id]))
-            for user_id in range(N_USERS)
-        ]
-        outcomes = await asyncio.gather(*futures)
-        print(f"cloaked {len(outcomes)} users over one connection:")
-        for user_id, outcome in enumerate(outcomes):
-            regions = outcome["envelope"]["regions"]
-            sizes = ", ".join(
-                f"L{level}={len(region)}" for level, region in sorted(regions.items())
+    async with ResilientClient(host, port) as client:
+        # Act one: ordinary serving. One connection, requests multiplexed
+        # by echoed request_id, coalesced into batched backend calls.
+        outcomes = {}
+        for user_id in range(half):
+            outcomes[user_id] = await client.request(
+                cloak_document(user_id, profile, chains[user_id])
             )
-            print(f"  user {user_id}: region sizes {sizes}")
+        print(f"cloaked users 0..{half - 1} against the first server:")
+        for user_id in range(half):
+            describe(user_id, outcomes[user_id])
 
-        # Reverse one cloak: the published envelope plus the granted keys
-        # travel back over the wire; level 0 is the exact segment.
+        # Act two: the server goes away — gracefully — and a replacement
+        # comes up on the same port. The client object stays; its next
+        # request finds the dead connection and re-establishes it.
+        restart_server()
+        print("server restarted; same client keeps serving:")
+        for user_id in range(half, N_USERS):
+            outcomes[user_id] = await client.request(
+                cloak_document(user_id, profile, chains[user_id])
+            )
+            describe(user_id, outcomes[user_id])
+        print(f"client reconnects: {client.reconnects} (retries: {client.retries})")
+
+        # Reverse one cloak served by the *first* server with keys held
+        # locally: envelopes are self-describing, so the replacement
+        # server peels them identically.
         target = 0
         peel = await client.request(
             {
@@ -117,41 +154,48 @@ async def drive(host: str, port: int) -> None:
         region = peel["result"]["regions"]["0"]
         print(f"peeled user {target} back to level 0: segment(s) {region}")
 
-        stats = await client.stats()
-        counters = stats["counters"]
-        print("server counters:")
+        health = await client.health()
+        print(f"health: {health['status']}; front-end counters:")
         for key in (
-            "requests_served",
-            "batches_coalesced",
             "connections",
+            "batches_coalesced",
+            "connections_evicted",
+            "idle_timeouts",
             "frames_rejected",
             "frontend_requests_shed",
         ):
-            print(f"  {key}: {counters[key]}")
+            print(f"  {key}: {health['counters'][key]}")
 
 
 def main() -> int:
-    proc = launch_server()
-    try:
-        ready = proc.stdout.readline().split()
-        if ready[:1] != ["FRONTEND_READY"]:
-            print("server failed to start:", proc.stderr.read(), file=sys.stderr)
-            return 1
-        host, port = ready[1], int(ready[2])
-        print(f"front-end listening on {host}:{port}")
-        asyncio.run(drive(host, port))
+    port = free_port()
+    procs = [launch_server(port)]
+    print(f"front-end listening on 127.0.0.1:{port}")
 
-        # A clean shutdown: SIGINT makes the server stop accepting,
-        # drain in-flight work, and exit 0.
-        proc.send_signal(signal.SIGINT)
-        out, err = proc.communicate(timeout=30)
-        print(f"server drained and exited {proc.returncode}")
+    def restart_server():
+        # SIGTERM drains: stop accepting, finish in-flight, exit 0.
+        procs[-1].send_signal(signal.SIGTERM)
+        out, _err = procs[-1].communicate(timeout=30)
+        print(
+            f"first server drained and exited {procs[-1].returncode} "
+            f"({'draining reported' if 'draining' in out else 'no drain log'})"
+        )
+        procs.append(launch_server(port))
+
+    try:
+        asyncio.run(drive("127.0.0.1", port, restart_server))
+
+        # A clean shutdown of the replacement: SIGINT drains like SIGTERM.
+        procs[-1].send_signal(signal.SIGINT)
+        out, _err = procs[-1].communicate(timeout=30)
+        print(f"second server drained and exited {procs[-1].returncode}")
         sys.stdout.write(out)
-        return proc.returncode or 0
+        return procs[-1].returncode or 0
     finally:
-        if proc.poll() is None:
-            proc.kill()
-            proc.wait()
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
 
 
 if __name__ == "__main__":

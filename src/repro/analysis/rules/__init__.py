@@ -11,9 +11,25 @@ Each module encodes one historical bug class of this repository:
   byte-identical oracle core (``determinism``) and the fork-hides-it,
   spawn-breaks-it picklability class (``spawn-safety``);
 * :mod:`.error_codes` — the single-declaration, most-derived-first wire
-  error-code registry (``error-registry``).
+  error-code registry (``error-registry``);
+* :mod:`.async_cancel` — the PR 9 swallowed-``CancelledError`` class in
+  async serving code (``async-cancellation``).
 """
 
-from . import caches, determinism, error_codes, locks, wire_docs  # noqa: F401
+from . import (  # noqa: F401
+    async_cancel,
+    caches,
+    determinism,
+    error_codes,
+    locks,
+    wire_docs,
+)
 
-__all__ = ["caches", "determinism", "error_codes", "locks", "wire_docs"]
+__all__ = [
+    "async_cancel",
+    "caches",
+    "determinism",
+    "error_codes",
+    "locks",
+    "wire_docs",
+]

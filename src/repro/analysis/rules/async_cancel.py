@@ -1,0 +1,130 @@
+"""``async-cancellation`` — cancellation must propagate through coroutines.
+
+The front-end's hardening (PR 9) is built on asyncio cancellation:
+``wait_for`` bounds idle reads and per-connection drains by cancelling
+them, and the drain ladder's escalation cancels serving tasks that blew
+the drain deadline. That machinery only works if
+``asyncio.CancelledError`` *propagates* — an ``except`` handler inside an
+``async def`` that catches it and returns normally makes the task report
+"done", so ``close()`` believes a wedged batch finished and the
+escalation ladder silently loses a rung.
+
+The rule flags, inside async functions, any handler that can catch
+``CancelledError`` — a bare ``except:``, ``except BaseException:``, an
+explicit ``except asyncio.CancelledError:`` (alias-aware), or a tuple
+naming either — whose body contains no re-raise. ``except Exception`` is
+*exempt* on its own: since Python 3.8 ``CancelledError`` derives from
+``BaseException`` precisely so broad ``Exception`` handlers cannot
+swallow it. Synchronous functions are not governed — cancellation is
+delivered at ``await`` points, which only async frames have.
+
+The sanctioned idiom after cancelling a task you own is a conditional
+re-raise (re-raise when *you* are the one being cancelled, swallow when
+it is only the child's cancellation completing); any ``raise`` — bare or
+of the bound exception name — in the handler body is compliant:
+
+    task.cancel()
+    try:
+        await task
+    except asyncio.CancelledError:
+        if not task.cancelled():
+            raise
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..core import Finding, ModuleInfo, Project
+from ..registry import Rule, register
+from ..visitor import ImportTable, enclosing_function
+
+#: Dotted names that are (or alias) the cancellation exception.
+_CANCELLED_PATHS = frozenset(
+    {
+        "asyncio.CancelledError",
+        "asyncio.exceptions.CancelledError",
+        "concurrent.futures.CancelledError",  # pre-3.8 alias, same class
+    }
+)
+
+
+def _catches_cancellation(
+    handler_type: Optional[ast.AST], imports: ImportTable
+) -> Optional[str]:
+    """What makes this handler able to catch ``CancelledError`` — a
+    human-readable label, or ``None`` when it cannot (``except
+    Exception`` and narrower)."""
+    if handler_type is None:
+        return "a bare except"
+    if isinstance(handler_type, ast.Tuple):
+        for element in handler_type.elts:
+            label = _catches_cancellation(element, imports)
+            if label is not None:
+                return label
+        return None
+    if isinstance(handler_type, ast.Name) and handler_type.id == "BaseException":
+        return "except BaseException"
+    resolved = imports.resolve(handler_type)
+    if resolved in _CANCELLED_PATHS:
+        return f"except {resolved}"
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body re-raises what it caught: a bare
+    ``raise``, or ``raise <name>`` of the bound exception. Nested
+    function definitions are opaque — a ``raise`` inside one does not
+    unwind this handler."""
+
+    def scan(nodes) -> bool:
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Raise):
+                if node.exc is None:
+                    return True
+                if (
+                    handler.name is not None
+                    and isinstance(node.exc, ast.Name)
+                    and node.exc.id == handler.name
+                ):
+                    return True
+            if scan(ast.iter_child_nodes(node)):
+                return True
+        return False
+
+    return scan(handler.body)
+
+
+@register
+class AsyncCancellationRule(Rule):
+    id = "async-cancellation"
+    description = (
+        "handlers inside async functions must not swallow "
+        "asyncio.CancelledError — bare except / except BaseException / "
+        "explicit CancelledError handlers need a re-raise"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        imports = ImportTable(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            func = enclosing_function(node)
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            label = _catches_cancellation(node.type, imports)
+            if label is None or _reraises(node):
+                continue
+            yield module.finding(
+                self.id,
+                node,
+                f"{label} inside async {func.name}() swallows "
+                "asyncio.CancelledError: the task reports done and "
+                "cancellation (wait_for bounds, drain escalation) "
+                "silently stops working; re-raise it",
+            )

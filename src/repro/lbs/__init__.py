@@ -14,7 +14,16 @@ from .backends import (
 )
 from .continuous import CloakTimeline, ContinuousCloaker, TimelineEntry
 from .deferral import DeferredCloaking, DeferredResult, TemporalTolerance
-from .faults import FAULT_PLAN_ENV, Deadline, FaultAction, FaultInjector, FaultPlan
+from .faults import (
+    FAULT_PLAN_ENV,
+    NETWORK_FAULT_KINDS,
+    Deadline,
+    FaultAction,
+    FaultInjector,
+    FaultPlan,
+    FaultyConnection,
+    NetworkFaultInjector,
+)
 from .framing import DEFAULT_MAX_FRAME_BYTES, FrameDecoder, encode_frame
 from .provider import LBSProvider
 from .query import CandidateResult, PoiDirectory, PointOfInterest, range_query
@@ -61,12 +70,16 @@ __all__ = [
     "FaultAction",
     "FaultInjector",
     "FaultPlan",
+    "FaultyConnection",
+    "NetworkFaultInjector",
+    "NETWORK_FAULT_KINDS",
     "FAULT_PLAN_ENV",
     "FrameDecoder",
     "encode_frame",
     "DEFAULT_MAX_FRAME_BYTES",
     "FrontendServer",
     "FrontendClient",
+    "ResilientClient",
 ]
 
 
@@ -74,7 +87,7 @@ def __getattr__(name: str):
     # The front-end is imported lazily (PEP 562) so that
     # ``python -m repro.lbs.frontend`` does not import the module twice
     # (once here, once as ``__main__`` — runpy warns about exactly that).
-    if name in ("FrontendServer", "FrontendClient"):
+    if name in ("FrontendServer", "FrontendClient", "ResilientClient"):
         from . import frontend
 
         return getattr(frontend, name)

@@ -56,6 +56,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import stat
 import threading
 import time
 from abc import ABC, abstractmethod
@@ -879,6 +880,39 @@ def _worker_peel_chunk(
     )
 
 
+def _close_inherited_sockets(keep_fd: int) -> None:
+    """Close socket FDs a ``fork``-started worker inherited from the parent.
+
+    A worker forked while the parent is serving (first lazy spawn under
+    load, or a supervised respawn) inherits duplicates of every open
+    socket: the front-end listener and every accepted connection. Those
+    duplicates keep the TCP connections alive after the parent closes its
+    own copies, so evictions, drains and shutdowns would never surface to
+    the peers as FIN/RST. Workers rebuild all state from wire documents by
+    design and own no socket except their dispatch pipe (itself a
+    socketpair end — ``keep_fd``), so every other inherited socket is
+    safe to close. Under ``spawn``/``forkserver`` nothing is inherited and
+    this is a no-op; without procfs (macOS) it degrades to a no-op too,
+    which matches the platform's ``spawn`` default.
+    """
+    try:
+        fd_names = os.listdir("/proc/self/fd")
+    except OSError:
+        return
+    for name in fd_names:
+        try:
+            fd = int(name)
+        except ValueError:
+            continue
+        if fd == keep_fd or fd < 3:
+            continue
+        try:
+            if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:
+            continue
+
+
 def _worker_main(
     connection,
     network_blob: str,
@@ -912,6 +946,7 @@ def _worker_main(
     chunk 0 — and, because faults default to incarnation 0, does not
     re-trigger the fault that killed its predecessor.
     """
+    _close_inherited_sockets(connection.fileno())
     _worker_init(network_blob, algorithm_name, params_blob, include_hints)
     plan = FaultPlan.from_json(plan_blob) if plan_blob else None
     injector = FaultInjector(

@@ -46,23 +46,58 @@ Fault kinds
     parent's teardown escalation (join → terminate → kill) to go all the
     way; used by the zombie-reaping regression tests.
 
+Network fault kinds
+-------------------
+
+Where the kinds above script a *worker* failing, these script the *wire*
+failing — everything a hostile or dying peer can do to the socket
+front-end (:mod:`repro.lbs.frontend`). They are applied client-side by a
+fault-wrapping transport (:class:`FaultyConnection`, or a
+:class:`~repro.lbs.frontend.ResilientClient` carrying a
+:class:`NetworkFaultInjector`), keyed on deterministic **connection** and
+**frame** ordinals instead of worker/chunk/item:
+
+``stall_bytes``
+    Send only the first ``count`` bytes of the frame, then fall silent
+    with the connection held open — the slow-loris shape the server's
+    ``idle_timeout_s`` eviction must catch.
+``truncate_frame``
+    Send a ``count``-byte prefix of the frame, then close the connection
+    — a mid-frame disconnect, visible server-side as a rejected frame.
+``corrupt_frame``
+    Keep the length header, XOR every payload byte with ``0x5A`` — a
+    well-framed garbage payload the server must answer with a structured
+    ``malformed_document`` outcome (and count as a strike).
+``drop_connection``
+    Abort the connection just before this frame is sent — the reconnect
+    trigger a resilient client absorbs.
+``dribble_write``
+    Send the frame ``count`` bytes at a time (default 1), draining
+    between sends — pathological chunking that must change *nothing*
+    observable: byte-identical outcome, no counters moved.
+
 Matching semantics: ``worker``/``chunk``/``item``/``op``/``incarnation``
 are filters; a ``None`` filter matches anything (``incarnation`` defaults
 to ``0`` — first incarnation only — so a respawned worker does *not*
 re-trigger the fault that killed its predecessor unless the plan says
-``incarnation: null``). Each action fires at most once per injector
-instance, i.e. once per worker incarnation.
+``incarnation: null``). Network kinds filter on ``connection``/``frame``
+the same way. Each action fires at most once per injector instance, i.e.
+once per worker incarnation (once per plan for a shared
+:class:`NetworkFaultInjector`).
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..errors import DeadlineExceededError, WireFormatError
+from .framing import DEFAULT_MAX_FRAME_BYTES, FRAME_HEADER_SIZE, FrameDecoder, encode_frame
 
 __all__ = [
     "FAULT_PLAN_ENV",
@@ -71,6 +106,9 @@ __all__ = [
     "FaultAction",
     "FaultPlan",
     "FaultInjector",
+    "NETWORK_FAULT_KINDS",
+    "NetworkFaultInjector",
+    "FaultyConnection",
 ]
 
 #: The environment variable the backends read a default fault plan from:
@@ -82,13 +120,23 @@ FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 #: the supervision tests can distinguish from organic crashes.
 KILLED_EXIT_CODE = 23
 
+#: The wire-level kinds, consulted by :class:`NetworkFaultInjector` on
+#: deterministic (connection, frame) ordinals; inert in worker injectors.
+NETWORK_FAULT_KINDS = (
+    "stall_bytes",
+    "truncate_frame",
+    "corrupt_frame",
+    "drop_connection",
+    "dribble_write",
+)
+
 _FAULT_KINDS = (
     "kill_worker",
     "delay",
     "drop_reply",
     "ignore_shutdown",
     "ignore_sigterm",
-)
+) + NETWORK_FAULT_KINDS
 
 _OPS = ("cloak", "peel")
 
@@ -174,6 +222,13 @@ class FaultAction:
         incarnation: Worker-incarnation filter. Defaults to ``0`` so a
             fault does not re-fire after the supervised respawn; ``None``
             re-fires on every incarnation (the crash-loop scenarios).
+        connection: Connection-ordinal filter of the network kinds
+            (``None`` = any connection).
+        frame: Frame-ordinal-within-connection filter of the network
+            kinds (``None`` = any frame).
+        count: Byte granularity of the network kinds — prefix length for
+            ``stall_bytes``/``truncate_frame``, chunk size for
+            ``dribble_write`` (each has a deterministic default).
     """
 
     kind: str
@@ -183,6 +238,9 @@ class FaultAction:
     op: Optional[str] = None
     delay_ms: float = 0.0
     incarnation: Optional[int] = 0
+    connection: Optional[int] = None
+    frame: Optional[int] = None
+    count: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _FAULT_KINDS:
@@ -197,10 +255,23 @@ class FaultAction:
             raise WireFormatError(
                 f"delay fault needs a positive delay_ms, got {self.delay_ms}"
             )
+        if self.count is not None and self.count < 0:
+            raise WireFormatError(
+                f"fault count must be >= 0, got {self.count}"
+            )
 
     def to_dict(self) -> dict:
         document: dict = {"kind": self.kind}
-        for field in ("worker", "chunk", "item", "op", "incarnation"):
+        for field in (
+            "worker",
+            "chunk",
+            "item",
+            "op",
+            "incarnation",
+            "connection",
+            "frame",
+            "count",
+        ):
             value = getattr(self, field)
             if field == "incarnation":
                 document[field] = value  # None is meaningful: any incarnation
@@ -232,7 +303,19 @@ class FaultAction:
             incarnation=(
                 opt_int("incarnation") if "incarnation" in document else 0
             ),
+            connection=opt_int("connection"),
+            frame=opt_int("frame"),
+            count=opt_int("count"),
         )
+
+    def matches_wire(self, *, connection: int, frame: int) -> bool:
+        """Whether this (network-kind) action fires at the given
+        connection/frame ordinals — ``None`` filters match anything."""
+        if self.connection is not None and self.connection != connection:
+            return False
+        if self.frame is not None and self.frame != frame:
+            return False
+        return True
 
     def matches(
         self,
@@ -402,3 +485,193 @@ class FaultInjector:
             # A hard exit, not an exception: the point is to simulate a
             # crash the parent can only observe as a dead pipe.
             os._exit(KILLED_EXIT_CODE)
+
+
+class NetworkFaultInjector:
+    """The client-side runtime of the network fault kinds.
+
+    One injector per plan, *shared* by every fault-wrapped connection the
+    scenario opens (unlike worker injectors, which are per-incarnation):
+    the fire-once guarantee then holds across the whole scenario, so "one
+    disconnect per 100 connections" means exactly one. Consulted once per
+    outbound frame with the connection's ordinal and the frame's ordinal
+    within it; non-network kinds in the plan are ignored, so one plan can
+    script worker *and* wire failures.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan]) -> None:
+        self._actions = [
+            action
+            for action in (plan.actions if plan is not None else ())
+            if action.kind in NETWORK_FAULT_KINDS
+        ]
+        self._spent: set = set()
+
+    def __bool__(self) -> bool:
+        return bool(self._actions)
+
+    def take(self, connection: int, frame: int) -> Optional[FaultAction]:
+        """The first unspent action matching these ordinals, marked spent
+        (``None`` when this frame sends clean)."""
+        for index, action in enumerate(self._actions):
+            if index in self._spent:
+                continue
+            if action.matches_wire(connection=connection, frame=frame):
+                self._spent.add(index)
+                return action
+        return None
+
+
+class FaultyConnection:
+    """A deliberately misbehaving front-end connection (tests + bench).
+
+    Wraps one raw client socket to :class:`~repro.lbs.frontend
+    .FrontendServer` and consults a :class:`NetworkFaultInjector` before
+    every outbound frame, applying whichever network fault kind matches
+    (see the module docstring for the kind semantics). Frames with no
+    matching action are sent verbatim — a ``FaultyConnection`` under an
+    empty plan is byte-for-byte an ordinary client, which is what lets
+    the fault suite assert unaffected requests stay byte-identical.
+
+    After ``stall_bytes`` the connection deliberately stays open and
+    silent (:attr:`stalled`); after ``truncate_frame``/``drop_connection``
+    it is dead (:attr:`dead`) and further sends report ``"dead"`` without
+    raising, so a scripted scenario never has to guard its own tail.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        injector: Optional[NetworkFaultInjector] = None,
+        connection_index: int = 0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._injector = injector
+        self._connection = connection_index
+        self._max_frame_bytes = max_frame_bytes
+        self._decoder = FrameDecoder(max_frame_bytes)
+        self._replies: deque = deque()
+        self._frames_sent = 0
+        self.stalled = False
+        self.dead = False
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        injector: Optional[NetworkFaultInjector] = None,
+        connection_index: int = 0,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        recv_buffer_bytes: Optional[int] = None,
+    ) -> "FaultyConnection":
+        """Open a connection; ``recv_buffer_bytes`` shrinks ``SO_RCVBUF``
+        *before* connecting, the deterministic way to play a slow reader
+        (the kernel stops acking for us once the small buffer fills)."""
+        sock = None
+        if recv_buffer_bytes is not None:
+            import socket as socket_module
+
+            sock = socket_module.socket()
+            sock.setsockopt(
+                socket_module.SOL_SOCKET,
+                socket_module.SO_RCVBUF,
+                recv_buffer_bytes,
+            )
+            sock.setblocking(False)
+            await asyncio.get_running_loop().sock_connect(sock, (host, port))
+            reader, writer = await asyncio.open_connection(sock=sock)
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, injector, connection_index, max_frame_bytes)
+
+    @property
+    def frames_sent(self) -> int:
+        """Outbound frame ordinal counter (faulted sends count too)."""
+        return self._frames_sent
+
+    async def send_frame(self, payload) -> str:
+        """Send one frame payload through the fault filter.
+
+        Returns what actually happened on the wire: ``"sent"`` (clean or
+        dribbled), ``"stalled"``, ``"truncated"``, ``"corrupted"``,
+        ``"dropped"``, or ``"dead"`` (the connection already died to an
+        earlier fault — nothing was sent).
+        """
+        if isinstance(payload, dict):
+            payload = json.dumps(payload, separators=(",", ":"))
+        frame = encode_frame(payload, self._max_frame_bytes)
+        ordinal = self._frames_sent
+        self._frames_sent += 1
+        if self.dead or self.stalled:
+            return "dead" if self.dead else "stalled"
+        action = (
+            self._injector.take(self._connection, ordinal)
+            if self._injector is not None
+            else None
+        )
+        if action is None:
+            self._writer.write(frame)
+            await self._writer.drain()
+            return "sent"
+        if action.kind == "drop_connection":
+            self.dead = True
+            self._writer.transport.abort()
+            return "dropped"
+        if action.kind == "stall_bytes":
+            count = action.count if action.count is not None else len(frame) // 2
+            self._writer.write(frame[:count])
+            await self._writer.drain()
+            self.stalled = True
+            return "stalled"
+        if action.kind == "truncate_frame":
+            count = action.count if action.count is not None else len(frame) - 1
+            self._writer.write(frame[:count])
+            await self._writer.drain()
+            self.dead = True
+            self._writer.close()
+            return "truncated"
+        if action.kind == "corrupt_frame":
+            header = frame[:FRAME_HEADER_SIZE]
+            body = bytes(byte ^ 0x5A for byte in frame[FRAME_HEADER_SIZE:])
+            self._writer.write(header + body)
+            await self._writer.drain()
+            return "corrupted"
+        # dribble_write: pathological chunking, still a valid frame.
+        step = action.count or 1
+        for start in range(0, len(frame), step):
+            self._writer.write(frame[start : start + step])
+            await self._writer.drain()
+        return "sent"
+
+    async def read_reply(self, timeout_s: float = 30.0) -> Optional[bytes]:
+        """The next reply frame payload, or ``None`` at EOF/reset.
+
+        Always bounded by ``timeout_s`` (raising ``asyncio.TimeoutError``
+        past it) — the fault suite's "never hangs" checks lean on this.
+        """
+        while not self._replies:
+            try:
+                data = await asyncio.wait_for(
+                    self._reader.read(1 << 16), timeout_s
+                )
+            except asyncio.TimeoutError:
+                raise
+            except (ConnectionError, OSError):
+                return None
+            if not data:
+                return None
+            self._replies.extend(self._decoder.feed(data))
+        return self._replies.popleft()
+
+    async def close(self) -> None:
+        self.dead = True
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -79,6 +79,13 @@ class FrameDecoder:
     one incomplete frame (≤ ``max_frame_bytes`` + header) plus the chunk
     being fed, because an oversized declaration raises before its payload
     is ever buffered.
+
+    An oversized declaration also *poisons* the decoder: the stream has no
+    resynchronization marker, so any byte after the bad header is
+    mid-payload garbage that must never be decoded as a frame. Every
+    subsequent :meth:`feed` raises the same way (:attr:`poisoned`), which
+    keeps a caller that swallowed the first error from silently reading
+    corrupted frames.
     """
 
     def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
@@ -88,6 +95,7 @@ class FrameDecoder:
             )
         self._max_frame_bytes = max_frame_bytes
         self._buffer = bytearray()
+        self._poisoned = False
 
     @property
     def max_frame_bytes(self) -> int:
@@ -105,15 +113,27 @@ class FrameDecoder:
         checks at EOF to tell a clean close from a mid-frame disconnect."""
         return len(self._buffer) > 0
 
+    @property
+    def poisoned(self) -> bool:
+        """Whether an oversized declaration has made the stream
+        undecodable — every further :meth:`feed` raises."""
+        return self._poisoned
+
     def feed(self, data: bytes) -> List[bytes]:
         """Absorb ``data``; return every frame payload it completed.
 
         Raises:
             WireFormatError: A frame declared more than ``max_frame_bytes``
-                of payload. The stream is unrecoverable past this point
+                of payload — on the offending chunk and on every chunk
+                after it. The stream is unrecoverable past this point
                 (there is no resynchronization marker); the caller must
                 drop the connection.
         """
+        if self._poisoned:
+            raise WireFormatError(
+                "frame stream is poisoned by an earlier oversized "
+                "declaration; drop the connection"
+            )
         self._buffer.extend(data)
         frames: List[bytes] = []
         buffer = self._buffer
@@ -122,6 +142,7 @@ class FrameDecoder:
             (length,) = _HEADER.unpack_from(buffer, offset)
             if length > self._max_frame_bytes:
                 del buffer[:offset]
+                self._poisoned = True
                 raise WireFormatError(
                     f"peer declared a frame of {length} bytes, over the "
                     f"{self._max_frame_bytes}-byte frame limit"

@@ -64,6 +64,8 @@ from .wire import (
     CLOAK_REQUEST_FORMAT,
     DEANONYMIZE_BATCH_FORMAT,
     DEANONYMIZE_REQUEST_FORMAT,
+    PING_FORMAT,
+    PING_REQUEST_FORMAT,
     STATS_FORMAT,
     STATS_REQUEST_FORMAT,
     WIRE_VERSION,
@@ -530,6 +532,19 @@ class AnonymizerService:
                     "version": WIRE_VERSION,
                     "status": "ok",
                     "counters": self.stats(),
+                }
+            if kind == PING_REQUEST_FORMAT:
+                # The liveness probe: no counters, no lock, nothing that
+                # can block — a probe must answer even when serving hurts.
+                version = document.get("version")
+                if version != WIRE_VERSION:
+                    raise WireFormatError(
+                        f"unsupported {PING_REQUEST_FORMAT} version: {version!r}"
+                    )
+                return {
+                    "format": PING_FORMAT,
+                    "version": WIRE_VERSION,
+                    "status": "ok",
                 }
             raise WireFormatError(self._unknown_format_message(document, kind))
         except ReverseCloakError as exc:

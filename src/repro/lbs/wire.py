@@ -68,6 +68,10 @@ __all__ = [
     "SNAPSHOT_FORMAT",
     "STATS_REQUEST_FORMAT",
     "STATS_FORMAT",
+    "PING_REQUEST_FORMAT",
+    "PING_FORMAT",
+    "HEALTH_REQUEST_FORMAT",
+    "HEALTH_FORMAT",
     "MALFORMED_DOCUMENT",
     "ERROR_CODES",
     "CloakRequest",
@@ -94,6 +98,10 @@ BATCH_OUTCOME_FORMAT = "repro.batch_outcome"
 SNAPSHOT_FORMAT = "repro.snapshot"
 STATS_REQUEST_FORMAT = "repro.stats_request"
 STATS_FORMAT = "repro.stats"
+PING_REQUEST_FORMAT = "repro.ping"
+PING_FORMAT = "repro.pong"
+HEALTH_REQUEST_FORMAT = "repro.health_request"
+HEALTH_FORMAT = "repro.health"
 
 #: The error code every malformed wire document maps to.
 MALFORMED_DOCUMENT = "malformed_document"

@@ -1,0 +1,49 @@
+"""Golden negative for ``async-cancellation``: the sanctioned idioms —
+re-raising handlers, ``except Exception`` (which cannot catch
+``CancelledError`` since 3.8), and ungoverned synchronous code."""
+
+import asyncio
+from asyncio import CancelledError
+
+
+async def reraise_plain(task):
+    task.cancel()
+    try:
+        await task
+    except asyncio.CancelledError:
+        raise
+
+
+async def reraise_conditionally(task):
+    task.cancel()
+    try:
+        await task
+    except CancelledError:
+        if not task.cancelled():
+            raise
+
+
+async def reraise_bound_name(task):
+    try:
+        await task
+    except BaseException as exc:
+        cleanup = True
+        if cleanup:
+            raise exc
+
+
+async def except_exception_is_exempt(job):
+    # Since 3.8 CancelledError derives from BaseException precisely so
+    # this handler cannot swallow it.
+    try:
+        return await job()
+    except Exception:
+        return None
+
+
+def sync_functions_are_not_governed(queue):
+    # No await points: cancellation is never delivered into this frame.
+    try:
+        return queue.get_nowait()
+    except:
+        return None

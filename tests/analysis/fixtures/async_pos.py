@@ -1,0 +1,44 @@
+"""Golden positive for ``async-cancellation``: handlers inside async
+functions that swallow a task's cancellation, so the task reports done
+and wait_for bounds / drain escalation silently stop working."""
+
+import asyncio
+
+
+async def swallow_everything(queue):
+    try:
+        return await queue.get()
+    except:  # EXPECT: async-cancellation
+        return None
+
+
+async def swallow_base_exception(task):
+    try:
+        await task
+    except BaseException:  # EXPECT: async-cancellation
+        return None
+
+
+async def swallow_explicit_cancel(task):
+    task.cancel()
+    try:
+        await task
+    except asyncio.CancelledError:  # EXPECT: async-cancellation
+        pass
+
+
+async def swallow_in_tuple(task):
+    try:
+        await task
+    except (ValueError, asyncio.CancelledError):  # EXPECT: async-cancellation
+        return None
+
+
+async def raise_hidden_in_nested_function(task):
+    try:
+        await task
+    except asyncio.CancelledError:  # EXPECT: async-cancellation
+        def rethrow():
+            raise
+
+        rethrow()

@@ -47,6 +47,7 @@ def test_positive_fixtures_fail_the_cli(monkeypatch, capsys):
             str(FIXTURES / "wire_pos.py"),
             str(FIXTURES / "core" / "determinism_pos.py"),
             str(FIXTURES / "spawn_pos.py"),
+            str(FIXTURES / "async_pos.py"),
             str(FIXTURES / "errreg_pos"),
         ]
     )
@@ -64,5 +65,6 @@ def test_every_rule_has_positive_and_negative_coverage():
         "determinism",
         "spawn-safety",
         "error-registry",
+        "async-cancellation",
     }
     assert {rule.id for rule in all_rules()} == covered

@@ -34,6 +34,7 @@ POSITIVE_FIXTURES = [
     ("wire_pos.py", "wire-roundtrip"),
     ("core/determinism_pos.py", "determinism"),
     ("spawn_pos.py", "spawn-safety"),
+    ("async_pos.py", "async-cancellation"),
 ]
 
 NEGATIVE_FIXTURES = [
@@ -42,6 +43,7 @@ NEGATIVE_FIXTURES = [
     "wire_neg.py",
     "core/determinism_neg.py",
     "spawn_neg.py",
+    "async_neg.py",
 ]
 
 

@@ -258,3 +258,74 @@ class TestPlanWireShape:
                 }
             ]
         }
+
+
+class TestNetworkActions:
+    """Mechanism tests of the wire-side fault vocabulary: plan shape,
+    validation, matching, and the scenario-wide fire-once injector. The
+    end-to-end behavior lives in ``test_network_faults.py``."""
+
+    def test_network_action_round_trips_with_omitted_none_fields(self):
+        plan = FaultPlan(
+            actions=(
+                FaultAction(kind="drop_connection", connection=3, frame=0),
+                FaultAction(kind="dribble_write", connection=4, frame=1,
+                            count=2),
+                FaultAction(kind="stall_bytes"),  # wildcard: any conn/frame
+            )
+        )
+        document = json.loads(plan.to_json())
+        # None-valued filters are omitted on the wire (incarnation aside),
+        # so a wildcard action stays a one-key document.
+        assert document["faults"][0] == {
+            "kind": "drop_connection",
+            "connection": 3,
+            "frame": 0,
+            "incarnation": 0,
+        }
+        assert document["faults"][1]["count"] == 2
+        assert set(document["faults"][2]) == {"kind", "incarnation"}
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_network_kind_and_negative_count_rejected(self):
+        with pytest.raises(WireFormatError):
+            FaultAction(kind="sever_cable")
+        with pytest.raises(WireFormatError):
+            FaultAction(kind="dribble_write", count=-1)
+        # Zero is allowed: "stall after zero bytes" is the silent peer.
+        assert FaultAction(kind="stall_bytes", count=0).count == 0
+
+    def test_matches_wire_none_filters_match_anything(self):
+        wildcard = FaultAction(kind="drop_connection")
+        assert wildcard.matches_wire(connection=7, frame=3)
+        pinned = FaultAction(kind="drop_connection", connection=1, frame=2)
+        assert pinned.matches_wire(connection=1, frame=2)
+        assert not pinned.matches_wire(connection=1, frame=3)
+        assert not pinned.matches_wire(connection=2, frame=2)
+
+    def test_injector_fires_each_action_once_across_connections(self):
+        from repro.lbs import NetworkFaultInjector
+
+        plan = FaultPlan(
+            actions=(FaultAction(kind="drop_connection", connection=0),)
+        )
+        injector = NetworkFaultInjector(plan)
+        taken = injector.take(connection=0, frame=0)
+        assert taken is not None and taken.kind == "drop_connection"
+        # Spent: the same ordinals fire nothing on any later consult.
+        assert injector.take(connection=0, frame=1) is None
+        assert injector.take(connection=0, frame=0) is None
+
+    def test_injector_ignores_worker_kinds(self):
+        from repro.lbs import NetworkFaultInjector
+
+        plan = FaultPlan(
+            actions=(
+                FaultAction(kind="kill_worker", worker=0),
+                FaultAction(kind="drop_reply", worker=1),
+            )
+        )
+        injector = NetworkFaultInjector(plan)
+        assert not injector
+        assert injector.take(connection=0, frame=0) is None
+        assert NetworkFaultInjector(None).take(connection=0, frame=0) is None

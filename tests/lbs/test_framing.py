@@ -98,3 +98,30 @@ class TestOversized:
     def test_rejects_nonpositive_limit(self):
         with pytest.raises(WireFormatError):
             FrameDecoder(max_frame_bytes=0)
+
+
+class TestPoisonLatch:
+    """An oversized declaration is unrecoverable — the stream cannot be
+    resynchronized — so the decoder latches and refuses everything after."""
+
+    def test_clean_decoder_is_not_poisoned(self):
+        decoder = FrameDecoder(max_frame_bytes=16)
+        decoder.feed(encode_frame(b"ok", 16))
+        assert not decoder.poisoned
+
+    def test_oversized_declaration_sets_the_latch(self):
+        decoder = FrameDecoder(max_frame_bytes=16)
+        with pytest.raises(WireFormatError):
+            decoder.feed(struct.pack(">I", 17))
+        assert decoder.poisoned
+
+    def test_every_feed_after_poisoning_raises(self):
+        decoder = FrameDecoder(max_frame_bytes=16)
+        with pytest.raises(WireFormatError):
+            decoder.feed(struct.pack(">I", 1 << 30))
+        # Even perfectly well-formed frames are refused now: the byte
+        # stream's framing is unrecoverable, not the individual frame.
+        for _ in range(2):
+            with pytest.raises(WireFormatError, match="poisoned"):
+                decoder.feed(encode_frame(b"ok", 16))
+        assert decoder.poisoned

@@ -21,6 +21,7 @@ import signal
 import struct
 import subprocess
 import sys
+import threading
 
 import pytest
 
@@ -40,11 +41,15 @@ from repro.lbs import (
     ProcessPoolBackend,
     encode_frame,
 )
-from repro.lbs.faults import FAULT_PLAN_ENV
+from repro.lbs.faults import FAULT_PLAN_ENV, FaultyConnection
 from repro.lbs.framing import FrameDecoder
 from repro.lbs.wire import (
     DEANONYMIZE_REQUEST_FORMAT,
+    HEALTH_FORMAT,
+    HEALTH_REQUEST_FORMAT,
     MALFORMED_DOCUMENT,
+    PING_FORMAT,
+    PING_REQUEST_FORMAT,
     STATS_FORMAT,
     STATS_REQUEST_FORMAT,
     WIRE_VERSION,
@@ -109,6 +114,14 @@ def _canonical(outcome: dict) -> str:
 
 def _stats_doc() -> dict:
     return {"format": STATS_REQUEST_FORMAT, "version": WIRE_VERSION}
+
+
+def _ping_doc() -> dict:
+    return {"format": PING_REQUEST_FORMAT, "version": WIRE_VERSION}
+
+
+def _health_doc() -> dict:
+    return {"format": HEALTH_REQUEST_FORMAT, "version": WIRE_VERSION}
 
 
 async def _raw_connection(server):
@@ -398,6 +411,12 @@ class TestCoalescing:
             {"max_pending": 0},
             {"max_connection_pending": 0},
             {"serve_threads": 0},
+            {"idle_timeout_s": 0.0},
+            {"idle_timeout_s": -1.0},
+            {"max_write_buffer_bytes": 0},
+            {"drain_timeout_s": 0.0},
+            {"max_malformed_frames": 0},
+            {"drain_deadline_s": -1.0},
         ):
             with pytest.raises(ProfileError):
                 FrontendServer(service, **kwargs)
@@ -442,6 +461,15 @@ class TestStatsOverWire:
         assert counters["frontend_requests_shed"] == 0
         assert counters["frontend_pending"] == 0
         assert counters["requests_served"] == 1
+        # The lifecycle counters ride along, all still zero on a clean run.
+        for key in (
+            "connections_evicted",
+            "idle_timeouts",
+            "expired_before_dispatch",
+            "malformed_frames",
+            "drained_inflight",
+        ):
+            assert counters[key] == 0, key
 
 
 class TestOverload:
@@ -691,6 +719,432 @@ class TestDeadlinesAndFaults:
         assert outcome["status"] == "ok"
 
 
+class TestLifecycleHardening:
+    def test_idle_connection_evicted_despite_trickled_bytes(
+        self, grid10, traffic_snapshot, profile
+    ):
+        """Slow loris: a peer trickling partial-frame bytes never resets
+        the idle clock — only a *completed* frame does — and the server is
+        fully alive for the next client afterwards."""
+        service = AnonymizerService(grid10)
+        service.update_snapshot(traffic_snapshot)
+        document = _cloak_doc(traffic_snapshot, profile, 0)
+
+        async def main():
+            async with FrontendServer(
+                service, batch_window_ms=1.0, idle_timeout_s=0.2
+            ) as server:
+                reader, writer = await _raw_connection(server)
+                frame = encode_frame(
+                    json.dumps({"request_id": 1, "request": _stats_doc()})
+                )
+                eof = asyncio.Event()
+
+                async def watch():
+                    try:
+                        await reader.read(1 << 16)
+                    except (ConnectionError, OSError):
+                        pass
+                    eof.set()
+
+                watcher = asyncio.get_running_loop().create_task(watch())
+                try:
+                    # Never the last byte: the frame must never complete.
+                    for index in range(len(frame) - 1):
+                        writer.write(frame[index : index + 1])
+                        await writer.drain()
+                        await asyncio.sleep(0.03)
+                        if eof.is_set():
+                            break
+                except (ConnectionError, OSError):
+                    pass
+                await asyncio.wait_for(eof.wait(), timeout=30)
+                await watcher
+                writer.close()
+                # A fresh client connects and serves normally.
+                client = await FrontendClient.connect(server.host, server.port)
+                outcome = await client.submit(document)
+                stats = await client.stats()
+                await client.close()
+                return outcome, stats
+
+        outcome, stats = asyncio.run(main())
+        assert outcome["status"] == "ok"
+        assert stats["counters"]["idle_timeouts"] == 1
+        assert stats["counters"]["connections_evicted"] == 1
+
+    def test_malformed_strikes_cut_the_connection(self, grid10, traffic_snapshot):
+        """Each malformed frame is answered; the strike that reaches the
+        limit closes the connection (flushing that final error reply)."""
+        service = AnonymizerService(grid10)
+        service.update_snapshot(traffic_snapshot)
+
+        async def main():
+            async with FrontendServer(
+                service, max_malformed_frames=3
+            ) as server:
+                reader, writer = await _raw_connection(server)
+                decoder = FrameDecoder()
+                for _ in range(3):
+                    writer.write(encode_frame(b"{definitely not json"))
+                await writer.drain()
+                replies = []
+                while len(replies) < 3:
+                    data = await asyncio.wait_for(reader.read(1 << 16), 30)
+                    assert data, "connection closed before the third reply"
+                    replies.extend(decoder.feed(data))
+                trailing = await asyncio.wait_for(reader.read(1 << 16), 30)
+                writer.close()
+                client = await FrontendClient.connect(server.host, server.port)
+                stats = await client.stats()
+                await client.close()
+                return replies, trailing, stats
+
+        replies, trailing, stats = asyncio.run(main())
+        for payload in replies:
+            reply = json.loads(payload)
+            assert reply["outcome"]["error"]["code"] == MALFORMED_DOCUMENT
+        assert trailing == b""  # closed, not aborted: clean EOF after reply 3
+        assert stats["counters"]["malformed_frames"] == 3
+        assert stats["counters"]["frames_rejected"] == 3
+        assert stats["counters"]["connections_evicted"] == 1
+
+    def test_slow_reader_evicted_on_write_backlog(
+        self, grid10, traffic_snapshot, profile
+    ):
+        """A peer that sends but never reads blows the write-backlog bound
+        and is evicted; the server stays healthy for everyone else."""
+        service = AnonymizerService(grid10)
+        service.update_snapshot(traffic_snapshot)
+        document = _cloak_doc(traffic_snapshot, profile, 0)
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            async with FrontendServer(
+                service, batch_window_ms=1.0, max_write_buffer_bytes=1 << 14
+            ) as server:
+                hog = await FaultyConnection.connect(
+                    server.host, server.port, recv_buffer_bytes=2048
+                )
+                deadline_at = loop.time() + 30
+                sent = 0
+                # Flood stats requests and read nothing: replies pile up in
+                # the hog's tiny kernel buffer, then the server's capped
+                # send buffer, then the transport buffer — which trips the
+                # bound.
+                while server.counters()["connections_evicted"] == 0:
+                    assert loop.time() < deadline_at, "hog was never evicted"
+                    try:
+                        await hog.send_frame(
+                            {"request_id": sent, "request": _stats_doc()}
+                        )
+                    except (ConnectionError, OSError):
+                        pass  # reset by the eviction racing our send
+                    sent += 1
+                await hog.close()
+                client = await FrontendClient.connect(server.host, server.port)
+                outcome = await client.submit(document)
+                await client.close()
+                return outcome, server.counters()
+
+        outcome, counters = asyncio.run(main())
+        assert outcome["status"] == "ok"
+        assert counters["connections_evicted"] == 1
+        assert counters["idle_timeouts"] == 0  # evicted for backlog, not idleness
+
+    def test_stalled_reader_cannot_wedge_other_clients(
+        self, grid10, traffic_snapshot, profile
+    ):
+        """Reply drains are per-connection and bounded: a stalled reader
+        sharing a coalesced batch cannot delay the other connections'
+        replies, and close() stays prompt."""
+        service = AnonymizerService(grid10)
+        service.update_snapshot(traffic_snapshot)
+        hog_doc = json.dumps(
+            {"request_id": 0, "request": _cloak_doc(traffic_snapshot, profile, 0)}
+        )
+        documents = [
+            _cloak_doc(traffic_snapshot, profile, index) for index in range(1, 4)
+        ]
+
+        async def main():
+            server = FrontendServer(
+                service,
+                batch_window_ms=20.0,
+                max_write_buffer_bytes=1 << 14,
+                drain_timeout_s=0.3,
+            )
+            await server.start()
+            hog = await FaultyConnection.connect(
+                server.host, server.port, recv_buffer_bytes=2048
+            )
+            # One batch, two connections: 80 fat replies the hog will never
+            # read, three the bystander is waiting on.
+            for index in range(80):
+                try:
+                    await hog.send_frame(
+                        json.dumps(
+                            {
+                                "request_id": index,
+                                "request": _cloak_doc(
+                                    traffic_snapshot, profile, index % 8
+                                ),
+                            }
+                        )
+                    )
+                except (ConnectionError, OSError):
+                    break
+            bystander = await FrontendClient.connect(server.host, server.port)
+            outcomes = await asyncio.wait_for(
+                asyncio.gather(*[bystander.submit(d) for d in documents]),
+                timeout=30,
+            )
+            await asyncio.wait_for(server.close(), timeout=30)
+            await bystander.close()
+            await hog.close()
+            return outcomes, server.counters()
+
+        outcomes, counters = asyncio.run(main())
+        assert all(outcome["status"] == "ok" for outcome in outcomes)
+        assert counters["connections_evicted"] == 1
+
+
+class TestPingHealth:
+    def test_ping_matches_direct_service_handle(self, grid10, traffic_snapshot):
+        service = AnonymizerService(grid10)
+        service.update_snapshot(traffic_snapshot)
+        expected = _canonical(service.handle(_ping_doc()))
+
+        async def main():
+            async with FrontendServer(service) as server:
+                client = await FrontendClient.connect(server.host, server.port)
+                outcome = await client.submit(_ping_doc())
+                await client.close()
+                return outcome
+
+        outcome = asyncio.run(main())
+        assert outcome["format"] == PING_FORMAT
+        assert _canonical(outcome) == expected
+
+    def test_probes_answer_before_admission(
+        self, grid10, traffic_snapshot, profile
+    ):
+        """Ping and health must work exactly when the queues are full —
+        they answer before the admission check that sheds everything
+        else."""
+        service = AnonymizerService(grid10)
+        service.update_snapshot(traffic_snapshot)
+        documents = [_cloak_doc(traffic_snapshot, profile, i) for i in range(2)]
+
+        async def main():
+            server = FrontendServer(
+                service, batch_window_ms=60_000.0, max_pending=1
+            )
+            await server.start()
+            client = await FrontendClient.connect(server.host, server.port)
+            blocked = client.submit(documents[0])  # admitted, parked in lane
+            shed = await client.submit(documents[1])  # queue full
+            ping = await client.submit(_ping_doc())
+            health = await client.submit(_health_doc())
+            close_task = asyncio.get_running_loop().create_task(server.close())
+            outcome = await asyncio.wait_for(blocked, timeout=30)
+            await asyncio.wait_for(close_task, timeout=30)
+            await client.close()
+            return shed, ping, health, outcome
+
+        shed, ping, health, outcome = asyncio.run(main())
+        assert shed["error"]["code"] == "overloaded"
+        assert ping["status"] == "ok"
+        assert health["format"] == HEALTH_FORMAT
+        assert health["status"] == "ok"
+        assert health["counters"]["frontend_pending"] == 1
+        assert outcome["status"] == "ok"  # close() flushed the parked lane
+
+
+class TestDeadlinePropagation:
+    def test_expired_request_shed_before_dispatch(
+        self, grid10, traffic_snapshot, profile
+    ):
+        """A request whose deadline expires while coalescing is answered
+        with ``deadline_exceeded`` by the front-end — the engine never
+        sees it."""
+        service = AnonymizerService(grid10)
+        service.update_snapshot(traffic_snapshot)
+        dispatched = []
+        original = service.handle_batch
+
+        def capture(documents):
+            dispatched.extend(documents)
+            return original(documents)
+
+        service.handle_batch = capture
+        document = _cloak_doc(traffic_snapshot, profile, 0)
+
+        async def main():
+            async with FrontendServer(service, batch_window_ms=150.0) as server:
+                client = await FrontendClient.connect(server.host, server.port)
+                outcome = await client.submit(document, deadline_ms=1.0)
+                stats = await client.stats()
+                await client.close()
+                return outcome, stats
+
+        outcome, stats = asyncio.run(main())
+        assert outcome["status"] == "error"
+        assert outcome["error"]["code"] == "deadline_exceeded"
+        assert "front-end queue" in outcome["error"]["message"]
+        assert dispatched == []
+        assert stats["counters"]["expired_before_dispatch"] == 1
+
+    def test_remaining_budget_forwarded_to_engine(
+        self, grid10, traffic_snapshot, profile
+    ):
+        """A live request reaches the engine with only its *remaining*
+        budget — the coalescing wait already subtracted — while a
+        deadline-free request stays deadline-free."""
+        service = AnonymizerService(grid10)
+        service.update_snapshot(traffic_snapshot)
+        captured = []
+        original = service.handle_batch
+
+        def capture(documents):
+            captured.extend(documents)
+            return original(documents)
+
+        service.handle_batch = capture
+        document = _cloak_doc(traffic_snapshot, profile, 0)
+        assert "deadline_ms" not in document
+
+        async def main():
+            async with FrontendServer(service, batch_window_ms=50.0) as server:
+                client = await FrontendClient.connect(server.host, server.port)
+                stamped = await client.submit(document, deadline_ms=60_000.0)
+                bare = await client.submit(document)
+                await client.close()
+                return stamped, bare
+
+        stamped, bare = asyncio.run(main())
+        assert stamped["status"] == "ok" and bare["status"] == "ok"
+        assert len(captured) == 2
+        forwarded = captured[0]["deadline_ms"]
+        # Shrunk by the ~50 ms coalescing window, but nowhere near spent.
+        assert 55_000.0 < forwarded < 60_000.0
+        assert "deadline_ms" not in captured[1]
+
+
+class TestGracefulDrain:
+    def _gated_service(self, grid10, traffic_snapshot):
+        service = AnonymizerService(grid10)
+        service.update_snapshot(traffic_snapshot)
+        started = threading.Event()
+        gate = threading.Event()
+        original = service.handle_batch
+
+        def gated(documents):
+            started.set()
+            assert gate.wait(timeout=60), "test gate never released"
+            return original(documents)
+
+        service.handle_batch = gated
+        return service, started, gate
+
+    def test_drain_completes_inflight_and_sheds_new(
+        self, grid10, traffic_snapshot, profile
+    ):
+        service, started, gate = self._gated_service(grid10, traffic_snapshot)
+        documents = [_cloak_doc(traffic_snapshot, profile, i) for i in range(3)]
+
+        try:
+
+            async def main():
+                server = FrontendServer(service, batch_window_ms=1.0)
+                await server.start()
+                client = await FrontendClient.connect(server.host, server.port)
+                raw_reader, raw_writer = await _raw_connection(server)
+                futures = [client.submit(doc) for doc in documents]
+                await client.drain()
+                while not started.is_set():
+                    await asyncio.sleep(0.01)
+                close_task = asyncio.get_running_loop().create_task(
+                    server.close()
+                )
+                await asyncio.sleep(0.05)
+                # The listener is down: new connections are refused...
+                with pytest.raises(ConnectionError):
+                    await FrontendClient.connect(server.host, server.port)
+                # ...existing connections stay readable, but new work is
+                # shed with the structured overload code...
+                decoder = FrameDecoder()
+                raw_writer.write(
+                    encode_frame(
+                        json.dumps(
+                            {"request_id": "late", "request": documents[0]}
+                        )
+                    )
+                )
+                late = json.loads(await _read_frame(raw_reader, decoder))
+                # ...and a health probe reports the drain in progress.
+                raw_writer.write(
+                    encode_frame(
+                        json.dumps({"request_id": "h", "request": _health_doc()})
+                    )
+                )
+                health = json.loads(await _read_frame(raw_reader, decoder))
+                gate.set()
+                await asyncio.wait_for(close_task, timeout=30)
+                outcomes = await asyncio.wait_for(
+                    asyncio.gather(*futures), timeout=30
+                )
+                await client.close()
+                raw_writer.close()
+                return late, health, outcomes, server.counters()
+
+            late, health, outcomes, counters = asyncio.run(main())
+        finally:
+            gate.set()
+        assert late["outcome"]["error"]["code"] == "overloaded"
+        assert health["outcome"]["status"] == "draining"
+        assert all(outcome["status"] == "ok" for outcome in outcomes)
+        assert counters["drained_inflight"] == 3
+        assert counters["frontend_requests_shed"] == 1
+
+    def test_drain_deadline_escalates_on_wedged_work(
+        self, grid10, traffic_snapshot, profile
+    ):
+        """Work that outlives the drain deadline is cancelled: close()
+        returns promptly and the abandoned clients see the connection
+        close, not a hang."""
+        service, started, gate = self._gated_service(grid10, traffic_snapshot)
+        documents = [_cloak_doc(traffic_snapshot, profile, i) for i in range(3)]
+
+        try:
+
+            async def main():
+                loop = asyncio.get_running_loop()
+                server = FrontendServer(
+                    service, batch_window_ms=1.0, drain_deadline_s=0.2
+                )
+                await server.start()
+                client = await FrontendClient.connect(server.host, server.port)
+                futures = [client.submit(doc) for doc in documents]
+                await client.drain()
+                while not started.is_set():
+                    await asyncio.sleep(0.01)
+                begin = loop.time()
+                await asyncio.wait_for(server.close(), timeout=30)
+                elapsed = loop.time() - begin
+                results = await asyncio.wait_for(
+                    asyncio.gather(*futures, return_exceptions=True), timeout=30
+                )
+                await client.close()
+                return elapsed, results
+
+            elapsed, results = asyncio.run(main())
+        finally:
+            gate.set()  # release the wedged executor thread
+        assert elapsed < 5.0  # escalated at ~0.2 s, never waited the gate out
+        assert all(isinstance(result, ConnectionError) for result in results)
+
+
 class TestShutdown:
     def test_close_drains_pending_replies(self, grid10, traffic_snapshot, profile):
         documents = [_cloak_doc(traffic_snapshot, profile, i) for i in range(3)]
@@ -787,6 +1241,75 @@ class TestConsoleEntry:
             out, err = proc.communicate(timeout=30)
         finally:
             proc.kill()
+        assert proc.returncode == 0, err
+        assert "draining" in out
+        assert "Traceback" not in err
+
+    def test_sigterm_completes_inflight_requests(self, profile):
+        """SIGTERM with N requests parked behind a huge batch window:
+        the drain flushes the lane, all N replies arrive, and the process
+        exits 0 within its drain deadline."""
+        env = dict(os.environ)
+        repo_src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(repo_src) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.lbs.frontend",
+                "--port",
+                "0",
+                "--grid-side",
+                "6",
+                "--batch-window-ms",
+                "10000",
+                "--drain-deadline-s",
+                "20",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            ready = proc.stdout.readline().split()
+            assert ready[:1] == ["FRONTEND_READY"]
+            host, port = ready[1], int(ready[2])
+            documents = [
+                CloakRequestDoc.from_request(
+                    CloakRequest(
+                        user_id=user_id,
+                        profile=profile,
+                        chain=KeyChain.from_passphrases(
+                            [f"sig{user_id}-1", f"sig{user_id}-2"]
+                        ),
+                    )
+                ).to_dict()
+                for user_id in range(4)
+            ]
+
+            async def drive():
+                client = await FrontendClient.connect(host, port)
+                futures = [client.submit(doc) for doc in documents]
+                await client.drain()
+                # The stats round-trip proves all four were admitted and
+                # are parked in the lane before the signal goes out.
+                stats = await client.stats()
+                assert stats["counters"]["frontend_pending"] == 4
+                proc.send_signal(signal.SIGTERM)
+                outcomes = await asyncio.wait_for(
+                    asyncio.gather(*futures), timeout=30
+                )
+                await client.close()
+                return outcomes
+
+            outcomes = asyncio.run(drive())
+            out, err = proc.communicate(timeout=30)
+        finally:
+            proc.kill()
+        assert all(outcome["status"] == "ok" for outcome in outcomes)
         assert proc.returncode == 0, err
         assert "draining" in out
         assert "Traceback" not in err

@@ -1,0 +1,126 @@
+"""Property-based tests of the length-prefixed frame decoder.
+
+The byte layer is the one component that faces raw, adversarial input
+before any schema can help, so its contract is pinned property-style:
+
+* **chunking invariance** — any re-split of a valid frame stream decodes
+  to exactly the original payloads, in order (the TCP contract: the
+  network may deliver bytes in arbitrary pieces);
+* **adversarial input never crashes** — garbage, torn prefixes, and
+  oversized declarations either wait for more bytes or raise
+  :class:`~repro.errors.WireFormatError`; nothing else escapes, and an
+  oversized declaration poisons the stream rather than corrupting later
+  frames.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireFormatError
+from repro.lbs import FrameDecoder, encode_frame
+from repro.lbs.framing import FRAME_HEADER_SIZE
+
+MAX_FRAME = 512
+
+payloads_strategy = st.lists(
+    st.binary(min_size=0, max_size=MAX_FRAME), min_size=0, max_size=8
+)
+
+
+def _chunks(data: bytes, cut_points) -> list:
+    """Split ``data`` at the given sorted cut offsets (plus the ends)."""
+    bounds = sorted({0, len(data), *cut_points})
+    return [
+        data[start:end] for start, end in zip(bounds, bounds[1:])
+    ]
+
+
+class TestChunkingInvariance:
+    @settings(max_examples=150, deadline=None)
+    @given(payloads=payloads_strategy, data=st.data())
+    def test_any_resplit_decodes_identically(self, payloads, data):
+        stream = b"".join(
+            encode_frame(payload, MAX_FRAME) for payload in payloads
+        )
+        cut_points = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(stream)), max_size=12
+            )
+        )
+        decoder = FrameDecoder(max_frame_bytes=MAX_FRAME)
+        decoded = []
+        for chunk in _chunks(stream, cut_points):
+            decoded.extend(decoder.feed(chunk))
+        assert decoded == payloads
+        assert not decoder.mid_frame
+        assert decoder.buffered_bytes == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(payloads=payloads_strategy)
+    def test_byte_at_a_time_matches_single_feed(self, payloads):
+        stream = b"".join(
+            encode_frame(payload, MAX_FRAME) for payload in payloads
+        )
+        whole = FrameDecoder(max_frame_bytes=MAX_FRAME).feed(stream)
+        trickle = FrameDecoder(max_frame_bytes=MAX_FRAME)
+        dribbled = []
+        for index in range(len(stream)):
+            dribbled.extend(trickle.feed(stream[index : index + 1]))
+        assert dribbled == whole == payloads
+
+
+class TestAdversarialInput:
+    @settings(max_examples=200, deadline=None)
+    @given(garbage=st.binary(min_size=0, max_size=64))
+    def test_garbage_waits_or_raises_wire_format_error(self, garbage):
+        decoder = FrameDecoder(max_frame_bytes=MAX_FRAME)
+        try:
+            frames = decoder.feed(garbage)
+        except WireFormatError:
+            assert decoder.poisoned
+            return
+        # No error means the bytes parsed as (partial) frames under the
+        # limit; whatever was delivered must be accounted for exactly.
+        consumed = sum(
+            FRAME_HEADER_SIZE + len(frame) for frame in frames
+        )
+        assert consumed + decoder.buffered_bytes == len(garbage)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        declared=st.integers(min_value=MAX_FRAME + 1, max_value=0xFFFFFFFF),
+        preceding=st.binary(min_size=0, max_size=32),
+    )
+    def test_oversized_declaration_raises_and_poisons(
+        self, declared, preceding
+    ):
+        decoder = FrameDecoder(max_frame_bytes=MAX_FRAME)
+        stream = encode_frame(preceding, MAX_FRAME) + struct.pack(
+            ">I", declared
+        )
+        with pytest.raises(WireFormatError):
+            decoder.feed(stream)
+        assert decoder.poisoned
+        with pytest.raises(WireFormatError, match="poisoned"):
+            decoder.feed(encode_frame(b"later", MAX_FRAME))
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        payload=st.binary(min_size=1, max_size=MAX_FRAME),
+        keep=st.data(),
+    )
+    def test_torn_frame_stays_pending_never_delivers(self, payload, keep):
+        frame = encode_frame(payload, MAX_FRAME)
+        cut = keep.draw(
+            st.integers(min_value=1, max_value=len(frame) - 1)
+        )
+        decoder = FrameDecoder(max_frame_bytes=MAX_FRAME)
+        assert decoder.feed(frame[:cut]) == []
+        assert decoder.mid_frame
+        # Completing the frame later delivers it intact: a torn frame is
+        # pending, not lost.
+        assert decoder.feed(frame[cut:]) == [payload]
+        assert not decoder.mid_frame
