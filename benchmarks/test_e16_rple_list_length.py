@@ -69,7 +69,11 @@ def test_e16_rple_list_length_ablation(benchmark):
             counters["steps"] += 1
             return original_forward(*args, **kwargs)
 
+        # Instrumentation monkeypatch on a single-process benchmark:
+        # the patched object never crosses a spawn boundary here.
+        # reprolint: disable=spawn-safety
         algorithm._global_fallback_forward = counting_fallback
+        # reprolint: disable=spawn-safety
         algorithm.forward_step = counting_forward
         envelopes = []
         cloak_summary = measure(

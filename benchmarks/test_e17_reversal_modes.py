@@ -34,6 +34,9 @@ def _hypothesis_counter(engine):
         counters["calls"] += 1
         return original(*args, **kwargs)
 
+    # Instrumentation monkeypatch on a single-process benchmark: the
+    # patched engine never crosses a spawn boundary here.
+    # reprolint: disable=spawn-safety
     engine.algorithm.backward_hypotheses = counting
     return counters, original
 

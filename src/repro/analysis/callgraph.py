@@ -1,0 +1,465 @@
+"""The interprocedural core of ``reprolint``: call graph + fact propagation.
+
+PRs 8–9 put the serving stack on a socket, and the bug classes that
+surfaced there — an async handler transitively reaching a blocking call,
+a forked worker inheriting a socket FD nobody closes — are *cross-function*
+properties. A per-function AST check cannot see that ``async def
+_serve()`` calls ``self._flush()`` calls ``helper()`` calls
+``time.sleep()``; this module can.
+
+Three layers:
+
+* **Indexing** — every ``def``/``async def`` in the project gets a stable
+  qualified name (``"repro.lbs.frontend:FrontendServer._flush"``), with a
+  per-module class table (methods + resolvable base classes) so
+  ``self.method()`` calls resolve through simple inheritance.
+* **Call-site classification** — each :class:`ast.Call` in a function body
+  becomes a :class:`CallSite` that is exactly one of: *internal* (resolved
+  to a project function's qualified name), *external* (resolved through
+  the alias tracker to a dotted path like ``time.sleep``), or
+  *unresolved* (dynamic dispatch — an attribute call on a value whose
+  type the AST cannot know; only the bare method name survives).
+  Resolution is deliberately conservative: ``self.x()`` resolves through
+  the class table and project-resolvable bases, ``mod.f()`` and
+  ``Cls.m()`` through the import table (relative imports included), and
+  anything rooted in a call result, subscript, or non-``self`` object
+  stays unresolved rather than guessed.
+* **Fact propagation** — :meth:`CallGraph.propagate` takes directly
+  seeded facts (``{qname: reason}``) and runs a breadth-first fixpoint
+  over reverse call edges: a function calling a function that has the
+  fact acquires it, with the :class:`CallSite` recorded as the *witness*
+  so rules can print the whole chain (``_serve() -> _flush() ->
+  time.sleep``). A ``through`` predicate filters which callees conduct
+  the fact — the loop-blocking rule, for instance, does not conduct
+  blockingness through ``async`` callees (awaiting them is not blocking;
+  they get their own finding).
+
+Calls under ``lambda`` bodies and nested function definitions are *not*
+attributed to the enclosing function — they are deferred work, not calls
+the enclosing frame performs. Nested definitions are indexed as their own
+functions (``"mod:outer.inner"``), without a synthetic edge from the
+outer frame.
+
+The graph is built once per :class:`~repro.analysis.core.Project` and
+cached on it (``project.call_graph()``); with the content-hash parse
+cache in :mod:`~repro.analysis.core` this keeps the full-tree CI gate
+cheap even though five rules now consult the graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from .core import ModuleInfo, Project
+from .visitor import ImportTable
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "Fact",
+    "module_dotted_name",
+]
+
+
+def module_dotted_name(module: ModuleInfo) -> Tuple[str, str]:
+    """``(module name, package)`` of a parsed file, derived from its
+    repo-relative path: ``src/repro/lbs/frontend.py`` is module
+    ``repro.lbs.frontend`` in package ``repro.lbs``; a package
+    ``__init__.py`` is the package itself (and is its own relative-import
+    base)."""
+    parts = module.rel_path.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+        name = ".".join(parts) or module.path.stem
+        return name, name
+    name = ".".join(parts)
+    package = ".".join(parts[:-1])
+    return name, package
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One indexed ``def``/``async def``."""
+
+    qname: str
+    module: ModuleInfo
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str]
+    is_async: bool
+
+    @property
+    def name(self) -> str:
+        return self.node.name  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One classified :class:`ast.Call` inside an indexed function.
+
+    Exactly one of ``callee``/``external`` is set for resolved calls;
+    both are ``None`` for dynamic dispatch, where only ``method`` (the
+    bare attribute name, when the call was an attribute call) survives.
+    ``awaited`` marks calls that are the direct operand of ``await`` —
+    they produce awaitables, not blocking work, and most rules skip them.
+    """
+
+    node: ast.Call
+    caller: str
+    callee: Optional[str] = None
+    external: Optional[str] = None
+    method: Optional[str] = None
+    awaited: bool = False
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+    def describe(self) -> str:
+        if self.callee is not None:
+            return self.callee.split(":", 1)[-1] + "()"
+        if self.external is not None:
+            return self.external
+        return f".{self.method}()" if self.method else "<call>"
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One function's hold on a propagated fact.
+
+    ``reason`` is set when the function has the fact *directly* (it
+    contains the seeding construct); ``via`` is set when it acquired the
+    fact through a call — the witness :class:`CallSite` whose callee has
+    the fact. Exactly one of the two is set.
+    """
+
+    qname: str
+    reason: Optional[str] = None
+    via: Optional[CallSite] = None
+
+
+class _ClassTable:
+    """Methods and resolvable bases of one class definition."""
+
+    __slots__ = ("qname_prefix", "methods", "bases")
+
+    def __init__(self, qname_prefix: str) -> None:
+        self.qname_prefix = qname_prefix
+        self.methods: Dict[str, str] = {}
+        self.bases: List[str] = []  # dotted paths, import-table resolved
+
+
+class CallGraph:
+    """The project-wide call graph (build via :meth:`build`)."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        #: qname -> FunctionInfo for every indexed def/async def.
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: caller qname -> classified call sites in its body.
+        self.sites: Dict[str, List[CallSite]] = {}
+        self._modules: Dict[str, ModuleInfo] = {}
+        self._imports: Dict[str, ImportTable] = {}
+        #: (module name, class name) -> class table.
+        self._classes: Dict[Tuple[str, str], _ClassTable] = {}
+        #: module name -> {function name -> qname} (module-level defs).
+        self._module_funcs: Dict[str, Dict[str, str]] = {}
+        self._callers: Dict[str, List[CallSite]] = {}
+        self._by_node: Dict[int, CallSite] = {}
+        self._by_def: Dict[int, FunctionInfo] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        graph = cls(project)
+        for module in project.modules:
+            if module.tree is None:
+                continue
+            name, package = module_dotted_name(module)
+            graph._modules[name] = module
+            graph._imports[name] = ImportTable(module.tree, package=package)
+        for name, module in graph._modules.items():
+            graph._index_module(name, module)
+        for name, module in graph._modules.items():
+            graph._classify_module(name, module)
+        return graph
+
+    def _index_module(self, mod_name: str, module: ModuleInfo) -> None:
+        funcs: Dict[str, str] = {}
+        self._module_funcs[mod_name] = funcs
+
+        def index_body(
+            body, prefix: str, class_name: Optional[str], table: Optional[_ClassTable]
+        ) -> None:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qname = f"{mod_name}:{prefix}{node.name}"
+                    info = FunctionInfo(
+                        qname=qname,
+                        module=module,
+                        node=node,
+                        class_name=class_name,
+                        is_async=isinstance(node, ast.AsyncFunctionDef),
+                    )
+                    self.functions[qname] = info
+                    self._by_def[id(node)] = info
+                    if not prefix:
+                        funcs[node.name] = qname
+                    if table is not None and prefix == table.qname_prefix:
+                        table.methods[node.name] = qname
+                    # Nested defs are their own functions, no edge from
+                    # the enclosing frame (deferred, not called).
+                    index_body(
+                        node.body, f"{prefix}{node.name}.", class_name, table
+                    )
+                elif isinstance(node, ast.ClassDef):
+                    cls_table = _ClassTable(f"{node.name}.")
+                    self._classes[(mod_name, node.name)] = cls_table
+                    imports = self._imports[mod_name]
+                    for base in node.bases:
+                        if isinstance(base, ast.Name):
+                            cls_table.bases.append(
+                                imports.aliases.get(base.id, base.id)
+                            )
+                        elif isinstance(base, ast.Attribute):
+                            resolved = imports.resolve(base)
+                            if resolved is not None:
+                                cls_table.bases.append(resolved)
+                    index_body(
+                        node.body, f"{node.name}.", node.name, cls_table
+                    )
+
+        index_body(module.tree.body, "", None, None)
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def _lookup_dotted(self, dotted: str) -> Optional[str]:
+        """Project-internal qname for a fully dotted path: a module-level
+        function (``pkg.mod.f``) or a class method (``pkg.mod.Cls.m``)."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod_name = ".".join(parts[:cut])
+            if mod_name not in self._modules:
+                continue
+            rest = parts[cut:]
+            if len(rest) == 1:
+                hit = self._module_funcs[mod_name].get(rest[0])
+                if hit is not None:
+                    return hit
+                # A class used as a callable: its constructor.
+                if (mod_name, rest[0]) in self._classes:
+                    return self._method_in_class(mod_name, rest[0], "__init__")
+            elif len(rest) == 2:
+                return self._method_in_class(mod_name, rest[0], rest[1])
+            return None
+        return None
+
+    def _method_in_class(
+        self, mod_name: str, class_name: str, method: str, _depth: int = 0
+    ) -> Optional[str]:
+        """Resolve ``method`` in ``class_name`` or its project-resolvable
+        bases (depth-first, bounded — conservative on diamonds)."""
+        if _depth > 8:
+            return None
+        table = self._classes.get((mod_name, class_name))
+        if table is None:
+            return None
+        hit = table.methods.get(method)
+        if hit is not None:
+            return hit
+        for base in table.bases:
+            # Same-module base: bare name; imported base: dotted path.
+            if "." not in base:
+                found = self._method_in_class(mod_name, base, method, _depth + 1)
+            else:
+                parts = base.rsplit(".", 1)
+                if parts[0] in self._modules:
+                    found = self._method_in_class(
+                        parts[0], parts[1], method, _depth + 1
+                    )
+                else:
+                    found = None
+            if found is not None:
+                return found
+        return None
+
+    def _classify_call(
+        self, call: ast.Call, mod_name: str, info: FunctionInfo
+    ) -> CallSite:
+        imports = self._imports[mod_name]
+        awaited = isinstance(getattr(call, "parent", None), ast.Await)
+        func = call.func
+        callee: Optional[str] = None
+        external: Optional[str] = None
+        method: Optional[str] = None
+        if isinstance(func, ast.Name):
+            name = func.id
+            local = self._module_funcs[mod_name].get(name)
+            alias = imports.aliases.get(name)
+            if local is not None and alias is None:
+                callee = local
+            elif (mod_name, name) in self._classes and alias is None:
+                callee = self._method_in_class(mod_name, name, "__init__")
+                external = None if callee else name
+            elif alias is not None:
+                callee = self._lookup_dotted(alias)
+                external = None if callee else alias
+            else:
+                external = name  # builtin or unknown global, e.g. ``open``
+        elif isinstance(func, ast.Attribute):
+            method = func.attr
+            root = func.value
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if (
+                isinstance(root, ast.Name)
+                and root.id in ("self", "cls")
+                and isinstance(func.value, ast.Name)  # exactly self.<m>()
+                and info.class_name is not None
+            ):
+                callee = self._method_in_class(
+                    mod_name, info.class_name, func.attr
+                )
+            elif isinstance(root, ast.Name) and root.id in ("self", "cls"):
+                pass  # self.<attr>.<m>(): dynamic dispatch, unresolved
+            elif (
+                isinstance(root, ast.Name)
+                and isinstance(func.value, ast.Name)
+                and (mod_name, root.id) in self._classes
+                and root.id not in imports.aliases
+            ):
+                # ``Cls.m()`` on a same-module class.
+                callee = self._method_in_class(mod_name, root.id, func.attr)
+            elif isinstance(root, ast.Name) and root.id in imports.aliases:
+                resolved = imports.resolve(func)
+                if resolved is not None:
+                    callee = self._lookup_dotted(resolved)
+                    external = None if callee else resolved
+            # Any other root (a local, a call result, a subscript) is
+            # dynamic dispatch: unresolved, bare method name only.
+        return CallSite(
+            node=call,
+            caller=info.qname,
+            callee=callee,
+            external=external,
+            method=method,
+            awaited=awaited,
+        )
+
+    def _classify_module(self, mod_name: str, module: ModuleInfo) -> None:
+        for qname, info in self.functions.items():
+            if info.module is not module:
+                continue
+            sites = [
+                self._classify_call(call, mod_name, info)
+                for call in _own_calls(info.node)
+            ]
+            self.sites[qname] = sites
+            for site in sites:
+                self._by_node[id(site.node)] = site
+                if site.callee is not None:
+                    self._callers.setdefault(site.callee, []).append(site)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def function_at(self, node: ast.AST) -> Optional[FunctionInfo]:
+        """The indexed function whose body *directly* contains ``node``
+        (nested defs and lambdas shadow their enclosing frame)."""
+        cursor = getattr(node, "parent", None)
+        while cursor is not None:
+            if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return self._by_def.get(id(cursor))
+            if isinstance(cursor, ast.Lambda):
+                return None
+            cursor = getattr(cursor, "parent", None)
+        return None
+
+    def site_for(self, call: ast.Call) -> Optional[CallSite]:
+        """The classified site of a call node seen during the build."""
+        return self._by_node.get(id(call))
+
+    def callers_of(self, qname: str) -> List[CallSite]:
+        """Every resolved call site targeting ``qname``."""
+        return list(self._callers.get(qname, ()))
+
+    def propagate(
+        self,
+        seeds: Dict[str, str],
+        *,
+        through: Optional[Callable[[FunctionInfo], bool]] = None,
+    ) -> Dict[str, Fact]:
+        """Fixpoint fact propagation over reverse call edges.
+
+        ``seeds`` maps directly-seeded qnames to the human-readable reason
+        they hold the fact. The result maps every function holding the
+        fact (directly or transitively) to its :class:`Fact`; breadth-first
+        order makes each ``via`` witness a shortest chain toward a seed.
+        ``through`` filters *conduction*: a callee for which it returns
+        False keeps its own fact but does not pass it to callers.
+        """
+        facts: Dict[str, Fact] = {
+            qname: Fact(qname=qname, reason=reason)
+            for qname, reason in seeds.items()
+            if qname in self.functions
+        }
+        frontier = list(facts)
+        while frontier:
+            next_frontier: List[str] = []
+            for target in frontier:
+                info = self.functions[target]
+                if through is not None and not through(info):
+                    continue
+                for site in self._callers.get(target, ()):
+                    if site.caller in facts:
+                        continue
+                    facts[site.caller] = Fact(qname=site.caller, via=site)
+                    next_frontier.append(site.caller)
+            frontier = next_frontier
+        return facts
+
+    def chain(self, fact: Fact, facts: Dict[str, Fact], limit: int = 8) -> str:
+        """Render a fact's witness chain: ``a() -> b() -> <reason>``."""
+        hops: List[str] = []
+        cursor: Optional[Fact] = fact
+        while cursor is not None and len(hops) < limit:
+            if cursor.reason is not None:
+                hops.append(cursor.reason)
+                break
+            site = cursor.via
+            if site is None or site.callee is None:
+                break
+            target = self.functions.get(site.callee)
+            label = site.describe()
+            if target is not None:
+                label = f"{label} ({target.module.rel_path}:{target.node.lineno})"
+            hops.append(label)
+            cursor = facts.get(site.callee)
+        return " -> ".join(hops)
+
+
+def _own_calls(func: ast.AST) -> Iterator[ast.Call]:
+    """The calls a function's frame itself performs: every ``ast.Call``
+    under it except those inside nested defs or lambdas (deferred work,
+    indexed separately / treated as opaque)."""
+
+    def walk(nodes) -> Iterator[ast.Call]:
+        for node in nodes:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            yield from walk(ast.iter_child_nodes(node))
+
+    yield from walk(func.body)  # type: ignore[attr-defined]

@@ -8,8 +8,10 @@ Exit status is the CI contract:
 * ``2`` — usage errors.
 
 ``--format=json`` emits a machine-readable report (the CI job archives
-it); ``--write-baseline`` regenerates the committed baseline from the
-current findings so accepted debt stays an explicit, reviewed file.
+it); ``--format=sarif`` a SARIF 2.1.0 log for GitHub code scanning;
+``--write-baseline`` regenerates the committed baseline from the current
+findings so accepted debt stays an explicit, reviewed file. ``--jobs N``
+parses cache-miss files on a process pool (exit codes unchanged).
 """
 
 from __future__ import annotations
@@ -43,9 +45,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help=(
+            "report format (default: text); sarif emits a SARIF 2.1.0 "
+            "log for GitHub code scanning"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "parse cache-miss files on N worker processes (default: 1; "
+            "small scans stay serial regardless)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -102,7 +117,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    findings = run_analysis(paths, root=Path.cwd())
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    findings = run_analysis(paths, root=Path.cwd(), jobs=args.jobs)
 
     baseline_path = _resolve_baseline(args)
     if args.write_baseline:
@@ -121,7 +140,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         baseline = None
         new_findings, stale = findings, []
 
-    if args.format == "json":
+    if args.format == "sarif":
+        from .sarif import render_sarif
+
+        print(json.dumps(render_sarif(new_findings, all_rules()), indent=2))
+    elif args.format == "json":
         report = {
             "version": 1,
             "findings": [finding.to_dict() for finding in new_findings],

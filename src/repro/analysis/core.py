@@ -29,7 +29,10 @@ for the whole file. ``disable=all`` suppresses every rule.
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -41,6 +44,7 @@ __all__ = [
     "parse_module",
     "collect_modules",
     "attach_parents",
+    "purge_parse_cache",
 ]
 
 #: Matches one suppression comment. Rules are comma-separated ids;
@@ -175,10 +179,59 @@ def _parse_suppressions(
     return per_line, per_file
 
 
-def parse_module(path: Path, root: Path) -> ModuleInfo:
+# ----------------------------------------------------------------------
+# parse cache
+# ----------------------------------------------------------------------
+# Parsing (ast.parse + parent links + suppression tables) dominates a
+# full-tree run, and the gate re-parses an identical tree on every
+# invocation inside one process (the test suite calls run_analysis dozens
+# of times). The cache memoizes ModuleInfo keyed on (path, root) and
+# *content hash* — an edited file re-parses, an untouched one is returned
+# as-is. Rules treat ModuleInfo as read-only, so sharing the object (and
+# its AST) across runs is safe. Bounded LRU: the key derives from
+# caller-supplied paths, so the cache must not be growable without limit.
+_PARSE_CACHE_MAX = 2048
+_PARSE_CACHE: "OrderedDict[Tuple[str, str], Tuple[str, ModuleInfo]]" = (
+    OrderedDict()
+)
+_PARSE_CACHE_LOCK = threading.Lock()
+
+
+def purge_parse_cache() -> None:
+    """Drop every cached parse (tests; long-lived tools after bulk edits)."""
+    with _PARSE_CACHE_LOCK:
+        _PARSE_CACHE.clear()
+
+
+def _content_digest(raw: bytes) -> str:
+    return hashlib.sha256(raw).hexdigest()
+
+
+def parse_module(
+    path: Path,
+    root: Path,
+    *,
+    link_parents: bool = True,
+    use_cache: bool = True,
+) -> ModuleInfo:
     """Parse one file into a :class:`ModuleInfo` (never raises on bad
-    source — syntax errors surface as ``parse_error``)."""
-    source = path.read_text(encoding="utf-8")
+    source — syntax errors surface as ``parse_error``).
+
+    ``link_parents=False`` skips the parent-backlink pass — the parallel
+    parse path uses it so worker processes ship cycle-free trees, with
+    the links attached on receipt. ``use_cache=False`` bypasses the
+    content-hash memo (workers again: their cache dies with them).
+    """
+    raw = path.read_bytes()
+    source = raw.decode("utf-8")
+    key = (str(path.resolve()), str(root.resolve()))
+    digest = _content_digest(raw)
+    if use_cache:
+        with _PARSE_CACHE_LOCK:
+            entry = _PARSE_CACHE.get(key)
+            if entry is not None and entry[0] == digest:
+                _PARSE_CACHE.move_to_end(key)
+                return entry[1]
     lines = source.splitlines()
     try:
         rel_path = path.resolve().relative_to(root.resolve()).as_posix()
@@ -186,12 +239,14 @@ def parse_module(path: Path, root: Path) -> ModuleInfo:
         rel_path = path.as_posix()
     per_line, per_file = _parse_suppressions(lines)
     try:
-        tree = attach_parents(ast.parse(source, filename=str(path)))
+        tree = ast.parse(source, filename=str(path))
+        if link_parents:
+            attach_parents(tree)
         error = None
     except SyntaxError as exc:
         tree = None
         error = f"{exc.msg} (line {exc.lineno})"
-    return ModuleInfo(
+    module = ModuleInfo(
         path=path,
         rel_path=rel_path,
         source=source,
@@ -201,6 +256,17 @@ def parse_module(path: Path, root: Path) -> ModuleInfo:
         file_suppressions=per_file,
         parse_error=error,
     )
+    if use_cache and link_parents:
+        _cache_store(key, digest, module)
+    return module
+
+
+def _cache_store(key: Tuple[str, str], digest: str, module: ModuleInfo) -> None:
+    with _PARSE_CACHE_LOCK:
+        _PARSE_CACHE[key] = (digest, module)
+        _PARSE_CACHE.move_to_end(key)
+        while len(_PARSE_CACHE) > _PARSE_CACHE_MAX:
+            _PARSE_CACHE.popitem(last=False)
 
 
 @dataclass
@@ -209,14 +275,79 @@ class Project:
 
     root: Path
     modules: List[ModuleInfo]
+    _call_graph: Optional[object] = field(default=None, repr=False)
 
     def modules_named(self, filename: str) -> List[ModuleInfo]:
         return [module for module in self.modules if module.name == filename]
 
+    def call_graph(self):
+        """The project-wide call graph, built lazily on first use and
+        shared by every interprocedural rule in the run (see
+        :mod:`repro.analysis.callgraph`)."""
+        if self._call_graph is None:
+            from .callgraph import CallGraph
 
-def collect_modules(paths: Iterable[Path], root: Path) -> Project:
+            self._call_graph = CallGraph.build(self)
+        return self._call_graph
+
+
+#: Below this many files the process-pool fan-out costs more than it
+#: saves; parse serially no matter what ``jobs`` asks for.
+_PARALLEL_MIN_FILES = 8
+
+
+def _parse_worker(args: Tuple[str, str]) -> ModuleInfo:
+    """Process-pool entry point: parse one file without parent links
+    (backlinks make the tree cyclic and balloon the pickle; the parent
+    process attaches them on receipt)."""
+    path_str, root_str = args
+    return parse_module(
+        Path(path_str), Path(root_str), link_parents=False, use_cache=False
+    )
+
+
+def _parse_files(files: List[Path], root: Path, jobs: int) -> List[ModuleInfo]:
+    if jobs <= 1 or len(files) < _PARALLEL_MIN_FILES:
+        return [parse_module(item, root) for item in files]
+    # Serve cache hits in-process; farm only the misses out.
+    modules: List[Optional[ModuleInfo]] = [None] * len(files)
+    misses: List[int] = []
+    root_key = str(root.resolve())
+    digests: Dict[int, Tuple[Tuple[str, str], str]] = {}
+    for index, path in enumerate(files):
+        key = (str(path.resolve()), root_key)
+        digest = _content_digest(path.read_bytes())
+        digests[index] = (key, digest)
+        with _PARSE_CACHE_LOCK:
+            entry = _PARSE_CACHE.get(key)
+            if entry is not None and entry[0] == digest:
+                _PARSE_CACHE.move_to_end(key)
+                modules[index] = entry[1]
+                continue
+        misses.append(index)
+    if misses:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            parsed = pool.map(
+                _parse_worker,
+                [(str(files[i]), str(root)) for i in misses],
+            )
+            for index, module in zip(misses, parsed):
+                if module.tree is not None:
+                    attach_parents(module.tree)
+                key, digest = digests[index]
+                _cache_store(key, digest, module)
+                modules[index] = module
+    return [module for module in modules if module is not None]
+
+
+def collect_modules(
+    paths: Iterable[Path], root: Path, jobs: int = 1
+) -> Project:
     """Parse every ``.py`` file under ``paths`` (files or directories)
-    into one :class:`Project`, sorted by path for deterministic output."""
+    into one :class:`Project`, sorted by path for deterministic output.
+    ``jobs > 1`` parses cache misses on a process pool."""
     seen: Set[Path] = set()
     files: List[Path] = []
     for path in paths:
@@ -232,4 +363,4 @@ def collect_modules(paths: Iterable[Path], root: Path) -> Project:
                 seen.add(resolved)
                 files.append(path)
     files.sort(key=lambda item: item.as_posix())
-    return Project(root=root, modules=[parse_module(item, root) for item in files])
+    return Project(root=root, modules=_parse_files(files, root, jobs))

@@ -84,17 +84,19 @@ def run_analysis(
     paths: Iterable[Path],
     root: Optional[Path] = None,
     rules: Optional[List[Rule]] = None,
+    jobs: int = 1,
 ) -> List[Finding]:
     """Parse ``paths`` and run ``rules`` (default: all registered).
 
     Returns unsuppressed findings sorted by (path, line, rule). The
     returned list is *pre-baseline*: the CLI applies the baseline file on
-    top of this.
+    top of this. ``jobs > 1`` parallelizes the parse of cache-miss files
+    across processes (see :func:`~repro.analysis.core.collect_modules`).
     """
     paths = [Path(item) for item in paths]
     if root is None:
         root = Path.cwd()
-    project = collect_modules(paths, root)
+    project = collect_modules(paths, root, jobs=jobs)
     active = rules if rules is not None else all_rules()
     findings: List[Finding] = []
     for module in project.modules:

@@ -13,23 +13,32 @@ Each module encodes one historical bug class of this repository:
 * :mod:`.error_codes` — the single-declaration, most-derived-first wire
   error-code registry (``error-registry``);
 * :mod:`.async_cancel` — the PR 9 swallowed-``CancelledError`` class in
-  async serving code (``async-cancellation``).
+  async serving code (``async-cancellation``);
+* :mod:`.concurrency` — the interprocedural event-loop pack over the
+  PR 10 call graph: ``loop-blocking-call``, ``task-leak``,
+  ``await-under-lock``, ``threadsafe-loop-mutation``;
+* :mod:`.resources` — alias-aware resource-leak checking, including the
+  PR 9 FD-inherited-by-child class (``resource-lifecycle``).
 """
 
 from . import (  # noqa: F401
     async_cancel,
     caches,
+    concurrency,
     determinism,
     error_codes,
     locks,
+    resources,
     wire_docs,
 )
 
 __all__ = [
     "async_cancel",
     "caches",
+    "concurrency",
     "determinism",
     "error_codes",
     "locks",
+    "resources",
     "wire_docs",
 ]

@@ -1,0 +1,438 @@
+"""The asyncio front-end concurrency rules (interprocedural pack, PR 10).
+
+Four rules over the :mod:`~repro.analysis.callgraph` core, each encoding
+an invariant the socket front-end (PRs 8–9) is built on:
+
+* ``loop-blocking-call`` — an ``async def`` must not *transitively* reach
+  a blocking call (``time.sleep``, pipe/socket ``recv``, ``subprocess``
+  waits) without an executor hop. One blocked loop iteration stalls every
+  connection the front-end multiplexes: the idle clocks keep running,
+  deadlines expire in the queue, and the p99 the open-loop bench measures
+  explodes. The blocking fact propagates through *sync* helpers only —
+  awaiting an async callee is not blocking (the callee gets its own
+  finding at its own call site).
+* ``task-leak`` — ``asyncio.create_task``/``ensure_future`` results must
+  be kept (assigned, stored, passed on) or given a done-callback. The
+  event loop holds only a *weak* reference to running tasks: a dropped
+  handle can be garbage-collected mid-flight, and — the front-end's
+  actual discipline (``_spawn`` + ``_tasks``) — an untracked task is
+  invisible to the drain ladder, so ``close()`` cannot wait for it.
+* ``await-under-lock`` — no ``await`` while holding a *threading* lock
+  acquired via ``with``. The await suspends the coroutine with the lock
+  held; any other coroutine (or executor thread) touching the lock then
+  blocks the whole loop — the deadlock needs only one contender. Lock
+  attributes are inferred class-wide (``self._lock = threading.Lock()``
+  anywhere in the class), module-level locks by the same rule as
+  lock-discipline. ``async with`` on an asyncio lock is the sanctioned
+  idiom and is not governed.
+* ``threadsafe-loop-mutation`` — state owned by the event-loop thread
+  (attributes mutated in ``async def`` methods with no lock anywhere)
+  must not be mutated from code that runs on an executor (functions
+  passed to ``run_in_executor``/``submit``/``to_thread``/
+  ``threading.Thread``, plus everything they call). The loop-thread-only
+  discipline is what lets the front-end run lock-free; the fix is
+  ``loop.call_soon_threadsafe(...)`` — which passes this rule naturally,
+  because the scheduled callback is a *reference*, not an off-loop call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..callgraph import CallGraph, CallSite, Fact, module_dotted_name
+from ..core import Finding, ModuleInfo, Project
+from ..registry import Rule, register
+from ..visitor import ImportTable, held_attr_locks, iter_attr_mutations
+from .locks import _lock_attrs_of_class, _module_locks
+
+# ----------------------------------------------------------------------
+# loop-blocking-call
+# ----------------------------------------------------------------------
+#: Dotted callables that block the calling thread outright.
+_BLOCKING_EXTERNAL = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "urllib.request.urlopen",
+        "select.select",
+        "os.waitpid",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+    }
+)
+
+#: Method names that block on sockets/pipes regardless of receiver type —
+#: conservative dynamic-dispatch seeds (``conn.recv()``, ``sock.accept()``).
+_BLOCKING_METHODS = frozenset(
+    {"recv", "recv_bytes", "recv_into", "accept", "sendall"}
+)
+
+
+def _blocking_reason(site: CallSite) -> Optional[str]:
+    if site.awaited:
+        return None  # ``await x.recv()`` yields an awaitable, not a block
+    if site.external in _BLOCKING_EXTERNAL:
+        return f"{site.external} (line {site.line})"
+    if (
+        site.callee is None
+        and site.external is None
+        and site.method in _BLOCKING_METHODS
+    ):
+        return f".{site.method}() (line {site.line})"
+    return None
+
+
+@register
+class LoopBlockingCallRule(Rule):
+    id = "loop-blocking-call"
+    description = (
+        "async functions must not transitively reach blocking calls "
+        "(time.sleep, pipe/socket recv, subprocess waits) without an "
+        "executor hop — one blocked iteration stalls every connection"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        graph: CallGraph = project.call_graph()
+        blocking = self._blocking_facts(graph)
+        for qname, info in graph.functions.items():
+            if info.module is not module or not info.is_async:
+                continue
+            for site in graph.sites.get(qname, ()):
+                reason = _blocking_reason(site)
+                if reason is not None:
+                    yield module.finding(
+                        self.id,
+                        site.node,
+                        f"async {info.name}() calls blocking {reason} on "
+                        "the event-loop thread; hop through "
+                        "loop.run_in_executor / asyncio.to_thread or use "
+                        "the async equivalent",
+                    )
+                    continue
+                callee = site.callee
+                if callee is None:
+                    continue
+                target = graph.functions.get(callee)
+                fact = blocking.get(callee)
+                if target is None or target.is_async or fact is None:
+                    continue
+                chain = graph.chain(fact, blocking)
+                yield module.finding(
+                    self.id,
+                    site.node,
+                    f"async {info.name}() reaches a blocking call via "
+                    f"{site.describe()} -> {chain}; hop through "
+                    "loop.run_in_executor / asyncio.to_thread",
+                )
+
+    @staticmethod
+    def _blocking_facts(graph: CallGraph) -> Dict[str, Fact]:
+        seeds: Dict[str, str] = {}
+        for qname, sites in graph.sites.items():
+            info = graph.functions[qname]
+            if info.is_async:
+                continue  # async defs report themselves; see `through`
+            for site in sites:
+                reason = _blocking_reason(site)
+                if reason is not None:
+                    seeds[qname] = f"blocking {reason} in {info.name}()"
+                    break
+        # Conduct blockingness through sync callees only: an async callee
+        # is awaited, which parks the caller instead of blocking it.
+        return graph.propagate(
+            seeds, through=lambda info: not info.is_async
+        )
+
+
+# ----------------------------------------------------------------------
+# task-leak
+# ----------------------------------------------------------------------
+_TASK_FACTORIES_EXTERNAL = frozenset(
+    {"asyncio.create_task", "asyncio.ensure_future"}
+)
+_TASK_FACTORY_METHODS = frozenset({"create_task", "ensure_future"})
+
+
+def _is_task_factory(site: CallSite) -> bool:
+    if site.external in _TASK_FACTORIES_EXTERNAL:
+        return True
+    return (
+        site.callee is None
+        and site.external is None
+        and site.method in _TASK_FACTORY_METHODS
+    )
+
+
+@register
+class TaskLeakRule(Rule):
+    id = "task-leak"
+    description = (
+        "asyncio.create_task/ensure_future results must be kept or given "
+        "a done-callback — the loop holds tasks weakly, and an untracked "
+        "task is invisible to the drain ladder"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        graph: CallGraph = project.call_graph()
+        for qname, sites in graph.sites.items():
+            info = graph.functions[qname]
+            if info.module is not module:
+                continue
+            for site in sites:
+                if not _is_task_factory(site):
+                    continue
+                parent = getattr(site.node, "parent", None)
+                dropped = isinstance(parent, ast.Expr)
+                if (
+                    isinstance(parent, ast.Assign)
+                    and len(parent.targets) == 1
+                    and isinstance(parent.targets[0], ast.Name)
+                    and parent.targets[0].id == "_"
+                ):
+                    dropped = True
+                if not dropped:
+                    continue
+                yield module.finding(
+                    self.id,
+                    site.node,
+                    f"{site.describe()} result is dropped: the event loop "
+                    "keeps only a weak reference, so the task can be "
+                    "garbage-collected mid-flight and no shutdown path can "
+                    "await it; keep the handle (a set + done-callback "
+                    "discard) or attach a done-callback",
+                )
+
+
+# ----------------------------------------------------------------------
+# await-under-lock
+# ----------------------------------------------------------------------
+def _with_locks_inside_function(node: ast.AST) -> List[Tuple[ast.With, ast.AST]]:
+    """``(with-statement, context expr)`` pairs of the sync ``with``
+    statements between ``node`` and its enclosing function boundary."""
+    held: List[Tuple[ast.With, ast.AST]] = []
+    cursor = getattr(node, "parent", None)
+    while cursor is not None and not isinstance(
+        cursor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+    ):
+        if isinstance(cursor, ast.With):
+            for item in cursor.items:
+                held.append((cursor, item.context_expr))
+        cursor = getattr(cursor, "parent", None)
+    return held
+
+
+@register
+class AwaitUnderLockRule(Rule):
+    id = "await-under-lock"
+    description = (
+        "no await while holding a threading lock acquired via `with` — "
+        "the suspended coroutine keeps the lock and one contender "
+        "deadlocks the loop"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        imports = ImportTable(module.tree)
+        lock_attrs_by_class: Dict[ast.ClassDef, Set[str]] = {}
+        for cls in ast.walk(module.tree):
+            if isinstance(cls, ast.ClassDef):
+                attrs = _lock_attrs_of_class(cls, imports)
+                if attrs:
+                    lock_attrs_by_class[cls] = attrs
+        module_locks = _module_locks(module.tree, imports)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Await):
+                continue
+            for _stmt, expr in _with_locks_inside_function(node):
+                label = self._lock_label(
+                    node, expr, lock_attrs_by_class, module_locks
+                )
+                if label is not None:
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"await while holding threading lock {label} "
+                        "(acquired via `with`): the coroutine suspends "
+                        "with the lock held and any other acquirer blocks "
+                        "the event loop; release before awaiting, or use "
+                        "asyncio.Lock with `async with`",
+                    )
+                    break
+
+    @staticmethod
+    def _lock_label(
+        node: ast.AST,
+        expr: ast.AST,
+        lock_attrs_by_class: Dict[ast.ClassDef, Set[str]],
+        module_locks: Set[str],
+    ) -> Optional[str]:
+        if isinstance(expr, ast.Name) and expr.id in module_locks:
+            return expr.id
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            cursor = getattr(node, "parent", None)
+            while cursor is not None:
+                if (
+                    isinstance(cursor, ast.ClassDef)
+                    and expr.attr in lock_attrs_by_class.get(cursor, ())
+                ):
+                    return f"self.{expr.attr}"
+                cursor = getattr(cursor, "parent", None)
+        return None
+
+
+# ----------------------------------------------------------------------
+# threadsafe-loop-mutation
+# ----------------------------------------------------------------------
+#: Call shapes that ship a function reference onto an executor/thread:
+#: any ``self.<m>`` reference in their arguments runs off-loop.
+_OFFLOOP_DISPATCH_METHODS = frozenset(
+    {"run_in_executor", "submit", "to_thread"}
+)
+_OFFLOOP_DISPATCH_EXTERNAL = frozenset(
+    {"asyncio.to_thread", "threading.Thread", "concurrent.futures.Thread"}
+)
+_THREAD_FACTORY_NAMES = frozenset({"Thread", "Process"})
+
+
+def _self_method_refs(call: ast.Call) -> Iterable[str]:
+    """Names of ``self.<m>`` references among a call's arguments."""
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for node in ast.walk(arg):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                yield node.attr
+
+
+def _is_offloop_dispatch(site: CallSite) -> bool:
+    if site.external in _OFFLOOP_DISPATCH_EXTERNAL:
+        return True
+    if site.external is not None and site.external.split(".")[-1] in (
+        _THREAD_FACTORY_NAMES
+    ):
+        return True
+    if site.callee is None and site.method in _OFFLOOP_DISPATCH_METHODS:
+        return True
+    if site.callee is None and site.method in _THREAD_FACTORY_NAMES:
+        return True
+    return False
+
+
+@register
+class ThreadsafeLoopMutationRule(Rule):
+    id = "threadsafe-loop-mutation"
+    description = (
+        "event-loop-owned attributes (mutated lock-free in async methods) "
+        "must not be mutated from executor/thread callbacks — schedule "
+        "the mutation with loop.call_soon_threadsafe"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        graph: CallGraph = project.call_graph()
+        mod_name, _package = module_dotted_name(module)
+        for cls in ast.walk(module.tree):
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_class(module, graph, mod_name, cls)
+
+    def _check_class(
+        self,
+        module: ModuleInfo,
+        graph: CallGraph,
+        mod_name: str,
+        cls: ast.ClassDef,
+    ) -> Iterable[Finding]:
+        mutations = list(iter_attr_mutations(cls))
+        loop_owned: Set[str] = set()
+        lock_guarded: Set[str] = set()
+        for mutation in mutations:
+            if held_attr_locks(mutation.node):
+                lock_guarded.add(mutation.attr)
+                continue
+            owner = graph.function_at(mutation.node)
+            if owner is not None and owner.is_async and owner.class_name == cls.name:
+                loop_owned.add(mutation.attr)
+        loop_owned -= lock_guarded
+        if not loop_owned:
+            return
+        offloop = self._offloop_methods(graph, mod_name, cls)
+        if not offloop:
+            return
+        for mutation in mutations:
+            if mutation.attr not in loop_owned:
+                continue
+            owner = graph.function_at(mutation.node)
+            if owner is None or owner.qname not in offloop:
+                continue
+            yield module.finding(
+                self.id,
+                mutation.node,
+                f"{cls.name}.{mutation.attr} is event-loop state (mutated "
+                f"lock-free in async methods) but {owner.name}() runs on "
+                f"an executor ({offloop[owner.qname]}); mutate it via "
+                "loop.call_soon_threadsafe, or guard both sides with a lock",
+            )
+
+    @staticmethod
+    def _offloop_methods(
+        graph: CallGraph, mod_name: str, cls: ast.ClassDef
+    ) -> Dict[str, str]:
+        """Methods of ``cls`` that run off the event-loop thread, mapped
+        to why: referenced in an executor/thread dispatch call, or called
+        (transitively, resolved edges) by such a method."""
+        seeds: Dict[str, str] = {}
+        for qname, sites in graph.sites.items():
+            for site in sites:
+                if not _is_offloop_dispatch(site):
+                    continue
+                for method_name in _self_method_refs(site.node):
+                    target = f"{mod_name}:{cls.name}.{method_name}"
+                    if target in graph.functions:
+                        seeds[target] = (
+                            f"shipped to {site.describe()} at "
+                            f"line {site.line}"
+                        )
+        if not seeds:
+            return {}
+        # Forward-propagate along call edges: whatever an off-loop method
+        # calls (resolved, same class) also runs off-loop.
+        out: Dict[str, str] = dict(seeds)
+        frontier = list(seeds)
+        while frontier:
+            next_frontier: List[str] = []
+            for qname in frontier:
+                for site in graph.sites.get(qname, ()):
+                    callee = site.callee
+                    if (
+                        callee is None
+                        or callee in out
+                        or not callee.startswith(f"{mod_name}:{cls.name}.")
+                    ):
+                        continue
+                    info = graph.functions.get(callee)
+                    if info is None or info.is_async:
+                        continue
+                    caller_name = qname.split(".")[-1]
+                    out[callee] = f"called from off-loop {caller_name}()"
+                    next_frontier.append(callee)
+            frontier = next_frontier
+        return out

@@ -1,0 +1,369 @@
+"""``resource-lifecycle`` — alias-aware leak checking for OS resources.
+
+The PR 9 postmortem bug class: ``_spawn_worker`` created a pipe, handed
+``child_end`` to a forked ``Process``, and closed it only on the success
+path — every spawn failure left a duplicate FD open in the parent, and
+every *other* worker forked afterwards inherited it, so EOF never
+arrived and the drain ladder hung. The property is not syntactic: the
+resource flows through aliases, escapes into handles, and is closed (or
+not) statements later. This rule tracks it.
+
+Per function frame (nested defs and lambdas are their own frames):
+
+* **Creation** — a ``Name`` (or tuple-of-names) assigned from a resource
+  constructor: sockets, pipes, ``open``, ``Popen``, executors, worker
+  ``Process`` objects. Pair constructors (``Pipe()``, ``socketpair()``)
+  track every element; ``accept()`` tracks the connection, not the peer
+  address. Functions that *return* a tracked resource become internal
+  constructors themselves (a bounded fixpoint over the call graph), so
+  ``conn = _dial(addr)`` is tracked like a raw ``create_connection``.
+* **Aliases** — ``b = a`` extends the tracked name set.
+* **Escapes** — returning/yielding the resource, storing it on an
+  attribute/subscript or into a container literal, or passing it to a
+  call hands ownership elsewhere; the function is no longer responsible
+  and the rule stays silent. One deliberate exception: passing a
+  resource to a ``Process`` constructor does **not** transfer ownership
+  — the child gets a *duplicate* of the FD and the parent must still
+  close its own copy. That exception is precisely the PR 9 bug.
+* **Release** — ``close``/``shutdown``/``terminate``/``kill``/``join``/
+  ``release`` on any alias, or managing the alias with ``with``. A
+  release under ``if``/``try-except``/loop ancestors only covers *some*
+  paths and is reported as such; a straight-line or ``finally`` release
+  covers all of them.
+
+The analysis is flow-insensitive by design (an early ``return`` before a
+straight-line ``close()`` is not caught); it trades that for zero false
+positives on the idiomatic shapes — ``with`` blocks, ownership-transfer
+into handle objects, and attribute-held resources (whose lifecycle
+belongs to the owning object, not one frame).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from ..callgraph import CallGraph, CallSite
+from ..core import Finding, ModuleInfo, Project
+from ..registry import Rule, register
+from ..visitor import names_in
+
+#: Dotted external callables whose result owns an OS resource.
+_RESOURCE_EXTERNAL = frozenset(
+    {
+        "socket.socket",
+        "socket.create_connection",
+        "socket.socketpair",
+        "open",
+        "io.open",
+        "subprocess.Popen",
+        "multiprocessing.Pipe",
+        "multiprocessing.Process",
+        "tempfile.NamedTemporaryFile",
+        "tempfile.TemporaryFile",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+    }
+)
+
+#: Constructors returning a *pair* of resources (track every element).
+_PAIR_EXTERNAL = frozenset({"multiprocessing.Pipe", "socket.socketpair"})
+
+#: Method-name seeds on unresolved receivers: ``ctx.Pipe()``,
+#: ``sock.accept()``, ``ctx.Process(...)`` — conservative on dispatch.
+_RESOURCE_METHODS = frozenset({"Pipe", "accept", "Process"})
+_PAIR_METHODS = frozenset({"Pipe"})
+#: ``conn, addr = sock.accept()`` — only the connection is a resource.
+_FIRST_ONLY_METHODS = frozenset({"accept"})
+
+#: Receiver methods that release the resource.
+_CLOSERS = frozenset(
+    {"close", "shutdown", "terminate", "kill", "join", "release"}
+)
+
+
+def _is_process_ctor(site: Optional[CallSite], call: ast.Call) -> bool:
+    """Does this call construct a worker process (so FDs in its arguments
+    are *duplicated into the child*, not handed over)?"""
+    if site is not None:
+        if site.external is not None and site.external.split(".")[-1] == (
+            "Process"
+        ):
+            return True
+        if site.method == "Process":
+            return True
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "Process":
+        return True
+    return isinstance(func, ast.Attribute) and func.attr == "Process"
+
+
+@dataclass
+class _Tracked:
+    """One resource created in the frame under analysis."""
+
+    names: Set[str]
+    node: ast.AST  # the creating assignment (findings anchor here)
+    what: str
+    inherited: bool = False  # duplicated into a child Process
+    escaped: bool = False
+    returned: bool = False
+    #: one entry per release site: True = covers all paths.
+    closes: List[bool] = dc_field(default_factory=list)
+
+
+def _frame_nodes(func_node: ast.AST) -> Iterator[ast.AST]:
+    """Every node of the function's own frame — nested ``def``/``lambda``
+    bodies excluded (their resources are their own responsibility)."""
+
+    def walk(nodes) -> Iterator[ast.AST]:
+        for node in nodes:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            yield node
+            yield from walk(ast.iter_child_nodes(node))
+
+    yield from walk(func_node.body)  # type: ignore[attr-defined]
+
+
+def _covers_all_paths(node: ast.AST, func_node: ast.AST) -> bool:
+    """A release at ``node`` reaches every path iff no conditional
+    construct sits between it and the frame: ``finally`` blocks count as
+    unconditional, ``if``/loops/``except`` arms do not."""
+    cursor = getattr(node, "parent", None)
+    while cursor is not None and cursor is not func_node:
+        if isinstance(
+            cursor,
+            (ast.If, ast.While, ast.For, ast.AsyncFor, ast.ExceptHandler),
+        ):
+            return False
+        cursor = getattr(cursor, "parent", None)
+    return True
+
+
+def _unwrap_await(value: ast.AST) -> ast.AST:
+    return value.value if isinstance(value, ast.Await) else value
+
+
+def _creations(
+    node: ast.Assign,
+    graph: CallGraph,
+    internal_ctors: Dict[str, str],
+) -> List[_Tracked]:
+    if len(node.targets) != 1:
+        return []
+    value = _unwrap_await(node.value)
+    if not isinstance(value, ast.Call):
+        return []
+    site = graph.site_for(value)
+    what: Optional[str] = None
+    pair = False
+    first_only = False
+    if site is not None and site.external in _RESOURCE_EXTERNAL:
+        what = site.external
+        pair = site.external in _PAIR_EXTERNAL
+    elif (
+        site is not None
+        and site.callee is None
+        and site.external is None
+        and site.method in _RESOURCE_METHODS
+    ):
+        what = f".{site.method}"
+        pair = site.method in _PAIR_METHODS
+        first_only = site.method in _FIRST_ONLY_METHODS
+    elif site is not None and site.callee in internal_ctors:
+        what = internal_ctors[site.callee]
+    if what is None:
+        return []
+    target = node.targets[0]
+    if isinstance(target, ast.Name):
+        return [_Tracked(names={target.id}, node=node, what=f"{what}()")]
+    if isinstance(target, ast.Tuple) and all(
+        isinstance(elt, ast.Name) for elt in target.elts
+    ):
+        elts = [elt.id for elt in target.elts]  # type: ignore[union-attr]
+        if first_only:
+            elts = elts[:1]
+        elif not pair:
+            return []  # unpacking a non-pair resource: shape unknown
+        # Each end of a pair is its own resource: returning one end must
+        # not absolve the frame of the other (PR 9: parent_end escaped
+        # into the handle while child_end leaked).
+        return [
+            _Tracked(names={name}, node=node, what=f"{what}()")
+            for name in elts
+        ]
+    return []  # attribute/subscript-held: the owner's lifecycle
+
+
+def _scan_function(
+    func_node: ast.AST,
+    graph: CallGraph,
+    internal_ctors: Dict[str, str],
+) -> List[_Tracked]:
+    tracked: List[_Tracked] = []
+    creation_nodes: Set[int] = set()
+    for node in _frame_nodes(func_node):
+        if isinstance(node, ast.Assign):
+            items = _creations(node, graph, internal_ctors)
+            if items:
+                tracked.extend(items)
+                creation_nodes.add(id(node))
+    if not tracked:
+        return tracked
+    # Alias pass (twice reaches fixpoint for the chains rules care about).
+    for _ in range(2):
+        for node in _frame_nodes(func_node):
+            if (
+                isinstance(node, ast.Assign)
+                and id(node) not in creation_nodes
+                and isinstance(node.value, ast.Name)
+            ):
+                for item in tracked:
+                    if node.value.id in item.names:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                item.names.add(target.id)
+    # Use pass: escapes, inheritance into children, releases.
+    for node in _frame_nodes(func_node):
+        if isinstance(node, (ast.Return, ast.Yield)):
+            referenced = names_in(node.value)
+            for item in tracked:
+                if referenced & item.names:
+                    item.escaped = True
+                    if isinstance(node, ast.Return):
+                        item.returned = True
+        elif isinstance(node, ast.Assign) and id(node) not in creation_nodes:
+            referenced = names_in(node.value)
+            stores = any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                for t in node.targets
+            )
+            boxed = isinstance(
+                node.value, (ast.Tuple, ast.List, ast.Set, ast.Dict)
+            )
+            if stores or boxed:
+                for item in tracked:
+                    if referenced & item.names:
+                        item.escaped = True
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.attr in _CLOSERS
+            ):
+                for item in tracked:
+                    if func.value.id in item.names:
+                        item.closes.append(
+                            _covers_all_paths(node, func_node)
+                        )
+                continue
+            site = graph.site_for(node)
+            process_ctor = _is_process_ctor(site, node)
+            arg_names: Set[str] = set()
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                arg_names |= names_in(arg)
+            for item in tracked:
+                if not (arg_names & item.names):
+                    continue
+                if process_ctor:
+                    # The child holds a duplicate FD; the parent still
+                    # owns (and must close) its copy — PR 9's bug class.
+                    item.inherited = True
+                else:
+                    item.escaped = True
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for with_item in node.items:
+                expr = with_item.context_expr
+                if isinstance(expr, ast.Name):
+                    for item in tracked:
+                        if expr.id in item.names:
+                            item.closes.append(
+                                _covers_all_paths(node, func_node)
+                            )
+    return tracked
+
+
+@register
+class ResourceLifecycleRule(Rule):
+    id = "resource-lifecycle"
+    description = (
+        "locally created sockets/pipes/processes/files must be released "
+        "on every path or have ownership handed off — passing an FD to a "
+        "child Process duplicates it and the parent must still close its "
+        "copy"
+    )
+
+    def __init__(self) -> None:
+        self._project_token: Optional[int] = None
+        self._findings: Dict[str, List[Finding]] = {}
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        if self._project_token != id(project):
+            self._analyze(project)
+            self._project_token = id(project)
+        return self._findings.get(module.rel_path, [])
+
+    def _analyze(self, project: Project) -> None:
+        graph: CallGraph = project.call_graph()
+        internal_ctors: Dict[str, str] = {}
+        scans: Dict[str, List[_Tracked]] = {}
+        # Functions returning a tracked resource are constructors too;
+        # three rounds bound the fixpoint (ctor -> wrapper -> wrapper).
+        for _ in range(3):
+            scans = {
+                qname: _scan_function(info.node, graph, internal_ctors)
+                for qname, info in graph.functions.items()
+            }
+            grown = False
+            for qname, items in scans.items():
+                for item in items:
+                    if item.returned and qname not in internal_ctors:
+                        internal_ctors[qname] = item.what
+                        grown = True
+            if not grown:
+                break
+        self._findings = {}
+        for qname, items in scans.items():
+            info = graph.functions[qname]
+            for item in items:
+                finding = self._verdict(info.module, info.name, item)
+                if finding is not None:
+                    self._findings.setdefault(
+                        info.module.rel_path, []
+                    ).append(finding)
+
+    def _verdict(
+        self, module: ModuleInfo, func_name: str, item: _Tracked
+    ) -> Optional[Finding]:
+        if item.escaped or any(item.closes):
+            return None
+        name = sorted(item.names)[0] if item.names else "<resource>"
+        inherited_note = (
+            " — and it was passed to a child Process, so every worker "
+            "forked afterwards inherits a duplicate FD and EOF never "
+            "arrives (the PR 9 spawn bug)"
+            if item.inherited
+            else ""
+        )
+        if item.closes:  # releases exist, but all sit on conditional paths
+            return module.finding(
+                self.id,
+                item.node,
+                f"{item.what} `{name}` in {func_name}() is closed only on "
+                f"some paths{inherited_note}; release it in a finally "
+                "block or manage it with `with`",
+            )
+        return module.finding(
+            self.id,
+            item.node,
+            f"{item.what} `{name}` in {func_name}() is never closed and "
+            f"never escapes this frame{inherited_note}; release it or "
+            "hand ownership off",
+        )

@@ -1,0 +1,113 @@
+"""SARIF 2.1.0 rendering of a ``reprolint`` run.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests: uploading one file per run turns findings into
+inline PR annotations with per-rule descriptions, without any custom
+glue. This module emits the minimal valid subset:
+
+* one ``run`` with a ``tool.driver`` listing every rule that *could*
+  have fired (id + short description), so the UI can render rule help
+  even for rules with zero results;
+* one ``result`` per post-baseline finding, with the repo-relative URI
+  and 1-based start line GitHub needs to place the annotation;
+* a ``partialFingerprints`` entry derived from the finding's baseline
+  fingerprint, so GitHub tracks an alert across pushes the same way the
+  committed baseline does — line-number-free, context-keyed.
+
+The JSON report stays the machine-readable contract for everything else
+(the CI artifact, the meta-tests); SARIF is presentation only and adds
+no new fields to :class:`~repro.analysis.core.Finding`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List
+
+from .core import Finding
+from .registry import PARSE_ERROR_RULE, Rule
+
+__all__ = ["render_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _fingerprint_of(finding: Finding) -> str:
+    rule, path, context = finding.fingerprint()
+    digest = hashlib.sha256(
+        f"{rule}\x00{path}\x00{context}".encode("utf-8")
+    ).hexdigest()
+    return digest[:32]
+
+
+def render_sarif(
+    findings: Iterable[Finding], rules: Iterable[Rule]
+) -> dict:
+    """The SARIF log (as a plain dict, ready for ``json.dumps``) of one
+    run: ``findings`` are the *post-baseline* findings the run reports,
+    ``rules`` the registered catalogue."""
+    rule_descriptors: List[dict] = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.description},
+        }
+        for rule in rules
+    ]
+    rule_descriptors.append(
+        {
+            "id": PARSE_ERROR_RULE,
+            "shortDescription": {
+                "text": "file does not parse; every other finding in it "
+                "is hidden"
+            },
+        }
+    )
+    rule_index = {
+        descriptor["id"]: index
+        for index, descriptor in enumerate(rule_descriptors)
+    }
+    results: List[dict] = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {"startLine": max(finding.line, 1)},
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "reprolintFingerprint/v1": _fingerprint_of(finding)
+            },
+        }
+        index = rule_index.get(finding.rule)
+        if index is not None:
+            result["ruleIndex"] = index
+        results.append(result)
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rule_descriptors,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }

@@ -62,9 +62,18 @@ class ImportTable:
     import Lock as L`` maps ``L`` to ``threading.Lock``. :meth:`resolve`
     expands the leading alias of a ``Name``/``Attribute`` chain into the
     full dotted path, so rules can match on canonical names.
+
+    When the module's own *package* is known (``package="repro.lbs"`` for
+    ``repro/lbs/frontend.py``), relative imports resolve too: ``from
+    .service import AnonymizerService`` maps ``AnonymizerService`` to
+    ``repro.lbs.service.AnonymizerService`` — what lets the call graph
+    follow edges across this repository's own modules, which import each
+    other relatively throughout.
     """
 
-    def __init__(self, tree: Optional[ast.AST]) -> None:
+    def __init__(
+        self, tree: Optional[ast.AST], package: Optional[str] = None
+    ) -> None:
         self.aliases: Dict[str, str] = {}
         if tree is None:
             return
@@ -74,12 +83,24 @@ class ImportTable:
                     self.aliases[alias.asname or alias.name.split(".")[0]] = (
                         alias.name if alias.asname else alias.name.split(".")[0]
                     )
-            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            elif isinstance(node, ast.ImportFrom):
+                base: Optional[str] = None
+                if not node.level:
+                    base = node.module
+                elif package is not None:
+                    parts = package.split(".")
+                    if node.level - 1 < len(parts):
+                        hops = parts[: len(parts) - (node.level - 1)]
+                        base = ".".join(
+                            hops + ([node.module] if node.module else [])
+                        )
+                if base is None:
+                    continue
                 for alias in node.names:
                     if alias.name == "*":
                         continue
                     self.aliases[alias.asname or alias.name] = (
-                        f"{node.module}.{alias.name}"
+                        f"{base}.{alias.name}"
                     )
 
     def resolve(self, node: ast.AST) -> Optional[str]:

@@ -1,0 +1,37 @@
+"""Golden negative for ``await-under-lock``: the sanctioned shapes —
+``async with`` on an asyncio lock, threading locks released *before*
+awaiting, sync-only critical sections, and a nested ``async def`` whose
+awaits belong to its own frame, not the lock-holding one."""
+
+import asyncio
+import threading
+
+_STATE_LOCK = threading.Lock()
+
+
+async def uses_asyncio_lock(alock):
+    async with alock:
+        await asyncio.sleep(0)
+
+
+async def releases_before_awaiting(compute):
+    with _STATE_LOCK:
+        value = compute()
+    await asyncio.sleep(0)
+    return value
+
+
+def sync_critical_section(values):
+    with _STATE_LOCK:
+        values.append(1)
+
+
+class QuietHolder:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def lock_scopes_a_factory(self):
+        with self._lock:
+            async def deferred():
+                await asyncio.sleep(0)
+        return deferred

@@ -1,0 +1,29 @@
+"""Golden positive for ``await-under-lock``: awaiting while a
+*threading* lock is held via ``with`` — on a module-level lock and on a
+class's lock attribute. The coroutine suspends with the lock held; the
+first other acquirer (coroutine or executor thread) then wedges the
+event loop."""
+
+import asyncio
+import threading
+
+_REGISTRY_LOCK = threading.Lock()
+
+
+async def refresh_registry(fetch):
+    with _REGISTRY_LOCK:
+        await fetch()  # EXPECT: await-under-lock
+
+
+class SharedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def flush(self, sink):
+        with self._lock:
+            await sink.drain()  # EXPECT: await-under-lock
+
+    async def deep_block(self, sink):
+        with self._lock:
+            for _ in range(3):
+                await asyncio.sleep(0)  # EXPECT: await-under-lock

@@ -1,0 +1,36 @@
+"""Golden negative for ``loop-blocking-call``: the sanctioned shapes —
+awaited async primitives, executor hops (the blocking function travels
+as a *reference*, never called on the loop), blocking work confined to
+sync functions, async helpers that await instead of block, and deferred
+lambdas (their bodies are not the caller's frame)."""
+
+import asyncio
+import time
+
+
+def blocking_helper():
+    time.sleep(0.5)  # legal: sync function, runs off the loop
+
+
+async def awaits_sleep():
+    await asyncio.sleep(0.1)
+
+
+async def hops_through_executor(loop):
+    return await loop.run_in_executor(None, blocking_helper)
+
+
+async def hops_through_to_thread():
+    return await asyncio.to_thread(blocking_helper)
+
+
+async def async_helper():
+    await asyncio.sleep(0)
+
+
+async def awaits_async_callee():
+    await async_helper()
+
+
+async def defers_a_lambda(loop):
+    loop.call_later(0.1, lambda: time.sleep(0))

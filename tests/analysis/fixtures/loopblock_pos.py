@@ -1,0 +1,32 @@
+"""Golden positive for ``loop-blocking-call``: async functions reaching
+blocking calls — directly, through a sync helper chain, and through
+dynamic-dispatch method seeds — with no executor hop. Every flagged line
+is a call site *inside an async def*; the sync helpers themselves stay
+unflagged (they are legal off the loop)."""
+
+import subprocess
+import time
+
+
+def nap():
+    time.sleep(0.5)
+
+
+def relay():
+    nap()
+
+
+async def sleeps_directly():
+    time.sleep(0.1)  # EXPECT: loop-blocking-call
+
+
+async def sleeps_through_chain():
+    relay()  # EXPECT: loop-blocking-call
+
+
+async def drains_pipe(connection):
+    return connection.recv()  # EXPECT: loop-blocking-call
+
+
+async def shells_out(argv):
+    return subprocess.check_output(argv)  # EXPECT: loop-blocking-call

@@ -1,0 +1,33 @@
+"""Golden negative for ``threadsafe-loop-mutation``: the sanctioned
+shapes — executor callbacks that bounce mutations back to the loop via
+``call_soon_threadsafe`` (a reference, so the target never becomes an
+off-loop method), state guarded by a lock on *both* sides (the
+lock-discipline rule's territory, not this one's), and executor methods
+that only touch their own executor-side state."""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self, loop):
+        self._loop = loop
+        self._inflight = 0
+        self._lock = threading.Lock()
+        self._shared = 0
+        self._scratch = 0
+
+    async def submit(self, job):
+        self._inflight += 1
+        with self._lock:
+            self._shared += 1
+        await self._loop.run_in_executor(None, self._work, job)
+
+    def _work(self, job):
+        job.run()
+        with self._lock:
+            self._shared -= 1
+        self._scratch += 1
+        self._loop.call_soon_threadsafe(self._settle)
+
+    def _settle(self):
+        self._inflight -= 1

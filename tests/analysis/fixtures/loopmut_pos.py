@@ -1,0 +1,27 @@
+"""Golden positive for ``threadsafe-loop-mutation``: attributes owned by
+the event-loop thread (mutated lock-free in ``async def`` methods) also
+mutated from methods that run on an executor — both the directly shipped
+callback and a sync helper it calls (off-loop-ness propagates along
+resolved call edges)."""
+
+
+class Pipeline:
+    def __init__(self, loop):
+        self._loop = loop
+        self._inflight = 0
+        self._completed = 0
+
+    async def submit(self, job):
+        self._inflight += 1
+        await self._loop.run_in_executor(None, self._work, job)
+
+    async def reconcile(self):
+        self._completed += 1
+
+    def _work(self, job):
+        job.run()
+        self._inflight -= 1  # EXPECT: threadsafe-loop-mutation
+        self._finish()
+
+    def _finish(self):
+        self._completed += 1  # EXPECT: threadsafe-loop-mutation

@@ -1,0 +1,56 @@
+"""Golden negative for ``resource-lifecycle``: every sanctioned shape —
+``with`` management, ``finally`` release, alias-chained close, ownership
+transfer (returned, stored, passed into a handle), and the corrected
+PR 9 spawn sequence where the parent closes its duplicate of the child's
+pipe end unconditionally right after ``start()``."""
+
+import multiprocessing
+import socket
+
+
+def with_managed(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def closed_in_finally(address):
+    sock = socket.create_connection(address)
+    try:
+        sock.sendall(b"ping")
+    finally:
+        sock.close()
+
+
+def closed_through_an_alias(address):
+    sock = socket.create_connection(address)
+    conn = sock
+    conn.sendall(b"ping")
+    conn.close()
+
+
+def ownership_returned(address):
+    sock = socket.create_connection(address)
+    return sock
+
+
+def ownership_stored(registry, key, address):
+    sock = socket.create_connection(address)
+    registry[key] = sock
+
+
+def ownership_handed_to_a_handle(make_handle, address):
+    sock = socket.create_connection(address)
+    return make_handle(sock)
+
+
+def spawns_and_closes_the_duplicate(worker):
+    parent_end, child_end = multiprocessing.Pipe()
+    process = multiprocessing.Process(target=worker, args=(child_end,))
+    process.start()
+    child_end.close()
+    return parent_end, process
+
+
+def accepts_and_returns(server):
+    conn, _peer = server.accept()
+    return conn

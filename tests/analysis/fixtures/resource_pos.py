@@ -1,0 +1,48 @@
+"""Golden positive for ``resource-lifecycle``: frames that create OS
+resources and lose them — never closed, closed only on the success path,
+and the PR 9 spawn shape where a pipe end is duplicated into a child
+``Process`` and the parent's copy leaks. Includes the internal-constructor
+fixpoint: a wrapper that *returns* a socket makes its callers owners."""
+
+import multiprocessing
+import socket
+import subprocess
+
+
+def leaks_outright(address):
+    sock = socket.create_connection(address)  # EXPECT: resource-lifecycle
+    sock.sendall(b"ping")
+
+
+def closes_only_on_success(path):
+    handle = open(path, "rb")  # EXPECT: resource-lifecycle
+    data = handle.read()
+    if data:
+        handle.close()
+    return data
+
+
+def forgets_the_child_end(worker):
+    parent_end, child_end = multiprocessing.Pipe()  # EXPECT: resource-lifecycle
+    process = multiprocessing.Process(target=worker, args=(child_end,))
+    process.start()
+    process.join()
+    return parent_end
+
+
+def _dial(address):
+    sock = socket.create_connection(address)
+    return sock
+
+
+def leaks_through_a_wrapper(address):
+    conn = _dial(address)  # EXPECT: resource-lifecycle
+    conn.sendall(b"ping")
+
+
+def reaps_only_inside_except(command):
+    proc = subprocess.Popen(command)  # EXPECT: resource-lifecycle
+    try:
+        proc.wait(timeout=1.0)
+    except Exception:
+        proc.kill()

@@ -1,0 +1,31 @@
+"""Golden negative for ``task-leak``: every sanctioned way of keeping a
+spawned task alive — binding the handle, awaiting it, returning it,
+chaining a done-callback directly, and the front-end's tracked-set
+discipline."""
+
+import asyncio
+
+
+async def worker():
+    await asyncio.sleep(0)
+
+
+async def bind_and_await():
+    task = asyncio.create_task(worker())
+    await task
+
+
+async def return_the_handle():
+    return asyncio.create_task(worker())
+
+
+async def chain_a_done_callback(on_done):
+    asyncio.create_task(worker()).add_done_callback(on_done)
+
+
+async def tracked_set_discipline(loop):
+    tasks = set()
+    task = loop.create_task(worker())
+    tasks.add(task)
+    task.add_done_callback(tasks.discard)
+    await asyncio.gather(*tasks)

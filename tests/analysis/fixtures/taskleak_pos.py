@@ -1,0 +1,26 @@
+"""Golden positive for ``task-leak``: spawned tasks whose handles are
+dropped — bare expression statements and the ``_ =`` discard idiom. The
+loop keeps tasks weakly, so each of these can vanish mid-flight and no
+drain path can ever await them."""
+
+import asyncio
+
+
+async def worker():
+    await asyncio.sleep(0)
+
+
+async def fire_and_forget():
+    asyncio.create_task(worker())  # EXPECT: task-leak
+
+
+async def ensure_and_forget(coro):
+    asyncio.ensure_future(coro)  # EXPECT: task-leak
+
+
+async def discard_into_underscore():
+    _ = asyncio.create_task(worker())  # EXPECT: task-leak
+
+
+async def loop_spawn_and_forget(loop):
+    loop.create_task(worker())  # EXPECT: task-leak

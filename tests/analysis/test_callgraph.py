@@ -1,0 +1,250 @@
+"""Unit tests of the interprocedural core (``repro.analysis.callgraph``):
+indexing, the three-way call-site classification, alias and relative-import
+resolution, inheritance method lookup, fact propagation with witnesses,
+and the deliberate conservatisms (lambdas opaque, dynamic dispatch
+unresolved)."""
+
+import ast
+
+from repro.analysis.callgraph import CallGraph, module_dotted_name
+from repro.analysis.core import collect_modules, parse_module
+
+
+def build_graph(tmp_path, files):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    project = collect_modules([tmp_path], tmp_path)
+    return project.call_graph()
+
+
+def sites_of(graph, qname):
+    return graph.sites[qname]
+
+
+# ----------------------------------------------------------------------
+# naming
+# ----------------------------------------------------------------------
+def test_module_dotted_name_strips_src_and_init(tmp_path):
+    (tmp_path / "src" / "pkg").mkdir(parents=True)
+    (tmp_path / "src" / "pkg" / "__init__.py").write_text("")
+    (tmp_path / "src" / "pkg" / "mod.py").write_text("")
+    init = parse_module(tmp_path / "src" / "pkg" / "__init__.py", tmp_path)
+    mod = parse_module(tmp_path / "src" / "pkg" / "mod.py", tmp_path)
+    assert module_dotted_name(init) == ("pkg", "pkg")
+    assert module_dotted_name(mod) == ("pkg.mod", "pkg")
+
+
+# ----------------------------------------------------------------------
+# indexing
+# ----------------------------------------------------------------------
+def test_functions_methods_and_nested_defs_are_indexed(tmp_path):
+    graph = build_graph(
+        tmp_path,
+        {
+            "mod.py": (
+                "def top():\n"
+                "    def inner():\n"
+                "        pass\n"
+                "    return inner\n"
+                "\n"
+                "\n"
+                "class Box:\n"
+                "    async def get(self):\n"
+                "        pass\n"
+            )
+        },
+    )
+    assert set(graph.functions) == {
+        "mod:top",
+        "mod:top.inner",
+        "mod:Box.get",
+    }
+    assert graph.functions["mod:Box.get"].is_async
+    assert graph.functions["mod:Box.get"].class_name == "Box"
+
+
+def test_function_at_resolves_frames_and_lambdas_are_opaque(tmp_path):
+    graph = build_graph(
+        tmp_path,
+        {
+            "mod.py": (
+                "def outer():\n"
+                "    x = 1\n"
+                "    f = lambda: x + 1\n"
+                "    return f\n"
+            )
+        },
+    )
+    module = graph.functions["mod:outer"].module
+    lam = next(
+        node for node in ast.walk(module.tree) if isinstance(node, ast.Lambda)
+    )
+    owner = graph.function_at(lam)
+    assert owner is not None and owner.qname == "mod:outer"
+    # Nodes *inside* the lambda belong to no indexed frame.
+    assert graph.function_at(lam.body) is None
+
+
+# ----------------------------------------------------------------------
+# classification
+# ----------------------------------------------------------------------
+def test_local_call_import_alias_and_external_classify_distinctly(tmp_path):
+    graph = build_graph(
+        tmp_path,
+        {
+            "util.py": "def helper():\n    pass\n",
+            "mod.py": (
+                "import time\n"
+                "from util import helper as h\n"
+                "\n"
+                "\n"
+                "def local():\n"
+                "    pass\n"
+                "\n"
+                "\n"
+                "def caller(conn):\n"
+                "    local()\n"
+                "    h()\n"
+                "    time.sleep(1)\n"
+                "    conn.recv()\n"
+            ),
+        },
+    )
+    by_kind = {
+        (site.callee, site.external, site.method)
+        for site in sites_of(graph, "mod:caller")
+    }
+    assert ("mod:local", None, None) in by_kind
+    assert ("util:helper", None, None) in by_kind
+    assert (None, "time.sleep", "sleep") in by_kind
+    assert (None, None, "recv") in by_kind  # dynamic dispatch: method only
+
+
+def test_relative_imports_resolve_inside_src_packages(tmp_path):
+    graph = build_graph(
+        tmp_path,
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/a.py": "def target():\n    pass\n",
+            "src/pkg/b.py": (
+                "from .a import target\n"
+                "\n"
+                "\n"
+                "def caller():\n"
+                "    target()\n"
+            ),
+        },
+    )
+    (site,) = sites_of(graph, "pkg.b:caller")
+    assert site.callee == "pkg.a:target"
+
+
+def test_self_calls_resolve_through_inherited_base_methods(tmp_path):
+    graph = build_graph(
+        tmp_path,
+        {
+            "base.py": (
+                "class Base:\n"
+                "    def shared(self):\n"
+                "        pass\n"
+            ),
+            "sub.py": (
+                "from base import Base\n"
+                "\n"
+                "\n"
+                "class Sub(Base):\n"
+                "    def use(self):\n"
+                "        self.shared()\n"
+                "        self.conn.recv()\n"
+            ),
+        },
+    )
+    sites = sites_of(graph, "sub:Sub.use")
+    resolved = {site.callee for site in sites}
+    assert "base:Base.shared" in resolved
+    # ``self.conn.recv()`` is dynamic dispatch: unresolved, method kept.
+    dynamic = next(site for site in sites if site.callee is None)
+    assert dynamic.external is None and dynamic.method == "recv"
+
+
+def test_awaited_flag_and_lambda_bodies_excluded(tmp_path):
+    graph = build_graph(
+        tmp_path,
+        {
+            "mod.py": (
+                "import asyncio\n"
+                "import time\n"
+                "\n"
+                "\n"
+                "async def caller(loop):\n"
+                "    await asyncio.sleep(0)\n"
+                "    loop.call_later(1, lambda: time.sleep(1))\n"
+            )
+        },
+    )
+    sites = sites_of(graph, "mod:caller")
+    externals = {site.external for site in sites}
+    # The lambda's time.sleep is deferred work, not this frame's call.
+    assert "time.sleep" not in externals
+    awaited = next(s for s in sites if s.external == "asyncio.sleep")
+    assert awaited.awaited
+
+
+# ----------------------------------------------------------------------
+# propagation
+# ----------------------------------------------------------------------
+_CHAIN = {
+    "mod.py": (
+        "import time\n"
+        "\n"
+        "\n"
+        "def low():\n"
+        "    time.sleep(1)\n"
+        "\n"
+        "\n"
+        "async def alow():\n"
+        "    pass\n"
+        "\n"
+        "\n"
+        "def mid():\n"
+        "    low()\n"
+        "\n"
+        "\n"
+        "def top():\n"
+        "    mid()\n"
+        "\n"
+        "\n"
+        "def calls_async():\n"
+        "    alow()\n"
+    )
+}
+
+
+def test_propagate_reaches_transitive_callers_with_witnesses(tmp_path):
+    graph = build_graph(tmp_path, _CHAIN)
+    facts = graph.propagate({"mod:low": "blocking time.sleep"})
+    assert set(facts) == {"mod:low", "mod:mid", "mod:top"}
+    assert facts["mod:low"].reason == "blocking time.sleep"
+    assert facts["mod:top"].via is not None
+    assert facts["mod:top"].via.callee == "mod:mid"
+    chain = graph.chain(facts["mod:top"], facts)
+    assert "low()" in chain and "blocking time.sleep" in chain
+
+
+def test_propagate_through_predicate_stops_conduction(tmp_path):
+    graph = build_graph(tmp_path, _CHAIN)
+    facts = graph.propagate(
+        {"mod:alow": "async seed"},
+        through=lambda info: not info.is_async,
+    )
+    # The async holder keeps its fact but does not conduct it upward.
+    assert set(facts) == {"mod:alow"}
+
+
+def test_callers_of_lists_resolved_call_sites(tmp_path):
+    graph = build_graph(tmp_path, _CHAIN)
+    callers = graph.callers_of("mod:low")
+    assert [site.caller for site in callers] == ["mod:mid"]
+    assert graph.callers_of("mod:absent") == []

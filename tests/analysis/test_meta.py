@@ -1,19 +1,28 @@
 """Meta-tests: the linter's standing relationship with the real tree.
 
 These are the tests that make reprolint a *gate* rather than a demo: the
-real ``src/`` must scan clean modulo the committed baseline, the
-committed baseline must not be stale, and the golden positive fixtures
-must keep failing the CLI (if they ever pass, the rules have gone blind).
+real source tree (``src/`` plus the ``benchmarks/``/``examples/`` sweep)
+must scan clean modulo the committed baseline, the committed baseline
+must not be stale, the golden positive fixtures must keep failing the
+CLI (if they ever pass, the rules have gone blind), and every registered
+rule must carry a positive fixture, a negative fixture, and a row in the
+README rule table.
 """
 
 import json
+import re
 from pathlib import Path
 
-from repro.analysis import Baseline, run_analysis, split_findings
+from repro.analysis import Baseline, all_rules, run_analysis, split_findings
 from repro.analysis.cli import main
+
+from test_rules import NEGATIVE_FIXTURES, POSITIVE_FIXTURES
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Rules whose golden coverage lives outside the flat pos/neg pairs.
+_PACKAGE_FIXTURES = {"error-registry": ("errreg_pos", "errreg_neg")}
 
 
 def test_real_src_is_clean_modulo_baseline(monkeypatch, capsys):
@@ -21,6 +30,16 @@ def test_real_src_is_clean_modulo_baseline(monkeypatch, capsys):
     exit_code = main(["--format=json", "src"])
     report = json.loads(capsys.readouterr().out)
     assert exit_code == 0, f"new findings in src/: {report['findings']}"
+    assert report["findings"] == []
+
+
+def test_swept_side_trees_are_clean(monkeypatch, capsys):
+    # The CI gate sweeps benchmarks/ and examples/ too (tests keep their
+    # fixture carve-out); they must stay clean without any baseline debt.
+    monkeypatch.chdir(REPO_ROOT)
+    exit_code = main(["--format=json", "benchmarks", "examples"])
+    report = json.loads(capsys.readouterr().out)
+    assert exit_code == 0, f"findings in swept trees: {report['findings']}"
     assert report["findings"] == []
 
 
@@ -37,34 +56,42 @@ def test_committed_baseline_is_not_stale():
 
 
 def test_positive_fixtures_fail_the_cli(monkeypatch, capsys):
-    # The ISSUE's acceptance criterion: scanning the golden positive
-    # fixtures exits non-zero even with the repo baseline in place.
+    # The acceptance criterion: scanning the golden positive fixtures
+    # exits non-zero even with the repo baseline in place.
     monkeypatch.chdir(REPO_ROOT)
-    exit_code = main(
-        [
-            str(FIXTURES / "lock_pos.py"),
-            str(FIXTURES / "cache_pos.py"),
-            str(FIXTURES / "wire_pos.py"),
-            str(FIXTURES / "core" / "determinism_pos.py"),
-            str(FIXTURES / "spawn_pos.py"),
-            str(FIXTURES / "async_pos.py"),
-            str(FIXTURES / "errreg_pos"),
-        ]
-    )
+    positives = [str(FIXTURES / fixture) for fixture, _rule in POSITIVE_FIXTURES]
+    positives.append(str(FIXTURES / "errreg_pos"))
+    exit_code = main(positives)
     capsys.readouterr()
     assert exit_code == 1
 
 
 def test_every_rule_has_positive_and_negative_coverage():
-    from repro.analysis import all_rules
+    registered = {rule.id for rule in all_rules()}
+    positive_by_rule = {rule for _fixture, rule in POSITIVE_FIXTURES}
+    positive_by_rule |= set(_PACKAGE_FIXTURES)
+    assert registered == positive_by_rule, (
+        "every registered rule needs a positive golden fixture wired "
+        "into POSITIVE_FIXTURES (and vice versa)"
+    )
+    # Each positive pairs with a negative of the same stem.
+    negatives = set(NEGATIVE_FIXTURES)
+    for fixture, rule in POSITIVE_FIXTURES:
+        expected = fixture.replace("_pos", "_neg")
+        assert expected in negatives, (
+            f"rule {rule}: positive fixture {fixture} has no negative "
+            f"twin {expected}"
+        )
+    for rule, (pos, neg) in _PACKAGE_FIXTURES.items():
+        assert (FIXTURES / pos).is_dir(), f"{rule}: missing {pos}/"
+        assert (FIXTURES / neg).is_dir(), f"{rule}: missing {neg}/"
 
-    covered = {
-        "lock-discipline",
-        "bounded-cache",
-        "wire-roundtrip",
-        "determinism",
-        "spawn-safety",
-        "error-registry",
-        "async-cancellation",
-    }
-    assert {rule.id for rule in all_rules()} == covered
+
+def test_every_rule_has_a_readme_table_row():
+    readme = (REPO_ROOT / "README.md").read_text()
+    documented = set(re.findall(r"^\|\s*`([a-z-]+)`\s*\|", readme, re.M))
+    registered = {rule.id for rule in all_rules()}
+    missing = registered - documented
+    assert not missing, (
+        f"rules without a README table row: {sorted(missing)}"
+    )

@@ -1,0 +1,91 @@
+"""The CI-gate speed contract: content-hash parse caching and the
+``--jobs`` parallel parse path.
+
+The cache test asserts *identity*, not just speed — a warm run must hand
+back the very same ``ModuleInfo`` objects (and therefore the same parsed
+ASTs), because that is what makes repeated in-process runs (the test
+suite calls ``run_analysis`` dozens of times) cheap. The wall-clock
+budget on a warm full-tree run is deliberately generous: it catches a
+cache that silently stopped working (a full re-parse costs multiples of
+the budget), not scheduler noise.
+"""
+
+import time
+
+from repro.analysis import run_analysis
+from repro.analysis.core import (
+    collect_modules,
+    parse_module,
+    purge_parse_cache,
+)
+from test_meta import REPO_ROOT
+
+#: Warm full-tree budget, seconds. A cold parse+analyze of src/ takes
+#: ~1.5 s here; a working cache brings the re-parse share to ~0. Only a
+#: broken cache (full re-parse every run) can push a warm run past this.
+_WARM_BUDGET_S = 10.0
+
+
+def test_unchanged_file_is_served_from_cache(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("def f():\n    return 1\n")
+    purge_parse_cache()
+    first = parse_module(target, tmp_path)
+    second = parse_module(target, tmp_path)
+    assert second is first
+
+
+def test_edited_file_reparses_and_replaces_the_entry(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("def f():\n    return 1\n")
+    purge_parse_cache()
+    first = parse_module(target, tmp_path)
+    target.write_text("def f():\n    return 2\n")
+    second = parse_module(target, tmp_path)
+    assert second is not first
+    assert "return 2" in second.source
+    # The edited parse becomes the new cached entry.
+    assert parse_module(target, tmp_path) is second
+
+
+def test_warm_full_tree_run_reuses_modules_and_meets_budget():
+    src = REPO_ROOT / "src"
+    purge_parse_cache()
+    cold = collect_modules([src], REPO_ROOT)
+    started = time.monotonic()
+    warm_findings = run_analysis([src], root=REPO_ROOT)
+    elapsed = time.monotonic() - started
+    warm = collect_modules([src], REPO_ROOT)
+    cold_by_path = {module.rel_path: module for module in cold.modules}
+    assert warm.modules, "src/ scan found no modules"
+    for module in warm.modules:
+        assert module is cold_by_path[module.rel_path]
+    assert elapsed < _WARM_BUDGET_S, (
+        f"warm full-tree run took {elapsed:.1f}s — the parse cache has "
+        "likely stopped working"
+    )
+    assert isinstance(warm_findings, list)
+
+
+def test_parallel_jobs_matches_serial_results(tmp_path):
+    # Enough files to clear the serial-fallback floor, including one
+    # with findings and one that fails to parse.
+    for index in range(10):
+        (tmp_path / f"ok_{index}.py").write_text(
+            f"def f_{index}():\n    return {index}\n"
+        )
+    (tmp_path / "leak.py").write_text(
+        "import socket\n"
+        "\n"
+        "\n"
+        "def leak(addr):\n"
+        "    sock = socket.create_connection(addr)\n"
+        "    sock.sendall(b'x')\n"
+    )
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    purge_parse_cache()
+    serial = run_analysis([tmp_path], root=tmp_path)
+    purge_parse_cache()
+    parallel = run_analysis([tmp_path], root=tmp_path, jobs=2)
+    assert [f.to_dict() for f in parallel] == [f.to_dict() for f in serial]
+    assert {f.rule for f in parallel} == {"resource-lifecycle", "parse-error"}

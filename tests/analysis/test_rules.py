@@ -35,6 +35,11 @@ POSITIVE_FIXTURES = [
     ("core/determinism_pos.py", "determinism"),
     ("spawn_pos.py", "spawn-safety"),
     ("async_pos.py", "async-cancellation"),
+    ("loopblock_pos.py", "loop-blocking-call"),
+    ("taskleak_pos.py", "task-leak"),
+    ("awaitlock_pos.py", "await-under-lock"),
+    ("resource_pos.py", "resource-lifecycle"),
+    ("loopmut_pos.py", "threadsafe-loop-mutation"),
 ]
 
 NEGATIVE_FIXTURES = [
@@ -44,6 +49,11 @@ NEGATIVE_FIXTURES = [
     "core/determinism_neg.py",
     "spawn_neg.py",
     "async_neg.py",
+    "loopblock_neg.py",
+    "taskleak_neg.py",
+    "awaitlock_neg.py",
+    "resource_neg.py",
+    "loopmut_neg.py",
 ]
 
 
@@ -115,6 +125,59 @@ def test_lock_discipline_catches_historical_counter_shape(tmp_path):
     )
     findings = run_analysis([tmp_path], root=tmp_path)
     assert [(f.rule, f.line) for f in findings] == [("lock-discipline", 14)]
+
+
+def test_resource_lifecycle_catches_pr9_fd_inheritance_shape(tmp_path):
+    # The PR 9 spawn bug, distilled: the parent's duplicate of the
+    # child's pipe end was closed only when the spawn succeeded, so a
+    # failed spawn leaked an FD into every later-forked worker and EOF
+    # never reached the reader.
+    (tmp_path / "pool.py").write_text(
+        "import multiprocessing\n"
+        "\n"
+        "\n"
+        "def spawn_worker(worker_main, make_handle):\n"
+        "    context = multiprocessing.get_context('spawn')\n"
+        "    parent_end, child_end = context.Pipe()\n"
+        "    process = context.Process(\n"
+        "        target=worker_main, args=(child_end,)\n"
+        "    )\n"
+        "    process.start()\n"
+        "    if process.is_alive():\n"
+        "        child_end.close()\n"
+        "    return make_handle(parent_end, process)\n"
+    )
+    findings = run_analysis([tmp_path], root=tmp_path)
+    assert [(f.rule, f.line) for f in findings] == [("resource-lifecycle", 6)]
+    message = findings[0].message
+    assert "child_end" in message
+    assert "some paths" in message
+    assert "child Process" in message
+
+
+def test_loop_blocking_finding_names_the_witness_chain(tmp_path):
+    # The interprocedural rules must explain *how* the loop blocks, not
+    # just that it does — the chain is the actionable part.
+    (tmp_path / "srv.py").write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def low():\n"
+        "    time.sleep(1.0)\n"
+        "\n"
+        "\n"
+        "def mid():\n"
+        "    low()\n"
+        "\n"
+        "\n"
+        "async def top():\n"
+        "    mid()\n"
+    )
+    findings = run_analysis([tmp_path], root=tmp_path)
+    assert [f.rule for f in findings] == ["loop-blocking-call"]
+    message = findings[0].message
+    assert "mid()" in message and "low()" in message
+    assert "time.sleep" in message
 
 
 def test_parse_error_is_reported_not_raised(tmp_path):

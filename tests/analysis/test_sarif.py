@@ -1,0 +1,98 @@
+"""SARIF output contract: a valid minimal 2.1.0 log that GitHub code
+scanning can ingest — every registered rule in the driver catalogue,
+repo-relative URIs, 1-based lines, and line-number-free fingerprints
+that stay stable across unrelated edits (the same identity the committed
+baseline uses)."""
+
+import json
+
+from repro.analysis import all_rules
+from repro.analysis.cli import main
+from repro.analysis.core import Finding
+from repro.analysis.sarif import render_sarif
+
+
+def make_finding(line=7, context="sock = socket.socket()"):
+    return Finding(
+        rule="resource-lifecycle",
+        path="src/repro/lbs/frontend.py",
+        line=line,
+        message="socket is never closed",
+        context=context,
+    )
+
+
+def test_log_shape_and_driver_catalogue():
+    log = render_sarif([make_finding()], all_rules())
+    assert log["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in log["$schema"]
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    catalogued = {rule["id"] for rule in driver["rules"]}
+    assert {rule.id for rule in all_rules()} <= catalogued
+    assert "parse-error" in catalogued
+    for descriptor in driver["rules"]:
+        assert descriptor["shortDescription"]["text"]
+
+
+def test_result_location_and_rule_index():
+    log = render_sarif([make_finding()], all_rules())
+    run = log["runs"][0]
+    (result,) = run["results"]
+    assert result["ruleId"] == "resource-lifecycle"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/lbs/frontend.py"
+    assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert location["region"]["startLine"] == 7
+    # ruleIndex must point back into the driver catalogue.
+    index = result["ruleIndex"]
+    assert run["tool"]["driver"]["rules"][index]["id"] == "resource-lifecycle"
+
+
+def test_fingerprint_survives_line_drift_but_not_context_change():
+    base = render_sarif([make_finding(line=7)], all_rules())
+    moved = render_sarif([make_finding(line=99)], all_rules())
+    edited = render_sarif(
+        [make_finding(line=7, context="sock = other()")], all_rules()
+    )
+
+    def fp(log):
+        return log["runs"][0]["results"][0]["partialFingerprints"][
+            "reprolintFingerprint/v1"
+        ]
+
+    assert fp(base) == fp(moved)  # alert identity tracks the baseline's
+    assert fp(base) != fp(edited)
+
+
+def test_cli_sarif_format_emits_parseable_log(tmp_path, monkeypatch, capsys):
+    (tmp_path / "mod.py").write_text(
+        "import socket\n"
+        "\n"
+        "\n"
+        "def leak(addr):\n"
+        "    sock = socket.create_connection(addr)\n"
+        "    sock.sendall(b'x')\n"
+    )
+    monkeypatch.chdir(tmp_path)
+    exit_code = main(["--format=sarif", "--no-baseline", "mod.py"])
+    log = json.loads(capsys.readouterr().out)
+    assert exit_code == 1  # exit contract unchanged by the format
+    results = log["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["resource-lifecycle"]
+    assert results[0]["locations"][0]["physicalLocation"]["region"][
+        "startLine"
+    ] == 5
+
+
+def test_cli_sarif_clean_tree_is_empty_results_exit_zero(
+    tmp_path, monkeypatch, capsys
+):
+    (tmp_path / "ok.py").write_text("def fine():\n    return 1\n")
+    monkeypatch.chdir(tmp_path)
+    exit_code = main(["--format=sarif", "--no-baseline", "ok.py"])
+    log = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert log["runs"][0]["results"] == []
